@@ -1,0 +1,29 @@
+//! `cargo bench` target that regenerates every table and figure of the
+//! paper into the bench log. Runs in quick mode by default so the full
+//! bench suite finishes promptly; run the individual `src/bin` binaries
+//! (without `VEGETA_QUICK`) for full-size layers.
+
+fn main() {
+    // Honour an explicitly-set VEGETA_QUICK; default to quick inside benches.
+    if std::env::var("VEGETA_QUICK").is_err() {
+        std::env::set_var("VEGETA_QUICK", "1");
+    }
+    // `cargo bench` passes flags like `--bench`; ignore them.
+    println!("=== VEGETA evaluation reproduction (quick mode) ===\n");
+    vegeta_bench::print_tab01();
+    vegeta_bench::print_tab03();
+    vegeta_bench::print_tab04();
+    vegeta_bench::print_fig03();
+    vegeta_bench::print_fig04();
+    vegeta_bench::print_fig05();
+    vegeta_bench::print_fig09();
+    vegeta_bench::print_fig10();
+    vegeta_bench::print_fig13();
+    vegeta_bench::print_fig14();
+    vegeta_bench::print_fig15();
+    vegeta_bench::print_headline();
+    vegeta_bench::print_kernel_ablation();
+    vegeta_bench::print_of_ablation();
+    vegeta_bench::print_rowwise_packing();
+    vegeta_bench::print_dynamic_sparsity();
+}

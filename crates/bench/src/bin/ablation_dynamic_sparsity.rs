@@ -1,0 +1,7 @@
+//! SS VII feasibility analysis: why SAVE-style register compaction does not
+//! transfer from vector engines to tile engines.
+//! Set `VEGETA_QUICK=1` for a scaled-down fast run.
+
+fn main() {
+    vegeta_bench::print_dynamic_sparsity();
+}

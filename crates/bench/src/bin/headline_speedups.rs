@@ -1,0 +1,6 @@
+//! Regenerates one artifact of the VEGETA evaluation; see vegeta-bench docs.
+//! Set `VEGETA_QUICK=1` for a scaled-down fast run.
+
+fn main() {
+    vegeta_bench::print_headline();
+}

@@ -1,0 +1,185 @@
+//! High-level experiment drivers shared by the benches and examples.
+//!
+//! These functions wire the full stack together the way §VI does: pick the
+//! kernel a given engine would run for a layer at a given weight sparsity,
+//! build its dynamic trace, and replay it on the out-of-order core model.
+
+use vegeta_engine::EngineConfig;
+use vegeta_isa::trace::Trace;
+use vegeta_kernels::{build_trace, GemmShape, KernelOptions, SparseMode};
+use vegeta_sim::{CoreSim, SimConfig, SimResult};
+use vegeta_sparse::NmRatio;
+use vegeta_workloads::Layer;
+
+/// The execution mode an engine uses for weights with the given pattern:
+/// the sparsest *supported* pattern that still covers the weights.
+///
+/// A dense engine always runs the dense kernel (it "cannot leverage
+/// sparsity", §VI-C); the STC-like engine runs 1:4 layers with its 2:4
+/// path, gaining nothing from the extra zeros.
+pub fn execution_mode(engine: &EngineConfig, weights: NmRatio) -> SparseMode {
+    engine
+        .supported_patterns()
+        .into_iter()
+        .filter(|p| p.n() >= weights.n() && p.m() == weights.m())
+        .find_map(SparseMode::for_ratio)
+        .unwrap_or(SparseMode::Dense)
+}
+
+/// Builds the tile-kernel trace a layer executes in the given mode.
+pub fn layer_trace(layer: &Layer, mode: SparseMode) -> Trace {
+    build_trace(layer.gemm_shape(), mode, KernelOptions::default())
+}
+
+/// Simulates one layer on one engine at the given weight pattern, returning
+/// the core-cycle result (§VI-C conditions: 2 GHz core, 0.5 GHz engine, data
+/// prefetched to L2).
+pub fn run_layer(layer: &Layer, weights: NmRatio, engine: &EngineConfig) -> SimResult {
+    let mode = execution_mode(engine, weights);
+    let trace = layer_trace(layer, mode);
+    CoreSim::with_engine(engine.clone()).run(&trace)
+}
+
+/// Simulates a prebuilt trace on an engine with a custom core config.
+pub fn run_trace(trace: &Trace, engine: &EngineConfig, sim: SimConfig) -> SimResult {
+    CoreSim::new(sim, engine.clone()).run(trace)
+}
+
+/// The engine line-up of Fig. 13, in plot order: three dense baselines, the
+/// STC-like engine, the five VEGETA-S designs, and VEGETA-S-16-2 with
+/// output forwarding.
+pub fn figure13_engines() -> Vec<EngineConfig> {
+    let mut engines = vec![
+        EngineConfig::rasa_sm(),
+        EngineConfig::rasa_dm(),
+        EngineConfig::tmul_like(),
+        EngineConfig::stc_like(),
+    ];
+    for alpha in [1usize, 2, 4, 8, 16] {
+        engines.push(EngineConfig::vegeta_s(alpha).expect("valid alpha"));
+    }
+    engines.push(
+        EngineConfig::vegeta_s(16)
+            .expect("valid alpha")
+            .with_output_forwarding(true),
+    );
+    engines
+}
+
+/// Geometric mean of a non-empty slice of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Result of running a sequence of layers (a network suite) on one engine.
+#[derive(Debug, Clone)]
+pub struct NetworkRunResult {
+    /// Per-layer `(name, core cycles)` in execution order.
+    pub layer_cycles: Vec<(&'static str, u64)>,
+    /// Total core cycles across the suite.
+    pub total_cycles: u64,
+    /// Total effectual MACs of the suite (dense-equivalent work is
+    /// `total_macs`; the engine skips a fraction given by the sparsity).
+    pub total_macs: u64,
+}
+
+impl NetworkRunResult {
+    /// Effective throughput in TFLOP/s at the given core clock.
+    pub fn effective_tflops(&self, core_ghz: f64) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        let seconds = self.total_cycles as f64 / (core_ghz * 1e9);
+        2.0 * self.total_macs as f64 / seconds / 1e12
+    }
+}
+
+/// Runs a layer suite back to back on one engine at one weight sparsity,
+/// as a network inference would (each layer's GEMM executes in full before
+/// the next begins).
+pub fn run_network(
+    layers: &[Layer],
+    weights: NmRatio,
+    engine: &EngineConfig,
+) -> NetworkRunResult {
+    let mut layer_cycles = Vec::with_capacity(layers.len());
+    let mut total_cycles = 0u64;
+    let mut total_macs = 0u64;
+    for layer in layers {
+        let res = run_layer(layer, weights, engine);
+        layer_cycles.push((layer.name, res.core_cycles));
+        total_cycles += res.core_cycles;
+        total_macs += layer.macs();
+    }
+    NetworkRunResult { layer_cycles, total_cycles, total_macs }
+}
+
+/// A quick proxy shape for smoke tests and `--quick` bench runs: the layer
+/// scaled down while keeping its aspect ratio.
+pub fn scaled_shape(layer: &Layer, factor: usize) -> GemmShape {
+    let s = layer.gemm_shape();
+    GemmShape::new(
+        (s.m / factor).max(16),
+        (s.n / factor).max(16),
+        (s.k / factor).max(128),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vegeta_workloads::table4;
+
+    #[test]
+    fn dense_engines_always_run_dense_kernels() {
+        for engine in [EngineConfig::rasa_sm(), EngineConfig::rasa_dm(), EngineConfig::tmul_like()]
+        {
+            for w in [NmRatio::D4_4, NmRatio::S2_4, NmRatio::S1_4] {
+                assert_eq!(execution_mode(&engine, w), SparseMode::Dense);
+            }
+        }
+    }
+
+    #[test]
+    fn stc_like_runs_1_4_layers_in_2_4_mode() {
+        let stc = EngineConfig::stc_like();
+        assert_eq!(execution_mode(&stc, NmRatio::S1_4), SparseMode::Nm2of4);
+        assert_eq!(execution_mode(&stc, NmRatio::S2_4), SparseMode::Nm2of4);
+        assert_eq!(execution_mode(&stc, NmRatio::D4_4), SparseMode::Dense);
+    }
+
+    #[test]
+    fn vegeta_s_exploits_every_pattern() {
+        let s = EngineConfig::vegeta_s(16).unwrap();
+        assert_eq!(execution_mode(&s, NmRatio::S1_4), SparseMode::Nm1of4);
+        assert_eq!(execution_mode(&s, NmRatio::S2_4), SparseMode::Nm2of4);
+        assert_eq!(execution_mode(&s, NmRatio::D4_4), SparseMode::Dense);
+    }
+
+    #[test]
+    fn sparse_execution_is_faster_on_a_small_layer() {
+        // Scaled-down BERT-L2 for speed; the full layers run in the benches.
+        let layer = &table4()[7];
+        let shape = scaled_shape(layer, 8);
+        let s16 = EngineConfig::vegeta_s(16).unwrap().with_output_forwarding(true);
+        let dense_trace = build_trace(shape, SparseMode::Dense, KernelOptions::default());
+        let sparse_trace = build_trace(shape, SparseMode::Nm1of4, KernelOptions::default());
+        let dm = run_trace(&dense_trace, &EngineConfig::rasa_dm(), SimConfig::default());
+        let sp = run_trace(&sparse_trace, &s16, SimConfig::default());
+        let speedup = dm.core_cycles as f64 / sp.core_cycles as f64;
+        assert!(speedup > 2.0, "1:4 on S-16-2+OF vs dense on RASA-DM: {speedup}");
+    }
+
+    #[test]
+    fn figure13_lineup_has_ten_entries() {
+        let engines = figure13_engines();
+        assert_eq!(engines.len(), 10);
+        assert!(engines.last().unwrap().output_forwarding());
+    }
+
+    #[test]
+    fn geomean_of_identical_values() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,70 @@
+//! # VEGETA: sparse/dense GEMM tile acceleration for CPUs
+//!
+//! A from-scratch Rust reproduction of *VEGETA: Vertically-Integrated
+//! Extensions for Sparse/Dense GEMM Tile Acceleration on CPUs* (HPCA 2023).
+//!
+//! VEGETA extends a CPU's AMX-class matrix engine with flexible `N:M`
+//! structured sparsity: compressed tile registers plus metadata registers,
+//! `TILE_SPMM` instructions, sparsity-aware systolic processing elements,
+//! WL/FF/FS/DR pipelining with output forwarding, and a lossless software
+//! transform that turns *unstructured* sparsity into row-wise `N:M`.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`num`] | BF16/FP32 mixed precision, matrices |
+//! | [`sparse`] | `N:M` formats, compression, covers/transforms, pruning |
+//! | [`isa`] | tile/metadata registers, Table II instructions, executor |
+//! | [`engine`] | Table III design points, dataflow + pipeline + cost models |
+//! | [`sim`] | trace-driven out-of-order CPU model |
+//! | [`kernels`] | tiled GEMM/SPMM/vector kernels, im2col |
+//! | [`workloads`] | Table IV layers and weight generators |
+//! | [`model`] | roofline (Fig. 3) and granularity (Fig. 15) models |
+//! | [`experiments`] | end-to-end drivers used by benches and examples |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vegeta::prelude::*;
+//!
+//! // Compress a 2:4-pruned tile and check the transform is lossless.
+//! let mut rng = rand_seed(42);
+//! let dense = vegeta::sparse::prune::random_nm(16, 64, NmRatio::S2_4, &mut rng);
+//! let tile = CompressedTile::compress(&dense, NmRatio::S2_4)?;
+//! assert_eq!(tile.decompress(), dense);
+//! # Ok::<(), vegeta::sparse::SparsityError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use vegeta_engine as engine;
+pub use vegeta_isa as isa;
+pub use vegeta_kernels as kernels;
+pub use vegeta_model as model;
+pub use vegeta_num as num;
+pub use vegeta_sim as sim;
+pub use vegeta_sparse as sparse;
+pub use vegeta_workloads as workloads;
+
+pub mod experiments;
+
+/// Seeds a small fast RNG (re-exported convenience for examples and docs).
+pub fn rand_seed(seed: u64) -> impl rand::Rng {
+    use rand::SeedableRng;
+    rand::rngs::SmallRng::seed_from_u64(seed)
+}
+
+/// The most commonly used items across the workspace.
+pub mod prelude {
+    pub use crate::experiments::{execution_mode, layer_trace, run_layer, run_trace};
+    pub use crate::rand_seed;
+    pub use vegeta_engine::{CostModel, EngineConfig, EngineTimer};
+    pub use vegeta_isa::{Executor, Inst, Memory, TReg, UReg, VReg};
+    pub use vegeta_kernels::{GemmShape, KernelOptions, SparseMode};
+    pub use vegeta_model::{GranularityHw, GranularityModel};
+    pub use vegeta_num::{Bf16, Matrix};
+    pub use vegeta_sim::{CoreSim, SimConfig, SimResult};
+    pub use vegeta_sparse::{CompressedTile, NmRatio, RowWiseTile};
+    pub use vegeta_workloads::{table4, Layer, WeightSparsity};
+}

@@ -1,0 +1,457 @@
+//! VEGETA engine design points (Table III).
+//!
+//! An engine is a 2D array of `Nrows × Ncols` processing elements (PEs); a PE
+//! groups `α` processing units (PUs) that share west-side inputs, and a PU
+//! packs `β` MAC units working on different *lanes* of the same dot product
+//! (§V-A). Sparse engines (VEGETA-S) add `M`-to-1 input muxes and metadata
+//! buffers per MAC so zero weights are never mapped.
+//!
+//! Fixed across all Table III designs:
+//!
+//! * total MAC count = 512 (matching the 32×16 baseline array);
+//! * effectual MACs per output element = 32, so `Nrows = 32 / β`;
+//! * `Ncols = 512 / (Nrows · α · β)`.
+
+use std::fmt;
+
+use vegeta_sparse::NmRatio;
+
+/// Total MAC units in every engine configuration (32×16 baseline).
+pub const TOTAL_MACS: usize = 512;
+
+/// Effectual MAC operations per output element for tile GEMM/SPMM (§V-B).
+pub const MACS_PER_OUTPUT: usize = 32;
+
+/// Columns of an input tile (`Tn`), which sets the Feed-First stage length.
+pub const INPUT_TILE_COLS: usize = 16;
+
+/// Whether the PEs are sparsity-aware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Dense PEs (DPEs): no zero skipping; runs `TILE_GEMM` only.
+    Dense,
+    /// Sparse PEs (SPEs): input-select muxes + metadata buffers; runs all
+    /// tile GEMM/SPMM instructions.
+    Sparse,
+}
+
+/// A VEGETA engine design point.
+///
+/// # Examples
+///
+/// ```
+/// use vegeta_engine::EngineConfig;
+///
+/// let e = EngineConfig::vegeta_s(2).unwrap(); // VEGETA-S-2-2
+/// assert_eq!((e.nrows(), e.ncols()), (16, 8));
+/// assert_eq!(e.macs_per_pe(), 4);
+/// assert_eq!(e.drain_latency(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EngineConfig {
+    name: String,
+    kind: EngineKind,
+    alpha: usize,
+    beta: usize,
+    m: usize,
+    output_forwarding: bool,
+    /// Patterns the control logic accepts; `None` means every power-of-two
+    /// `N:M` (used to model the STC-like design that only does 2:4).
+    allowed: Option<Vec<NmRatio>>,
+}
+
+impl EngineConfig {
+    /// Creates a design point. `alpha`/`beta` must divide the array into
+    /// whole PEs: `beta | 32` and `alpha·beta | 512/(32/beta)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape constraints do not hold (these are compile-time
+    /// design decisions, not runtime data).
+    fn new(name: impl Into<String>, kind: EngineKind, alpha: usize, beta: usize, m: usize) -> Self {
+        assert!(beta > 0 && MACS_PER_OUTPUT.is_multiple_of(beta), "beta must divide 32");
+        let nrows = MACS_PER_OUTPUT / beta;
+        assert!(
+            alpha > 0 && TOTAL_MACS.is_multiple_of(nrows * alpha * beta),
+            "alpha*beta must evenly tile the array"
+        );
+        if kind == EngineKind::Sparse {
+            assert_eq!(beta, m / 2, "SPEs use beta = M/2 (§V-A)");
+        }
+        EngineConfig { name: name.into(), kind, alpha, beta, m, output_forwarding: false, allowed: None }
+    }
+
+    /// A dense design `VEGETA-D-α-β`.
+    pub fn dense(alpha: usize, beta: usize) -> Self {
+        Self::new(format!("VEGETA-D-{alpha}-{beta}"), EngineKind::Dense, alpha, beta, 4)
+    }
+
+    /// A sparse design `VEGETA-S-α-2` for block size `M = 4` (`β = M/2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if `alpha` is not in `{1, 2, 4, 8, 16}`.
+    pub fn vegeta_s(alpha: usize) -> Option<Self> {
+        if ![1, 2, 4, 8, 16].contains(&alpha) {
+            return None;
+        }
+        Some(Self::new(format!("VEGETA-S-{alpha}-2"), EngineKind::Sparse, alpha, 2, 4))
+    }
+
+    /// The §V-D block-size extension: a sparse design for `M ∈ {8, 16}`
+    /// with `β = M/2` (each MAC gets an `M`-to-1 mux; `Nrows = 32/β`).
+    ///
+    /// Returns `None` when the shape constraints cannot be met (`m` not a
+    /// power of two in `[4, 16]`, or `alpha·beta` does not tile the array).
+    pub fn vegeta_s_m(alpha: usize, m: usize) -> Option<Self> {
+        if !(4..=16).contains(&m) || !m.is_power_of_two() {
+            return None;
+        }
+        let beta = m / 2;
+        let nrows = MACS_PER_OUTPUT.checked_div(beta)?;
+        if !MACS_PER_OUTPUT.is_multiple_of(beta) || alpha == 0 || !TOTAL_MACS.is_multiple_of(nrows * alpha * beta) {
+            return None;
+        }
+        Some(Self::new(
+            format!("VEGETA-S-{alpha}-{beta}-M{m}"),
+            EngineKind::Sparse,
+            alpha,
+            beta,
+            m,
+        ))
+    }
+
+    /// The conventional single-MAC systolic array; models RASA-SM.
+    pub fn rasa_sm() -> Self {
+        let mut e = Self::dense(1, 1);
+        e.name = "RASA-SM (VEGETA-D-1-1)".into();
+        e
+    }
+
+    /// The state-of-the-art dense CPU matrix engine; models RASA-DM.
+    pub fn rasa_dm() -> Self {
+        let mut e = Self::dense(1, 2);
+        e.name = "RASA-DM (VEGETA-D-1-2)".into();
+        e
+    }
+
+    /// An Intel TMUL-inspired dense unit (VEGETA-D-16-1).
+    pub fn tmul_like() -> Self {
+        let mut e = Self::dense(16, 1);
+        e.name = "TMUL-like (VEGETA-D-16-1)".into();
+        e
+    }
+
+    /// An NVIDIA Sparse-Tensor-Core-like engine: VEGETA-S-1-2 with only 2:4
+    /// (and dense 4:4) support forced (§VI-A).
+    pub fn stc_like() -> Self {
+        let mut e = Self::vegeta_s(1).expect("alpha=1 is valid");
+        e.name = "STC-like (VEGETA-S-1-2, 2:4 only)".into();
+        e.allowed = Some(vec![NmRatio::S2_4, NmRatio::D4_4]);
+        e
+    }
+
+    /// All eight Table III design points, in table order.
+    pub fn table3() -> Vec<EngineConfig> {
+        vec![
+            Self::dense(1, 1),
+            Self::dense(1, 2),
+            Self::dense(16, 1),
+            Self::vegeta_s(1).expect("valid alpha"),
+            Self::vegeta_s(2).expect("valid alpha"),
+            Self::vegeta_s(4).expect("valid alpha"),
+            Self::vegeta_s(8).expect("valid alpha"),
+            Self::vegeta_s(16).expect("valid alpha"),
+        ]
+    }
+
+    /// Enables or disables output forwarding (§V-C) and returns the config.
+    pub fn with_output_forwarding(mut self, enabled: bool) -> Self {
+        self.output_forwarding = enabled;
+        self
+    }
+
+    /// Design-point name (for example `VEGETA-S-2-2`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Dense or sparse PEs.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// Broadcast factor `α`: PUs per PE.
+    pub fn alpha(&self) -> usize {
+        self.alpha
+    }
+
+    /// Reduction factor `β`: MACs (lanes) per PU.
+    pub fn beta(&self) -> usize {
+        self.beta
+    }
+
+    /// Structured-sparsity block size `M`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Whether output forwarding is enabled.
+    pub fn output_forwarding(&self) -> bool {
+        self.output_forwarding
+    }
+
+    /// Array height: `32 / β` PE rows.
+    pub fn nrows(&self) -> usize {
+        MACS_PER_OUTPUT / self.beta
+    }
+
+    /// Array width in PEs: `512 / (Nrows · α · β)`.
+    pub fn ncols(&self) -> usize {
+        TOTAL_MACS / (self.nrows() * self.alpha * self.beta)
+    }
+
+    /// MAC units per PE (`α·β`).
+    pub fn macs_per_pe(&self) -> usize {
+        self.alpha * self.beta
+    }
+
+    /// Input elements fed to each PE per cycle: `β` elements for dense PEs,
+    /// `β` blocks of `M` elements for sparse PEs.
+    pub fn inputs_per_pe(&self) -> usize {
+        match self.kind {
+            EngineKind::Dense => self.beta,
+            EngineKind::Sparse => self.beta * self.m,
+        }
+    }
+
+    /// PU columns across the array (`Ncols · α`); one per output row of the
+    /// weight tile, 16 for every Table III design.
+    pub fn pu_cols(&self) -> usize {
+        self.ncols() * self.alpha
+    }
+
+    /// Cycles of the Weight Load stage (`Nrows`).
+    pub fn wl_latency(&self) -> usize {
+        self.nrows()
+    }
+
+    /// Cycles of the Feed-First stage (`Tn`, input tile columns).
+    pub fn ff_latency(&self) -> usize {
+        INPUT_TILE_COLS
+    }
+
+    /// Cycles of the Feed-Second stage (`Nrows − 1`).
+    pub fn fs_latency(&self) -> usize {
+        self.nrows() - 1
+    }
+
+    /// Cycles of the Drain stage.
+    ///
+    /// The array needs `Ncols` cycles to flush horizontally, and the bottom
+    /// reduction tree needs `⌈log₂β⌉ + 1` cycles to produce its last result;
+    /// the drain stage ends when both have (`max` of the two). This single
+    /// rule reproduces the entire Table III drain column, including the
+    /// 2-cycle drain of VEGETA-S-16-2 whose `Ncols` is only 1.
+    pub fn drain_latency(&self) -> usize {
+        let reduction = log2_ceil(self.beta) + 1;
+        self.ncols().max(if self.beta > 1 { reduction } else { 1 })
+    }
+
+    /// Total latency of one tile instruction: WL + FF + FS + DR.
+    pub fn instruction_latency(&self) -> usize {
+        self.wl_latency() + self.ff_latency() + self.fs_latency() + self.drain_latency()
+    }
+
+    /// Minimum cycles between the starts of two pipelined instructions with
+    /// no data dependence: no two instructions may occupy the same stage
+    /// (§V-C), so the gap is the longest stage.
+    pub fn issue_interval(&self) -> usize {
+        self.wl_latency()
+            .max(self.ff_latency())
+            .max(self.fs_latency())
+            .max(self.drain_latency())
+    }
+
+    /// Cycle (relative to instruction start) at which the first `C` element
+    /// is written back: the first C element is fed when FF begins and every
+    /// output is produced `Nrows + log₂β` cycles after it is fed (§V-C).
+    pub fn first_writeback(&self) -> usize {
+        self.wl_latency() + self.nrows() + log2_ceil(self.beta)
+    }
+
+    /// Cycle (relative to start) of the very last output element leaving the
+    /// reduction units, as observed by the dataflow simulation.
+    pub fn last_output_cycle(&self) -> usize {
+        // Last C column enters at WL + Tn - 1, crosses Nrows PE rows, drifts
+        // Ncols - 1 PEs east, then the reduction tree adds ⌈log₂β⌉ + 1.
+        self.wl_latency() + (self.ff_latency() - 1) + (self.nrows() - 1) + (self.ncols() - 1)
+            + log2_ceil(self.beta)
+            + 1
+    }
+
+    /// Whether this engine can execute a tile operation whose `A` operand has
+    /// the given sparsity pattern.
+    pub fn supports(&self, ratio: NmRatio) -> bool {
+        if let Some(allowed) = &self.allowed {
+            return allowed.contains(&ratio);
+        }
+        match self.kind {
+            EngineKind::Dense => ratio.is_dense(),
+            EngineKind::Sparse => {
+                ratio.m() as usize == self.m && ratio.n().is_power_of_two()
+            }
+        }
+    }
+
+    /// The sparsity patterns this engine accepts, densest last.
+    pub fn supported_patterns(&self) -> Vec<NmRatio> {
+        if let Some(allowed) = &self.allowed {
+            let mut v = allowed.clone();
+            v.sort();
+            return v;
+        }
+        match self.kind {
+            EngineKind::Dense => vec![NmRatio::D4_4],
+            EngineKind::Sparse => {
+                NmRatio::supported_patterns(self.m as u8).expect("m validated at construction")
+            }
+        }
+    }
+}
+
+impl fmt::Display for EngineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// `⌈log₂ x⌉` for `x ≥ 1`.
+pub(crate) fn log2_ceil(x: usize) -> usize {
+    debug_assert!(x >= 1);
+    usize::BITS as usize - (x - 1).leading_zeros() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The literal rows of Table III.
+    const TABLE3: [(&str, usize, usize, usize, usize, usize, usize); 8] = [
+        // name, nrows, ncols, macs/PE, inputs/PE, alpha, drain
+        ("VEGETA-D-1-1", 32, 16, 1, 1, 1, 16),
+        ("VEGETA-D-1-2", 16, 16, 2, 2, 1, 16),
+        ("VEGETA-D-16-1", 32, 1, 16, 1, 16, 1),
+        ("VEGETA-S-1-2", 16, 16, 2, 8, 1, 16),
+        ("VEGETA-S-2-2", 16, 8, 4, 8, 2, 8),
+        ("VEGETA-S-4-2", 16, 4, 8, 8, 4, 4),
+        ("VEGETA-S-8-2", 16, 2, 16, 8, 8, 2),
+        ("VEGETA-S-16-2", 16, 1, 32, 8, 16, 2),
+    ];
+
+    #[test]
+    fn table3_rows_are_reproduced_exactly() {
+        for (cfg, row) in EngineConfig::table3().iter().zip(TABLE3) {
+            assert_eq!(cfg.name(), row.0);
+            assert_eq!(cfg.nrows(), row.1, "{}", row.0);
+            assert_eq!(cfg.ncols(), row.2, "{}", row.0);
+            assert_eq!(cfg.macs_per_pe(), row.3, "{}", row.0);
+            assert_eq!(cfg.inputs_per_pe(), row.4, "{}", row.0);
+            assert_eq!(cfg.alpha(), row.5, "{}", row.0);
+            assert_eq!(cfg.drain_latency(), row.6, "{}", row.0);
+        }
+    }
+
+    #[test]
+    fn every_design_has_512_macs_and_16_pu_cols() {
+        for cfg in EngineConfig::table3() {
+            assert_eq!(cfg.nrows() * cfg.ncols() * cfg.macs_per_pe(), TOTAL_MACS);
+            assert_eq!(cfg.pu_cols() * cfg.nrows() * cfg.beta(), TOTAL_MACS);
+            assert_eq!(cfg.pu_cols(), 16, "{}: one PU column per output row", cfg.name());
+        }
+    }
+
+    #[test]
+    fn issue_interval_is_16_for_dm_and_s16() {
+        // §V-C: "the next instruction can be executed after 16 cycles for
+        // VEGETA-S-16-2, which is same as VEGETA-D-1-2".
+        assert_eq!(EngineConfig::rasa_dm().issue_interval(), 16);
+        assert_eq!(EngineConfig::vegeta_s(16).unwrap().issue_interval(), 16);
+        // RASA-SM is limited by its 32-cycle weight load.
+        assert_eq!(EngineConfig::rasa_sm().issue_interval(), 32);
+    }
+
+    #[test]
+    fn sparse_latency_shorter_than_dense_dm() {
+        // §V-C: "due to the smaller Nrows and Ncols, the latency of each
+        // instruction for VEGETA-S-16-2 is shorter than VEGETA-D-1-2".
+        let dm = EngineConfig::rasa_dm().instruction_latency();
+        let s16 = EngineConfig::vegeta_s(16).unwrap().instruction_latency();
+        assert!(s16 < dm, "S-16-2 {s16} vs D-1-2 {dm}");
+    }
+
+    #[test]
+    fn sparsity_support_matrix() {
+        let dense = EngineConfig::rasa_dm();
+        assert!(dense.supports(NmRatio::D4_4));
+        assert!(!dense.supports(NmRatio::S2_4));
+        let s = EngineConfig::vegeta_s(2).unwrap();
+        assert!(s.supports(NmRatio::D4_4));
+        assert!(s.supports(NmRatio::S2_4));
+        assert!(s.supports(NmRatio::S1_4));
+        let stc = EngineConfig::stc_like();
+        assert!(stc.supports(NmRatio::S2_4));
+        assert!(!stc.supports(NmRatio::S1_4), "STC cannot exploit 1:4 (§VI-C)");
+        assert!(stc.supports(NmRatio::D4_4));
+    }
+
+    #[test]
+    fn first_writeback_matches_section5c() {
+        // "the C tile will be written back from Cycle 2·Nrows + log2(beta)".
+        let s16 = EngineConfig::vegeta_s(16).unwrap();
+        assert_eq!(s16.first_writeback(), 2 * 16 + 1);
+    }
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(16), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta = M/2")]
+    fn sparse_engine_requires_beta_m_over_2() {
+        let _ = EngineConfig::new("bad", EngineKind::Sparse, 1, 1, 4);
+    }
+
+    #[test]
+    fn output_forwarding_toggle() {
+        let e = EngineConfig::vegeta_s(16).unwrap().with_output_forwarding(true);
+        assert!(e.output_forwarding());
+    }
+
+    #[test]
+    fn block_size_extension_m8_and_m16() {
+        // §V-D: larger M with beta = M/2; the array keeps 512 MACs.
+        let m8 = EngineConfig::vegeta_s_m(2, 8).unwrap();
+        assert_eq!((m8.nrows(), m8.beta(), m8.m()), (8, 4, 8));
+        assert_eq!(m8.nrows() * m8.ncols() * m8.macs_per_pe(), TOTAL_MACS);
+        assert!(m8.supports(NmRatio::new(2, 8).unwrap()));
+        assert!(!m8.supports(NmRatio::S2_4), "block size must match");
+        let m16 = EngineConfig::vegeta_s_m(1, 16).unwrap();
+        assert_eq!((m16.nrows(), m16.beta()), (4, 8));
+        assert_eq!(m16.supported_patterns().len(), 5); // 1,2,4,8,16 : 16
+        assert!(EngineConfig::vegeta_s_m(1, 6).is_none());
+        assert!(EngineConfig::vegeta_s_m(0, 8).is_none());
+    }
+
+    #[test]
+    fn m8_engine_issue_interval_still_16() {
+        // Tn = 16 dominates once Nrows shrinks below it.
+        let m8 = EngineConfig::vegeta_s_m(2, 8).unwrap();
+        assert_eq!(m8.issue_interval(), 16);
+    }
+}

@@ -1,0 +1,502 @@
+//! Cycle-accurate dataflow simulation of the VEGETA systolic array
+//! (Figs. 8, 9 and 11).
+//!
+//! The array is modelled at MAC granularity as `Nrows`-tall *MAC columns*
+//! (512 MACs total). A weight row of the stationary `A` tile occupies
+//! `lanes` adjacent MAC columns — `β` for the tile-wise instructions, `N_r`
+//! per row for the row-wise mapping of §V-E — with stored value `k` of that
+//! row held at array row `i = k / lanes`, lane `s = k mod lanes`. Inputs are
+//! streamed skewed from the west (one new `C` column per cycle after Weight
+//! Load), propagate one PE per cycle eastward, partial sums ripple south one
+//! row per cycle, and each weight row's lanes are combined by a reduction
+//! tree at the bottom of the array.
+//!
+//! The simulation fires every MAC in its exact cycle, so it yields both the
+//! functional result (bit-checked against [`vegeta_isa::Executor`] in the
+//! integration tests) and the timing/utilization counters behind Fig. 5 and
+//! the Table III latency columns.
+
+use vegeta_num::{mac_bf16, Bf16, Matrix};
+use vegeta_sparse::NmRatio;
+
+use crate::config::{log2_ceil, EngineConfig, EngineKind, INPUT_TILE_COLS};
+use crate::EngineError;
+
+/// A tile-wise operation for the dataflow simulator: the operands of one
+/// `TILE_GEMM` / `TILE_SPMM_U` / `TILE_SPMM_V` instruction.
+#[derive(Debug, Clone)]
+pub struct TileWiseOp<'a> {
+    /// Stored `A` values, 16×32 (row-major compressed layout).
+    pub a_values: &'a Matrix<Bf16>,
+    /// Per-value block positions (512 entries, row-major); `None` for a
+    /// dense `A` where the stored position equals the effective position.
+    pub a_meta: Option<&'a [u8]>,
+    /// Sparsity pattern of `A` (`4:4` for `TILE_GEMM`).
+    pub ratio: NmRatio,
+    /// `Bᵀ`: 16 rows (output columns) × effective-K columns.
+    pub bt: &'a Matrix<Bf16>,
+    /// Input accumulator `C`, 16×16.
+    pub c_in: &'a Matrix<f32>,
+}
+
+/// A row-wise operation (`TILE_SPMM_R`): per-row `N:4` weights (§V-E).
+#[derive(Debug, Clone)]
+pub struct RowWiseOp<'a> {
+    /// Per weight row: `(n, values, positions)`; row `r` stores `16·n`
+    /// values over 16 blocks of `M = 4`.
+    pub rows: &'a [(u8, Vec<Bf16>, Vec<u8>)],
+    /// `Bᵀ`: 16×64.
+    pub bt: &'a Matrix<Bf16>,
+    /// Input accumulator `C`: one 16-element row per weight row.
+    pub c_in: &'a Matrix<f32>,
+}
+
+/// Result of a dataflow simulation.
+#[derive(Debug, Clone)]
+pub struct DataflowResult {
+    /// Output tile (weight-rows × 16).
+    pub c_out: Matrix<f32>,
+    /// Cycle of the last output element, relative to instruction start.
+    pub last_output_cycle: usize,
+    /// MAC firings on a non-zero stored weight.
+    pub effectual_macs: u64,
+    /// Total MAC firings (effectual + firings on zero weights/padding).
+    pub fired_macs: u64,
+    /// MAC-cycles available while any input was in flight.
+    pub mac_cycle_capacity: u64,
+}
+
+impl DataflowResult {
+    /// Fraction of MAC firings that were effectual (Fig. 5's PE utilization
+    /// when weights contain zeros).
+    pub fn firing_utilization(&self) -> f64 {
+        if self.fired_macs == 0 {
+            return 0.0;
+        }
+        self.effectual_macs as f64 / self.fired_macs as f64
+    }
+}
+
+/// Internal mapping of one weight row onto MAC columns.
+struct RowMapping {
+    /// Stored values (length `height · lanes`).
+    values: Vec<Bf16>,
+    /// Effective `Bᵀ` column index per stored value.
+    positions: Vec<usize>,
+    /// First MAC column of the row's group.
+    base_col: usize,
+    /// MAC columns occupied.
+    lanes: usize,
+}
+
+#[allow(clippy::needless_range_loop)] // systolic index algebra is clearer with explicit indices
+fn simulate(
+    cfg: &EngineConfig,
+    mappings: &[RowMapping],
+    bt: &Matrix<Bf16>,
+    c_in: &Matrix<f32>,
+) -> DataflowResult {
+    let height = cfg.nrows();
+    let macs_per_pe = cfg.macs_per_pe();
+    let toff = cfg.wl_latency();
+    let tn = INPUT_TILE_COLS;
+
+    // Partial sums per (weight row, lane, output column).
+    let mut psums: Vec<Vec<Vec<f32>>> =
+        mappings.iter().map(|m| vec![vec![0.0f32; tn]; m.lanes]).collect();
+    let mut effectual = 0u64;
+    let mut fired = 0u64;
+
+    // Last cycle any MAC can fire: row height-1, easternmost PE, last column.
+    let max_pe_col = mappings
+        .iter()
+        .map(|m| (m.base_col + m.lanes - 1) / macs_per_pe)
+        .max()
+        .unwrap_or(0);
+    let t_end = toff + (tn - 1) + (height - 1) + max_pe_col;
+
+    for t in toff..=t_end {
+        for (p, m) in mappings.iter().enumerate() {
+            for s in 0..m.lanes {
+                let mc = m.base_col + s;
+                let pe_col = mc / macs_per_pe;
+                for i in 0..height {
+                    // The input wavefront for output column j reaches array
+                    // row i of PE column pe_col at cycle toff + j + i + pe_col.
+                    let Some(j) = t.checked_sub(toff + i + pe_col) else { continue };
+                    if j >= tn {
+                        continue;
+                    }
+                    let k = i * m.lanes + s;
+                    if k >= m.values.len() {
+                        continue;
+                    }
+                    let w = m.values[k];
+                    fired += 1;
+                    if !w.is_zero() {
+                        effectual += 1;
+                    }
+                    psums[p][s][j] = mac_bf16(psums[p][s][j], w, bt[(j, m.positions[k])]);
+                }
+            }
+        }
+    }
+
+    // Bottom reduction: fold each row's lanes (tree order for beta = 2),
+    // adding the north-fed C input on lane 0's stream.
+    let mut c_out = Matrix::zeros(mappings.len(), tn);
+    let mut last_output_cycle = 0;
+    for (p, m) in mappings.iter().enumerate() {
+        let pe_col_last = (m.base_col + m.lanes - 1) / macs_per_pe;
+        let red_latency = log2_ceil(m.lanes) + 1;
+        for j in 0..tn {
+            let mut acc = c_in[(p, j)];
+            for s in 0..m.lanes {
+                acc += psums[p][s][j];
+            }
+            c_out[(p, j)] = acc;
+            let out_t = toff + j + (height - 1) + pe_col_last + red_latency;
+            last_output_cycle = last_output_cycle.max(out_t);
+        }
+    }
+
+    let active_cycles = (t_end - toff + 1) as u64;
+    DataflowResult {
+        c_out,
+        last_output_cycle,
+        effectual_macs: effectual,
+        fired_macs: fired,
+        mac_cycle_capacity: active_cycles * crate::config::TOTAL_MACS as u64,
+    }
+}
+
+/// Simulates one tile-wise instruction (`TILE_GEMM`/`TILE_SPMM_U`/`_V`) on
+/// the engine, cycle by cycle.
+///
+/// # Errors
+///
+/// * [`EngineError::UnsupportedSparsity`] if the engine cannot execute the
+///   operand pattern (a dense engine given 2:4, or the STC-like engine
+///   given 1:4).
+/// * [`EngineError::ShapeMismatch`] if operand shapes are inconsistent with
+///   the pattern.
+pub fn simulate_tile(cfg: &EngineConfig, op: &TileWiseOp<'_>) -> Result<DataflowResult, EngineError> {
+    if !cfg.supports(op.ratio) {
+        return Err(EngineError::UnsupportedSparsity {
+            engine: cfg.name().to_string(),
+            ratio: op.ratio,
+        });
+    }
+    let n = op.ratio.n() as usize;
+    let m = op.ratio.m() as usize;
+    if op.a_values.rows() != 16 || op.a_values.cols() != 32 {
+        return Err(EngineError::ShapeMismatch {
+            reason: format!(
+                "stored A must be 16x32, found {}x{}",
+                op.a_values.rows(),
+                op.a_values.cols()
+            ),
+        });
+    }
+    let eff_cols = 32 / n * m;
+    if op.bt.rows() != 16 || op.bt.cols() != eff_cols {
+        return Err(EngineError::ShapeMismatch {
+            reason: format!(
+                "Bt must be 16x{eff_cols} for {}, found {}x{}",
+                op.ratio,
+                op.bt.rows(),
+                op.bt.cols()
+            ),
+        });
+    }
+    if let Some(meta) = op.a_meta {
+        if meta.len() != 512 {
+            return Err(EngineError::ShapeMismatch {
+                reason: format!("metadata must have 512 entries, found {}", meta.len()),
+            });
+        }
+    } else if !op.ratio.is_dense() {
+        return Err(EngineError::ShapeMismatch {
+            reason: format!("sparse ratio {} requires metadata", op.ratio),
+        });
+    }
+
+    let lanes = 32 / cfg.nrows();
+    let mappings: Vec<RowMapping> = (0..16)
+        .map(|p| {
+            let values = op.a_values.row(p).to_vec();
+            let positions: Vec<usize> = (0..32)
+                .map(|k| match op.a_meta {
+                    Some(meta) => (k / n) * m + meta[p * 32 + k] as usize,
+                    None => k,
+                })
+                .collect();
+            RowMapping { values, positions, base_col: p * lanes, lanes }
+        })
+        .collect();
+    Ok(simulate(cfg, &mappings, op.bt, op.c_in))
+}
+
+/// Simulates one row-wise instruction (`TILE_SPMM_R`, Fig. 11): weight row
+/// `r` with `N_r:4` sparsity occupies `N_r` MAC columns; all 32 MAC columns
+/// are utilized when `Σ N_r = 32`.
+///
+/// # Errors
+///
+/// * [`EngineError::UnsupportedSparsity`] if the engine is dense or a row's
+///   `N` is not a supported pattern.
+/// * [`EngineError::ShapeMismatch`] if the rows overflow the array or the
+///   operand shapes disagree.
+pub fn simulate_row_wise(
+    cfg: &EngineConfig,
+    op: &RowWiseOp<'_>,
+) -> Result<DataflowResult, EngineError> {
+    if cfg.kind() != EngineKind::Sparse {
+        return Err(EngineError::UnsupportedSparsity {
+            engine: cfg.name().to_string(),
+            ratio: NmRatio::S1_4,
+        });
+    }
+    let total_lanes: usize = op.rows.iter().map(|(n, _, _)| *n as usize).sum();
+    let avail = crate::config::TOTAL_MACS / cfg.nrows();
+    if total_lanes > avail {
+        return Err(EngineError::ShapeMismatch {
+            reason: format!("row-wise tile needs {total_lanes} MAC columns, engine has {avail}"),
+        });
+    }
+    if op.bt.rows() != 16 || op.bt.cols() != 64 {
+        return Err(EngineError::ShapeMismatch {
+            reason: format!("Bt must be 16x64, found {}x{}", op.bt.rows(), op.bt.cols()),
+        });
+    }
+    if op.c_in.rows() < op.rows.len() {
+        return Err(EngineError::ShapeMismatch {
+            reason: format!(
+                "C has {} rows for {} weight rows",
+                op.c_in.rows(),
+                op.rows.len()
+            ),
+        });
+    }
+    let m = cfg.m();
+    let mut base_col = 0;
+    let mut mappings = Vec::with_capacity(op.rows.len());
+    for (n, values, positions) in op.rows {
+        let n = *n as usize;
+        if !n.is_power_of_two() || n > m {
+            return Err(EngineError::UnsupportedSparsity {
+                engine: cfg.name().to_string(),
+                ratio: NmRatio::new(n as u8, m as u8)
+                    .unwrap_or(NmRatio::D4_4),
+            });
+        }
+        if values.len() != 16 * n || positions.len() != 16 * n {
+            return Err(EngineError::ShapeMismatch {
+                reason: format!(
+                    "row with {n}:4 must store {} values, found {}",
+                    16 * n,
+                    values.len()
+                ),
+            });
+        }
+        let abs_positions: Vec<usize> = positions
+            .iter()
+            .enumerate()
+            .map(|(k, &pos)| (k / n) * m + pos as usize)
+            .collect();
+        mappings.push(RowMapping {
+            values: values.clone(),
+            positions: abs_positions,
+            base_col,
+            lanes: n,
+        });
+        base_col += n;
+    }
+    Ok(simulate(cfg, &mappings, op.bt, op.c_in))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<Bf16> {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let h = (r as u64).wrapping_mul(37).wrapping_add(c as u64).wrapping_mul(seed | 1);
+            Bf16::from_f32(((h % 13) as f32) - 6.0)
+        })
+    }
+
+    fn reference_c(
+        a_vals: &Matrix<Bf16>,
+        positions: impl Fn(usize, usize) -> usize,
+        bt: &Matrix<Bf16>,
+        c_in: &Matrix<f32>,
+    ) -> Matrix<f32> {
+        Matrix::from_fn(16, 16, |p, j| {
+            let mut acc = c_in[(p, j)];
+            for k in 0..32 {
+                acc += a_vals[(p, k)].to_f32() * bt[(j, positions(p, k))].to_f32();
+            }
+            acc
+        })
+    }
+
+    #[test]
+    fn dense_gemm_matches_reference_on_all_engines() {
+        let a = int_matrix(16, 32, 3);
+        let bt = int_matrix(16, 32, 5);
+        let c_in = Matrix::from_fn(16, 16, |r, c| (r * 16 + c) as f32);
+        let expected = reference_c(&a, |_, k| k, &bt, &c_in);
+        for cfg in EngineConfig::table3() {
+            let op = TileWiseOp {
+                a_values: &a,
+                a_meta: None,
+                ratio: NmRatio::D4_4,
+                bt: &bt,
+                c_in: &c_in,
+            };
+            let res = simulate_tile(&cfg, &op).unwrap();
+            assert_eq!(res.c_out, expected, "{}", cfg.name());
+            assert_eq!(res.last_output_cycle, cfg.last_output_cycle(), "{}", cfg.name());
+        }
+    }
+
+    #[test]
+    fn spmm_u_2_4_runs_full_utilization_on_sparse_engines() {
+        // Exact 2:4: every stored value non-zero -> 100% firing utilization.
+        let a = int_matrix(16, 32, 7).map(|v| {
+            if v.is_zero() { Bf16::ONE } else { *v }
+        });
+        let meta: Vec<u8> = (0..512).map(|k| ((k * 3) % 2 + (k % 2) * 2) as u8).collect();
+        // positions must be strictly increasing inside a block pair:
+        let meta: Vec<u8> = meta.chunks(2).flat_map(|_| [0u8, 2u8]).collect();
+        let bt = int_matrix(16, 64, 11);
+        let c_in = Matrix::zeros(16, 16);
+        let expected = reference_c(&a, |p, k| (k / 2) * 4 + meta[p * 32 + k] as usize, &bt, &c_in);
+        let cfg = EngineConfig::vegeta_s(2).unwrap();
+        let op = TileWiseOp { a_values: &a, a_meta: Some(&meta), ratio: NmRatio::S2_4, bt: &bt, c_in: &c_in };
+        let res = simulate_tile(&cfg, &op).unwrap();
+        assert_eq!(res.c_out, expected);
+        assert_eq!(res.firing_utilization(), 1.0);
+        assert_eq!(res.effectual_macs, 8192);
+    }
+
+    #[test]
+    fn dense_engine_rejects_sparse_tiles() {
+        let a = int_matrix(16, 32, 1);
+        let meta = vec![0u8; 512];
+        let bt = int_matrix(16, 64, 2);
+        let c_in = Matrix::zeros(16, 16);
+        let op = TileWiseOp { a_values: &a, a_meta: Some(&meta), ratio: NmRatio::S2_4, bt: &bt, c_in: &c_in };
+        let err = simulate_tile(&EngineConfig::rasa_dm(), &op).unwrap_err();
+        assert!(matches!(err, EngineError::UnsupportedSparsity { .. }));
+    }
+
+    #[test]
+    fn stc_like_rejects_1_4() {
+        let a = int_matrix(16, 32, 1);
+        let meta = vec![0u8; 512];
+        let bt = int_matrix(16, 128, 2);
+        let c_in = Matrix::zeros(16, 16);
+        let op = TileWiseOp { a_values: &a, a_meta: Some(&meta), ratio: NmRatio::S1_4, bt: &bt, c_in: &c_in };
+        assert!(simulate_tile(&EngineConfig::stc_like(), &op).is_err());
+        assert!(simulate_tile(&EngineConfig::vegeta_s(1).unwrap(), &op).is_ok());
+    }
+
+    #[test]
+    fn figure5_dense_array_half_utilized_on_2_4_weights() {
+        // A 2:4-sparse effective tile mapped in *dense* format on a dense
+        // engine: half the weight slots are zero, so firing utilization is
+        // 50% (Fig. 5 top).
+        let a = Matrix::from_fn(16, 32, |_, k| {
+            if k % 4 < 2 { Bf16::ONE } else { Bf16::ZERO }
+        });
+        let bt = int_matrix(16, 32, 9);
+        let c_in = Matrix::zeros(16, 16);
+        let op = TileWiseOp { a_values: &a, a_meta: None, ratio: NmRatio::D4_4, bt: &bt, c_in: &c_in };
+        let res = simulate_tile(&EngineConfig::rasa_dm(), &op).unwrap();
+        assert!((res.firing_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn row_wise_mixed_rows_match_reference_and_fill_array() {
+        // 4 rows of 4:4 + 4 rows of 2:4 + 8 rows of 1:4 = 32 MAC columns.
+        let bt = int_matrix(16, 64, 13);
+        let mut rows = Vec::new();
+        let mut expected_rows = Vec::new();
+        for r in 0..16usize {
+            let n: usize = match r {
+                0..=3 => 4,
+                4..=7 => 2,
+                _ => 1,
+            };
+            let values: Vec<Bf16> =
+                (0..16 * n).map(|k| Bf16::from_f32(((r * 31 + k) % 9) as f32 - 4.0)).collect();
+            let positions: Vec<u8> = (0..16 * n)
+                .map(|k| {
+                    // strictly increasing within each block of n stored values
+                    let slot = k % n;
+                    (slot * (4 / n)) as u8
+                })
+                .collect();
+            let mut exp = vec![0.0f32; 16];
+            for (j, e) in exp.iter_mut().enumerate() {
+                for k in 0..16 * n {
+                    let pos = (k / n) * 4 + positions[k] as usize;
+                    *e += values[k].to_f32() * bt[(j, pos)].to_f32();
+                }
+            }
+            expected_rows.push(exp);
+            rows.push((n as u8, values, positions));
+        }
+        let c_in = Matrix::zeros(16, 16);
+        let cfg = EngineConfig::vegeta_s(2).unwrap();
+        let res = simulate_row_wise(&cfg, &RowWiseOp { rows: &rows, bt: &bt, c_in: &c_in }).unwrap();
+        for r in 0..16 {
+            for j in 0..16 {
+                assert_eq!(res.c_out[(r, j)], expected_rows[r][j], "({r},{j})");
+            }
+        }
+        // All 32 MAC columns busy: effectual = 512 values x 16 cols.
+        assert_eq!(res.fired_macs, 8192);
+    }
+
+    #[test]
+    fn row_wise_rejects_overflow_and_dense_engines() {
+        let bt = int_matrix(16, 64, 1);
+        let c_in = Matrix::zeros(40, 16);
+        let rows: Vec<(u8, Vec<Bf16>, Vec<u8>)> = (0..33)
+            .map(|_| (1u8, vec![Bf16::ONE; 16], vec![0u8; 16]))
+            .collect();
+        let cfg = EngineConfig::vegeta_s(2).unwrap();
+        assert!(simulate_row_wise(&cfg, &RowWiseOp { rows: &rows, bt: &bt, c_in: &c_in }).is_err());
+        let ok_rows = &rows[..32];
+        assert!(simulate_row_wise(&cfg, &RowWiseOp { rows: ok_rows, bt: &bt, c_in: &c_in }).is_ok());
+        assert!(simulate_row_wise(
+            &EngineConfig::rasa_dm(),
+            &RowWiseOp { rows: ok_rows, bt: &bt, c_in: &c_in }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn last_output_matches_latency_model_for_sparse_ops() {
+        let a = int_matrix(16, 32, 17);
+        let meta: Vec<u8> = (0..512).map(|_| 1u8).collect();
+        let bt = int_matrix(16, 64, 19);
+        let c_in = Matrix::zeros(16, 16);
+        for alpha in [1usize, 2, 4, 8, 16] {
+            let cfg = EngineConfig::vegeta_s(alpha).unwrap();
+            let op = TileWiseOp {
+                a_values: &a,
+                a_meta: Some(&meta),
+                ratio: NmRatio::S2_4,
+                bt: &bt,
+                c_in: &c_in,
+            };
+            let res = simulate_tile(&cfg, &op).unwrap();
+            assert_eq!(res.last_output_cycle, cfg.last_output_cycle(), "{}", cfg.name());
+        }
+    }
+}

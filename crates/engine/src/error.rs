@@ -1,0 +1,53 @@
+//! Error type for engine-level operations.
+
+use std::error::Error;
+use std::fmt;
+
+use vegeta_sparse::NmRatio;
+
+/// Errors produced by the engine simulators and models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The engine's control logic cannot execute an operand with this
+    /// sparsity pattern (dense engines reject all SPMM; the STC-like design
+    /// rejects 1:4).
+    UnsupportedSparsity {
+        /// Engine design-point name.
+        engine: String,
+        /// The rejected pattern.
+        ratio: NmRatio,
+    },
+    /// Operand shapes are inconsistent with the instruction or the array.
+    ShapeMismatch {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnsupportedSparsity { engine, ratio } => {
+                write!(f, "{engine} does not support {ratio} sparsity")
+            }
+            EngineError::ShapeMismatch { reason } => write!(f, "shape mismatch: {reason}"),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EngineError::UnsupportedSparsity {
+            engine: "RASA-DM".to_string(),
+            ratio: NmRatio::S2_4,
+        };
+        assert_eq!(e.to_string(), "RASA-DM does not support 2:4 sparsity");
+    }
+}

@@ -1,0 +1,50 @@
+//! The VEGETA matrix engine microarchitecture (§V).
+//!
+//! This crate models the paper's systolic-array matrix engine at three
+//! levels, all driven by the same [`EngineConfig`] design points of
+//! Table III:
+//!
+//! * [`dataflow`] — a cycle-accurate simulation of the PE array executing a
+//!   single tile instruction (Figs. 8, 9 and 11): skewed input streaming,
+//!   metadata-driven input selection in SPEs, spatio-temporal reduction and
+//!   the bottom adder trees. It produces both the functional result and
+//!   per-cycle utilization counters.
+//! * [`pipeline`] — the WL/FF/FS/DR stage-level timing model (Fig. 10) with
+//!   structural-hazard scheduling and output forwarding, used by the CPU
+//!   simulator to cost every tile instruction.
+//! * [`cost`] — the component-level area/power/frequency model standing in
+//!   for the paper's RTL synthesis flow (Fig. 14).
+//!
+//! [`rowwise`] adds the §V-E bookkeeping that packs row-wise `N:M` matrices
+//! into `TILE_SPMM_R` instructions.
+//!
+//! # Example
+//!
+//! ```
+//! use vegeta_engine::{EngineConfig, EngineTimer};
+//!
+//! // Compare RASA-DM with VEGETA-S-16-2 on a chain of dependent tile ops.
+//! for cfg in [EngineConfig::rasa_dm(), EngineConfig::vegeta_s(16).unwrap()] {
+//!     let mut timer = EngineTimer::new(cfg.clone().with_output_forwarding(true));
+//!     let mut completion = 0;
+//!     for _ in 0..8 {
+//!         completion = timer.issue(0, 0).completion;
+//!     }
+//!     assert!(completion > 0);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cost;
+pub mod dataflow;
+mod error;
+pub mod pipeline;
+pub mod rowwise;
+
+pub use config::{EngineConfig, EngineKind, INPUT_TILE_COLS, MACS_PER_OUTPUT, TOTAL_MACS};
+pub use cost::{CostModel, CostReport};
+pub use dataflow::{simulate_row_wise, simulate_tile, DataflowResult, RowWiseOp, TileWiseOp};
+pub use error::EngineError;
+pub use pipeline::{schedule_sequence, AccId, EngineTimer, InstTiming, TileOp};

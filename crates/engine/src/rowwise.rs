@@ -1,0 +1,157 @@
+//! Packing row-wise `N:M` matrices into `TILE_SPMM_R` instructions (§V-E).
+//!
+//! One `TILE_SPMM_R` processes up to 32 MAC columns' worth of weight rows:
+//! a row with `N_r:4` sparsity occupies `N_r` MAC columns, so a single
+//! instruction covers `R` rows with `Σ N_r ≤ 32` (and `R ≤ 32`, the height
+//! of the `C` ureg). Denser mixes pack fewer rows (`R = 8` when all rows are
+//! 4:4), sparser mixes pack more (`R = 32` at 1:4) — the paper's
+//! "`H_A` can vary from 8 to 32".
+
+use vegeta_sparse::NmRatio;
+
+/// MAC columns available to one `TILE_SPMM_R` (512 MACs / 16 rows).
+pub const LANES_PER_TILE: usize = 32;
+
+/// Maximum weight rows per `TILE_SPMM_R` (C ureg height).
+pub const MAX_ROWS_PER_TILE: usize = 32;
+
+/// Rows assigned to one `TILE_SPMM_R` instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileAssignment {
+    /// Indices of the weight rows covered (into the caller's row list).
+    pub rows: Vec<usize>,
+    /// MAC columns used (`Σ N_r`); 32 means full utilization.
+    pub lanes_used: usize,
+}
+
+impl TileAssignment {
+    /// Fraction of the array's MAC columns this instruction keeps busy.
+    pub fn utilization(&self) -> f64 {
+        self.lanes_used as f64 / LANES_PER_TILE as f64
+    }
+}
+
+/// Greedily packs rows (in order) into `TILE_SPMM_R` instructions.
+///
+/// Rows are taken first-fit in their stored order — the order produced by
+/// the DMA reordering of §V-E when the caller wants optimal packing, or the
+/// original order for pseudo row-wise execution.
+pub fn pack_rows(row_ratios: &[NmRatio]) -> Vec<TileAssignment> {
+    let mut tiles = Vec::new();
+    let mut current = TileAssignment { rows: Vec::new(), lanes_used: 0 };
+    for (idx, ratio) in row_ratios.iter().enumerate() {
+        let lanes = ratio.n() as usize;
+        let overflow = current.lanes_used + lanes > LANES_PER_TILE
+            || current.rows.len() >= MAX_ROWS_PER_TILE;
+        if overflow && !current.rows.is_empty() {
+            tiles.push(std::mem::replace(
+                &mut current,
+                TileAssignment { rows: Vec::new(), lanes_used: 0 },
+            ));
+        }
+        current.rows.push(idx);
+        current.lanes_used += lanes;
+    }
+    if !current.rows.is_empty() {
+        tiles.push(current);
+    }
+    tiles
+}
+
+/// Summary statistics of a row-wise packing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PackingStats {
+    /// Number of `TILE_SPMM_R` instructions.
+    pub instructions: usize,
+    /// Mean MAC-column utilization across instructions.
+    pub mean_utilization: f64,
+    /// Total weight rows covered.
+    pub rows: usize,
+}
+
+/// Computes summary statistics for a packing.
+pub fn packing_stats(tiles: &[TileAssignment]) -> PackingStats {
+    let instructions = tiles.len();
+    let rows = tiles.iter().map(|t| t.rows.len()).sum();
+    let mean_utilization = if instructions == 0 {
+        0.0
+    } else {
+        tiles.iter().map(TileAssignment::utilization).sum::<f64>() / instructions as f64
+    };
+    PackingStats { instructions, mean_utilization, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_dense_rows_pack_eight_per_tile() {
+        let rows = vec![NmRatio::D4_4; 24];
+        let tiles = pack_rows(&rows);
+        assert_eq!(tiles.len(), 3);
+        assert!(tiles.iter().all(|t| t.rows.len() == 8 && t.lanes_used == 32));
+    }
+
+    #[test]
+    fn all_1_4_rows_pack_thirty_two_per_tile() {
+        let rows = vec![NmRatio::S1_4; 64];
+        let tiles = pack_rows(&rows);
+        assert_eq!(tiles.len(), 2);
+        assert!(tiles.iter().all(|t| t.rows.len() == 32 && t.lanes_used == 32));
+    }
+
+    #[test]
+    fn mixed_rows_respect_lane_budget() {
+        // 4x4:4 (16 lanes) + 4x2:4 (8) + 8x1:4 (8) = 32 lanes in one tile.
+        let mut rows = vec![NmRatio::D4_4; 4];
+        rows.extend(vec![NmRatio::S2_4; 4]);
+        rows.extend(vec![NmRatio::S1_4; 8]);
+        let tiles = pack_rows(&rows);
+        assert_eq!(tiles.len(), 1);
+        assert_eq!(tiles[0].lanes_used, 32);
+        assert_eq!(tiles[0].rows.len(), 16);
+        assert_eq!(tiles[0].utilization(), 1.0);
+    }
+
+    #[test]
+    fn overflow_starts_a_new_tile() {
+        // 7 dense rows (28 lanes) then a 2:4 row fits (30); another dense
+        // row would need 34 -> next tile.
+        let mut rows = vec![NmRatio::D4_4; 7];
+        rows.push(NmRatio::S2_4);
+        rows.push(NmRatio::D4_4);
+        let tiles = pack_rows(&rows);
+        assert_eq!(tiles.len(), 2);
+        assert_eq!(tiles[0].lanes_used, 30);
+        assert_eq!(tiles[1].lanes_used, 4);
+    }
+
+    #[test]
+    fn row_cap_limits_tiles_even_with_spare_lanes() {
+        // 40 rows at 1:4: first tile takes 32 rows (32 lanes), second 8.
+        let rows = vec![NmRatio::S1_4; 40];
+        let tiles = pack_rows(&rows);
+        assert_eq!(tiles.len(), 2);
+        assert_eq!(tiles[0].rows.len(), 32);
+        assert_eq!(tiles[1].rows.len(), 8);
+    }
+
+    #[test]
+    fn stats_summarize_packing() {
+        let rows = vec![NmRatio::S1_4; 48];
+        let tiles = pack_rows(&rows);
+        let stats = packing_stats(&tiles);
+        assert_eq!(stats.instructions, 2);
+        assert_eq!(stats.rows, 48);
+        assert!((stats.mean_utilization - 0.75).abs() < 1e-12); // 32/32 and 16/32
+    }
+
+    #[test]
+    fn empty_input_gives_empty_packing() {
+        assert!(pack_rows(&[]).is_empty());
+        let stats = packing_stats(&[]);
+        assert_eq!(stats.instructions, 0);
+        assert_eq!(stats.mean_utilization, 0.0);
+    }
+}

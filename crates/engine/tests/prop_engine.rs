@@ -1,0 +1,133 @@
+//! Property-based tests for the engine models.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vegeta_engine::{
+    dataflow, schedule_sequence, EngineConfig, EngineTimer, TileOp, TOTAL_MACS,
+};
+use vegeta_num::{Bf16, Matrix};
+use vegeta_sparse::{prune, CompressedTile, NmRatio};
+
+fn arb_config() -> impl Strategy<Value = EngineConfig> {
+    prop_oneof![
+        Just(EngineConfig::rasa_sm()),
+        Just(EngineConfig::rasa_dm()),
+        Just(EngineConfig::tmul_like()),
+        (0usize..5).prop_map(|i| EngineConfig::vegeta_s([1, 2, 4, 8, 16][i]).unwrap()),
+    ]
+}
+
+proptest! {
+    /// Every config conserves the 512-MAC budget and its derived latencies
+    /// are internally consistent.
+    #[test]
+    fn config_invariants(cfg in arb_config(), of in any::<bool>()) {
+        let cfg = cfg.with_output_forwarding(of);
+        prop_assert_eq!(cfg.nrows() * cfg.ncols() * cfg.macs_per_pe(), TOTAL_MACS);
+        prop_assert!(cfg.issue_interval() <= cfg.instruction_latency());
+        prop_assert!(cfg.first_writeback() < cfg.instruction_latency());
+        prop_assert!(cfg.drain_latency() >= 1);
+    }
+
+    /// Scheduling is monotone: appending an instruction never reduces the
+    /// makespan, and starts are strictly increasing.
+    #[test]
+    fn schedule_monotone(cfg in arb_config(), accs in proptest::collection::vec(0u8..4, 1..24)) {
+        let ops: Vec<TileOp> = accs.iter().map(|&a| TileOp { acc: a }).collect();
+        let (timings, total) = schedule_sequence(&cfg, &ops);
+        for w in timings.windows(2) {
+            prop_assert!(w[1].start > w[0].start, "in-order issue with a positive interval");
+            prop_assert!(w[1].start - w[0].start >= cfg.issue_interval() as u64);
+        }
+        let (_, shorter) = schedule_sequence(&cfg, &ops[..ops.len() - 1]);
+        prop_assert!(shorter <= total);
+    }
+
+    /// Output forwarding never makes any schedule slower.
+    #[test]
+    fn of_never_hurts(cfg in arb_config(), accs in proptest::collection::vec(0u8..3, 1..24)) {
+        let ops: Vec<TileOp> = accs.iter().map(|&a| TileOp { acc: a }).collect();
+        let (_, without) = schedule_sequence(&cfg.clone().with_output_forwarding(false), &ops);
+        let (_, with) = schedule_sequence(&cfg.with_output_forwarding(true), &ops);
+        prop_assert!(with <= without, "OF {with} vs no-OF {without}");
+    }
+
+    /// The engine timer respects ready times and never goes backwards.
+    #[test]
+    fn timer_respects_ready(readies in proptest::collection::vec(0u64..1000, 1..20)) {
+        let mut timer = EngineTimer::new(EngineConfig::vegeta_s(4).unwrap());
+        let mut last_start = 0;
+        for (i, &r) in readies.iter().enumerate() {
+            let t = timer.issue((i % 3) as u8, r);
+            prop_assert!(t.start >= r);
+            prop_assert!(i == 0 || t.start > last_start);
+            prop_assert!(t.completion > t.start);
+            last_start = t.start;
+        }
+    }
+
+    /// Dataflow simulation matches a direct computation for random sparse
+    /// tiles on random sparse engines, at every supported pattern.
+    #[test]
+    fn dataflow_matches_direct(seed in any::<u64>(), alpha_idx in 0usize..5, ratio_idx in 0usize..3) {
+        let cfg = EngineConfig::vegeta_s([1, 2, 4, 8, 16][alpha_idx]).unwrap();
+        let ratio = [NmRatio::S1_4, NmRatio::S2_4, NmRatio::D4_4][ratio_idx];
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let eff_cols = 32 / ratio.n() as usize * 4;
+        // Integer-valued data keeps FP32 sums exact under any lane order.
+        let eff = Matrix::from_fn(16, eff_cols, |r, c| {
+            let keep = prune::random_nm(1, 4, ratio, &mut rng)[(0, c % 4)];
+            if keep.is_zero() { Bf16::ZERO } else { Bf16::from_f32(((r + c) % 9) as f32 - 4.0) }
+        });
+        let eff = prune::magnitude_prune_nm(&eff, ratio);
+        let tile = CompressedTile::compress(&eff, ratio).unwrap();
+        let meta: Vec<u8> = {
+            let mut m = tile.indices().to_vec();
+            m.resize(512, 0);
+            m
+        };
+        let values = Matrix::from_fn(16, 32, |r, c| {
+            if c < tile.values().cols() { tile.values()[(r, c)] } else { Bf16::ZERO }
+        });
+        let bt = Matrix::from_fn(16, eff_cols, |r, c| Bf16::from_f32(((r * 5 + c) % 7) as f32 - 3.0));
+        let c_in = Matrix::from_fn(16, 16, |r, c| (r + c) as f32);
+        let op = dataflow::TileWiseOp {
+            a_values: &values,
+            a_meta: if ratio.is_dense() { None } else { Some(&meta) },
+            ratio,
+            bt: &bt,
+            c_in: &c_in,
+        };
+        let res = dataflow::simulate_tile(&cfg, &op).unwrap();
+        for p in 0..16 {
+            for j in 0..16 {
+                let mut acc = c_in[(p, j)];
+                for k in 0..eff_cols {
+                    acc += eff[(p, k)].to_f32() * bt[(j, k)].to_f32();
+                }
+                prop_assert_eq!(res.c_out[(p, j)], acc, "({}, {})", p, j);
+            }
+        }
+    }
+
+    /// Row-wise packing conserves rows and never overfills a tile.
+    #[test]
+    fn packing_conserves_rows(ns in proptest::collection::vec(0usize..3, 1..200)) {
+        let ratios: Vec<NmRatio> =
+            ns.iter().map(|&i| [NmRatio::S1_4, NmRatio::S2_4, NmRatio::D4_4][i]).collect();
+        let tiles = vegeta_engine::rowwise::pack_rows(&ratios);
+        let covered: usize = tiles.iter().map(|t| t.rows.len()).sum();
+        prop_assert_eq!(covered, ratios.len());
+        for t in &tiles {
+            prop_assert!(t.lanes_used <= vegeta_engine::rowwise::LANES_PER_TILE);
+            prop_assert!(t.rows.len() <= vegeta_engine::rowwise::MAX_ROWS_PER_TILE);
+        }
+        // Rows appear exactly once, in order.
+        let mut seen = Vec::new();
+        for t in &tiles {
+            seen.extend_from_slice(&t.rows);
+        }
+        prop_assert_eq!(seen, (0..ratios.len()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,148 @@
+//! `vegeta_asm` — assemble and run VEGETA programs from the command line.
+//!
+//! Usage:
+//!
+//! ```text
+//! vegeta_asm <program.s> [--mem-kb N] [--dump-treg R] [--dump-f32 R] [--trace]
+//! ```
+//!
+//! The program file uses the assembly syntax of `vegeta_isa::assemble` (one
+//! instruction per line, `#` comments). Memory starts zeroed; programs
+//! typically begin by storing constants via `tile_zero` + arithmetic or by
+//! being paired with a host that pre-writes memory. On exit the tool prints
+//! the executor statistics and any requested register dumps.
+//!
+//! Example:
+//!
+//! ```text
+//! $ cat spmm.s
+//! tile_load_u u3, [0x2000]
+//! tile_load_t t4, [0x1000]
+//! tile_load_m m4, [0x1400]
+//! tile_zero t0
+//! tile_spmm_u t0, t4, u3
+//! tile_store_t [0x3000], t0
+//! $ vegeta_asm spmm.s --dump-f32 0
+//! ```
+
+use std::process::ExitCode;
+
+use vegeta_isa::{assemble, Executor, Memory, TReg};
+
+struct Options {
+    program: String,
+    mem_kb: usize,
+    dump_treg: Option<u8>,
+    dump_f32: Option<u8>,
+    trace: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        program: String::new(),
+        mem_kb: 256,
+        dump_treg: None,
+        dump_f32: None,
+        trace: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--mem-kb" => {
+                opts.mem_kb = args
+                    .next()
+                    .ok_or("--mem-kb needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --mem-kb: {e}"))?;
+            }
+            "--dump-treg" => {
+                opts.dump_treg = Some(
+                    args.next()
+                        .ok_or("--dump-treg needs a register number")?
+                        .parse()
+                        .map_err(|e| format!("bad --dump-treg: {e}"))?,
+                );
+            }
+            "--dump-f32" => {
+                opts.dump_f32 = Some(
+                    args.next()
+                        .ok_or("--dump-f32 needs a register number")?
+                        .parse()
+                        .map_err(|e| format!("bad --dump-f32: {e}"))?,
+                );
+            }
+            "--trace" => opts.trace = true,
+            "--help" | "-h" => {
+                return Err("usage: vegeta_asm <program.s> [--mem-kb N] \
+                            [--dump-treg R] [--dump-f32 R] [--trace]"
+                    .to_string())
+            }
+            other if opts.program.is_empty() && !other.starts_with('-') => {
+                opts.program = other.to_string();
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if opts.program.is_empty() {
+        return Err("no program file given; try --help".to_string());
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let text = std::fs::read_to_string(&opts.program)
+        .map_err(|e| format!("cannot read {}: {e}", opts.program))?;
+    let insts = assemble(&text).map_err(|e| e.to_string())?;
+    let mut exec = Executor::new(Memory::new(opts.mem_kb * 1024));
+    for (i, &inst) in insts.iter().enumerate() {
+        if opts.trace {
+            println!("[{i:>4}] {inst}");
+        }
+        exec.execute(inst).map_err(|e| format!("at instruction {i} ({inst}): {e}"))?;
+    }
+    let stats = exec.stats();
+    println!(
+        "executed {} instructions ({} tile-compute), {} B loaded, {} B stored, {} effectual MACs",
+        stats.instructions,
+        stats.tile_compute,
+        stats.bytes_loaded,
+        stats.bytes_stored,
+        stats.effectual_macs
+    );
+    if let Some(r) = opts.dump_treg {
+        let t = TReg::new(r).map_err(|e| e.to_string())?;
+        let m = exec.regs().treg_as_bf16(t);
+        println!("treg {r} (16x32 BF16):");
+        for row in 0..16 {
+            let vals: Vec<String> =
+                (0..32).map(|c| format!("{:>7.2}", m[(row, c)].to_f32())).collect();
+            println!("  {}", vals.join(" "));
+        }
+    }
+    if let Some(r) = opts.dump_f32 {
+        let t = TReg::new(r).map_err(|e| e.to_string())?;
+        let m = exec.regs().treg_as_f32(t);
+        println!("treg {r} (16x16 FP32):");
+        for row in 0..16 {
+            let vals: Vec<String> = (0..16).map(|c| format!("{:>9.3}", m[(row, c)])).collect();
+            println!("  {}", vals.join(" "));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(opts) => match run(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("vegeta_asm: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Binary encoding and text assembly for VEGETA instructions.
+//!
+//! The binary format is a compact variable-length encoding:
+//!
+//! * memory instructions: `[opcode][reg][addr: 8 bytes LE]` (10 bytes);
+//! * `tile_zero`: `[opcode][reg]` (2 bytes);
+//! * compute instructions: `[opcode][acc][a][b]` (4 bytes).
+//!
+//! The text format matches [`Inst`]'s `Display` output, e.g.
+//! `tile_spmm_u t2, t3, u0` or `tile_load_t t3, [0x1000]`.
+
+use crate::inst::{Inst, Opcode};
+use crate::regs::{MReg, TReg, UReg, VReg};
+use crate::IsaError;
+
+/// Encodes one instruction into bytes.
+pub fn encode(inst: Inst) -> Vec<u8> {
+    let op = inst.opcode() as u8;
+    match inst {
+        Inst::TileLoadT { dst, addr } => encode_mem(op, dst.index() as u8, addr),
+        Inst::TileLoadU { dst, addr } => encode_mem(op, dst.index() as u8, addr),
+        Inst::TileLoadV { dst, addr } => encode_mem(op, dst.index() as u8, addr),
+        Inst::TileLoadM { dst, addr } => encode_mem(op, dst.index() as u8, addr),
+        Inst::TileLoadRp { dst, addr } => encode_mem(op, dst.index() as u8, addr),
+        Inst::TileStoreT { addr, src } => encode_mem(op, src.index() as u8, addr),
+        Inst::TileZero { dst } => vec![op, dst.index() as u8],
+        Inst::TileGemm { acc, a, b } => {
+            vec![op, acc.index() as u8, a.index() as u8, b.index() as u8]
+        }
+        Inst::TileSpmmU { acc, a, b } => {
+            vec![op, acc.index() as u8, a.index() as u8, b.index() as u8]
+        }
+        Inst::TileSpmmV { acc, a, b } => {
+            vec![op, acc.index() as u8, a.index() as u8, b.index() as u8]
+        }
+        Inst::TileSpmmR { acc, a, b } => {
+            vec![op, acc.index() as u8, a.index() as u8, b.index() as u8]
+        }
+    }
+}
+
+fn encode_mem(op: u8, reg: u8, addr: u64) -> Vec<u8> {
+    let mut out = vec![op, reg];
+    out.extend_from_slice(&addr.to_le_bytes());
+    out
+}
+
+/// Decodes one instruction from the front of `bytes`, returning it and the
+/// number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns [`IsaError::DecodeError`] for truncated or unknown encodings and
+/// [`IsaError::InvalidRegister`] for out-of-range register numbers.
+pub fn decode(bytes: &[u8]) -> Result<(Inst, usize), IsaError> {
+    let op = *bytes.first().ok_or_else(|| IsaError::DecodeError {
+        reason: "empty input".to_string(),
+    })?;
+    let opcode = Opcode::from_byte(op)
+        .ok_or_else(|| IsaError::DecodeError { reason: format!("unknown opcode {op:#x}") })?;
+    let reg = |i: usize| -> Result<u8, IsaError> {
+        bytes.get(i).copied().ok_or_else(|| IsaError::DecodeError {
+            reason: format!("truncated {}", opcode.mnemonic()),
+        })
+    };
+    let addr = |i: usize| -> Result<u64, IsaError> {
+        let slice = bytes.get(i..i + 8).ok_or_else(|| IsaError::DecodeError {
+            reason: format!("truncated address in {}", opcode.mnemonic()),
+        })?;
+        Ok(u64::from_le_bytes(slice.try_into().expect("slice is 8 bytes")))
+    };
+    let inst = match opcode {
+        Opcode::TileLoadT => Inst::TileLoadT { dst: TReg::new(reg(1)?)?, addr: addr(2)? },
+        Opcode::TileLoadU => Inst::TileLoadU { dst: UReg::new(reg(1)?)?, addr: addr(2)? },
+        Opcode::TileLoadV => Inst::TileLoadV { dst: VReg::new(reg(1)?)?, addr: addr(2)? },
+        Opcode::TileLoadM => Inst::TileLoadM { dst: MReg::new(reg(1)?)?, addr: addr(2)? },
+        Opcode::TileLoadRp => Inst::TileLoadRp { dst: MReg::new(reg(1)?)?, addr: addr(2)? },
+        Opcode::TileStoreT => Inst::TileStoreT { src: TReg::new(reg(1)?)?, addr: addr(2)? },
+        Opcode::TileZero => Inst::TileZero { dst: TReg::new(reg(1)?)? },
+        Opcode::TileGemm => Inst::TileGemm {
+            acc: TReg::new(reg(1)?)?,
+            a: TReg::new(reg(2)?)?,
+            b: TReg::new(reg(3)?)?,
+        },
+        Opcode::TileSpmmU => Inst::TileSpmmU {
+            acc: TReg::new(reg(1)?)?,
+            a: TReg::new(reg(2)?)?,
+            b: UReg::new(reg(3)?)?,
+        },
+        Opcode::TileSpmmV => Inst::TileSpmmV {
+            acc: TReg::new(reg(1)?)?,
+            a: TReg::new(reg(2)?)?,
+            b: VReg::new(reg(3)?)?,
+        },
+        Opcode::TileSpmmR => Inst::TileSpmmR {
+            acc: UReg::new(reg(1)?)?,
+            a: TReg::new(reg(2)?)?,
+            b: UReg::new(reg(3)?)?,
+        },
+    };
+    let len = match opcode {
+        Opcode::TileZero => 2,
+        Opcode::TileGemm | Opcode::TileSpmmU | Opcode::TileSpmmV | Opcode::TileSpmmR => 4,
+        _ => 10,
+    };
+    Ok((inst, len))
+}
+
+/// Formats an instruction in assembly syntax (`Display` does the same).
+pub fn disassemble(inst: Inst) -> String {
+    inst.to_string()
+}
+
+/// Parses a program: one instruction per line, `#` comments, blank lines
+/// ignored.
+///
+/// # Errors
+///
+/// Returns [`IsaError::ParseError`] describing the first malformed line.
+pub fn assemble(text: &str) -> Result<Vec<Inst>, IsaError> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(parse_line(line).map_err(|e| IsaError::ParseError {
+            reason: format!("line {}: {e}", lineno + 1),
+        })?);
+    }
+    Ok(out)
+}
+
+fn parse_line(line: &str) -> Result<Inst, String> {
+    let (mnemonic, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+    let args: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let want = |n: usize| -> Result<(), String> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(format!("{mnemonic} expects {n} operands, found {}", args.len()))
+        }
+    };
+    let inst = match mnemonic {
+        "tile_load_t" => {
+            want(2)?;
+            Inst::TileLoadT { dst: parse_treg(args[0])?, addr: parse_addr(args[1])? }
+        }
+        "tile_load_u" => {
+            want(2)?;
+            Inst::TileLoadU { dst: parse_ureg(args[0])?, addr: parse_addr(args[1])? }
+        }
+        "tile_load_v" => {
+            want(2)?;
+            Inst::TileLoadV { dst: parse_vreg(args[0])?, addr: parse_addr(args[1])? }
+        }
+        "tile_load_m" => {
+            want(2)?;
+            Inst::TileLoadM { dst: parse_mreg(args[0])?, addr: parse_addr(args[1])? }
+        }
+        "tile_load_rp" => {
+            want(2)?;
+            Inst::TileLoadRp { dst: parse_mreg(args[0])?, addr: parse_addr(args[1])? }
+        }
+        "tile_store_t" => {
+            want(2)?;
+            Inst::TileStoreT { addr: parse_addr(args[0])?, src: parse_treg(args[1])? }
+        }
+        "tile_zero" => {
+            want(1)?;
+            Inst::TileZero { dst: parse_treg(args[0])? }
+        }
+        "tile_gemm" => {
+            want(3)?;
+            Inst::TileGemm {
+                acc: parse_treg(args[0])?,
+                a: parse_treg(args[1])?,
+                b: parse_treg(args[2])?,
+            }
+        }
+        "tile_spmm_u" => {
+            want(3)?;
+            Inst::TileSpmmU {
+                acc: parse_treg(args[0])?,
+                a: parse_treg(args[1])?,
+                b: parse_ureg(args[2])?,
+            }
+        }
+        "tile_spmm_v" => {
+            want(3)?;
+            Inst::TileSpmmV {
+                acc: parse_treg(args[0])?,
+                a: parse_treg(args[1])?,
+                b: parse_vreg(args[2])?,
+            }
+        }
+        "tile_spmm_r" => {
+            want(3)?;
+            Inst::TileSpmmR {
+                acc: parse_ureg(args[0])?,
+                a: parse_treg(args[1])?,
+                b: parse_ureg(args[2])?,
+            }
+        }
+        other => return Err(format!("unknown mnemonic '{other}'")),
+    };
+    Ok(inst)
+}
+
+fn parse_index(tok: &str, prefix: &str) -> Result<u8, String> {
+    tok.strip_prefix(prefix)
+        .and_then(|n| n.parse::<u8>().ok())
+        .ok_or_else(|| format!("expected {prefix}-register, found '{tok}'"))
+}
+
+fn parse_treg(tok: &str) -> Result<TReg, String> {
+    TReg::new(parse_index(tok, "t")?).map_err(|e| e.to_string())
+}
+
+fn parse_ureg(tok: &str) -> Result<UReg, String> {
+    UReg::new(parse_index(tok, "u")?).map_err(|e| e.to_string())
+}
+
+fn parse_vreg(tok: &str) -> Result<VReg, String> {
+    VReg::new(parse_index(tok, "v")?).map_err(|e| e.to_string())
+}
+
+fn parse_mreg(tok: &str) -> Result<MReg, String> {
+    MReg::new(parse_index(tok, "m")?).map_err(|e| e.to_string())
+}
+
+fn parse_addr(tok: &str) -> Result<u64, String> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| format!("expected [address], found '{tok}'"))?;
+    let parsed = if let Some(hex) = inner.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        inner.parse::<u64>()
+    };
+    parsed.map_err(|_| format!("bad address '{inner}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_insts() -> Vec<Inst> {
+        vec![
+            Inst::TileLoadT { dst: TReg::T3, addr: 0x1000 },
+            Inst::TileLoadU { dst: UReg::U1, addr: 0xdead_beef },
+            Inst::TileLoadV { dst: VReg::V0, addr: 64 },
+            Inst::TileLoadM { dst: MReg::M3, addr: 0 },
+            Inst::TileLoadRp { dst: MReg::M5, addr: 8 },
+            Inst::TileStoreT { addr: 0x40, src: TReg::T1 },
+            Inst::TileZero { dst: TReg::T7 },
+            Inst::TileGemm { acc: TReg::T2, a: TReg::T3, b: TReg::T4 },
+            Inst::TileSpmmU { acc: TReg::T2, a: TReg::T3, b: UReg::U0 },
+            Inst::TileSpmmV { acc: TReg::T2, a: TReg::T3, b: VReg::V1 },
+            Inst::TileSpmmR { acc: UReg::U3, a: TReg::T1, b: UReg::U0 },
+        ]
+    }
+
+    #[test]
+    fn binary_roundtrip_all_instructions() {
+        for inst in all_insts() {
+            let bytes = encode(inst);
+            let (decoded, len) = decode(&bytes).unwrap();
+            assert_eq!(decoded, inst);
+            assert_eq!(len, bytes.len());
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_all_instructions() {
+        for inst in all_insts() {
+            let text = disassemble(inst);
+            let parsed = assemble(&text).unwrap();
+            assert_eq!(parsed, vec![inst], "failed to roundtrip '{text}'");
+        }
+    }
+
+    #[test]
+    fn assemble_listing1_inner_loop() {
+        // Listing 1's loop body, as our assembler accepts it.
+        let program = "
+            # C[i][j] += A[i][k] * B[k][j]
+            tile_load_u u0, [0x2000]
+            tile_load_t t2, [0x3000]
+            tile_load_t t3, [0x1000]
+            tile_load_m m3, [0x1400]
+            tile_spmm_u t2, t3, u0
+            tile_store_t [0x3000], t2
+        ";
+        let insts = assemble(program).unwrap();
+        assert_eq!(insts.len(), 6);
+        assert_eq!(insts[4], Inst::TileSpmmU { acc: TReg::T2, a: TReg::T3, b: UReg::U0 });
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[0xFF]).is_err());
+        assert!(decode(&[Opcode::TileGemm as u8, 0, 1]).is_err()); // truncated
+        assert!(decode(&[Opcode::TileGemm as u8, 9, 1, 2]).is_err()); // bad reg
+    }
+
+    #[test]
+    fn assemble_reports_line_numbers() {
+        let err = assemble("tile_zero t0\nbogus_op t1").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "got: {err}");
+    }
+
+    #[test]
+    fn parse_rejects_wrong_operand_kinds() {
+        assert!(assemble("tile_spmm_u t2, t3, t0").is_err()); // b must be ureg
+        assert!(assemble("tile_load_t t2, 0x40").is_err()); // missing brackets
+        assert!(assemble("tile_gemm t2, t3").is_err()); // arity
+    }
+
+    #[test]
+    fn decode_stream_of_instructions() {
+        let mut bytes = Vec::new();
+        for inst in all_insts() {
+            bytes.extend(encode(inst));
+        }
+        let mut offset = 0;
+        let mut decoded = Vec::new();
+        while offset < bytes.len() {
+            let (inst, len) = decode(&bytes[offset..]).unwrap();
+            decoded.push(inst);
+            offset += len;
+        }
+        assert_eq!(decoded, all_insts());
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for ISA-level operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the VEGETA ISA layer (registers, memory, decoding,
+/// functional execution).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// A register index is out of range for its kind.
+    InvalidRegister {
+        /// Register kind prefix (`"t"`, `"u"`, `"v"`, `"m"`).
+        kind: &'static str,
+        /// Requested index.
+        index: u8,
+        /// Number of registers of this kind.
+        limit: u8,
+    },
+    /// A memory access fell outside the allocated address space.
+    MemoryOutOfBounds {
+        /// Start address of the access.
+        addr: u64,
+        /// Length of the access in bytes.
+        len: usize,
+        /// Size of the memory in bytes.
+        size: usize,
+    },
+    /// An instruction encoding could not be decoded.
+    DecodeError {
+        /// Human-readable description of the malformed encoding.
+        reason: String,
+    },
+    /// An assembly line could not be parsed.
+    ParseError {
+        /// Human-readable description of the malformed text.
+        reason: String,
+    },
+    /// An instruction's operands are architecturally invalid (for example,
+    /// row-pattern metadata describing more rows than a `TILE_SPMM_R` result
+    /// register can hold).
+    InvalidOperands {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::InvalidRegister { kind, index, limit } => {
+                write!(f, "register {kind}{index} out of range (only {limit} {kind}-registers)")
+            }
+            IsaError::MemoryOutOfBounds { addr, len, size } => {
+                write!(f, "memory access [{addr:#x}, {addr:#x}+{len}) outside size {size:#x}")
+            }
+            IsaError::DecodeError { reason } => write!(f, "decode error: {reason}"),
+            IsaError::ParseError { reason } => write!(f, "parse error: {reason}"),
+            IsaError::InvalidOperands { reason } => write!(f, "invalid operands: {reason}"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = IsaError::MemoryOutOfBounds { addr: 0x100, len: 64, size: 0x120 };
+        assert!(e.to_string().contains("0x100"));
+        let e = IsaError::InvalidRegister { kind: "t", index: 9, limit: 8 };
+        assert_eq!(e.to_string(), "register t9 out of range (only 8 t-registers)");
+    }
+}

@@ -1,0 +1,75 @@
+//! The VEGETA instruction set architecture (§IV).
+//!
+//! This crate implements the architectural state and semantics of the VEGETA
+//! ISA extension:
+//!
+//! * [`regs`] — eight 1 KB tile registers (`treg0-7`, 16 rows × 64 B) with
+//!   the aliased 2 KB `ureg` and 4 KB `vreg` views, plus eight 128 B metadata
+//!   registers (`mreg0-7`), as in Fig. 6.
+//! * [`Inst`] — the instruction set of Table II (`TILE_LOAD_{T,U,V,M}`,
+//!   `TILE_STORE_T`, `TILE_GEMM`, `TILE_SPMM_{U,V,R}`) with binary encoding
+//!   and a text assembler/disassembler.
+//! * [`Memory`] — a flat byte memory; tile loads/stores move whole 64 B
+//!   cache lines, one per tile row (§V-F).
+//! * [`Executor`] — the functional emulator (the paper built this as a
+//!   Pin-based instrumentation tool; see DESIGN.md for the substitution).
+//! * [`trace`] — dynamic instruction traces consumed by the cycle-level CPU
+//!   simulator, mixing tile instructions with scalar/vector bookkeeping ops.
+//!
+//! # Data layout conventions
+//!
+//! The paper stores the dense `B` operand "in a transposed manner in the tile
+//! registers" (Listing 1). We therefore define register views as row-major
+//! matrices over the register bytes with these shapes:
+//!
+//! | Operand | Register | View |
+//! |---|---|---|
+//! | `A` dense | `treg` | 16×32 BF16 |
+//! | `A` 2:4 / 1:4 compressed | `treg` (+`mreg`) | 16×32 BF16 values |
+//! | `Bᵀ` for `TILE_GEMM` | `treg` | 16×32 BF16 (`B` is 32×16) |
+//! | `Bᵀ` for `TILE_SPMM_U`/`_R` | `ureg` | 16×64 BF16 (`B` is 64×16) |
+//! | `Bᵀ` for `TILE_SPMM_V` | `vreg` | 16×128 BF16 (`B` is 128×16) |
+//! | `C` accumulator | `treg` | 16×16 FP32 |
+//! | `C` for `TILE_SPMM_R` | `ureg` | up-to-32×16 FP32 |
+//!
+//! The metadata register used by a tile SPMM instruction is implicitly the
+//! `mreg` with the same index as the `A` operand's `treg`, matching the
+//! pairing in Listing 1 (`treg3` with `mreg3`).
+//!
+//! # Example
+//!
+//! ```
+//! use vegeta_isa::{Executor, Inst, Memory, TReg};
+//! use vegeta_num::{Bf16, Matrix};
+//!
+//! let mut exec = Executor::new(Memory::new(64 * 1024));
+//! // Store an A tile and a Bᵀ tile to memory, load, multiply.
+//! let a = Matrix::from_fn(16, 32, |r, c| Bf16::from_f32(((r + c) % 3) as f32));
+//! let bt = Matrix::from_fn(16, 32, |r, c| Bf16::from_f32(((r * c) % 5) as f32));
+//! exec.mem_mut().write_bf16_matrix(0x0, &a)?;
+//! exec.mem_mut().write_bf16_matrix(0x1000, &bt)?;
+//! exec.execute(Inst::TileLoadT { dst: TReg::T0, addr: 0x0 })?;
+//! exec.execute(Inst::TileLoadT { dst: TReg::T1, addr: 0x1000 })?;
+//! exec.execute(Inst::TileZero { dst: TReg::T2 })?;
+//! exec.execute(Inst::TileGemm { acc: TReg::T2, a: TReg::T0, b: TReg::T1 })?;
+//! let c = exec.regs().treg_as_f32(TReg::T2);
+//! assert_eq!(c[(0, 0)], (0..32).map(|k| a[(0, k)].to_f32() * bt[(0, k)].to_f32()).sum::<f32>());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod encode;
+mod error;
+mod exec;
+mod inst;
+mod mem;
+pub mod regs;
+pub mod trace;
+
+pub use encode::{assemble, decode, disassemble, encode};
+pub use error::IsaError;
+pub use exec::{encode_row_patterns, row_patterns_of, ExecStats, Executor};
+pub use inst::{Inst, Opcode, RegRef, MACS_PER_TILE_INST};
+pub use mem::{Memory, CACHE_LINE_BYTES};
+pub use regs::{MReg, RegFile, TReg, UReg, VReg};

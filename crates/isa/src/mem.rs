@@ -1,0 +1,200 @@
+//! Flat byte-addressable memory for the functional executor.
+//!
+//! A `TILE_LOAD_T`/`TILE_STORE_T` is converted into 16 cache-line (64 B)
+//! requests (§V-F); the cycle-level simulator models that traffic, while this
+//! functional memory just moves the bytes.
+
+use vegeta_num::{Bf16, Matrix};
+
+use crate::IsaError;
+
+/// Cache line size in bytes; one tile-register row.
+pub const CACHE_LINE_BYTES: usize = 64;
+
+/// A flat little-endian byte memory with a bump allocator.
+///
+/// # Examples
+///
+/// ```
+/// use vegeta_isa::Memory;
+///
+/// let mut mem = Memory::new(4096);
+/// let addr = mem.alloc(128)?;
+/// mem.write_bytes(addr, &[1, 2, 3])?;
+/// assert_eq!(mem.read_bytes(addr, 3)?, &[1, 2, 3]);
+/// # Ok::<(), vegeta_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Memory {
+    data: Vec<u8>,
+    next_free: u64,
+}
+
+impl Memory {
+    /// Creates a zeroed memory of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        Memory { data: vec![0; size], next_free: 0 }
+    }
+
+    /// Size of the memory in bytes.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Reserves `bytes` of memory aligned to a cache line and returns its
+    /// base address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::MemoryOutOfBounds`] if the allocation does not fit.
+    pub fn alloc(&mut self, bytes: usize) -> Result<u64, IsaError> {
+        let aligned = self.next_free.next_multiple_of(CACHE_LINE_BYTES as u64);
+        if aligned as usize + bytes > self.data.len() {
+            return Err(IsaError::MemoryOutOfBounds {
+                addr: aligned,
+                len: bytes,
+                size: self.data.len(),
+            });
+        }
+        self.next_free = aligned + bytes as u64;
+        Ok(aligned)
+    }
+
+    fn check(&self, addr: u64, len: usize) -> Result<usize, IsaError> {
+        let start = addr as usize;
+        if start.checked_add(len).is_none_or(|end| end > self.data.len()) {
+            return Err(IsaError::MemoryOutOfBounds { addr, len, size: self.data.len() });
+        }
+        Ok(start)
+    }
+
+    /// Borrows `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::MemoryOutOfBounds`] on an out-of-range access.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Result<&[u8], IsaError> {
+        let start = self.check(addr, len)?;
+        Ok(&self.data[start..start + len])
+    }
+
+    /// Writes `bytes` starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::MemoryOutOfBounds`] on an out-of-range access.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), IsaError> {
+        let start = self.check(addr, bytes.len())?;
+        self.data[start..start + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Writes a BF16 matrix row-major and contiguous at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::MemoryOutOfBounds`] if the matrix does not fit.
+    pub fn write_bf16_matrix(&mut self, addr: u64, m: &Matrix<Bf16>) -> Result<(), IsaError> {
+        let mut bytes = Vec::with_capacity(m.len() * 2);
+        for v in m.iter() {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write_bytes(addr, &bytes)
+    }
+
+    /// Reads a `rows`×`cols` BF16 matrix stored row-major at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::MemoryOutOfBounds`] on an out-of-range access.
+    pub fn read_bf16_matrix(
+        &self,
+        addr: u64,
+        rows: usize,
+        cols: usize,
+    ) -> Result<Matrix<Bf16>, IsaError> {
+        let bytes = self.read_bytes(addr, rows * cols * 2)?;
+        Ok(Matrix::from_fn(rows, cols, |r, c| {
+            let off = (r * cols + c) * 2;
+            Bf16::from_le_bytes([bytes[off], bytes[off + 1]])
+        }))
+    }
+
+    /// Writes an FP32 matrix row-major and contiguous at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::MemoryOutOfBounds`] if the matrix does not fit.
+    pub fn write_f32_matrix(&mut self, addr: u64, m: &Matrix<f32>) -> Result<(), IsaError> {
+        let mut bytes = Vec::with_capacity(m.len() * 4);
+        for v in m.iter() {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write_bytes(addr, &bytes)
+    }
+
+    /// Reads a `rows`×`cols` FP32 matrix stored row-major at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::MemoryOutOfBounds`] on an out-of-range access.
+    pub fn read_f32_matrix(
+        &self,
+        addr: u64,
+        rows: usize,
+        cols: usize,
+    ) -> Result<Matrix<f32>, IsaError> {
+        let bytes = self.read_bytes(addr, rows * cols * 4)?;
+        Ok(Matrix::from_fn(rows, cols, |r, c| {
+            let off = (r * cols + c) * 4;
+            f32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_cache_line_aligned_and_monotonic() {
+        let mut mem = Memory::new(1024);
+        let a = mem.alloc(10).unwrap();
+        let b = mem.alloc(10).unwrap();
+        assert_eq!(a % 64, 0);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 10);
+    }
+
+    #[test]
+    fn alloc_fails_when_full() {
+        let mut mem = Memory::new(128);
+        assert!(mem.alloc(100).is_ok());
+        assert!(mem.alloc(100).is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_access_is_rejected() {
+        let mem = Memory::new(64);
+        assert!(mem.read_bytes(60, 8).is_err());
+        assert!(mem.read_bytes(u64::MAX, 1).is_err());
+        let mut mem = mem;
+        assert!(mem.write_bytes(64, &[0]).is_err());
+    }
+
+    #[test]
+    fn bf16_matrix_roundtrip() {
+        let mut mem = Memory::new(4096);
+        let m = Matrix::from_fn(8, 16, |r, c| Bf16::from_f32((r * 16 + c) as f32 - 60.0));
+        mem.write_bf16_matrix(128, &m).unwrap();
+        assert_eq!(mem.read_bf16_matrix(128, 8, 16).unwrap(), m);
+    }
+
+    #[test]
+    fn f32_matrix_roundtrip() {
+        let mut mem = Memory::new(4096);
+        let m = Matrix::from_fn(4, 8, |r, c| (r * 8 + c) as f32 * 1.5);
+        mem.write_f32_matrix(0, &m).unwrap();
+        assert_eq!(mem.read_f32_matrix(0, 4, 8).unwrap(), m);
+    }
+}

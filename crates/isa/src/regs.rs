@@ -1,0 +1,417 @@
+//! Tile and metadata registers (Fig. 6).
+//!
+//! The architectural tile state is 8 KB of tile data addressable three ways:
+//!
+//! * eight 1 KB **tregs** (`treg0`–`treg7`), each 16 rows × 64 B;
+//! * four 2 KB **uregs**, where `ureg_i` aliases `treg_{2i}`,`treg_{2i+1}`;
+//! * two 4 KB **vregs**, where `vreg_i` aliases `treg_{4i}`..`treg_{4i+3}`.
+//!
+//! Metadata lives in eight separate 128 B **mregs** (16 rows × 8 B), each
+//! carrying 512 two-bit block positions for the 512 BF16 values of its
+//! paired treg. For row-wise sparsity (`TILE_SPMM_R`), each mreg also has an
+//! 8 B *row-pattern field* holding the per-row `N:4` selectors ("stored as
+//! extra metadata, 32×2 bits, or 8 B, at most" — §IV-B); the paper does not
+//! name its storage location, so we architect it as a sidecar of the mreg
+//! loaded by the `TILE_LOAD_RP` extension instruction.
+
+use std::fmt;
+
+use vegeta_num::{Bf16, Matrix};
+
+use crate::IsaError;
+
+/// Bytes in one tile register.
+pub const TREG_BYTES: usize = 1024;
+/// Rows in one tile register.
+pub const TREG_ROWS: usize = 16;
+/// Bytes per tile register row (one cache line).
+pub const TREG_ROW_BYTES: usize = 64;
+/// Bytes in one `ureg` (two aliased tregs).
+pub const UREG_BYTES: usize = 2 * TREG_BYTES;
+/// Bytes in one `vreg` (four aliased tregs).
+pub const VREG_BYTES: usize = 4 * TREG_BYTES;
+/// Bytes in one metadata register.
+pub const MREG_BYTES: usize = 128;
+/// Bytes in the row-pattern field of a metadata register.
+pub const MREG_ROW_PATTERN_BYTES: usize = 8;
+/// Number of tile registers.
+pub const NUM_TREGS: usize = 8;
+/// Number of `ureg` aliases.
+pub const NUM_UREGS: usize = 4;
+/// Number of `vreg` aliases.
+pub const NUM_VREGS: usize = 2;
+/// Number of metadata registers.
+pub const NUM_MREGS: usize = 8;
+
+macro_rules! reg_id {
+    ($(#[$doc:meta])* $name:ident, $count:expr, $prefix:literal, [$($variant:ident = $idx:expr),+]) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(u8);
+
+        impl $name {
+            $(
+                #[doc = concat!("Register ", $prefix, stringify!($idx), ".")]
+                pub const $variant: $name = $name($idx);
+            )+
+
+            /// Creates a register identifier.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`IsaError::InvalidRegister`] if `index` is out of
+            /// range.
+            pub fn new(index: u8) -> Result<Self, IsaError> {
+                if (index as usize) < $count {
+                    Ok($name(index))
+                } else {
+                    Err(IsaError::InvalidRegister {
+                        kind: $prefix,
+                        index,
+                        limit: $count as u8,
+                    })
+                }
+            }
+
+            /// The register number.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// All registers of this kind, in index order.
+            pub fn all() -> impl Iterator<Item = Self> {
+                (0..$count as u8).map($name)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+    };
+}
+
+reg_id!(
+    /// A 1 KB tile register identifier (`t0`–`t7`).
+    TReg, NUM_TREGS, "t",
+    [T0 = 0, T1 = 1, T2 = 2, T3 = 3, T4 = 4, T5 = 5, T6 = 6, T7 = 7]
+);
+reg_id!(
+    /// A 2 KB aliased tile register identifier (`u0`–`u3`).
+    UReg, NUM_UREGS, "u",
+    [U0 = 0, U1 = 1, U2 = 2, U3 = 3]
+);
+reg_id!(
+    /// A 4 KB aliased tile register identifier (`v0`–`v1`).
+    VReg, NUM_VREGS, "v",
+    [V0 = 0, V1 = 1]
+);
+reg_id!(
+    /// A 128 B metadata register identifier (`m0`–`m7`).
+    MReg, NUM_MREGS, "m",
+    [M0 = 0, M1 = 1, M2 = 2, M3 = 3, M4 = 4, M5 = 5, M6 = 6, M7 = 7]
+);
+
+impl UReg {
+    /// The pair of tregs this ureg aliases.
+    pub fn tregs(self) -> [TReg; 2] {
+        let base = (self.index() * 2) as u8;
+        [TReg(base), TReg(base + 1)]
+    }
+}
+
+impl VReg {
+    /// The four tregs this vreg aliases.
+    pub fn tregs(self) -> [TReg; 4] {
+        let base = (self.index() * 4) as u8;
+        [TReg(base), TReg(base + 1), TReg(base + 2), TReg(base + 3)]
+    }
+}
+
+impl TReg {
+    /// The metadata register implicitly paired with this treg by the tile
+    /// SPMM instructions (same index, as in Listing 1).
+    pub fn paired_mreg(self) -> MReg {
+        MReg(self.0)
+    }
+}
+
+/// The architectural register file: tile bytes plus metadata.
+///
+/// Tile storage is a single 8 KB array so the treg/ureg/vreg aliasing of
+/// Fig. 6 falls out of slicing; writing `ureg0` visibly changes `treg0` and
+/// `treg1`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RegFile {
+    tile: Vec<u8>,
+    meta: Vec<u8>,
+    row_patterns: Vec<u8>,
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RegFile {
+    /// Creates a zeroed register file.
+    pub fn new() -> Self {
+        RegFile {
+            tile: vec![0; NUM_TREGS * TREG_BYTES],
+            meta: vec![0; NUM_MREGS * MREG_BYTES],
+            row_patterns: vec![0; NUM_MREGS * MREG_ROW_PATTERN_BYTES],
+        }
+    }
+
+    /// Borrows the bytes of a treg.
+    pub fn treg(&self, r: TReg) -> &[u8] {
+        &self.tile[r.index() * TREG_BYTES..(r.index() + 1) * TREG_BYTES]
+    }
+
+    /// Mutably borrows the bytes of a treg.
+    pub fn treg_mut(&mut self, r: TReg) -> &mut [u8] {
+        &mut self.tile[r.index() * TREG_BYTES..(r.index() + 1) * TREG_BYTES]
+    }
+
+    /// Borrows the bytes of a ureg (aliasing two tregs).
+    pub fn ureg(&self, r: UReg) -> &[u8] {
+        &self.tile[r.index() * UREG_BYTES..(r.index() + 1) * UREG_BYTES]
+    }
+
+    /// Mutably borrows the bytes of a ureg.
+    pub fn ureg_mut(&mut self, r: UReg) -> &mut [u8] {
+        &mut self.tile[r.index() * UREG_BYTES..(r.index() + 1) * UREG_BYTES]
+    }
+
+    /// Borrows the bytes of a vreg (aliasing four tregs).
+    pub fn vreg(&self, r: VReg) -> &[u8] {
+        &self.tile[r.index() * VREG_BYTES..(r.index() + 1) * VREG_BYTES]
+    }
+
+    /// Mutably borrows the bytes of a vreg.
+    pub fn vreg_mut(&mut self, r: VReg) -> &mut [u8] {
+        &mut self.tile[r.index() * VREG_BYTES..(r.index() + 1) * VREG_BYTES]
+    }
+
+    /// Borrows the bytes of a metadata register.
+    pub fn mreg(&self, r: MReg) -> &[u8] {
+        &self.meta[r.index() * MREG_BYTES..(r.index() + 1) * MREG_BYTES]
+    }
+
+    /// Mutably borrows the bytes of a metadata register.
+    pub fn mreg_mut(&mut self, r: MReg) -> &mut [u8] {
+        &mut self.meta[r.index() * MREG_BYTES..(r.index() + 1) * MREG_BYTES]
+    }
+
+    /// Borrows the 8 B row-pattern field of a metadata register.
+    pub fn row_patterns(&self, r: MReg) -> &[u8] {
+        &self.row_patterns
+            [r.index() * MREG_ROW_PATTERN_BYTES..(r.index() + 1) * MREG_ROW_PATTERN_BYTES]
+    }
+
+    /// Mutably borrows the 8 B row-pattern field of a metadata register.
+    pub fn row_patterns_mut(&mut self, r: MReg) -> &mut [u8] {
+        &mut self.row_patterns
+            [r.index() * MREG_ROW_PATTERN_BYTES..(r.index() + 1) * MREG_ROW_PATTERN_BYTES]
+    }
+
+    /// Reads a treg as the canonical 16×32 BF16 view.
+    pub fn treg_as_bf16(&self, r: TReg) -> Matrix<Bf16> {
+        bytes_to_bf16(self.treg(r), TREG_ROWS, 32)
+    }
+
+    /// Writes a 16×32 BF16 matrix into a treg.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not 16×32.
+    pub fn set_treg_bf16(&mut self, r: TReg, m: &Matrix<Bf16>) {
+        assert_eq!((m.rows(), m.cols()), (TREG_ROWS, 32), "treg BF16 view is 16x32");
+        bf16_to_bytes(m, self.treg_mut(r));
+    }
+
+    /// Reads a treg as the canonical 16×16 FP32 accumulator view.
+    pub fn treg_as_f32(&self, r: TReg) -> Matrix<f32> {
+        bytes_to_f32(self.treg(r), TREG_ROWS, 16)
+    }
+
+    /// Writes a 16×16 FP32 matrix into a treg.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not 16×16.
+    pub fn set_treg_f32(&mut self, r: TReg, m: &Matrix<f32>) {
+        assert_eq!((m.rows(), m.cols()), (TREG_ROWS, 16), "treg FP32 view is 16x16");
+        f32_to_bytes(m, self.treg_mut(r));
+    }
+
+    /// Reads a ureg as the 16×64 BF16 `Bᵀ` view used by `TILE_SPMM_U`.
+    pub fn ureg_as_bf16(&self, r: UReg) -> Matrix<Bf16> {
+        bytes_to_bf16(self.ureg(r), TREG_ROWS, 64)
+    }
+
+    /// Writes a 16×64 BF16 matrix into a ureg.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not 16×64.
+    pub fn set_ureg_bf16(&mut self, r: UReg, m: &Matrix<Bf16>) {
+        assert_eq!((m.rows(), m.cols()), (TREG_ROWS, 64), "ureg BF16 view is 16x64");
+        bf16_to_bytes(m, self.ureg_mut(r));
+    }
+
+    /// Reads a ureg as the 32×16 FP32 `C` view used by `TILE_SPMM_R`.
+    pub fn ureg_as_f32(&self, r: UReg) -> Matrix<f32> {
+        bytes_to_f32(self.ureg(r), 32, 16)
+    }
+
+    /// Writes a 32×16 FP32 matrix into a ureg.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not 32×16.
+    pub fn set_ureg_f32(&mut self, r: UReg, m: &Matrix<f32>) {
+        assert_eq!((m.rows(), m.cols()), (32, 16), "ureg FP32 view is 32x16");
+        f32_to_bytes(m, self.ureg_mut(r));
+    }
+
+    /// Reads a vreg as the 16×128 BF16 `Bᵀ` view used by `TILE_SPMM_V`.
+    pub fn vreg_as_bf16(&self, r: VReg) -> Matrix<Bf16> {
+        bytes_to_bf16(self.vreg(r), TREG_ROWS, 128)
+    }
+
+    /// Writes a 16×128 BF16 matrix into a vreg.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not 16×128.
+    pub fn set_vreg_bf16(&mut self, r: VReg, m: &Matrix<Bf16>) {
+        assert_eq!((m.rows(), m.cols()), (TREG_ROWS, 128), "vreg BF16 view is 16x128");
+        bf16_to_bytes(m, self.vreg_mut(r));
+    }
+}
+
+impl fmt::Debug for RegFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RegFile")
+            .field("tile_bytes", &self.tile.len())
+            .field("meta_bytes", &self.meta.len())
+            .finish()
+    }
+}
+
+fn bytes_to_bf16(bytes: &[u8], rows: usize, cols: usize) -> Matrix<Bf16> {
+    debug_assert_eq!(bytes.len(), rows * cols * 2);
+    Matrix::from_fn(rows, cols, |r, c| {
+        let off = (r * cols + c) * 2;
+        Bf16::from_le_bytes([bytes[off], bytes[off + 1]])
+    })
+}
+
+fn bf16_to_bytes(m: &Matrix<Bf16>, out: &mut [u8]) {
+    for (i, v) in m.iter().enumerate() {
+        out[i * 2..i * 2 + 2].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn bytes_to_f32(bytes: &[u8], rows: usize, cols: usize) -> Matrix<f32> {
+    debug_assert_eq!(bytes.len(), rows * cols * 4);
+    Matrix::from_fn(rows, cols, |r, c| {
+        let off = (r * cols + c) * 4;
+        f32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
+    })
+}
+
+fn f32_to_bytes(m: &Matrix<f32>, out: &mut [u8]) {
+    for (i, v) in m.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_sizes_match_figure6() {
+        assert_eq!(TREG_BYTES, 1024);
+        assert_eq!(UREG_BYTES, 2048);
+        assert_eq!(VREG_BYTES, 4096);
+        assert_eq!(MREG_BYTES, 128);
+        assert_eq!(TREG_ROWS * TREG_ROW_BYTES, TREG_BYTES);
+    }
+
+    #[test]
+    fn reg_ids_validate_range() {
+        assert!(TReg::new(7).is_ok());
+        assert!(TReg::new(8).is_err());
+        assert!(UReg::new(4).is_err());
+        assert!(VReg::new(2).is_err());
+        assert!(MReg::new(8).is_err());
+        assert_eq!(TReg::all().count(), 8);
+    }
+
+    #[test]
+    fn aliasing_maps_to_consecutive_tregs() {
+        assert_eq!(UReg::U1.tregs(), [TReg::T2, TReg::T3]);
+        assert_eq!(VReg::V1.tregs(), [TReg::T4, TReg::T5, TReg::T6, TReg::T7]);
+    }
+
+    #[test]
+    fn writing_ureg_is_visible_through_tregs() {
+        let mut rf = RegFile::new();
+        let data: Vec<u8> = (0..UREG_BYTES).map(|i| (i % 251) as u8).collect();
+        rf.ureg_mut(UReg::U0).copy_from_slice(&data);
+        assert_eq!(rf.treg(TReg::T0), &data[..TREG_BYTES]);
+        assert_eq!(rf.treg(TReg::T1), &data[TREG_BYTES..]);
+    }
+
+    #[test]
+    fn writing_treg_is_visible_through_vreg() {
+        let mut rf = RegFile::new();
+        rf.treg_mut(TReg::T6)[0] = 0xAB;
+        assert_eq!(rf.vreg(VReg::V1)[2 * TREG_BYTES], 0xAB);
+    }
+
+    #[test]
+    fn bf16_view_roundtrip() {
+        let mut rf = RegFile::new();
+        let m = Matrix::from_fn(16, 32, |r, c| Bf16::from_f32((r * 32 + c) as f32));
+        rf.set_treg_bf16(TReg::T3, &m);
+        assert_eq!(rf.treg_as_bf16(TReg::T3), m);
+    }
+
+    #[test]
+    fn f32_view_roundtrip() {
+        let mut rf = RegFile::new();
+        let m = Matrix::from_fn(16, 16, |r, c| (r * 16 + c) as f32 * 0.25);
+        rf.set_treg_f32(TReg::T5, &m);
+        assert_eq!(rf.treg_as_f32(TReg::T5), m);
+        let u = Matrix::from_fn(32, 16, |r, c| (r + c) as f32);
+        rf.set_ureg_f32(UReg::U1, &u);
+        assert_eq!(rf.ureg_as_f32(UReg::U1), u);
+    }
+
+    #[test]
+    fn paired_mreg_follows_treg_index() {
+        assert_eq!(TReg::T3.paired_mreg(), MReg::M3);
+        assert_eq!(TReg::T0.paired_mreg(), MReg::M0);
+    }
+
+    #[test]
+    fn display_uses_assembler_names() {
+        assert_eq!(TReg::T4.to_string(), "t4");
+        assert_eq!(UReg::U2.to_string(), "u2");
+        assert_eq!(VReg::V0.to_string(), "v0");
+        assert_eq!(MReg::M7.to_string(), "m7");
+    }
+}

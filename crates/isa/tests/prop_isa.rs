@@ -1,0 +1,79 @@
+//! Property-based tests for the ISA layer: decoder robustness, register
+//! aliasing, and memory safety.
+
+use proptest::prelude::*;
+use vegeta_isa::regs::{TREG_BYTES, UREG_BYTES, VREG_BYTES};
+use vegeta_isa::{decode, Executor, Inst, Memory, RegFile, TReg, UReg, VReg};
+
+proptest! {
+    /// The decoder never panics on arbitrary bytes: it either decodes a
+    /// valid instruction or returns an error.
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        if let Ok((inst, len)) = decode(&bytes) {
+            prop_assert!(len <= bytes.len());
+            // Round-trip: re-encoding gives the same prefix.
+            prop_assert_eq!(vegeta_isa::encode(inst), bytes[..len].to_vec());
+        }
+    }
+
+    /// The assembler never panics on arbitrary text.
+    #[test]
+    fn assemble_never_panics(text in "[ -~\n]{0,200}") {
+        let _ = vegeta_isa::assemble(&text);
+    }
+
+    /// Register aliasing is exact: bytes written through a ureg/vreg are the
+    /// concatenation of their constituent tregs.
+    #[test]
+    fn aliasing_is_byte_exact(data in proptest::collection::vec(any::<u8>(), VREG_BYTES..=VREG_BYTES), v in 0u8..2) {
+        let mut rf = RegFile::new();
+        let vreg = VReg::new(v).unwrap();
+        rf.vreg_mut(vreg).copy_from_slice(&data);
+        // Through tregs.
+        let mut rebuilt = Vec::new();
+        for t in vreg.tregs() {
+            rebuilt.extend_from_slice(rf.treg(t));
+        }
+        prop_assert_eq!(&rebuilt, &data);
+        // Through uregs.
+        let mut rebuilt_u = Vec::new();
+        for u in [UReg::new(v * 2).unwrap(), UReg::new(v * 2 + 1).unwrap()] {
+            rebuilt_u.extend_from_slice(rf.ureg(u));
+        }
+        prop_assert_eq!(&rebuilt_u, &data);
+    }
+
+    /// Loads and stores round-trip arbitrary tile data through memory, and
+    /// out-of-range addresses error rather than corrupt state.
+    #[test]
+    fn load_store_roundtrip(data in proptest::collection::vec(any::<u8>(), TREG_BYTES..=TREG_BYTES), addr in 0u64..8192) {
+        let mut exec = Executor::new(Memory::new(16 * 1024));
+        exec.mem_mut().write_bytes(addr, &data).unwrap();
+        exec.execute(Inst::TileLoadT { dst: TReg::T6, addr }).unwrap();
+        prop_assert_eq!(exec.regs().treg(TReg::T6), data.as_slice());
+        exec.execute(Inst::TileStoreT { addr: 0, src: TReg::T6 }).unwrap();
+        prop_assert_eq!(exec.mem().read_bytes(0, TREG_BYTES).unwrap(), data.as_slice());
+        // Far out of range must error and leave the register intact.
+        let before = exec.regs().treg(TReg::T6).to_vec();
+        let far_load = Inst::TileLoadT { dst: TReg::T6, addr: 1 << 40 };
+        let result = exec.execute(far_load);
+        prop_assert!(result.is_err());
+        prop_assert_eq!(exec.regs().treg(TReg::T6), before.as_slice());
+    }
+
+    /// A ureg load equals two treg loads of the two halves.
+    #[test]
+    fn ureg_load_equals_two_treg_loads(data in proptest::collection::vec(any::<u8>(), UREG_BYTES..=UREG_BYTES)) {
+        let mut a = Executor::new(Memory::new(8192));
+        a.mem_mut().write_bytes(0, &data).unwrap();
+        a.execute(Inst::TileLoadU { dst: UReg::U1, addr: 0 }).unwrap();
+
+        let mut b = Executor::new(Memory::new(8192));
+        b.mem_mut().write_bytes(0, &data).unwrap();
+        b.execute(Inst::TileLoadT { dst: TReg::T2, addr: 0 }).unwrap();
+        b.execute(Inst::TileLoadT { dst: TReg::T3, addr: TREG_BYTES as u64 }).unwrap();
+
+        prop_assert_eq!(a.regs().ureg(UReg::U1), b.regs().ureg(UReg::U1));
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for kernel construction and execution.
+
+use std::error::Error;
+use std::fmt;
+
+use vegeta_isa::IsaError;
+use vegeta_sparse::SparsityError;
+
+/// Errors produced while building or functionally running a kernel.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// The operand matrices do not fit the requested kernel.
+    Shape {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A sparsity-format operation failed (for example, the `A` matrix does
+    /// not satisfy the requested `N:M` pattern).
+    Sparsity(SparsityError),
+    /// An ISA-level operation failed (memory allocation, execution).
+    Isa(IsaError),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Shape { reason } => write!(f, "kernel shape error: {reason}"),
+            KernelError::Sparsity(e) => write!(f, "sparsity error: {e}"),
+            KernelError::Isa(e) => write!(f, "isa error: {e}"),
+        }
+    }
+}
+
+impl Error for KernelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KernelError::Shape { .. } => None,
+            KernelError::Sparsity(e) => Some(e),
+            KernelError::Isa(e) => Some(e),
+        }
+    }
+}
+
+impl From<SparsityError> for KernelError {
+    fn from(e: SparsityError) -> Self {
+        KernelError::Sparsity(e)
+    }
+}
+
+impl From<IsaError> for KernelError {
+    fn from(e: IsaError) -> Self {
+        KernelError::Isa(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = KernelError::from(SparsityError::InvalidRatio { n: 9, m: 4 });
+        assert!(e.to_string().contains("9:4"));
+        assert!(e.source().is_some());
+        let e = KernelError::Shape { reason: "bad".into() };
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,49 @@
+//! GEMM/SPMM kernels emitting VEGETA instruction traces (§VI-A).
+//!
+//! The paper wrote GEMM/SPMM kernels with VEGETA C++ intrinsics, traced them
+//! with a Pintool, and replayed the traces on MacSim. This crate plays the
+//! kernel-plus-intrinsics role: builders produce dynamic [`Trace`]s (and,
+//! when operand data is supplied, fully initialized memory images that the
+//! functional executor can run for bit-exact verification).
+//!
+//! * [`tiled`] — dense `TILE_GEMM` and structured `TILE_SPMM_U`/`_V`
+//!   kernels: the optimized register-blocked versions used in Fig. 13 and
+//!   the naive Listing-1 kernel.
+//! * [`rowwise`] — `TILE_SPMM_R` kernels for unstructured sparsity via the
+//!   row-wise cover transform, with and without DMA row reordering.
+//! * [`vector`] — the register-blocked vector (AVX-512-class) GEMM baseline
+//!   behind Figs. 3 and 4.
+//! * [`shapes`] — GEMM shapes and im2col lowering for the Table IV
+//!   convolutional layers.
+//!
+//! [`Trace`]: vegeta_isa::trace::Trace
+//!
+//! # Example
+//!
+//! ```
+//! use vegeta_kernels::{build_trace, GemmShape, KernelOptions, SparseMode};
+//!
+//! // The BERT-L2 layer at 2:4 sparsity, as a timing trace.
+//! let trace = build_trace(
+//!     GemmShape::new(512, 512, 768),
+//!     SparseMode::Nm2of4,
+//!     KernelOptions::default(),
+//! );
+//! assert!(trace.mix().tile_compute > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod rowwise;
+pub mod shapes;
+pub mod tiled;
+pub mod vector;
+
+pub use error::KernelError;
+pub use rowwise::{build_rowwise_program, build_rowwise_trace, RowWiseProgram};
+pub use shapes::{direct_conv, im2col, ConvShape, GemmShape};
+pub use tiled::{
+    build_listing1_trace, build_program, build_trace, KernelOptions, KernelProgram, SparseMode,
+};
+pub use vector::{build_vector_gemm_trace, MACS_PER_VEC_FMA};

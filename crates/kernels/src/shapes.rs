@@ -1,0 +1,222 @@
+//! Problem shapes: GEMM dimensions and convolution-to-GEMM lowering.
+
+use vegeta_num::{Bf16, Matrix};
+
+/// A GEMM problem `C (M×N) += A (M×K) × B (K×N)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    /// Rows of `A` and `C`.
+    pub m: usize,
+    /// Columns of `B` and `C`.
+    pub n: usize,
+    /// Inner dimension.
+    pub k: usize,
+}
+
+impl GemmShape {
+    /// Creates a shape.
+    pub fn new(m: usize, n: usize, k: usize) -> Self {
+        GemmShape { m, n, k }
+    }
+
+    /// Multiply-accumulate operations of the dense GEMM.
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.n as u64 * self.k as u64
+    }
+
+    /// Tiles along `M` for 16-row output tiles.
+    pub fn tiles_m(&self) -> usize {
+        self.m.div_ceil(16)
+    }
+
+    /// Tiles along `N` for 16-column output tiles.
+    pub fn tiles_n(&self) -> usize {
+        self.n.div_ceil(16)
+    }
+
+    /// Tiles along `K` for the given effective tile depth (32 dense, 64 for
+    /// 2:4, 128 for 1:4).
+    pub fn tiles_k(&self, tk: usize) -> usize {
+        self.k.div_ceil(tk)
+    }
+}
+
+/// A convolutional layer shape in the paper's notation (Table IV): `K`
+/// output channels, `C` input channels, `Y×X` output feature map, `R×S`
+/// filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvShape {
+    /// Output channels.
+    pub k: usize,
+    /// Input channels.
+    pub c: usize,
+    /// Output height.
+    pub y: usize,
+    /// Output width.
+    pub x: usize,
+    /// Filter height.
+    pub r: usize,
+    /// Filter width.
+    pub s: usize,
+}
+
+impl ConvShape {
+    /// Lowers to a GEMM via im2col (§VI-B): `M = K`, `N = Y·X`,
+    /// `K = C·R·S`.
+    pub fn to_gemm(self) -> GemmShape {
+        GemmShape { m: self.k, n: self.y * self.x, k: self.c * self.r * self.s }
+    }
+
+    /// MAC count (equals the lowered GEMM's).
+    pub fn macs(self) -> u64 {
+        self.to_gemm().macs()
+    }
+}
+
+/// Materializes the im2col matrix of an input tensor for a stride-1,
+/// zero-padded ('same') convolution: output is `(C·R·S) × (Y·X)`, where
+/// column `(y·X + x)` holds the receptive field of output pixel `(y, x)`.
+///
+/// `input` is indexed as `input[c][(h, w)]` with `H = Y`, `W = X`.
+///
+/// # Panics
+///
+/// Panics if `input.len() != shape.c` or any channel's dimensions are not
+/// `Y×X`.
+pub fn im2col(input: &[Matrix<Bf16>], shape: ConvShape) -> Matrix<Bf16> {
+    assert_eq!(input.len(), shape.c, "need one plane per input channel");
+    for plane in input {
+        assert_eq!((plane.rows(), plane.cols()), (shape.y, shape.x), "plane must be YxX");
+    }
+    let pad_h = (shape.r - 1) / 2;
+    let pad_w = (shape.s - 1) / 2;
+    Matrix::from_fn(shape.c * shape.r * shape.s, shape.y * shape.x, |row, col| {
+        let c = row / (shape.r * shape.s);
+        let r = (row / shape.s) % shape.r;
+        let s = row % shape.s;
+        let y = col / shape.x;
+        let x = col % shape.x;
+        let (h, w) = (y + r, x + s);
+        if h < pad_h || w < pad_w {
+            return Bf16::ZERO;
+        }
+        let (h, w) = (h - pad_h, w - pad_w);
+        if h >= shape.y || w >= shape.x {
+            return Bf16::ZERO;
+        }
+        input[c][(h, w)]
+    })
+}
+
+/// Direct (reference) convolution for validating [`im2col`]: returns the
+/// output planes, one `Y×X` matrix per output channel, for stride-1 'same'
+/// convolution. Weights are indexed `weights[k_out][c][(r, s)]`.
+pub fn direct_conv(
+    input: &[Matrix<Bf16>],
+    weights: &[Vec<Matrix<Bf16>>],
+    shape: ConvShape,
+) -> Vec<Matrix<f32>> {
+    let pad_h = (shape.r - 1) / 2;
+    let pad_w = (shape.s - 1) / 2;
+    (0..shape.k)
+        .map(|ko| {
+            Matrix::from_fn(shape.y, shape.x, |y, x| {
+                let mut acc = 0.0f32;
+                for c in 0..shape.c {
+                    for r in 0..shape.r {
+                        for s in 0..shape.s {
+                            let (h, w) = (y + r, x + s);
+                            if h < pad_h || w < pad_w {
+                                continue;
+                            }
+                            let (h, w) = (h - pad_h, w - pad_w);
+                            if h >= shape.y || w >= shape.x {
+                                continue;
+                            }
+                            acc += weights[ko][c][(r, s)].to_f32() * input[c][(h, w)].to_f32();
+                        }
+                    }
+                }
+                acc
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_resnet_macs_check() {
+        // ResNet50-L2: K=64, C=64, Y=56, X=56, R=3, S=3 -> 115,605,504 MACs.
+        let l2 = ConvShape { k: 64, c: 64, y: 56, x: 56, r: 3, s: 3 };
+        assert_eq!(l2.macs(), 115_605_504);
+        // ResNet50-L1: 1x1 conv -> 51,380,224 MACs.
+        let l1 = ConvShape { k: 64, c: 256, y: 56, x: 56, r: 1, s: 1 };
+        assert_eq!(l1.macs(), 51_380_224);
+    }
+
+    #[test]
+    fn gemm_tiling_rounds_up() {
+        let s = GemmShape::new(100, 33, 65);
+        assert_eq!(s.tiles_m(), 7);
+        assert_eq!(s.tiles_n(), 3);
+        assert_eq!(s.tiles_k(64), 2);
+        assert_eq!(s.macs(), 100 * 33 * 65);
+    }
+
+    #[test]
+    fn one_by_one_conv_im2col_is_channel_flatten() {
+        let shape = ConvShape { k: 2, c: 3, y: 2, x: 2, r: 1, s: 1 };
+        let input: Vec<Matrix<Bf16>> = (0..3)
+            .map(|c| Matrix::from_fn(2, 2, |h, w| Bf16::from_f32((c * 4 + h * 2 + w) as f32)))
+            .collect();
+        let m = im2col(&input, shape);
+        assert_eq!((m.rows(), m.cols()), (3, 4));
+        assert_eq!(m[(1, 3)].to_f32(), 7.0); // channel 1, pixel (1,1)
+    }
+
+    #[test]
+    fn im2col_gemm_matches_direct_conv() {
+        let shape = ConvShape { k: 2, c: 2, y: 4, x: 4, r: 3, s: 3 };
+        let input: Vec<Matrix<Bf16>> = (0..shape.c)
+            .map(|c| {
+                Matrix::from_fn(4, 4, |h, w| Bf16::from_f32(((c * 16 + h * 4 + w) % 7) as f32 - 3.0))
+            })
+            .collect();
+        let weights: Vec<Vec<Matrix<Bf16>>> = (0..shape.k)
+            .map(|ko| {
+                (0..shape.c)
+                    .map(|c| {
+                        Matrix::from_fn(3, 3, |r, s| {
+                            Bf16::from_f32(((ko * 18 + c * 9 + r * 3 + s) % 5) as f32 - 2.0)
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        // Weight matrix: K x (C*R*S).
+        let wm = Matrix::from_fn(shape.k, shape.c * shape.r * shape.s, |ko, idx| {
+            let c = idx / 9;
+            let r = (idx / 3) % 3;
+            let s = idx % 3;
+            weights[ko][c][(r, s)]
+        });
+        let cols = im2col(&input, shape);
+        let mut gemm_out = Matrix::zeros(shape.k, shape.y * shape.x);
+        vegeta_num::gemm_bf16_ref(&wm, &cols, &mut gemm_out);
+        let direct = direct_conv(&input, &weights, shape);
+        for ko in 0..shape.k {
+            for y in 0..shape.y {
+                for x in 0..shape.x {
+                    assert_eq!(
+                        gemm_out[(ko, y * shape.x + x)],
+                        direct[ko][(y, x)],
+                        "mismatch at k={ko}, y={y}, x={x}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! Tiled GEMM/SPMM kernels over the VEGETA ISA.
+//!
+//! Two kernel families are provided:
+//!
+//! * [`build_trace`]/[`build_program`] — the *optimized* kernels used for
+//!   the Fig. 13 evaluation: output tiles stay resident in accumulator
+//!   tregs across the whole `k` loop (no redundant `C` traffic), the `B`
+//!   tile is reused across an unrolled triple of `A` row-tiles, and three
+//!   accumulators rotate to expose independent tile instructions to the
+//!   engine pipeline.
+//! * [`build_listing1_trace`] — the naive kernel of Listing 1, which
+//!   reloads and stores `C` every iteration; kept as the programmability
+//!   baseline and for ablation.
+//!
+//! Register allocation per mode (aliases must not overlap, see
+//! `vegeta-isa`):
+//!
+//! | mode | `B` | `A` (renamed per load) | accumulators |
+//! |---|---|---|---|
+//! | dense (`TILE_GEMM`) | `t3` | `t5` | `t0`,`t1`,`t2` |
+//! | 2:4 (`TILE_SPMM_U`) | `u3` (`t6`,`t7`) | `t4` (+`m4`) | `t0`,`t1`,`t2` |
+//! | 1:4 (`TILE_SPMM_V`) | `v1` (`t4`–`t7`) | `t3` (+`m3`) | `t0`,`t1`,`t2` |
+//!
+//! Three accumulators rotate across an unrolled triple of `A` row-tiles so
+//! that, even without output forwarding, the producer of each accumulator is
+//! three engine issues back and the `C`-writeback dependence
+//! (`instruction_latency − WL ≈ 47` engine cycles) never throttles the
+//! 16-cycle issue interval. A single architectural `A` register is reloaded
+//! inside the unroll; the core's tile-register renaming (§V-F) makes those
+//! reloads independent, exactly as it would for the paper's compiled
+//! kernels.
+
+use vegeta_isa::trace::{Trace, TraceOp};
+use vegeta_isa::{Executor, Inst, MReg, Memory, TReg, UReg, VReg};
+use vegeta_num::{Bf16, Matrix};
+use vegeta_sparse::{CompressedTile, NmRatio};
+
+use crate::{GemmShape, KernelError};
+
+/// How the `A` operand is encoded and which tile instruction multiplies it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SparseMode {
+    /// Dense `A`; `TILE_GEMM` with `Tk = 32`.
+    Dense,
+    /// 2:4-compressed `A`; `TILE_SPMM_U` with effective `Tk = 64`.
+    Nm2of4,
+    /// 1:4-compressed `A`; `TILE_SPMM_V` with effective `Tk = 128`.
+    Nm1of4,
+}
+
+impl SparseMode {
+    /// The mode that executes `A` tiles with the given pattern.
+    ///
+    /// A sparser matrix can always run in a denser mode (1:4 data satisfies
+    /// 2:4), which is how the STC-like engine executes 1:4 layers.
+    pub fn for_ratio(ratio: NmRatio) -> Option<SparseMode> {
+        match (ratio.n(), ratio.m()) {
+            (4, 4) => Some(SparseMode::Dense),
+            (2, 4) => Some(SparseMode::Nm2of4),
+            (1, 4) => Some(SparseMode::Nm1of4),
+            _ => None,
+        }
+    }
+
+    /// The `N:M` pattern of this mode.
+    pub fn ratio(self) -> NmRatio {
+        match self {
+            SparseMode::Dense => NmRatio::D4_4,
+            SparseMode::Nm2of4 => NmRatio::S2_4,
+            SparseMode::Nm1of4 => NmRatio::S1_4,
+        }
+    }
+
+    /// Effective tile depth (`Tk`): effective `A` columns consumed per tile
+    /// instruction.
+    pub fn tk(self) -> usize {
+        match self {
+            SparseMode::Dense => 32,
+            SparseMode::Nm2of4 => 64,
+            SparseMode::Nm1of4 => 128,
+        }
+    }
+
+    /// Bytes of one `Bᵀ` tile (16 × `Tk` BF16).
+    pub fn b_tile_bytes(self) -> usize {
+        16 * self.tk() * 2
+    }
+}
+
+/// Kernel generation options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelOptions {
+    /// `A` row-tiles processed together sharing one `B` tile (1 to 3);
+    /// also the number of rotating accumulators.
+    pub unroll: usize,
+    /// Include scalar loop-control overhead ops in the trace.
+    pub loop_overhead: bool,
+}
+
+impl Default for KernelOptions {
+    fn default() -> Self {
+        KernelOptions { unroll: 3, loop_overhead: true }
+    }
+}
+
+/// Virtual address layout for all tiles of a GEMM.
+#[derive(Debug, Clone)]
+struct Plan {
+    mode: SparseMode,
+    shape: GemmShape,
+    a_values: Vec<u64>,
+    a_meta: Vec<u64>,
+    b_tiles: Vec<u64>,
+    c_tiles: Vec<u64>,
+    total_bytes: u64,
+}
+
+impl Plan {
+    fn new(shape: GemmShape, mode: SparseMode) -> Self {
+        let (tm, tn, tk) = (shape.tiles_m(), shape.tiles_n(), shape.tiles_k(mode.tk()));
+        let mut cursor = 64u64; // leave address 0 unused
+        let mut bump = |bytes: usize| {
+            let addr = cursor;
+            cursor += (bytes as u64).next_multiple_of(64);
+            addr
+        };
+        let a_values: Vec<u64> = (0..tm * tk).map(|_| bump(1024)).collect();
+        let a_meta: Vec<u64> = (0..tm * tk).map(|_| bump(128)).collect();
+        let b_tiles: Vec<u64> = (0..tn * tk).map(|_| bump(mode.b_tile_bytes())).collect();
+        let c_tiles: Vec<u64> = (0..tm * tn).map(|_| bump(1024)).collect();
+        Plan { mode, shape, a_values, a_meta, b_tiles, c_tiles, total_bytes: cursor }
+    }
+
+    fn a_value_addr(&self, it: usize, kt: usize) -> u64 {
+        self.a_values[it * self.shape.tiles_k(self.mode.tk()) + kt]
+    }
+
+    fn a_meta_addr(&self, it: usize, kt: usize) -> u64 {
+        self.a_meta[it * self.shape.tiles_k(self.mode.tk()) + kt]
+    }
+
+    fn b_addr(&self, jt: usize, kt: usize) -> u64 {
+        self.b_tiles[jt * self.shape.tiles_k(self.mode.tk()) + kt]
+    }
+
+    fn c_addr(&self, it: usize, jt: usize) -> u64 {
+        self.c_tiles[it * self.shape.tiles_n() + jt]
+    }
+}
+
+fn emit_loop_overhead(trace: &mut Trace) {
+    trace.push(TraceOp::Scalar { dst: 0, src: 0 });
+    trace.push(TraceOp::Scalar { dst: 1, src: 0 });
+    trace.push(TraceOp::Branch { cond: 0 });
+}
+
+#[allow(clippy::needless_range_loop)] // uu indexes accs and plan rows in lockstep
+fn emit_optimized(plan: &Plan, opts: KernelOptions, trace: &mut Trace) {
+    let mode = plan.mode;
+    let shape = plan.shape;
+    let unroll = opts.unroll.clamp(1, 3);
+    let accs = [TReg::T0, TReg::T1, TReg::T2];
+    // One architectural A register per mode; the core renames each reload.
+    let (a_reg, a_mreg) = match mode {
+        SparseMode::Dense => (TReg::T5, MReg::M5),
+        SparseMode::Nm2of4 => (TReg::T4, MReg::M4),
+        SparseMode::Nm1of4 => (TReg::T3, MReg::M3),
+    };
+    let tk_tiles = shape.tiles_k(mode.tk());
+    let mut it = 0;
+    while it < shape.tiles_m() {
+        let remaining = shape.tiles_m() - it;
+        // Splitting a trailing group of 4 into 2+2 avoids a single-
+        // accumulator tail whose C-writeback chain would serialize the
+        // engine.
+        let u = if unroll >= 3 && remaining == 4 { 2 } else { unroll.min(remaining) };
+        for jt in 0..shape.tiles_n() {
+            for acc in &accs[..u] {
+                trace.push_inst(Inst::TileZero { dst: *acc });
+            }
+            for kt in 0..tk_tiles {
+                match mode {
+                    SparseMode::Dense => {
+                        trace.push_inst(Inst::TileLoadT { dst: TReg::T3, addr: plan.b_addr(jt, kt) });
+                    }
+                    SparseMode::Nm2of4 => {
+                        trace.push_inst(Inst::TileLoadU { dst: UReg::U3, addr: plan.b_addr(jt, kt) });
+                    }
+                    SparseMode::Nm1of4 => {
+                        trace.push_inst(Inst::TileLoadV { dst: VReg::V1, addr: plan.b_addr(jt, kt) });
+                    }
+                }
+                for uu in 0..u {
+                    trace.push_inst(Inst::TileLoadT {
+                        dst: a_reg,
+                        addr: plan.a_value_addr(it + uu, kt),
+                    });
+                    if mode != SparseMode::Dense {
+                        trace.push_inst(Inst::TileLoadM {
+                            dst: a_mreg,
+                            addr: plan.a_meta_addr(it + uu, kt),
+                        });
+                    }
+                    let inst = match mode {
+                        SparseMode::Dense => {
+                            Inst::TileGemm { acc: accs[uu], a: a_reg, b: TReg::T3 }
+                        }
+                        SparseMode::Nm2of4 => {
+                            Inst::TileSpmmU { acc: accs[uu], a: a_reg, b: UReg::U3 }
+                        }
+                        SparseMode::Nm1of4 => {
+                            Inst::TileSpmmV { acc: accs[uu], a: a_reg, b: VReg::V1 }
+                        }
+                    };
+                    trace.push_inst(inst);
+                }
+                if opts.loop_overhead {
+                    emit_loop_overhead(trace);
+                }
+            }
+            for (uu, acc) in accs[..u].iter().enumerate() {
+                trace.push_inst(Inst::TileStoreT { addr: plan.c_addr(it + uu, jt), src: *acc });
+            }
+        }
+        it += u;
+    }
+}
+
+/// Builds the timing trace of the optimized kernel (synthetic addresses, no
+/// data): what the CPU simulator consumes for the Fig. 13 sweeps.
+pub fn build_trace(shape: GemmShape, mode: SparseMode, opts: KernelOptions) -> Trace {
+    let plan = Plan::new(shape, mode);
+    let mut trace = Trace::new();
+    emit_optimized(&plan, opts, &mut trace);
+    trace
+}
+
+/// Builds the naive Listing-1 kernel trace: `C` is loaded and stored on
+/// every `k` iteration, and a single accumulator serializes the engine.
+pub fn build_listing1_trace(shape: GemmShape, mode: SparseMode) -> Trace {
+    let plan = Plan::new(shape, mode);
+    let mut trace = Trace::new();
+    let tk_tiles = shape.tiles_k(mode.tk());
+    for it in 0..shape.tiles_m() {
+        for jt in 0..shape.tiles_n() {
+            for kt in 0..tk_tiles {
+                match mode {
+                    SparseMode::Dense => {
+                        trace.push_inst(Inst::TileLoadT { dst: TReg::T0, addr: plan.b_addr(jt, kt) })
+                    }
+                    SparseMode::Nm2of4 => {
+                        trace.push_inst(Inst::TileLoadU { dst: UReg::U0, addr: plan.b_addr(jt, kt) })
+                    }
+                    SparseMode::Nm1of4 => {
+                        trace.push_inst(Inst::TileLoadV { dst: VReg::V0, addr: plan.b_addr(jt, kt) })
+                    }
+                }
+                let (c, a, m) = match mode {
+                    SparseMode::Nm1of4 => (TReg::T4, TReg::T5, MReg::M5),
+                    _ => (TReg::T2, TReg::T3, MReg::M3),
+                };
+                trace.push_inst(Inst::TileLoadT { dst: c, addr: plan.c_addr(it, jt) });
+                trace.push_inst(Inst::TileLoadT { dst: a, addr: plan.a_value_addr(it, kt) });
+                if mode != SparseMode::Dense {
+                    trace.push_inst(Inst::TileLoadM { dst: m, addr: plan.a_meta_addr(it, kt) });
+                }
+                trace.push_inst(match mode {
+                    SparseMode::Dense => Inst::TileGemm { acc: c, a, b: TReg::T0 },
+                    SparseMode::Nm2of4 => Inst::TileSpmmU { acc: c, a, b: UReg::U0 },
+                    SparseMode::Nm1of4 => Inst::TileSpmmV { acc: c, a, b: VReg::V0 },
+                });
+                trace.push_inst(Inst::TileStoreT { addr: plan.c_addr(it, jt), src: c });
+                emit_loop_overhead(&mut trace);
+            }
+        }
+    }
+    trace
+}
+
+/// A kernel trace bundled with initialized memory, ready for functional
+/// execution.
+#[derive(Debug)]
+pub struct KernelProgram {
+    /// The instruction trace (tile instructions plus loop overhead).
+    pub trace: Trace,
+    /// Memory holding `A` (compressed), `Bᵀ` tiles and zeroed `C` tiles.
+    pub mem: Memory,
+    shape: GemmShape,
+    mode: SparseMode,
+    c_tiles: Vec<u64>,
+}
+
+impl KernelProgram {
+    /// The GEMM shape.
+    pub fn shape(&self) -> GemmShape {
+        self.shape
+    }
+
+    /// The sparse mode the kernel was built for.
+    pub fn mode(&self) -> SparseMode {
+        self.mode
+    }
+
+    /// Runs the tile instructions on the functional executor and returns the
+    /// assembled `M×N` output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor faults ([`KernelError::Isa`]).
+    pub fn run_functional(&self) -> Result<Matrix<f32>, KernelError> {
+        let mut exec = Executor::new(self.mem.clone());
+        exec.run(&self.trace.tile_insts())?;
+        let mut out = Matrix::zeros(self.shape.m, self.shape.n);
+        for it in 0..self.shape.tiles_m() {
+            for jt in 0..self.shape.tiles_n() {
+                let tile = exec
+                    .mem()
+                    .read_f32_matrix(self.c_tiles[it * self.shape.tiles_n() + jt], 16, 16)?;
+                for r in 0..16 {
+                    for c in 0..16 {
+                        let (gr, gc) = (it * 16 + r, jt * 16 + c);
+                        if gr < self.shape.m && gc < self.shape.n {
+                            out[(gr, gc)] = tile[(r, c)];
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Builds a complete program (trace + initialized memory) computing
+/// `C = A × B` with `A` compressed in `mode`'s pattern.
+///
+/// # Errors
+///
+/// * [`KernelError::Shape`] if `A` is not `M×K` / `B` is not `K×N`.
+/// * [`KernelError::Sparsity`] if `A` violates the mode's `N:M` pattern
+///   (prune it first).
+pub fn build_program(
+    a: &Matrix<Bf16>,
+    b: &Matrix<Bf16>,
+    mode: SparseMode,
+    opts: KernelOptions,
+) -> Result<KernelProgram, KernelError> {
+    if a.cols() != b.rows() {
+        return Err(KernelError::Shape {
+            reason: format!("A is {}x{}, B is {}x{}", a.rows(), a.cols(), b.rows(), b.cols()),
+        });
+    }
+    let shape = GemmShape::new(a.rows(), b.cols(), a.cols());
+    let plan = Plan::new(shape, mode);
+    let mut mem = Memory::new(plan.total_bytes.next_multiple_of(64) as usize);
+    let tk = mode.tk();
+    let ratio = mode.ratio();
+    for it in 0..shape.tiles_m() {
+        for kt in 0..shape.tiles_k(tk) {
+            let block = a.block_padded(it * 16, kt * tk, 16, tk, Bf16::ZERO);
+            let tile = CompressedTile::compress(&block, ratio)?;
+            mem.write_bf16_matrix(plan.a_value_addr(it, kt), tile.values())?;
+            if mode != SparseMode::Dense {
+                mem.write_bytes(plan.a_meta_addr(it, kt), &tile.metadata_packed())?;
+            }
+        }
+    }
+    for jt in 0..shape.tiles_n() {
+        for kt in 0..shape.tiles_k(tk) {
+            let bt = b.block_padded(kt * tk, jt * 16, tk, 16, Bf16::ZERO).transposed();
+            mem.write_bf16_matrix(plan.b_addr(jt, kt), &bt)?;
+        }
+    }
+    let mut trace = Trace::new();
+    emit_optimized(&plan, opts, &mut trace);
+    Ok(KernelProgram { trace, mem, shape, mode, c_tiles: plan.c_tiles })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vegeta_num::gemm_bf16_ref;
+    use vegeta_sparse::prune;
+
+    fn check_numerics(m: usize, n: usize, k: usize, mode: SparseMode, seed: u64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let dense_a = prune::random_dense(m, k, &mut rng);
+        let a = prune::magnitude_prune_nm(&dense_a, mode.ratio());
+        let b = prune::random_dense(k, n, &mut rng);
+        let program = build_program(&a, &b, mode, KernelOptions::default()).unwrap();
+        let got = program.run_functional().unwrap();
+        let mut expected = Matrix::zeros(m, n);
+        gemm_bf16_ref(&a, &b, &mut expected);
+        for r in 0..m {
+            for c in 0..n {
+                assert_eq!(got[(r, c)], expected[(r, c)], "mode {mode:?} mismatch at ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_kernel_matches_reference() {
+        check_numerics(32, 32, 64, SparseMode::Dense, 1);
+    }
+
+    #[test]
+    fn spmm_u_kernel_matches_reference() {
+        check_numerics(32, 32, 128, SparseMode::Nm2of4, 2);
+    }
+
+    #[test]
+    fn spmm_v_kernel_matches_reference() {
+        check_numerics(32, 32, 256, SparseMode::Nm1of4, 3);
+    }
+
+    #[test]
+    fn ragged_shapes_are_zero_padded() {
+        // 20x18x70: no dimension is tile-aligned.
+        check_numerics(20, 18, 70, SparseMode::Nm2of4, 4);
+    }
+
+    #[test]
+    fn single_tile_shape() {
+        check_numerics(16, 16, 64, SparseMode::Nm2of4, 5);
+    }
+
+    #[test]
+    fn sparser_modes_issue_fewer_compute_instructions() {
+        let shape = GemmShape::new(64, 64, 512);
+        let dense = build_trace(shape, SparseMode::Dense, KernelOptions::default());
+        let s24 = build_trace(shape, SparseMode::Nm2of4, KernelOptions::default());
+        let s14 = build_trace(shape, SparseMode::Nm1of4, KernelOptions::default());
+        let (d, u, v) =
+            (dense.mix().tile_compute, s24.mix().tile_compute, s14.mix().tile_compute);
+        assert_eq!(d, 2 * u, "2:4 halves the tile instructions");
+        assert_eq!(d, 4 * v, "1:4 quarters the tile instructions");
+    }
+
+    #[test]
+    fn listing1_reloads_c_every_iteration() {
+        let shape = GemmShape::new(32, 32, 128);
+        let naive = build_listing1_trace(shape, SparseMode::Nm2of4);
+        let opt = build_trace(shape, SparseMode::Nm2of4, KernelOptions::default());
+        assert!(naive.mix().tile_stores > opt.mix().tile_stores);
+        assert!(naive.mix().tile_loads > opt.mix().tile_loads);
+        assert_eq!(naive.mix().tile_compute, opt.mix().tile_compute);
+    }
+
+    #[test]
+    fn mode_selection_from_ratio() {
+        assert_eq!(SparseMode::for_ratio(NmRatio::D4_4), Some(SparseMode::Dense));
+        assert_eq!(SparseMode::for_ratio(NmRatio::S2_4), Some(SparseMode::Nm2of4));
+        assert_eq!(SparseMode::for_ratio(NmRatio::S1_4), Some(SparseMode::Nm1of4));
+        assert_eq!(SparseMode::for_ratio(NmRatio::new(3, 8).unwrap()), None);
+    }
+
+    #[test]
+    fn rejects_mismatched_operands() {
+        let a = Matrix::<Bf16>::zeros(16, 32);
+        let b = Matrix::<Bf16>::zeros(64, 16);
+        assert!(matches!(
+            build_program(&a, &b, SparseMode::Dense, KernelOptions::default()),
+            Err(KernelError::Shape { .. })
+        ));
+    }
+
+    #[test]
+    fn unpruned_matrix_is_rejected_for_sparse_modes() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let a = prune::random_dense(16, 64, &mut rng);
+        let b = prune::random_dense(64, 16, &mut rng);
+        assert!(matches!(
+            build_program(&a, &b, SparseMode::Nm2of4, KernelOptions::default()),
+            Err(KernelError::Sparsity(_))
+        ));
+    }
+}

@@ -1,0 +1,128 @@
+//! Vector-engine GEMM baseline (§III-A, Figs. 3 and 4).
+//!
+//! Models a register-blocked AVX-512-class FP32 GEMM microkernel: 4 `A`
+//! rows × 16 `C` columns stay in accumulator registers, the `B` row chunk is
+//! loaded once per `k` step and multiplied against per-row broadcasts of `A`
+//! elements. One vector FMA covers 16 MACs, so the vector engine's peak is
+//! `2 ports × 16 lanes = 32 MACs/cycle` — an 8× gap to the 512-MAC matrix
+//! engine clocked 4× slower (§III-A's 64 vs 512 GFLOPS).
+//!
+//! The trace includes the scalar loop control that makes the *executed
+//! instruction count* gap of Fig. 4 so much larger than the FLOP gap.
+
+use vegeta_isa::trace::{Trace, TraceOp};
+
+use crate::GemmShape;
+
+/// Rows of `A` processed per microkernel invocation.
+const I_BLOCK: usize = 4;
+/// `C` columns per microkernel invocation (one 16-lane FP32 register).
+const J_BLOCK: usize = 16;
+
+/// Builds the dynamic trace of a register-blocked vector GEMM.
+///
+/// Synthetic but coherent addresses: `A`, `B` and `C` live in disjoint
+/// regions so the cache model sees realistic reuse.
+pub fn build_vector_gemm_trace(shape: GemmShape) -> Trace {
+    let mut trace = Trace::new();
+    let a_base = 0x0100_0000u64;
+    let b_base = 0x0200_0000u64;
+    let c_base = 0x0300_0000u64;
+    // Register map: acc 0-3, B chunk 8, A broadcasts 12-15, A lines 20-23.
+    let ib_count = shape.m.div_ceil(I_BLOCK);
+    let jb_count = shape.n.div_ceil(J_BLOCK);
+    for ib in 0..ib_count {
+        for jb in 0..jb_count {
+            for i in 0..I_BLOCK {
+                let row = ib * I_BLOCK + i;
+                trace.push(TraceOp::VecLoad {
+                    dst: i as u8,
+                    addr: c_base + (row * shape.n + jb * J_BLOCK) as u64 * 4,
+                });
+            }
+            for k in 0..shape.k {
+                // B[k][jb..jb+16], 64 B.
+                trace.push(TraceOp::VecLoad {
+                    dst: 8,
+                    addr: b_base + (k * shape.n + jb * J_BLOCK) as u64 * 4,
+                });
+                // Refill A lines every 16 elements (64 B of FP32).
+                if k % 16 == 0 {
+                    for i in 0..I_BLOCK {
+                        let row = ib * I_BLOCK + i;
+                        trace.push(TraceOp::VecLoad {
+                            dst: 20 + i as u8,
+                            addr: a_base + (row * shape.k + k) as u64 * 4,
+                        });
+                    }
+                }
+                for i in 0..I_BLOCK {
+                    // Broadcast A[row][k] from the line register.
+                    trace.push(TraceOp::VecOp { dst: 12 + i as u8, src: 20 + i as u8 });
+                    trace.push(TraceOp::VecFma { acc: i as u8, a: 12 + i as u8, b: 8 });
+                }
+                trace.push(TraceOp::Scalar { dst: 0, src: 0 });
+                trace.push(TraceOp::Branch { cond: 0 });
+            }
+            for i in 0..I_BLOCK {
+                let row = ib * I_BLOCK + i;
+                trace.push(TraceOp::VecStore {
+                    src: i as u8,
+                    addr: c_base + (row * shape.n + jb * J_BLOCK) as u64 * 4,
+                });
+            }
+        }
+    }
+    trace
+}
+
+/// MACs performed per vector FMA (16 FP32 lanes).
+pub const MACS_PER_VEC_FMA: u64 = 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fma_count_covers_all_macs() {
+        let shape = GemmShape::new(32, 32, 64);
+        let trace = build_vector_gemm_trace(shape);
+        let fmas = trace.mix().vec_fmas;
+        assert_eq!(fmas * MACS_PER_VEC_FMA, shape.macs());
+    }
+
+    #[test]
+    fn instruction_count_grows_with_each_dimension() {
+        let base = build_vector_gemm_trace(GemmShape::new(32, 32, 32)).len();
+        for bigger in [
+            GemmShape::new(64, 32, 32),
+            GemmShape::new(32, 64, 32),
+            GemmShape::new(32, 32, 64),
+        ] {
+            assert!(build_vector_gemm_trace(bigger).len() > base);
+        }
+    }
+
+    #[test]
+    fn vector_needs_far_more_instructions_than_matrix() {
+        // The Fig. 4 motivation: executed instruction count ratio is large
+        // and grows with GEMM dimension.
+        use crate::tiled::{build_trace, KernelOptions, SparseMode};
+        let mut last_ratio = 0.0;
+        for dim in [32usize, 64, 128] {
+            let shape = GemmShape::new(dim, dim, dim);
+            let vec = build_vector_gemm_trace(shape).len() as f64;
+            let mat = build_trace(shape, SparseMode::Dense, KernelOptions::default()).len() as f64;
+            let ratio = vec / mat;
+            assert!(ratio > 10.0, "dim {dim}: ratio {ratio}");
+            assert!(ratio > last_ratio, "ratio should grow with dimension");
+            last_ratio = ratio;
+        }
+    }
+
+    #[test]
+    fn ragged_shapes_round_up_blocks() {
+        let trace = build_vector_gemm_trace(GemmShape::new(5, 17, 3));
+        assert!(trace.mix().vec_fmas >= (5f64 / 4.0).ceil() as u64 * 2 * 3 * 4);
+    }
+}

@@ -1,0 +1,306 @@
+//! Sparsity-granularity comparison for unstructured sparsity (Fig. 15,
+//! Table I).
+//!
+//! §VI-E estimates, with an analytical roofline (compute-bound) model, how
+//! much of a random unstructured sparse matrix each hardware class can
+//! actually skip after covering the non-zeros with its supported
+//! granularity of `N:4` sparsity:
+//!
+//! * **Dense** (RASA-like) — no skipping;
+//! * **Layer-wise** (S2TA-like) — a single `N` for the whole layer;
+//! * **Tile-wise** (enhanced S2TA) — one `N` per 16×64 tile;
+//! * **Pseudo row-wise** (VEGETA-S without DMA reordering) — per-row `N`
+//!   with consecutive same-`N` groups;
+//! * **Row-wise** (VEGETA-S with reordering) — per-row `N`;
+//! * **Unstructured** (enhanced SIGMA) — perfect skipping, but paid for
+//!   with a large flexible-interconnect area; Fig. 15 normalizes its
+//!   performance by area.
+//!
+//! Speedup of a covered execution is `dense work / covered work`, the
+//! compute-bound roofline ratio. The SIGMA area factor is calibrated so the
+//! crossover sits just above 95% sparsity, matching Fig. 15 (SIGMA "performs
+//! better than others with extremely high sparsity degrees (>95%)" while
+//! being "inefficient for the modest sparsity degree").
+
+use vegeta_num::{Bf16, Matrix};
+use vegeta_sparse::{density, transform};
+
+/// The hardware classes compared in Fig. 15, in legend order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GranularityHw {
+    /// Dense matrix engine (RASA-like): executes every MAC.
+    Dense,
+    /// Layer-wise `N:M` (S2TA-like).
+    LayerWise,
+    /// Tile-wise `N:M` (enhanced S2TA).
+    TileWise,
+    /// Pseudo row-wise `N:M` (VEGETA-S without reordering).
+    PseudoRowWise,
+    /// Row-wise `N:M` (VEGETA-S with DMA reordering).
+    RowWise,
+    /// Unstructured skipping, area-normalized (enhanced SIGMA).
+    UnstructuredSigma,
+}
+
+impl GranularityHw {
+    /// All classes in Fig. 15 legend order.
+    pub fn all() -> [GranularityHw; 6] {
+        [
+            GranularityHw::Dense,
+            GranularityHw::LayerWise,
+            GranularityHw::TileWise,
+            GranularityHw::PseudoRowWise,
+            GranularityHw::RowWise,
+            GranularityHw::UnstructuredSigma,
+        ]
+    }
+
+    /// Fig. 15 legend label.
+    pub fn name(self) -> &'static str {
+        match self {
+            GranularityHw::Dense => "Dense (RASA-like)",
+            GranularityHw::LayerWise => "Layer-wise (S2TA-like)",
+            GranularityHw::TileWise => "Tile-wise (Enhanced S2TA)",
+            GranularityHw::PseudoRowWise => "Pseudo row-wise (VEGETA-S without reordering)",
+            GranularityHw::RowWise => "Row-wise (VEGETA-S with reordering)",
+            GranularityHw::UnstructuredSigma => "Unstructured (Enhanced SIGMA, area-normalized)",
+        }
+    }
+}
+
+/// Model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GranularityModel {
+    /// Tile height used for tile/row-wise covers (treg rows).
+    pub tile_rows: usize,
+    /// Tile width (the `W_A = M · Nrows = 64` of §V-E).
+    pub tile_cols: usize,
+    /// Area of the SIGMA-class engine relative to VEGETA-S; its speedup is
+    /// divided by this factor (Fig. 15's area normalization).
+    pub sigma_area_factor: f64,
+}
+
+impl Default for GranularityModel {
+    fn default() -> Self {
+        GranularityModel { tile_rows: 16, tile_cols: 64, sigma_area_factor: 5.0 }
+    }
+}
+
+impl GranularityModel {
+    /// Creates the calibrated default model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compute-bound speedup of `hw` over the dense engine on matrix `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is empty.
+    pub fn speedup(&self, hw: GranularityHw, a: &Matrix<Bf16>) -> f64 {
+        assert!(!a.is_empty(), "matrix must be non-empty");
+        let total = a.len() as f64;
+        match hw {
+            GranularityHw::Dense => 1.0,
+            GranularityHw::UnstructuredSigma => {
+                let d = density(a).max(1.0 / total);
+                (1.0 / d) / self.sigma_area_factor
+            }
+            _ => {
+                let covered = self.covered_work(hw, a);
+                total / covered
+            }
+        }
+    }
+
+    /// Work (stored-element MACs, normalized per B column) after covering.
+    fn covered_work(&self, hw: GranularityHw, a: &Matrix<Bf16>) -> f64 {
+        if hw == GranularityHw::LayerWise {
+            let cover = transform::uniform_cover(a, 4).expect("m=4 is supported");
+            return cover.density() * a.len() as f64;
+        }
+        let mut covered = 0.0;
+        let (tr, tc) = (self.tile_rows, self.tile_cols);
+        for r0 in (0..a.rows()).step_by(tr) {
+            for c0 in (0..a.cols()).step_by(tc) {
+                let rows = tr.min(a.rows() - r0);
+                let cols = tc.min(a.cols() - c0);
+                let tile = a.block_padded(r0, c0, rows, cols, Bf16::ZERO);
+                let ratios = match hw {
+                    GranularityHw::TileWise => {
+                        vec![transform::uniform_cover(&tile, 4).expect("m=4"); rows]
+                    }
+                    GranularityHw::PseudoRowWise => {
+                        transform::pseudo_row_wise_covers(&tile, 4).expect("m=4")
+                    }
+                    GranularityHw::RowWise => {
+                        transform::reordered_row_wise_covers(&tile, 4).expect("m=4")
+                    }
+                    _ => unreachable!("dense/layer/sigma handled above"),
+                };
+                covered += transform::cover_stats(&ratios, cols).covered_work;
+            }
+        }
+        covered
+    }
+}
+
+/// One row of the Table I support matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupportRow {
+    /// Design name.
+    pub design: &'static str,
+    /// Network-wise `N:M` support.
+    pub network_wise: bool,
+    /// Layer-wise `N:M` support.
+    pub layer_wise: bool,
+    /// Tile-wise `N:M` support.
+    pub tile_wise: bool,
+    /// Row-wise `N:M` support.
+    pub row_wise: bool,
+}
+
+/// The sparsity-granularity support comparison of Table I.
+///
+/// S2TA's tile-wise entry carries the paper's footnote: "they do not claim
+/// they support tile-wise, but it can be extended" — encoded here as
+/// supported.
+pub fn table1() -> Vec<SupportRow> {
+    vec![
+        SupportRow {
+            design: "NVIDIA STC",
+            network_wise: true,
+            layer_wise: false,
+            tile_wise: false,
+            row_wise: false,
+        },
+        SupportRow {
+            design: "STA",
+            network_wise: true,
+            layer_wise: true,
+            tile_wise: false,
+            row_wise: false,
+        },
+        SupportRow {
+            design: "S2TA",
+            network_wise: true,
+            layer_wise: true,
+            tile_wise: true, // footnote 1: extendable
+            row_wise: false,
+        },
+        SupportRow {
+            design: "VEGETA",
+            network_wise: true,
+            layer_wise: true,
+            tile_wise: true,
+            row_wise: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vegeta_sparse::prune;
+
+    fn random_sparse(rows: usize, cols: usize, degree: f64, seed: u64) -> Matrix<Bf16> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        prune::random_unstructured(rows, cols, degree, &mut rng)
+    }
+
+    #[test]
+    fn speedup_hierarchy_matches_figure15() {
+        let model = GranularityModel::default();
+        let a = random_sparse(256, 512, 0.9, 1);
+        let dense = model.speedup(GranularityHw::Dense, &a);
+        let layer = model.speedup(GranularityHw::LayerWise, &a);
+        let tile = model.speedup(GranularityHw::TileWise, &a);
+        let pseudo = model.speedup(GranularityHw::PseudoRowWise, &a);
+        let row = model.speedup(GranularityHw::RowWise, &a);
+        assert_eq!(dense, 1.0);
+        assert!(layer >= dense);
+        assert!(tile >= layer);
+        assert!(pseudo >= tile - 1e-9);
+        assert!(row >= pseudo - 1e-9);
+        assert!(row <= 4.0 + 1e-9, "row-wise cannot beat 1:4's 4x bound");
+    }
+
+    #[test]
+    fn row_wise_at_95_percent_is_about_3_3x() {
+        // Fig. 15 / headline: row-wise achieves 3.28x at 95% sparsity.
+        let model = GranularityModel::default();
+        let a = random_sparse(512, 2048, 0.95, 2);
+        let s = model.speedup(GranularityHw::RowWise, &a);
+        assert!((2.9..=3.7).contains(&s), "got {s}");
+    }
+
+    #[test]
+    fn row_wise_at_90_percent_is_about_2_4x() {
+        // Fig. 15: "row-wise achieves 2.36x ... at 90%".
+        let model = GranularityModel::default();
+        let a = random_sparse(512, 2048, 0.90, 3);
+        let s = model.speedup(GranularityHw::RowWise, &a);
+        assert!((2.1..=2.7).contains(&s), "got {s}");
+    }
+
+    #[test]
+    fn layer_wise_barely_helps_on_unstructured() {
+        // §VI-E: "layer-wise does not show much performance improvement
+        // over dense" — a big random matrix almost surely has one dense-ish
+        // row that forces N=4.
+        let model = GranularityModel::default();
+        let a = random_sparse(512, 2048, 0.8, 4);
+        let s = model.speedup(GranularityHw::LayerWise, &a);
+        assert!(s < 1.5, "got {s}");
+    }
+
+    #[test]
+    fn sigma_crosses_over_above_95_percent() {
+        let model = GranularityModel::default();
+        let at_90 = random_sparse(512, 2048, 0.90, 5);
+        let at_97 = random_sparse(512, 2048, 0.97, 6);
+        assert!(
+            model.speedup(GranularityHw::UnstructuredSigma, &at_90)
+                < model.speedup(GranularityHw::RowWise, &at_90),
+            "SIGMA must lose at 90%"
+        );
+        assert!(
+            model.speedup(GranularityHw::UnstructuredSigma, &at_97)
+                > model.speedup(GranularityHw::RowWise, &at_97),
+            "SIGMA must win beyond 95%"
+        );
+    }
+
+    #[test]
+    fn sigma_is_inefficient_at_modest_sparsity() {
+        let model = GranularityModel::default();
+        let a = random_sparse(256, 512, 0.6, 7);
+        assert!(model.speedup(GranularityHw::UnstructuredSigma, &a) < 1.0);
+    }
+
+    #[test]
+    fn table1_matches_paper_claims() {
+        let t = table1();
+        assert_eq!(t.len(), 4);
+        let vegeta = t.iter().find(|r| r.design == "VEGETA").unwrap();
+        assert!(vegeta.network_wise && vegeta.layer_wise && vegeta.tile_wise && vegeta.row_wise);
+        // VEGETA is the only design with row-wise support.
+        assert_eq!(t.iter().filter(|r| r.row_wise).count(), 1);
+        let stc = t.iter().find(|r| r.design == "NVIDIA STC").unwrap();
+        assert!(stc.network_wise && !stc.layer_wise);
+    }
+
+    #[test]
+    fn speedups_monotone_in_sparsity_degree() {
+        let model = GranularityModel::default();
+        let mut last = 0.0;
+        for (i, degree) in [0.6f64, 0.75, 0.9, 0.95].iter().enumerate() {
+            let a = random_sparse(256, 1024, *degree, 100 + i as u64);
+            let s = model.speedup(GranularityHw::RowWise, &a);
+            assert!(s >= last, "row-wise speedup must grow with sparsity");
+            last = s;
+        }
+    }
+}

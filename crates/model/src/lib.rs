@@ -1,0 +1,36 @@
+//! Analytical models of the VEGETA evaluation (§III-A, §VI-E).
+//!
+//! Two of the paper's studies are roofline/analytical rather than
+//! simulator-driven, and this crate reproduces both:
+//!
+//! * [`roofline`] — effective throughput of dense/sparse vector/matrix
+//!   engines versus density (Fig. 3), with the paper's 64 / 512 GFLOPS and
+//!   94 GB/s parameters.
+//! * [`granularity`] — the unstructured-sparsity study (Fig. 15): how much
+//!   work each sparsity-granularity class (layer-/tile-/pseudo row-/row-wise
+//!   and area-normalized SIGMA) can skip on random sparse matrices, plus the
+//!   Table I support matrix.
+//!
+//! # Example
+//!
+//! ```
+//! use vegeta_model::roofline::{effective_tflops, RooflineEngine, RooflineParams, RooflineWorkload};
+//!
+//! let tflops = effective_tflops(
+//!     &RooflineParams::default(),
+//!     RooflineEngine::SparseMatrix,
+//!     &RooflineWorkload::conv_layer(),
+//!     0.5,
+//! );
+//! assert!(tflops > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dynamic;
+pub mod granularity;
+pub mod roofline;
+
+pub use dynamic::{merge_conflict_probability, simulate_compaction, CompactionStats};
+pub use granularity::{table1, GranularityHw, GranularityModel, SupportRow};
+pub use roofline::{effective_tflops, RooflineEngine, RooflineParams, RooflineWorkload};

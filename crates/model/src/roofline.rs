@@ -1,0 +1,219 @@
+//! Roofline model of dense/sparse vector/matrix engines (Fig. 3).
+//!
+//! §III-A derives effective compute throughput on a convolutional layer at
+//! varying density from a roofline: 64 GFLOPS for the vector engine,
+//! 512 GFLOPS for the matrix engine, and 94 GB/s of memory bandwidth.
+//!
+//! Definitions, following the paper:
+//!
+//! * *Effective throughput* counts only effectual FLOPs (those on non-zero
+//!   operands) per unit time.
+//! * A **dense** engine must execute every MAC, so its runtime is fixed and
+//!   its effective throughput falls linearly with density.
+//! * A **sparse** engine skips ineffectual MACs (runtime ∝ density) and
+//!   reads compressed weights (traffic ∝ density plus metadata), so it stays
+//!   at peak until the memory roof takes over at low density.
+
+/// Roofline parameters (§III-A defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RooflineParams {
+    /// Vector engine peak, GFLOP/s.
+    pub vector_gflops: f64,
+    /// Matrix engine peak, GFLOP/s.
+    pub matrix_gflops: f64,
+    /// Memory bandwidth, GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+impl Default for RooflineParams {
+    fn default() -> Self {
+        RooflineParams { vector_gflops: 64.0, matrix_gflops: 512.0, bandwidth_gbs: 94.0 }
+    }
+}
+
+/// The four engine variants of Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RooflineEngine {
+    /// Dense vector engine.
+    DenseVector,
+    /// Sparsity-aware vector engine (SAVE/SparCE-like).
+    SparseVector,
+    /// Dense matrix engine (AMX/RASA-like).
+    DenseMatrix,
+    /// Sparse matrix engine (VEGETA).
+    SparseMatrix,
+}
+
+impl RooflineEngine {
+    /// All four variants, in Fig. 3 legend order.
+    pub fn all() -> [RooflineEngine; 4] {
+        [
+            RooflineEngine::SparseMatrix,
+            RooflineEngine::DenseMatrix,
+            RooflineEngine::SparseVector,
+            RooflineEngine::DenseVector,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RooflineEngine::DenseVector => "Dense vector engine",
+            RooflineEngine::SparseVector => "Sparse vector engine",
+            RooflineEngine::DenseMatrix => "Dense matrix engine",
+            RooflineEngine::SparseMatrix => "Sparse matrix engine",
+        }
+    }
+
+    fn is_sparse(self) -> bool {
+        matches!(self, RooflineEngine::SparseVector | RooflineEngine::SparseMatrix)
+    }
+
+    fn peak(self, p: &RooflineParams) -> f64 {
+        match self {
+            RooflineEngine::DenseVector | RooflineEngine::SparseVector => p.vector_gflops,
+            RooflineEngine::DenseMatrix | RooflineEngine::SparseMatrix => p.matrix_gflops,
+        }
+    }
+}
+
+/// The workload of the roofline: a GEMM-shaped layer with BF16 operands and
+/// FP32 outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RooflineWorkload {
+    /// Output rows (weights are `m × k`).
+    pub m: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Inner dimension.
+    pub k: usize,
+}
+
+impl RooflineWorkload {
+    /// The convolutional layer used for Fig. 3 (ResNet50-L2 lowered).
+    pub fn conv_layer() -> Self {
+        RooflineWorkload { m: 64, n: 3136, k: 576 }
+    }
+
+    fn flops(&self) -> f64 {
+        2.0 * self.m as f64 * self.n as f64 * self.k as f64
+    }
+
+    /// Bytes moved for the given weight density on a given engine style.
+    fn bytes(&self, density: f64, sparse_engine: bool) -> f64 {
+        let weights = self.m as f64 * self.k as f64;
+        let weight_bytes = if sparse_engine {
+            // Compressed: non-zero values + 2-bit metadata per value.
+            density * weights * (2.0 + 0.25)
+        } else {
+            weights * 2.0
+        };
+        let input_bytes = self.k as f64 * self.n as f64 * 2.0;
+        let output_bytes = self.m as f64 * self.n as f64 * 4.0;
+        weight_bytes + input_bytes + output_bytes
+    }
+}
+
+/// Effective throughput in TFLOP/s at the given weight density in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `density` is outside `[0, 1]`.
+pub fn effective_tflops(
+    params: &RooflineParams,
+    engine: RooflineEngine,
+    workload: &RooflineWorkload,
+    density: f64,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+    let effectual_gflop = workload.flops() * density / 1e9;
+    let executed_gflop =
+        if engine.is_sparse() { effectual_gflop } else { workload.flops() / 1e9 };
+    let compute_time = executed_gflop / engine.peak(params);
+    let mem_time = workload.bytes(density, engine.is_sparse()) / 1e9 / params.bandwidth_gbs;
+    let time = compute_time.max(mem_time);
+    if time == 0.0 {
+        return 0.0;
+    }
+    effectual_gflop / time / 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tf(engine: RooflineEngine, density: f64) -> f64 {
+        effective_tflops(
+            &RooflineParams::default(),
+            engine,
+            &RooflineWorkload::conv_layer(),
+            density,
+        )
+    }
+
+    #[test]
+    fn dense_and_sparse_agree_at_full_density() {
+        // Fig. 3: "for the 100% dense case, the dense matrix (vector) and
+        // sparse matrix (vector) engines achieve the same compute
+        // throughput".
+        assert!((tf(RooflineEngine::DenseMatrix, 1.0) - tf(RooflineEngine::SparseMatrix, 1.0)).abs() < 1e-9);
+        assert!((tf(RooflineEngine::DenseVector, 1.0) - tf(RooflineEngine::SparseVector, 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matrix_peak_is_8x_vector_peak() {
+        let p = RooflineParams::default();
+        assert_eq!(p.matrix_gflops / p.vector_gflops, 8.0);
+        // And visible in the roofline at full density (compute bound).
+        let ratio = tf(RooflineEngine::DenseMatrix, 1.0) / tf(RooflineEngine::DenseVector, 1.0);
+        assert!(ratio > 4.0, "matrix should be far above vector, got {ratio}");
+    }
+
+    #[test]
+    fn sparse_engines_dominate_at_low_density() {
+        for density in [0.05f64, 0.1, 0.25, 0.5] {
+            assert!(
+                tf(RooflineEngine::SparseMatrix, density)
+                    > tf(RooflineEngine::DenseMatrix, density) * 1.05,
+                "sparse matrix must win at density {density}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_effective_throughput_is_linear_in_density() {
+        let full = tf(RooflineEngine::DenseMatrix, 1.0);
+        let half = tf(RooflineEngine::DenseMatrix, 0.5);
+        assert!((half - full / 2.0).abs() < full * 0.01);
+    }
+
+    #[test]
+    fn sparse_vector_approaches_sparse_matrix_when_memory_bound() {
+        // §III-A: "When memory bound, i.e., at extremely low density, ...
+        // a sparse vector engine performs similar to a sparse matrix engine."
+        // The memory roof crosses the 64 GFLOPS vector peak at ~1.3%
+        // density for this layer's arithmetic intensity.
+        let v = tf(RooflineEngine::SparseVector, 0.01);
+        let m = tf(RooflineEngine::SparseMatrix, 0.01);
+        assert!((v - m).abs() / m < 0.05, "vector {v} vs matrix {m}");
+        // But not at high density.
+        let v = tf(RooflineEngine::SparseVector, 0.9);
+        let m = tf(RooflineEngine::SparseMatrix, 0.9);
+        assert!(m > v * 2.0);
+    }
+
+    #[test]
+    fn sparse_matrix_hits_memory_roof_below_some_density() {
+        // The sparse matrix curve must bend: peak-bound region near 100%,
+        // memory-bound decline at low density.
+        let high = tf(RooflineEngine::SparseMatrix, 0.95);
+        let low = tf(RooflineEngine::SparseMatrix, 0.05);
+        assert!(high > low, "throughput falls when memory bound");
+    }
+
+    #[test]
+    #[should_panic(expected = "density")]
+    fn rejects_bad_density() {
+        let _ = tf(RooflineEngine::DenseMatrix, 1.5);
+    }
+}

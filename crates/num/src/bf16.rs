@@ -1,0 +1,218 @@
+//! Software `bfloat16` implementation.
+//!
+//! BF16 keeps the 8-bit exponent of IEEE-754 binary32 and truncates the
+//! mantissa to 7 bits, so a BF16 value is exactly the upper 16 bits of an
+//! `f32`. Conversion from `f32` rounds to nearest-even, which is what the
+//! hardware converters in AMX-class engines implement.
+
+use std::fmt;
+
+/// A 16-bit brain floating point number (1 sign, 8 exponent, 7 mantissa bits).
+///
+/// Stored as the raw upper half of the equivalent `f32` bit pattern.
+/// `Bf16 -> f32` conversion is exact; `f32 -> Bf16` rounds to nearest-even.
+///
+/// # Examples
+///
+/// ```
+/// use vegeta_num::Bf16;
+///
+/// let x = Bf16::from_f32(1.5);
+/// assert_eq!(x.to_f32(), 1.5);
+/// // 7 mantissa bits cannot represent 1.004 exactly:
+/// assert_ne!(Bf16::from_f32(1.004).to_f32(), 1.004);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Bf16(u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3F80);
+    /// Smallest positive normal value (2^-126).
+    pub const MIN_POSITIVE: Bf16 = Bf16(0x0080);
+    /// Largest finite value (~3.39e38).
+    pub const MAX: Bf16 = Bf16(0x7F7F);
+
+    /// Creates a `Bf16` from its raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        Bf16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts from `f32` with round-to-nearest-even.
+    ///
+    /// NaNs are preserved as quiet NaNs (mantissa MSB forced on) so a payload
+    /// truncated to zero cannot turn a NaN into an infinity.
+    #[inline]
+    pub fn from_f32(value: f32) -> Self {
+        let bits = value.to_bits();
+        if value.is_nan() {
+            // Quiet the NaN and keep the top payload bits.
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        // Round to nearest even on the truncated 16 bits.
+        let round_bit = 0x0000_8000u32;
+        let lsb = (bits >> 16) & 1;
+        let rounded = bits.wrapping_add(0x0000_7FFF + lsb);
+        let _ = round_bit;
+        Bf16((rounded >> 16) as u16)
+    }
+
+    /// Converts to `f32` exactly (BF16 is a prefix of the f32 encoding).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Returns `true` if the value is exactly ±0.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 & 0x7FFF == 0
+    }
+
+    /// Returns `true` if the value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7F80) == 0x7F80 && (self.0 & 0x007F) != 0
+    }
+
+    /// Little-endian byte encoding, as stored in tile registers and memory.
+    #[inline]
+    pub fn to_le_bytes(self) -> [u8; 2] {
+        self.0.to_le_bytes()
+    }
+
+    /// Decodes from the little-endian byte encoding.
+    #[inline]
+    pub fn from_le_bytes(bytes: [u8; 2]) -> Self {
+        Bf16(u16::from_le_bytes(bytes))
+    }
+}
+
+impl From<Bf16> for f32 {
+    #[inline]
+    fn from(x: Bf16) -> f32 {
+        x.to_f32()
+    }
+}
+
+impl fmt::Debug for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bf16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+impl fmt::LowerHex for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl PartialOrd for Bf16 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_roundtrip() {
+        for i in -256i32..=256 {
+            let x = i as f32;
+            assert_eq!(Bf16::from_f32(x).to_f32(), x, "integer {i} should be exact in bf16");
+        }
+    }
+
+    #[test]
+    fn powers_of_two_roundtrip() {
+        for e in -126i32..=127 {
+            let x = (e as f32).exp2();
+            assert_eq!(Bf16::from_f32(x).to_f32(), x);
+        }
+    }
+
+    #[test]
+    fn rounds_to_nearest_even() {
+        // 1.0 + 2^-8 is exactly halfway between bf16(1.0) and the next value
+        // 1.0 + 2^-7; round-to-even keeps the even mantissa (1.0).
+        let halfway = f32::from_bits(0x3F80_8000);
+        assert_eq!(Bf16::from_f32(halfway).to_bits(), 0x3F80);
+        // One ULP above the halfway point must round up.
+        let above = f32::from_bits(0x3F80_8001);
+        assert_eq!(Bf16::from_f32(above).to_bits(), 0x3F81);
+        // Halfway with odd low mantissa bit rounds up to even.
+        let halfway_odd = f32::from_bits(0x3F81_8000);
+        assert_eq!(Bf16::from_f32(halfway_odd).to_bits(), 0x3F82);
+    }
+
+    #[test]
+    fn zero_detection_handles_both_signs() {
+        assert!(Bf16::from_f32(0.0).is_zero());
+        assert!(Bf16::from_f32(-0.0).is_zero());
+        assert!(!Bf16::from_f32(1e-30).is_zero());
+    }
+
+    #[test]
+    fn nan_is_preserved_and_quieted() {
+        let nan = Bf16::from_f32(f32::NAN);
+        assert!(nan.is_nan());
+        assert!(nan.to_f32().is_nan());
+    }
+
+    #[test]
+    fn infinities_convert_exactly() {
+        assert_eq!(Bf16::from_f32(f32::INFINITY).to_f32(), f32::INFINITY);
+        assert_eq!(Bf16::from_f32(f32::NEG_INFINITY).to_f32(), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn overflow_rounds_to_infinity() {
+        // Values above Bf16::MAX round up to infinity, as in hardware.
+        let just_above_max = 3.4e38f32;
+        assert_eq!(Bf16::from_f32(just_above_max).to_f32(), f32::INFINITY);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let x = Bf16::from_f32(-7.25);
+        assert_eq!(Bf16::from_le_bytes(x.to_le_bytes()), x);
+    }
+
+    #[test]
+    fn conversion_error_is_within_one_ulp() {
+        // |x - bf16(x)| <= 2^-8 * |x| for normal x (half ULP of 7-bit mantissa).
+        for &x in &[1.004f32, 3.21159, -2.78128, 1234.5678, 1e-3] {
+            let err = (Bf16::from_f32(x).to_f32() - x).abs();
+            assert!(err <= x.abs() * (2.0f32).powi(-8), "error {err} too large for {x}");
+        }
+    }
+}

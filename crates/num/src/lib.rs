@@ -1,0 +1,178 @@
+//! Mixed-precision numerics for the VEGETA reproduction.
+//!
+//! VEGETA (HPCA 2023) targets BF16 inputs with FP32 accumulation, the
+//! mixed-precision mode used by commercial matrix engines (Intel AMX/TMUL,
+//! IBM MMA, Arm SME). This crate provides:
+//!
+//! * [`Bf16`] — a software `bfloat16` with round-to-nearest-even conversion,
+//!   matching how a hardware BF16 multiplier would quantize FP32 weights and
+//!   activations.
+//! * [`Matrix`] — a dense row-major container used for reference inputs and
+//!   outputs throughout the workspace.
+//! * [`gemm_f32`]/[`gemm_bf16_ref`] — scalar reference GEMMs against which the
+//!   functional ISA executor and the cycle-accurate engine dataflow are
+//!   bit-checked.
+//!
+//! # Examples
+//!
+//! ```
+//! use vegeta_num::{Bf16, Matrix, gemm_bf16_ref};
+//!
+//! let a = Matrix::from_fn(2, 3, |r, c| Bf16::from_f32((r * 3 + c) as f32));
+//! let b = Matrix::from_fn(3, 2, |r, c| Bf16::from_f32((r * 2 + c) as f32));
+//! let mut c = Matrix::zeros(2, 2);
+//! gemm_bf16_ref(&a, &b, &mut c);
+//! assert_eq!(c[(0, 0)], 10.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bf16;
+mod matrix;
+
+pub use bf16::Bf16;
+pub use matrix::{Matrix, MatrixShapeError};
+
+/// Multiply-accumulate in the engine's mixed precision: `acc + a * b`
+/// where the product is computed in FP32 from BF16 operands.
+///
+/// Every MAC unit in the VEGETA engine (dense or sparse) performs exactly
+/// this operation, so all simulators in the workspace funnel through it.
+#[inline]
+pub fn mac_bf16(acc: f32, a: Bf16, b: Bf16) -> f32 {
+    acc + a.to_f32() * b.to_f32()
+}
+
+/// Dot product of two BF16 slices with FP32 accumulation.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot_bf16(a: &[Bf16], b: &[Bf16]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot product operands must match in length");
+    a.iter().zip(b).fold(0.0f32, |acc, (&x, &y)| mac_bf16(acc, x, y))
+}
+
+/// Reference FP32 GEMM: `c += a * b` on plain `f32` matrices.
+///
+/// Used for vector-engine baselines and high-level checks where BF16
+/// quantization is not under test.
+///
+/// # Panics
+///
+/// Panics if the shapes do not conform (`a` is m×k, `b` is k×n, `c` is m×n).
+pub fn gemm_f32(a: &Matrix<f32>, b: &Matrix<f32>, c: &mut Matrix<f32>) {
+    assert_eq!(a.cols(), b.rows(), "inner GEMM dimensions must agree");
+    assert_eq!(c.rows(), a.rows(), "output rows must match a");
+    assert_eq!(c.cols(), b.cols(), "output cols must match b");
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            let aik = a[(i, k)];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..b.cols() {
+                c[(i, j)] += aik * b[(k, j)];
+            }
+        }
+    }
+}
+
+/// Reference mixed-precision GEMM: `c (f32) += a (bf16) * b (bf16)`.
+///
+/// This is the golden model for `TILE_GEMM`/`TILE_SPMM_*`: the accumulation
+/// order is row-major over `k` which matches the spatio-temporal reduction
+/// order of a weight-stationary systolic array column followed by the bottom
+/// adder tree (FP32 addition is reordered identically in both models, keeping
+/// results bit-exact between reference and dataflow simulation).
+///
+/// # Panics
+///
+/// Panics if the shapes do not conform.
+pub fn gemm_bf16_ref(a: &Matrix<Bf16>, b: &Matrix<Bf16>, c: &mut Matrix<f32>) {
+    assert_eq!(a.cols(), b.rows(), "inner GEMM dimensions must agree");
+    assert_eq!(c.rows(), a.rows(), "output rows must match a");
+    assert_eq!(c.cols(), b.cols(), "output cols must match b");
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = c[(i, j)];
+            for k in 0..a.cols() {
+                acc = mac_bf16(acc, a[(i, k)], b[(k, j)]);
+            }
+            c[(i, j)] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_matches_f32_arithmetic_on_exact_values() {
+        let a = Bf16::from_f32(3.0);
+        let b = Bf16::from_f32(-2.5);
+        assert_eq!(mac_bf16(1.0, a, b), 1.0 + 3.0 * -2.5);
+    }
+
+    #[test]
+    fn dot_of_basis_vectors_selects_element() {
+        let a: Vec<Bf16> = [0.0, 1.0, 0.0, 0.0].iter().map(|&x| Bf16::from_f32(x)).collect();
+        let b: Vec<Bf16> = [9.0, 7.0, 5.0, 3.0].iter().map(|&x| Bf16::from_f32(x)).collect();
+        assert_eq!(dot_bf16(&a, &b), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn dot_rejects_mismatched_lengths() {
+        let a = vec![Bf16::ZERO; 3];
+        let b = vec![Bf16::ZERO; 4];
+        let _ = dot_bf16(&a, &b);
+    }
+
+    #[test]
+    fn gemm_f32_identity_is_noop() {
+        let ident = Matrix::from_fn(4, 4, |r, c| if r == c { 1.0 } else { 0.0 });
+        let b = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        let mut c = Matrix::zeros(4, 4);
+        gemm_f32(&ident, &b, &mut c);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn gemm_bf16_accumulates_into_c() {
+        let a = Matrix::from_fn(2, 2, |_, _| Bf16::from_f32(1.0));
+        let b = Matrix::from_fn(2, 2, |_, _| Bf16::from_f32(2.0));
+        let mut c = Matrix::from_fn(2, 2, |_, _| 10.0f32);
+        gemm_bf16_ref(&a, &b, &mut c);
+        // each output: 10 + 1*2 + 1*2 = 14
+        assert!(c.iter().all(|&x| x == 14.0));
+    }
+
+    #[test]
+    fn gemm_bf16_skipping_zeros_is_exact() {
+        // Multiplying by zero contributes exactly nothing — the identity that
+        // justifies skipping ineffectual MACs in sparse engines.
+        let mut a = Matrix::from_fn(3, 4, |r, c| Bf16::from_f32((r + c) as f32));
+        a[(1, 2)] = Bf16::ZERO;
+        a[(2, 0)] = Bf16::ZERO;
+        let b = Matrix::from_fn(4, 3, |r, c| Bf16::from_f32((r * 3 + c) as f32 * 0.5));
+        let mut dense = Matrix::zeros(3, 3);
+        gemm_bf16_ref(&a, &b, &mut dense);
+
+        // Sparse evaluation: skip zero weights explicitly.
+        let mut sparse = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut acc = 0.0f32;
+                for k in 0..4 {
+                    if a[(i, k)] != Bf16::ZERO {
+                        acc = mac_bf16(acc, a[(i, k)], b[(k, j)]);
+                    }
+                }
+                sparse[(i, j)] = acc;
+            }
+        }
+        assert_eq!(dense, sparse);
+    }
+}

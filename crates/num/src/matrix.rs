@@ -1,0 +1,275 @@
+//! Dense row-major matrix container shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Error returned when constructing a [`Matrix`] from data whose length does
+/// not match the requested shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixShapeError {
+    rows: usize,
+    cols: usize,
+    len: usize,
+}
+
+impl fmt::Display for MatrixShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "data length {} does not match {}x{} matrix shape",
+            self.len, self.rows, self.cols
+        )
+    }
+}
+
+impl Error for MatrixShapeError {}
+
+/// A dense row-major matrix.
+///
+/// This is the lingua franca of the workspace: workload generators produce
+/// `Matrix<Bf16>` weights/inputs, the sparse compressor consumes them, and all
+/// simulators check their outputs against reference `Matrix<f32>` results.
+///
+/// # Examples
+///
+/// ```
+/// use vegeta_num::Matrix;
+///
+/// let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as i32);
+/// assert_eq!(m[(1, 2)], 5);
+/// assert_eq!(m.row(1), &[3, 4, 5]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Clone + Default> Matrix<T> {
+    /// Creates a matrix filled with `T::default()` (zeros for numeric types).
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![T::default(); rows * cols] }
+    }
+}
+
+impl<T> Matrix<T> {
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from a row-major `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixShapeError`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Result<Self, MatrixShapeError> {
+        if data.len() != rows * cols {
+            return Err(MatrixShapeError { rows, cols, len: data.len() });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[T] {
+        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row-major view of the underlying storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Iterates over all elements in row-major order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+
+    /// Consumes the matrix and returns its row-major storage.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Applies `f` to every element, producing a new matrix of the same shape.
+    pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> Matrix<U> {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(f).collect() }
+    }
+}
+
+impl<T: Clone> Matrix<T> {
+    /// Returns the transposed matrix.
+    pub fn transposed(&self) -> Matrix<T> {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)].clone())
+    }
+
+    /// Copies a rectangular sub-block starting at `(row0, col0)` with shape
+    /// `rows x cols`, padding out-of-range elements with `fill`.
+    ///
+    /// Tiled kernels use this to extract 16x32-style tiles from layer matrices
+    /// whose dimensions are not multiples of the tile size.
+    pub fn block_padded(
+        &self,
+        row0: usize,
+        col0: usize,
+        rows: usize,
+        cols: usize,
+        fill: T,
+    ) -> Matrix<T> {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let (rr, cc) = (row0 + r, col0 + c);
+            if rr < self.rows && cc < self.cols {
+                self[(rr, cc)].clone()
+            } else {
+                fill.clone()
+            }
+        })
+    }
+}
+
+impl<T> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<T> IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(12) {
+                write!(f, "{:?} ", self.data[r * self.cols + c])?;
+            }
+            if self.cols > 12 {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 3, vec![0u8; 6]).is_ok());
+        let err = Matrix::from_vec(2, 3, vec![0u8; 5]).unwrap_err();
+        assert_eq!(err.to_string(), "data length 5 does not match 2x3 matrix shape");
+    }
+
+    #[test]
+    fn indexing_is_row_major() {
+        let m = Matrix::from_fn(3, 4, |r, c| r * 10 + c);
+        assert_eq!(m[(0, 0)], 0);
+        assert_eq!(m[(2, 3)], 23);
+        assert_eq!(m.as_slice()[7], m[(1, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn indexing_out_of_bounds_panics() {
+        let m = Matrix::<u8>::zeros(2, 2);
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(3, 5, |r, c| r * 5 + c);
+        assert_eq!(m.transposed().transposed(), m);
+        assert_eq!(m.transposed()[(4, 2)], m[(2, 4)]);
+    }
+
+    #[test]
+    fn block_padded_pads_with_fill() {
+        let m = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as i32);
+        let b = m.block_padded(2, 2, 2, 2, -1);
+        assert_eq!(b[(0, 0)], 8);
+        assert_eq!(b[(0, 1)], -1);
+        assert_eq!(b[(1, 0)], -1);
+        assert_eq!(b[(1, 1)], -1);
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let m = Matrix::from_fn(2, 2, |r, c| (r + c) as u32);
+        let d = m.map(|&x| x as f64 * 0.5);
+        assert_eq!(d.rows(), 2);
+        assert_eq!(d[(1, 1)], 1.0);
+    }
+
+    #[test]
+    fn rows_are_contiguous_slices() {
+        let mut m = Matrix::from_fn(2, 3, |r, c| r * 3 + c);
+        assert_eq!(m.row(0), &[0, 1, 2]);
+        m.row_mut(1)[0] = 99;
+        assert_eq!(m[(1, 0)], 99);
+    }
+}

@@ -1,0 +1,54 @@
+//! Property-based tests for the BF16 implementation.
+
+use proptest::prelude::*;
+use vegeta_num::{dot_bf16, Bf16, Matrix};
+
+proptest! {
+    /// bf16 -> f32 -> bf16 is the identity (the conversion is exact).
+    #[test]
+    fn f32_roundtrip_is_exact_for_bf16_values(bits in any::<u16>()) {
+        let x = Bf16::from_bits(bits);
+        if !x.is_nan() {
+            prop_assert_eq!(Bf16::from_f32(x.to_f32()), x);
+        }
+    }
+
+    /// Rounding error of f32 -> bf16 is at most half a ULP (2^-8 relative).
+    #[test]
+    fn conversion_error_bounded(x in -1e30f32..1e30) {
+        let y = Bf16::from_f32(x).to_f32();
+        let err = (y - x).abs();
+        prop_assert!(err <= x.abs() * (2.0f32).powi(-8) + f32::MIN_POSITIVE);
+    }
+
+    /// Conversion is monotone: a <= b implies bf16(a) <= bf16(b).
+    #[test]
+    fn conversion_is_monotone(a in -1e30f32..1e30, b in -1e30f32..1e30) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(Bf16::from_f32(lo).to_f32() <= Bf16::from_f32(hi).to_f32());
+    }
+
+    /// Negation is exact in bf16.
+    #[test]
+    fn negation_is_exact(x in -1e30f32..1e30) {
+        let pos = Bf16::from_f32(x).to_f32();
+        let neg = Bf16::from_f32(-x).to_f32();
+        prop_assert_eq!(pos, -neg);
+    }
+
+    /// A dot product against a one-hot vector selects the matching element.
+    #[test]
+    fn dot_one_hot_selects(idx in 0usize..16, vals in proptest::collection::vec(-100f32..100.0, 16)) {
+        let v: Vec<Bf16> = vals.iter().map(|&x| Bf16::from_f32(x)).collect();
+        let mut hot = vec![Bf16::ZERO; 16];
+        hot[idx] = Bf16::ONE;
+        prop_assert_eq!(dot_bf16(&hot, &v), v[idx].to_f32());
+    }
+
+    /// Matrix transpose is an involution on arbitrary shapes.
+    #[test]
+    fn transpose_involution(rows in 1usize..12, cols in 1usize..12, seed in any::<u64>()) {
+        let m = Matrix::from_fn(rows, cols, |r, c| (seed ^ (r as u64) << 32 ^ c as u64) as u32);
+        prop_assert_eq!(m.transposed().transposed(), m);
+    }
+}

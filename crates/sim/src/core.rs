@@ -1,0 +1,490 @@
+//! Trace-driven out-of-order core model.
+//!
+//! Reproduces the MacSim configuration of §VI-B: a 4-wide out-of-order core
+//! (fetch/issue/retire width four, 16 front-end stages, 97 ROB entries, 96
+//! load-buffer entries) running at 2 GHz, with the matrix engine in a
+//! 0.5 GHz clock domain. The model is analytical-event-driven: every dynamic
+//! instruction gets dispatch, execute and retire timestamps subject to
+//!
+//! * front-end and retire bandwidth (4 per cycle, in order);
+//! * ROB and load-buffer occupancy (dispatch stalls when full);
+//! * register dataflow (reads wait for producers, through renaming — only
+//!   true RAW dependences stall);
+//! * functional-unit ports (scalar/vector/load/store contention);
+//! * the matrix engine's WL/FF/FS/DR pipelining and output-forwarding rules,
+//!   via [`vegeta_engine::EngineTimer`], scaled by the clock-domain ratio.
+
+use std::collections::HashMap;
+
+use vegeta_engine::{EngineConfig, EngineTimer};
+use vegeta_isa::trace::{ArchReg, Trace, TraceOp};
+use vegeta_isa::Inst;
+
+use crate::cache::{CacheModel, CacheStats};
+
+/// Core configuration (§VI-B values by default).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Instructions fetched/dispatched per cycle.
+    pub fetch_width: usize,
+    /// Instructions retired per cycle.
+    pub retire_width: usize,
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// Load-buffer entries.
+    pub load_buffer_entries: usize,
+    /// Front-end pipeline depth in cycles.
+    pub frontend_stages: u64,
+    /// Core clock in GHz.
+    pub core_ghz: f64,
+    /// Matrix-engine clock in GHz (0.5 GHz in the evaluation, the frequency
+    /// every RTL design met).
+    pub engine_ghz: f64,
+    /// L1 data cache capacity in 64 B lines.
+    pub l1_lines: usize,
+    /// L1 hit latency (core cycles).
+    pub l1_latency: u64,
+    /// L2 hit latency (core cycles); the evaluation prefetches all data to L2.
+    pub l2_latency: u64,
+    /// Scalar ALU ports.
+    pub scalar_ports: usize,
+    /// Vector execution ports.
+    pub vector_ports: usize,
+    /// Load ports (each moves one 64 B line per cycle).
+    pub load_ports: usize,
+    /// Vector FMA latency (pipelined).
+    pub vec_fma_latency: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            fetch_width: 4,
+            retire_width: 4,
+            rob_entries: 97,
+            load_buffer_entries: 96,
+            frontend_stages: 16,
+            core_ghz: 2.0,
+            engine_ghz: 0.5,
+            l1_lines: 768, // 48 KB
+            l1_latency: 5,
+            l2_latency: 14,
+            scalar_ports: 4,
+            vector_ports: 2,
+            load_ports: 2,
+            vec_fma_latency: 4,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Core cycles per engine cycle (4 for 2 GHz / 0.5 GHz).
+    pub fn clock_ratio(&self) -> u64 {
+        (self.core_ghz / self.engine_ghz).round() as u64
+    }
+}
+
+/// Result of simulating one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Total runtime in core cycles.
+    pub core_cycles: u64,
+    /// Dynamic instructions simulated.
+    pub instructions: u64,
+    /// Tile compute instructions dispatched to the matrix engine.
+    pub tile_compute: u64,
+    /// Core cycles during which the matrix engine had work in flight.
+    pub engine_busy_cycles: u64,
+    /// Cache behaviour.
+    pub cache: CacheStats,
+}
+
+impl SimResult {
+    /// Runtime in seconds at the configured core clock.
+    pub fn seconds(&self, cfg: &SimConfig) -> f64 {
+        self.core_cycles as f64 / (cfg.core_ghz * 1e9)
+    }
+
+    /// Instructions per core cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.core_cycles == 0 {
+            return 0.0;
+        }
+        self.instructions as f64 / self.core_cycles as f64
+    }
+}
+
+/// Round-robin earliest-free port pool.
+#[derive(Debug, Clone)]
+struct PortPool {
+    next_free: Vec<u64>,
+}
+
+impl PortPool {
+    fn new(ports: usize) -> Self {
+        PortPool { next_free: vec![0; ports.max(1)] }
+    }
+
+    /// Reserves the earliest port at or after `ready`, holding it for
+    /// `occupancy` cycles; returns the start cycle.
+    fn reserve(&mut self, ready: u64, occupancy: u64) -> u64 {
+        let (idx, &free) = self
+            .next_free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &f)| f)
+            .expect("pool has at least one port");
+        let start = ready.max(free);
+        self.next_free[idx] = start + occupancy.max(1);
+        start
+    }
+}
+
+/// In-order bandwidth limiter (dispatch or retire): at most `width` events
+/// per cycle, in program order.
+#[derive(Debug, Clone)]
+struct Bandwidth {
+    width: usize,
+    cycle: u64,
+    used: usize,
+}
+
+impl Bandwidth {
+    fn new(width: usize) -> Self {
+        Bandwidth { width, cycle: 0, used: 0 }
+    }
+
+    /// The earliest cycle at or after `at` with a free slot; consumes it.
+    fn take(&mut self, at: u64) -> u64 {
+        if at > self.cycle {
+            self.cycle = at;
+            self.used = 0;
+        }
+        if self.used >= self.width {
+            self.cycle += 1;
+            self.used = 0;
+        }
+        self.used += 1;
+        self.cycle
+    }
+}
+
+/// The trace-driven core simulator.
+#[derive(Debug, Clone)]
+pub struct CoreSim {
+    cfg: SimConfig,
+    engine: EngineTimer,
+}
+
+impl CoreSim {
+    /// Creates a core with the given matrix engine design point.
+    pub fn new(cfg: SimConfig, engine: EngineConfig) -> Self {
+        CoreSim { cfg, engine: EngineTimer::new(engine) }
+    }
+
+    /// Creates a core with the default §VI-B configuration.
+    pub fn with_engine(engine: EngineConfig) -> Self {
+        Self::new(SimConfig::default(), engine)
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Simulates a trace to completion and returns the timing result.
+    pub fn run(&mut self, trace: &Trace) -> SimResult {
+        let ratio = self.cfg.clock_ratio();
+        let mut cache = CacheModel::new(self.cfg.l1_lines, self.cfg.l1_latency, self.cfg.l2_latency);
+        let mut reg_ready: HashMap<ArchReg, u64> = HashMap::new();
+        // Which accumulator tregs were last written by the engine (so the
+        // engine's internal forwarding rule, not the architectural
+        // completion, governs same-acc chains).
+        let mut engine_owns: HashMap<u8, bool> = HashMap::new();
+
+        let mut dispatch_bw = Bandwidth::new(self.cfg.fetch_width);
+        let mut retire_bw = Bandwidth::new(self.cfg.retire_width);
+        let mut scalar_ports = PortPool::new(self.cfg.scalar_ports);
+        let mut vector_ports = PortPool::new(self.cfg.vector_ports);
+        let mut load_ports = PortPool::new(self.cfg.load_ports);
+        let mut store_ports = PortPool::new(1);
+
+        let mut retire_times: Vec<u64> = Vec::with_capacity(trace.len());
+        let mut mem_retire_times: Vec<u64> = Vec::new();
+        let mut last_retire = 0u64;
+        let mut tile_compute = 0u64;
+        let mut engine_first_start: Option<u64> = None;
+        let mut engine_last_completion = 0u64;
+
+        for (i, op) in trace.iter().enumerate() {
+            // --- Dispatch: front-end bandwidth, ROB and LSQ occupancy. ---
+            let mut earliest = self.cfg.frontend_stages;
+            if i >= self.cfg.rob_entries {
+                earliest = earliest.max(retire_times[i - self.cfg.rob_entries]);
+            }
+            let is_mem = op.mem_access().is_some();
+            if is_mem && mem_retire_times.len() >= self.cfg.load_buffer_entries {
+                earliest = earliest
+                    .max(mem_retire_times[mem_retire_times.len() - self.cfg.load_buffer_entries]);
+            }
+            let dispatch = dispatch_bw.take(earliest);
+
+            // --- Source readiness through renaming. ---
+            let is_engine_op = op.is_tile_compute();
+            let acc_regs: Vec<u8> = if is_engine_op {
+                match op {
+                    TraceOp::Tile(inst) => inst
+                        .writes()
+                        .iter()
+                        .filter_map(|r| match r {
+                            vegeta_isa::RegRef::Tile(t) => Some(t.index() as u8),
+                            _ => None,
+                        })
+                        .collect(),
+                    _ => Vec::new(),
+                }
+            } else {
+                Vec::new()
+            };
+            let mut ready = dispatch + 1;
+            for r in op.reads() {
+                // For engine ops, same-acc dependences on an engine-produced
+                // value are resolved inside the engine (output forwarding);
+                // skip them here and let EngineTimer apply its rule.
+                if is_engine_op {
+                    if let ArchReg::Tile(t) = r {
+                        if acc_regs.contains(&t) && engine_owns.get(&t).copied().unwrap_or(false) {
+                            continue;
+                        }
+                    }
+                }
+                ready = ready.max(reg_ready.get(&r).copied().unwrap_or(0));
+            }
+
+            // --- Execute. ---
+            let complete = match op {
+                TraceOp::Tile(inst) if inst.is_compute() => {
+                    tile_compute += 1;
+                    let acc = acc_regs.first().copied().unwrap_or(0);
+                    let ready_engine = ready.div_ceil(ratio);
+                    let timing = self.engine.issue(acc, ready_engine);
+                    let start_core = timing.start * ratio;
+                    let completion_core = timing.completion * ratio;
+                    engine_first_start = Some(engine_first_start.unwrap_or(start_core).min(start_core));
+                    engine_last_completion = engine_last_completion.max(completion_core);
+                    completion_core
+                }
+                // Register-only tile ops (TILE_ZERO) complete in one cycle.
+                TraceOp::Tile(_) if op.mem_access().is_none() => ready + 1,
+                TraceOp::Tile(_) | TraceOp::VecLoad { .. } | TraceOp::VecStore { .. } => {
+                    let (addr, bytes, is_store) =
+                        op.mem_access().expect("remaining tile ops and vec mem ops access memory");
+                    let (latency, lines) = cache.access_range(addr, bytes, is_store);
+                    if is_store {
+                        let start = store_ports.reserve(ready, lines);
+                        start + lines // drains into the store buffer
+                    } else {
+                        // One line per port-cycle, pipelined behind the
+                        // first-line latency.
+                        let start = load_ports.reserve(ready, lines);
+                        start + latency + lines - 1
+                    }
+                }
+                TraceOp::VecFma { .. } => {
+                    let start = vector_ports.reserve(ready, 1);
+                    start + self.cfg.vec_fma_latency
+                }
+                TraceOp::VecOp { .. } => {
+                    let start = vector_ports.reserve(ready, 1);
+                    start + 1
+                }
+                TraceOp::Scalar { .. } | TraceOp::Branch { .. } => {
+                    let start = scalar_ports.reserve(ready, 1);
+                    start + 1
+                }
+            };
+
+            // --- Writeback: update renaming table. ---
+            for w in op.writes() {
+                reg_ready.insert(w, complete);
+                if let ArchReg::Tile(t) = w {
+                    engine_owns.insert(t, is_engine_op);
+                }
+            }
+
+            // --- Retire: in order, bounded width. ---
+            let retire = retire_bw.take(complete.max(last_retire));
+            last_retire = retire;
+            retire_times.push(retire);
+            if is_mem {
+                mem_retire_times.push(retire);
+            }
+        }
+
+        SimResult {
+            core_cycles: last_retire,
+            instructions: trace.len() as u64,
+            tile_compute,
+            engine_busy_cycles: engine_last_completion
+                .saturating_sub(engine_first_start.unwrap_or(0)),
+            cache: cache.stats(),
+        }
+    }
+}
+
+/// Convenience: simulate `trace` on a fresh default core with `engine`.
+pub fn simulate(trace: &Trace, engine: EngineConfig) -> SimResult {
+    CoreSim::with_engine(engine).run(trace)
+}
+
+/// Convenience used throughout the benches: tile instructions only.
+pub fn simulate_insts(insts: &[Inst], engine: EngineConfig) -> SimResult {
+    let mut trace = Trace::new();
+    for &inst in insts {
+        trace.push_inst(inst);
+    }
+    simulate(&trace, engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vegeta_isa::{TReg, UReg};
+
+    fn spmm_chain(n: usize, same_acc: bool) -> Trace {
+        let mut t = Trace::new();
+        for i in 0..n {
+            let acc = if same_acc { TReg::T2 } else { TReg::new((i % 2) as u8 + 2).unwrap() };
+            t.push_inst(Inst::TileSpmmU { acc, a: TReg::T6, b: UReg::U0 });
+        }
+        t
+    }
+
+    #[test]
+    fn empty_trace_takes_no_time() {
+        let res = simulate(&Trace::new(), EngineConfig::rasa_dm());
+        assert_eq!(res.core_cycles, 0);
+        assert_eq!(res.instructions, 0);
+    }
+
+    #[test]
+    fn scalar_ipc_approaches_width() {
+        let mut t = Trace::new();
+        for i in 0..4000u32 {
+            // Independent scalar ops across 8 registers.
+            t.push(TraceOp::Scalar { dst: (i % 8) as u8, src: ((i + 4) % 8) as u8 });
+        }
+        let res = simulate(&t, EngineConfig::rasa_dm());
+        assert!(res.ipc() > 3.0, "4-wide core should sustain ~4 IPC, got {}", res.ipc());
+    }
+
+    #[test]
+    fn engine_clock_domain_scales_latency() {
+        let res = simulate(&spmm_chain(1, true), EngineConfig::vegeta_s(16).unwrap());
+        let engine_latency = EngineConfig::vegeta_s(16).unwrap().instruction_latency() as u64;
+        // One instruction: ~latency x clock ratio (4), plus front end.
+        assert!(res.core_cycles >= engine_latency * 4);
+        assert!(res.core_cycles < engine_latency * 4 + 64);
+    }
+
+    #[test]
+    fn dependent_chain_slower_than_independent_without_of() {
+        let cfg = EngineConfig::vegeta_s(16).unwrap();
+        let dep = simulate(&spmm_chain(32, true), cfg.clone());
+        let ind = simulate(&spmm_chain(32, false), cfg);
+        assert!(
+            dep.core_cycles > ind.core_cycles,
+            "same-acc chain {} vs rotated {}",
+            dep.core_cycles,
+            ind.core_cycles
+        );
+    }
+
+    #[test]
+    fn output_forwarding_speeds_up_dependent_chains() {
+        let base = EngineConfig::vegeta_s(16).unwrap();
+        let no_of = simulate(&spmm_chain(64, true), base.clone());
+        let with_of = simulate(&spmm_chain(64, true), base.with_output_forwarding(true));
+        assert!(
+            (with_of.core_cycles as f64) < no_of.core_cycles as f64 * 0.75,
+            "OF {} vs no-OF {}",
+            with_of.core_cycles,
+            no_of.core_cycles
+        );
+    }
+
+    #[test]
+    fn rasa_dm_beats_rasa_sm_on_independent_tiles() {
+        // §VI-C: RASA-SM's stage mismatch gives it the highest runtime.
+        let t = spmm_gemm_chain(64);
+        let sm = simulate(&t, EngineConfig::rasa_sm());
+        let dm = simulate(&t, EngineConfig::rasa_dm());
+        assert!(
+            (dm.core_cycles as f64) < sm.core_cycles as f64 * 0.65,
+            "DM {} vs SM {}",
+            dm.core_cycles,
+            sm.core_cycles
+        );
+    }
+
+    fn spmm_gemm_chain(n: usize) -> Trace {
+        let mut t = Trace::new();
+        for i in 0..n {
+            let acc = TReg::new((i % 4) as u8).unwrap();
+            t.push_inst(Inst::TileGemm { acc, a: TReg::T6, b: TReg::T7 });
+        }
+        t
+    }
+
+    #[test]
+    fn rob_limits_runahead() {
+        // A very long chain of independent loads cannot all be in flight;
+        // the ROB forces dispatch to track retirement.
+        let mut t = Trace::new();
+        for i in 0..2000u64 {
+            t.push(TraceOp::VecLoad { dst: (i % 16) as u8, addr: i * 64 });
+        }
+        let res = simulate(&t, EngineConfig::rasa_dm());
+        // Two load ports, 2000 loads -> at least 1000 cycles.
+        assert!(res.core_cycles >= 1000);
+        assert_eq!(res.cache.l2_hits, 2000, "every distinct line misses L1 once");
+    }
+
+    #[test]
+    fn tile_load_occupies_port_per_line() {
+        let mut t = Trace::new();
+        for i in 0..64u64 {
+            t.push_inst(Inst::TileLoadT { dst: TReg::new((i % 8) as u8).unwrap(), addr: i * 1024 });
+        }
+        let res = simulate(&t, EngineConfig::rasa_dm());
+        // 64 tile loads x 16 lines = 1024 line transfers over 2 ports.
+        assert!(res.core_cycles >= 512, "got {}", res.core_cycles);
+    }
+
+    #[test]
+    fn cache_reuse_lowers_latency() {
+        let mut t = Trace::new();
+        for _ in 0..4 {
+            for j in 0..4u64 {
+                t.push(TraceOp::VecLoad { dst: j as u8, addr: j * 64 });
+            }
+        }
+        let res = simulate(&t, EngineConfig::rasa_dm());
+        assert_eq!(res.cache.l2_hits, 4);
+        assert_eq!(res.cache.l1_hits, 12);
+    }
+
+    #[test]
+    fn result_seconds_uses_core_clock() {
+        let cfg = SimConfig::default();
+        let res = SimResult {
+            core_cycles: 2_000_000_000,
+            instructions: 1,
+            tile_compute: 0,
+            engine_busy_cycles: 0,
+            cache: CacheStats::default(),
+        };
+        assert!((res.seconds(&cfg) - 1.0).abs() < 1e-12);
+        assert_eq!(cfg.clock_ratio(), 4);
+    }
+}

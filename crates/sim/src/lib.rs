@@ -1,0 +1,35 @@
+//! Trace-driven CPU simulator with an integrated VEGETA matrix engine.
+//!
+//! This crate is the repository's substitute for MacSim (§VI-A/B): kernels
+//! from `vegeta-kernels` produce dynamic instruction traces, and [`CoreSim`]
+//! replays them on an out-of-order core model with the paper's parameters —
+//! 4-wide fetch/issue/retire, 16 front-end stages, a 97-entry ROB, a
+//! 96-entry load buffer, a 2 GHz core clock, data prefetched into L2, and
+//! the matrix engine running in its own 0.5 GHz domain with the WL/FF/FS/DR
+//! pipelining and output-forwarding rules of §V-C.
+//!
+//! # Example
+//!
+//! ```
+//! use vegeta_engine::EngineConfig;
+//! use vegeta_isa::{Inst, TReg, UReg};
+//! use vegeta_sim::simulate_insts;
+//!
+//! let insts: Vec<Inst> = (0..8)
+//!     .map(|i| Inst::TileSpmmU {
+//!         acc: TReg::new(i % 2).unwrap(),
+//!         a: TReg::T6,
+//!         b: UReg::U2,
+//!     })
+//!     .collect();
+//! let dm = simulate_insts(&insts, EngineConfig::rasa_dm());
+//! assert!(dm.core_cycles > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+mod core;
+
+pub use crate::core::{simulate, simulate_insts, CoreSim, SimConfig, SimResult};
+pub use cache::{CacheModel, CacheStats, LINE_BYTES};

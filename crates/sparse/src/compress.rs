@@ -1,0 +1,380 @@
+//! The compressed tile format of Fig. 2: non-zero values plus block offsets.
+
+use vegeta_num::{Bf16, Matrix};
+
+use crate::{NmRatio, SparsityError};
+
+/// A tile compressed with uniform `N:M` structured sparsity.
+///
+/// For every aligned block of `M` elements in a row of the *effective*
+/// (dense-shaped) tile, exactly `N` entries are stored: the block's non-zeros
+/// followed by zero padding, each with its position inside the block
+/// (`log2(M)` bits — the metadata a `mreg` holds). Stored entries are kept in
+/// ascending position order, which is the canonical encoding produced by the
+/// paper's offline compression step.
+///
+/// A 16×64 effective tile at 2:4 compresses to 16×32 values (fits a 1 KB
+/// `treg`) plus 16×64 bits of metadata (fits a 128 B `mreg`), exactly the
+/// register budget of §IV-A.
+///
+/// # Examples
+///
+/// ```
+/// use vegeta_num::{Bf16, Matrix};
+/// use vegeta_sparse::{CompressedTile, NmRatio};
+///
+/// let dense = Matrix::from_fn(1, 4, |_, c| {
+///     if c == 2 { Bf16::from_f32(5.0) } else { Bf16::ZERO }
+/// });
+/// let t = CompressedTile::compress(&dense, NmRatio::S1_4)?;
+/// assert_eq!(t.values()[(0, 0)].to_f32(), 5.0);
+/// assert_eq!(t.indices()[0], 2);
+/// # Ok::<(), vegeta_sparse::SparsityError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedTile {
+    ratio: NmRatio,
+    effective_cols: usize,
+    /// `rows x (blocks_per_row * n)` stored values.
+    values: Matrix<Bf16>,
+    /// One position per stored value, each `< m`; row-major, same layout as
+    /// `values`.
+    indices: Vec<u8>,
+}
+
+impl CompressedTile {
+    /// Compresses a dense-shaped tile that satisfies `ratio`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SparsityError::ShapeMismatch`] if the column count is not a
+    ///   positive multiple of `ratio.m()`.
+    /// * [`SparsityError::BlockTooDense`] if any block holds more than
+    ///   `ratio.n()` non-zeros (the matrix must be pruned first; see
+    ///   [`crate::prune::magnitude_prune_nm`]).
+    pub fn compress(dense: &Matrix<Bf16>, ratio: NmRatio) -> Result<Self, SparsityError> {
+        let m = ratio.m() as usize;
+        let n = ratio.n() as usize;
+        if dense.cols() == 0 || !dense.cols().is_multiple_of(m) {
+            return Err(SparsityError::ShapeMismatch {
+                reason: format!(
+                    "column count {} is not a positive multiple of block size {m}",
+                    dense.cols()
+                ),
+            });
+        }
+        let blocks = dense.cols() / m;
+        let mut values = Matrix::zeros(dense.rows(), blocks * n);
+        let mut indices = vec![0u8; dense.rows() * blocks * n];
+        for r in 0..dense.rows() {
+            for b in 0..blocks {
+                let block = &dense.row(r)[b * m..(b + 1) * m];
+                let nonzeros: Vec<usize> =
+                    (0..m).filter(|&i| !block[i].is_zero()).collect();
+                if nonzeros.len() > n {
+                    return Err(SparsityError::BlockTooDense {
+                        row: r,
+                        block: b,
+                        found: nonzeros.len(),
+                        allowed: n,
+                    });
+                }
+                // Canonical slot assignment: non-zero positions first, then
+                // the smallest unused positions as zero padding, sorted.
+                let mut slots = nonzeros.clone();
+                for i in 0..m {
+                    if slots.len() == n {
+                        break;
+                    }
+                    if !nonzeros.contains(&i) {
+                        slots.push(i);
+                    }
+                }
+                slots.sort_unstable();
+                for (k, &pos) in slots.iter().enumerate() {
+                    values[(r, b * n + k)] = block[pos];
+                    indices[(r * blocks + b) * n + k] = pos as u8;
+                }
+            }
+        }
+        Ok(CompressedTile { ratio, effective_cols: dense.cols(), values, indices })
+    }
+
+    /// Reassembles a compressed tile from stored values and per-value block
+    /// positions (for example after loading a `treg`/`mreg` pair).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparsityError::InvalidMetadata`] if the index count does not
+    /// match the value count or any index is `>= m`, and
+    /// [`SparsityError::ShapeMismatch`] if the value matrix width does not
+    /// equal `effective_cols / m * n`.
+    pub fn from_parts(
+        values: Matrix<Bf16>,
+        indices: Vec<u8>,
+        ratio: NmRatio,
+        effective_cols: usize,
+    ) -> Result<Self, SparsityError> {
+        let m = ratio.m() as usize;
+        let n = ratio.n() as usize;
+        if effective_cols == 0 || !effective_cols.is_multiple_of(m) {
+            return Err(SparsityError::ShapeMismatch {
+                reason: format!("effective cols {effective_cols} not a multiple of {m}"),
+            });
+        }
+        let blocks = effective_cols / m;
+        if values.cols() != blocks * n {
+            return Err(SparsityError::ShapeMismatch {
+                reason: format!(
+                    "expected {} stored values per row, found {}",
+                    blocks * n,
+                    values.cols()
+                ),
+            });
+        }
+        if indices.len() != values.len() {
+            return Err(SparsityError::InvalidMetadata {
+                reason: format!(
+                    "expected {} indices, found {}",
+                    values.len(),
+                    indices.len()
+                ),
+            });
+        }
+        if let Some(&bad) = indices.iter().find(|&&i| i as usize >= m) {
+            return Err(SparsityError::InvalidMetadata {
+                reason: format!("index {bad} out of range for block size {m}"),
+            });
+        }
+        Ok(CompressedTile { ratio, effective_cols, values, indices })
+    }
+
+    /// The sparsity ratio of the tile.
+    #[inline]
+    pub fn ratio(&self) -> NmRatio {
+        self.ratio
+    }
+
+    /// Rows of the effective (and stored) tile.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.values.rows()
+    }
+
+    /// Columns of the effective (dense-shaped) tile.
+    #[inline]
+    pub fn effective_cols(&self) -> usize {
+        self.effective_cols
+    }
+
+    /// Stored non-zero values, `rows x (blocks * n)`.
+    #[inline]
+    pub fn values(&self) -> &Matrix<Bf16> {
+        &self.values
+    }
+
+    /// Per-value positions inside their block, row-major.
+    #[inline]
+    pub fn indices(&self) -> &[u8] {
+        &self.indices
+    }
+
+    /// Stored values of row `r`.
+    #[inline]
+    pub fn row_values(&self, r: usize) -> &[Bf16] {
+        self.values.row(r)
+    }
+
+    /// Block positions of row `r`'s stored values.
+    #[inline]
+    pub fn row_indices(&self, r: usize) -> &[u8] {
+        let w = self.values.cols();
+        &self.indices[r * w..(r + 1) * w]
+    }
+
+    /// Expands back to the dense-shaped effective tile.
+    pub fn decompress(&self) -> Matrix<Bf16> {
+        let m = self.ratio.m() as usize;
+        let n = self.ratio.n() as usize;
+        let blocks = self.effective_cols / m;
+        let mut out = Matrix::zeros(self.rows(), self.effective_cols);
+        for r in 0..self.rows() {
+            for b in 0..blocks {
+                for k in 0..n {
+                    let v = self.values[(r, b * n + k)];
+                    if !v.is_zero() {
+                        let pos = self.indices[(r * blocks + b) * n + k] as usize;
+                        out[(r, b * m + pos)] = v;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Packs the per-value positions into the dense bit format a `mreg`
+    /// stores: `index_bits` bits per value, filled LSB-first within each byte,
+    /// rows padded to whole bytes (Fig. 2 / §IV-A).
+    pub fn metadata_packed(&self) -> Vec<u8> {
+        pack_indices(&self.indices, self.values.cols(), self.ratio.index_bits())
+    }
+
+    /// Bytes of packed metadata per row (8 B for a 32-value row at `M = 4`).
+    pub fn metadata_row_bytes(&self) -> usize {
+        (self.values.cols() * self.ratio.index_bits() as usize).div_ceil(8)
+    }
+}
+
+/// Packs `indices` (one entry per stored value, `per_row` values per row) at
+/// `bits` bits each, LSB-first, each row padded to a whole byte boundary.
+pub(crate) fn pack_indices(indices: &[u8], per_row: usize, bits: u32) -> Vec<u8> {
+    assert!(per_row > 0, "rows must store at least one value");
+    let row_bytes = (per_row * bits as usize).div_ceil(8);
+    let rows = indices.len() / per_row;
+    let mut out = vec![0u8; rows * row_bytes];
+    for (r, row) in indices.chunks(per_row).enumerate() {
+        for (i, &idx) in row.iter().enumerate() {
+            let bit = i * bits as usize;
+            let byte = r * row_bytes + bit / 8;
+            let shift = bit % 8;
+            // bits <= 6 and values < 2^bits, so a 16-bit window is enough.
+            let window = (idx as u16) << shift;
+            out[byte] |= window as u8;
+            if shift + bits as usize > 8 {
+                out[byte + 1] |= (window >> 8) as u8;
+            }
+        }
+    }
+    out
+}
+
+/// Unpacks metadata produced by [`pack_indices`].
+pub(crate) fn unpack_indices(packed: &[u8], rows: usize, per_row: usize, bits: u32) -> Vec<u8> {
+    let row_bytes = (per_row * bits as usize).div_ceil(8);
+    let mask = (1u16 << bits) - 1;
+    let mut out = Vec::with_capacity(rows * per_row);
+    for r in 0..rows {
+        for i in 0..per_row {
+            let bit = i * bits as usize;
+            let byte = r * row_bytes + bit / 8;
+            let shift = bit % 8;
+            let lo = packed[byte] as u16;
+            let hi = if byte + 1 < packed.len() { packed[byte + 1] as u16 } else { 0 };
+            out.push((((lo | (hi << 8)) >> shift) & mask) as u8);
+        }
+    }
+    out
+}
+
+/// Unpacks `mreg`-format metadata back into one position byte per value.
+///
+/// Inverse of [`CompressedTile::metadata_packed`]; exposed for the ISA layer,
+/// which stores only the packed form architecturally.
+pub fn unpack_metadata(packed: &[u8], rows: usize, per_row: usize, bits: u32) -> Vec<u8> {
+    unpack_indices(packed, rows, per_row, bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f32) -> Matrix<Bf16> {
+        Matrix::from_fn(rows, cols, |r, c| Bf16::from_f32(f(r, c)))
+    }
+
+    #[test]
+    fn compress_decompress_roundtrip_2_4() {
+        // Fig. 2's example pattern: two non-zeros somewhere in each block.
+        let dense = mat(4, 16, |r, c| {
+            let in_block = c % 4;
+            let keep = [(0, 3), (0, 2), (1, 2), (0, 1)][(c / 4 + r) % 4];
+            if in_block == keep.0 || in_block == keep.1 { (r * 16 + c) as f32 + 1.0 } else { 0.0 }
+        });
+        let t = CompressedTile::compress(&dense, NmRatio::S2_4).unwrap();
+        assert_eq!(t.values().cols(), 8);
+        assert_eq!(t.decompress(), dense);
+    }
+
+    #[test]
+    fn compress_rejects_overdense_block() {
+        let dense = mat(1, 4, |_, _| 1.0);
+        let err = CompressedTile::compress(&dense, NmRatio::S2_4).unwrap_err();
+        assert!(matches!(err, SparsityError::BlockTooDense { found: 4, allowed: 2, .. }));
+    }
+
+    #[test]
+    fn compress_rejects_bad_width() {
+        let dense = mat(1, 6, |_, _| 0.0);
+        assert!(matches!(
+            CompressedTile::compress(&dense, NmRatio::S2_4),
+            Err(SparsityError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dense_4_4_compression_is_identity_layout() {
+        let dense = mat(2, 8, |r, c| (r * 8 + c) as f32);
+        let t = CompressedTile::compress(&dense, NmRatio::D4_4).unwrap();
+        assert_eq!(t.values(), &dense);
+        assert_eq!(t.row_indices(0), &[0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(t.decompress(), dense);
+    }
+
+    #[test]
+    fn underfull_blocks_pad_with_zero() {
+        // One non-zero in a 2:4 block: second stored slot must be zero.
+        let dense = mat(1, 4, |_, c| if c == 1 { 7.0 } else { 0.0 });
+        let t = CompressedTile::compress(&dense, NmRatio::S2_4).unwrap();
+        assert_eq!(t.row_values(0)[0].to_f32(), 0.0); // padding at pos 0
+        assert_eq!(t.row_values(0)[1].to_f32(), 7.0);
+        assert_eq!(t.row_indices(0), &[0, 1]);
+        assert_eq!(t.decompress(), dense);
+    }
+
+    #[test]
+    fn register_budget_matches_paper() {
+        // 16x64 effective at 2:4 -> 512 stored values (1 KB of BF16) and
+        // 128 B of metadata once padded to mreg capacity.
+        let dense = mat(16, 64, |_, c| if c % 4 < 2 { 1.0 } else { 0.0 });
+        let t = CompressedTile::compress(&dense, NmRatio::S2_4).unwrap();
+        assert_eq!(t.values().len(), 512);
+        assert_eq!(t.metadata_row_bytes(), 8);
+        assert_eq!(t.metadata_packed().len(), 128);
+    }
+
+    #[test]
+    fn metadata_pack_unpack_roundtrip() {
+        let dense = mat(3, 16, |r, c| if (c + r) % 4 == 0 { 1.0 } else { 0.0 });
+        let t = CompressedTile::compress(&dense, NmRatio::S1_4).unwrap();
+        let packed = t.metadata_packed();
+        let unpacked = unpack_metadata(&packed, 3, t.values().cols(), 2);
+        assert_eq!(unpacked, t.indices());
+    }
+
+    #[test]
+    fn metadata_packing_handles_odd_bit_widths() {
+        // 3-bit indices (M = 8) straddle byte boundaries.
+        let indices = vec![0u8, 7, 3, 5, 1, 6, 2, 4, 7, 0];
+        let packed = pack_indices(&indices, 5, 3);
+        assert_eq!(unpack_indices(&packed, 2, 5, 3), indices);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let values = Matrix::<Bf16>::zeros(1, 2);
+        assert!(CompressedTile::from_parts(values.clone(), vec![0, 4], NmRatio::S2_4, 4).is_err());
+        assert!(CompressedTile::from_parts(values.clone(), vec![0], NmRatio::S2_4, 4).is_err());
+        assert!(CompressedTile::from_parts(values.clone(), vec![0, 1], NmRatio::S2_4, 6).is_err());
+        assert!(CompressedTile::from_parts(values, vec![0, 1], NmRatio::S2_4, 4).is_ok());
+    }
+
+    #[test]
+    fn effective_tile_expansion_1_4() {
+        // 16x128 effective at 1:4 stores 16x32 values: a 4 KB effective tile
+        // in a 1 KB treg (§IV-A).
+        let dense = mat(16, 128, |_, c| if c % 4 == 3 { 2.0 } else { 0.0 });
+        let t = CompressedTile::compress(&dense, NmRatio::S1_4).unwrap();
+        assert_eq!(t.values().len(), 512);
+        assert_eq!(t.effective_cols(), 128);
+    }
+}

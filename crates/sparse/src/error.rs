@@ -1,0 +1,76 @@
+//! Error type for sparsity format operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or compressing sparsity formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SparsityError {
+    /// The requested `N:M` ratio is not valid (`N` must satisfy
+    /// `1 <= N <= M`, and `M` must be a power of two in `[2, 64]`).
+    InvalidRatio {
+        /// Requested non-zeros per block.
+        n: u8,
+        /// Requested block size.
+        m: u8,
+    },
+    /// A block of the dense input holds more non-zeros than the ratio allows.
+    BlockTooDense {
+        /// Row of the offending block.
+        row: usize,
+        /// Index of the offending block within the row.
+        block: usize,
+        /// Number of non-zeros found.
+        found: usize,
+        /// Maximum non-zeros allowed by the ratio.
+        allowed: usize,
+    },
+    /// The matrix shape is incompatible with the operation (for example, the
+    /// number of columns is not a multiple of the block size).
+    ShapeMismatch {
+        /// Human-readable description of the expectation that was violated.
+        reason: String,
+    },
+    /// Metadata refers to an out-of-range position or is otherwise malformed.
+    InvalidMetadata {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SparsityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparsityError::InvalidRatio { n, m } => {
+                write!(f, "invalid sparsity ratio {n}:{m}")
+            }
+            SparsityError::BlockTooDense { row, block, found, allowed } => write!(
+                f,
+                "block {block} of row {row} has {found} non-zeros, more than the {allowed} allowed"
+            ),
+            SparsityError::ShapeMismatch { reason } => write!(f, "shape mismatch: {reason}"),
+            SparsityError::InvalidMetadata { reason } => write!(f, "invalid metadata: {reason}"),
+        }
+    }
+}
+
+impl Error for SparsityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SparsityError::BlockTooDense { row: 3, block: 7, found: 3, allowed: 2 };
+        assert_eq!(
+            e.to_string(),
+            "block 7 of row 3 has 3 non-zeros, more than the 2 allowed"
+        );
+        assert_eq!(
+            SparsityError::InvalidRatio { n: 5, m: 4 }.to_string(),
+            "invalid sparsity ratio 5:4"
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! N:M structured sparsity formats and transforms for VEGETA.
+//!
+//! This crate implements the data-representation layer of the paper:
+//!
+//! * [`NmRatio`] — a validated `N:M` fine-grained structured sparsity ratio
+//!   (at most `N` non-zeros in every block of `M` consecutive elements).
+//! * [`CompressedTile`] — the compressed tile format of Fig. 2: non-zero
+//!   values plus per-value block offsets (2 bits each for `M = 4`), exactly
+//!   what a `treg`/`mreg` pair stores.
+//! * [`RowWiseTile`] — row-wise `N:M` sparsity (§V-E): each row of the
+//!   effective tile carries its own `N`, enabling lossless coverage of
+//!   unstructured sparsity.
+//! * [`transform`] — the unstructured → row-wise/tile-wise/layer-wise cover
+//!   transforms of §III-D, plus the pseudo row-wise grouping of §V-E.
+//! * [`prune`] — magnitude pruning to `N:M` and seeded random sparsity
+//!   generators used by the evaluation workloads.
+//!
+//! # Example: compress a 2:4 sparse tile
+//!
+//! ```
+//! use vegeta_num::{Bf16, Matrix};
+//! use vegeta_sparse::{CompressedTile, NmRatio};
+//!
+//! // A 4x8 tile where each block of 4 has at most 2 non-zeros.
+//! let dense = Matrix::from_fn(4, 8, |r, c| {
+//!     if c % 4 < 2 { Bf16::from_f32((r * 8 + c) as f32 + 1.0) } else { Bf16::ZERO }
+//! });
+//! let tile = CompressedTile::compress(&dense, NmRatio::S2_4)?;
+//! assert_eq!(tile.values().cols(), 4); // 8 cols / 4 per block * 2 kept
+//! assert_eq!(tile.decompress(), dense);
+//! # Ok::<(), vegeta_sparse::SparsityError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod compress;
+mod error;
+pub mod prune;
+mod ratio;
+mod rowwise;
+pub mod transform;
+
+pub use compress::{unpack_metadata, CompressedTile};
+pub use error::SparsityError;
+pub use ratio::NmRatio;
+pub use rowwise::RowWiseTile;
+
+use vegeta_num::{Bf16, Matrix};
+
+/// Fraction of zero elements in a matrix (the paper's *sparsity degree*).
+///
+/// Returns a value in `[0, 1]`; an empty matrix is defined to have degree 0.
+pub fn sparsity_degree(m: &Matrix<Bf16>) -> f64 {
+    if m.is_empty() {
+        return 0.0;
+    }
+    let zeros = m.iter().filter(|v| v.is_zero()).count();
+    zeros as f64 / m.len() as f64
+}
+
+/// Fraction of non-zero elements in a matrix (`1 - sparsity_degree`).
+pub fn density(m: &Matrix<Bf16>) -> f64 {
+    1.0 - sparsity_degree(m)
+}
+
+/// Checks whether every `M`-element block of every row satisfies `ratio`.
+///
+/// Rows whose length is not a multiple of `ratio.m()` are treated as padded
+/// with zeros, so a trailing partial block never violates the pattern.
+pub fn satisfies_nm(m: &Matrix<Bf16>, ratio: NmRatio) -> bool {
+    let block = ratio.m() as usize;
+    (0..m.rows()).all(|r| {
+        m.row(r)
+            .chunks(block)
+            .all(|b| b.iter().filter(|v| !v.is_zero()).count() <= ratio.n() as usize)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f32) -> Matrix<Bf16> {
+        Matrix::from_fn(rows, cols, |r, c| Bf16::from_f32(f(r, c)))
+    }
+
+    #[test]
+    fn degree_counts_zeros() {
+        let m = mat(2, 4, |r, c| if (r + c) % 2 == 0 { 0.0 } else { 1.0 });
+        assert_eq!(sparsity_degree(&m), 0.5);
+        assert_eq!(density(&m), 0.5);
+    }
+
+    #[test]
+    fn empty_matrix_has_zero_degree() {
+        let m = Matrix::<Bf16>::zeros(0, 0);
+        assert_eq!(sparsity_degree(&m), 0.0);
+    }
+
+    #[test]
+    fn satisfies_nm_detects_violations() {
+        let ok = mat(1, 8, |_, c| if c % 4 < 2 { 1.0 } else { 0.0 });
+        assert!(satisfies_nm(&ok, NmRatio::S2_4));
+        let bad = mat(1, 8, |_, c| if c < 3 { 1.0 } else { 0.0 });
+        assert!(!satisfies_nm(&bad, NmRatio::S2_4));
+        // 3 non-zeros in a block is fine for 4:4.
+        assert!(satisfies_nm(&bad, NmRatio::D4_4));
+    }
+
+    #[test]
+    fn satisfies_nm_pads_trailing_block() {
+        // 6 columns: second block has only 2 slots, one non-zero => ok for 1:4.
+        let m = mat(1, 6, |_, c| if c == 0 || c == 4 { 1.0 } else { 0.0 });
+        assert!(satisfies_nm(&m, NmRatio::S1_4));
+    }
+}

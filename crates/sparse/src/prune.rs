@@ -1,0 +1,199 @@
+//! Pruning and synthetic sparsity generation.
+//!
+//! The paper evaluates on DNN layers pruned offline (§VI-B): weight matrices
+//! carry `N:M` structured sparsity produced by magnitude pruning, and the
+//! unstructured-sparsity study (§VI-E) induces "random and unstructured
+//! sparsity of varying degrees". Both generators live here, seeded for
+//! reproducibility.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+use vegeta_num::{Bf16, Matrix};
+
+use crate::NmRatio;
+
+/// Magnitude-prunes a matrix to `ratio`: in every aligned block of `M`
+/// elements per row, only the `N` largest-magnitude entries survive.
+///
+/// Ties are broken toward the earlier position, matching a deterministic
+/// hardware-friendly pruner. Columns beyond the last whole block are left
+/// untouched.
+pub fn magnitude_prune_nm(dense: &Matrix<Bf16>, ratio: NmRatio) -> Matrix<Bf16> {
+    let m = ratio.m() as usize;
+    let n = ratio.n() as usize;
+    let mut out = dense.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        for block in row.chunks_mut(m) {
+            if block.len() < m || n >= m {
+                continue;
+            }
+            let mut order: Vec<usize> = (0..m).collect();
+            order.sort_by(|&a, &b| {
+                block[b]
+                    .to_f32()
+                    .abs()
+                    .partial_cmp(&block[a].to_f32().abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            for &drop in &order[n..] {
+                block[drop] = Bf16::ZERO;
+            }
+        }
+    }
+    out
+}
+
+/// Samples a non-zero BF16 value uniformly from `[-1, 1] \ {0}`.
+fn sample_nonzero<R: Rng + ?Sized>(rng: &mut R, dist: &Uniform<f32>) -> Bf16 {
+    loop {
+        let v = Bf16::from_f32(dist.sample(rng));
+        if !v.is_zero() {
+            return v;
+        }
+    }
+}
+
+/// Generates a matrix with *unstructured* random sparsity: each element is
+/// independently zero with probability `degree`.
+///
+/// # Panics
+///
+/// Panics if `degree` is not within `[0, 1]`.
+pub fn random_unstructured<R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    degree: f64,
+    rng: &mut R,
+) -> Matrix<Bf16> {
+    assert!((0.0..=1.0).contains(&degree), "sparsity degree must be in [0, 1]");
+    let dist = Uniform::new_inclusive(-1.0f32, 1.0);
+    Matrix::from_fn(rows, cols, |_, _| {
+        if rng.gen_bool(degree) {
+            Bf16::ZERO
+        } else {
+            sample_nonzero(rng, &dist)
+        }
+    })
+}
+
+/// Generates a matrix with exact `N:M` structured sparsity: every aligned
+/// block of `M` holds exactly `N` non-zeros at random positions.
+///
+/// # Panics
+///
+/// Panics if `cols` is not a multiple of `ratio.m()`.
+pub fn random_nm<R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    ratio: NmRatio,
+    rng: &mut R,
+) -> Matrix<Bf16> {
+    let m = ratio.m() as usize;
+    let n = ratio.n() as usize;
+    assert!(cols.is_multiple_of(m), "cols must be a multiple of the block size");
+    let dist = Uniform::new_inclusive(-1.0f32, 1.0);
+    let mut out = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        for b in 0..cols / m {
+            // Partial Fisher-Yates: choose n distinct positions in the block.
+            let mut positions: Vec<usize> = (0..m).collect();
+            for i in 0..n {
+                let j = rng.gen_range(i..m);
+                positions.swap(i, j);
+            }
+            for &pos in &positions[..n] {
+                out[(r, b * m + pos)] = sample_nonzero(rng, &dist);
+            }
+        }
+    }
+    out
+}
+
+/// Generates a dense matrix of non-zero BF16 values in `[-1, 1]`.
+pub fn random_dense<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Matrix<Bf16> {
+    let dist = Uniform::new_inclusive(-1.0f32, 1.0);
+    Matrix::from_fn(rows, cols, |_, _| sample_nonzero(rng, &dist))
+}
+
+/// Applies ReLU-style dynamic sparsity: negative entries are clipped to zero,
+/// modelling input-activation sparsity (§II-C).
+pub fn relu(dense: &Matrix<Bf16>) -> Matrix<Bf16> {
+    dense.map(|v| if v.to_f32() < 0.0 { Bf16::ZERO } else { *v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{satisfies_nm, sparsity_degree};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn magnitude_prune_keeps_largest() {
+        let dense = Matrix::from_fn(1, 4, |_, c| Bf16::from_f32([0.1, -3.0, 2.0, 0.5][c]));
+        let pruned = magnitude_prune_nm(&dense, NmRatio::S2_4);
+        assert_eq!(pruned[(0, 0)], Bf16::ZERO);
+        assert_eq!(pruned[(0, 1)].to_f32(), -3.0);
+        assert_eq!(pruned[(0, 2)].to_f32(), 2.0);
+        assert_eq!(pruned[(0, 3)], Bf16::ZERO);
+    }
+
+    #[test]
+    fn magnitude_prune_result_satisfies_pattern() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let dense = random_dense(16, 64, &mut rng);
+        for ratio in [NmRatio::S1_4, NmRatio::S2_4] {
+            let pruned = magnitude_prune_nm(&dense, ratio);
+            assert!(satisfies_nm(&pruned, ratio));
+        }
+    }
+
+    #[test]
+    fn magnitude_prune_dense_ratio_is_identity() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let dense = random_dense(4, 8, &mut rng);
+        assert_eq!(magnitude_prune_nm(&dense, NmRatio::D4_4), dense);
+    }
+
+    #[test]
+    fn random_unstructured_hits_target_degree() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let m = random_unstructured(64, 256, 0.9, &mut rng);
+        let degree = sparsity_degree(&m);
+        assert!((degree - 0.9).abs() < 0.02, "observed degree {degree}");
+    }
+
+    #[test]
+    fn random_unstructured_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(sparsity_degree(&random_unstructured(8, 8, 1.0, &mut rng)), 1.0);
+        assert_eq!(sparsity_degree(&random_unstructured(8, 8, 0.0, &mut rng)), 0.0);
+    }
+
+    #[test]
+    fn random_nm_is_exactly_structured() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let m = random_nm(16, 64, NmRatio::S2_4, &mut rng);
+        assert!(satisfies_nm(&m, NmRatio::S2_4));
+        // Exactly n non-zeros per block, so the degree is exactly 50%.
+        assert_eq!(sparsity_degree(&m), 0.5);
+    }
+
+    #[test]
+    fn relu_clips_negatives_only() {
+        let dense = Matrix::from_fn(1, 4, |_, c| Bf16::from_f32([-1.0, 0.0, 2.0, -0.5][c]));
+        let activated = relu(&dense);
+        assert_eq!(activated[(0, 0)], Bf16::ZERO);
+        assert_eq!(activated[(0, 2)].to_f32(), 2.0);
+        assert_eq!(activated[(0, 3)], Bf16::ZERO);
+    }
+
+    #[test]
+    fn seeded_generation_is_reproducible() {
+        let a = random_unstructured(8, 8, 0.5, &mut SmallRng::seed_from_u64(9));
+        let b = random_unstructured(8, 8, 0.5, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,193 @@
+//! The `N:M` fine-grained structured sparsity ratio.
+
+use std::fmt;
+
+use crate::SparsityError;
+
+/// A validated `N:M` structured sparsity ratio: at most `N` non-zero elements
+/// in every aligned block of `M` consecutive elements.
+///
+/// The paper's detailed design uses `M = 4` with patterns 1:4, 2:4 and 4:4
+/// (§IV), but both the ISA and the engine generalize to `M = 2^m` (§IV-C,
+/// §V-D); this type accepts any power-of-two `M` in `[2, 64]` and any
+/// `1 <= N <= M`.
+///
+/// # Examples
+///
+/// ```
+/// use vegeta_sparse::NmRatio;
+///
+/// let r = NmRatio::new(2, 4)?;
+/// assert_eq!(r, NmRatio::S2_4);
+/// assert_eq!(r.density(), 0.5);
+/// assert_eq!(r.expansion_factor(), 2);
+/// assert!(NmRatio::new(5, 4).is_err());
+/// # Ok::<(), vegeta_sparse::SparsityError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NmRatio {
+    n: u8,
+    m: u8,
+}
+
+impl NmRatio {
+    /// Dense 4:4 (no sparsity; `TILE_GEMM` operand pattern).
+    pub const D4_4: NmRatio = NmRatio { n: 4, m: 4 };
+    /// 2:4 structured sparsity (`TILE_SPMM_U` operand pattern).
+    pub const S2_4: NmRatio = NmRatio { n: 2, m: 4 };
+    /// 1:4 structured sparsity (`TILE_SPMM_V` operand pattern).
+    pub const S1_4: NmRatio = NmRatio { n: 1, m: 4 };
+
+    /// Creates a ratio, validating `1 <= n <= m` and that `m` is a power of
+    /// two in `[2, 64]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparsityError::InvalidRatio`] when the constraints do not
+    /// hold.
+    pub fn new(n: u8, m: u8) -> Result<Self, SparsityError> {
+        if n == 0 || n > m || !m.is_power_of_two() || !(2..=64).contains(&m) {
+            return Err(SparsityError::InvalidRatio { n, m });
+        }
+        Ok(NmRatio { n, m })
+    }
+
+    /// Non-zeros kept per block.
+    #[inline]
+    pub const fn n(self) -> u8 {
+        self.n
+    }
+
+    /// Block size.
+    #[inline]
+    pub const fn m(self) -> u8 {
+        self.m
+    }
+
+    /// Fraction of elements that may be non-zero (`N / M`).
+    #[inline]
+    pub fn density(self) -> f64 {
+        f64::from(self.n) / f64::from(self.m)
+    }
+
+    /// Sparsity degree guaranteed by the pattern (`1 - N/M`).
+    #[inline]
+    pub fn sparsity_degree(self) -> f64 {
+        1.0 - self.density()
+    }
+
+    /// How many dense elements each stored element stands for (`M / N`,
+    /// rounded up). A 1 KB `treg` of 2:4 data has a 2 KB *effective tile*
+    /// (§IV-A); this is that expansion factor.
+    #[inline]
+    pub fn expansion_factor(self) -> usize {
+        (self.m as usize).div_ceil(self.n as usize)
+    }
+
+    /// `true` when the pattern is fully dense (`N == M`).
+    #[inline]
+    pub fn is_dense(self) -> bool {
+        self.n == self.m
+    }
+
+    /// Bits of metadata per stored non-zero: `log2(M)` (2 bits for `M = 4`,
+    /// see Fig. 2).
+    #[inline]
+    pub fn index_bits(self) -> u32 {
+        self.m.trailing_zeros()
+    }
+
+    /// The engine-supported patterns for block size `m`: every power-of-two
+    /// `N` up to `M` (1:4, 2:4, 4:4 for `M = 4`), densest last.
+    ///
+    /// These are the ratios the row-wise cover transform may choose from;
+    /// non-power-of-two `N` (for example 3:4) would leave MAC lanes idle in
+    /// an SPU and is not offered by the hardware (§V-A: `β = M/2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparsityError::InvalidRatio`] if `m` is not a supported
+    /// block size.
+    pub fn supported_patterns(m: u8) -> Result<Vec<NmRatio>, SparsityError> {
+        // Validate via a throwaway densest ratio.
+        let _ = NmRatio::new(m, m)?;
+        let mut out = Vec::new();
+        let mut n = 1u8;
+        while n <= m {
+            out.push(NmRatio { n, m });
+            n *= 2;
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Debug for NmRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NmRatio({}:{})", self.n, self.m)
+    }
+}
+
+impl fmt::Display for NmRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.n, self.m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_valid() {
+        for r in [NmRatio::D4_4, NmRatio::S2_4, NmRatio::S1_4] {
+            assert_eq!(NmRatio::new(r.n(), r.m()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_ratios() {
+        assert!(NmRatio::new(0, 4).is_err());
+        assert!(NmRatio::new(5, 4).is_err());
+        assert!(NmRatio::new(1, 3).is_err());
+        assert!(NmRatio::new(1, 128).is_err());
+        assert!(NmRatio::new(1, 1).is_err());
+    }
+
+    #[test]
+    fn densities_match_paper_figures() {
+        // Fig. 1: tile-wise 2:4 has sparsity degree 50% per block.
+        assert_eq!(NmRatio::S2_4.density(), 0.5);
+        assert_eq!(NmRatio::S1_4.sparsity_degree(), 0.75);
+        assert!(NmRatio::D4_4.is_dense());
+    }
+
+    #[test]
+    fn expansion_factors_match_register_aliasing() {
+        // treg (1 KB) -> effective 2 KB for 2:4, 4 KB for 1:4 (§IV-A).
+        assert_eq!(NmRatio::D4_4.expansion_factor(), 1);
+        assert_eq!(NmRatio::S2_4.expansion_factor(), 2);
+        assert_eq!(NmRatio::S1_4.expansion_factor(), 4);
+    }
+
+    #[test]
+    fn index_bits_are_log2_m() {
+        assert_eq!(NmRatio::S2_4.index_bits(), 2);
+        assert_eq!(NmRatio::new(3, 8).unwrap().index_bits(), 3);
+        assert_eq!(NmRatio::new(1, 16).unwrap().index_bits(), 4);
+    }
+
+    #[test]
+    fn supported_patterns_are_powers_of_two() {
+        let p4 = NmRatio::supported_patterns(4).unwrap();
+        assert_eq!(p4, vec![NmRatio::S1_4, NmRatio::S2_4, NmRatio::D4_4]);
+        let p16 = NmRatio::supported_patterns(16).unwrap();
+        assert_eq!(p16.len(), 5); // 1,2,4,8,16 : 16 (§V-D)
+        assert!(NmRatio::supported_patterns(6).is_err());
+    }
+
+    #[test]
+    fn ordering_sorts_by_n_then_m() {
+        assert!(NmRatio::S1_4 < NmRatio::S2_4);
+        assert!(NmRatio::S2_4 < NmRatio::D4_4);
+    }
+}

@@ -1,0 +1,287 @@
+//! Row-wise `N:M` sparsity (§V-E): a per-row choice of `N`.
+
+use vegeta_num::{Bf16, Matrix};
+
+use crate::{NmRatio, SparsityError};
+
+/// A tile compressed with *row-wise* `N:M` sparsity: every row of the
+/// effective tile is compressed with its own ratio `N_r:M` chosen from the
+/// engine-supported patterns.
+///
+/// This is VEGETA's vehicle for unstructured sparsity (§III-D): given an
+/// arbitrary sparse tile, picking for each row the sparsest supported pattern
+/// that still covers all of the row's non-zeros yields a lossless structured
+/// representation that `TILE_SPMM_R` can execute at full MAC utilization.
+///
+/// Stored values are packed row-after-row; row `r` holds
+/// `blocks_per_row * n_r` entries. The per-row `N` selectors are the "extra
+/// metadata, 32×2 bits, or 8 B, at most" of §IV-B.
+///
+/// # Examples
+///
+/// ```
+/// use vegeta_num::{Bf16, Matrix};
+/// use vegeta_sparse::{NmRatio, RowWiseTile};
+///
+/// // Row 0 is dense-ish (needs 2:4), row 1 needs only 1:4.
+/// let dense = Matrix::from_fn(2, 8, |r, c| {
+///     let keep = if r == 0 { c % 4 < 2 } else { c % 4 == 0 };
+///     if keep { Bf16::from_f32(1.0) } else { Bf16::ZERO }
+/// });
+/// let t = RowWiseTile::compress(&dense, 4)?;
+/// assert_eq!(t.row_ratio(0), NmRatio::S2_4);
+/// assert_eq!(t.row_ratio(1), NmRatio::S1_4);
+/// assert_eq!(t.decompress(), dense);
+/// # Ok::<(), vegeta_sparse::SparsityError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowWiseTile {
+    m: u8,
+    effective_cols: usize,
+    row_ratios: Vec<NmRatio>,
+    /// Start of each row's slice in `values`/`indices`; length `rows + 1`.
+    row_offsets: Vec<usize>,
+    values: Vec<Bf16>,
+    indices: Vec<u8>,
+}
+
+impl RowWiseTile {
+    /// Compresses a dense-shaped tile, choosing for every row the sparsest
+    /// supported pattern (powers of two up to `m`) that covers its non-zeros.
+    ///
+    /// The transform is lossless by construction: a pattern is only selected
+    /// if every block of the row has at most `N` non-zeros.
+    ///
+    /// # Errors
+    ///
+    /// * [`SparsityError::InvalidRatio`] if `m` is not a supported block size.
+    /// * [`SparsityError::ShapeMismatch`] if the column count is not a
+    ///   positive multiple of `m`.
+    pub fn compress(dense: &Matrix<Bf16>, m: u8) -> Result<Self, SparsityError> {
+        let patterns = NmRatio::supported_patterns(m)?;
+        let mb = m as usize;
+        if dense.cols() == 0 || !dense.cols().is_multiple_of(mb) {
+            return Err(SparsityError::ShapeMismatch {
+                reason: format!(
+                    "column count {} is not a positive multiple of block size {mb}",
+                    dense.cols()
+                ),
+            });
+        }
+        let blocks = dense.cols() / mb;
+        let mut row_ratios = Vec::with_capacity(dense.rows());
+        let mut row_offsets = Vec::with_capacity(dense.rows() + 1);
+        let mut values = Vec::new();
+        let mut indices = Vec::new();
+        row_offsets.push(0);
+        for r in 0..dense.rows() {
+            let row = dense.row(r);
+            let max_nnz = row
+                .chunks(mb)
+                .map(|b| b.iter().filter(|v| !v.is_zero()).count())
+                .max()
+                .unwrap_or(0);
+            let ratio = *patterns
+                .iter()
+                .find(|p| p.n() as usize >= max_nnz)
+                .expect("the densest pattern m:m always covers");
+            let n = ratio.n() as usize;
+            for b in 0..blocks {
+                let block = &row[b * mb..(b + 1) * mb];
+                let nonzeros: Vec<usize> = (0..mb).filter(|&i| !block[i].is_zero()).collect();
+                let mut slots = nonzeros.clone();
+                for i in 0..mb {
+                    if slots.len() == n {
+                        break;
+                    }
+                    if !nonzeros.contains(&i) {
+                        slots.push(i);
+                    }
+                }
+                slots.sort_unstable();
+                for &pos in &slots {
+                    values.push(block[pos]);
+                    indices.push(pos as u8);
+                }
+            }
+            row_ratios.push(ratio);
+            row_offsets.push(values.len());
+        }
+        Ok(RowWiseTile {
+            m,
+            effective_cols: dense.cols(),
+            row_ratios,
+            row_offsets,
+            values,
+            indices,
+        })
+    }
+
+    /// Block size `M`.
+    #[inline]
+    pub fn m(&self) -> u8 {
+        self.m
+    }
+
+    /// Rows of the effective tile (the paper's `H_A`).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.row_ratios.len()
+    }
+
+    /// Columns of the effective tile (the paper's `W_A`).
+    #[inline]
+    pub fn effective_cols(&self) -> usize {
+        self.effective_cols
+    }
+
+    /// The ratio chosen for row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    #[inline]
+    pub fn row_ratio(&self, r: usize) -> NmRatio {
+        self.row_ratios[r]
+    }
+
+    /// All per-row ratios.
+    #[inline]
+    pub fn row_ratios(&self) -> &[NmRatio] {
+        &self.row_ratios
+    }
+
+    /// Stored values of row `r`.
+    pub fn row_values(&self, r: usize) -> &[Bf16] {
+        &self.values[self.row_offsets[r]..self.row_offsets[r + 1]]
+    }
+
+    /// Block positions of row `r`'s stored values.
+    pub fn row_indices(&self, r: usize) -> &[u8] {
+        &self.indices[self.row_offsets[r]..self.row_offsets[r + 1]]
+    }
+
+    /// Total stored values across all rows.
+    #[inline]
+    pub fn stored_len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Elements of the effective (dense-shaped) tile.
+    #[inline]
+    pub fn effective_len(&self) -> usize {
+        self.rows() * self.effective_cols
+    }
+
+    /// Ratio of effective elements to stored values — the compute reduction a
+    /// fully-utilized row-wise engine achieves versus a dense engine
+    /// (bounded by `M` unless rows are dropped).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.values.is_empty() {
+            return 1.0;
+        }
+        self.effective_len() as f64 / self.stored_len() as f64
+    }
+
+    /// Expands back to the dense-shaped effective tile.
+    pub fn decompress(&self) -> Matrix<Bf16> {
+        let mb = self.m as usize;
+        let blocks = self.effective_cols / mb;
+        let mut out = Matrix::zeros(self.rows(), self.effective_cols);
+        for r in 0..self.rows() {
+            let n = self.row_ratios[r].n() as usize;
+            let vals = self.row_values(r);
+            let idxs = self.row_indices(r);
+            for b in 0..blocks {
+                for k in 0..n {
+                    let v = vals[b * n + k];
+                    if !v.is_zero() {
+                        out[(r, b * mb + idxs[b * n + k] as usize)] = v;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f32) -> Matrix<Bf16> {
+        Matrix::from_fn(rows, cols, |r, c| Bf16::from_f32(f(r, c)))
+    }
+
+    #[test]
+    fn figure1c_example_rows_get_expected_ratios() {
+        // Fig. 1(a)->(c): rows 0-1 compress with 2:4, rows 2-3 with 1:4.
+        let dense = mat(4, 8, |r, c| {
+            let keep = match r {
+                0 | 1 => c % 4 < 2,
+                _ => c % 4 == 1,
+            };
+            if keep { 1.0 } else { 0.0 }
+        });
+        let t = RowWiseTile::compress(&dense, 4).unwrap();
+        assert_eq!(t.row_ratio(0), NmRatio::S2_4);
+        assert_eq!(t.row_ratio(1), NmRatio::S2_4);
+        assert_eq!(t.row_ratio(2), NmRatio::S1_4);
+        assert_eq!(t.row_ratio(3), NmRatio::S1_4);
+    }
+
+    #[test]
+    fn transform_is_lossless() {
+        let dense = mat(8, 16, |r, c| if (r * 7 + c * 3) % 5 == 0 { (c + 1) as f32 } else { 0.0 });
+        let t = RowWiseTile::compress(&dense, 4).unwrap();
+        assert_eq!(t.decompress(), dense);
+    }
+
+    #[test]
+    fn all_zero_row_uses_sparsest_pattern() {
+        let dense = mat(2, 8, |r, _| if r == 0 { 0.0 } else { 1.0 });
+        let t = RowWiseTile::compress(&dense, 4).unwrap();
+        assert_eq!(t.row_ratio(0), NmRatio::S1_4);
+        assert_eq!(t.row_ratio(1), NmRatio::D4_4);
+        assert_eq!(t.decompress(), dense);
+    }
+
+    #[test]
+    fn three_nonzeros_promote_to_dense() {
+        // 3 non-zeros in a block cannot use 2:4; the next supported power of
+        // two is 4:4.
+        let dense = mat(1, 4, |_, c| if c < 3 { 1.0 } else { 0.0 });
+        let t = RowWiseTile::compress(&dense, 4).unwrap();
+        assert_eq!(t.row_ratio(0), NmRatio::D4_4);
+    }
+
+    #[test]
+    fn compression_ratio_tracks_row_mix() {
+        // Two rows at 1:4 and two at 2:4 over 8 cols: stored = 2*2+2*4 = 12,
+        // effective = 32.
+        let dense = mat(4, 8, |r, c| {
+            let keep = if r < 2 { c % 4 == 0 } else { c % 4 < 2 };
+            if keep { 1.0 } else { 0.0 }
+        });
+        let t = RowWiseTile::compress(&dense, 4).unwrap();
+        assert_eq!(t.stored_len(), 12);
+        assert!((t.compression_ratio() - 32.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_block_size_m8() {
+        let dense = mat(2, 16, |_, c| if c % 8 < 3 { 1.0 } else { 0.0 });
+        let t = RowWiseTile::compress(&dense, 8).unwrap();
+        // 3 non-zeros per block of 8 -> 4:8 pattern.
+        assert_eq!(t.row_ratio(0), NmRatio::new(4, 8).unwrap());
+        assert_eq!(t.decompress(), dense);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let dense = mat(1, 6, |_, _| 0.0);
+        assert!(RowWiseTile::compress(&dense, 4).is_err());
+        let dense = mat(1, 8, |_, _| 0.0);
+        assert!(RowWiseTile::compress(&dense, 3).is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! Sparsity-granularity cover transforms (§III-D, §V-E, Fig. 15).
+//!
+//! Given an *unstructured* sparse matrix, each hardware design can only
+//! exploit it after covering the non-zeros with an `N:M` pattern at the
+//! granularity that design supports:
+//!
+//! * **layer-wise** (S2TA): one `N` for the whole matrix;
+//! * **tile-wise** (enhanced S2TA): one `N` per tile;
+//! * **pseudo row-wise** (VEGETA without DMA reordering): one `N` per group
+//!   of consecutive rows, group size `M/N`;
+//! * **row-wise** (VEGETA with reordering): one `N` per row.
+//!
+//! Smaller granularity finds sparser covers, so it skips more work. The
+//! functions here compute those covers and the work reduction each achieves,
+//! feeding the Fig. 15 comparison.
+
+use vegeta_num::{Bf16, Matrix};
+
+use crate::{NmRatio, SparsityError};
+
+/// The sparsest supported pattern that covers every block of `row`.
+///
+/// Blocks shorter than `m` (when the row length is not a multiple) are
+/// treated as zero-padded.
+///
+/// # Errors
+///
+/// Returns [`SparsityError::InvalidRatio`] if `m` is not a supported block
+/// size.
+pub fn row_cover(row: &[Bf16], m: u8) -> Result<NmRatio, SparsityError> {
+    let patterns = NmRatio::supported_patterns(m)?;
+    let max_nnz = row
+        .chunks(m as usize)
+        .map(|b| b.iter().filter(|v| !v.is_zero()).count())
+        .max()
+        .unwrap_or(0);
+    Ok(*patterns
+        .iter()
+        .find(|p| p.n() as usize >= max_nnz)
+        .expect("densest pattern always covers"))
+}
+
+/// Per-row covers for a whole matrix.
+///
+/// # Errors
+///
+/// Returns [`SparsityError::InvalidRatio`] if `m` is not a supported block
+/// size.
+pub fn row_covers(dense: &Matrix<Bf16>, m: u8) -> Result<Vec<NmRatio>, SparsityError> {
+    (0..dense.rows()).map(|r| row_cover(dense.row(r), m)).collect()
+}
+
+/// The sparsest pattern that covers *every* row of the matrix — the
+/// tile-wise cover when applied per tile, or the layer-wise cover when
+/// applied to the whole layer.
+///
+/// # Errors
+///
+/// Returns [`SparsityError::InvalidRatio`] if `m` is not a supported block
+/// size.
+pub fn uniform_cover(dense: &Matrix<Bf16>, m: u8) -> Result<NmRatio, SparsityError> {
+    let covers = row_covers(dense, m)?;
+    Ok(covers
+        .into_iter()
+        .max()
+        .unwrap_or(NmRatio::supported_patterns(m)?[0]))
+}
+
+/// Effective per-row ratios after *pseudo row-wise* grouping (§V-E):
+/// consecutive rows must share the same `N`, in groups of `M/N` rows, because
+/// each group maps onto one SPE column without any reordering hardware.
+///
+/// The greedy grouping promotes rows to a denser pattern when a group's
+/// members disagree, so the result is always a valid (possibly denser)
+/// cover of each row.
+///
+/// # Errors
+///
+/// Returns [`SparsityError::InvalidRatio`] if `m` is not a supported block
+/// size.
+pub fn pseudo_row_wise_covers(
+    dense: &Matrix<Bf16>,
+    m: u8,
+) -> Result<Vec<NmRatio>, SparsityError> {
+    let covers = row_covers(dense, m)?;
+    let mut out = Vec::with_capacity(covers.len());
+    let mut i = 0;
+    while i < covers.len() {
+        // Start from the cover of the first row of the group and grow the
+        // required N until the whole group agrees *and* enough rows remain to
+        // fill it — an SPE column processes exactly M/N rows, so a partial
+        // group would waste MAC lanes. Promotion only ever shrinks the group,
+        // and the densest pattern has group size 1, so this terminates.
+        let mut n = covers[i];
+        loop {
+            let group = n.expansion_factor();
+            if group > covers.len() - i {
+                n = NmRatio::new(n.n() * 2, m).expect("doubling N stays within M");
+                continue;
+            }
+            let need = covers[i..i + group].iter().copied().max().expect("non-empty group");
+            if need <= n {
+                break;
+            }
+            n = need;
+        }
+        let group = n.expansion_factor();
+        out.extend(std::iter::repeat_n(n, group));
+        i += group;
+    }
+    Ok(out)
+}
+
+/// Effective per-row ratios for *row-wise with DMA reordering* (§V-E): rows
+/// are regrouped by the DMA engine so each keeps its own optimal cover,
+/// except that groups must still be whole — a leftover partial group of
+/// sparse rows is promoted to the next denser pattern.
+///
+/// # Errors
+///
+/// Returns [`SparsityError::InvalidRatio`] if `m` is not a supported block
+/// size.
+pub fn reordered_row_wise_covers(
+    dense: &Matrix<Bf16>,
+    m: u8,
+) -> Result<Vec<NmRatio>, SparsityError> {
+    let patterns = NmRatio::supported_patterns(m)?;
+    let covers = row_covers(dense, m)?;
+    let mut counts = vec![0usize; patterns.len()];
+    for c in &covers {
+        let k = patterns.iter().position(|p| p == c).expect("cover from same pattern set");
+        counts[k] += 1;
+    }
+    // Promote leftovers that cannot fill a whole group of M/N rows to the
+    // next denser pattern (the densest pattern has group size 1).
+    let mut out = Vec::with_capacity(covers.len());
+    for k in 0..patterns.len() {
+        let group = patterns[k].expansion_factor();
+        let whole = counts[k] / group * group;
+        out.extend(std::iter::repeat_n(patterns[k], whole));
+        let leftover = counts[k] - whole;
+        if leftover > 0 {
+            if k + 1 < patterns.len() {
+                counts[k + 1] += leftover;
+            } else {
+                out.extend(std::iter::repeat_n(patterns[k], leftover));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Work statistics of a structured cover, used by the Fig. 15 model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverStats {
+    /// MAC-equivalent work a dense engine performs (proportional to the
+    /// effective element count).
+    pub dense_work: f64,
+    /// Work the covered/structured execution performs (stored values).
+    pub covered_work: f64,
+}
+
+impl CoverStats {
+    /// Compute-bound speedup of the structured execution over dense.
+    pub fn speedup(&self) -> f64 {
+        if self.covered_work == 0.0 {
+            return 1.0;
+        }
+        self.dense_work / self.covered_work
+    }
+}
+
+/// Work statistics for a set of per-row ratios over `cols` columns.
+pub fn cover_stats(row_ratios: &[NmRatio], cols: usize) -> CoverStats {
+    let dense_work = (row_ratios.len() * cols) as f64;
+    let covered_work: f64 =
+        row_ratios.iter().map(|r| cols as f64 * r.density()).sum();
+    CoverStats { dense_work, covered_work }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f32) -> Matrix<Bf16> {
+        Matrix::from_fn(rows, cols, |r, c| Bf16::from_f32(f(r, c)))
+    }
+
+    #[test]
+    fn row_cover_picks_minimal_pattern() {
+        let row: Vec<Bf16> =
+            (0..8).map(|c| Bf16::from_f32(if c % 4 == 0 { 1.0 } else { 0.0 })).collect();
+        assert_eq!(row_cover(&row, 4).unwrap(), NmRatio::S1_4);
+        let row2: Vec<Bf16> =
+            (0..8).map(|c| Bf16::from_f32(if c < 2 { 1.0 } else { 0.0 })).collect();
+        assert_eq!(row_cover(&row2, 4).unwrap(), NmRatio::S2_4);
+    }
+
+    #[test]
+    fn uniform_cover_takes_densest_row() {
+        let dense = mat(3, 8, |r, c| {
+            let keep = match r {
+                0 => c % 4 == 0,     // 1:4
+                1 => c % 4 < 2,      // 2:4
+                _ => c % 4 == 2,     // 1:4
+            };
+            if keep { 1.0 } else { 0.0 }
+        });
+        assert_eq!(uniform_cover(&dense, 4).unwrap(), NmRatio::S2_4);
+    }
+
+    #[test]
+    fn pseudo_grouping_promotes_disagreeing_rows() {
+        // Rows: [1:4, 2:4, 2:4, 1:4]. Without reordering, row 0 must join a
+        // group; greedy grouping promotes it to 2:4 with row 1.
+        let dense = mat(4, 8, |r, c| {
+            let keep = match r {
+                0 | 3 => c % 4 == 0,
+                _ => c % 4 < 2,
+            };
+            if keep { 1.0 } else { 0.0 }
+        });
+        let pseudo = pseudo_row_wise_covers(&dense, 4).unwrap();
+        assert_eq!(pseudo[0], NmRatio::S2_4);
+        assert_eq!(pseudo[1], NmRatio::S2_4);
+        // Rows 2..3: cover of row 2 is 2:4 -> group of 2 with row 3 (1:4 fits).
+        assert_eq!(pseudo[2], NmRatio::S2_4);
+        assert_eq!(pseudo[3], NmRatio::S2_4);
+        // Every pseudo ratio covers the original row.
+        let orig = row_covers(&dense, 4).unwrap();
+        assert!(pseudo.iter().zip(&orig).all(|(p, o)| p >= o));
+    }
+
+    #[test]
+    fn pseudo_grouping_keeps_aligned_groups() {
+        // Four 1:4 rows group perfectly without promotion.
+        let dense = mat(4, 8, |_, c| if c % 4 == 1 { 1.0 } else { 0.0 });
+        let pseudo = pseudo_row_wise_covers(&dense, 4).unwrap();
+        assert!(pseudo.iter().all(|&p| p == NmRatio::S1_4));
+    }
+
+    #[test]
+    fn reordered_covers_promote_only_leftovers() {
+        // Five 1:4 rows + one 2:4 row: 4 stay 1:4, leftover 1:4 row promotes
+        // to 2:4 and pairs with the native 2:4 row.
+        let dense = mat(6, 8, |r, c| {
+            let keep = if r < 5 { c % 4 == 0 } else { c % 4 < 2 };
+            if keep { 1.0 } else { 0.0 }
+        });
+        let reordered = reordered_row_wise_covers(&dense, 4).unwrap();
+        let ones = reordered.iter().filter(|&&r| r == NmRatio::S1_4).count();
+        let twos = reordered.iter().filter(|&&r| r == NmRatio::S2_4).count();
+        assert_eq!((ones, twos), (4, 2));
+    }
+
+    #[test]
+    fn granularity_ordering_holds() {
+        // Finer granularity never does more work: row-wise <= pseudo <=
+        // tile-wise (uniform).
+        let dense = mat(16, 32, |r, c| {
+            if (r * 13 + c * 7) % 4 == 0 { 1.0 } else { 0.0 }
+        });
+        let cols = dense.cols();
+        let row = cover_stats(&row_covers(&dense, 4).unwrap(), cols);
+        let pseudo = cover_stats(&pseudo_row_wise_covers(&dense, 4).unwrap(), cols);
+        let tile = cover_stats(&[uniform_cover(&dense, 4).unwrap(); 16], cols);
+        assert!(row.covered_work <= pseudo.covered_work + 1e-9);
+        assert!(pseudo.covered_work <= tile.covered_work + 1e-9);
+        assert!(row.speedup() >= tile.speedup());
+    }
+
+    #[test]
+    fn cover_stats_speedup_matches_density() {
+        let stats = cover_stats(&[NmRatio::S1_4, NmRatio::S1_4], 16);
+        assert_eq!(stats.speedup(), 4.0);
+        let stats = cover_stats(&[NmRatio::D4_4], 16);
+        assert_eq!(stats.speedup(), 1.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the sparsity formats and transforms.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vegeta_num::{Bf16, Matrix};
+use vegeta_sparse::{
+    prune, satisfies_nm, sparsity_degree, transform, CompressedTile, NmRatio, RowWiseTile,
+};
+
+/// Strategy: a random matrix with the given shape and a random sparsity
+/// degree, all driven from a single seed so failures shrink nicely.
+fn seeded_matrix(rows: usize, cols: usize, degree: f64, seed: u64) -> Matrix<Bf16> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    prune::random_unstructured(rows, cols, degree, &mut rng)
+}
+
+proptest! {
+    /// compress ∘ decompress is the identity on every N:M-conforming matrix.
+    #[test]
+    fn compress_roundtrip(seed in any::<u64>(), n_idx in 0usize..3, rows in 1usize..12, blocks in 1usize..8) {
+        let ratio = [NmRatio::S1_4, NmRatio::S2_4, NmRatio::D4_4][n_idx];
+        let dense = {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            prune::random_nm(rows, blocks * 4, ratio, &mut rng)
+        };
+        let tile = CompressedTile::compress(&dense, ratio).unwrap();
+        prop_assert_eq!(tile.decompress(), dense);
+        // Stored footprint is exactly density * effective size.
+        prop_assert_eq!(tile.values().len(), rows * blocks * ratio.n() as usize);
+    }
+
+    /// Magnitude pruning always yields a matrix that satisfies the pattern
+    /// and never increases density.
+    #[test]
+    fn pruning_enforces_pattern(seed in any::<u64>(), rows in 1usize..10, blocks in 1usize..8) {
+        let dense = seeded_matrix(rows, blocks * 4, 0.3, seed);
+        for ratio in [NmRatio::S1_4, NmRatio::S2_4] {
+            let pruned = prune::magnitude_prune_nm(&dense, ratio);
+            prop_assert!(satisfies_nm(&pruned, ratio));
+            prop_assert!(sparsity_degree(&pruned) >= sparsity_degree(&dense) - 1e-12);
+        }
+    }
+
+    /// The row-wise transform is lossless for arbitrary unstructured inputs
+    /// (§III-D's central claim).
+    #[test]
+    fn row_wise_transform_lossless(seed in any::<u64>(), degree in 0.0f64..1.0, rows in 1usize..20, blocks in 1usize..10) {
+        let dense = seeded_matrix(rows, blocks * 4, degree, seed);
+        let tile = RowWiseTile::compress(&dense, 4).unwrap();
+        prop_assert_eq!(tile.decompress(), dense);
+    }
+
+    /// Row-wise covers are minimal: no sparser supported pattern covers the row.
+    #[test]
+    fn row_cover_is_minimal(seed in any::<u64>(), degree in 0.3f64..1.0, blocks in 1usize..10) {
+        let dense = seeded_matrix(1, blocks * 4, degree, seed);
+        let cover = transform::row_cover(dense.row(0), 4).unwrap();
+        // The cover works.
+        prop_assert!(satisfies_nm(&dense, cover));
+        // The next sparser pattern (if any) does not.
+        let patterns = NmRatio::supported_patterns(4).unwrap();
+        if let Some(pos) = patterns.iter().position(|&p| p == cover) {
+            if pos > 0 {
+                prop_assert!(!satisfies_nm(&dense, patterns[pos - 1]));
+            }
+        }
+    }
+
+    /// Granularity hierarchy: covered work obeys
+    /// row-wise <= pseudo row-wise <= uniform (tile-wise), and every pseudo
+    /// cover still covers its row. Row counts are multiples of the maximum
+    /// group size (4), as in real 16-row tiles; unaligned tails can force
+    /// boundary promotions that break the ordering on toy shapes.
+    #[test]
+    fn granularity_hierarchy(seed in any::<u64>(), degree in 0.5f64..1.0, quads in 1usize..6, blocks in 2usize..8) {
+        let rows = quads * 4;
+        let dense = seeded_matrix(rows, blocks * 4, degree, seed);
+        let cols = dense.cols();
+        let row = transform::cover_stats(&transform::row_covers(&dense, 4).unwrap(), cols);
+        let pseudo_covers = transform::pseudo_row_wise_covers(&dense, 4).unwrap();
+        let pseudo = transform::cover_stats(&pseudo_covers, cols);
+        let uni = transform::cover_stats(&vec![transform::uniform_cover(&dense, 4).unwrap(); rows], cols);
+        prop_assert!(row.covered_work <= pseudo.covered_work + 1e-9);
+        prop_assert!(pseudo.covered_work <= uni.covered_work + 1e-9);
+        for (r, cov) in pseudo_covers.iter().enumerate() {
+            let mut m = Matrix::zeros(1, cols);
+            m.row_mut(0).copy_from_slice(dense.row(r));
+            prop_assert!(satisfies_nm(&m, *cov), "pseudo cover must still cover row {r}");
+        }
+    }
+
+    /// Reordered row-wise work never exceeds pseudo row-wise work (aligned
+    /// row counts; see `granularity_hierarchy` for why).
+    #[test]
+    fn reordering_never_hurts(seed in any::<u64>(), degree in 0.5f64..1.0, quads in 1usize..6) {
+        let rows = quads * 4;
+        let dense = seeded_matrix(rows, 16, degree, seed);
+        let pseudo = transform::cover_stats(&transform::pseudo_row_wise_covers(&dense, 4).unwrap(), 16);
+        let reordered = transform::cover_stats(&transform::reordered_row_wise_covers(&dense, 4).unwrap(), 16);
+        prop_assert!(reordered.covered_work <= pseudo.covered_work + 1e-9);
+    }
+
+    /// Metadata packing round-trips through the mreg byte format.
+    #[test]
+    fn metadata_roundtrip(seed in any::<u64>(), rows in 1usize..8, blocks in 1usize..8) {
+        let dense = {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            prune::random_nm(rows, blocks * 4, NmRatio::S2_4, &mut rng)
+        };
+        let tile = CompressedTile::compress(&dense, NmRatio::S2_4).unwrap();
+        let packed = tile.metadata_packed();
+        let unpacked = vegeta_sparse::unpack_metadata(&packed, rows, tile.values().cols(), 2);
+        prop_assert_eq!(unpacked.as_slice(), tile.indices());
+    }
+}

@@ -1,0 +1,286 @@
+//! The evaluation workloads of Table IV and their sparsity generators.
+//!
+//! The paper evaluates on representative DNN layers from ResNet50 (lowered
+//! to GEMM via im2col), BERT, and GPT-3, with weights carrying
+//! 4:4 / 2:4 / 1:4 structured sparsity or random unstructured sparsity of a
+//! given degree. [`table4`] reproduces the layer dimensions and MAC counts
+//! verbatim; [`WeightSparsity`] + [`generate_weights`] produce the seeded
+//! synthetic weight matrices the experiments run on (the evaluation depends
+//! only on dimensions and sparsity structure, not on trained values — see
+//! DESIGN.md's substitution table).
+//!
+//! # Example
+//!
+//! ```
+//! use vegeta_workloads::{table4, Network};
+//!
+//! let layers = table4();
+//! assert_eq!(layers.len(), 12);
+//! let gpt3 = layers.iter().filter(|l| l.network == Network::Gpt).count();
+//! assert_eq!(gpt3, 3);
+//! ```
+
+#![warn(missing_docs)]
+
+use rand::Rng;
+use vegeta_kernels::{ConvShape, GemmShape};
+use vegeta_num::{Bf16, Matrix};
+use vegeta_sparse::{prune, NmRatio};
+
+/// The network a layer is drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Network {
+    /// ResNet50 convolutional layers (im2col-lowered).
+    ResNet50,
+    /// BERT encoder GEMMs.
+    Bert,
+    /// GPT-3 GEMMs.
+    Gpt,
+}
+
+/// How a layer's computation is specified in Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// A convolution, lowered to GEMM via im2col (§VI-B).
+    Conv(ConvShape),
+    /// A plain GEMM.
+    Gemm(GemmShape),
+}
+
+/// One evaluation layer (a row of Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Layer {
+    /// Table IV name, for example `"ResNet50-L2"`.
+    pub name: &'static str,
+    /// Source network.
+    pub network: Network,
+    /// Dimensions.
+    pub kind: LayerKind,
+}
+
+impl Layer {
+    /// The GEMM this layer executes (convolutions are im2col-lowered).
+    pub fn gemm_shape(&self) -> GemmShape {
+        match self.kind {
+            LayerKind::Conv(c) => c.to_gemm(),
+            LayerKind::Gemm(g) => g,
+        }
+    }
+
+    /// Multiply-accumulate count (the Table IV "# of MACs" column).
+    pub fn macs(&self) -> u64 {
+        self.gemm_shape().macs()
+    }
+}
+
+/// The twelve layers of Table IV, in table order.
+pub fn table4() -> Vec<Layer> {
+    vec![
+        Layer {
+            name: "ResNet50-L1",
+            network: Network::ResNet50,
+            kind: LayerKind::Conv(ConvShape { k: 64, c: 256, y: 56, x: 56, r: 1, s: 1 }),
+        },
+        Layer {
+            name: "ResNet50-L2",
+            network: Network::ResNet50,
+            kind: LayerKind::Conv(ConvShape { k: 64, c: 64, y: 56, x: 56, r: 3, s: 3 }),
+        },
+        Layer {
+            name: "ResNet50-L3",
+            network: Network::ResNet50,
+            kind: LayerKind::Conv(ConvShape { k: 256, c: 64, y: 56, x: 56, r: 1, s: 1 }),
+        },
+        Layer {
+            name: "ResNet50-L4",
+            network: Network::ResNet50,
+            kind: LayerKind::Conv(ConvShape { k: 128, c: 128, y: 28, x: 28, r: 3, s: 3 }),
+        },
+        Layer {
+            name: "ResNet50-L5",
+            network: Network::ResNet50,
+            kind: LayerKind::Conv(ConvShape { k: 512, c: 128, y: 28, x: 28, r: 1, s: 1 }),
+        },
+        Layer {
+            name: "ResNet50-L6",
+            network: Network::ResNet50,
+            kind: LayerKind::Conv(ConvShape { k: 256, c: 256, y: 14, x: 14, r: 3, s: 3 }),
+        },
+        Layer {
+            name: "BERT-L1",
+            network: Network::Bert,
+            kind: LayerKind::Gemm(GemmShape { m: 512, n: 768, k: 768 }),
+        },
+        Layer {
+            name: "BERT-L2",
+            network: Network::Bert,
+            kind: LayerKind::Gemm(GemmShape { m: 512, n: 512, k: 768 }),
+        },
+        Layer {
+            name: "BERT-L3",
+            network: Network::Bert,
+            kind: LayerKind::Gemm(GemmShape { m: 512, n: 768, k: 512 }),
+        },
+        Layer {
+            name: "GPT-L1",
+            network: Network::Gpt,
+            kind: LayerKind::Gemm(GemmShape { m: 256, n: 256, k: 2048 }),
+        },
+        Layer {
+            name: "GPT-L2",
+            network: Network::Gpt,
+            kind: LayerKind::Gemm(GemmShape { m: 512, n: 512, k: 2048 }),
+        },
+        Layer {
+            name: "GPT-L3",
+            network: Network::Gpt,
+            kind: LayerKind::Gemm(GemmShape { m: 256, n: 256, k: 12_288 }),
+        },
+    ]
+}
+
+/// The Table IV layers belonging to one network, in order — a layer suite
+/// for network-level experiments.
+pub fn layers_of(network: Network) -> Vec<Layer> {
+    table4().into_iter().filter(|l| l.network == network).collect()
+}
+
+/// Weight sparsity configurations used across the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightSparsity {
+    /// Fully dense weights (the 4:4 configuration).
+    Dense,
+    /// Exact `N:M` structured sparsity from magnitude pruning.
+    Structured(NmRatio),
+    /// Random unstructured sparsity at the given degree (fraction of zeros).
+    Unstructured(f64),
+}
+
+impl WeightSparsity {
+    /// The structured pattern, if this configuration has one.
+    pub fn ratio(&self) -> Option<NmRatio> {
+        match self {
+            WeightSparsity::Dense => Some(NmRatio::D4_4),
+            WeightSparsity::Structured(r) => Some(*r),
+            WeightSparsity::Unstructured(_) => None,
+        }
+    }
+}
+
+/// Generates a layer's weight matrix (`M×K` of its GEMM) with the requested
+/// sparsity, deterministically from `rng`.
+pub fn generate_weights<R: Rng + ?Sized>(
+    layer: &Layer,
+    sparsity: WeightSparsity,
+    rng: &mut R,
+) -> Matrix<Bf16> {
+    let shape = layer.gemm_shape();
+    match sparsity {
+        WeightSparsity::Dense => prune::random_dense(shape.m, shape.k, rng),
+        WeightSparsity::Structured(ratio) => {
+            let padded_k = shape.k.next_multiple_of(ratio.m() as usize);
+            let dense = prune::random_dense(shape.m, padded_k, rng);
+            let pruned = prune::magnitude_prune_nm(&dense, ratio);
+            // Trim back to the exact K (pruning needed whole blocks).
+            Matrix::from_fn(shape.m, shape.k, |r, c| pruned[(r, c)])
+        }
+        WeightSparsity::Unstructured(degree) => {
+            prune::random_unstructured(shape.m, shape.k, degree, rng)
+        }
+    }
+}
+
+/// Generates a layer's dense input matrix (`K×N` of its GEMM).
+pub fn generate_inputs<R: Rng + ?Sized>(layer: &Layer, rng: &mut R) -> Matrix<Bf16> {
+    let shape = layer.gemm_shape();
+    prune::random_dense(shape.k, shape.n, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use vegeta_sparse::{satisfies_nm, sparsity_degree};
+
+    /// The MAC counts of Table IV, in order.
+    const TABLE4_MACS: [u64; 12] = [
+        51_380_224,
+        115_605_504,
+        51_380_224,
+        115_605_504,
+        51_380_224,
+        115_605_504,
+        301_989_888,
+        201_326_592,
+        201_326_592,
+        134_217_728,
+        536_870_912,
+        805_306_368,
+    ];
+
+    #[test]
+    fn mac_counts_match_table4_exactly() {
+        for (layer, &expected) in table4().iter().zip(&TABLE4_MACS) {
+            assert_eq!(layer.macs(), expected, "{}", layer.name);
+        }
+    }
+
+    #[test]
+    fn conv_layers_lower_to_expected_gemm_dims() {
+        let layers = table4();
+        // ResNet50-L2: M=64, N=3136, K=576.
+        let g = layers[1].gemm_shape();
+        assert_eq!((g.m, g.n, g.k), (64, 3136, 576));
+        // BERT-L1 passes through unchanged.
+        let g = layers[6].gemm_shape();
+        assert_eq!((g.m, g.n, g.k), (512, 768, 768));
+    }
+
+    #[test]
+    fn structured_weights_satisfy_their_pattern() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let layer = &table4()[7]; // BERT-L2
+        for ratio in [NmRatio::S1_4, NmRatio::S2_4] {
+            let w = generate_weights(layer, WeightSparsity::Structured(ratio), &mut rng);
+            assert!(satisfies_nm(&w, ratio));
+            let shape = layer.gemm_shape();
+            assert_eq!((w.rows(), w.cols()), (shape.m, shape.k));
+        }
+    }
+
+    #[test]
+    fn unstructured_weights_hit_target_degree() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let layer = &table4()[9]; // GPT-L1
+        let w = generate_weights(layer, WeightSparsity::Unstructured(0.95), &mut rng);
+        let d = sparsity_degree(&w);
+        assert!((d - 0.95).abs() < 0.01, "observed degree {d}");
+    }
+
+    #[test]
+    fn networks_partition_the_table() {
+        let layers = table4();
+        assert_eq!(layers.iter().filter(|l| l.network == Network::ResNet50).count(), 6);
+        assert_eq!(layers.iter().filter(|l| l.network == Network::Bert).count(), 3);
+        assert_eq!(layers.iter().filter(|l| l.network == Network::Gpt).count(), 3);
+    }
+
+    #[test]
+    fn layers_of_selects_in_table_order() {
+        let resnet = layers_of(Network::ResNet50);
+        assert_eq!(resnet.len(), 6);
+        assert_eq!(resnet[0].name, "ResNet50-L1");
+        assert_eq!(resnet[5].name, "ResNet50-L6");
+        assert_eq!(layers_of(Network::Gpt).len(), 3);
+    }
+
+    #[test]
+    fn inputs_match_gemm_shape() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let layer = &table4()[0];
+        let b = generate_inputs(layer, &mut rng);
+        let shape = layer.gemm_shape();
+        assert_eq!((b.rows(), b.cols()), (shape.k, shape.n));
+    }
+}

@@ -1,0 +1,55 @@
+//! Network-level inference: run each Table IV layer suite (ResNet50 block,
+//! BERT encoder GEMMs, GPT block) back to back on the dense baseline and on
+//! VEGETA, at every structured sparsity level.
+//!
+//! Run with: `cargo run --release --example network_inference`
+
+use vegeta::experiments::{run_network, NetworkRunResult};
+use vegeta::prelude::*;
+use vegeta::workloads::{layers_of, Network};
+
+fn print_suite(name: &str, result: &NetworkRunResult, baseline: Option<&NetworkRunResult>) {
+    let speedup = baseline
+        .map(|b| format!("{:.2}x", b.total_cycles as f64 / result.total_cycles as f64))
+        .unwrap_or_else(|| "1.00x".to_string());
+    println!(
+        "  {:<28} {:>14} cycles {:>8.2} eff. TFLOPS  {:>7}",
+        name,
+        result.total_cycles,
+        result.effective_tflops(2.0),
+        speedup
+    );
+}
+
+fn main() {
+    let suites = [
+        ("ResNet50 (6 conv layers)", Network::ResNet50),
+        ("BERT (3 encoder GEMMs)", Network::Bert),
+        ("GPT-3 (3 block GEMMs)", Network::Gpt),
+    ];
+    let dm = EngineConfig::rasa_dm();
+    let vegeta_engine = EngineConfig::vegeta_s(16)
+        .expect("valid alpha")
+        .with_output_forwarding(true);
+
+    for (suite_name, network) in suites {
+        let layers = layers_of(network);
+        let macs: u64 = layers.iter().map(|l| l.macs()).sum();
+        println!("\n{suite_name}: {} layers, {} total MACs", layers.len(), macs);
+        for (label, ratio) in
+            [("4:4", NmRatio::D4_4), ("2:4", NmRatio::S2_4), ("1:4", NmRatio::S1_4)]
+        {
+            let base = run_network(&layers, ratio, &dm);
+            let ours = run_network(&layers, ratio, &vegeta_engine);
+            println!(" weights {label}:");
+            print_suite(dm.name(), &base, None);
+            print_suite(vegeta_engine.name(), &ours, Some(&base));
+        }
+    }
+    println!("\nper-layer breakdown (ResNet50 at 2:4 on VEGETA-S-16-2+OF):");
+    let layers = layers_of(Network::ResNet50);
+    let res = run_network(&layers, NmRatio::S2_4, &vegeta_engine);
+    for (name, cycles) in &res.layer_cycles {
+        println!("  {:<14} {:>12} cycles", name, cycles);
+    }
+}

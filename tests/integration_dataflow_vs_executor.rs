@@ -1,0 +1,156 @@
+//! Cross-model validation: the cycle-accurate engine dataflow simulation
+//! must produce bit-identical results to the functional ISA executor for
+//! every tile instruction on every sparse engine design.
+//!
+//! Integer-valued BF16 operands make every partial sum exactly
+//! representable, so reduction-order differences between the two models
+//! cannot hide behind rounding: any mismatch is a real modelling bug.
+
+use vegeta::engine::{dataflow, EngineConfig};
+use vegeta::num::{Bf16, Matrix};
+use vegeta::prelude::*;
+use vegeta::sparse::{prune, unpack_metadata};
+
+fn int_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<Bf16> {
+    Matrix::from_fn(rows, cols, |r, c| {
+        let h = (r as u64).wrapping_mul(131).wrapping_add(c as u64).wrapping_mul(seed | 1);
+        Bf16::from_f32(((h % 11) as f32) - 5.0)
+    })
+}
+
+fn int_sparse(rows: usize, cols: usize, ratio: NmRatio, seed: u64) -> Matrix<Bf16> {
+    prune::magnitude_prune_nm(&int_matrix(rows, cols, seed), ratio)
+}
+
+/// Runs one tile instruction through the functional executor and returns C.
+fn executor_result(
+    ratio: NmRatio,
+    tile: &CompressedTile,
+    bt: &Matrix<Bf16>,
+    c_in: &Matrix<f32>,
+) -> Matrix<f32> {
+    let mut exec = Executor::new(Memory::new(1 << 16));
+    // Stage registers directly: values in t4/m4 (1:4 uses t3/m3 to avoid the
+    // vreg alias), Bt in the right aliased register, C in t0.
+    let (a_reg, inst) = match ratio {
+        NmRatio::D4_4 => {
+            exec.regs_mut().set_treg_bf16(TReg::T5, &pad_values(tile));
+            exec.regs_mut().set_treg_bf16(TReg::T3, &Matrix::from_fn(16, 32, |r, c| bt[(r, c)]));
+            (TReg::T5, Inst::TileGemm { acc: TReg::T0, a: TReg::T5, b: TReg::T3 })
+        }
+        NmRatio::S2_4 => {
+            exec.regs_mut().set_ureg_bf16(UReg::U3, bt);
+            (TReg::T4, Inst::TileSpmmU { acc: TReg::T0, a: TReg::T4, b: UReg::U3 })
+        }
+        NmRatio::S1_4 => {
+            exec.regs_mut().set_vreg_bf16(VReg::V1, bt);
+            (TReg::T3, Inst::TileSpmmV { acc: TReg::T0, a: TReg::T3, b: VReg::V1 })
+        }
+        _ => unreachable!("only the three Table II patterns"),
+    };
+    if ratio != NmRatio::D4_4 {
+        exec.regs_mut().set_treg_bf16(a_reg, &pad_values(tile));
+        let packed = tile.metadata_packed();
+        exec.regs_mut().mreg_mut(a_reg.paired_mreg())[..packed.len()].copy_from_slice(&packed);
+    }
+    exec.regs_mut().set_treg_f32(TReg::T0, c_in);
+    exec.execute(inst).expect("tile instruction executes");
+    exec.regs().treg_as_f32(TReg::T0)
+}
+
+fn pad_values(tile: &CompressedTile) -> Matrix<Bf16> {
+    Matrix::from_fn(16, 32, |r, c| {
+        if c < tile.values().cols() { tile.values()[(r, c)] } else { Bf16::ZERO }
+    })
+}
+
+fn check_instruction(ratio: NmRatio, seed: u64) {
+    let eff_cols = 32 / ratio.n() as usize * 4;
+    let a_eff = int_sparse(16, eff_cols, ratio, seed);
+    let tile = CompressedTile::compress(&a_eff, ratio).expect("pruned tile conforms");
+    let bt = int_matrix(16, eff_cols, seed + 1);
+    let c_in = Matrix::from_fn(16, 16, |r, c| ((r * 16 + c) % 23) as f32 - 11.0);
+
+    let expected = executor_result(ratio, &tile, &bt, &c_in);
+    let meta = unpack_metadata(&tile.metadata_packed(), 16, tile.values().cols(), 2);
+
+    for cfg in EngineConfig::table3() {
+        if !cfg.supports(ratio) {
+            continue;
+        }
+        let padded = pad_values(&tile);
+        // Metadata for the padded (zero) slots is irrelevant: zero weights
+        // contribute nothing. Extend with zeros to 512 entries.
+        let mut meta512 = meta.clone();
+        meta512.resize(512, 0);
+        let op = dataflow::TileWiseOp {
+            a_values: &padded,
+            a_meta: if ratio.is_dense() { None } else { Some(&meta512) },
+            ratio,
+            bt: &bt,
+            c_in: &c_in,
+        };
+        let res = dataflow::simulate_tile(&cfg, &op).expect("supported instruction");
+        assert_eq!(
+            res.c_out,
+            expected,
+            "dataflow vs executor mismatch: {} executing {}",
+            cfg.name(),
+            ratio
+        );
+        assert_eq!(res.last_output_cycle, cfg.last_output_cycle(), "{}", cfg.name());
+    }
+}
+
+#[test]
+fn tile_gemm_agrees_on_all_engines() {
+    for seed in 0..5 {
+        check_instruction(NmRatio::D4_4, 100 + seed);
+    }
+}
+
+#[test]
+fn tile_spmm_u_agrees_on_all_sparse_engines() {
+    for seed in 0..5 {
+        check_instruction(NmRatio::S2_4, 200 + seed);
+    }
+}
+
+#[test]
+fn tile_spmm_v_agrees_on_all_sparse_engines() {
+    for seed in 0..5 {
+        check_instruction(NmRatio::S1_4, 300 + seed);
+    }
+}
+
+#[test]
+fn float_data_agrees_within_tolerance() {
+    // With real-valued bf16 data, lane decompositions may reorder FP32
+    // additions; results must still agree to fine relative tolerance.
+    let ratio = NmRatio::S2_4;
+    let mut rng = rand_seed(77);
+    let a_eff = prune::magnitude_prune_nm(&prune::random_dense(16, 64, &mut rng), ratio);
+    let tile = CompressedTile::compress(&a_eff, ratio).expect("conforms");
+    let bt = prune::random_dense(16, 64, &mut rng);
+    let c_in = Matrix::zeros(16, 16);
+    let expected = executor_result(ratio, &tile, &bt, &c_in);
+    let meta = unpack_metadata(&tile.metadata_packed(), 16, 32, 2);
+    let op = dataflow::TileWiseOp {
+        a_values: tile.values(),
+        a_meta: Some(&meta),
+        ratio,
+        bt: &bt,
+        c_in: &c_in,
+    };
+    let res = dataflow::simulate_tile(&EngineConfig::vegeta_s(4).expect("valid"), &op)
+        .expect("supported");
+    for r in 0..16 {
+        for c in 0..16 {
+            let (a, b) = (res.c_out[(r, c)], expected[(r, c)]);
+            assert!(
+                (a - b).abs() <= b.abs().max(1.0) * 1e-5,
+                "({r},{c}): {a} vs {b}"
+            );
+        }
+    }
+}

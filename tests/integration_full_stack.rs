@@ -1,0 +1,129 @@
+//! Full-stack property tests: assembler → executor → reference, and the
+//! granularity models against brute-force covers.
+
+use proptest::prelude::*;
+use vegeta::isa::{assemble, decode, disassemble, encode};
+use vegeta::num::{gemm_bf16_ref, Matrix};
+use vegeta::prelude::*;
+use vegeta::sparse::prune;
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (0u8..8, any::<u32>()).prop_map(|(r, a)| Inst::TileLoadT {
+            dst: TReg::new(r).expect("in range"),
+            addr: a as u64
+        }),
+        (0u8..4, any::<u32>()).prop_map(|(r, a)| Inst::TileLoadU {
+            dst: UReg::new(r).expect("in range"),
+            addr: a as u64
+        }),
+        (0u8..2, any::<u32>()).prop_map(|(r, a)| Inst::TileLoadV {
+            dst: VReg::new(r).expect("in range"),
+            addr: a as u64
+        }),
+        (0u8..8, any::<u32>()).prop_map(|(r, a)| Inst::TileLoadM {
+            dst: vegeta::isa::MReg::new(r).expect("in range"),
+            addr: a as u64
+        }),
+        (0u8..8, any::<u32>()).prop_map(|(r, a)| Inst::TileStoreT {
+            addr: a as u64,
+            src: TReg::new(r).expect("in range")
+        }),
+        (0u8..8).prop_map(|r| Inst::TileZero { dst: TReg::new(r).expect("in range") }),
+        (0u8..8, 0u8..8, 0u8..8).prop_map(|(c, a, b)| Inst::TileGemm {
+            acc: TReg::new(c).expect("in range"),
+            a: TReg::new(a).expect("in range"),
+            b: TReg::new(b).expect("in range")
+        }),
+        (0u8..8, 0u8..8, 0u8..4).prop_map(|(c, a, b)| Inst::TileSpmmU {
+            acc: TReg::new(c).expect("in range"),
+            a: TReg::new(a).expect("in range"),
+            b: UReg::new(b).expect("in range")
+        }),
+        (0u8..8, 0u8..8, 0u8..2).prop_map(|(c, a, b)| Inst::TileSpmmV {
+            acc: TReg::new(c).expect("in range"),
+            a: TReg::new(a).expect("in range"),
+            b: VReg::new(b).expect("in range")
+        }),
+        (0u8..4, 0u8..8, 0u8..4).prop_map(|(c, a, b)| Inst::TileSpmmR {
+            acc: UReg::new(c).expect("in range"),
+            a: TReg::new(a).expect("in range"),
+            b: UReg::new(b).expect("in range")
+        }),
+    ]
+}
+
+proptest! {
+    /// Binary encode/decode and text assemble/disassemble round-trip for
+    /// arbitrary instruction sequences.
+    #[test]
+    fn isa_roundtrips(insts in proptest::collection::vec(arb_inst(), 1..40)) {
+        // Binary.
+        let mut bytes = Vec::new();
+        for &i in &insts {
+            bytes.extend(encode(i));
+        }
+        let mut offset = 0;
+        let mut decoded = Vec::new();
+        while offset < bytes.len() {
+            let (inst, len) = decode(&bytes[offset..]).expect("valid stream");
+            decoded.push(inst);
+            offset += len;
+        }
+        prop_assert_eq!(&decoded, &insts);
+        // Text.
+        let text: String = insts.iter().map(|i| disassemble(*i) + "\n").collect();
+        let parsed = assemble(&text).expect("valid assembly");
+        prop_assert_eq!(parsed, insts);
+    }
+
+    /// The full sparse pipeline — prune → compress → kernel → executor —
+    /// equals the dense reference for random shapes and patterns.
+    #[test]
+    fn sparse_pipeline_matches_reference(
+        seed in any::<u64>(),
+        mt in 1usize..3,
+        nt in 1usize..3,
+        kt in 1usize..3,
+        ratio_idx in 0usize..3,
+    ) {
+        let mode = [SparseMode::Dense, SparseMode::Nm2of4, SparseMode::Nm1of4][ratio_idx];
+        let (m, n, k) = (mt * 16, nt * 16, kt * mode.tk());
+        let mut rng = rand_seed(seed);
+        let a = prune::magnitude_prune_nm(&prune::random_dense(m, k, &mut rng), mode.ratio());
+        let b = prune::random_dense(k, n, &mut rng);
+        let program = vegeta::kernels::build_program(&a, &b, mode, KernelOptions::default())
+            .expect("valid operands");
+        let got = program.run_functional().expect("kernel executes");
+        let mut expected = Matrix::zeros(m, n);
+        gemm_bf16_ref(&a, &b, &mut expected);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The granularity model's covered work is bracketed by the true
+    /// non-zero count (below) and the dense work (above).
+    #[test]
+    fn granularity_speedup_is_bracketed(seed in any::<u64>(), degree in 0.0f64..1.0) {
+        let mut rng = rand_seed(seed);
+        let a = prune::random_unstructured(32, 128, degree, &mut rng);
+        let model = GranularityModel::default();
+        let nnz = a.iter().filter(|v| !v.is_zero()).count().max(1) as f64;
+        let perfect = a.len() as f64 / nnz;
+        for hw in [GranularityHw::LayerWise, GranularityHw::TileWise,
+                   GranularityHw::PseudoRowWise, GranularityHw::RowWise] {
+            let s = model.speedup(hw, &a);
+            prop_assert!(s >= 1.0 - 1e-9, "{hw:?} cannot be slower than dense");
+            prop_assert!(s <= perfect + 1e-9, "{hw:?} cannot beat perfect skipping");
+            prop_assert!(s <= 4.0 + 1e-9, "{hw:?} bounded by the 1:4 pattern");
+        }
+    }
+
+    /// Row-wise cover density is never below the matrix's true density.
+    #[test]
+    fn covers_never_lose_nonzeros(seed in any::<u64>(), degree in 0.0f64..1.0) {
+        let mut rng = rand_seed(seed);
+        let a = prune::random_unstructured(16, 64, degree, &mut rng);
+        let tile = RowWiseTile::compress(&a, 4).expect("any matrix transforms");
+        prop_assert_eq!(tile.decompress(), a);
+    }
+}
