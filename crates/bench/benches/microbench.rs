@@ -18,7 +18,9 @@ fn bench_compression(c: &mut Criterion) {
         b.iter(|| CompressedTile::compress(&tile_2of4, NmRatio::S2_4).unwrap())
     });
     let compressed = CompressedTile::compress(&tile_2of4, NmRatio::S2_4).unwrap();
-    c.bench_function("decompress_2of4_tile_16x64", |b| b.iter(|| compressed.decompress()));
+    c.bench_function("decompress_2of4_tile_16x64", |b| {
+        b.iter(|| compressed.decompress())
+    });
     c.bench_function("rowwise_cover_16x64", |b| {
         b.iter(|| RowWiseTile::compress(&unstructured, 4).unwrap())
     });
@@ -47,7 +49,9 @@ fn bench_dataflow(c: &mut Criterion) {
 }
 
 fn bench_engine_timer(c: &mut Criterion) {
-    let cfg = EngineConfig::vegeta_s(16).unwrap().with_output_forwarding(true);
+    let cfg = EngineConfig::vegeta_s(16)
+        .unwrap()
+        .with_output_forwarding(true);
     c.bench_function("engine_timer_1k_issues", |b| {
         b.iter_batched(
             || EngineTimer::new(cfg.clone()),

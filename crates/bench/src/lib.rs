@@ -51,8 +51,7 @@ pub fn write_csv(name: &str, rows: &[Vec<String>]) -> bool {
         return false;
     }
     let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
-    let body: String =
-        rows.iter().map(|r| r.join(",") + "\n").collect();
+    let body: String = rows.iter().map(|r| r.join(",") + "\n").collect();
     match std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, body)) {
         Ok(()) => {
             eprintln!("wrote {}", path.display());
@@ -70,7 +69,11 @@ fn layer_shape(layer: &Layer, quick: usize) -> GemmShape {
     if quick == 1 {
         s
     } else {
-        GemmShape::new((s.m / quick).max(16), (s.n / quick).max(16), (s.k / quick).max(128))
+        GemmShape::new(
+            (s.m / quick).max(16),
+            (s.n / quick).max(16),
+            (s.k / quick).max(128),
+        )
     }
 }
 
@@ -103,8 +106,11 @@ pub fn print_tab03() {
         "engine", "Nrows", "Ncols", "MACs/PE", "inputs/PE", "bcast(a)", "drain", "sparsity"
     );
     for cfg in EngineConfig::table3() {
-        let patterns: Vec<String> =
-            cfg.supported_patterns().iter().map(|p| p.to_string()).collect();
+        let patterns: Vec<String> = cfg
+            .supported_patterns()
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
         println!(
             "{:<16} {:>5} {:>5} {:>11} {:>10} {:>9} {:>6} {:>20}",
             cfg.name(),
@@ -123,7 +129,10 @@ pub fn print_tab03() {
 /// Table IV: evaluation layer dimensions and MAC counts.
 pub fn print_tab04() {
     println!("## Table IV: DNN layers used in the evaluation");
-    println!("{:<14} {:<52} {:>14}", "workload", "dimensions", "# of MACs");
+    println!(
+        "{:<14} {:<52} {:>14}",
+        "workload", "dimensions", "# of MACs"
+    );
     for layer in table4() {
         let dims = match layer.kind {
             vegeta::workloads::LayerKind::Conv(c) => format!(
@@ -179,7 +188,10 @@ pub fn print_fig04() {
     );
     // Motivation experiment: the matrix engine shares the core clock here
     // (Fig. 13's 0.5 GHz engine domain is a separate, later design choice).
-    let sim = SimConfig { engine_ghz: 2.0, ..SimConfig::default() };
+    let sim = SimConfig {
+        engine_ghz: 2.0,
+        ..SimConfig::default()
+    };
     for dim in [32usize, 64, 128] {
         let shape = GemmShape::new(dim, dim, dim);
         let vec_trace = build_vector_gemm_trace(shape);
@@ -209,8 +221,11 @@ pub fn print_fig05() {
     );
     let mut rng = SmallRng::seed_from_u64(5);
     let c_in = Matrix::zeros(16, 16);
-    for (label, ratio) in [("4:4", NmRatio::D4_4), ("2:4", NmRatio::S2_4), ("1:4", NmRatio::S1_4)]
-    {
+    for (label, ratio) in [
+        ("4:4", NmRatio::D4_4),
+        ("2:4", NmRatio::S2_4),
+        ("1:4", NmRatio::S1_4),
+    ] {
         let dense_util = dense_engine_utilization(ratio, 5);
         // VEGETA-S: same sparsity, compressed; every stored value non-zero.
         let eff_cols = 32 / ratio.n() as usize * 4;
@@ -229,7 +244,12 @@ pub fn print_fig05() {
             dataflow::simulate_tile(&EngineConfig::vegeta_s(2).expect("valid"), &sparse_op)
                 .expect("sparse tile op")
                 .firing_utilization();
-        println!("{:>8} {:>25.0}% {:>27.0}%", label, dense_util * 100.0, sparse_util * 100.0);
+        println!(
+            "{:>8} {:>25.0}% {:>27.0}%",
+            label,
+            dense_util * 100.0,
+            sparse_util * 100.0
+        );
     }
     println!();
 }
@@ -287,7 +307,9 @@ pub fn print_fig10() {
         ("VEGETA-S-16-2", EngineConfig::vegeta_s(16).expect("valid")),
         (
             "VEGETA-S-16-2+OF",
-            EngineConfig::vegeta_s(16).expect("valid").with_output_forwarding(true),
+            EngineConfig::vegeta_s(16)
+                .expect("valid")
+                .with_output_forwarding(true),
         ),
     ] {
         for (chain_name, ops) in &chains {
@@ -320,7 +342,11 @@ pub struct Fig13Cell {
 
 /// Computes the full Fig. 13 grid: 12 layers × 10 engines × {4:4, 2:4, 1:4}.
 pub fn figure13_grid(quick: usize) -> Vec<Fig13Cell> {
-    let sparsities = [("4:4", NmRatio::D4_4), ("2:4", NmRatio::S2_4), ("1:4", NmRatio::S1_4)];
+    let sparsities = [
+        ("4:4", NmRatio::D4_4),
+        ("2:4", NmRatio::S2_4),
+        ("1:4", NmRatio::S1_4),
+    ];
     let engines = figure13_engines();
     let mut cells = Vec::new();
     for layer in table4() {
@@ -334,7 +360,11 @@ pub fn figure13_grid(quick: usize) -> Vec<Fig13Cell> {
         for (label, ratio) in sparsities {
             for engine in &engines {
                 let mode = execution_mode(engine, ratio);
-                let trace = &traces.iter().find(|(m, _)| *m == mode).expect("mode built").1;
+                let trace = &traces
+                    .iter()
+                    .find(|(m, _)| *m == mode)
+                    .expect("mode built")
+                    .1;
                 let res = run_trace(trace, engine, SimConfig::default());
                 cells.push(Fig13Cell {
                     layer: layer.name,
@@ -364,10 +394,19 @@ pub fn print_fig13() {
         "cycles".to_string(),
     ]];
     csv.extend(cells.iter().map(|c| {
-        vec![c.layer.to_string(), c.sparsity.to_string(), c.engine.clone(), c.cycles.to_string()]
+        vec![
+            c.layer.to_string(),
+            c.sparsity.to_string(),
+            c.engine.clone(),
+            c.cycles.to_string(),
+        ]
     }));
     write_csv("fig13_runtime", &csv);
-    let max_cycles = cells.iter().map(|c| c.cycles).max().expect("non-empty grid") as f64;
+    let max_cycles = cells
+        .iter()
+        .map(|c| c.cycles)
+        .max()
+        .expect("non-empty grid") as f64;
     println!("(normalized to the longest runtime, as in the paper)");
     let engines = figure13_engines();
     print!("{:<14} {:>4}", "layer", "spar");
@@ -383,9 +422,7 @@ pub fn print_fig13() {
                 let cell = cells
                     .iter()
                     .find(|c| {
-                        c.layer == layer.name
-                            && c.sparsity == sparsity
-                            && c.engine == engine.name()
+                        c.layer == layer.name && c.sparsity == sparsity && c.engine == engine.name()
                     })
                     .expect("cell computed");
                 print!(" {:>9.4}", cell.cycles as f64 / max_cycles);
@@ -396,7 +433,11 @@ pub fn print_fig13() {
     println!();
     // Summary speedups vs RASA-DM (the paper's headline comparison).
     let dm = EngineConfig::rasa_dm().name().to_string();
-    let best = figure13_engines().last().expect("non-empty lineup").name().to_string();
+    let best = figure13_engines()
+        .last()
+        .expect("non-empty lineup")
+        .name()
+        .to_string();
     for sparsity in ["4:4", "2:4", "1:4"] {
         let ratios: Vec<f64> = table4()
             .iter()
@@ -445,7 +486,10 @@ pub fn print_fig14() {
     println!("## Figure 14: area & power (normalized to RASA-SM) and max frequency");
     let model = CostModel::default();
     let base = EngineConfig::rasa_sm();
-    println!("{:<16} {:>10} {:>10} {:>12}", "engine", "norm area", "norm power", "freq (GHz)");
+    println!(
+        "{:<16} {:>10} {:>10} {:>12}",
+        "engine", "norm area", "norm power", "freq (GHz)"
+    );
     for cfg in EngineConfig::table3() {
         let (a, p) = model.normalized(&cfg, &base);
         let f = model.evaluate(&cfg).frequency_ghz;
@@ -480,7 +524,10 @@ pub fn print_fig15() {
                     model.speedup(*hw, &a)
                 })
                 .collect();
-            print!(" {:>12.3}", speedups.iter().sum::<f64>() / speedups.len() as f64);
+            print!(
+                " {:>12.3}",
+                speedups.iter().sum::<f64>() / speedups.len() as f64
+            );
         }
         println!();
     }
@@ -493,9 +540,14 @@ pub fn print_headline() {
     let quick = quick_factor();
     println!("## Headline speedups vs RASA-DM (paper: 1.09x / 2.20x / 3.74x / 3.28x)");
     let dm = EngineConfig::rasa_dm();
-    let s16 = EngineConfig::vegeta_s(16).expect("valid").with_output_forwarding(true);
-    for (label, ratio) in [("4:4", NmRatio::D4_4), ("2:4", NmRatio::S2_4), ("1:4", NmRatio::S1_4)]
-    {
+    let s16 = EngineConfig::vegeta_s(16)
+        .expect("valid")
+        .with_output_forwarding(true);
+    for (label, ratio) in [
+        ("4:4", NmRatio::D4_4),
+        ("2:4", NmRatio::S2_4),
+        ("1:4", NmRatio::S1_4),
+    ] {
         let ratios: Vec<f64> = table4()
             .iter()
             .map(|layer| {
@@ -535,8 +587,13 @@ pub fn print_headline() {
 pub fn print_kernel_ablation() {
     let quick = quick_factor();
     println!("## Ablation: Listing-1 naive kernel vs optimized kernel (VEGETA-S-16-2+OF)");
-    let engine = EngineConfig::vegeta_s(16).expect("valid").with_output_forwarding(true);
-    println!("{:<14} {:>12} {:>12} {:>9}", "layer", "naive cyc", "opt cyc", "speedup");
+    let engine = EngineConfig::vegeta_s(16)
+        .expect("valid")
+        .with_output_forwarding(true);
+    println!(
+        "{:<14} {:>12} {:>12} {:>9}",
+        "layer", "naive cyc", "opt cyc", "speedup"
+    );
     for layer in table4().iter().take(4) {
         let shape = layer_shape(layer, quick.max(2));
         let naive = build_listing1_trace(shape, SparseMode::Nm2of4);
@@ -562,8 +619,14 @@ pub fn print_of_ablation() {
     let shape = layer_shape(&layer, quick);
     let trace = build_trace(shape, SparseMode::Nm2of4, KernelOptions::default());
     // A dependent variant: a single accumulator serializes the k loop.
-    let dep_trace =
-        build_trace(shape, SparseMode::Nm2of4, KernelOptions { unroll: 1, loop_overhead: true });
+    let dep_trace = build_trace(
+        shape,
+        SparseMode::Nm2of4,
+        KernelOptions {
+            unroll: 1,
+            loop_overhead: true,
+        },
+    );
     println!(
         "{:<14} {:>14} {:>14} {:>14}",
         "engine", "rotated accs", "1 acc, no OF", "1 acc, OF"
@@ -592,7 +655,10 @@ pub fn print_of_ablation() {
 pub fn print_rowwise_packing() {
     println!("## Row-wise packing (SS V-E): TILE_SPMM_R tiles per sparsity degree");
     let model_rows = 256usize;
-    println!("{:>8} {:>12} {:>16} {:>16}", "degree%", "tiles", "mean util", "rows/tile");
+    println!(
+        "{:>8} {:>12} {:>16} {:>16}",
+        "degree%", "tiles", "mean util", "rows/tile"
+    );
     for pct in [60u32, 80, 90, 95] {
         let mut rng = SmallRng::seed_from_u64(42 + pct as u64);
         let a = prune::random_unstructured(model_rows, 64, pct as f64 / 100.0, &mut rng);
@@ -617,7 +683,11 @@ pub fn print_dynamic_sparsity() {
     println!("## SS VII: dynamic sparsity via register compaction (SAVE-style merging)");
     println!(
         "{:>9} {:>20} {:>20} {:>18} {:>18}",
-        "density%", "P(conflict) vec-32", "P(conflict) tile-512", "merge factor vec", "merge factor tile"
+        "density%",
+        "P(conflict) vec-32",
+        "P(conflict) tile-512",
+        "merge factor vec",
+        "merge factor tile"
     );
     for pct in [5u32, 10, 20, 30, 50] {
         let d = pct as f64 / 100.0;
@@ -690,6 +760,9 @@ mod tests {
             let trace = build_trace(shape, mode, KernelOptions::default());
             cycles.push(run_trace(&trace, engine, SimConfig::default()).core_cycles);
         }
-        assert!(cycles[1] < cycles[0], "VEGETA-S must beat RASA-DM on a 2:4 layer");
+        assert!(
+            cycles[1] < cycles[0],
+            "VEGETA-S must beat RASA-DM on a 2:4 layer"
+        );
     }
 }

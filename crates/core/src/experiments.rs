@@ -98,11 +98,7 @@ impl NetworkRunResult {
 /// Runs a layer suite back to back on one engine at one weight sparsity,
 /// as a network inference would (each layer's GEMM executes in full before
 /// the next begins).
-pub fn run_network(
-    layers: &[Layer],
-    weights: NmRatio,
-    engine: &EngineConfig,
-) -> NetworkRunResult {
+pub fn run_network(layers: &[Layer], weights: NmRatio, engine: &EngineConfig) -> NetworkRunResult {
     let mut layer_cycles = Vec::with_capacity(layers.len());
     let mut total_cycles = 0u64;
     let mut total_macs = 0u64;
@@ -112,7 +108,11 @@ pub fn run_network(
         total_cycles += res.core_cycles;
         total_macs += layer.macs();
     }
-    NetworkRunResult { layer_cycles, total_cycles, total_macs }
+    NetworkRunResult {
+        layer_cycles,
+        total_cycles,
+        total_macs,
+    }
 }
 
 /// A quick proxy shape for smoke tests and `--quick` bench runs: the layer
@@ -133,8 +133,11 @@ mod tests {
 
     #[test]
     fn dense_engines_always_run_dense_kernels() {
-        for engine in [EngineConfig::rasa_sm(), EngineConfig::rasa_dm(), EngineConfig::tmul_like()]
-        {
+        for engine in [
+            EngineConfig::rasa_sm(),
+            EngineConfig::rasa_dm(),
+            EngineConfig::tmul_like(),
+        ] {
             for w in [NmRatio::D4_4, NmRatio::S2_4, NmRatio::S1_4] {
                 assert_eq!(execution_mode(&engine, w), SparseMode::Dense);
             }
@@ -162,13 +165,18 @@ mod tests {
         // Scaled-down BERT-L2 for speed; the full layers run in the benches.
         let layer = &table4()[7];
         let shape = scaled_shape(layer, 8);
-        let s16 = EngineConfig::vegeta_s(16).unwrap().with_output_forwarding(true);
+        let s16 = EngineConfig::vegeta_s(16)
+            .unwrap()
+            .with_output_forwarding(true);
         let dense_trace = build_trace(shape, SparseMode::Dense, KernelOptions::default());
         let sparse_trace = build_trace(shape, SparseMode::Nm1of4, KernelOptions::default());
         let dm = run_trace(&dense_trace, &EngineConfig::rasa_dm(), SimConfig::default());
         let sp = run_trace(&sparse_trace, &s16, SimConfig::default());
         let speedup = dm.core_cycles as f64 / sp.core_cycles as f64;
-        assert!(speedup > 2.0, "1:4 on S-16-2+OF vs dense on RASA-DM: {speedup}");
+        assert!(
+            speedup > 2.0,
+            "1:4 on S-16-2+OF vs dense on RASA-DM: {speedup}"
+        );
     }
 
     #[test]

@@ -69,7 +69,10 @@ impl EngineConfig {
     /// Panics if the shape constraints do not hold (these are compile-time
     /// design decisions, not runtime data).
     fn new(name: impl Into<String>, kind: EngineKind, alpha: usize, beta: usize, m: usize) -> Self {
-        assert!(beta > 0 && MACS_PER_OUTPUT.is_multiple_of(beta), "beta must divide 32");
+        assert!(
+            beta > 0 && MACS_PER_OUTPUT.is_multiple_of(beta),
+            "beta must divide 32"
+        );
         let nrows = MACS_PER_OUTPUT / beta;
         assert!(
             alpha > 0 && TOTAL_MACS.is_multiple_of(nrows * alpha * beta),
@@ -78,12 +81,26 @@ impl EngineConfig {
         if kind == EngineKind::Sparse {
             assert_eq!(beta, m / 2, "SPEs use beta = M/2 (§V-A)");
         }
-        EngineConfig { name: name.into(), kind, alpha, beta, m, output_forwarding: false, allowed: None }
+        EngineConfig {
+            name: name.into(),
+            kind,
+            alpha,
+            beta,
+            m,
+            output_forwarding: false,
+            allowed: None,
+        }
     }
 
     /// A dense design `VEGETA-D-α-β`.
     pub fn dense(alpha: usize, beta: usize) -> Self {
-        Self::new(format!("VEGETA-D-{alpha}-{beta}"), EngineKind::Dense, alpha, beta, 4)
+        Self::new(
+            format!("VEGETA-D-{alpha}-{beta}"),
+            EngineKind::Dense,
+            alpha,
+            beta,
+            4,
+        )
     }
 
     /// A sparse design `VEGETA-S-α-2` for block size `M = 4` (`β = M/2`).
@@ -95,7 +112,13 @@ impl EngineConfig {
         if ![1, 2, 4, 8, 16].contains(&alpha) {
             return None;
         }
-        Some(Self::new(format!("VEGETA-S-{alpha}-2"), EngineKind::Sparse, alpha, 2, 4))
+        Some(Self::new(
+            format!("VEGETA-S-{alpha}-2"),
+            EngineKind::Sparse,
+            alpha,
+            2,
+            4,
+        ))
     }
 
     /// The §V-D block-size extension: a sparse design for `M ∈ {8, 16}`
@@ -109,7 +132,10 @@ impl EngineConfig {
         }
         let beta = m / 2;
         let nrows = MACS_PER_OUTPUT.checked_div(beta)?;
-        if !MACS_PER_OUTPUT.is_multiple_of(beta) || alpha == 0 || !TOTAL_MACS.is_multiple_of(nrows * alpha * beta) {
+        if !MACS_PER_OUTPUT.is_multiple_of(beta)
+            || alpha == 0
+            || !TOTAL_MACS.is_multiple_of(nrows * alpha * beta)
+        {
             return None;
         }
         Some(Self::new(
@@ -285,7 +311,10 @@ impl EngineConfig {
     pub fn last_output_cycle(&self) -> usize {
         // Last C column enters at WL + Tn - 1, crosses Nrows PE rows, drifts
         // Ncols - 1 PEs east, then the reduction tree adds ⌈log₂β⌉ + 1.
-        self.wl_latency() + (self.ff_latency() - 1) + (self.nrows() - 1) + (self.ncols() - 1)
+        self.wl_latency()
+            + (self.ff_latency() - 1)
+            + (self.nrows() - 1)
+            + (self.ncols() - 1)
             + log2_ceil(self.beta)
             + 1
     }
@@ -298,9 +327,7 @@ impl EngineConfig {
         }
         match self.kind {
             EngineKind::Dense => ratio.is_dense(),
-            EngineKind::Sparse => {
-                ratio.m() as usize == self.m && ratio.n().is_power_of_two()
-            }
+            EngineKind::Sparse => ratio.m() as usize == self.m && ratio.n().is_power_of_two(),
         }
     }
 
@@ -367,7 +394,12 @@ mod tests {
         for cfg in EngineConfig::table3() {
             assert_eq!(cfg.nrows() * cfg.ncols() * cfg.macs_per_pe(), TOTAL_MACS);
             assert_eq!(cfg.pu_cols() * cfg.nrows() * cfg.beta(), TOTAL_MACS);
-            assert_eq!(cfg.pu_cols(), 16, "{}: one PU column per output row", cfg.name());
+            assert_eq!(
+                cfg.pu_cols(),
+                16,
+                "{}: one PU column per output row",
+                cfg.name()
+            );
         }
     }
 
@@ -401,7 +433,10 @@ mod tests {
         assert!(s.supports(NmRatio::S1_4));
         let stc = EngineConfig::stc_like();
         assert!(stc.supports(NmRatio::S2_4));
-        assert!(!stc.supports(NmRatio::S1_4), "STC cannot exploit 1:4 (§VI-C)");
+        assert!(
+            !stc.supports(NmRatio::S1_4),
+            "STC cannot exploit 1:4 (§VI-C)"
+        );
         assert!(stc.supports(NmRatio::D4_4));
     }
 
@@ -429,7 +464,9 @@ mod tests {
 
     #[test]
     fn output_forwarding_toggle() {
-        let e = EngineConfig::vegeta_s(16).unwrap().with_output_forwarding(true);
+        let e = EngineConfig::vegeta_s(16)
+            .unwrap()
+            .with_output_forwarding(true);
         assert!(e.output_forwarding());
     }
 

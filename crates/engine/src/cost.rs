@@ -112,15 +112,27 @@ impl CostModel {
         let pu_cols = cfg.pu_cols() as f64;
         let reduction_adders = pu_cols * (cfg.beta() as f64 - 1.0);
         let sparse = cfg.kind() == EngineKind::Sparse;
-        let mux_scale = if sparse { (cfg.m() as f64 - 1.0) / 3.0 } else { 0.0 };
-        let meta_scale = if sparse { (cfg.m() as f64).log2() / 2.0 } else { 0.0 };
+        let mux_scale = if sparse {
+            (cfg.m() as f64 - 1.0) / 3.0
+        } else {
+            0.0
+        };
+        let meta_scale = if sparse {
+            (cfg.m() as f64).log2() / 2.0
+        } else {
+            0.0
+        };
 
         let area = macs * self.area_mac
             + input_elems * self.area_input_buf
             + pes as f64 * self.area_pe_overhead
             + macs * self.area_mux * mux_scale
             + macs * self.area_meta * meta_scale
-            + if sparse { cfg.nrows() as f64 * self.area_input_selector } else { 0.0 }
+            + if sparse {
+                cfg.nrows() as f64 * self.area_input_selector
+            } else {
+                0.0
+            }
             + reduction_adders * self.area_reduction_adder;
 
         let power = macs * self.power_mac
@@ -128,7 +140,11 @@ impl CostModel {
             + pes as f64 * self.power_pe_overhead
             + macs * self.power_mux * mux_scale
             + macs * self.power_meta * meta_scale
-            + if sparse { cfg.nrows() as f64 * self.power_input_selector } else { 0.0 }
+            + if sparse {
+                cfg.nrows() as f64 * self.power_input_selector
+            } else {
+                0.0
+            }
             + reduction_adders * self.power_reduction_adder;
 
         let delay = self.delay_base_ns
@@ -136,7 +152,11 @@ impl CostModel {
             + if sparse { self.delay_mux_ns } else { 0.0 };
         let frequency_ghz = 1.0 / delay;
 
-        CostReport { area, power, frequency_ghz }
+        CostReport {
+            area,
+            power,
+            frequency_ghz,
+        }
     }
 
     /// Area and power of `cfg` normalized to `baseline` (RASA-SM in Fig. 14).
@@ -190,7 +210,13 @@ mod tests {
     #[test]
     fn power_overhead_sequence_matches_paper() {
         // §VI-D: power overheads of 17%, 8%, 4%, 3%, 1% for alpha = 1..16.
-        let targets = [(1usize, 0.17), (2, 0.085), (4, 0.045), (8, 0.025), (16, 0.01)];
+        let targets = [
+            (1usize, 0.17),
+            (2, 0.085),
+            (4, 0.045),
+            (8, 0.025),
+            (16, 0.01),
+        ];
         for (alpha, target) in targets {
             let (_, p) = norm(&EngineConfig::vegeta_s(alpha).unwrap());
             let overhead = p - 1.0;
@@ -209,7 +235,10 @@ mod tests {
             .map(|&a| norm(&EngineConfig::vegeta_s(a).unwrap()).1)
             .collect();
         for w in powers.windows(2) {
-            assert!(w[1] < w[0], "power overhead must fall with alpha: {powers:?}");
+            assert!(
+                w[1] < w[0],
+                "power overhead must fall with alpha: {powers:?}"
+            );
         }
     }
 
@@ -219,7 +248,11 @@ mod tests {
         let mut last = f64::INFINITY;
         for cfg in EngineConfig::table3() {
             let f = model.evaluate(&cfg).frequency_ghz;
-            assert!(f >= 0.5, "{} must meet the 0.5 GHz evaluation clock", cfg.name());
+            assert!(
+                f >= 0.5,
+                "{} must meet the 0.5 GHz evaluation clock",
+                cfg.name()
+            );
             if cfg.name().starts_with("VEGETA-S") {
                 assert!(f <= last, "frequency must fall with alpha");
                 last = f;
@@ -231,7 +264,9 @@ mod tests {
     fn sparse_engine_is_slightly_slower_than_dense_at_same_alpha() {
         let model = CostModel::default();
         let dense = model.evaluate(&EngineConfig::dense(1, 2)).frequency_ghz;
-        let sparse = model.evaluate(&EngineConfig::vegeta_s(1).unwrap()).frequency_ghz;
+        let sparse = model
+            .evaluate(&EngineConfig::vegeta_s(1).unwrap())
+            .frequency_ghz;
         assert!(sparse < dense, "mux adds operand-path delay");
     }
 

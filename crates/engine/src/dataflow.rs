@@ -102,8 +102,10 @@ fn simulate(
     let tn = INPUT_TILE_COLS;
 
     // Partial sums per (weight row, lane, output column).
-    let mut psums: Vec<Vec<Vec<f32>>> =
-        mappings.iter().map(|m| vec![vec![0.0f32; tn]; m.lanes]).collect();
+    let mut psums: Vec<Vec<Vec<f32>>> = mappings
+        .iter()
+        .map(|m| vec![vec![0.0f32; tn]; m.lanes])
+        .collect();
     let mut effectual = 0u64;
     let mut fired = 0u64;
 
@@ -123,7 +125,9 @@ fn simulate(
                 for i in 0..height {
                     // The input wavefront for output column j reaches array
                     // row i of PE column pe_col at cycle toff + j + i + pe_col.
-                    let Some(j) = t.checked_sub(toff + i + pe_col) else { continue };
+                    let Some(j) = t.checked_sub(toff + i + pe_col) else {
+                        continue;
+                    };
                     if j >= tn {
                         continue;
                     }
@@ -180,7 +184,10 @@ fn simulate(
 ///   given 1:4).
 /// * [`EngineError::ShapeMismatch`] if operand shapes are inconsistent with
 ///   the pattern.
-pub fn simulate_tile(cfg: &EngineConfig, op: &TileWiseOp<'_>) -> Result<DataflowResult, EngineError> {
+pub fn simulate_tile(
+    cfg: &EngineConfig,
+    op: &TileWiseOp<'_>,
+) -> Result<DataflowResult, EngineError> {
     if !cfg.supports(op.ratio) {
         return Err(EngineError::UnsupportedSparsity {
             engine: cfg.name().to_string(),
@@ -231,7 +238,12 @@ pub fn simulate_tile(cfg: &EngineConfig, op: &TileWiseOp<'_>) -> Result<Dataflow
                     None => k,
                 })
                 .collect();
-            RowMapping { values, positions, base_col: p * lanes, lanes }
+            RowMapping {
+                values,
+                positions,
+                base_col: p * lanes,
+                lanes,
+            }
         })
         .collect();
     Ok(simulate(cfg, &mappings, op.bt, op.c_in))
@@ -286,8 +298,7 @@ pub fn simulate_row_wise(
         if !n.is_power_of_two() || n > m {
             return Err(EngineError::UnsupportedSparsity {
                 engine: cfg.name().to_string(),
-                ratio: NmRatio::new(n as u8, m as u8)
-                    .unwrap_or(NmRatio::D4_4),
+                ratio: NmRatio::new(n as u8, m as u8).unwrap_or(NmRatio::D4_4),
             });
         }
         if values.len() != 16 * n || positions.len() != 16 * n {
@@ -321,7 +332,10 @@ mod tests {
 
     fn int_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<Bf16> {
         Matrix::from_fn(rows, cols, |r, c| {
-            let h = (r as u64).wrapping_mul(37).wrapping_add(c as u64).wrapping_mul(seed | 1);
+            let h = (r as u64)
+                .wrapping_mul(37)
+                .wrapping_add(c as u64)
+                .wrapping_mul(seed | 1);
             Bf16::from_f32(((h % 13) as f32) - 6.0)
         })
     }
@@ -357,24 +371,40 @@ mod tests {
             };
             let res = simulate_tile(&cfg, &op).unwrap();
             assert_eq!(res.c_out, expected, "{}", cfg.name());
-            assert_eq!(res.last_output_cycle, cfg.last_output_cycle(), "{}", cfg.name());
+            assert_eq!(
+                res.last_output_cycle,
+                cfg.last_output_cycle(),
+                "{}",
+                cfg.name()
+            );
         }
     }
 
     #[test]
     fn spmm_u_2_4_runs_full_utilization_on_sparse_engines() {
         // Exact 2:4: every stored value non-zero -> 100% firing utilization.
-        let a = int_matrix(16, 32, 7).map(|v| {
-            if v.is_zero() { Bf16::ONE } else { *v }
-        });
-        let meta: Vec<u8> = (0..512).map(|k| ((k * 3) % 2 + (k % 2) * 2) as u8).collect();
+        let a = int_matrix(16, 32, 7).map(|v| if v.is_zero() { Bf16::ONE } else { *v });
+        let meta: Vec<u8> = (0..512)
+            .map(|k| ((k * 3) % 2 + (k % 2) * 2) as u8)
+            .collect();
         // positions must be strictly increasing inside a block pair:
         let meta: Vec<u8> = meta.chunks(2).flat_map(|_| [0u8, 2u8]).collect();
         let bt = int_matrix(16, 64, 11);
         let c_in = Matrix::zeros(16, 16);
-        let expected = reference_c(&a, |p, k| (k / 2) * 4 + meta[p * 32 + k] as usize, &bt, &c_in);
+        let expected = reference_c(
+            &a,
+            |p, k| (k / 2) * 4 + meta[p * 32 + k] as usize,
+            &bt,
+            &c_in,
+        );
         let cfg = EngineConfig::vegeta_s(2).unwrap();
-        let op = TileWiseOp { a_values: &a, a_meta: Some(&meta), ratio: NmRatio::S2_4, bt: &bt, c_in: &c_in };
+        let op = TileWiseOp {
+            a_values: &a,
+            a_meta: Some(&meta),
+            ratio: NmRatio::S2_4,
+            bt: &bt,
+            c_in: &c_in,
+        };
         let res = simulate_tile(&cfg, &op).unwrap();
         assert_eq!(res.c_out, expected);
         assert_eq!(res.firing_utilization(), 1.0);
@@ -387,7 +417,13 @@ mod tests {
         let meta = vec![0u8; 512];
         let bt = int_matrix(16, 64, 2);
         let c_in = Matrix::zeros(16, 16);
-        let op = TileWiseOp { a_values: &a, a_meta: Some(&meta), ratio: NmRatio::S2_4, bt: &bt, c_in: &c_in };
+        let op = TileWiseOp {
+            a_values: &a,
+            a_meta: Some(&meta),
+            ratio: NmRatio::S2_4,
+            bt: &bt,
+            c_in: &c_in,
+        };
         let err = simulate_tile(&EngineConfig::rasa_dm(), &op).unwrap_err();
         assert!(matches!(err, EngineError::UnsupportedSparsity { .. }));
     }
@@ -398,7 +434,13 @@ mod tests {
         let meta = vec![0u8; 512];
         let bt = int_matrix(16, 128, 2);
         let c_in = Matrix::zeros(16, 16);
-        let op = TileWiseOp { a_values: &a, a_meta: Some(&meta), ratio: NmRatio::S1_4, bt: &bt, c_in: &c_in };
+        let op = TileWiseOp {
+            a_values: &a,
+            a_meta: Some(&meta),
+            ratio: NmRatio::S1_4,
+            bt: &bt,
+            c_in: &c_in,
+        };
         assert!(simulate_tile(&EngineConfig::stc_like(), &op).is_err());
         assert!(simulate_tile(&EngineConfig::vegeta_s(1).unwrap(), &op).is_ok());
     }
@@ -408,12 +450,26 @@ mod tests {
         // A 2:4-sparse effective tile mapped in *dense* format on a dense
         // engine: half the weight slots are zero, so firing utilization is
         // 50% (Fig. 5 top).
-        let a = Matrix::from_fn(16, 32, |_, k| {
-            if k % 4 < 2 { Bf16::ONE } else { Bf16::ZERO }
-        });
+        let a = Matrix::from_fn(
+            16,
+            32,
+            |_, k| {
+                if k % 4 < 2 {
+                    Bf16::ONE
+                } else {
+                    Bf16::ZERO
+                }
+            },
+        );
         let bt = int_matrix(16, 32, 9);
         let c_in = Matrix::zeros(16, 16);
-        let op = TileWiseOp { a_values: &a, a_meta: None, ratio: NmRatio::D4_4, bt: &bt, c_in: &c_in };
+        let op = TileWiseOp {
+            a_values: &a,
+            a_meta: None,
+            ratio: NmRatio::D4_4,
+            bt: &bt,
+            c_in: &c_in,
+        };
         let res = simulate_tile(&EngineConfig::rasa_dm(), &op).unwrap();
         assert!((res.firing_utilization() - 0.5).abs() < 1e-12);
     }
@@ -431,8 +487,9 @@ mod tests {
                 4..=7 => 2,
                 _ => 1,
             };
-            let values: Vec<Bf16> =
-                (0..16 * n).map(|k| Bf16::from_f32(((r * 31 + k) % 9) as f32 - 4.0)).collect();
+            let values: Vec<Bf16> = (0..16 * n)
+                .map(|k| Bf16::from_f32(((r * 31 + k) % 9) as f32 - 4.0))
+                .collect();
             let positions: Vec<u8> = (0..16 * n)
                 .map(|k| {
                     // strictly increasing within each block of n stored values
@@ -452,7 +509,15 @@ mod tests {
         }
         let c_in = Matrix::zeros(16, 16);
         let cfg = EngineConfig::vegeta_s(2).unwrap();
-        let res = simulate_row_wise(&cfg, &RowWiseOp { rows: &rows, bt: &bt, c_in: &c_in }).unwrap();
+        let res = simulate_row_wise(
+            &cfg,
+            &RowWiseOp {
+                rows: &rows,
+                bt: &bt,
+                c_in: &c_in,
+            },
+        )
+        .unwrap();
         for r in 0..16 {
             for j in 0..16 {
                 assert_eq!(res.c_out[(r, j)], expected_rows[r][j], "({r},{j})");
@@ -470,12 +535,32 @@ mod tests {
             .map(|_| (1u8, vec![Bf16::ONE; 16], vec![0u8; 16]))
             .collect();
         let cfg = EngineConfig::vegeta_s(2).unwrap();
-        assert!(simulate_row_wise(&cfg, &RowWiseOp { rows: &rows, bt: &bt, c_in: &c_in }).is_err());
+        assert!(simulate_row_wise(
+            &cfg,
+            &RowWiseOp {
+                rows: &rows,
+                bt: &bt,
+                c_in: &c_in
+            }
+        )
+        .is_err());
         let ok_rows = &rows[..32];
-        assert!(simulate_row_wise(&cfg, &RowWiseOp { rows: ok_rows, bt: &bt, c_in: &c_in }).is_ok());
+        assert!(simulate_row_wise(
+            &cfg,
+            &RowWiseOp {
+                rows: ok_rows,
+                bt: &bt,
+                c_in: &c_in
+            }
+        )
+        .is_ok());
         assert!(simulate_row_wise(
             &EngineConfig::rasa_dm(),
-            &RowWiseOp { rows: ok_rows, bt: &bt, c_in: &c_in }
+            &RowWiseOp {
+                rows: ok_rows,
+                bt: &bt,
+                c_in: &c_in
+            }
         )
         .is_err());
     }
@@ -496,7 +581,12 @@ mod tests {
                 c_in: &c_in,
             };
             let res = simulate_tile(&cfg, &op).unwrap();
-            assert_eq!(res.last_output_cycle, cfg.last_output_cycle(), "{}", cfg.name());
+            assert_eq!(
+                res.last_output_cycle,
+                cfg.last_output_cycle(),
+                "{}",
+                cfg.name()
+            );
         }
     }
 }

@@ -60,7 +60,13 @@ pub struct EngineTimer {
 impl EngineTimer {
     /// Creates a timer for the given engine.
     pub fn new(cfg: EngineConfig) -> Self {
-        EngineTimer { cfg, last_start: None, by_acc: HashMap::new(), busy_until: 0, issued: 0 }
+        EngineTimer {
+            cfg,
+            last_start: None,
+            by_acc: HashMap::new(),
+            busy_until: 0,
+            issued: 0,
+        }
     }
 
     /// The engine configuration.
@@ -98,7 +104,9 @@ impl EngineTimer {
             } else {
                 // Without OF the consumer's FF must wait for the producer's
                 // full writeback.
-                producer.completion.saturating_sub(self.cfg.wl_latency() as u64)
+                producer
+                    .completion
+                    .saturating_sub(self.cfg.wl_latency() as u64)
             };
             start = start.max(gap);
         }
@@ -196,11 +204,16 @@ mod tests {
 
     #[test]
     fn of_makes_dependent_nearly_as_fast_as_independent() {
-        let cfg = EngineConfig::vegeta_s(16).unwrap().with_output_forwarding(true);
+        let cfg = EngineConfig::vegeta_s(16)
+            .unwrap()
+            .with_output_forwarding(true);
         let (_, dep_total) = schedule_sequence(&cfg, &dependent(16));
         let (_, ind_total) = schedule_sequence(&cfg, &independent(16));
         // Within ~7% for a 16-deep chain.
-        assert!((dep_total as f64) < ind_total as f64 * 1.07, "{dep_total} vs {ind_total}");
+        assert!(
+            (dep_total as f64) < ind_total as f64 * 1.07,
+            "{dep_total} vs {ind_total}"
+        );
     }
 
     #[test]
@@ -208,15 +221,20 @@ mod tests {
         // Software can hide the dependence by rotating two accumulators —
         // the optimized-kernel trick the simulator relies on.
         let cfg = EngineConfig::vegeta_s(16).unwrap();
-        let rotated: Vec<TileOp> =
-            (0..8).map(|i| TileOp { acc: (i % 2) as u8 }).collect();
+        let rotated: Vec<TileOp> = (0..8).map(|i| TileOp { acc: (i % 2) as u8 }).collect();
         let (timings, _) = schedule_sequence(&cfg, &rotated);
         // With two accumulators, the same-acc producer is two issues back;
         // dependence is already satisfied by the structural interval most of
         // the time.
-        let gaps: Vec<u64> = timings.windows(2).map(|w| w[1].start - w[0].start).collect();
+        let gaps: Vec<u64> = timings
+            .windows(2)
+            .map(|w| w[1].start - w[0].start)
+            .collect();
         let avg = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
-        assert!(avg < 24.0, "rotating accumulators should approach the issue interval, avg {avg}");
+        assert!(
+            avg < 24.0,
+            "rotating accumulators should approach the issue interval, avg {avg}"
+        );
     }
 
     #[test]

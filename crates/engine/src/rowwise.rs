@@ -38,15 +38,21 @@ impl TileAssignment {
 /// original order for pseudo row-wise execution.
 pub fn pack_rows(row_ratios: &[NmRatio]) -> Vec<TileAssignment> {
     let mut tiles = Vec::new();
-    let mut current = TileAssignment { rows: Vec::new(), lanes_used: 0 };
+    let mut current = TileAssignment {
+        rows: Vec::new(),
+        lanes_used: 0,
+    };
     for (idx, ratio) in row_ratios.iter().enumerate() {
         let lanes = ratio.n() as usize;
-        let overflow = current.lanes_used + lanes > LANES_PER_TILE
-            || current.rows.len() >= MAX_ROWS_PER_TILE;
+        let overflow =
+            current.lanes_used + lanes > LANES_PER_TILE || current.rows.len() >= MAX_ROWS_PER_TILE;
         if overflow && !current.rows.is_empty() {
             tiles.push(std::mem::replace(
                 &mut current,
-                TileAssignment { rows: Vec::new(), lanes_used: 0 },
+                TileAssignment {
+                    rows: Vec::new(),
+                    lanes_used: 0,
+                },
             ));
         }
         current.rows.push(idx);
@@ -78,7 +84,11 @@ pub fn packing_stats(tiles: &[TileAssignment]) -> PackingStats {
     } else {
         tiles.iter().map(TileAssignment::utilization).sum::<f64>() / instructions as f64
     };
-    PackingStats { instructions, mean_utilization, rows }
+    PackingStats {
+        instructions,
+        mean_utilization,
+        rows,
+    }
 }
 
 #[cfg(test)]
@@ -90,7 +100,9 @@ mod tests {
         let rows = vec![NmRatio::D4_4; 24];
         let tiles = pack_rows(&rows);
         assert_eq!(tiles.len(), 3);
-        assert!(tiles.iter().all(|t| t.rows.len() == 8 && t.lanes_used == 32));
+        assert!(tiles
+            .iter()
+            .all(|t| t.rows.len() == 8 && t.lanes_used == 32));
     }
 
     #[test]
@@ -98,7 +110,9 @@ mod tests {
         let rows = vec![NmRatio::S1_4; 64];
         let tiles = pack_rows(&rows);
         assert_eq!(tiles.len(), 2);
-        assert!(tiles.iter().all(|t| t.rows.len() == 32 && t.lanes_used == 32));
+        assert!(tiles
+            .iter()
+            .all(|t| t.rows.len() == 32 && t.lanes_used == 32));
     }
 
     #[test]

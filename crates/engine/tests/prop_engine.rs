@@ -3,9 +3,7 @@
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use vegeta_engine::{
-    dataflow, schedule_sequence, EngineConfig, EngineTimer, TileOp, TOTAL_MACS,
-};
+use vegeta_engine::{dataflow, schedule_sequence, EngineConfig, EngineTimer, TileOp, TOTAL_MACS};
 use vegeta_num::{Bf16, Matrix};
 use vegeta_sparse::{prune, CompressedTile, NmRatio};
 

@@ -98,7 +98,8 @@ fn run(opts: &Options) -> Result<(), String> {
         if opts.trace {
             println!("[{i:>4}] {inst}");
         }
-        exec.execute(inst).map_err(|e| format!("at instruction {i} ({inst}): {e}"))?;
+        exec.execute(inst)
+            .map_err(|e| format!("at instruction {i} ({inst}): {e}"))?;
     }
     let stats = exec.stats();
     println!(
@@ -114,8 +115,9 @@ fn run(opts: &Options) -> Result<(), String> {
         let m = exec.regs().treg_as_bf16(t);
         println!("treg {r} (16x32 BF16):");
         for row in 0..16 {
-            let vals: Vec<String> =
-                (0..32).map(|c| format!("{:>7.2}", m[(row, c)].to_f32())).collect();
+            let vals: Vec<String> = (0..32)
+                .map(|c| format!("{:>7.2}", m[(row, c)].to_f32()))
+                .collect();
             println!("  {}", vals.join(" "));
         }
     }

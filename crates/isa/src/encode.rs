@@ -56,8 +56,9 @@ pub fn decode(bytes: &[u8]) -> Result<(Inst, usize), IsaError> {
     let op = *bytes.first().ok_or_else(|| IsaError::DecodeError {
         reason: "empty input".to_string(),
     })?;
-    let opcode = Opcode::from_byte(op)
-        .ok_or_else(|| IsaError::DecodeError { reason: format!("unknown opcode {op:#x}") })?;
+    let opcode = Opcode::from_byte(op).ok_or_else(|| IsaError::DecodeError {
+        reason: format!("unknown opcode {op:#x}"),
+    })?;
     let reg = |i: usize| -> Result<u8, IsaError> {
         bytes.get(i).copied().ok_or_else(|| IsaError::DecodeError {
             reason: format!("truncated {}", opcode.mnemonic()),
@@ -67,16 +68,38 @@ pub fn decode(bytes: &[u8]) -> Result<(Inst, usize), IsaError> {
         let slice = bytes.get(i..i + 8).ok_or_else(|| IsaError::DecodeError {
             reason: format!("truncated address in {}", opcode.mnemonic()),
         })?;
-        Ok(u64::from_le_bytes(slice.try_into().expect("slice is 8 bytes")))
+        Ok(u64::from_le_bytes(
+            slice.try_into().expect("slice is 8 bytes"),
+        ))
     };
     let inst = match opcode {
-        Opcode::TileLoadT => Inst::TileLoadT { dst: TReg::new(reg(1)?)?, addr: addr(2)? },
-        Opcode::TileLoadU => Inst::TileLoadU { dst: UReg::new(reg(1)?)?, addr: addr(2)? },
-        Opcode::TileLoadV => Inst::TileLoadV { dst: VReg::new(reg(1)?)?, addr: addr(2)? },
-        Opcode::TileLoadM => Inst::TileLoadM { dst: MReg::new(reg(1)?)?, addr: addr(2)? },
-        Opcode::TileLoadRp => Inst::TileLoadRp { dst: MReg::new(reg(1)?)?, addr: addr(2)? },
-        Opcode::TileStoreT => Inst::TileStoreT { src: TReg::new(reg(1)?)?, addr: addr(2)? },
-        Opcode::TileZero => Inst::TileZero { dst: TReg::new(reg(1)?)? },
+        Opcode::TileLoadT => Inst::TileLoadT {
+            dst: TReg::new(reg(1)?)?,
+            addr: addr(2)?,
+        },
+        Opcode::TileLoadU => Inst::TileLoadU {
+            dst: UReg::new(reg(1)?)?,
+            addr: addr(2)?,
+        },
+        Opcode::TileLoadV => Inst::TileLoadV {
+            dst: VReg::new(reg(1)?)?,
+            addr: addr(2)?,
+        },
+        Opcode::TileLoadM => Inst::TileLoadM {
+            dst: MReg::new(reg(1)?)?,
+            addr: addr(2)?,
+        },
+        Opcode::TileLoadRp => Inst::TileLoadRp {
+            dst: MReg::new(reg(1)?)?,
+            addr: addr(2)?,
+        },
+        Opcode::TileStoreT => Inst::TileStoreT {
+            src: TReg::new(reg(1)?)?,
+            addr: addr(2)?,
+        },
+        Opcode::TileZero => Inst::TileZero {
+            dst: TReg::new(reg(1)?)?,
+        },
         Opcode::TileGemm => Inst::TileGemm {
             acc: TReg::new(reg(1)?)?,
             a: TReg::new(reg(2)?)?,
@@ -133,42 +156,69 @@ pub fn assemble(text: &str) -> Result<Vec<Inst>, IsaError> {
 
 fn parse_line(line: &str) -> Result<Inst, String> {
     let (mnemonic, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
-    let args: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let args: Vec<&str> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
     let want = |n: usize| -> Result<(), String> {
         if args.len() == n {
             Ok(())
         } else {
-            Err(format!("{mnemonic} expects {n} operands, found {}", args.len()))
+            Err(format!(
+                "{mnemonic} expects {n} operands, found {}",
+                args.len()
+            ))
         }
     };
     let inst = match mnemonic {
         "tile_load_t" => {
             want(2)?;
-            Inst::TileLoadT { dst: parse_treg(args[0])?, addr: parse_addr(args[1])? }
+            Inst::TileLoadT {
+                dst: parse_treg(args[0])?,
+                addr: parse_addr(args[1])?,
+            }
         }
         "tile_load_u" => {
             want(2)?;
-            Inst::TileLoadU { dst: parse_ureg(args[0])?, addr: parse_addr(args[1])? }
+            Inst::TileLoadU {
+                dst: parse_ureg(args[0])?,
+                addr: parse_addr(args[1])?,
+            }
         }
         "tile_load_v" => {
             want(2)?;
-            Inst::TileLoadV { dst: parse_vreg(args[0])?, addr: parse_addr(args[1])? }
+            Inst::TileLoadV {
+                dst: parse_vreg(args[0])?,
+                addr: parse_addr(args[1])?,
+            }
         }
         "tile_load_m" => {
             want(2)?;
-            Inst::TileLoadM { dst: parse_mreg(args[0])?, addr: parse_addr(args[1])? }
+            Inst::TileLoadM {
+                dst: parse_mreg(args[0])?,
+                addr: parse_addr(args[1])?,
+            }
         }
         "tile_load_rp" => {
             want(2)?;
-            Inst::TileLoadRp { dst: parse_mreg(args[0])?, addr: parse_addr(args[1])? }
+            Inst::TileLoadRp {
+                dst: parse_mreg(args[0])?,
+                addr: parse_addr(args[1])?,
+            }
         }
         "tile_store_t" => {
             want(2)?;
-            Inst::TileStoreT { addr: parse_addr(args[0])?, src: parse_treg(args[1])? }
+            Inst::TileStoreT {
+                addr: parse_addr(args[0])?,
+                src: parse_treg(args[1])?,
+            }
         }
         "tile_zero" => {
             want(1)?;
-            Inst::TileZero { dst: parse_treg(args[0])? }
+            Inst::TileZero {
+                dst: parse_treg(args[0])?,
+            }
         }
         "tile_gemm" => {
             want(3)?;
@@ -248,17 +298,51 @@ mod tests {
 
     fn all_insts() -> Vec<Inst> {
         vec![
-            Inst::TileLoadT { dst: TReg::T3, addr: 0x1000 },
-            Inst::TileLoadU { dst: UReg::U1, addr: 0xdead_beef },
-            Inst::TileLoadV { dst: VReg::V0, addr: 64 },
-            Inst::TileLoadM { dst: MReg::M3, addr: 0 },
-            Inst::TileLoadRp { dst: MReg::M5, addr: 8 },
-            Inst::TileStoreT { addr: 0x40, src: TReg::T1 },
+            Inst::TileLoadT {
+                dst: TReg::T3,
+                addr: 0x1000,
+            },
+            Inst::TileLoadU {
+                dst: UReg::U1,
+                addr: 0xdead_beef,
+            },
+            Inst::TileLoadV {
+                dst: VReg::V0,
+                addr: 64,
+            },
+            Inst::TileLoadM {
+                dst: MReg::M3,
+                addr: 0,
+            },
+            Inst::TileLoadRp {
+                dst: MReg::M5,
+                addr: 8,
+            },
+            Inst::TileStoreT {
+                addr: 0x40,
+                src: TReg::T1,
+            },
             Inst::TileZero { dst: TReg::T7 },
-            Inst::TileGemm { acc: TReg::T2, a: TReg::T3, b: TReg::T4 },
-            Inst::TileSpmmU { acc: TReg::T2, a: TReg::T3, b: UReg::U0 },
-            Inst::TileSpmmV { acc: TReg::T2, a: TReg::T3, b: VReg::V1 },
-            Inst::TileSpmmR { acc: UReg::U3, a: TReg::T1, b: UReg::U0 },
+            Inst::TileGemm {
+                acc: TReg::T2,
+                a: TReg::T3,
+                b: TReg::T4,
+            },
+            Inst::TileSpmmU {
+                acc: TReg::T2,
+                a: TReg::T3,
+                b: UReg::U0,
+            },
+            Inst::TileSpmmV {
+                acc: TReg::T2,
+                a: TReg::T3,
+                b: VReg::V1,
+            },
+            Inst::TileSpmmR {
+                acc: UReg::U3,
+                a: TReg::T1,
+                b: UReg::U0,
+            },
         ]
     }
 
@@ -295,7 +379,14 @@ mod tests {
         ";
         let insts = assemble(program).unwrap();
         assert_eq!(insts.len(), 6);
-        assert_eq!(insts[4], Inst::TileSpmmU { acc: TReg::T2, a: TReg::T3, b: UReg::U0 });
+        assert_eq!(
+            insts[4],
+            Inst::TileSpmmU {
+                acc: TReg::T2,
+                a: TReg::T3,
+                b: UReg::U0
+            }
+        );
     }
 
     #[test]

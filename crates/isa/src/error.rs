@@ -49,10 +49,16 @@ impl fmt::Display for IsaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IsaError::InvalidRegister { kind, index, limit } => {
-                write!(f, "register {kind}{index} out of range (only {limit} {kind}-registers)")
+                write!(
+                    f,
+                    "register {kind}{index} out of range (only {limit} {kind}-registers)"
+                )
             }
             IsaError::MemoryOutOfBounds { addr, len, size } => {
-                write!(f, "memory access [{addr:#x}, {addr:#x}+{len}) outside size {size:#x}")
+                write!(
+                    f,
+                    "memory access [{addr:#x}, {addr:#x}+{len}) outside size {size:#x}"
+                )
             }
             IsaError::DecodeError { reason } => write!(f, "decode error: {reason}"),
             IsaError::ParseError { reason } => write!(f, "parse error: {reason}"),
@@ -69,9 +75,20 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = IsaError::MemoryOutOfBounds { addr: 0x100, len: 64, size: 0x120 };
+        let e = IsaError::MemoryOutOfBounds {
+            addr: 0x100,
+            len: 64,
+            size: 0x120,
+        };
         assert!(e.to_string().contains("0x100"));
-        let e = IsaError::InvalidRegister { kind: "t", index: 9, limit: 8 };
-        assert_eq!(e.to_string(), "register t9 out of range (only 8 t-registers)");
+        let e = IsaError::InvalidRegister {
+            kind: "t",
+            index: 9,
+            limit: 8,
+        };
+        assert_eq!(
+            e.to_string(),
+            "register t9 out of range (only 8 t-registers)"
+        );
     }
 }

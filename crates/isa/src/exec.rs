@@ -85,7 +85,11 @@ pub fn encode_row_patterns(ns: &[u8]) -> [u8; MREG_ROW_PATTERN_BYTES] {
 impl Executor {
     /// Creates an executor with zeroed registers over the given memory.
     pub fn new(mem: Memory) -> Self {
-        Executor { regs: RegFile::new(), mem, stats: ExecStats::default() }
+        Executor {
+            regs: RegFile::new(),
+            mem,
+            stats: ExecStats::default(),
+        }
     }
 
     /// The architectural register file.
@@ -246,7 +250,10 @@ impl Executor {
         let row_ns = decode_row_patterns(self.regs.row_patterns(mreg));
         if row_ns.len() > 32 {
             return Err(IsaError::InvalidOperands {
-                reason: format!("row-pattern metadata describes {} rows (max 32)", row_ns.len()),
+                reason: format!(
+                    "row-pattern metadata describes {} rows (max 32)",
+                    row_ns.len()
+                ),
             });
         }
         let total_values: usize = row_ns.iter().map(|&n| n as usize * 16).sum();
@@ -325,7 +332,12 @@ mod tests {
         let mut exec = Executor::new(Memory::new(1 << 16));
         exec.regs_mut().set_treg_bf16(TReg::T0, &a);
         exec.regs_mut().set_treg_bf16(TReg::T1, &bt);
-        exec.execute(Inst::TileGemm { acc: TReg::T2, a: TReg::T0, b: TReg::T1 }).unwrap();
+        exec.execute(Inst::TileGemm {
+            acc: TReg::T2,
+            a: TReg::T0,
+            b: TReg::T1,
+        })
+        .unwrap();
         assert_eq!(exec.regs().treg_as_f32(TReg::T2), expected);
         assert_eq!(exec.stats().effectual_macs, 8192);
     }
@@ -342,7 +354,11 @@ mod tests {
         let mut exec = Executor::new(Memory::new(1 << 16));
         exec.regs_mut().set_treg_bf16(TReg::T0, &a);
         exec.regs_mut().set_treg_bf16(TReg::T1, &bt);
-        let gemm = Inst::TileGemm { acc: TReg::T2, a: TReg::T0, b: TReg::T1 };
+        let gemm = Inst::TileGemm {
+            acc: TReg::T2,
+            a: TReg::T0,
+            b: TReg::T1,
+        };
         exec.run(&[gemm, gemm]).unwrap();
         assert_eq!(exec.regs().treg_as_f32(TReg::T2), expected);
     }
@@ -371,7 +387,12 @@ mod tests {
         let mut exec = Executor::new(Memory::new(1 << 16));
         load_compressed(&mut exec, TReg::T3, &tile);
         exec.regs_mut().set_ureg_bf16(UReg::U0, &bt);
-        exec.execute(Inst::TileSpmmU { acc: TReg::T2, a: TReg::T3, b: UReg::U0 }).unwrap();
+        exec.execute(Inst::TileSpmmU {
+            acc: TReg::T2,
+            a: TReg::T3,
+            b: UReg::U0,
+        })
+        .unwrap();
         assert_eq!(exec.regs().treg_as_f32(TReg::T2), expected);
     }
 
@@ -388,7 +409,12 @@ mod tests {
         let mut exec = Executor::new(Memory::new(1 << 16));
         load_compressed(&mut exec, TReg::T4, &tile);
         exec.regs_mut().set_vreg_bf16(VReg::V0, &bt);
-        exec.execute(Inst::TileSpmmV { acc: TReg::T5, a: TReg::T4, b: VReg::V0 }).unwrap();
+        exec.execute(Inst::TileSpmmV {
+            acc: TReg::T5,
+            a: TReg::T4,
+            b: VReg::V0,
+        })
+        .unwrap();
         assert_eq!(exec.regs().treg_as_f32(TReg::T5), expected);
     }
 
@@ -405,22 +431,23 @@ mod tests {
         }
         idxs.resize(512, 0);
         exec.regs_mut().set_treg_bf16(a, &vals);
-        let packed = vegeta_sparse::CompressedTile::compress(
-            &Matrix::zeros(1, 4),
-            NmRatio::S1_4,
-        )
-        .map(|_| ())
-        .ok();
+        let packed = vegeta_sparse::CompressedTile::compress(&Matrix::zeros(1, 4), NmRatio::S1_4)
+            .map(|_| ())
+            .ok();
         let _ = packed;
         // Pack 2-bit indices directly.
         let mut meta = [0u8; 128];
         for (i, &idx) in idxs.iter().enumerate() {
             meta[i / 4] |= idx << ((i % 4) * 2);
         }
-        exec.regs_mut().mreg_mut(a.paired_mreg()).copy_from_slice(&meta);
+        exec.regs_mut()
+            .mreg_mut(a.paired_mreg())
+            .copy_from_slice(&meta);
         let ns: Vec<u8> = tile.row_ratios().iter().map(|r| r.n()).collect();
         let rp = encode_row_patterns(&ns);
-        exec.regs_mut().row_patterns_mut(a.paired_mreg()).copy_from_slice(&rp);
+        exec.regs_mut()
+            .row_patterns_mut(a.paired_mreg())
+            .copy_from_slice(&rp);
     }
 
     #[test]
@@ -448,7 +475,12 @@ mod tests {
         let mut exec = Executor::new(Memory::new(1 << 16));
         load_row_wise(&mut exec, TReg::T4, &tile);
         exec.regs_mut().set_ureg_bf16(UReg::U0, &bt);
-        exec.execute(Inst::TileSpmmR { acc: UReg::U1, a: TReg::T4, b: UReg::U0 }).unwrap();
+        exec.execute(Inst::TileSpmmR {
+            acc: UReg::U1,
+            a: TReg::T4,
+            b: UReg::U0,
+        })
+        .unwrap();
         let c = exec.regs().ureg_as_f32(UReg::U1);
         for i in 0..16 {
             for j in 0..16 {
@@ -483,8 +515,16 @@ mod tests {
         let mut exec = Executor::new(Memory::new(1 << 16));
         let tile = int_matrix(16, 32, 3);
         exec.mem_mut().write_bf16_matrix(0x400, &tile).unwrap();
-        exec.execute(Inst::TileLoadT { dst: TReg::T5, addr: 0x400 }).unwrap();
-        exec.execute(Inst::TileStoreT { addr: 0x2000, src: TReg::T5 }).unwrap();
+        exec.execute(Inst::TileLoadT {
+            dst: TReg::T5,
+            addr: 0x400,
+        })
+        .unwrap();
+        exec.execute(Inst::TileStoreT {
+            addr: 0x2000,
+            src: TReg::T5,
+        })
+        .unwrap();
         assert_eq!(exec.mem().read_bf16_matrix(0x2000, 16, 32).unwrap(), tile);
         assert_eq!(exec.stats().bytes_loaded, 1024);
         assert_eq!(exec.stats().bytes_stored, 1024);
@@ -493,7 +533,8 @@ mod tests {
     #[test]
     fn tile_zero_clears_accumulator() {
         let mut exec = Executor::new(Memory::new(4096));
-        exec.regs_mut().set_treg_f32(TReg::T2, &Matrix::from_fn(16, 16, |_, _| 3.5));
+        exec.regs_mut()
+            .set_treg_f32(TReg::T2, &Matrix::from_fn(16, 16, |_, _| 3.5));
         exec.execute(Inst::TileZero { dst: TReg::T2 }).unwrap();
         assert!(exec.regs().treg_as_f32(TReg::T2).iter().all(|&x| x == 0.0));
     }
@@ -501,7 +542,12 @@ mod tests {
     #[test]
     fn oob_load_is_reported() {
         let mut exec = Executor::new(Memory::new(512));
-        let err = exec.execute(Inst::TileLoadT { dst: TReg::T0, addr: 0 }).unwrap_err();
+        let err = exec
+            .execute(Inst::TileLoadT {
+                dst: TReg::T0,
+                addr: 0,
+            })
+            .unwrap_err();
         assert!(matches!(err, IsaError::MemoryOutOfBounds { .. }));
     }
 }

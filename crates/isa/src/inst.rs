@@ -325,7 +325,11 @@ mod tests {
 
     #[test]
     fn spmm_reads_include_implicit_mreg_and_aliases() {
-        let i = Inst::TileSpmmU { acc: TReg::T2, a: TReg::T3, b: UReg::U0 };
+        let i = Inst::TileSpmmU {
+            acc: TReg::T2,
+            a: TReg::T3,
+            b: UReg::U0,
+        };
         let reads = i.reads();
         assert!(reads.contains(&RegRef::Meta(MReg::M3)));
         assert!(reads.contains(&RegRef::Tile(TReg::T0)));
@@ -335,7 +339,10 @@ mod tests {
 
     #[test]
     fn load_v_writes_all_four_aliased_tregs() {
-        let i = Inst::TileLoadV { dst: VReg::V1, addr: 0 };
+        let i = Inst::TileLoadV {
+            dst: VReg::V1,
+            addr: 0,
+        };
         let writes = i.writes();
         assert_eq!(writes.len(), 4);
         assert!(writes.contains(&RegRef::Tile(TReg::T7)));
@@ -343,17 +350,45 @@ mod tests {
 
     #[test]
     fn mem_access_sizes_match_register_widths() {
-        assert_eq!(Inst::TileLoadT { dst: TReg::T0, addr: 4 }.mem_access(), Some((4, 1024)));
-        assert_eq!(Inst::TileLoadV { dst: VReg::V0, addr: 0 }.mem_access(), Some((0, 4096)));
-        assert_eq!(Inst::TileLoadM { dst: MReg::M0, addr: 8 }.mem_access(), Some((8, 128)));
+        assert_eq!(
+            Inst::TileLoadT {
+                dst: TReg::T0,
+                addr: 4
+            }
+            .mem_access(),
+            Some((4, 1024))
+        );
+        assert_eq!(
+            Inst::TileLoadV {
+                dst: VReg::V0,
+                addr: 0
+            }
+            .mem_access(),
+            Some((0, 4096))
+        );
+        assert_eq!(
+            Inst::TileLoadM {
+                dst: MReg::M0,
+                addr: 8
+            }
+            .mem_access(),
+            Some((8, 128))
+        );
         assert_eq!(Inst::TileZero { dst: TReg::T0 }.mem_access(), None);
     }
 
     #[test]
     fn display_matches_assembler_syntax() {
-        let i = Inst::TileSpmmV { acc: TReg::T2, a: TReg::T3, b: VReg::V0 };
+        let i = Inst::TileSpmmV {
+            acc: TReg::T2,
+            a: TReg::T3,
+            b: VReg::V0,
+        };
         assert_eq!(i.to_string(), "tile_spmm_v t2, t3, v0");
-        let i = Inst::TileStoreT { addr: 0x40, src: TReg::T1 };
+        let i = Inst::TileStoreT {
+            addr: 0x40,
+            src: TReg::T1,
+        };
         assert_eq!(i.to_string(), "tile_store_t [0x40], t1");
     }
 }

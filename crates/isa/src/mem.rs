@@ -33,7 +33,10 @@ pub struct Memory {
 impl Memory {
     /// Creates a zeroed memory of `size` bytes.
     pub fn new(size: usize) -> Self {
-        Memory { data: vec![0; size], next_free: 0 }
+        Memory {
+            data: vec![0; size],
+            next_free: 0,
+        }
     }
 
     /// Size of the memory in bytes.
@@ -62,8 +65,15 @@ impl Memory {
 
     fn check(&self, addr: u64, len: usize) -> Result<usize, IsaError> {
         let start = addr as usize;
-        if start.checked_add(len).is_none_or(|end| end > self.data.len()) {
-            return Err(IsaError::MemoryOutOfBounds { addr, len, size: self.data.len() });
+        if start
+            .checked_add(len)
+            .is_none_or(|end| end > self.data.len())
+        {
+            return Err(IsaError::MemoryOutOfBounds {
+                addr,
+                len,
+                size: self.data.len(),
+            });
         }
         Ok(start)
     }

@@ -235,7 +235,11 @@ impl RegFile {
     ///
     /// Panics if the matrix is not 16×32.
     pub fn set_treg_bf16(&mut self, r: TReg, m: &Matrix<Bf16>) {
-        assert_eq!((m.rows(), m.cols()), (TREG_ROWS, 32), "treg BF16 view is 16x32");
+        assert_eq!(
+            (m.rows(), m.cols()),
+            (TREG_ROWS, 32),
+            "treg BF16 view is 16x32"
+        );
         bf16_to_bytes(m, self.treg_mut(r));
     }
 
@@ -250,7 +254,11 @@ impl RegFile {
     ///
     /// Panics if the matrix is not 16×16.
     pub fn set_treg_f32(&mut self, r: TReg, m: &Matrix<f32>) {
-        assert_eq!((m.rows(), m.cols()), (TREG_ROWS, 16), "treg FP32 view is 16x16");
+        assert_eq!(
+            (m.rows(), m.cols()),
+            (TREG_ROWS, 16),
+            "treg FP32 view is 16x16"
+        );
         f32_to_bytes(m, self.treg_mut(r));
     }
 
@@ -265,7 +273,11 @@ impl RegFile {
     ///
     /// Panics if the matrix is not 16×64.
     pub fn set_ureg_bf16(&mut self, r: UReg, m: &Matrix<Bf16>) {
-        assert_eq!((m.rows(), m.cols()), (TREG_ROWS, 64), "ureg BF16 view is 16x64");
+        assert_eq!(
+            (m.rows(), m.cols()),
+            (TREG_ROWS, 64),
+            "ureg BF16 view is 16x64"
+        );
         bf16_to_bytes(m, self.ureg_mut(r));
     }
 
@@ -295,7 +307,11 @@ impl RegFile {
     ///
     /// Panics if the matrix is not 16×128.
     pub fn set_vreg_bf16(&mut self, r: VReg, m: &Matrix<Bf16>) {
-        assert_eq!((m.rows(), m.cols()), (TREG_ROWS, 128), "vreg BF16 view is 16x128");
+        assert_eq!(
+            (m.rows(), m.cols()),
+            (TREG_ROWS, 128),
+            "vreg BF16 view is 16x128"
+        );
         bf16_to_bytes(m, self.vreg_mut(r));
     }
 }

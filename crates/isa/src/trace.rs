@@ -106,9 +106,9 @@ impl TraceOp {
     /// Memory footprint `(addr, bytes, is_store)` if this op touches memory.
     pub fn mem_access(&self) -> Option<(u64, usize, bool)> {
         match *self {
-            TraceOp::Tile(inst) => inst.mem_access().map(|(a, len)| {
-                (a, len, matches!(inst, Inst::TileStoreT { .. }))
-            }),
+            TraceOp::Tile(inst) => inst
+                .mem_access()
+                .map(|(a, len)| (a, len, matches!(inst, Inst::TileStoreT { .. }))),
             TraceOp::VecLoad { addr, .. } => Some((addr, 64, false)),
             TraceOp::VecStore { addr, .. } => Some((addr, 64, true)),
             _ => None,
@@ -244,7 +244,9 @@ impl Trace {
 
 impl FromIterator<TraceOp> for Trace {
     fn from_iter<T: IntoIterator<Item = TraceOp>>(iter: T) -> Self {
-        Trace { ops: iter.into_iter().collect() }
+        Trace {
+            ops: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -283,10 +285,23 @@ mod tests {
     #[test]
     fn mix_counts_kinds() {
         let mut t = Trace::new();
-        t.push_inst(Inst::TileLoadT { dst: TReg::T0, addr: 0 });
-        t.push_inst(Inst::TileLoadM { dst: crate::regs::MReg::M0, addr: 0 });
-        t.push_inst(Inst::TileSpmmU { acc: TReg::T2, a: TReg::T0, b: UReg::U1 });
-        t.push_inst(Inst::TileStoreT { addr: 0, src: TReg::T2 });
+        t.push_inst(Inst::TileLoadT {
+            dst: TReg::T0,
+            addr: 0,
+        });
+        t.push_inst(Inst::TileLoadM {
+            dst: crate::regs::MReg::M0,
+            addr: 0,
+        });
+        t.push_inst(Inst::TileSpmmU {
+            acc: TReg::T2,
+            a: TReg::T0,
+            b: UReg::U1,
+        });
+        t.push_inst(Inst::TileStoreT {
+            addr: 0,
+            src: TReg::T2,
+        });
         t.push(TraceOp::VecFma { acc: 0, a: 1, b: 2 });
         t.push(TraceOp::Scalar { dst: 0, src: 0 });
         t.push(TraceOp::Branch { cond: 0 });
@@ -309,7 +324,11 @@ mod tests {
 
     #[test]
     fn tile_op_dependences_expand_aliases() {
-        let op = TraceOp::Tile(Inst::TileSpmmU { acc: TReg::T2, a: TReg::T3, b: UReg::U0 });
+        let op = TraceOp::Tile(Inst::TileSpmmU {
+            acc: TReg::T2,
+            a: TReg::T3,
+            b: UReg::U0,
+        });
         let reads = op.reads();
         assert!(reads.contains(&ArchReg::Tile(0)));
         assert!(reads.contains(&ArchReg::Tile(1)));
@@ -318,7 +337,10 @@ mod tests {
 
     #[test]
     fn mem_access_flags_stores() {
-        let st = TraceOp::Tile(Inst::TileStoreT { addr: 0x80, src: TReg::T0 });
+        let st = TraceOp::Tile(Inst::TileStoreT {
+            addr: 0x80,
+            src: TReg::T0,
+        });
         assert_eq!(st.mem_access(), Some((0x80, 1024, true)));
         let ld = TraceOp::VecLoad { dst: 0, addr: 0x40 };
         assert_eq!(ld.mem_access(), Some((0x40, 64, false)));

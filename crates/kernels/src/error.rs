@@ -63,7 +63,9 @@ mod tests {
         let e = KernelError::from(SparsityError::InvalidRatio { n: 9, m: 4 });
         assert!(e.to_string().contains("9:4"));
         assert!(e.source().is_some());
-        let e = KernelError::Shape { reason: "bad".into() };
+        let e = KernelError::Shape {
+            reason: "bad".into(),
+        };
         assert!(e.source().is_none());
     }
 }

@@ -62,7 +62,9 @@ impl RowWiseProgram {
         let mut out = Matrix::zeros(self.shape.m, self.shape.n);
         for (ai, assignment) in self.assignments.iter().enumerate() {
             for jt in 0..self.tiles_n {
-                let c = exec.mem().read_f32_matrix(self.c_addrs[ai * self.tiles_n + jt], 32, 16)?;
+                let c = exec
+                    .mem()
+                    .read_f32_matrix(self.c_addrs[ai * self.tiles_n + jt], 32, 16)?;
                 for (p, &packed_row) in assignment.rows.iter().enumerate() {
                     let orig = self.order[packed_row];
                     if orig >= self.shape.m {
@@ -103,7 +105,11 @@ fn pack_tile(
             let mut slots: Vec<usize> = Vec::with_capacity(n);
             for pos in 0..4 {
                 let col = kt * 64 + blk * 4 + pos;
-                let v = if orig < a.rows() && col < a.cols() { a[(orig, col)] } else { Bf16::ZERO };
+                let v = if orig < a.rows() && col < a.cols() {
+                    a[(orig, col)]
+                } else {
+                    Bf16::ZERO
+                };
                 if !v.is_zero() {
                     slots.push(pos);
                 }
@@ -118,7 +124,11 @@ fn pack_tile(
             slots.sort_unstable();
             for &pos in &slots {
                 let col = kt * 64 + blk * 4 + pos;
-                let v = if orig < a.rows() && col < a.cols() { a[(orig, col)] } else { Bf16::ZERO };
+                let v = if orig < a.rows() && col < a.cols() {
+                    a[(orig, col)]
+                } else {
+                    Bf16::ZERO
+                };
                 values[cursor * 2..cursor * 2 + 2].copy_from_slice(&v.to_le_bytes());
                 meta[cursor / 4] |= (pos as u8) << ((cursor % 4) * 2);
                 cursor += 1;
@@ -146,7 +156,13 @@ pub fn build_rowwise_program(
 ) -> Result<RowWiseProgram, KernelError> {
     if a.cols() != b.rows() {
         return Err(KernelError::Shape {
-            reason: format!("A is {}x{}, B is {}x{}", a.rows(), a.cols(), b.rows(), b.cols()),
+            reason: format!(
+                "A is {}x{}, B is {}x{}",
+                a.rows(),
+                a.cols(),
+                b.rows(),
+                b.cols()
+            ),
         });
     }
     let shape = GemmShape::new(a.rows(), b.cols(), a.cols());
@@ -172,7 +188,9 @@ pub fn build_rowwise_program(
         .map(|_| (bump(1024), bump(128), bump(64)))
         .collect();
     let b_addrs: Vec<u64> = (0..tiles_n * tiles_k).map(|_| bump(2048)).collect();
-    let c_addrs: Vec<u64> = (0..assignments.len() * tiles_n).map(|_| bump(2048)).collect();
+    let c_addrs: Vec<u64> = (0..assignments.len() * tiles_n)
+        .map(|_| bump(2048))
+        .collect();
 
     let mut mem = Memory::new(mem_bytes.next_multiple_of(64) as usize);
     for (ai, assignment) in assignments.iter().enumerate() {
@@ -186,7 +204,9 @@ pub fn build_rowwise_program(
     }
     for jt in 0..tiles_n {
         for kt in 0..tiles_k {
-            let bt = b.block_padded(kt * 64, jt * 16, 64, 16, Bf16::ZERO).transposed();
+            let bt = b
+                .block_padded(kt * 64, jt * 16, 64, 16, Bf16::ZERO)
+                .transposed();
             mem.write_bf16_matrix(b_addrs[jt * tiles_k + kt], &bt)?;
         }
     }
@@ -198,21 +218,51 @@ pub fn build_rowwise_program(
             trace.push_inst(Inst::TileZero { dst: TReg::T3 });
             for kt in 0..tiles_k {
                 let (va, ma, ra) = a_addrs[ai * tiles_k + kt];
-                trace.push_inst(Inst::TileLoadU { dst: UReg::U0, addr: b_addrs[jt * tiles_k + kt] });
-                trace.push_inst(Inst::TileLoadT { dst: TReg::T4, addr: va });
-                trace.push_inst(Inst::TileLoadM { dst: MReg::M4, addr: ma });
-                trace.push_inst(Inst::TileLoadRp { dst: MReg::M4, addr: ra });
-                trace.push_inst(Inst::TileSpmmR { acc: UReg::U1, a: TReg::T4, b: UReg::U0 });
+                trace.push_inst(Inst::TileLoadU {
+                    dst: UReg::U0,
+                    addr: b_addrs[jt * tiles_k + kt],
+                });
+                trace.push_inst(Inst::TileLoadT {
+                    dst: TReg::T4,
+                    addr: va,
+                });
+                trace.push_inst(Inst::TileLoadM {
+                    dst: MReg::M4,
+                    addr: ma,
+                });
+                trace.push_inst(Inst::TileLoadRp {
+                    dst: MReg::M4,
+                    addr: ra,
+                });
+                trace.push_inst(Inst::TileSpmmR {
+                    acc: UReg::U1,
+                    a: TReg::T4,
+                    b: UReg::U0,
+                });
                 trace.push(TraceOp::Scalar { dst: 0, src: 0 });
                 trace.push(TraceOp::Branch { cond: 0 });
             }
             let c = c_addrs[ai * tiles_n + jt];
-            trace.push_inst(Inst::TileStoreT { addr: c, src: TReg::T2 });
-            trace.push_inst(Inst::TileStoreT { addr: c + 1024, src: TReg::T3 });
+            trace.push_inst(Inst::TileStoreT {
+                addr: c,
+                src: TReg::T2,
+            });
+            trace.push_inst(Inst::TileStoreT {
+                addr: c + 1024,
+                src: TReg::T3,
+            });
         }
     }
 
-    Ok(RowWiseProgram { trace, mem, shape, order, assignments, c_addrs, tiles_n })
+    Ok(RowWiseProgram {
+        trace,
+        mem,
+        shape,
+        order,
+        assignments,
+        c_addrs,
+        tiles_n,
+    })
 }
 
 /// Builds just the timing trace for a row-wise SPMM whose per-row covers are
@@ -235,20 +285,42 @@ pub fn build_rowwise_trace(shape: GemmShape, row_ratios: &[NmRatio]) -> Trace {
             trace.push_inst(Inst::TileZero { dst: TReg::T3 });
             for kt in 0..tiles_k {
                 let b_addr = b_base + ((jt * tiles_k + kt) as u64) * 2048;
-                trace.push_inst(Inst::TileLoadU { dst: UReg::U0, addr: b_addr });
+                trace.push_inst(Inst::TileLoadU {
+                    dst: UReg::U0,
+                    addr: b_addr,
+                });
                 let va = next(1024);
                 let ma = next(128);
                 let ra = next(64);
-                trace.push_inst(Inst::TileLoadT { dst: TReg::T4, addr: va });
-                trace.push_inst(Inst::TileLoadM { dst: MReg::M4, addr: ma });
-                trace.push_inst(Inst::TileLoadRp { dst: MReg::M4, addr: ra });
-                trace.push_inst(Inst::TileSpmmR { acc: UReg::U1, a: TReg::T4, b: UReg::U0 });
+                trace.push_inst(Inst::TileLoadT {
+                    dst: TReg::T4,
+                    addr: va,
+                });
+                trace.push_inst(Inst::TileLoadM {
+                    dst: MReg::M4,
+                    addr: ma,
+                });
+                trace.push_inst(Inst::TileLoadRp {
+                    dst: MReg::M4,
+                    addr: ra,
+                });
+                trace.push_inst(Inst::TileSpmmR {
+                    acc: UReg::U1,
+                    a: TReg::T4,
+                    b: UReg::U0,
+                });
                 trace.push(TraceOp::Scalar { dst: 0, src: 0 });
                 trace.push(TraceOp::Branch { cond: 0 });
             }
             let c = next(2048);
-            trace.push_inst(Inst::TileStoreT { addr: c, src: TReg::T2 });
-            trace.push_inst(Inst::TileStoreT { addr: c + 1024, src: TReg::T3 });
+            trace.push_inst(Inst::TileStoreT {
+                addr: c,
+                src: TReg::T2,
+            });
+            trace.push_inst(Inst::TileStoreT {
+                addr: c + 1024,
+                src: TReg::T3,
+            });
         }
         let _ = ai;
     }
@@ -318,7 +390,10 @@ mod tests {
             "reordering should never need more tiles"
         );
         // Both still compute the same result.
-        assert_eq!(sorted.run_functional().unwrap(), unsorted.run_functional().unwrap());
+        assert_eq!(
+            sorted.run_functional().unwrap(),
+            unsorted.run_functional().unwrap()
+        );
     }
 
     #[test]

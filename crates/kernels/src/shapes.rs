@@ -64,7 +64,11 @@ impl ConvShape {
     /// Lowers to a GEMM via im2col (§VI-B): `M = K`, `N = Y·X`,
     /// `K = C·R·S`.
     pub fn to_gemm(self) -> GemmShape {
-        GemmShape { m: self.k, n: self.y * self.x, k: self.c * self.r * self.s }
+        GemmShape {
+            m: self.k,
+            n: self.y * self.x,
+            k: self.c * self.r * self.s,
+        }
     }
 
     /// MAC count (equals the lowered GEMM's).
@@ -86,26 +90,34 @@ impl ConvShape {
 pub fn im2col(input: &[Matrix<Bf16>], shape: ConvShape) -> Matrix<Bf16> {
     assert_eq!(input.len(), shape.c, "need one plane per input channel");
     for plane in input {
-        assert_eq!((plane.rows(), plane.cols()), (shape.y, shape.x), "plane must be YxX");
+        assert_eq!(
+            (plane.rows(), plane.cols()),
+            (shape.y, shape.x),
+            "plane must be YxX"
+        );
     }
     let pad_h = (shape.r - 1) / 2;
     let pad_w = (shape.s - 1) / 2;
-    Matrix::from_fn(shape.c * shape.r * shape.s, shape.y * shape.x, |row, col| {
-        let c = row / (shape.r * shape.s);
-        let r = (row / shape.s) % shape.r;
-        let s = row % shape.s;
-        let y = col / shape.x;
-        let x = col % shape.x;
-        let (h, w) = (y + r, x + s);
-        if h < pad_h || w < pad_w {
-            return Bf16::ZERO;
-        }
-        let (h, w) = (h - pad_h, w - pad_w);
-        if h >= shape.y || w >= shape.x {
-            return Bf16::ZERO;
-        }
-        input[c][(h, w)]
-    })
+    Matrix::from_fn(
+        shape.c * shape.r * shape.s,
+        shape.y * shape.x,
+        |row, col| {
+            let c = row / (shape.r * shape.s);
+            let r = (row / shape.s) % shape.r;
+            let s = row % shape.s;
+            let y = col / shape.x;
+            let x = col % shape.x;
+            let (h, w) = (y + r, x + s);
+            if h < pad_h || w < pad_w {
+                return Bf16::ZERO;
+            }
+            let (h, w) = (h - pad_h, w - pad_w);
+            if h >= shape.y || w >= shape.x {
+                return Bf16::ZERO;
+            }
+            input[c][(h, w)]
+        },
+    )
 }
 
 /// Direct (reference) convolution for validating [`im2col`]: returns the
@@ -150,10 +162,24 @@ mod tests {
     #[test]
     fn table4_resnet_macs_check() {
         // ResNet50-L2: K=64, C=64, Y=56, X=56, R=3, S=3 -> 115,605,504 MACs.
-        let l2 = ConvShape { k: 64, c: 64, y: 56, x: 56, r: 3, s: 3 };
+        let l2 = ConvShape {
+            k: 64,
+            c: 64,
+            y: 56,
+            x: 56,
+            r: 3,
+            s: 3,
+        };
         assert_eq!(l2.macs(), 115_605_504);
         // ResNet50-L1: 1x1 conv -> 51,380,224 MACs.
-        let l1 = ConvShape { k: 64, c: 256, y: 56, x: 56, r: 1, s: 1 };
+        let l1 = ConvShape {
+            k: 64,
+            c: 256,
+            y: 56,
+            x: 56,
+            r: 1,
+            s: 1,
+        };
         assert_eq!(l1.macs(), 51_380_224);
     }
 
@@ -168,7 +194,14 @@ mod tests {
 
     #[test]
     fn one_by_one_conv_im2col_is_channel_flatten() {
-        let shape = ConvShape { k: 2, c: 3, y: 2, x: 2, r: 1, s: 1 };
+        let shape = ConvShape {
+            k: 2,
+            c: 3,
+            y: 2,
+            x: 2,
+            r: 1,
+            s: 1,
+        };
         let input: Vec<Matrix<Bf16>> = (0..3)
             .map(|c| Matrix::from_fn(2, 2, |h, w| Bf16::from_f32((c * 4 + h * 2 + w) as f32)))
             .collect();
@@ -179,10 +212,19 @@ mod tests {
 
     #[test]
     fn im2col_gemm_matches_direct_conv() {
-        let shape = ConvShape { k: 2, c: 2, y: 4, x: 4, r: 3, s: 3 };
+        let shape = ConvShape {
+            k: 2,
+            c: 2,
+            y: 4,
+            x: 4,
+            r: 3,
+            s: 3,
+        };
         let input: Vec<Matrix<Bf16>> = (0..shape.c)
             .map(|c| {
-                Matrix::from_fn(4, 4, |h, w| Bf16::from_f32(((c * 16 + h * 4 + w) % 7) as f32 - 3.0))
+                Matrix::from_fn(4, 4, |h, w| {
+                    Bf16::from_f32(((c * 16 + h * 4 + w) % 7) as f32 - 3.0)
+                })
             })
             .collect();
         let weights: Vec<Vec<Matrix<Bf16>>> = (0..shape.k)

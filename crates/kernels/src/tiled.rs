@@ -99,7 +99,10 @@ pub struct KernelOptions {
 
 impl Default for KernelOptions {
     fn default() -> Self {
-        KernelOptions { unroll: 3, loop_overhead: true }
+        KernelOptions {
+            unroll: 3,
+            loop_overhead: true,
+        }
     }
 }
 
@@ -128,7 +131,15 @@ impl Plan {
         let a_meta: Vec<u64> = (0..tm * tk).map(|_| bump(128)).collect();
         let b_tiles: Vec<u64> = (0..tn * tk).map(|_| bump(mode.b_tile_bytes())).collect();
         let c_tiles: Vec<u64> = (0..tm * tn).map(|_| bump(1024)).collect();
-        Plan { mode, shape, a_values, a_meta, b_tiles, c_tiles, total_bytes: cursor }
+        Plan {
+            mode,
+            shape,
+            a_values,
+            a_meta,
+            b_tiles,
+            c_tiles,
+            total_bytes: cursor,
+        }
     }
 
     fn a_value_addr(&self, it: usize, kt: usize) -> u64 {
@@ -173,7 +184,11 @@ fn emit_optimized(plan: &Plan, opts: KernelOptions, trace: &mut Trace) {
         // Splitting a trailing group of 4 into 2+2 avoids a single-
         // accumulator tail whose C-writeback chain would serialize the
         // engine.
-        let u = if unroll >= 3 && remaining == 4 { 2 } else { unroll.min(remaining) };
+        let u = if unroll >= 3 && remaining == 4 {
+            2
+        } else {
+            unroll.min(remaining)
+        };
         for jt in 0..shape.tiles_n() {
             for acc in &accs[..u] {
                 trace.push_inst(Inst::TileZero { dst: *acc });
@@ -181,13 +196,22 @@ fn emit_optimized(plan: &Plan, opts: KernelOptions, trace: &mut Trace) {
             for kt in 0..tk_tiles {
                 match mode {
                     SparseMode::Dense => {
-                        trace.push_inst(Inst::TileLoadT { dst: TReg::T3, addr: plan.b_addr(jt, kt) });
+                        trace.push_inst(Inst::TileLoadT {
+                            dst: TReg::T3,
+                            addr: plan.b_addr(jt, kt),
+                        });
                     }
                     SparseMode::Nm2of4 => {
-                        trace.push_inst(Inst::TileLoadU { dst: UReg::U3, addr: plan.b_addr(jt, kt) });
+                        trace.push_inst(Inst::TileLoadU {
+                            dst: UReg::U3,
+                            addr: plan.b_addr(jt, kt),
+                        });
                     }
                     SparseMode::Nm1of4 => {
-                        trace.push_inst(Inst::TileLoadV { dst: VReg::V1, addr: plan.b_addr(jt, kt) });
+                        trace.push_inst(Inst::TileLoadV {
+                            dst: VReg::V1,
+                            addr: plan.b_addr(jt, kt),
+                        });
                     }
                 }
                 for uu in 0..u {
@@ -202,15 +226,21 @@ fn emit_optimized(plan: &Plan, opts: KernelOptions, trace: &mut Trace) {
                         });
                     }
                     let inst = match mode {
-                        SparseMode::Dense => {
-                            Inst::TileGemm { acc: accs[uu], a: a_reg, b: TReg::T3 }
-                        }
-                        SparseMode::Nm2of4 => {
-                            Inst::TileSpmmU { acc: accs[uu], a: a_reg, b: UReg::U3 }
-                        }
-                        SparseMode::Nm1of4 => {
-                            Inst::TileSpmmV { acc: accs[uu], a: a_reg, b: VReg::V1 }
-                        }
+                        SparseMode::Dense => Inst::TileGemm {
+                            acc: accs[uu],
+                            a: a_reg,
+                            b: TReg::T3,
+                        },
+                        SparseMode::Nm2of4 => Inst::TileSpmmU {
+                            acc: accs[uu],
+                            a: a_reg,
+                            b: UReg::U3,
+                        },
+                        SparseMode::Nm1of4 => Inst::TileSpmmV {
+                            acc: accs[uu],
+                            a: a_reg,
+                            b: VReg::V1,
+                        },
                     };
                     trace.push_inst(inst);
                 }
@@ -219,7 +249,10 @@ fn emit_optimized(plan: &Plan, opts: KernelOptions, trace: &mut Trace) {
                 }
             }
             for (uu, acc) in accs[..u].iter().enumerate() {
-                trace.push_inst(Inst::TileStoreT { addr: plan.c_addr(it + uu, jt), src: *acc });
+                trace.push_inst(Inst::TileStoreT {
+                    addr: plan.c_addr(it + uu, jt),
+                    src: *acc,
+                });
             }
         }
         it += u;
@@ -245,31 +278,58 @@ pub fn build_listing1_trace(shape: GemmShape, mode: SparseMode) -> Trace {
         for jt in 0..shape.tiles_n() {
             for kt in 0..tk_tiles {
                 match mode {
-                    SparseMode::Dense => {
-                        trace.push_inst(Inst::TileLoadT { dst: TReg::T0, addr: plan.b_addr(jt, kt) })
-                    }
-                    SparseMode::Nm2of4 => {
-                        trace.push_inst(Inst::TileLoadU { dst: UReg::U0, addr: plan.b_addr(jt, kt) })
-                    }
-                    SparseMode::Nm1of4 => {
-                        trace.push_inst(Inst::TileLoadV { dst: VReg::V0, addr: plan.b_addr(jt, kt) })
-                    }
+                    SparseMode::Dense => trace.push_inst(Inst::TileLoadT {
+                        dst: TReg::T0,
+                        addr: plan.b_addr(jt, kt),
+                    }),
+                    SparseMode::Nm2of4 => trace.push_inst(Inst::TileLoadU {
+                        dst: UReg::U0,
+                        addr: plan.b_addr(jt, kt),
+                    }),
+                    SparseMode::Nm1of4 => trace.push_inst(Inst::TileLoadV {
+                        dst: VReg::V0,
+                        addr: plan.b_addr(jt, kt),
+                    }),
                 }
                 let (c, a, m) = match mode {
                     SparseMode::Nm1of4 => (TReg::T4, TReg::T5, MReg::M5),
                     _ => (TReg::T2, TReg::T3, MReg::M3),
                 };
-                trace.push_inst(Inst::TileLoadT { dst: c, addr: plan.c_addr(it, jt) });
-                trace.push_inst(Inst::TileLoadT { dst: a, addr: plan.a_value_addr(it, kt) });
+                trace.push_inst(Inst::TileLoadT {
+                    dst: c,
+                    addr: plan.c_addr(it, jt),
+                });
+                trace.push_inst(Inst::TileLoadT {
+                    dst: a,
+                    addr: plan.a_value_addr(it, kt),
+                });
                 if mode != SparseMode::Dense {
-                    trace.push_inst(Inst::TileLoadM { dst: m, addr: plan.a_meta_addr(it, kt) });
+                    trace.push_inst(Inst::TileLoadM {
+                        dst: m,
+                        addr: plan.a_meta_addr(it, kt),
+                    });
                 }
                 trace.push_inst(match mode {
-                    SparseMode::Dense => Inst::TileGemm { acc: c, a, b: TReg::T0 },
-                    SparseMode::Nm2of4 => Inst::TileSpmmU { acc: c, a, b: UReg::U0 },
-                    SparseMode::Nm1of4 => Inst::TileSpmmV { acc: c, a, b: VReg::V0 },
+                    SparseMode::Dense => Inst::TileGemm {
+                        acc: c,
+                        a,
+                        b: TReg::T0,
+                    },
+                    SparseMode::Nm2of4 => Inst::TileSpmmU {
+                        acc: c,
+                        a,
+                        b: UReg::U0,
+                    },
+                    SparseMode::Nm1of4 => Inst::TileSpmmV {
+                        acc: c,
+                        a,
+                        b: VReg::V0,
+                    },
                 });
-                trace.push_inst(Inst::TileStoreT { addr: plan.c_addr(it, jt), src: c });
+                trace.push_inst(Inst::TileStoreT {
+                    addr: plan.c_addr(it, jt),
+                    src: c,
+                });
                 emit_loop_overhead(&mut trace);
             }
         }
@@ -313,9 +373,11 @@ impl KernelProgram {
         let mut out = Matrix::zeros(self.shape.m, self.shape.n);
         for it in 0..self.shape.tiles_m() {
             for jt in 0..self.shape.tiles_n() {
-                let tile = exec
-                    .mem()
-                    .read_f32_matrix(self.c_tiles[it * self.shape.tiles_n() + jt], 16, 16)?;
+                let tile = exec.mem().read_f32_matrix(
+                    self.c_tiles[it * self.shape.tiles_n() + jt],
+                    16,
+                    16,
+                )?;
                 for r in 0..16 {
                     for c in 0..16 {
                         let (gr, gc) = (it * 16 + r, jt * 16 + c);
@@ -346,7 +408,13 @@ pub fn build_program(
 ) -> Result<KernelProgram, KernelError> {
     if a.cols() != b.rows() {
         return Err(KernelError::Shape {
-            reason: format!("A is {}x{}, B is {}x{}", a.rows(), a.cols(), b.rows(), b.cols()),
+            reason: format!(
+                "A is {}x{}, B is {}x{}",
+                a.rows(),
+                a.cols(),
+                b.rows(),
+                b.cols()
+            ),
         });
     }
     let shape = GemmShape::new(a.rows(), b.cols(), a.cols());
@@ -366,13 +434,21 @@ pub fn build_program(
     }
     for jt in 0..shape.tiles_n() {
         for kt in 0..shape.tiles_k(tk) {
-            let bt = b.block_padded(kt * tk, jt * 16, tk, 16, Bf16::ZERO).transposed();
+            let bt = b
+                .block_padded(kt * tk, jt * 16, tk, 16, Bf16::ZERO)
+                .transposed();
             mem.write_bf16_matrix(plan.b_addr(jt, kt), &bt)?;
         }
     }
     let mut trace = Trace::new();
     emit_optimized(&plan, opts, &mut trace);
-    Ok(KernelProgram { trace, mem, shape, mode, c_tiles: plan.c_tiles })
+    Ok(KernelProgram {
+        trace,
+        mem,
+        shape,
+        mode,
+        c_tiles: plan.c_tiles,
+    })
 }
 
 #[cfg(test)]
@@ -394,7 +470,11 @@ mod tests {
         gemm_bf16_ref(&a, &b, &mut expected);
         for r in 0..m {
             for c in 0..n {
-                assert_eq!(got[(r, c)], expected[(r, c)], "mode {mode:?} mismatch at ({r},{c})");
+                assert_eq!(
+                    got[(r, c)],
+                    expected[(r, c)],
+                    "mode {mode:?} mismatch at ({r},{c})"
+                );
             }
         }
     }
@@ -431,8 +511,11 @@ mod tests {
         let dense = build_trace(shape, SparseMode::Dense, KernelOptions::default());
         let s24 = build_trace(shape, SparseMode::Nm2of4, KernelOptions::default());
         let s14 = build_trace(shape, SparseMode::Nm1of4, KernelOptions::default());
-        let (d, u, v) =
-            (dense.mix().tile_compute, s24.mix().tile_compute, s14.mix().tile_compute);
+        let (d, u, v) = (
+            dense.mix().tile_compute,
+            s24.mix().tile_compute,
+            s14.mix().tile_compute,
+        );
         assert_eq!(d, 2 * u, "2:4 halves the tile instructions");
         assert_eq!(d, 4 * v, "1:4 quarters the tile instructions");
     }
@@ -449,9 +532,18 @@ mod tests {
 
     #[test]
     fn mode_selection_from_ratio() {
-        assert_eq!(SparseMode::for_ratio(NmRatio::D4_4), Some(SparseMode::Dense));
-        assert_eq!(SparseMode::for_ratio(NmRatio::S2_4), Some(SparseMode::Nm2of4));
-        assert_eq!(SparseMode::for_ratio(NmRatio::S1_4), Some(SparseMode::Nm1of4));
+        assert_eq!(
+            SparseMode::for_ratio(NmRatio::D4_4),
+            Some(SparseMode::Dense)
+        );
+        assert_eq!(
+            SparseMode::for_ratio(NmRatio::S2_4),
+            Some(SparseMode::Nm2of4)
+        );
+        assert_eq!(
+            SparseMode::for_ratio(NmRatio::S1_4),
+            Some(SparseMode::Nm1of4)
+        );
         assert_eq!(SparseMode::for_ratio(NmRatio::new(3, 8).unwrap()), None);
     }
 

@@ -58,8 +58,15 @@ pub fn build_vector_gemm_trace(shape: GemmShape) -> Trace {
                 }
                 for i in 0..I_BLOCK {
                     // Broadcast A[row][k] from the line register.
-                    trace.push(TraceOp::VecOp { dst: 12 + i as u8, src: 20 + i as u8 });
-                    trace.push(TraceOp::VecFma { acc: i as u8, a: 12 + i as u8, b: 8 });
+                    trace.push(TraceOp::VecOp {
+                        dst: 12 + i as u8,
+                        src: 20 + i as u8,
+                    });
+                    trace.push(TraceOp::VecFma {
+                        acc: i as u8,
+                        a: 12 + i as u8,
+                        b: 8,
+                    });
                 }
                 trace.push(TraceOp::Scalar { dst: 0, src: 0 });
                 trace.push(TraceOp::Branch { cond: 0 });

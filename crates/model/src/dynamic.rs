@@ -68,8 +68,7 @@ pub fn simulate_compaction<R: Rng + ?Sized>(
     let mut occupied: Vec<bool> = Vec::new();
     for _ in 0..registers {
         let reg: Vec<bool> = (0..slots).map(|_| rng.gen_bool(density)).collect();
-        let conflicts =
-            !occupied.is_empty() && reg.iter().zip(&occupied).any(|(&a, &b)| a && b);
+        let conflicts = !occupied.is_empty() && reg.iter().zip(&occupied).any(|(&a, &b)| a && b);
         if occupied.is_empty() || conflicts {
             groups += 1;
             occupied = reg;
@@ -99,12 +98,8 @@ mod tests {
         assert_eq!(merge_conflict_probability(0.0, 512), 0.0);
         assert!(merge_conflict_probability(1.0, 1) > 0.999);
         // Monotone in both arguments.
-        assert!(
-            merge_conflict_probability(0.3, 32) < merge_conflict_probability(0.5, 32)
-        );
-        assert!(
-            merge_conflict_probability(0.3, 32) < merge_conflict_probability(0.3, 512)
-        );
+        assert!(merge_conflict_probability(0.3, 32) < merge_conflict_probability(0.5, 32));
+        assert!(merge_conflict_probability(0.3, 32) < merge_conflict_probability(0.3, 512));
     }
 
     #[test]
@@ -146,7 +141,10 @@ mod tests {
 
     #[test]
     fn merge_factor_of_empty_run_is_one() {
-        let stats = CompactionStats { registers: 0, groups: 0 };
+        let stats = CompactionStats {
+            registers: 0,
+            groups: 0,
+        };
         assert_eq!(stats.merge_factor(), 1.0);
     }
 

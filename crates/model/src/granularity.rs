@@ -82,7 +82,11 @@ pub struct GranularityModel {
 
 impl Default for GranularityModel {
     fn default() -> Self {
-        GranularityModel { tile_rows: 16, tile_cols: 64, sigma_area_factor: 5.0 }
+        GranularityModel {
+            tile_rows: 16,
+            tile_cols: 64,
+            sigma_area_factor: 5.0,
+        }
     }
 }
 

@@ -27,7 +27,11 @@ pub struct RooflineParams {
 
 impl Default for RooflineParams {
     fn default() -> Self {
-        RooflineParams { vector_gflops: 64.0, matrix_gflops: 512.0, bandwidth_gbs: 94.0 }
+        RooflineParams {
+            vector_gflops: 64.0,
+            matrix_gflops: 512.0,
+            bandwidth_gbs: 94.0,
+        }
     }
 }
 
@@ -66,7 +70,10 @@ impl RooflineEngine {
     }
 
     fn is_sparse(self) -> bool {
-        matches!(self, RooflineEngine::SparseVector | RooflineEngine::SparseMatrix)
+        matches!(
+            self,
+            RooflineEngine::SparseVector | RooflineEngine::SparseMatrix
+        )
     }
 
     fn peak(self, p: &RooflineParams) -> f64 {
@@ -92,7 +99,11 @@ pub struct RooflineWorkload {
 impl RooflineWorkload {
     /// The convolutional layer used for Fig. 3 (ResNet50-L2 lowered).
     pub fn conv_layer() -> Self {
-        RooflineWorkload { m: 64, n: 3136, k: 576 }
+        RooflineWorkload {
+            m: 64,
+            n: 3136,
+            k: 576,
+        }
     }
 
     fn flops(&self) -> f64 {
@@ -127,8 +138,11 @@ pub fn effective_tflops(
 ) -> f64 {
     assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
     let effectual_gflop = workload.flops() * density / 1e9;
-    let executed_gflop =
-        if engine.is_sparse() { effectual_gflop } else { workload.flops() / 1e9 };
+    let executed_gflop = if engine.is_sparse() {
+        effectual_gflop
+    } else {
+        workload.flops() / 1e9
+    };
     let compute_time = executed_gflop / engine.peak(params);
     let mem_time = workload.bytes(density, engine.is_sparse()) / 1e9 / params.bandwidth_gbs;
     let time = compute_time.max(mem_time);
@@ -156,8 +170,14 @@ mod tests {
         // Fig. 3: "for the 100% dense case, the dense matrix (vector) and
         // sparse matrix (vector) engines achieve the same compute
         // throughput".
-        assert!((tf(RooflineEngine::DenseMatrix, 1.0) - tf(RooflineEngine::SparseMatrix, 1.0)).abs() < 1e-9);
-        assert!((tf(RooflineEngine::DenseVector, 1.0) - tf(RooflineEngine::SparseVector, 1.0)).abs() < 1e-9);
+        assert!(
+            (tf(RooflineEngine::DenseMatrix, 1.0) - tf(RooflineEngine::SparseMatrix, 1.0)).abs()
+                < 1e-9
+        );
+        assert!(
+            (tf(RooflineEngine::DenseVector, 1.0) - tf(RooflineEngine::SparseVector, 1.0)).abs()
+                < 1e-9
+        );
     }
 
     #[test]
@@ -166,7 +186,10 @@ mod tests {
         assert_eq!(p.matrix_gflops / p.vector_gflops, 8.0);
         // And visible in the roofline at full density (compute bound).
         let ratio = tf(RooflineEngine::DenseMatrix, 1.0) / tf(RooflineEngine::DenseVector, 1.0);
-        assert!(ratio > 4.0, "matrix should be far above vector, got {ratio}");
+        assert!(
+            ratio > 4.0,
+            "matrix should be far above vector, got {ratio}"
+        );
     }
 
     #[test]

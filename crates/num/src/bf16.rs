@@ -148,7 +148,11 @@ mod tests {
     fn exact_small_integers_roundtrip() {
         for i in -256i32..=256 {
             let x = i as f32;
-            assert_eq!(Bf16::from_f32(x).to_f32(), x, "integer {i} should be exact in bf16");
+            assert_eq!(
+                Bf16::from_f32(x).to_f32(),
+                x,
+                "integer {i} should be exact in bf16"
+            );
         }
     }
 
@@ -191,7 +195,10 @@ mod tests {
     #[test]
     fn infinities_convert_exactly() {
         assert_eq!(Bf16::from_f32(f32::INFINITY).to_f32(), f32::INFINITY);
-        assert_eq!(Bf16::from_f32(f32::NEG_INFINITY).to_f32(), f32::NEG_INFINITY);
+        assert_eq!(
+            Bf16::from_f32(f32::NEG_INFINITY).to_f32(),
+            f32::NEG_INFINITY
+        );
     }
 
     #[test]
@@ -212,7 +219,10 @@ mod tests {
         // |x - bf16(x)| <= 2^-8 * |x| for normal x (half ULP of 7-bit mantissa).
         for &x in &[1.004f32, 3.21159, -2.78128, 1234.5678, 1e-3] {
             let err = (Bf16::from_f32(x).to_f32() - x).abs();
-            assert!(err <= x.abs() * (2.0f32).powi(-8), "error {err} too large for {x}");
+            assert!(
+                err <= x.abs() * (2.0f32).powi(-8),
+                "error {err} too large for {x}"
+            );
         }
     }
 }

@@ -49,8 +49,14 @@ pub fn mac_bf16(acc: f32, a: Bf16, b: Bf16) -> f32 {
 ///
 /// Panics if the slices have different lengths.
 pub fn dot_bf16(a: &[Bf16], b: &[Bf16]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dot product operands must match in length");
-    a.iter().zip(b).fold(0.0f32, |acc, (&x, &y)| mac_bf16(acc, x, y))
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot product operands must match in length"
+    );
+    a.iter()
+        .zip(b)
+        .fold(0.0f32, |acc, (&x, &y)| mac_bf16(acc, x, y))
 }
 
 /// Reference FP32 GEMM: `c += a * b` on plain `f32` matrices.
@@ -117,8 +123,14 @@ mod tests {
 
     #[test]
     fn dot_of_basis_vectors_selects_element() {
-        let a: Vec<Bf16> = [0.0, 1.0, 0.0, 0.0].iter().map(|&x| Bf16::from_f32(x)).collect();
-        let b: Vec<Bf16> = [9.0, 7.0, 5.0, 3.0].iter().map(|&x| Bf16::from_f32(x)).collect();
+        let a: Vec<Bf16> = [0.0, 1.0, 0.0, 0.0]
+            .iter()
+            .map(|&x| Bf16::from_f32(x))
+            .collect();
+        let b: Vec<Bf16> = [9.0, 7.0, 5.0, 3.0]
+            .iter()
+            .map(|&x| Bf16::from_f32(x))
+            .collect();
         assert_eq!(dot_bf16(&a, &b), 7.0);
     }
 

@@ -50,7 +50,11 @@ pub struct Matrix<T> {
 impl<T: Clone + Default> Matrix<T> {
     /// Creates a matrix filled with `T::default()` (zeros for numeric types).
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![T::default(); rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
     }
 }
 
@@ -73,7 +77,11 @@ impl<T> Matrix<T> {
     /// Returns [`MatrixShapeError`] if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Result<Self, MatrixShapeError> {
         if data.len() != rows * cols {
-            return Err(MatrixShapeError { rows, cols, len: data.len() });
+            return Err(MatrixShapeError {
+                rows,
+                cols,
+                len: data.len(),
+            });
         }
         Ok(Matrix { rows, cols, data })
     }
@@ -109,7 +117,11 @@ impl<T> Matrix<T> {
     /// Panics if `r >= self.rows()`.
     #[inline]
     pub fn row(&self, r: usize) -> &[T] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -120,7 +132,11 @@ impl<T> Matrix<T> {
     /// Panics if `r >= self.rows()`.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [T] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -142,7 +158,11 @@ impl<T> Matrix<T> {
 
     /// Applies `f` to every element, producing a new matrix of the same shape.
     pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> Matrix<U> {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(f).collect() }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(f).collect(),
+        }
     }
 }
 
@@ -181,7 +201,10 @@ impl<T> Index<(usize, usize)> for Matrix<T> {
 
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &T {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
@@ -189,7 +212,10 @@ impl<T> Index<(usize, usize)> for Matrix<T> {
 impl<T> IndexMut<(usize, usize)> for Matrix<T> {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -222,7 +248,10 @@ mod tests {
     fn from_vec_validates_length() {
         assert!(Matrix::from_vec(2, 3, vec![0u8; 6]).is_ok());
         let err = Matrix::from_vec(2, 3, vec![0u8; 5]).unwrap_err();
-        assert_eq!(err.to_string(), "data length 5 does not match 2x3 matrix shape");
+        assert_eq!(
+            err.to_string(),
+            "data length 5 does not match 2x3 matrix shape"
+        );
     }
 
     #[test]

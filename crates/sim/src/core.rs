@@ -122,7 +122,9 @@ struct PortPool {
 
 impl PortPool {
     fn new(ports: usize) -> Self {
-        PortPool { next_free: vec![0; ports.max(1)] }
+        PortPool {
+            next_free: vec![0; ports.max(1)],
+        }
     }
 
     /// Reserves the earliest port at or after `ready`, holding it for
@@ -151,7 +153,11 @@ struct Bandwidth {
 
 impl Bandwidth {
     fn new(width: usize) -> Self {
-        Bandwidth { width, cycle: 0, used: 0 }
+        Bandwidth {
+            width,
+            cycle: 0,
+            used: 0,
+        }
     }
 
     /// The earliest cycle at or after `at` with a free slot; consumes it.
@@ -179,7 +185,10 @@ pub struct CoreSim {
 impl CoreSim {
     /// Creates a core with the given matrix engine design point.
     pub fn new(cfg: SimConfig, engine: EngineConfig) -> Self {
-        CoreSim { cfg, engine: EngineTimer::new(engine) }
+        CoreSim {
+            cfg,
+            engine: EngineTimer::new(engine),
+        }
     }
 
     /// Creates a core with the default §VI-B configuration.
@@ -195,7 +204,8 @@ impl CoreSim {
     /// Simulates a trace to completion and returns the timing result.
     pub fn run(&mut self, trace: &Trace) -> SimResult {
         let ratio = self.cfg.clock_ratio();
-        let mut cache = CacheModel::new(self.cfg.l1_lines, self.cfg.l1_latency, self.cfg.l2_latency);
+        let mut cache =
+            CacheModel::new(self.cfg.l1_lines, self.cfg.l1_latency, self.cfg.l2_latency);
         let mut reg_ready: HashMap<ArchReg, u64> = HashMap::new();
         // Which accumulator tregs were last written by the engine (so the
         // engine's internal forwarding rule, not the architectural
@@ -270,15 +280,17 @@ impl CoreSim {
                     let timing = self.engine.issue(acc, ready_engine);
                     let start_core = timing.start * ratio;
                     let completion_core = timing.completion * ratio;
-                    engine_first_start = Some(engine_first_start.unwrap_or(start_core).min(start_core));
+                    engine_first_start =
+                        Some(engine_first_start.unwrap_or(start_core).min(start_core));
                     engine_last_completion = engine_last_completion.max(completion_core);
                     completion_core
                 }
                 // Register-only tile ops (TILE_ZERO) complete in one cycle.
                 TraceOp::Tile(_) if op.mem_access().is_none() => ready + 1,
                 TraceOp::Tile(_) | TraceOp::VecLoad { .. } | TraceOp::VecStore { .. } => {
-                    let (addr, bytes, is_store) =
-                        op.mem_access().expect("remaining tile ops and vec mem ops access memory");
+                    let (addr, bytes, is_store) = op
+                        .mem_access()
+                        .expect("remaining tile ops and vec mem ops access memory");
                     let (latency, lines) = cache.access_range(addr, bytes, is_store);
                     if is_store {
                         let start = store_ports.reserve(ready, lines);
@@ -354,8 +366,16 @@ mod tests {
     fn spmm_chain(n: usize, same_acc: bool) -> Trace {
         let mut t = Trace::new();
         for i in 0..n {
-            let acc = if same_acc { TReg::T2 } else { TReg::new((i % 2) as u8 + 2).unwrap() };
-            t.push_inst(Inst::TileSpmmU { acc, a: TReg::T6, b: UReg::U0 });
+            let acc = if same_acc {
+                TReg::T2
+            } else {
+                TReg::new((i % 2) as u8 + 2).unwrap()
+            };
+            t.push_inst(Inst::TileSpmmU {
+                acc,
+                a: TReg::T6,
+                b: UReg::U0,
+            });
         }
         t
     }
@@ -372,10 +392,17 @@ mod tests {
         let mut t = Trace::new();
         for i in 0..4000u32 {
             // Independent scalar ops across 8 registers.
-            t.push(TraceOp::Scalar { dst: (i % 8) as u8, src: ((i + 4) % 8) as u8 });
+            t.push(TraceOp::Scalar {
+                dst: (i % 8) as u8,
+                src: ((i + 4) % 8) as u8,
+            });
         }
         let res = simulate(&t, EngineConfig::rasa_dm());
-        assert!(res.ipc() > 3.0, "4-wide core should sustain ~4 IPC, got {}", res.ipc());
+        assert!(
+            res.ipc() > 3.0,
+            "4-wide core should sustain ~4 IPC, got {}",
+            res.ipc()
+        );
     }
 
     #[test]
@@ -431,7 +458,11 @@ mod tests {
         let mut t = Trace::new();
         for i in 0..n {
             let acc = TReg::new((i % 4) as u8).unwrap();
-            t.push_inst(Inst::TileGemm { acc, a: TReg::T6, b: TReg::T7 });
+            t.push_inst(Inst::TileGemm {
+                acc,
+                a: TReg::T6,
+                b: TReg::T7,
+            });
         }
         t
     }
@@ -442,19 +473,28 @@ mod tests {
         // the ROB forces dispatch to track retirement.
         let mut t = Trace::new();
         for i in 0..2000u64 {
-            t.push(TraceOp::VecLoad { dst: (i % 16) as u8, addr: i * 64 });
+            t.push(TraceOp::VecLoad {
+                dst: (i % 16) as u8,
+                addr: i * 64,
+            });
         }
         let res = simulate(&t, EngineConfig::rasa_dm());
         // Two load ports, 2000 loads -> at least 1000 cycles.
         assert!(res.core_cycles >= 1000);
-        assert_eq!(res.cache.l2_hits, 2000, "every distinct line misses L1 once");
+        assert_eq!(
+            res.cache.l2_hits, 2000,
+            "every distinct line misses L1 once"
+        );
     }
 
     #[test]
     fn tile_load_occupies_port_per_line() {
         let mut t = Trace::new();
         for i in 0..64u64 {
-            t.push_inst(Inst::TileLoadT { dst: TReg::new((i % 8) as u8).unwrap(), addr: i * 1024 });
+            t.push_inst(Inst::TileLoadT {
+                dst: TReg::new((i % 8) as u8).unwrap(),
+                addr: i * 1024,
+            });
         }
         let res = simulate(&t, EngineConfig::rasa_dm());
         // 64 tile loads x 16 lines = 1024 line transfers over 2 ports.
@@ -466,7 +506,10 @@ mod tests {
         let mut t = Trace::new();
         for _ in 0..4 {
             for j in 0..4u64 {
-                t.push(TraceOp::VecLoad { dst: j as u8, addr: j * 64 });
+                t.push(TraceOp::VecLoad {
+                    dst: j as u8,
+                    addr: j * 64,
+                });
             }
         }
         let res = simulate(&t, EngineConfig::rasa_dm());

@@ -69,8 +69,7 @@ impl CompressedTile {
         for r in 0..dense.rows() {
             for b in 0..blocks {
                 let block = &dense.row(r)[b * m..(b + 1) * m];
-                let nonzeros: Vec<usize> =
-                    (0..m).filter(|&i| !block[i].is_zero()).collect();
+                let nonzeros: Vec<usize> = (0..m).filter(|&i| !block[i].is_zero()).collect();
                 if nonzeros.len() > n {
                     return Err(SparsityError::BlockTooDense {
                         row: r,
@@ -97,7 +96,12 @@ impl CompressedTile {
                 }
             }
         }
-        Ok(CompressedTile { ratio, effective_cols: dense.cols(), values, indices })
+        Ok(CompressedTile {
+            ratio,
+            effective_cols: dense.cols(),
+            values,
+            indices,
+        })
     }
 
     /// Reassembles a compressed tile from stored values and per-value block
@@ -134,11 +138,7 @@ impl CompressedTile {
         }
         if indices.len() != values.len() {
             return Err(SparsityError::InvalidMetadata {
-                reason: format!(
-                    "expected {} indices, found {}",
-                    values.len(),
-                    indices.len()
-                ),
+                reason: format!("expected {} indices, found {}", values.len(), indices.len()),
             });
         }
         if let Some(&bad) = indices.iter().find(|&&i| i as usize >= m) {
@@ -146,7 +146,12 @@ impl CompressedTile {
                 reason: format!("index {bad} out of range for block size {m}"),
             });
         }
-        Ok(CompressedTile { ratio, effective_cols, values, indices })
+        Ok(CompressedTile {
+            ratio,
+            effective_cols,
+            values,
+            indices,
+        })
     }
 
     /// The sparsity ratio of the tile.
@@ -259,7 +264,11 @@ pub(crate) fn unpack_indices(packed: &[u8], rows: usize, per_row: usize, bits: u
             let byte = r * row_bytes + bit / 8;
             let shift = bit % 8;
             let lo = packed[byte] as u16;
-            let hi = if byte + 1 < packed.len() { packed[byte + 1] as u16 } else { 0 };
+            let hi = if byte + 1 < packed.len() {
+                packed[byte + 1] as u16
+            } else {
+                0
+            };
             out.push((((lo | (hi << 8)) >> shift) & mask) as u8);
         }
     }
@@ -288,7 +297,11 @@ mod tests {
         let dense = mat(4, 16, |r, c| {
             let in_block = c % 4;
             let keep = [(0, 3), (0, 2), (1, 2), (0, 1)][(c / 4 + r) % 4];
-            if in_block == keep.0 || in_block == keep.1 { (r * 16 + c) as f32 + 1.0 } else { 0.0 }
+            if in_block == keep.0 || in_block == keep.1 {
+                (r * 16 + c) as f32 + 1.0
+            } else {
+                0.0
+            }
         });
         let t = CompressedTile::compress(&dense, NmRatio::S2_4).unwrap();
         assert_eq!(t.values().cols(), 8);
@@ -299,7 +312,14 @@ mod tests {
     fn compress_rejects_overdense_block() {
         let dense = mat(1, 4, |_, _| 1.0);
         let err = CompressedTile::compress(&dense, NmRatio::S2_4).unwrap_err();
-        assert!(matches!(err, SparsityError::BlockTooDense { found: 4, allowed: 2, .. }));
+        assert!(matches!(
+            err,
+            SparsityError::BlockTooDense {
+                found: 4,
+                allowed: 2,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -45,7 +45,12 @@ impl fmt::Display for SparsityError {
             SparsityError::InvalidRatio { n, m } => {
                 write!(f, "invalid sparsity ratio {n}:{m}")
             }
-            SparsityError::BlockTooDense { row, block, found, allowed } => write!(
+            SparsityError::BlockTooDense {
+                row,
+                block,
+                found,
+                allowed,
+            } => write!(
                 f,
                 "block {block} of row {row} has {found} non-zeros, more than the {allowed} allowed"
             ),
@@ -63,7 +68,12 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = SparsityError::BlockTooDense { row: 3, block: 7, found: 3, allowed: 2 };
+        let e = SparsityError::BlockTooDense {
+            row: 3,
+            block: 7,
+            found: 3,
+            allowed: 2,
+        };
         assert_eq!(
             e.to_string(),
             "block 7 of row 3 has 3 non-zeros, more than the 2 allowed"

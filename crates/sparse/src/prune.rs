@@ -67,7 +67,10 @@ pub fn random_unstructured<R: Rng + ?Sized>(
     degree: f64,
     rng: &mut R,
 ) -> Matrix<Bf16> {
-    assert!((0.0..=1.0).contains(&degree), "sparsity degree must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&degree),
+        "sparsity degree must be in [0, 1]"
+    );
     let dist = Uniform::new_inclusive(-1.0f32, 1.0);
     Matrix::from_fn(rows, cols, |_, _| {
         if rng.gen_bool(degree) {
@@ -92,7 +95,10 @@ pub fn random_nm<R: Rng + ?Sized>(
 ) -> Matrix<Bf16> {
     let m = ratio.m() as usize;
     let n = ratio.n() as usize;
-    assert!(cols.is_multiple_of(m), "cols must be a multiple of the block size");
+    assert!(
+        cols.is_multiple_of(m),
+        "cols must be a multiple of the block size"
+    );
     let dist = Uniform::new_inclusive(-1.0f32, 1.0);
     let mut out = Matrix::zeros(rows, cols);
     for r in 0..rows {
@@ -168,8 +174,14 @@ mod tests {
     #[test]
     fn random_unstructured_extremes() {
         let mut rng = SmallRng::seed_from_u64(1);
-        assert_eq!(sparsity_degree(&random_unstructured(8, 8, 1.0, &mut rng)), 1.0);
-        assert_eq!(sparsity_degree(&random_unstructured(8, 8, 0.0, &mut rng)), 0.0);
+        assert_eq!(
+            sparsity_degree(&random_unstructured(8, 8, 1.0, &mut rng)),
+            1.0
+        );
+        assert_eq!(
+            sparsity_degree(&random_unstructured(8, 8, 0.0, &mut rng)),
+            0.0
+        );
     }
 
     #[test]

@@ -221,7 +221,11 @@ mod tests {
                 0 | 1 => c % 4 < 2,
                 _ => c % 4 == 1,
             };
-            if keep { 1.0 } else { 0.0 }
+            if keep {
+                1.0
+            } else {
+                0.0
+            }
         });
         let t = RowWiseTile::compress(&dense, 4).unwrap();
         assert_eq!(t.row_ratio(0), NmRatio::S2_4);
@@ -232,7 +236,13 @@ mod tests {
 
     #[test]
     fn transform_is_lossless() {
-        let dense = mat(8, 16, |r, c| if (r * 7 + c * 3) % 5 == 0 { (c + 1) as f32 } else { 0.0 });
+        let dense = mat(8, 16, |r, c| {
+            if (r * 7 + c * 3) % 5 == 0 {
+                (c + 1) as f32
+            } else {
+                0.0
+            }
+        });
         let t = RowWiseTile::compress(&dense, 4).unwrap();
         assert_eq!(t.decompress(), dense);
     }
@@ -261,7 +271,11 @@ mod tests {
         // effective = 32.
         let dense = mat(4, 8, |r, c| {
             let keep = if r < 2 { c % 4 == 0 } else { c % 4 < 2 };
-            if keep { 1.0 } else { 0.0 }
+            if keep {
+                1.0
+            } else {
+                0.0
+            }
         });
         let t = RowWiseTile::compress(&dense, 4).unwrap();
         assert_eq!(t.stored_len(), 12);

@@ -47,7 +47,9 @@ pub fn row_cover(row: &[Bf16], m: u8) -> Result<NmRatio, SparsityError> {
 /// Returns [`SparsityError::InvalidRatio`] if `m` is not a supported block
 /// size.
 pub fn row_covers(dense: &Matrix<Bf16>, m: u8) -> Result<Vec<NmRatio>, SparsityError> {
-    (0..dense.rows()).map(|r| row_cover(dense.row(r), m)).collect()
+    (0..dense.rows())
+        .map(|r| row_cover(dense.row(r), m))
+        .collect()
 }
 
 /// The sparsest pattern that covers *every* row of the matrix — the
@@ -78,10 +80,7 @@ pub fn uniform_cover(dense: &Matrix<Bf16>, m: u8) -> Result<NmRatio, SparsityErr
 ///
 /// Returns [`SparsityError::InvalidRatio`] if `m` is not a supported block
 /// size.
-pub fn pseudo_row_wise_covers(
-    dense: &Matrix<Bf16>,
-    m: u8,
-) -> Result<Vec<NmRatio>, SparsityError> {
+pub fn pseudo_row_wise_covers(dense: &Matrix<Bf16>, m: u8) -> Result<Vec<NmRatio>, SparsityError> {
     let covers = row_covers(dense, m)?;
     let mut out = Vec::with_capacity(covers.len());
     let mut i = 0;
@@ -98,7 +97,11 @@ pub fn pseudo_row_wise_covers(
                 n = NmRatio::new(n.n() * 2, m).expect("doubling N stays within M");
                 continue;
             }
-            let need = covers[i..i + group].iter().copied().max().expect("non-empty group");
+            let need = covers[i..i + group]
+                .iter()
+                .copied()
+                .max()
+                .expect("non-empty group");
             if need <= n {
                 break;
             }
@@ -128,7 +131,10 @@ pub fn reordered_row_wise_covers(
     let covers = row_covers(dense, m)?;
     let mut counts = vec![0usize; patterns.len()];
     for c in &covers {
-        let k = patterns.iter().position(|p| p == c).expect("cover from same pattern set");
+        let k = patterns
+            .iter()
+            .position(|p| p == c)
+            .expect("cover from same pattern set");
         counts[k] += 1;
     }
     // Promote leftovers that cannot fill a whole group of M/N rows to the
@@ -173,9 +179,11 @@ impl CoverStats {
 /// Work statistics for a set of per-row ratios over `cols` columns.
 pub fn cover_stats(row_ratios: &[NmRatio], cols: usize) -> CoverStats {
     let dense_work = (row_ratios.len() * cols) as f64;
-    let covered_work: f64 =
-        row_ratios.iter().map(|r| cols as f64 * r.density()).sum();
-    CoverStats { dense_work, covered_work }
+    let covered_work: f64 = row_ratios.iter().map(|r| cols as f64 * r.density()).sum();
+    CoverStats {
+        dense_work,
+        covered_work,
+    }
 }
 
 #[cfg(test)]
@@ -188,11 +196,13 @@ mod tests {
 
     #[test]
     fn row_cover_picks_minimal_pattern() {
-        let row: Vec<Bf16> =
-            (0..8).map(|c| Bf16::from_f32(if c % 4 == 0 { 1.0 } else { 0.0 })).collect();
+        let row: Vec<Bf16> = (0..8)
+            .map(|c| Bf16::from_f32(if c % 4 == 0 { 1.0 } else { 0.0 }))
+            .collect();
         assert_eq!(row_cover(&row, 4).unwrap(), NmRatio::S1_4);
-        let row2: Vec<Bf16> =
-            (0..8).map(|c| Bf16::from_f32(if c < 2 { 1.0 } else { 0.0 })).collect();
+        let row2: Vec<Bf16> = (0..8)
+            .map(|c| Bf16::from_f32(if c < 2 { 1.0 } else { 0.0 }))
+            .collect();
         assert_eq!(row_cover(&row2, 4).unwrap(), NmRatio::S2_4);
     }
 
@@ -200,11 +210,15 @@ mod tests {
     fn uniform_cover_takes_densest_row() {
         let dense = mat(3, 8, |r, c| {
             let keep = match r {
-                0 => c % 4 == 0,     // 1:4
-                1 => c % 4 < 2,      // 2:4
-                _ => c % 4 == 2,     // 1:4
+                0 => c % 4 == 0, // 1:4
+                1 => c % 4 < 2,  // 2:4
+                _ => c % 4 == 2, // 1:4
             };
-            if keep { 1.0 } else { 0.0 }
+            if keep {
+                1.0
+            } else {
+                0.0
+            }
         });
         assert_eq!(uniform_cover(&dense, 4).unwrap(), NmRatio::S2_4);
     }
@@ -218,7 +232,11 @@ mod tests {
                 0 | 3 => c % 4 == 0,
                 _ => c % 4 < 2,
             };
-            if keep { 1.0 } else { 0.0 }
+            if keep {
+                1.0
+            } else {
+                0.0
+            }
         });
         let pseudo = pseudo_row_wise_covers(&dense, 4).unwrap();
         assert_eq!(pseudo[0], NmRatio::S2_4);
@@ -245,7 +263,11 @@ mod tests {
         // to 2:4 and pairs with the native 2:4 row.
         let dense = mat(6, 8, |r, c| {
             let keep = if r < 5 { c % 4 == 0 } else { c % 4 < 2 };
-            if keep { 1.0 } else { 0.0 }
+            if keep {
+                1.0
+            } else {
+                0.0
+            }
         });
         let reordered = reordered_row_wise_covers(&dense, 4).unwrap();
         let ones = reordered.iter().filter(|&&r| r == NmRatio::S1_4).count();
@@ -257,9 +279,17 @@ mod tests {
     fn granularity_ordering_holds() {
         // Finer granularity never does more work: row-wise <= pseudo <=
         // tile-wise (uniform).
-        let dense = mat(16, 32, |r, c| {
-            if (r * 13 + c * 7) % 4 == 0 { 1.0 } else { 0.0 }
-        });
+        let dense = mat(
+            16,
+            32,
+            |r, c| {
+                if (r * 13 + c * 7) % 4 == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
         let cols = dense.cols();
         let row = cover_stats(&row_covers(&dense, 4).unwrap(), cols);
         let pseudo = cover_stats(&pseudo_row_wise_covers(&dense, 4).unwrap(), cols);

@@ -79,62 +79,128 @@ pub fn table4() -> Vec<Layer> {
         Layer {
             name: "ResNet50-L1",
             network: Network::ResNet50,
-            kind: LayerKind::Conv(ConvShape { k: 64, c: 256, y: 56, x: 56, r: 1, s: 1 }),
+            kind: LayerKind::Conv(ConvShape {
+                k: 64,
+                c: 256,
+                y: 56,
+                x: 56,
+                r: 1,
+                s: 1,
+            }),
         },
         Layer {
             name: "ResNet50-L2",
             network: Network::ResNet50,
-            kind: LayerKind::Conv(ConvShape { k: 64, c: 64, y: 56, x: 56, r: 3, s: 3 }),
+            kind: LayerKind::Conv(ConvShape {
+                k: 64,
+                c: 64,
+                y: 56,
+                x: 56,
+                r: 3,
+                s: 3,
+            }),
         },
         Layer {
             name: "ResNet50-L3",
             network: Network::ResNet50,
-            kind: LayerKind::Conv(ConvShape { k: 256, c: 64, y: 56, x: 56, r: 1, s: 1 }),
+            kind: LayerKind::Conv(ConvShape {
+                k: 256,
+                c: 64,
+                y: 56,
+                x: 56,
+                r: 1,
+                s: 1,
+            }),
         },
         Layer {
             name: "ResNet50-L4",
             network: Network::ResNet50,
-            kind: LayerKind::Conv(ConvShape { k: 128, c: 128, y: 28, x: 28, r: 3, s: 3 }),
+            kind: LayerKind::Conv(ConvShape {
+                k: 128,
+                c: 128,
+                y: 28,
+                x: 28,
+                r: 3,
+                s: 3,
+            }),
         },
         Layer {
             name: "ResNet50-L5",
             network: Network::ResNet50,
-            kind: LayerKind::Conv(ConvShape { k: 512, c: 128, y: 28, x: 28, r: 1, s: 1 }),
+            kind: LayerKind::Conv(ConvShape {
+                k: 512,
+                c: 128,
+                y: 28,
+                x: 28,
+                r: 1,
+                s: 1,
+            }),
         },
         Layer {
             name: "ResNet50-L6",
             network: Network::ResNet50,
-            kind: LayerKind::Conv(ConvShape { k: 256, c: 256, y: 14, x: 14, r: 3, s: 3 }),
+            kind: LayerKind::Conv(ConvShape {
+                k: 256,
+                c: 256,
+                y: 14,
+                x: 14,
+                r: 3,
+                s: 3,
+            }),
         },
         Layer {
             name: "BERT-L1",
             network: Network::Bert,
-            kind: LayerKind::Gemm(GemmShape { m: 512, n: 768, k: 768 }),
+            kind: LayerKind::Gemm(GemmShape {
+                m: 512,
+                n: 768,
+                k: 768,
+            }),
         },
         Layer {
             name: "BERT-L2",
             network: Network::Bert,
-            kind: LayerKind::Gemm(GemmShape { m: 512, n: 512, k: 768 }),
+            kind: LayerKind::Gemm(GemmShape {
+                m: 512,
+                n: 512,
+                k: 768,
+            }),
         },
         Layer {
             name: "BERT-L3",
             network: Network::Bert,
-            kind: LayerKind::Gemm(GemmShape { m: 512, n: 768, k: 512 }),
+            kind: LayerKind::Gemm(GemmShape {
+                m: 512,
+                n: 768,
+                k: 512,
+            }),
         },
         Layer {
             name: "GPT-L1",
             network: Network::Gpt,
-            kind: LayerKind::Gemm(GemmShape { m: 256, n: 256, k: 2048 }),
+            kind: LayerKind::Gemm(GemmShape {
+                m: 256,
+                n: 256,
+                k: 2048,
+            }),
         },
         Layer {
             name: "GPT-L2",
             network: Network::Gpt,
-            kind: LayerKind::Gemm(GemmShape { m: 512, n: 512, k: 2048 }),
+            kind: LayerKind::Gemm(GemmShape {
+                m: 512,
+                n: 512,
+                k: 2048,
+            }),
         },
         Layer {
             name: "GPT-L3",
             network: Network::Gpt,
-            kind: LayerKind::Gemm(GemmShape { m: 256, n: 256, k: 12_288 }),
+            kind: LayerKind::Gemm(GemmShape {
+                m: 256,
+                n: 256,
+                k: 12_288,
+            }),
         },
     ]
 }
@@ -142,7 +208,10 @@ pub fn table4() -> Vec<Layer> {
 /// The Table IV layers belonging to one network, in order — a layer suite
 /// for network-level experiments.
 pub fn layers_of(network: Network) -> Vec<Layer> {
-    table4().into_iter().filter(|l| l.network == network).collect()
+    table4()
+        .into_iter()
+        .filter(|l| l.network == network)
+        .collect()
 }
 
 /// Weight sparsity configurations used across the evaluation.
@@ -261,9 +330,21 @@ mod tests {
     #[test]
     fn networks_partition_the_table() {
         let layers = table4();
-        assert_eq!(layers.iter().filter(|l| l.network == Network::ResNet50).count(), 6);
-        assert_eq!(layers.iter().filter(|l| l.network == Network::Bert).count(), 3);
-        assert_eq!(layers.iter().filter(|l| l.network == Network::Gpt).count(), 3);
+        assert_eq!(
+            layers
+                .iter()
+                .filter(|l| l.network == Network::ResNet50)
+                .count(),
+            6
+        );
+        assert_eq!(
+            layers.iter().filter(|l| l.network == Network::Bert).count(),
+            3
+        );
+        assert_eq!(
+            layers.iter().filter(|l| l.network == Network::Gpt).count(),
+            3
+        );
     }
 
     #[test]

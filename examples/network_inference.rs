@@ -35,10 +35,16 @@ fn main() {
     for (suite_name, network) in suites {
         let layers = layers_of(network);
         let macs: u64 = layers.iter().map(|l| l.macs()).sum();
-        println!("\n{suite_name}: {} layers, {} total MACs", layers.len(), macs);
-        for (label, ratio) in
-            [("4:4", NmRatio::D4_4), ("2:4", NmRatio::S2_4), ("1:4", NmRatio::S1_4)]
-        {
+        println!(
+            "\n{suite_name}: {} layers, {} total MACs",
+            layers.len(),
+            macs
+        );
+        for (label, ratio) in [
+            ("4:4", NmRatio::D4_4),
+            ("2:4", NmRatio::S2_4),
+            ("1:4", NmRatio::S1_4),
+        ] {
             let base = run_network(&layers, ratio, &dm);
             let ours = run_network(&layers, ratio, &vegeta_engine);
             println!(" weights {label}:");

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use vegeta::prelude::*;
 use vegeta::num::gemm_bf16_ref;
+use vegeta::prelude::*;
 use vegeta::sparse::prune;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -14,8 +14,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A dense 16x64 weight tile, magnitude-pruned to 2:4 sparsity.
     let dense = prune::random_dense(16, 64, &mut rng);
     let weights = prune::magnitude_prune_nm(&dense, NmRatio::S2_4);
-    println!("pruned weight tile: {}x{}, sparsity degree {:.2}",
-        weights.rows(), weights.cols(), vegeta::sparse::sparsity_degree(&weights));
+    println!(
+        "pruned weight tile: {}x{}, sparsity degree {:.2}",
+        weights.rows(),
+        weights.cols(),
+        vegeta::sparse::sparsity_degree(&weights)
+    );
 
     // 2. Compress: 512 non-zero values (1 KB treg) + 128 B metadata (mreg).
     let tile = CompressedTile::compress(&weights, NmRatio::S2_4)?;
@@ -38,16 +42,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let b_addr = exec.mem_mut().alloc(2048)?;
     let c_addr = exec.mem_mut().alloc(1024)?;
     exec.mem_mut().write_bf16_matrix(a_addr, tile.values())?;
-    exec.mem_mut().write_bytes(m_addr, &tile.metadata_packed())?;
+    exec.mem_mut()
+        .write_bytes(m_addr, &tile.metadata_packed())?;
     exec.mem_mut().write_bf16_matrix(b_addr, &bt)?;
 
     let program = [
-        Inst::TileLoadU { dst: UReg::U3, addr: b_addr },
-        Inst::TileLoadT { dst: TReg::T4, addr: a_addr },
-        Inst::TileLoadM { dst: TReg::T4.paired_mreg(), addr: m_addr },
+        Inst::TileLoadU {
+            dst: UReg::U3,
+            addr: b_addr,
+        },
+        Inst::TileLoadT {
+            dst: TReg::T4,
+            addr: a_addr,
+        },
+        Inst::TileLoadM {
+            dst: TReg::T4.paired_mreg(),
+            addr: m_addr,
+        },
         Inst::TileZero { dst: TReg::T0 },
-        Inst::TileSpmmU { acc: TReg::T0, a: TReg::T4, b: UReg::U3 },
-        Inst::TileStoreT { addr: c_addr, src: TReg::T0 },
+        Inst::TileSpmmU {
+            acc: TReg::T0,
+            a: TReg::T4,
+            b: UReg::U3,
+        },
+        Inst::TileStoreT {
+            addr: c_addr,
+            src: TReg::T0,
+        },
     ];
     exec.run(&program)?;
     let c = exec.mem().read_f32_matrix(c_addr, 16, 16)?;
@@ -65,7 +86,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. What does the hardware gain? One engine-level data point.
     let dm = EngineConfig::rasa_dm();
-    let s16 = EngineConfig::vegeta_s(16).expect("valid alpha").with_output_forwarding(true);
+    let s16 = EngineConfig::vegeta_s(16)
+        .expect("valid alpha")
+        .with_output_forwarding(true);
     println!(
         "\nengine latencies: {} = {} cycles/instr, {} = {} cycles/instr",
         dm.name(),

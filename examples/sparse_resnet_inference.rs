@@ -13,11 +13,22 @@ use vegeta::workloads::{generate_weights, table4, LayerKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let layer = table4()[1]; // ResNet50-L2: 3x3 conv, 56x56, 64ch
-    let LayerKind::Conv(conv) = layer.kind else { unreachable!("L2 is a conv layer") };
+    let LayerKind::Conv(conv) = layer.kind else {
+        unreachable!("L2 is a conv layer")
+    };
     let gemm = layer.gemm_shape();
     println!(
         "{}: conv K={} C={} {}x{} {}x{} -> GEMM {}x{}x{} ({} MACs)",
-        layer.name, conv.k, conv.c, conv.y, conv.x, conv.r, conv.s, gemm.m, gemm.n, gemm.k,
+        layer.name,
+        conv.k,
+        conv.c,
+        conv.y,
+        conv.x,
+        conv.r,
+        conv.s,
+        gemm.m,
+        gemm.n,
+        gemm.k,
         layer.macs()
     );
 
@@ -29,7 +40,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         NmRatio::S2_4,
     );
     let inputs = prune::random_dense(small.k, small.n, &mut rng);
-    let program = build_program(&weights, &inputs, SparseMode::Nm2of4, KernelOptions::default())?;
+    let program = build_program(
+        &weights,
+        &inputs,
+        SparseMode::Nm2of4,
+        KernelOptions::default(),
+    )?;
     let got = program.run_functional()?;
     let mut expected = Matrix::zeros(small.m, small.n);
     gemm_bf16_ref(&weights, &inputs, &mut expected);
@@ -39,13 +55,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Full-size timing: dense baseline vs VEGETA. ---
     let mut rng = rand_seed(8);
     let w = generate_weights(&layer, WeightSparsity::Structured(NmRatio::S2_4), &mut rng);
-    println!("full-size weights generated: {}x{} at degree {:.2}",
-        w.rows(), w.cols(), vegeta::sparse::sparsity_degree(&w));
+    println!(
+        "full-size weights generated: {}x{} at degree {:.2}",
+        w.rows(),
+        w.cols(),
+        vegeta::sparse::sparsity_degree(&w)
+    );
 
     let engines = [
         EngineConfig::rasa_dm(),
         EngineConfig::stc_like(),
-        EngineConfig::vegeta_s(16).expect("valid alpha").with_output_forwarding(true),
+        EngineConfig::vegeta_s(16)
+            .expect("valid alpha")
+            .with_output_forwarding(true),
     ];
     let sim = SimConfig::default();
     let mut baseline = None;
@@ -55,7 +77,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let res = run_trace(&trace, engine, sim.clone());
         let seconds = res.seconds(&sim);
         let tflops = 2.0 * layer.macs() as f64 / seconds / 1e12;
-        let speedup = baseline.map(|b: u64| b as f64 / res.core_cycles as f64).unwrap_or(1.0);
+        let speedup = baseline
+            .map(|b: u64| b as f64 / res.core_cycles as f64)
+            .unwrap_or(1.0);
         baseline.get_or_insert(res.core_cycles);
         println!(
             "  {:<36} mode {:?}: {:>12} cycles  {:>7.3} ms  {:>6.2} effective TFLOPS  {:>5.2}x",

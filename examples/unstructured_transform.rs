@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("TILE_SPMM_R kernel verified bit-exact against the dense reference");
 
     // 4. What each granularity of hardware support would skip (Fig. 15).
-    println!("\nspeedup by sparsity-granularity support at {:.0}% degree:", degree * 100.0);
+    println!(
+        "\nspeedup by sparsity-granularity support at {:.0}% degree:",
+        degree * 100.0
+    );
     let model = GranularityModel::default();
     for hw in GranularityHw::all() {
         println!("  {:<48} {:>5.2}x", hw.name(), model.speedup(hw, &a));

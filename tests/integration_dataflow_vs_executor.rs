@@ -13,7 +13,10 @@ use vegeta::sparse::{prune, unpack_metadata};
 
 fn int_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<Bf16> {
     Matrix::from_fn(rows, cols, |r, c| {
-        let h = (r as u64).wrapping_mul(131).wrapping_add(c as u64).wrapping_mul(seed | 1);
+        let h = (r as u64)
+            .wrapping_mul(131)
+            .wrapping_add(c as u64)
+            .wrapping_mul(seed | 1);
         Bf16::from_f32(((h % 11) as f32) - 5.0)
     })
 }
@@ -35,16 +38,38 @@ fn executor_result(
     let (a_reg, inst) = match ratio {
         NmRatio::D4_4 => {
             exec.regs_mut().set_treg_bf16(TReg::T5, &pad_values(tile));
-            exec.regs_mut().set_treg_bf16(TReg::T3, &Matrix::from_fn(16, 32, |r, c| bt[(r, c)]));
-            (TReg::T5, Inst::TileGemm { acc: TReg::T0, a: TReg::T5, b: TReg::T3 })
+            exec.regs_mut()
+                .set_treg_bf16(TReg::T3, &Matrix::from_fn(16, 32, |r, c| bt[(r, c)]));
+            (
+                TReg::T5,
+                Inst::TileGemm {
+                    acc: TReg::T0,
+                    a: TReg::T5,
+                    b: TReg::T3,
+                },
+            )
         }
         NmRatio::S2_4 => {
             exec.regs_mut().set_ureg_bf16(UReg::U3, bt);
-            (TReg::T4, Inst::TileSpmmU { acc: TReg::T0, a: TReg::T4, b: UReg::U3 })
+            (
+                TReg::T4,
+                Inst::TileSpmmU {
+                    acc: TReg::T0,
+                    a: TReg::T4,
+                    b: UReg::U3,
+                },
+            )
         }
         NmRatio::S1_4 => {
             exec.regs_mut().set_vreg_bf16(VReg::V1, bt);
-            (TReg::T3, Inst::TileSpmmV { acc: TReg::T0, a: TReg::T3, b: VReg::V1 })
+            (
+                TReg::T3,
+                Inst::TileSpmmV {
+                    acc: TReg::T0,
+                    a: TReg::T3,
+                    b: VReg::V1,
+                },
+            )
         }
         _ => unreachable!("only the three Table II patterns"),
     };
@@ -60,7 +85,11 @@ fn executor_result(
 
 fn pad_values(tile: &CompressedTile) -> Matrix<Bf16> {
     Matrix::from_fn(16, 32, |r, c| {
-        if c < tile.values().cols() { tile.values()[(r, c)] } else { Bf16::ZERO }
+        if c < tile.values().cols() {
+            tile.values()[(r, c)]
+        } else {
+            Bf16::ZERO
+        }
     })
 }
 
@@ -85,7 +114,11 @@ fn check_instruction(ratio: NmRatio, seed: u64) {
         meta512.resize(512, 0);
         let op = dataflow::TileWiseOp {
             a_values: &padded,
-            a_meta: if ratio.is_dense() { None } else { Some(&meta512) },
+            a_meta: if ratio.is_dense() {
+                None
+            } else {
+                Some(&meta512)
+            },
             ratio,
             bt: &bt,
             c_in: &c_in,
@@ -98,7 +131,12 @@ fn check_instruction(ratio: NmRatio, seed: u64) {
             cfg.name(),
             ratio
         );
-        assert_eq!(res.last_output_cycle, cfg.last_output_cycle(), "{}", cfg.name());
+        assert_eq!(
+            res.last_output_cycle,
+            cfg.last_output_cycle(),
+            "{}",
+            cfg.name()
+        );
     }
 }
 

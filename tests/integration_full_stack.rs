@@ -29,7 +29,9 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
             addr: a as u64,
             src: TReg::new(r).expect("in range")
         }),
-        (0u8..8).prop_map(|r| Inst::TileZero { dst: TReg::new(r).expect("in range") }),
+        (0u8..8).prop_map(|r| Inst::TileZero {
+            dst: TReg::new(r).expect("in range")
+        }),
         (0u8..8, 0u8..8, 0u8..8).prop_map(|(c, a, b)| Inst::TileGemm {
             acc: TReg::new(c).expect("in range"),
             a: TReg::new(a).expect("in range"),

@@ -49,7 +49,10 @@ fn unrolls_one_to_three_are_equivalent() {
             &a,
             &b,
             SparseMode::Nm2of4,
-            KernelOptions { unroll, loop_overhead: false },
+            KernelOptions {
+                unroll,
+                loop_overhead: false,
+            },
         )
         .expect("valid");
         results.push(program.run_functional().expect("runs"));
@@ -62,10 +65,18 @@ fn unrolls_one_to_three_are_equivalent() {
 fn conv_layer_via_im2col_matches_direct_convolution() {
     // A miniature ResNet-style 3x3 conv: lower with im2col, prune 2:4,
     // run the SPMM kernel, compare with direct conv of the pruned weights.
-    let shape = ConvShape { k: 8, c: 4, y: 6, x: 6, r: 3, s: 3 };
+    let shape = ConvShape {
+        k: 8,
+        c: 4,
+        y: 6,
+        x: 6,
+        r: 3,
+        s: 3,
+    };
     let mut rng = rand_seed(7);
-    let input: Vec<Matrix<Bf16>> =
-        (0..shape.c).map(|_| prune::random_dense(shape.y, shape.x, &mut rng)).collect();
+    let input: Vec<Matrix<Bf16>> = (0..shape.c)
+        .map(|_| prune::random_dense(shape.y, shape.x, &mut rng))
+        .collect();
     // Weight matrix K x (C*R*S), pruned to 2:4.
     let wm_dense = prune::random_dense(shape.k, shape.c * shape.r * shape.s, &mut rng);
     let wm = prune::magnitude_prune_nm(&wm_dense, NmRatio::S2_4);

@@ -42,7 +42,11 @@ fn dense_engines_are_insensitive_to_weight_sparsity() {
     // §VI-C: "VEGETA-D engines ... show the same performance with 2:4 and
     // 1:4 structured sparsity."
     let shape = bert_shape();
-    for engine in [EngineConfig::rasa_sm(), EngineConfig::rasa_dm(), EngineConfig::tmul_like()] {
+    for engine in [
+        EngineConfig::rasa_sm(),
+        EngineConfig::rasa_dm(),
+        EngineConfig::tmul_like(),
+    ] {
         let dense = cycles(&engine, shape, NmRatio::D4_4);
         let s24 = cycles(&engine, shape, NmRatio::S2_4);
         let s14 = cycles(&engine, shape, NmRatio::S1_4);
@@ -68,7 +72,9 @@ fn stc_like_gains_at_2_4_but_not_beyond() {
 #[test]
 fn vegeta_s_speedup_scales_with_sparsity() {
     let shape = bert_shape();
-    let engine = EngineConfig::vegeta_s(16).unwrap().with_output_forwarding(true);
+    let engine = EngineConfig::vegeta_s(16)
+        .unwrap()
+        .with_output_forwarding(true);
     let dense = cycles(&engine, shape, NmRatio::D4_4);
     let s24 = cycles(&engine, shape, NmRatio::S2_4);
     let s14 = cycles(&engine, shape, NmRatio::S1_4);
@@ -76,8 +82,14 @@ fn vegeta_s_speedup_scales_with_sparsity() {
     assert!(s14 < s24);
     let speedup_24 = dense as f64 / s24 as f64;
     let speedup_14 = dense as f64 / s14 as f64;
-    assert!((1.6..=2.4).contains(&speedup_24), "2:4 speedup {speedup_24}");
-    assert!((2.8..=4.4).contains(&speedup_14), "1:4 speedup {speedup_14}");
+    assert!(
+        (1.6..=2.4).contains(&speedup_24),
+        "2:4 speedup {speedup_24}"
+    );
+    assert!(
+        (2.8..=4.4).contains(&speedup_14),
+        "1:4 speedup {speedup_14}"
+    );
 }
 
 #[test]
@@ -88,7 +100,9 @@ fn vegeta_matches_rasa_dm_on_dense_workloads() {
     let shape = bert_shape();
     let dm = cycles(&EngineConfig::rasa_dm(), shape, NmRatio::D4_4);
     let s16 = cycles(
-        &EngineConfig::vegeta_s(16).unwrap().with_output_forwarding(true),
+        &EngineConfig::vegeta_s(16)
+            .unwrap()
+            .with_output_forwarding(true),
         shape,
         NmRatio::D4_4,
     );
@@ -115,7 +129,10 @@ fn output_forwarding_helps_dependent_kernels() {
     // With a single accumulator the k-loop serializes on C; OF recovers
     // most of the loss (§VI-C attributes ~32-37% to OF).
     let shape = bert_shape();
-    let dep_opts = KernelOptions { unroll: 1, loop_overhead: true };
+    let dep_opts = KernelOptions {
+        unroll: 1,
+        loop_overhead: true,
+    };
     let trace = build_trace(shape, SparseMode::Nm2of4, dep_opts);
     let base = EngineConfig::vegeta_s(16).unwrap();
     let no_of = run_trace(&trace, &base, SimConfig::default()).core_cycles;
@@ -140,7 +157,9 @@ fn engine_ordering_is_stable_across_layers() {
         let dm = cycles(&EngineConfig::rasa_dm(), shape, NmRatio::S2_4);
         let stc = cycles(&EngineConfig::stc_like(), shape, NmRatio::S2_4);
         let s16 = cycles(
-            &EngineConfig::vegeta_s(16).unwrap().with_output_forwarding(true),
+            &EngineConfig::vegeta_s(16)
+                .unwrap()
+                .with_output_forwarding(true),
             shape,
             NmRatio::S2_4,
         );

@@ -1,0 +1,163 @@
+//! Vendored, API-compatible subset of the `criterion` crate.
+//!
+//! Offline build: the workspace vendors just enough of criterion for the
+//! `benches/` targets to compile and produce useful wall-clock numbers —
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. There is no statistical
+//! analysis, HTML report, or comparison against saved baselines: each
+//! benchmark is warmed up briefly, timed over a fixed wall-clock budget, and
+//! its mean iteration time printed.
+
+use std::time::{Duration, Instant};
+
+/// Opaque hint preventing the optimizer from deleting a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How batches are sized in [`Bencher::iter_batched`]. Only a hint here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: larger batches.
+    SmallInput,
+    /// Large per-iteration inputs: one input per batch.
+    LargeInput,
+    /// Setup re-runs on every iteration.
+    PerIteration,
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    /// Total time spent in measured routines.
+    elapsed: Duration,
+    /// Number of measured iterations.
+    iterations: u64,
+    /// Wall-clock measurement budget.
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+            budget,
+        }
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: a few unmeasured calls.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.elapsed += t0.elapsed();
+            self.iterations += 1;
+        }
+    }
+
+    /// Times `routine` over inputs created by `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.iterations += 1;
+        }
+    }
+}
+
+/// Benchmark driver: registers and runs named benchmark functions.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep full `cargo bench` runs quick; raise via CRITERION_BUDGET_MS.
+        let ms = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.budget);
+        f(&mut bencher);
+        if bencher.iterations == 0 {
+            println!("{id:<40} (no measured iterations)");
+        } else {
+            let mean = bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64;
+            println!(
+                "{id:<40} {:>12.1} ns/iter ({} iters)",
+                mean, bencher.iterations
+            );
+        }
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a set of [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        std::env::set_var("CRITERION_BUDGET_MS", "5");
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.iterations > 0);
+    }
+}

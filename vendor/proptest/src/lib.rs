@@ -1,0 +1,154 @@
+//! Vendored, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the slice of proptest the workspace tests use: the [`proptest!`] test
+//! macro, `prop_assert*` macros, [`strategy::Strategy`] with `prop_map`,
+//! [`strategy::Just`], `prop_oneof!`, range / tuple / `any::<T>()` / regex
+//! string strategies, and [`collection::vec`].
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (no persisted failure files) and there is **no shrinking**
+//! — a failing case panics with the generated inputs left to the assert
+//! message. Case count defaults to 64 and honours `PROPTEST_CASES`.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    //! `Arbitrary` glue behind `any::<T>()`.
+
+    use crate::strategy::{AnyStrategy, Strategy};
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy for `Self`.
+        type Strategy: Strategy<Value = Self>;
+        /// Returns the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = AnyStrategy<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    AnyStrategy::new()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, char);
+
+    /// Returns the canonical strategy for `T` (proptest's `any`).
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+pub mod prelude {
+    //! One-stop import used by the workspace test files.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Runs one property-test function: `cases` deterministic cases seeded from
+/// the fully-qualified test name.
+pub fn run_cases(test_name: &str, mut case: impl FnMut(&mut test_runner::TestRng)) {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(64)
+        .max(1);
+    for index in 0..cases {
+        let mut rng = test_runner::TestRng::deterministic(test_name, index);
+        case(&mut rng);
+    }
+}
+
+/// Declares property tests. Each function runs its body once per generated
+/// case, with every `name in strategy` parameter bound to a fresh draw.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |prop_rng| {
+                        $(let $arg =
+                            $crate::strategy::Strategy::generate(&($strategy), prop_rng);)+
+                        $body
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test (no shrinking: plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks one of several strategies (uniformly; weights are not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_are_respected(x in 3usize..10, y in -1.0f32..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(v in (0u8..4, 0u8..4).prop_map(|(a, b)| a + b)) {
+            prop_assert!(v <= 6);
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(x in prop_oneof![Just(1u8), Just(2), 5u8..7]) {
+            prop_assert!(x == 1 || x == 2 || x == 5 || x == 6);
+        }
+
+        #[test]
+        fn vec_sizes_are_respected(v in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn regex_class_strategy(s in "[a-c]{2,4}") {
+            prop_assert!((2..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+}

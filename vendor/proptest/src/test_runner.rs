@@ -1,0 +1,46 @@
+//! Deterministic entropy source for property tests.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Error type carried by proptest-style test bodies (kept for API parity;
+/// the vendored `prop_assert!` panics instead of returning it).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// Per-case RNG. Seeded from the test name and case index so runs are
+/// reproducible across machines and incremental rebuilds.
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Builds the RNG for one (test, case) pair.
+    pub fn deterministic(test_name: &str, case_index: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in test_name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(hash ^ ((case_index as u64) << 32 | 0x9e37)),
+        }
+    }
+
+    /// Draws 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Draws `n` as `0 <= draw < n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

@@ -1,0 +1,172 @@
+//! Sampling distributions (`Uniform`) and the ranges behind `gen_range`.
+
+use crate::Rng;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value using `rng` as the entropy source.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Uniform distribution over a fixed interval.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform<X> {
+    low: X,
+    high: X,
+    inclusive: bool,
+}
+
+impl<X: uniform::SampleUniform> Uniform<X> {
+    /// Uniform over the half-open interval `[low, high)`.
+    pub fn new(low: X, high: X) -> Self {
+        Uniform {
+            low,
+            high,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform over the closed interval `[low, high]`.
+    pub fn new_inclusive(low: X, high: X) -> Self {
+        Uniform {
+            low,
+            high,
+            inclusive: true,
+        }
+    }
+}
+
+impl<X: uniform::SampleUniform> Distribution<X> for Uniform<X> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> X {
+        X::sample_uniform(self.low, self.high, self.inclusive, rng)
+    }
+}
+
+pub mod uniform {
+    //! The `SampleUniform` / `SampleRange` machinery used by `Rng::gen_range`.
+
+    use crate::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be drawn uniformly from an interval.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Draws one value from `[low, high)` (or `[low, high]` when
+        /// `inclusive`).
+        fn sample_uniform<R: Rng + ?Sized>(
+            low: Self,
+            high: Self,
+            inclusive: bool,
+            rng: &mut R,
+        ) -> Self;
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: Rng + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    if inclusive {
+                        assert!(low <= high, "empty sampling range");
+                    } else {
+                        assert!(low < high, "empty sampling range");
+                    }
+                    let span = (high as i128 - low as i128) + if inclusive { 1 } else { 0 };
+                    if span <= 0 {
+                        // Only reachable for `low..=high` covering the whole
+                        // domain of a 128-bit type, which we do not implement.
+                        return low;
+                    }
+                    // Lemire-style widening multiply keeps the draw unbiased
+                    // enough for simulation workloads without a reject loop.
+                    let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as i128;
+                    (low as i128 + draw) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_sample_uniform_float {
+        ($($t:ty => $bits:expr),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: Rng + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    assert!(low <= high, "empty sampling range");
+                    let unit =
+                        (rng.next_u64() >> (64 - $bits)) as $t / (1u64 << $bits) as $t;
+                    let v = low + (high - low) * unit;
+                    // Rounding in `low + span * unit` can land exactly on
+                    // `high`; keep half-open ranges exclusive.
+                    if !inclusive && v >= high {
+                        high.next_down().max(low)
+                    } else {
+                        v
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_float!(f32 => 24, f64 => 53);
+
+    /// Interval shapes accepted by `Rng::gen_range`.
+    pub trait SampleRange<T>: Sized {
+        /// Draws a single value from the range.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_uniform(self.start, self.end, false, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_uniform(*self.start(), *self.end(), true, rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::SampleUniform;
+    use super::{Distribution, Uniform};
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn uniform_f32_stays_in_interval() {
+        let dist = Uniform::new_inclusive(-1.0f32, 1.0);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let v = dist.sample(&mut rng);
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_int_covers_every_value() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[u8::sample_uniform(0, 8, false, &mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,124 @@
+//! Vendored, API-compatible subset of the `rand` crate (v0.8 surface).
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the small slice of `rand` it actually uses: [`Rng`], [`SeedableRng`],
+//! [`rngs::SmallRng`], and [`distributions::Uniform`]. The generator is
+//! xoshiro256++ seeded through SplitMix64 — deterministic across platforms,
+//! which the seeded-reproducibility tests rely on.
+
+pub mod distributions;
+pub mod rngs;
+
+/// The core of a random number generator: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Returns the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next pseudo-random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with pseudo-random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random value generation, layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        // 53 uniform mantissa bits in [0, 1); `u < 1.0` always for p = 1.0
+        // and never for p = 0.0, so the extremes are exact.
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Samples a value from the given distribution.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, dist: D) -> T {
+        dist.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a `u64` seed (SplitMix64 key expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::SmallRng::from_u64_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let a: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..8).map(|_| crate::RngCore::next_u64(&mut r)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..8).map(|_| crate::RngCore::next_u64(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gen_bool_extremes_are_exact() {
+        let mut r = SmallRng::seed_from_u64(1);
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        let observed = hits as f64 / 100_000.0;
+        assert!((observed - 0.3).abs() < 0.01, "observed {observed}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = r.gen_range(-2.0f32..5.0);
+            assert!((-2.0..5.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Concrete generators.
+
+use crate::RngCore;
+
+/// A small, fast, non-cryptographic generator: xoshiro256++.
+///
+/// Matches the role (not the exact stream) of `rand::rngs::SmallRng`; all
+/// workspace code seeds it explicitly, so only determinism matters.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+/// SplitMix64, used to expand a 64-bit seed into the 256-bit state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SmallRng {
+    pub(crate) fn from_u64_seed(seed: u64) -> Self {
+        let mut key = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut key);
+        }
+        // All-zero state would be a fixed point; SplitMix64 cannot produce
+        // four zeros from any key, but guard anyway.
+        if s == [0; 4] {
+            s = [0xdead_beef, 0xcafe_f00d, 0x1234_5678, 0x9abc_def0];
+        }
+        SmallRng { s }
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
