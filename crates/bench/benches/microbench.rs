@@ -4,10 +4,9 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use vegeta::engine::{dataflow, EngineConfig, EngineTimer};
-use vegeta::experiments::run_trace;
-use vegeta::kernels::{build_trace, GemmShape, KernelOptions, SparseMode};
+use vegeta::kernels::{GemmShape, Kernel, KernelSpec, SparseMode, TraceCache};
 use vegeta::num::Matrix;
-use vegeta::sim::SimConfig;
+use vegeta::prelude::Session;
 use vegeta::sparse::{prune, CompressedTile, NmRatio, RowWiseTile};
 
 fn bench_compression(c: &mut Criterion) {
@@ -68,10 +67,16 @@ fn bench_engine_timer(c: &mut Criterion) {
 
 fn bench_simulator(c: &mut Criterion) {
     let shape = GemmShape::new(64, 64, 512);
-    let trace = build_trace(shape, SparseMode::Nm2of4, KernelOptions::default());
-    let engine = EngineConfig::vegeta_s(16).unwrap();
+    let spec = KernelSpec::tiled(SparseMode::Nm2of4);
+    let trace = spec.build(shape);
+    let session = Session::new(EngineConfig::vegeta_s(16).unwrap());
     c.bench_function("core_sim_64x64x512_2of4", |b| {
-        b.iter(|| run_trace(&trace, &engine, SimConfig::default()))
+        b.iter(|| session.run_trace("microbench", shape, &trace))
+    });
+    c.bench_function("trace_cache_hit_64x64x512_2of4", |b| {
+        let cache = TraceCache::new();
+        cache.get_or_build(shape, &spec);
+        b.iter(|| cache.get_or_build(shape, &spec))
     });
 }
 

@@ -1,5 +1,8 @@
-//! Regenerates one artifact of the VEGETA evaluation; see vegeta-bench docs.
-//! Set `VEGETA_QUICK=1` for a scaled-down fast run.
+//! Regenerates the Fig. 13 grid (12 layers × 10 engines × 3 sparsities)
+//! through the parallel `Sweep` runner; see vegeta-bench docs.
+//! Set `VEGETA_QUICK=1` for a scaled-down fast run. Also emits
+//! `BENCH_fig13.json` (per-engine geomean speedups vs RASA-DM) and, when
+//! `VEGETA_CSV_DIR` is set, `fig13_runtime.csv`.
 
 fn main() {
     vegeta_bench::print_fig13();

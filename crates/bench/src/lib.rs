@@ -18,64 +18,17 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use vegeta::engine::{dataflow, rowwise, schedule_sequence, CostModel, EngineConfig, TileOp};
-use vegeta::experiments::{execution_mode, figure13_engines, geomean, run_trace};
-use vegeta::kernels::{
-    build_listing1_trace, build_trace, build_vector_gemm_trace, GemmShape, KernelOptions,
-    SparseMode,
-};
+use vegeta::json::JsonValue;
 use vegeta::model::roofline::{effective_tflops, RooflineEngine, RooflineParams, RooflineWorkload};
 use vegeta::model::{table1, GranularityHw, GranularityModel};
 use vegeta::num::Matrix;
-use vegeta::sim::SimConfig;
-use vegeta::sparse::{prune, NmRatio};
-use vegeta::workloads::{table4, Layer};
+use vegeta::prelude::*;
+use vegeta::sparse::prune;
 
 /// Scale factor applied to layer shapes when quick mode is requested
 /// (`VEGETA_QUICK=1`); keeps CI and `cargo bench` fast while preserving
-/// every trend.
-pub fn quick_factor() -> usize {
-    match std::env::var("VEGETA_QUICK") {
-        Ok(v) if v != "0" && !v.is_empty() => 4,
-        _ => 1,
-    }
-}
-
-/// Writes `rows` (including a header row) as CSV into
-/// `$VEGETA_CSV_DIR/<name>.csv` when that environment variable is set;
-/// silently does nothing otherwise. Returns whether a file was written.
-pub fn write_csv(name: &str, rows: &[Vec<String>]) -> bool {
-    let Ok(dir) = std::env::var("VEGETA_CSV_DIR") else {
-        return false;
-    };
-    if dir.is_empty() {
-        return false;
-    }
-    let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
-    let body: String = rows.iter().map(|r| r.join(",") + "\n").collect();
-    match std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, body)) {
-        Ok(()) => {
-            eprintln!("wrote {}", path.display());
-            true
-        }
-        Err(e) => {
-            eprintln!("could not write {}: {e}", path.display());
-            false
-        }
-    }
-}
-
-fn layer_shape(layer: &Layer, quick: usize) -> GemmShape {
-    let s = layer.gemm_shape();
-    if quick == 1 {
-        s
-    } else {
-        GemmShape::new(
-            (s.m / quick).max(16),
-            (s.n / quick).max(16),
-            (s.k / quick).max(128),
-        )
-    }
-}
+/// every trend. Re-exported from [`vegeta::session::quick_factor`].
+pub use vegeta::session::quick_factor;
 
 /// Table I: sparsity-granularity support matrix.
 pub fn print_tab01() {
@@ -192,21 +145,21 @@ pub fn print_fig04() {
         engine_ghz: 2.0,
         ..SimConfig::default()
     };
+    let session = Session::new(EngineConfig::rasa_dm()).with_sim(sim);
     for dim in [32usize, 64, 128] {
         let shape = GemmShape::new(dim, dim, dim);
-        let vec_trace = build_vector_gemm_trace(shape);
-        let mat_trace = build_trace(shape, SparseMode::Dense, KernelOptions::default());
-        let vec_res = run_trace(&vec_trace, &EngineConfig::rasa_dm(), sim.clone());
-        let mat_res = run_trace(&mat_trace, &EngineConfig::rasa_dm(), sim.clone());
+        let label = format!("gemm-{dim}");
+        let vec = session.run_spec(&label, shape, &KernelSpec::Vector);
+        let mat = session.run_spec(&label, shape, &KernelSpec::tiled(SparseMode::Dense));
         println!(
             "{:>6} {:>12} {:>12} {:>12.1} {:>12} {:>12} {:>14.1}",
             dim,
-            vec_trace.len(),
-            mat_trace.len(),
-            vec_trace.len() as f64 / mat_trace.len() as f64,
-            vec_res.core_cycles,
-            mat_res.core_cycles,
-            vec_res.core_cycles as f64 / mat_res.core_cycles as f64
+            vec.instructions,
+            mat.instructions,
+            vec.instructions as f64 / mat.instructions as f64,
+            vec.cycles,
+            mat.cycles,
+            vec.cycles as f64 / mat.cycles as f64
         );
     }
     println!();
@@ -327,55 +280,92 @@ pub fn print_fig10() {
     println!();
 }
 
-/// One Fig. 13 cell: runtime of a layer/engine/sparsity combination.
-#[derive(Debug, Clone)]
-pub struct Fig13Cell {
-    /// Layer name.
-    pub layer: &'static str,
-    /// Engine name.
-    pub engine: String,
-    /// Weight sparsity label.
-    pub sparsity: &'static str,
-    /// Runtime in core cycles.
-    pub cycles: u64,
+/// Runs the full Fig. 13 grid — 12 layers × 10 engines × {4:4, 2:4, 1:4} —
+/// on the parallel [`Sweep`] runner with a shared trace cache.
+pub fn figure13_sweep(quick: usize) -> SweepReport {
+    Sweep::figure13().with_scale(quick).run()
 }
 
-/// Computes the full Fig. 13 grid: 12 layers × 10 engines × {4:4, 2:4, 1:4}.
-pub fn figure13_grid(quick: usize) -> Vec<Fig13Cell> {
-    let sparsities = [
-        ("4:4", NmRatio::D4_4),
-        ("2:4", NmRatio::S2_4),
-        ("1:4", NmRatio::S1_4),
-    ];
-    let engines = figure13_engines();
-    let mut cells = Vec::new();
-    for layer in table4() {
-        let shape = layer_shape(&layer, quick);
-        // Build each distinct kernel trace once per layer.
-        let traces: Vec<(SparseMode, vegeta::isa::trace::Trace)> =
-            [SparseMode::Dense, SparseMode::Nm2of4, SparseMode::Nm1of4]
-                .into_iter()
-                .map(|m| (m, build_trace(shape, m, KernelOptions::default())))
-                .collect();
-        for (label, ratio) in sparsities {
-            for engine in &engines {
-                let mode = execution_mode(engine, ratio);
-                let trace = &traces
-                    .iter()
-                    .find(|(m, _)| *m == mode)
-                    .expect("mode built")
-                    .1;
-                let res = run_trace(trace, engine, SimConfig::default());
-                cells.push(Fig13Cell {
-                    layer: layer.name,
-                    engine: engine.name().to_string(),
-                    sparsity: label,
-                    cycles: res.core_cycles,
-                });
+/// Writes the per-engine geomean speedups of a Fig. 13 sweep to
+/// `BENCH_fig13.json` (in `$VEGETA_CSV_DIR` when set, else the workspace
+/// root), so the performance trajectory is machine-readable across PRs —
+/// the cycle counts are simulated, so quick-mode output is deterministic
+/// and diffable. Returns the path on success.
+///
+/// The committed workspace-root copy is the `VEGETA_QUICK=1` baseline;
+/// full-size runs therefore only write when `$VEGETA_CSV_DIR` names an
+/// explicit destination, so regenerating the figure at full scale never
+/// dirties the tracked quick-mode artifact.
+pub fn write_fig13_json(report: &SweepReport, quick: usize) -> Option<std::path::PathBuf> {
+    let explicit = std::env::var("VEGETA_CSV_DIR")
+        .ok()
+        .filter(|d| !d.is_empty());
+    let dir = match explicit {
+        Some(dir) => dir,
+        None if quick > 1 => {
+            // Fall back to the workspace root when this binary still lives
+            // in its build checkout, else the cwd.
+            let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+            if std::path::Path::new(root).is_dir() {
+                root.to_string()
+            } else {
+                ".".to_string()
             }
         }
+        None => {
+            eprintln!(
+                "skipping BENCH_fig13.json: full-size run and no VEGETA_CSV_DIR \
+                 (the tracked artifact is the quick-mode baseline)"
+            );
+            return None;
+        }
+    };
+    write_fig13_json_to(report, quick, std::path::Path::new(&dir))
+}
+
+/// [`write_fig13_json`] with an explicit output directory.
+pub fn write_fig13_json_to(
+    report: &SweepReport,
+    quick: usize,
+    dir: &std::path::Path,
+) -> Option<std::path::PathBuf> {
+    let baseline = EngineConfig::rasa_dm().name().to_string();
+    let mut per_sparsity = Vec::new();
+    for sparsity in report.sparsities() {
+        let mut per_engine = Vec::new();
+        for engine in report.engines() {
+            if let Some(g) = report.geomean_speedup(&baseline, engine, sparsity) {
+                per_engine.push((engine.to_string(), JsonValue::from(g)));
+            }
+        }
+        per_sparsity.push((sparsity.to_string(), JsonValue::Object(per_engine)));
     }
-    cells
+    // Only simulator-derived (deterministic) fields belong here: the file
+    // is committed, and host details like thread count would make every
+    // regeneration a spurious diff.
+    let doc = JsonValue::Object(vec![
+        ("figure".into(), "fig13".into()),
+        ("baseline".into(), baseline.into()),
+        ("quick_factor".into(), quick.into()),
+        ("cells".into(), report.cells.len().into()),
+        ("traces_built".into(), report.traces_built.into()),
+        ("trace_cache_hits".into(), report.trace_cache_hits.into()),
+        (
+            "geomean_speedup_vs_baseline".into(),
+            JsonValue::Object(per_sparsity),
+        ),
+    ]);
+    let path = dir.join("BENCH_fig13.json");
+    match std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, doc.to_string())) {
+        Ok(()) => {
+            eprintln!("wrote {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("could not write {}: {e}", path.display());
+            None
+        }
+    }
 }
 
 /// Fig. 13: normalized runtime for every layer/engine/sparsity combination.
@@ -386,27 +376,10 @@ pub fn print_fig13() {
     } else {
         println!("## Figure 13: normalized runtime per layer/engine/sparsity");
     }
-    let cells = figure13_grid(quick);
-    let mut csv = vec![vec![
-        "layer".to_string(),
-        "sparsity".to_string(),
-        "engine".to_string(),
-        "cycles".to_string(),
-    ]];
-    csv.extend(cells.iter().map(|c| {
-        vec![
-            c.layer.to_string(),
-            c.sparsity.to_string(),
-            c.engine.clone(),
-            c.cycles.to_string(),
-        ]
-    }));
-    write_csv("fig13_runtime", &csv);
-    let max_cycles = cells
-        .iter()
-        .map(|c| c.cycles)
-        .max()
-        .expect("non-empty grid") as f64;
+    let report = figure13_sweep(quick);
+    report.save_csv("fig13_runtime");
+    write_fig13_json(&report, quick);
+    let max_cycles = report.max_cycles().expect("non-empty grid") as f64;
     println!("(normalized to the longest runtime, as in the paper)");
     let engines = figure13_engines();
     print!("{:<14} {:>4}", "layer", "spar");
@@ -419,11 +392,8 @@ pub fn print_fig13() {
         for sparsity in ["4:4", "2:4", "1:4"] {
             print!("{:<14} {:>4}", layer.name, sparsity);
             for engine in &engines {
-                let cell = cells
-                    .iter()
-                    .find(|c| {
-                        c.layer == layer.name && c.sparsity == sparsity && c.engine == engine.name()
-                    })
+                let cell = report
+                    .get(layer.name, engine.name(), sparsity)
                     .expect("cell computed");
                 print!(" {:>9.4}", cell.cycles as f64 / max_cycles);
             }
@@ -431,6 +401,10 @@ pub fn print_fig13() {
         }
     }
     println!();
+    println!(
+        "(sweep ran on {} threads; {} traces built, {} cache hits)",
+        report.threads, report.traces_built, report.trace_cache_hits
+    );
     // Summary speedups vs RASA-DM (the paper's headline comparison).
     let dm = EngineConfig::rasa_dm().name().to_string();
     let best = figure13_engines()
@@ -439,24 +413,10 @@ pub fn print_fig13() {
         .name()
         .to_string();
     for sparsity in ["4:4", "2:4", "1:4"] {
-        let ratios: Vec<f64> = table4()
-            .iter()
-            .map(|l| {
-                let base = cells
-                    .iter()
-                    .find(|c| c.layer == l.name && c.sparsity == sparsity && c.engine == dm)
-                    .expect("baseline cell");
-                let ours = cells
-                    .iter()
-                    .find(|c| c.layer == l.name && c.sparsity == sparsity && c.engine == best)
-                    .expect("vegeta cell");
-                base.cycles as f64 / ours.cycles as f64
-            })
-            .collect();
-        println!(
-            "geomean speedup of VEGETA-S-16-2+OF over RASA-DM at {sparsity}: {:.2}x",
-            geomean(&ratios)
-        );
+        let g = report
+            .geomean_speedup(&dm, &best, sparsity)
+            .expect("complete grid");
+        println!("geomean speedup of VEGETA-S-16-2+OF over RASA-DM at {sparsity}: {g:.2}x");
     }
     println!();
 }
@@ -474,11 +434,8 @@ fn short_engine_name(e: &EngineConfig) -> String {
     } else {
         name
     };
-    let mut s = short.replace("VEGETA-", "V-");
-    if e.output_forwarding() {
-        s.push_str("+OF");
-    }
-    s
+    // The name already carries the "+OF" suffix for forwarding variants.
+    short.replace("VEGETA-", "V-")
 }
 
 /// Fig. 14: area/power normalized to RASA-SM, and maximum frequency.
@@ -518,7 +475,7 @@ pub fn print_fig15() {
                 .iter()
                 .enumerate()
                 .map(|(i, layer)| {
-                    let shape = layer_shape(layer, quick);
+                    let shape = layer.scaled_shape(quick);
                     let mut rng = SmallRng::seed_from_u64(1000 + i as u64 + pct as u64 * 13);
                     let a = prune::random_unstructured(shape.m, shape.k, degree, &mut rng);
                     model.speedup(*hw, &a)
@@ -539,10 +496,14 @@ pub fn print_fig15() {
 pub fn print_headline() {
     let quick = quick_factor();
     println!("## Headline speedups vs RASA-DM (paper: 1.09x / 2.20x / 3.74x / 3.28x)");
-    let dm = EngineConfig::rasa_dm();
-    let s16 = EngineConfig::vegeta_s(16)
-        .expect("valid")
-        .with_output_forwarding(true);
+    let cache = std::sync::Arc::new(TraceCache::new());
+    let dm = Session::new(EngineConfig::rasa_dm()).with_cache(std::sync::Arc::clone(&cache));
+    let s16 = Session::new(
+        EngineConfig::vegeta_s(16)
+            .expect("valid")
+            .with_output_forwarding(true),
+    )
+    .with_cache(cache);
     for (label, ratio) in [
         ("4:4", NmRatio::D4_4),
         ("2:4", NmRatio::S2_4),
@@ -551,17 +512,15 @@ pub fn print_headline() {
         let ratios: Vec<f64> = table4()
             .iter()
             .map(|layer| {
-                let shape = layer_shape(layer, quick);
-                let base_trace =
-                    build_trace(shape, execution_mode(&dm, ratio), KernelOptions::default());
-                let our_trace =
-                    build_trace(shape, execution_mode(&s16, ratio), KernelOptions::default());
-                let base = run_trace(&base_trace, &dm, SimConfig::default());
-                let ours = run_trace(&our_trace, &s16, SimConfig::default());
-                base.core_cycles as f64 / ours.core_cycles as f64
+                let base = dm.run_layer_scaled(layer, ratio, quick);
+                let ours = s16.run_layer_scaled(layer, ratio, quick);
+                base.cycles as f64 / ours.cycles as f64
             })
             .collect();
-        println!("  {label}: {:.2}x", geomean(&ratios));
+        println!(
+            "  {label}: {:.2}x",
+            geomean(&ratios).expect("twelve layers")
+        );
     }
     // Unstructured 95%: the row-wise transform's compute-bound speedup.
     let model = GranularityModel::default();
@@ -569,7 +528,7 @@ pub fn print_headline() {
         .iter()
         .enumerate()
         .map(|(i, layer)| {
-            let shape = layer_shape(layer, quick);
+            let shape = layer.scaled_shape(quick);
             let mut rng = SmallRng::seed_from_u64(7000 + i as u64);
             let a = prune::random_unstructured(shape.m, shape.k, 0.95, &mut rng);
             model.speedup(GranularityHw::RowWise, &a)
@@ -587,25 +546,31 @@ pub fn print_headline() {
 pub fn print_kernel_ablation() {
     let quick = quick_factor();
     println!("## Ablation: Listing-1 naive kernel vs optimized kernel (VEGETA-S-16-2+OF)");
-    let engine = EngineConfig::vegeta_s(16)
-        .expect("valid")
-        .with_output_forwarding(true);
+    let session = Session::new(
+        EngineConfig::vegeta_s(16)
+            .expect("valid")
+            .with_output_forwarding(true),
+    );
     println!(
         "{:<14} {:>12} {:>12} {:>9}",
         "layer", "naive cyc", "opt cyc", "speedup"
     );
     for layer in table4().iter().take(4) {
-        let shape = layer_shape(layer, quick.max(2));
-        let naive = build_listing1_trace(shape, SparseMode::Nm2of4);
-        let opt = build_trace(shape, SparseMode::Nm2of4, KernelOptions::default());
-        let naive_res = run_trace(&naive, &engine, SimConfig::default());
-        let opt_res = run_trace(&opt, &engine, SimConfig::default());
+        let shape = layer.scaled_shape(quick.max(2));
+        let naive = session.run_spec(
+            layer.name,
+            shape,
+            &KernelSpec::Listing1 {
+                mode: SparseMode::Nm2of4,
+            },
+        );
+        let opt = session.run_spec(layer.name, shape, &KernelSpec::tiled(SparseMode::Nm2of4));
         println!(
             "{:<14} {:>12} {:>12} {:>9.2}",
             layer.name,
-            naive_res.core_cycles,
-            opt_res.core_cycles,
-            naive_res.core_cycles as f64 / opt_res.core_cycles as f64
+            naive.cycles,
+            opt.cycles,
+            naive.cycles as f64 / opt.cycles as f64
         );
     }
     println!();
@@ -616,36 +581,35 @@ pub fn print_of_ablation() {
     let quick = quick_factor().max(2);
     println!("## Ablation: output forwarding across VEGETA-S designs (2:4 BERT-L2)");
     let layer = table4()[7];
-    let shape = layer_shape(&layer, quick);
-    let trace = build_trace(shape, SparseMode::Nm2of4, KernelOptions::default());
+    let shape = layer.scaled_shape(quick);
+    let rotated_spec = KernelSpec::tiled(SparseMode::Nm2of4);
     // A dependent variant: a single accumulator serializes the k loop.
-    let dep_trace = build_trace(
-        shape,
-        SparseMode::Nm2of4,
-        KernelOptions {
+    let dep_spec = KernelSpec::Tiled {
+        mode: SparseMode::Nm2of4,
+        opts: KernelOptions {
             unroll: 1,
             loop_overhead: true,
         },
-    );
+    };
     println!(
         "{:<14} {:>14} {:>14} {:>14}",
         "engine", "rotated accs", "1 acc, no OF", "1 acc, OF"
     );
+    let cache = std::sync::Arc::new(TraceCache::new());
     for alpha in [1usize, 2, 4, 8, 16] {
         let base = EngineConfig::vegeta_s(alpha).expect("valid");
-        let rotated = run_trace(&trace, &base, SimConfig::default());
-        let no_of = run_trace(&dep_trace, &base, SimConfig::default());
-        let with_of = run_trace(
-            &dep_trace,
-            &base.clone().with_output_forwarding(true),
-            SimConfig::default(),
-        );
+        let session = Session::new(base.clone()).with_cache(std::sync::Arc::clone(&cache));
+        let of_session = Session::new(base.with_output_forwarding(true))
+            .with_cache(std::sync::Arc::clone(&cache));
+        let rotated = session.run_spec(layer.name, shape, &rotated_spec);
+        let no_of = session.run_spec(layer.name, shape, &dep_spec);
+        let with_of = of_session.run_spec(layer.name, shape, &dep_spec);
         println!(
             "{:<14} {:>14} {:>14} {:>14}",
             format!("VEGETA-S-{alpha}-2"),
-            rotated.core_cycles,
-            no_of.core_cycles,
-            with_of.core_cycles
+            rotated.cycles,
+            no_of.cycles,
+            with_of.cycles
         );
     }
     println!();
@@ -753,16 +717,47 @@ mod tests {
     #[test]
     fn fig13_vegeta_beats_dense_baseline_on_sparse_layer() {
         let shape = GemmShape::new(32, 32, 256);
-        let engines = [EngineConfig::rasa_dm(), EngineConfig::vegeta_s(16).unwrap()];
-        let mut cycles = Vec::new();
-        for engine in &engines {
-            let mode = execution_mode(engine, NmRatio::S2_4);
-            let trace = build_trace(shape, mode, KernelOptions::default());
-            cycles.push(run_trace(&trace, engine, SimConfig::default()).core_cycles);
-        }
+        let cycles: Vec<u64> = [EngineConfig::rasa_dm(), EngineConfig::vegeta_s(16).unwrap()]
+            .into_iter()
+            .map(|engine| {
+                Session::new(engine)
+                    .run_shape("bench-smoke", shape, NmRatio::S2_4)
+                    .cycles
+            })
+            .collect();
         assert!(
             cycles[1] < cycles[0],
             "VEGETA-S must beat RASA-DM on a 2:4 layer"
         );
+    }
+
+    #[test]
+    fn fig13_json_artifact_is_valid_and_complete() {
+        let small = Sweep::new()
+            .with_engines(figure13_engines())
+            .with_layers(table4().into_iter().take(2))
+            .with_sparsities(figure13_sparsities())
+            .with_scale(16)
+            .run();
+        // Process-unique dir: no env mutation, no clash with parallel runs.
+        let dir = std::env::temp_dir().join(format!("vegeta_bench_json_{}", std::process::id()));
+        let path = write_fig13_json_to(&small, 16, &dir).expect("json written");
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let doc = JsonValue::parse(&text).expect("valid JSON");
+        let speedups = doc
+            .get("geomean_speedup_vs_baseline")
+            .expect("speedup section");
+        let at_14 = speedups.get("1:4").expect("1:4 sparsity present");
+        let of_name = figure13_engines().last().unwrap().name().to_string();
+        assert_eq!(of_name, "VEGETA-S-16-2+OF");
+        let best = at_14
+            .get(&of_name)
+            .and_then(JsonValue::as_f64)
+            .expect("best engine present");
+        assert!(best > 1.0, "VEGETA-S-16-2+OF must beat RASA-DM at 1:4");
+        // The +OF variant must be its own column, not collapsed onto the
+        // non-OF design point: ten engines in, ten engines out.
+        assert_eq!(small.engines().len(), figure13_engines().len());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -18,22 +18,42 @@
 //! | [`isa`] | tile/metadata registers, Table II instructions, executor |
 //! | [`engine`] | Table III design points, dataflow + pipeline + cost models |
 //! | [`sim`] | trace-driven out-of-order CPU model |
-//! | [`kernels`] | tiled GEMM/SPMM/vector kernels, im2col |
+//! | [`kernels`] | tiled GEMM/SPMM/vector kernels, im2col, [`kernels::KernelSpec`] |
 //! | [`workloads`] | Table IV layers and weight generators |
 //! | [`model`] | roofline (Fig. 3) and granularity (Fig. 15) models |
-//! | [`experiments`] | end-to-end drivers used by benches and examples |
+//! | [`session`] | the experiment API: [`session::Session`] + [`session::Sweep`] |
+//! | [`report`] | structured run/sweep reports with JSON + CSV output |
+//! | [`json`] | the dependency-free JSON value behind the reports |
 //!
 //! # Quickstart
+//!
+//! Experiments are driven through a [`session::Session`] (one engine) or a
+//! [`session::Sweep`] (an engine × layer × sparsity grid, run on a worker
+//! pool with trace memoization):
 //!
 //! ```
 //! use vegeta::prelude::*;
 //!
-//! // Compress a 2:4-pruned tile and check the transform is lossless.
-//! let mut rng = rand_seed(42);
-//! let dense = vegeta::sparse::prune::random_nm(16, 64, NmRatio::S2_4, &mut rng);
-//! let tile = CompressedTile::compress(&dense, NmRatio::S2_4)?;
-//! assert_eq!(tile.decompress(), dense);
-//! # Ok::<(), vegeta::sparse::SparsityError>(())
+//! // How fast does VEGETA-S-16-2 run BERT-L2 with 2:4-sparse weights?
+//! // (The doctest scales the layer down 8x; drop `_scaled` for full size.)
+//! let layer = table4()[7];
+//! let session = Session::new(EngineConfig::vegeta_s(16).unwrap());
+//! let report = session.run_layer_scaled(&layer, NmRatio::S2_4, 8);
+//! assert!(report.cycles > 0);
+//! println!("{} on {}: {}", report.workload, report.engine, report.to_json());
+//!
+//! // The same question across a grid: engines x sparsities, in parallel,
+//! // building each distinct kernel trace once.
+//! let grid = Sweep::new()
+//!     .with_engines([EngineConfig::rasa_dm(), EngineConfig::vegeta_s(16).unwrap()])
+//!     .with_layer(layer)
+//!     .with_sparsities([NmRatio::D4_4, NmRatio::S2_4])
+//!     .with_scale(8)
+//!     .run();
+//! let speedup = grid
+//!     .geomean_speedup("RASA-DM (VEGETA-D-1-2)", "VEGETA-S-16-2", "2:4")
+//!     .unwrap();
+//! assert!(speedup > 1.0);
 //! ```
 
 #![warn(missing_docs)]
@@ -47,7 +67,9 @@ pub use vegeta_sim as sim;
 pub use vegeta_sparse as sparse;
 pub use vegeta_workloads as workloads;
 
-pub mod experiments;
+pub mod json;
+pub mod report;
+pub mod session;
 
 /// Seeds a small fast RNG (re-exported convenience for examples and docs).
 pub fn rand_seed(seed: u64) -> impl rand::Rng {
@@ -57,11 +79,14 @@ pub fn rand_seed(seed: u64) -> impl rand::Rng {
 
 /// The most commonly used items across the workspace.
 pub mod prelude {
-    pub use crate::experiments::{execution_mode, layer_trace, run_layer, run_trace};
     pub use crate::rand_seed;
+    pub use crate::report::{geomean, NetworkReport, RunReport, SweepReport};
+    pub use crate::session::{figure13_engines, figure13_sparsities, quick_factor, Session, Sweep};
     pub use vegeta_engine::{CostModel, EngineConfig, EngineTimer};
     pub use vegeta_isa::{Executor, Inst, Memory, TReg, UReg, VReg};
-    pub use vegeta_kernels::{GemmShape, KernelOptions, SparseMode};
+    pub use vegeta_kernels::{
+        EngineKernelExt, GemmShape, Kernel, KernelOptions, KernelSpec, SparseMode, TraceCache,
+    };
     pub use vegeta_model::{GranularityHw, GranularityModel};
     pub use vegeta_num::{Bf16, Matrix};
     pub use vegeta_sim::{CoreSim, SimConfig, SimResult};

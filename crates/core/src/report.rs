@@ -1,0 +1,514 @@
+//! Structured, self-describing experiment reports.
+//!
+//! Every [`crate::session`] run returns a [`RunReport`] (one
+//! engine × workload × sparsity cell); grid runs aggregate them into a
+//! [`SweepReport`] and network runs into a [`NetworkReport`]. Reports carry
+//! the raw counters of the simulation (cycles, instruction counts, engine
+//! busy time) plus enough labels to be interpreted standalone, and
+//! serialize to JSON and CSV with no external dependencies
+//! ([`crate::json`]).
+
+use std::path::PathBuf;
+
+use vegeta_kernels::GemmShape;
+
+use crate::json::{JsonError, JsonValue};
+
+/// Geometric mean of a slice of positive values; `None` when empty.
+///
+/// # Example
+///
+/// ```
+/// use vegeta::report::geomean;
+///
+/// assert_eq!(geomean(&[2.0, 8.0]), Some(4.0));
+/// assert_eq!(geomean(&[]), None);
+/// ```
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some((values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp())
+}
+
+/// Why a report failed to deserialize.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportError {
+    /// The document was not valid JSON.
+    Json(JsonError),
+    /// A required field was missing or had the wrong type.
+    Field(&'static str),
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::Json(e) => write!(f, "{e}"),
+            ReportError::Field(name) => write!(f, "missing or mistyped field '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl From<JsonError> for ReportError {
+    fn from(e: JsonError) -> Self {
+        ReportError::Json(e)
+    }
+}
+
+/// The result of simulating one workload on one engine at one weight
+/// sparsity: labels plus the raw counters of the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Workload label (a Table IV layer name, or an ad-hoc label).
+    pub workload: String,
+    /// Engine design-point name.
+    pub engine: String,
+    /// Weight-sparsity label (for example `"2:4"`).
+    pub sparsity: String,
+    /// Kernel that was executed (self-describing, from
+    /// [`vegeta_kernels::Kernel::name`]).
+    pub kernel: String,
+    /// The GEMM that was simulated.
+    pub shape: GemmShape,
+    /// Runtime in core cycles.
+    pub cycles: u64,
+    /// Dynamic instructions simulated.
+    pub instructions: u64,
+    /// Tile compute instructions dispatched to the matrix engine.
+    pub tile_compute: u64,
+    /// Core cycles during which the matrix engine had work in flight.
+    pub engine_busy_cycles: u64,
+    /// Dense-equivalent MACs of the workload (the engine skips a fraction
+    /// given by the sparsity).
+    pub macs: u64,
+    /// Core clock the run was simulated at, in GHz.
+    pub core_ghz: f64,
+}
+
+impl RunReport {
+    /// Fraction of the runtime the matrix engine had work in flight.
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.engine_busy_cycles as f64 / self.cycles as f64
+    }
+
+    /// Instructions per core cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.instructions as f64 / self.cycles as f64
+    }
+
+    /// Runtime in seconds at the simulated core clock.
+    pub fn seconds(&self) -> f64 {
+        self.cycles as f64 / (self.core_ghz * 1e9)
+    }
+
+    /// Effective throughput in TFLOP/s (dense-equivalent work over
+    /// runtime).
+    pub fn effective_tflops(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        2.0 * self.macs as f64 / self.seconds() / 1e12
+    }
+
+    /// The report as a JSON value.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("workload".into(), self.workload.as_str().into()),
+            ("engine".into(), self.engine.as_str().into()),
+            ("sparsity".into(), self.sparsity.as_str().into()),
+            ("kernel".into(), self.kernel.as_str().into()),
+            ("m".into(), self.shape.m.into()),
+            ("n".into(), self.shape.n.into()),
+            ("k".into(), self.shape.k.into()),
+            ("cycles".into(), self.cycles.into()),
+            ("instructions".into(), self.instructions.into()),
+            ("tile_compute".into(), self.tile_compute.into()),
+            ("engine_busy_cycles".into(), self.engine_busy_cycles.into()),
+            ("macs".into(), self.macs.into()),
+            ("core_ghz".into(), self.core_ghz.into()),
+            ("utilization".into(), self.utilization().into()),
+            ("effective_tflops".into(), self.effective_tflops().into()),
+        ])
+    }
+
+    /// Serializes to a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+
+    /// Parses a report back from [`RunReport::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`ReportError::Json`] on malformed JSON, [`ReportError::Field`] when
+    /// a required field is missing or mistyped. Derived fields
+    /// (`utilization`, `effective_tflops`) are recomputed, not read.
+    pub fn from_json(text: &str) -> Result<RunReport, ReportError> {
+        let v = JsonValue::parse(text)?;
+        Self::from_json_value(&v)
+    }
+
+    /// Parses a report from an already-parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// [`ReportError::Field`] when a required field is missing or mistyped.
+    pub fn from_json_value(v: &JsonValue) -> Result<RunReport, ReportError> {
+        let s = |name: &'static str| -> Result<String, ReportError> {
+            v.get(name)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or(ReportError::Field(name))
+        };
+        let u = |name: &'static str| -> Result<u64, ReportError> {
+            v.get(name)
+                .and_then(JsonValue::as_u64)
+                .ok_or(ReportError::Field(name))
+        };
+        Ok(RunReport {
+            workload: s("workload")?,
+            engine: s("engine")?,
+            sparsity: s("sparsity")?,
+            kernel: s("kernel")?,
+            shape: GemmShape::new(u("m")? as usize, u("n")? as usize, u("k")? as usize),
+            cycles: u("cycles")?,
+            instructions: u("instructions")?,
+            tile_compute: u("tile_compute")?,
+            engine_busy_cycles: u("engine_busy_cycles")?,
+            macs: u("macs")?,
+            core_ghz: v
+                .get("core_ghz")
+                .and_then(JsonValue::as_f64)
+                .ok_or(ReportError::Field("core_ghz"))?,
+        })
+    }
+
+    /// The CSV header matching [`RunReport::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "workload,sparsity,engine,kernel,m,n,k,cycles,instructions,utilization,effective_tflops"
+    }
+
+    /// One CSV row (fields quoted where needed — engine names contain
+    /// commas-free parentheses only, but quote defensively).
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{:.4},{:.4}",
+            csv_field(&self.workload),
+            csv_field(&self.sparsity),
+            csv_field(&self.engine),
+            csv_field(&self.kernel),
+            self.shape.m,
+            self.shape.n,
+            self.shape.k,
+            self.cycles,
+            self.instructions,
+            self.utilization(),
+            self.effective_tflops()
+        )
+    }
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// A layer suite run back to back on one engine (network inference order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkReport {
+    /// Engine design-point name.
+    pub engine: String,
+    /// Weight-sparsity label.
+    pub sparsity: String,
+    /// Per-layer reports in execution order.
+    pub layers: Vec<RunReport>,
+}
+
+impl NetworkReport {
+    /// Total core cycles across the suite.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|r| r.cycles).sum()
+    }
+
+    /// Total dense-equivalent MACs of the suite.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|r| r.macs).sum()
+    }
+
+    /// Effective throughput in TFLOP/s, at the core clock the layers were
+    /// actually simulated at (every layer of a suite shares its session's
+    /// clock).
+    pub fn effective_tflops(&self) -> f64 {
+        let cycles = self.total_cycles();
+        let Some(core_ghz) = self.layers.first().map(|r| r.core_ghz) else {
+            return 0.0;
+        };
+        if cycles == 0 {
+            return 0.0;
+        }
+        let seconds = cycles as f64 / (core_ghz * 1e9);
+        2.0 * self.total_macs() as f64 / seconds / 1e12
+    }
+
+    /// Serializes the suite (totals plus per-layer cells) to JSON.
+    pub fn to_json(&self) -> String {
+        JsonValue::Object(vec![
+            ("engine".into(), self.engine.as_str().into()),
+            ("sparsity".into(), self.sparsity.as_str().into()),
+            ("total_cycles".into(), self.total_cycles().into()),
+            ("total_macs".into(), self.total_macs().into()),
+            (
+                "layers".into(),
+                JsonValue::Array(self.layers.iter().map(RunReport::to_json_value).collect()),
+            ),
+        ])
+        .to_string()
+    }
+}
+
+/// The result of a [`crate::session::Sweep`]: every grid cell plus
+/// execution metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// One report per engine × workload × sparsity cell, in grid order
+    /// (workload-major, then sparsity, then engine).
+    pub cells: Vec<RunReport>,
+    /// Distinct traces built during the sweep (cache misses).
+    pub traces_built: u64,
+    /// Trace-cache hits during the sweep.
+    pub trace_cache_hits: u64,
+    /// Worker threads the sweep ran on.
+    pub threads: usize,
+}
+
+impl SweepReport {
+    /// The cell for a given workload/engine/sparsity combination.
+    pub fn get(&self, workload: &str, engine: &str, sparsity: &str) -> Option<&RunReport> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == workload && c.engine == engine && c.sparsity == sparsity)
+    }
+
+    /// Unique engine names, in first-appearance (grid) order.
+    pub fn engines(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for c in &self.cells {
+            if !names.contains(&c.engine.as_str()) {
+                names.push(&c.engine);
+            }
+        }
+        names
+    }
+
+    /// Unique workload names, in first-appearance (grid) order.
+    pub fn workloads(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for c in &self.cells {
+            if !names.contains(&c.workload.as_str()) {
+                names.push(&c.workload);
+            }
+        }
+        names
+    }
+
+    /// Unique sparsity labels, in first-appearance (grid) order.
+    pub fn sparsities(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for c in &self.cells {
+            if !names.contains(&c.sparsity.as_str()) {
+                names.push(&c.sparsity);
+            }
+        }
+        names
+    }
+
+    /// The largest cycle count of any cell (the paper's Fig. 13
+    /// normalization denominator); `None` for an empty sweep.
+    pub fn max_cycles(&self) -> Option<u64> {
+        self.cells.iter().map(|c| c.cycles).max()
+    }
+
+    /// Geometric-mean speedup of `engine` over `baseline` across every
+    /// workload at the given sparsity; `None` if any cell is missing or the
+    /// grid is empty.
+    pub fn geomean_speedup(&self, baseline: &str, engine: &str, sparsity: &str) -> Option<f64> {
+        let ratios: Option<Vec<f64>> = self
+            .workloads()
+            .iter()
+            .map(|w| {
+                let base = self.get(w, baseline, sparsity)?;
+                let ours = self.get(w, engine, sparsity)?;
+                Some(base.cycles as f64 / ours.cycles as f64)
+            })
+            .collect();
+        geomean(&ratios?)
+    }
+
+    /// The whole grid as CSV (header row included).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(RunReport::csv_header());
+        out.push('\n');
+        for cell in &self.cells {
+            out.push_str(&cell.csv_row());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The whole grid as a JSON object (metadata plus a `cells` array).
+    pub fn to_json(&self) -> String {
+        JsonValue::Object(vec![
+            ("traces_built".into(), self.traces_built.into()),
+            ("trace_cache_hits".into(), self.trace_cache_hits.into()),
+            ("threads".into(), self.threads.into()),
+            (
+                "cells".into(),
+                JsonValue::Array(self.cells.iter().map(RunReport::to_json_value).collect()),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Writes the CSV into `$VEGETA_CSV_DIR/<name>.csv` when that
+    /// environment variable is set (creating the directory); returns the
+    /// path written, or `None` when the variable is unset/empty or the
+    /// write fails (a diagnostic goes to stderr — artifact dumps must never
+    /// abort an experiment).
+    pub fn save_csv(&self, name: &str) -> Option<PathBuf> {
+        let dir = std::env::var("VEGETA_CSV_DIR")
+            .ok()
+            .filter(|d| !d.is_empty())?;
+        let path = PathBuf::from(dir).join(format!("{name}.csv"));
+        match std::fs::create_dir_all(path.parent().expect("joined path has a parent"))
+            .and_then(|_| std::fs::write(&path, self.to_csv()))
+        {
+            Ok(()) => {
+                eprintln!("wrote {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("could not write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(workload: &str, engine: &str, sparsity: &str, cycles: u64) -> RunReport {
+        RunReport {
+            workload: workload.into(),
+            engine: engine.into(),
+            sparsity: sparsity.into(),
+            kernel: "tiled-dense-u3".into(),
+            shape: GemmShape::new(64, 64, 256),
+            cycles,
+            instructions: 4 * cycles,
+            tile_compute: 128,
+            engine_busy_cycles: cycles / 2,
+            macs: 1_048_576,
+            core_ghz: 2.0,
+        }
+    }
+
+    #[test]
+    fn geomean_handles_empty_and_values() {
+        assert_eq!(geomean(&[]), None);
+        let g = geomean(&[2.0, 2.0, 2.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+        let g = geomean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_report_json_round_trips() {
+        let r = sample("BERT-L2", "RASA-DM (VEGETA-D-1-2)", "2:4", 123_456);
+        let back = RunReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields() {
+        assert!(matches!(
+            RunReport::from_json("{\"workload\": \"x\"}"),
+            Err(ReportError::Field(_))
+        ));
+        assert!(matches!(
+            RunReport::from_json("not json"),
+            Err(ReportError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = sample("L", "E", "4:4", 1000);
+        assert!((r.utilization() - 0.5).abs() < 1e-12);
+        assert!((r.ipc() - 4.0).abs() < 1e-12);
+        assert!(r.effective_tflops() > 0.0);
+        let zero = RunReport { cycles: 0, ..r };
+        assert_eq!(zero.utilization(), 0.0);
+        assert_eq!(zero.effective_tflops(), 0.0);
+    }
+
+    #[test]
+    fn sweep_report_lookup_and_geomean() {
+        let report = SweepReport {
+            cells: vec![
+                sample("L1", "base", "2:4", 2000),
+                sample("L1", "fast", "2:4", 1000),
+                sample("L2", "base", "2:4", 4000),
+                sample("L2", "fast", "2:4", 1000),
+            ],
+            traces_built: 2,
+            trace_cache_hits: 2,
+            threads: 1,
+        };
+        assert_eq!(report.workloads(), vec!["L1", "L2"]);
+        assert_eq!(report.engines(), vec!["base", "fast"]);
+        assert_eq!(report.sparsities(), vec!["2:4"]);
+        assert_eq!(report.max_cycles(), Some(4000));
+        let g = report.geomean_speedup("base", "fast", "2:4").unwrap();
+        assert!((g - (2.0f64 * 4.0).sqrt()).abs() < 1e-12);
+        assert_eq!(report.geomean_speedup("base", "missing", "2:4"), None);
+        let csv = report.to_csv();
+        assert!(csv.starts_with("workload,"));
+        assert_eq!(csv.lines().count(), 5);
+    }
+
+    #[test]
+    fn csv_quotes_awkward_fields() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn network_report_totals() {
+        let report = NetworkReport {
+            engine: "E".into(),
+            sparsity: "4:4".into(),
+            layers: vec![
+                sample("L1", "E", "4:4", 1000),
+                sample("L2", "E", "4:4", 3000),
+            ],
+        };
+        assert_eq!(report.total_cycles(), 4000);
+        assert_eq!(report.total_macs(), 2 * 1_048_576);
+        assert!(report.effective_tflops() > 0.0);
+        assert!(report.to_json().contains("\"total_cycles\":4000"));
+    }
+}

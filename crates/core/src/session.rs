@@ -1,0 +1,641 @@
+//! The first-class experiment API: [`Session`] and [`Sweep`].
+//!
+//! This module is the §VI evaluation flow as a library. A [`Session`] binds
+//! one engine design point to a simulator configuration, kernel options and
+//! a shared memoizing [`TraceCache`]; it runs single layers, ad-hoc shapes,
+//! explicit [`KernelSpec`]s, prebuilt traces, or whole layer suites, and
+//! returns structured [`RunReport`]s. A [`Sweep`] runs an
+//! engine × workload × sparsity grid — the shape of Fig. 13 — across a
+//! scoped worker pool, building each distinct trace once per sweep instead
+//! of once per engine.
+//!
+//! # Example
+//!
+//! ```
+//! use vegeta::prelude::*;
+//!
+//! // One cell: BERT-L2 (scaled down 8x for the doctest) at 2:4 on VEGETA.
+//! let layer = table4()[7];
+//! let session = Session::new(EngineConfig::vegeta_s(16).unwrap());
+//! let report = session.run_shape(layer.name, layer.scaled_shape(8), NmRatio::S2_4);
+//! assert!(report.cycles > 0 && report.kernel.contains("2of4"));
+//!
+//! // A grid: two engines x one layer x two sparsities, in parallel.
+//! let sweep = Sweep::new()
+//!     .with_engines([EngineConfig::rasa_dm(), EngineConfig::vegeta_s(16).unwrap()])
+//!     .with_layer(layer)
+//!     .with_sparsities([NmRatio::D4_4, NmRatio::S2_4])
+//!     .with_scale(8);
+//! let grid = sweep.run();
+//! assert_eq!(grid.cells.len(), 4);
+//! assert!(grid.geomean_speedup(
+//!     "RASA-DM (VEGETA-D-1-2)", "VEGETA-S-16-2", "2:4").unwrap() > 1.0);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use vegeta_engine::EngineConfig;
+use vegeta_isa::trace::Trace;
+use vegeta_kernels::{EngineKernelExt, Kernel, KernelOptions, KernelSpec, SparseMode, TraceCache};
+use vegeta_sim::{CoreSim, SimConfig};
+use vegeta_sparse::NmRatio;
+use vegeta_workloads::Layer;
+
+use crate::kernels::GemmShape;
+use crate::report::{NetworkReport, RunReport, SweepReport};
+
+/// The engine line-up of Fig. 13, in plot order: three dense baselines, the
+/// STC-like engine, the five VEGETA-S designs, and VEGETA-S-16-2 with
+/// output forwarding.
+pub fn figure13_engines() -> Vec<EngineConfig> {
+    let mut engines = vec![
+        EngineConfig::rasa_sm(),
+        EngineConfig::rasa_dm(),
+        EngineConfig::tmul_like(),
+        EngineConfig::stc_like(),
+    ];
+    for alpha in [1usize, 2, 4, 8, 16] {
+        engines.push(EngineConfig::vegeta_s(alpha).expect("valid alpha"));
+    }
+    engines.push(
+        EngineConfig::vegeta_s(16)
+            .expect("valid alpha")
+            .with_output_forwarding(true),
+    );
+    engines
+}
+
+/// The three structured weight sparsities of the evaluation, sparsest last.
+pub fn figure13_sparsities() -> Vec<NmRatio> {
+    vec![NmRatio::D4_4, NmRatio::S2_4, NmRatio::S1_4]
+}
+
+/// The layer scale factor requested via the `VEGETA_QUICK` environment
+/// variable: 4 when quick mode is on (any non-empty value other than
+/// `"0"`), 1 otherwise. The single source of truth for quick-mode
+/// detection across benches, binaries and examples; pass the result to
+/// [`Sweep::with_scale`] or [`Session::run_layer_scaled`].
+pub fn quick_factor() -> usize {
+    match std::env::var("VEGETA_QUICK") {
+        Ok(v) if v != "0" && !v.is_empty() => 4,
+        _ => 1,
+    }
+}
+
+/// Simulates one `(engine, shape, spec)` cell and wraps it in a report.
+fn run_cell(
+    engine: &EngineConfig,
+    sim: &SimConfig,
+    cache: &TraceCache,
+    workload: &str,
+    sparsity: String,
+    shape: GemmShape,
+    spec: &KernelSpec,
+) -> RunReport {
+    let trace = cache.get_or_build(shape, spec);
+    report_from_trace(engine, sim, workload, sparsity, shape, spec.name(), &trace)
+}
+
+fn report_from_trace(
+    engine: &EngineConfig,
+    sim: &SimConfig,
+    workload: &str,
+    sparsity: String,
+    shape: GemmShape,
+    kernel: String,
+    trace: &Trace,
+) -> RunReport {
+    let res = CoreSim::new(sim.clone(), engine.clone()).run(trace);
+    RunReport {
+        workload: workload.to_string(),
+        engine: engine.name().to_string(),
+        sparsity,
+        kernel,
+        shape,
+        cycles: res.core_cycles,
+        instructions: res.instructions,
+        tile_compute: res.tile_compute,
+        engine_busy_cycles: res.engine_busy_cycles,
+        macs: shape.macs(),
+        core_ghz: sim.core_ghz,
+    }
+}
+
+/// One engine bound to a simulator configuration, kernel options and a
+/// trace cache: the single-engine experiment driver.
+///
+/// Sessions are cheap to clone-per-engine while sharing one cache: pass the
+/// same [`Arc<TraceCache>`] via [`Session::with_cache`] and identical
+/// kernels are built once across all of them.
+#[derive(Debug, Clone)]
+pub struct Session {
+    engine: EngineConfig,
+    sim: SimConfig,
+    opts: KernelOptions,
+    cache: Arc<TraceCache>,
+}
+
+impl Session {
+    /// A session for one engine with default §VI-B simulator parameters,
+    /// default kernel options, and a private trace cache.
+    pub fn new(engine: EngineConfig) -> Self {
+        Session {
+            engine,
+            sim: SimConfig::default(),
+            opts: KernelOptions::default(),
+            cache: Arc::new(TraceCache::new()),
+        }
+    }
+
+    /// Replaces the simulator configuration.
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Replaces the kernel options used for layer/shape runs.
+    pub fn with_kernel_options(mut self, opts: KernelOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Shares a trace cache (for example across per-engine sessions).
+    pub fn with_cache(mut self, cache: Arc<TraceCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The engine this session simulates.
+    pub fn engine(&self) -> &EngineConfig {
+        &self.engine
+    }
+
+    /// The session's trace cache.
+    pub fn cache(&self) -> &Arc<TraceCache> {
+        &self.cache
+    }
+
+    /// The execution mode this session's engine uses for the given weight
+    /// pattern (delegates to [`EngineKernelExt::execution_mode`]).
+    pub fn execution_mode(&self, weights: NmRatio) -> SparseMode {
+        self.engine.execution_mode(weights)
+    }
+
+    /// Runs an ad-hoc GEMM shape at the given weight sparsity, picking the
+    /// kernel the engine would execute (§VI-C).
+    pub fn run_shape(&self, workload: &str, shape: GemmShape, weights: NmRatio) -> RunReport {
+        let spec = self.engine.kernel_spec(weights, self.opts);
+        run_cell(
+            &self.engine,
+            &self.sim,
+            &self.cache,
+            workload,
+            weights.to_string(),
+            shape,
+            &spec,
+        )
+    }
+
+    /// Runs one Table IV layer at full size.
+    pub fn run_layer(&self, layer: &Layer, weights: NmRatio) -> RunReport {
+        self.run_shape(layer.name, layer.gemm_shape(), weights)
+    }
+
+    /// Runs one layer scaled down by `factor` (see [`Layer::scaled_shape`]).
+    pub fn run_layer_scaled(&self, layer: &Layer, weights: NmRatio, factor: usize) -> RunReport {
+        self.run_shape(layer.name, layer.scaled_shape(factor), weights)
+    }
+
+    /// Runs an explicit kernel spec on a shape (for ablations and
+    /// non-tiled kernels). The sparsity label is derived from the spec's
+    /// mode, `"-"` for kernels without one.
+    pub fn run_spec(&self, workload: &str, shape: GemmShape, spec: &KernelSpec) -> RunReport {
+        let sparsity = spec
+            .mode()
+            .map(|m| m.ratio().to_string())
+            .unwrap_or_else(|| "-".to_string());
+        run_cell(
+            &self.engine,
+            &self.sim,
+            &self.cache,
+            workload,
+            sparsity,
+            shape,
+            spec,
+        )
+    }
+
+    /// Runs a prebuilt trace (bypassing kernel selection and the cache).
+    pub fn run_trace(&self, workload: &str, shape: GemmShape, trace: &Trace) -> RunReport {
+        report_from_trace(
+            &self.engine,
+            &self.sim,
+            workload,
+            "-".to_string(),
+            shape,
+            "prebuilt-trace".to_string(),
+            trace,
+        )
+    }
+
+    /// Runs a layer suite back to back, as a network inference would (each
+    /// layer's GEMM executes in full before the next begins).
+    pub fn run_network(&self, layers: &[Layer], weights: NmRatio) -> NetworkReport {
+        self.run_network_scaled(layers, weights, 1)
+    }
+
+    /// Runs a layer suite with every layer scaled down by `factor` (see
+    /// [`Layer::scaled_shape`]); 1 means full size.
+    pub fn run_network_scaled(
+        &self,
+        layers: &[Layer],
+        weights: NmRatio,
+        factor: usize,
+    ) -> NetworkReport {
+        NetworkReport {
+            engine: self.engine.name().to_string(),
+            sparsity: weights.to_string(),
+            layers: layers
+                .iter()
+                .map(|l| self.run_layer_scaled(l, weights, factor))
+                .collect(),
+        }
+    }
+}
+
+/// A grid runner over engine × workload × sparsity combinations.
+///
+/// Cells execute across a scoped `std::thread` worker pool (all distinct
+/// traces memoized in one shared [`TraceCache`]), and the report's cell
+/// order is deterministic — workload-major, then sparsity, then engine —
+/// regardless of thread count.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    engines: Vec<EngineConfig>,
+    layers: Vec<Layer>,
+    sparsities: Vec<NmRatio>,
+    scale: usize,
+    sim: SimConfig,
+    opts: KernelOptions,
+    threads: usize,
+    cache: Arc<TraceCache>,
+}
+
+impl Default for Sweep {
+    fn default() -> Self {
+        Sweep {
+            engines: Vec::new(),
+            layers: Vec::new(),
+            sparsities: Vec::new(),
+            scale: 1,
+            sim: SimConfig::default(),
+            opts: KernelOptions::default(),
+            threads: 0,
+            cache: Arc::new(TraceCache::new()),
+        }
+    }
+}
+
+impl Sweep {
+    /// An empty sweep with default simulator parameters and kernel options.
+    pub fn new() -> Self {
+        Sweep::default()
+    }
+
+    /// The full Fig. 13 grid: the ten-engine line-up × the twelve Table IV
+    /// layers × {4:4, 2:4, 1:4}.
+    pub fn figure13() -> Self {
+        Sweep::new()
+            .with_engines(figure13_engines())
+            .with_layers(vegeta_workloads::table4())
+            .with_sparsities(figure13_sparsities())
+    }
+
+    /// Adds one engine to the grid.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engines.push(engine);
+        self
+    }
+
+    /// Adds engines to the grid.
+    pub fn with_engines(mut self, engines: impl IntoIterator<Item = EngineConfig>) -> Self {
+        self.engines.extend(engines);
+        self
+    }
+
+    /// Adds one workload layer to the grid.
+    pub fn with_layer(mut self, layer: Layer) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Adds workload layers to the grid.
+    pub fn with_layers(mut self, layers: impl IntoIterator<Item = Layer>) -> Self {
+        self.layers.extend(layers);
+        self
+    }
+
+    /// Adds one weight sparsity to the grid.
+    pub fn with_sparsity(mut self, ratio: NmRatio) -> Self {
+        self.sparsities.push(ratio);
+        self
+    }
+
+    /// Adds weight sparsities to the grid.
+    pub fn with_sparsities(mut self, ratios: impl IntoIterator<Item = NmRatio>) -> Self {
+        self.sparsities.extend(ratios);
+        self
+    }
+
+    /// Scales every layer down by `factor` (1 = full size); the
+    /// `VEGETA_QUICK` proxy shapes use 4.
+    pub fn with_scale(mut self, factor: usize) -> Self {
+        self.scale = factor;
+        self
+    }
+
+    /// Replaces the simulator configuration.
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Replaces the kernel options.
+    pub fn with_kernel_options(mut self, opts: KernelOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Sets the worker-thread count: 0 (the default) sizes the pool to the
+    /// available parallelism, 1 forces the serial path.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Shares a trace cache across sweeps.
+    pub fn with_cache(mut self, cache: Arc<TraceCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Grid cells this sweep will run.
+    pub fn cell_count(&self) -> usize {
+        self.engines.len() * self.layers.len() * self.sparsities.len()
+    }
+
+    fn resolved_threads(&self) -> usize {
+        let wanted = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        wanted.min(self.cell_count()).max(1)
+    }
+
+    /// Runs the grid and returns the report; cells appear workload-major,
+    /// then sparsity, then engine, whatever the thread count.
+    pub fn run(&self) -> SweepReport {
+        // Enumerate cells in their deterministic report order.
+        let cells: Vec<(&Layer, NmRatio, &EngineConfig)> = self
+            .layers
+            .iter()
+            .flat_map(|layer| {
+                self.sparsities.iter().flat_map(move |&ratio| {
+                    self.engines
+                        .iter()
+                        .map(move |engine| (layer, ratio, engine))
+                })
+            })
+            .collect();
+        let threads = self.resolved_threads();
+        let hits_before = self.cache.hits();
+        let misses_before = self.cache.misses();
+
+        let run_one = |(layer, ratio, engine): &(&Layer, NmRatio, &EngineConfig)| -> RunReport {
+            let spec = engine.kernel_spec(*ratio, self.opts);
+            run_cell(
+                engine,
+                &self.sim,
+                &self.cache,
+                layer.name,
+                ratio.to_string(),
+                layer.scaled_shape(self.scale),
+                &spec,
+            )
+        };
+
+        let reports: Vec<RunReport> = if threads <= 1 {
+            cells.iter().map(run_one).collect()
+        } else {
+            // Workers pull cell indices from a shared counter and tag each
+            // report with its index, so the merged output is independent of
+            // scheduling.
+            let next = AtomicUsize::new(0);
+            let mut indexed: Vec<(usize, RunReport)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut mine = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(cell) = cells.get(i) else { break };
+                                mine.push((i, run_one(cell)));
+                            }
+                            mine
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("sweep worker panicked"))
+                    .collect()
+            });
+            indexed.sort_by_key(|(i, _)| *i);
+            indexed.into_iter().map(|(_, r)| r).collect()
+        };
+
+        SweepReport {
+            cells: reports,
+            traces_built: self.cache.misses() - misses_before,
+            trace_cache_hits: self.cache.hits() - hits_before,
+            threads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vegeta_workloads::table4;
+
+    #[test]
+    fn figure13_lineup_has_ten_entries() {
+        let engines = figure13_engines();
+        assert_eq!(engines.len(), 10);
+        assert!(engines.last().unwrap().output_forwarding());
+    }
+
+    #[test]
+    fn dense_engines_always_run_dense_kernels() {
+        for engine in [
+            EngineConfig::rasa_sm(),
+            EngineConfig::rasa_dm(),
+            EngineConfig::tmul_like(),
+        ] {
+            let session = Session::new(engine);
+            for w in [NmRatio::D4_4, NmRatio::S2_4, NmRatio::S1_4] {
+                assert_eq!(session.execution_mode(w), SparseMode::Dense);
+            }
+        }
+    }
+
+    #[test]
+    fn stc_like_runs_1_4_layers_in_2_4_mode() {
+        let session = Session::new(EngineConfig::stc_like());
+        assert_eq!(session.execution_mode(NmRatio::S1_4), SparseMode::Nm2of4);
+        assert_eq!(session.execution_mode(NmRatio::S2_4), SparseMode::Nm2of4);
+        assert_eq!(session.execution_mode(NmRatio::D4_4), SparseMode::Dense);
+    }
+
+    #[test]
+    fn vegeta_s_exploits_every_pattern() {
+        let session = Session::new(EngineConfig::vegeta_s(16).unwrap());
+        assert_eq!(session.execution_mode(NmRatio::S1_4), SparseMode::Nm1of4);
+        assert_eq!(session.execution_mode(NmRatio::S2_4), SparseMode::Nm2of4);
+        assert_eq!(session.execution_mode(NmRatio::D4_4), SparseMode::Dense);
+    }
+
+    #[test]
+    fn sparse_execution_is_faster_on_a_small_layer() {
+        // Scaled-down BERT-L2 for speed; the full layers run in the benches.
+        let layer = &table4()[7];
+        let s16 = EngineConfig::vegeta_s(16)
+            .unwrap()
+            .with_output_forwarding(true);
+        let dm = Session::new(EngineConfig::rasa_dm()).run_layer_scaled(layer, NmRatio::D4_4, 8);
+        let sp = Session::new(s16).run_layer_scaled(layer, NmRatio::S1_4, 8);
+        let speedup = dm.cycles as f64 / sp.cycles as f64;
+        assert!(
+            speedup > 2.0,
+            "1:4 on S-16-2+OF vs dense on RASA-DM: {speedup}"
+        );
+    }
+
+    #[test]
+    fn session_reports_are_self_describing() {
+        let layer = &table4()[7];
+        let report = Session::new(EngineConfig::vegeta_s(2).unwrap()).run_layer_scaled(
+            layer,
+            NmRatio::S2_4,
+            8,
+        );
+        assert_eq!(report.workload, "BERT-L2");
+        assert_eq!(report.engine, "VEGETA-S-2-2");
+        assert_eq!(report.sparsity, "2:4");
+        assert_eq!(report.kernel, "tiled-2of4-u3");
+        assert_eq!(report.shape, layer.scaled_shape(8));
+        assert_eq!(report.macs, layer.scaled_shape(8).macs());
+        assert!(report.instructions > 0 && report.utilization() > 0.0);
+    }
+
+    #[test]
+    fn sessions_share_a_cache_across_engines() {
+        let cache = Arc::new(TraceCache::new());
+        let layer = &table4()[7];
+        // Three dense engines run the *same* dense kernel: one build.
+        for engine in [
+            EngineConfig::rasa_sm(),
+            EngineConfig::rasa_dm(),
+            EngineConfig::tmul_like(),
+        ] {
+            let session = Session::new(engine).with_cache(Arc::clone(&cache));
+            session.run_layer_scaled(layer, NmRatio::S2_4, 8);
+        }
+        assert_eq!(cache.misses(), 1, "one dense trace serves all three");
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn network_runs_accumulate_layers_in_order() {
+        let layers = vegeta_workloads::layers_of(vegeta_workloads::Network::Bert);
+        let scaled: Vec<Layer> = layers.clone();
+        let session = Session::new(EngineConfig::vegeta_s(16).unwrap());
+        // Scale for test speed by running the scaled variants directly.
+        let reports: Vec<RunReport> = scaled
+            .iter()
+            .map(|l| session.run_layer_scaled(l, NmRatio::S2_4, 8))
+            .collect();
+        let network = NetworkReport {
+            engine: session.engine().name().to_string(),
+            sparsity: "2:4".into(),
+            layers: reports.clone(),
+        };
+        assert_eq!(network.layers.len(), 3);
+        assert_eq!(
+            network.total_cycles(),
+            reports.iter().map(|r| r.cycles).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn sweep_cell_order_is_deterministic_and_complete() {
+        let sweep = Sweep::new()
+            .with_engines([EngineConfig::rasa_dm(), EngineConfig::vegeta_s(4).unwrap()])
+            .with_layers(table4().into_iter().take(2))
+            .with_sparsities([NmRatio::D4_4, NmRatio::S2_4])
+            .with_scale(8);
+        assert_eq!(sweep.cell_count(), 8);
+        let report = sweep.run();
+        assert_eq!(report.cells.len(), 8);
+        // Workload-major, then sparsity, then engine.
+        assert_eq!(report.cells[0].workload, "ResNet50-L1");
+        assert_eq!(report.cells[0].sparsity, "4:4");
+        assert_eq!(report.cells[0].engine, "RASA-DM (VEGETA-D-1-2)");
+        assert_eq!(report.cells[1].engine, "VEGETA-S-4-2");
+        assert_eq!(report.cells[2].sparsity, "2:4");
+        assert_eq!(report.cells[4].workload, "ResNet50-L2");
+    }
+
+    #[test]
+    fn sweep_shares_traces_across_engines() {
+        // Dense baselines all execute the same dense kernel per layer:
+        // the cache must collapse them to one build per distinct trace.
+        let report = Sweep::new()
+            .with_engines([
+                EngineConfig::rasa_sm(),
+                EngineConfig::rasa_dm(),
+                EngineConfig::tmul_like(),
+            ])
+            .with_layer(table4()[7])
+            .with_sparsity(NmRatio::S2_4)
+            .with_scale(8)
+            .with_threads(1)
+            .run();
+        assert_eq!(report.traces_built, 1);
+        assert_eq!(report.trace_cache_hits, 2);
+    }
+
+    #[test]
+    fn parallel_and_serial_sweeps_agree() {
+        let grid = || {
+            Sweep::new()
+                .with_engines([
+                    EngineConfig::rasa_dm(),
+                    EngineConfig::stc_like(),
+                    EngineConfig::vegeta_s(16).unwrap(),
+                ])
+                .with_layers(table4().into_iter().take(3))
+                .with_sparsities([NmRatio::D4_4, NmRatio::S1_4])
+                .with_scale(8)
+        };
+        let serial = grid().with_threads(1).run();
+        let parallel = grid().with_threads(4).run();
+        assert_eq!(serial.cells, parallel.cells);
+        assert_eq!(serial.threads, 1);
+        assert!(parallel.threads > 1);
+    }
+}

@@ -23,6 +23,17 @@ fn prelude_reexports_compile_and_work() {
     let _ = KernelOptions::default();
     let _ = GranularityModel::default();
     let _ = Matrix::<Bf16>::zeros(4, 4);
+
+    // The experiment API: Session/Sweep, kernel polymorphism, reports.
+    let session = Session::new(EngineConfig::stc_like());
+    assert_eq!(session.execution_mode(NmRatio::S1_4), SparseMode::Nm2of4);
+    let spec = KernelSpec::tiled(SparseMode::Dense);
+    assert!(!spec.build(GemmShape::new(16, 16, 32)).is_empty());
+    let _cache = TraceCache::new();
+    let _sweep = Sweep::new();
+    assert_eq!(figure13_engines().len(), 10);
+    assert_eq!(figure13_sparsities().len(), 3);
+    assert_eq!(geomean(&[]), None);
 }
 
 #[test]

@@ -192,8 +192,17 @@ impl EngineConfig {
     }
 
     /// Enables or disables output forwarding (§V-C) and returns the config.
+    ///
+    /// The name gains (or loses) a `+OF` suffix so the two variants of a
+    /// design point stay distinguishable — reports and sweep grids key
+    /// engines by name.
     pub fn with_output_forwarding(mut self, enabled: bool) -> Self {
         self.output_forwarding = enabled;
+        if enabled && !self.name.ends_with("+OF") {
+            self.name.push_str("+OF");
+        } else if !enabled && self.name.ends_with("+OF") {
+            self.name.truncate(self.name.len() - 3);
+        }
         self
     }
 
@@ -329,6 +338,34 @@ impl EngineConfig {
             EngineKind::Dense => ratio.is_dense(),
             EngineKind::Sparse => ratio.m() as usize == self.m && ratio.n().is_power_of_two(),
         }
+    }
+
+    /// The pattern this engine *executes* for weights carrying the given
+    /// `N:M` pattern: the sparsest supported pattern that still covers the
+    /// weights, falling back to dense (§VI-C).
+    ///
+    /// A dense engine always executes dense; the STC-like engine executes
+    /// 1:4 weights with its 2:4 path, gaining nothing from the extra zeros.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vegeta_engine::EngineConfig;
+    /// use vegeta_sparse::NmRatio;
+    ///
+    /// let stc = EngineConfig::stc_like();
+    /// assert_eq!(stc.execution_pattern(NmRatio::S1_4), NmRatio::S2_4);
+    /// assert_eq!(
+    ///     EngineConfig::rasa_dm().execution_pattern(NmRatio::S1_4),
+    ///     NmRatio::D4_4
+    /// );
+    /// ```
+    pub fn execution_pattern(&self, weights: NmRatio) -> NmRatio {
+        self.supported_patterns()
+            .into_iter()
+            .filter(|p| p.n() >= weights.n() && p.m() == weights.m())
+            .min()
+            .unwrap_or(NmRatio::D4_4)
     }
 
     /// The sparsity patterns this engine accepts, densest last.
@@ -468,6 +505,19 @@ mod tests {
             .unwrap()
             .with_output_forwarding(true);
         assert!(e.output_forwarding());
+        assert_eq!(
+            e.name(),
+            "VEGETA-S-16-2+OF",
+            "OF variants must be distinguishable by name"
+        );
+        let back = e.with_output_forwarding(false);
+        assert_eq!(back.name(), "VEGETA-S-16-2");
+        // Idempotent: enabling twice must not stack suffixes.
+        let twice = EngineConfig::vegeta_s(16)
+            .unwrap()
+            .with_output_forwarding(true)
+            .with_output_forwarding(true);
+        assert_eq!(twice.name(), "VEGETA-S-16-2+OF");
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! Polymorphic kernel dispatch and trace memoization.
+//!
+//! Every trace builder in this crate — the optimized tiled GEMM/SPMM
+//! kernels, the naive Listing-1 kernel, the row-wise `TILE_SPMM_R` kernel
+//! and the vector-engine baseline — is reachable through one interface:
+//!
+//! * [`Kernel`] is the trait: anything that can emit a timing [`Trace`] for
+//!   a [`GemmShape`].
+//! * [`KernelSpec`] is the closed, hashable enumeration of this crate's
+//!   builders; it is the value the experiment drivers pass around, and the
+//!   cache key the sweep infrastructure memoizes on.
+//! * [`TraceCache`] memoizes built traces keyed on `(GemmShape,
+//!   KernelSpec)`, so a sweep over many engines builds each distinct trace
+//!   once instead of once per engine. It is `Sync` and cheap to share
+//!   across worker threads.
+//! * [`EngineKernelExt`] puts `execution_mode` on [`EngineConfig`]: the
+//!   kernel an engine runs for weights of a given `N:M` pattern.
+//!
+//! [`Trace`]: vegeta_isa::trace::Trace
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use vegeta_engine::EngineConfig;
+use vegeta_isa::trace::Trace;
+use vegeta_sparse::NmRatio;
+
+use crate::rowwise::build_rowwise_trace;
+use crate::tiled::{build_listing1_trace, build_trace, KernelOptions, SparseMode};
+use crate::vector::build_vector_gemm_trace;
+use crate::GemmShape;
+
+/// Anything that can emit a timing trace for a GEMM problem.
+///
+/// The trait is object-safe, so heterogeneous kernel collections
+/// (`Vec<Box<dyn Kernel>>`) work; [`KernelSpec`] is the closed enum form
+/// that additionally supports hashing and caching.
+pub trait Kernel {
+    /// A short human-readable kernel name (for reports and logs).
+    fn name(&self) -> String;
+
+    /// Builds the dynamic instruction trace for the given shape.
+    fn build(&self, shape: GemmShape) -> Trace;
+}
+
+/// A self-describing specification of one of this crate's trace builders.
+///
+/// `KernelSpec` is `Eq + Hash`, which makes it the natural cache key for
+/// memoizing trace construction (see [`TraceCache`]).
+///
+/// # Example
+///
+/// ```
+/// use vegeta_kernels::{GemmShape, Kernel, KernelOptions, KernelSpec, SparseMode};
+///
+/// let spec = KernelSpec::tiled(SparseMode::Nm2of4);
+/// let trace = spec.build(GemmShape::new(64, 64, 128));
+/// assert!(trace.mix().tile_compute > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum KernelSpec {
+    /// The optimized tiled GEMM/SPMM kernel used for the Fig. 13 sweeps
+    /// (register-blocked, rotating accumulators).
+    Tiled {
+        /// How the `A` operand is encoded.
+        mode: SparseMode,
+        /// Unroll and loop-overhead options.
+        opts: KernelOptions,
+    },
+    /// The naive Listing-1 kernel (reloads and stores `C` every iteration);
+    /// the programmability baseline for ablations.
+    Listing1 {
+        /// How the `A` operand is encoded.
+        mode: SparseMode,
+    },
+    /// The row-wise `TILE_SPMM_R` kernel for unstructured sparsity, with
+    /// the per-row `N:4` covers already computed (sorted covers model the
+    /// §V-E DMA row reordering).
+    RowWise {
+        /// One cover ratio per `A` row.
+        row_ratios: Vec<NmRatio>,
+    },
+    /// The register-blocked AVX-512-class vector GEMM baseline of
+    /// Figs. 3/4.
+    Vector,
+}
+
+impl KernelSpec {
+    /// The tiled kernel with default [`KernelOptions`].
+    pub fn tiled(mode: SparseMode) -> Self {
+        KernelSpec::Tiled {
+            mode,
+            opts: KernelOptions::default(),
+        }
+    }
+
+    /// The sparse mode this spec executes in, when it has one (row-wise and
+    /// vector kernels do not).
+    pub fn mode(&self) -> Option<SparseMode> {
+        match self {
+            KernelSpec::Tiled { mode, .. } | KernelSpec::Listing1 { mode } => Some(*mode),
+            KernelSpec::RowWise { .. } | KernelSpec::Vector => None,
+        }
+    }
+}
+
+impl Kernel for KernelSpec {
+    fn name(&self) -> String {
+        match self {
+            KernelSpec::Tiled { mode, opts } => {
+                format!("tiled-{}-u{}", mode_slug(*mode), opts.unroll)
+            }
+            KernelSpec::Listing1 { mode } => format!("listing1-{}", mode_slug(*mode)),
+            KernelSpec::RowWise { row_ratios } => format!("rowwise-{}rows", row_ratios.len()),
+            KernelSpec::Vector => "vector-gemm".to_string(),
+        }
+    }
+
+    fn build(&self, shape: GemmShape) -> Trace {
+        match self {
+            KernelSpec::Tiled { mode, opts } => build_trace(shape, *mode, *opts),
+            KernelSpec::Listing1 { mode } => build_listing1_trace(shape, *mode),
+            KernelSpec::RowWise { row_ratios } => build_rowwise_trace(shape, row_ratios),
+            KernelSpec::Vector => build_vector_gemm_trace(shape),
+        }
+    }
+}
+
+fn mode_slug(mode: SparseMode) -> &'static str {
+    match mode {
+        SparseMode::Dense => "dense",
+        SparseMode::Nm2of4 => "2of4",
+        SparseMode::Nm1of4 => "1of4",
+    }
+}
+
+/// Engine-side kernel selection: what a given engine executes for weights
+/// with a given sparsity pattern (§VI-C).
+///
+/// A dense engine always runs the dense kernel (it "cannot leverage
+/// sparsity"); the STC-like engine runs 1:4 layers with its 2:4 path,
+/// gaining nothing from the extra zeros.
+pub trait EngineKernelExt {
+    /// The execution mode for weights with the given pattern: the sparsest
+    /// *supported* pattern that still covers the weights.
+    fn execution_mode(&self, weights: NmRatio) -> SparseMode;
+
+    /// The tiled kernel spec this engine runs for the given weights.
+    fn kernel_spec(&self, weights: NmRatio, opts: KernelOptions) -> KernelSpec;
+}
+
+impl EngineKernelExt for EngineConfig {
+    fn execution_mode(&self, weights: NmRatio) -> SparseMode {
+        SparseMode::for_ratio(self.execution_pattern(weights)).unwrap_or(SparseMode::Dense)
+    }
+
+    fn kernel_spec(&self, weights: NmRatio, opts: KernelOptions) -> KernelSpec {
+        KernelSpec::Tiled {
+            mode: self.execution_mode(weights),
+            opts,
+        }
+    }
+}
+
+/// A memoizing, thread-safe trace cache keyed on `(GemmShape, KernelSpec)`.
+///
+/// Each key's trace is built exactly once, even under concurrent lookups
+/// from sweep worker threads (per-key [`OnceLock`] cells serialize the
+/// first build; later callers share the `Arc`).
+///
+/// # Example
+///
+/// ```
+/// use vegeta_kernels::{GemmShape, KernelSpec, SparseMode, TraceCache};
+///
+/// let cache = TraceCache::new();
+/// let shape = GemmShape::new(64, 64, 128);
+/// let spec = KernelSpec::tiled(SparseMode::Dense);
+/// let a = cache.get_or_build(shape, &spec);
+/// let b = cache.get_or_build(shape, &spec);
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// assert_eq!((cache.misses(), cache.hits()), (1, 1));
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    cells: Mutex<HashMap<(GemmShape, KernelSpec), TraceCell>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A lazily-initialized, shareable cache slot for one built trace.
+type TraceCell = Arc<OnceLock<Arc<Trace>>>;
+
+impl TraceCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        TraceCache::default()
+    }
+
+    /// Returns the memoized trace for `(shape, spec)`, building it on first
+    /// use. Concurrent callers for the same key block on the single build.
+    pub fn get_or_build(&self, shape: GemmShape, spec: &KernelSpec) -> Arc<Trace> {
+        let cell = {
+            let mut map = self.cells.lock().expect("trace cache poisoned");
+            match map.get(&(shape, spec.clone())) {
+                Some(cell) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Arc::clone(cell)
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let cell = Arc::new(OnceLock::new());
+                    map.insert((shape, spec.clone()), Arc::clone(&cell));
+                    cell
+                }
+            }
+        };
+        // Build outside the map lock so other keys proceed concurrently.
+        Arc::clone(cell.get_or_init(|| Arc::new(spec.build(shape))))
+    }
+
+    /// Cache lookups that found an existing entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache lookups that had to build the trace.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct `(shape, spec)` keys currently cached.
+    pub fn len(&self) -> usize {
+        self.cells.lock().expect("trace cache poisoned").len()
+    }
+
+    /// `true` if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached trace and resets the hit/miss counters.
+    pub fn clear(&self) {
+        self.cells.lock().expect("trace cache poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_dispatch_matches_direct_builders() {
+        let shape = GemmShape::new(48, 32, 256);
+        for mode in [SparseMode::Dense, SparseMode::Nm2of4, SparseMode::Nm1of4] {
+            let spec = KernelSpec::tiled(mode);
+            assert_eq!(
+                spec.build(shape),
+                build_trace(shape, mode, KernelOptions::default())
+            );
+            let naive = KernelSpec::Listing1 { mode };
+            assert_eq!(naive.build(shape), build_listing1_trace(shape, mode));
+        }
+        assert_eq!(
+            KernelSpec::Vector.build(shape),
+            build_vector_gemm_trace(shape)
+        );
+        let ratios = vec![NmRatio::S1_4; 32];
+        let spec = KernelSpec::RowWise {
+            row_ratios: ratios.clone(),
+        };
+        assert_eq!(spec.build(shape), build_rowwise_trace(shape, &ratios));
+    }
+
+    #[test]
+    fn cache_returns_shared_traces_and_counts() {
+        let cache = TraceCache::new();
+        let shape = GemmShape::new(32, 32, 64);
+        let dense = KernelSpec::tiled(SparseMode::Dense);
+        let sparse = KernelSpec::tiled(SparseMode::Nm2of4);
+        let a = cache.get_or_build(shape, &dense);
+        let b = cache.get_or_build(shape, &dense);
+        let c = cache.get_or_build(shape, &sparse);
+        assert!(Arc::ptr_eq(&a, &b), "same key shares one trace");
+        assert!(!Arc::ptr_eq(&a, &c), "distinct specs get distinct traces");
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(*a, dense.build(shape), "cached trace equals a cold build");
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn cache_is_consistent_under_concurrent_lookups() {
+        let cache = TraceCache::new();
+        let shape = GemmShape::new(64, 64, 256);
+        let spec = KernelSpec::tiled(SparseMode::Nm2of4);
+        let traces: Vec<Arc<Trace>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| cache.get_or_build(shape, &spec)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for t in &traces[1..] {
+            assert!(Arc::ptr_eq(&traces[0], t), "all threads share one build");
+        }
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits() + cache.misses(), 8);
+    }
+
+    #[test]
+    fn execution_mode_is_an_engine_method() {
+        let stc = EngineConfig::stc_like();
+        assert_eq!(stc.execution_mode(NmRatio::S1_4), SparseMode::Nm2of4);
+        assert_eq!(stc.execution_mode(NmRatio::D4_4), SparseMode::Dense);
+        let dm = EngineConfig::rasa_dm();
+        assert_eq!(dm.execution_mode(NmRatio::S1_4), SparseMode::Dense);
+        let s16 = EngineConfig::vegeta_s(16).unwrap();
+        assert_eq!(s16.execution_mode(NmRatio::S1_4), SparseMode::Nm1of4);
+        assert_eq!(
+            s16.kernel_spec(NmRatio::S2_4, KernelOptions::default()),
+            KernelSpec::tiled(SparseMode::Nm2of4)
+        );
+    }
+
+    #[test]
+    fn kernel_names_are_self_describing() {
+        assert_eq!(
+            KernelSpec::tiled(SparseMode::Nm2of4).name(),
+            "tiled-2of4-u3"
+        );
+        assert_eq!(
+            KernelSpec::Listing1 {
+                mode: SparseMode::Dense
+            }
+            .name(),
+            "listing1-dense"
+        );
+        assert_eq!(KernelSpec::Vector.name(), "vector-gemm");
+    }
+}

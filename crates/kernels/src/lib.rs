@@ -15,6 +15,9 @@
 //!   behind Figs. 3 and 4.
 //! * [`shapes`] — GEMM shapes and im2col lowering for the Table IV
 //!   convolutional layers.
+//! * [`kernel`] — the polymorphic [`Kernel`] trait, the hashable
+//!   [`KernelSpec`] enum unifying every builder, the memoizing
+//!   [`TraceCache`], and [`EngineKernelExt`] (kernel selection per engine).
 //!
 //! [`Trace`]: vegeta_isa::trace::Trace
 //!
@@ -35,12 +38,14 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod kernel;
 pub mod rowwise;
 pub mod shapes;
 pub mod tiled;
 pub mod vector;
 
 pub use error::KernelError;
+pub use kernel::{EngineKernelExt, Kernel, KernelSpec, TraceCache};
 pub use rowwise::{build_rowwise_program, build_rowwise_trace, RowWiseProgram};
 pub use shapes::{direct_conv, im2col, ConvShape, GemmShape};
 pub use tiled::{

@@ -88,7 +88,7 @@ impl SparseMode {
 }
 
 /// Kernel generation options.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct KernelOptions {
     /// `A` row-tiles processed together sharing one `B` tile (1 to 3);
     /// also the number of rotating accumulators.

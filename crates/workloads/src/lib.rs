@@ -71,6 +71,23 @@ impl Layer {
     pub fn macs(&self) -> u64 {
         self.gemm_shape().macs()
     }
+
+    /// The layer's GEMM scaled down by `factor` while keeping its aspect
+    /// ratio — the proxy shape used by smoke tests and `VEGETA_QUICK=1`
+    /// runs. A factor of 0 or 1 returns the exact full-size shape; larger
+    /// factors divide every dimension, flooring at one output tile
+    /// (`16×16`) and one dense `k` chunk (128).
+    pub fn scaled_shape(&self, factor: usize) -> GemmShape {
+        let s = self.gemm_shape();
+        if factor <= 1 {
+            return s;
+        }
+        GemmShape::new(
+            (s.m / factor).max(16),
+            (s.n / factor).max(16),
+            (s.k / factor).max(128),
+        )
+    }
 }
 
 /// The twelve layers of Table IV, in table order.
@@ -354,6 +371,19 @@ mod tests {
         assert_eq!(resnet[0].name, "ResNet50-L1");
         assert_eq!(resnet[5].name, "ResNet50-L6");
         assert_eq!(layers_of(Network::Gpt).len(), 3);
+    }
+
+    #[test]
+    fn scaled_shape_is_exact_at_factor_one_and_floored_beyond() {
+        for layer in table4() {
+            assert_eq!(layer.scaled_shape(0), layer.gemm_shape());
+            assert_eq!(layer.scaled_shape(1), layer.gemm_shape());
+            let quick = layer.scaled_shape(4);
+            assert!(quick.m >= 16 && quick.n >= 16 && quick.k >= 128);
+            assert!(quick.macs() <= layer.macs());
+        }
+        // ResNet50-L3 lowers to k=64; scaling must floor k at 128.
+        assert_eq!(table4()[2].scaled_shape(4).k, 128);
     }
 
     #[test]

@@ -2,16 +2,21 @@
 //! BERT layer at each sparsity, against area, power and achievable
 //! frequency — the trade-off study of §VI-C/D in one table.
 //!
+//! Every design point gets its own `Session`; all sessions share one trace
+//! cache, so the three distinct kernels (dense/2:4/1:4) are built once, not
+//! once per engine.
+//!
 //! Run with: `cargo run --release --example design_space`
 
-use vegeta::experiments::{execution_mode, run_trace};
-use vegeta::kernels::build_trace;
+use std::sync::Arc;
+
 use vegeta::prelude::*;
 use vegeta::workloads::table4;
 
 fn main() {
     let layer = table4()[7]; // BERT-L2
-    let shape = layer.gemm_shape();
+    let quick = quick_factor();
+    let shape = layer.scaled_shape(quick);
     println!(
         "workload: {} (GEMM {}x{}x{}), engines at 0.5 GHz, core at 2 GHz\n",
         layer.name, shape.m, shape.n, shape.k
@@ -19,6 +24,7 @@ fn main() {
 
     let cost = CostModel::default();
     let baseline = EngineConfig::rasa_sm();
+    let cache = Arc::new(TraceCache::new());
     println!(
         "{:<16} {:>9} {:>9} {:>7} {:>12} {:>12} {:>12}",
         "engine", "area", "power", "GHz", "4:4 cycles", "2:4 cycles", "1:4 cycles"
@@ -26,16 +32,14 @@ fn main() {
     for engine in EngineConfig::table3() {
         let (area, power) = cost.normalized(&engine, &baseline);
         let freq = cost.evaluate(&engine).frequency_ghz;
-        let mut cycles = Vec::new();
-        for ratio in [NmRatio::D4_4, NmRatio::S2_4, NmRatio::S1_4] {
-            let mode = execution_mode(&engine, ratio);
-            let trace = build_trace(shape, mode, KernelOptions::default());
-            let res = run_trace(&trace, &engine, SimConfig::default());
-            cycles.push(res.core_cycles);
-        }
+        let session = Session::new(engine).with_cache(Arc::clone(&cache));
+        let cycles: Vec<u64> = [NmRatio::D4_4, NmRatio::S2_4, NmRatio::S1_4]
+            .into_iter()
+            .map(|ratio| session.run_layer_scaled(&layer, ratio, quick).cycles)
+            .collect();
         println!(
             "{:<16} {:>9.3} {:>9.3} {:>7.2} {:>12} {:>12} {:>12}",
-            engine.name(),
+            session.engine().name(),
             area,
             power,
             freq,
@@ -45,7 +49,12 @@ fn main() {
         );
     }
     println!(
-        "\nreading the table: dense engines cannot exploit sparsity (columns equal);\n\
+        "\n(trace cache: {} kernels built for {} engine runs)",
+        cache.misses(),
+        cache.misses() + cache.hits()
+    );
+    println!(
+        "reading the table: dense engines cannot exploit sparsity (columns equal);\n\
          VEGETA-S engines halve/quarter runtime at 2:4/1:4 for ~1-6% area over RASA-SM,\n\
          and larger broadcast factors (alpha) trade frequency for area."
     );

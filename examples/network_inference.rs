@@ -1,36 +1,53 @@
 //! Network-level inference: run each Table IV layer suite (ResNet50 block,
 //! BERT encoder GEMMs, GPT block) back to back on the dense baseline and on
-//! VEGETA, at every structured sparsity level.
+//! VEGETA, at every structured sparsity level — all through the `Session`
+//! API's network runner.
 //!
 //! Run with: `cargo run --release --example network_inference`
 
-use vegeta::experiments::{run_network, NetworkRunResult};
+use std::sync::Arc;
+
 use vegeta::prelude::*;
 use vegeta::workloads::{layers_of, Network};
 
-fn print_suite(name: &str, result: &NetworkRunResult, baseline: Option<&NetworkRunResult>) {
+fn print_suite(result: &NetworkReport, baseline: Option<&NetworkReport>) {
     let speedup = baseline
-        .map(|b| format!("{:.2}x", b.total_cycles as f64 / result.total_cycles as f64))
+        .map(|b| {
+            format!(
+                "{:.2}x",
+                b.total_cycles() as f64 / result.total_cycles() as f64
+            )
+        })
         .unwrap_or_else(|| "1.00x".to_string());
     println!(
         "  {:<28} {:>14} cycles {:>8.2} eff. TFLOPS  {:>7}",
-        name,
-        result.total_cycles,
-        result.effective_tflops(2.0),
+        result.engine,
+        result.total_cycles(),
+        result.effective_tflops(),
         speedup
     );
 }
 
 fn main() {
+    let quick = quick_factor();
+    if quick > 1 {
+        println!("(quick mode: layer dims / {quick})");
+    }
     let suites = [
         ("ResNet50 (6 conv layers)", Network::ResNet50),
         ("BERT (3 encoder GEMMs)", Network::Bert),
         ("GPT-3 (3 block GEMMs)", Network::Gpt),
     ];
-    let dm = EngineConfig::rasa_dm();
-    let vegeta_engine = EngineConfig::vegeta_s(16)
-        .expect("valid alpha")
-        .with_output_forwarding(true);
+    // Both sessions share one cache: the dense baseline and VEGETA run the
+    // same dense kernel for 4:4 weights, so that trace is built only once.
+    let cache = Arc::new(TraceCache::new());
+    let dm = Session::new(EngineConfig::rasa_dm()).with_cache(Arc::clone(&cache));
+    let vegeta_session = Session::new(
+        EngineConfig::vegeta_s(16)
+            .expect("valid alpha")
+            .with_output_forwarding(true),
+    )
+    .with_cache(cache);
 
     for (suite_name, network) in suites {
         let layers = layers_of(network);
@@ -40,22 +57,21 @@ fn main() {
             layers.len(),
             macs
         );
-        for (label, ratio) in [
-            ("4:4", NmRatio::D4_4),
-            ("2:4", NmRatio::S2_4),
-            ("1:4", NmRatio::S1_4),
-        ] {
-            let base = run_network(&layers, ratio, &dm);
-            let ours = run_network(&layers, ratio, &vegeta_engine);
-            println!(" weights {label}:");
-            print_suite(dm.name(), &base, None);
-            print_suite(vegeta_engine.name(), &ours, Some(&base));
+        for ratio in figure13_sparsities() {
+            let base = dm.run_network_scaled(&layers, ratio, quick);
+            let ours = vegeta_session.run_network_scaled(&layers, ratio, quick);
+            println!(" weights {ratio}:");
+            print_suite(&base, None);
+            print_suite(&ours, Some(&base));
         }
     }
     println!("\nper-layer breakdown (ResNet50 at 2:4 on VEGETA-S-16-2+OF):");
     let layers = layers_of(Network::ResNet50);
-    let res = run_network(&layers, NmRatio::S2_4, &vegeta_engine);
-    for (name, cycles) in &res.layer_cycles {
-        println!("  {:<14} {:>12} cycles", name, cycles);
+    let res = vegeta_session.run_network_scaled(&layers, NmRatio::S2_4, quick);
+    for layer in &res.layers {
+        println!(
+            "  {:<14} {:>12} cycles  (kernel {})",
+            layer.workload, layer.cycles, layer.kernel
+        );
     }
 }

@@ -1,101 +1,103 @@
-//! Quickstart: prune a weight tile to 2:4, compress it into the VEGETA
-//! register format, execute a `TILE_SPMM_U` through the functional ISA
-//! executor, and confirm the result matches a dense reference GEMM.
+//! Quickstart: the `Session`/`Sweep` experiment API.
 //!
-//! Run with: `cargo run --example quickstart`
+//! Three steps: (1) ask one engine one question with a `Session`, (2) check
+//! the numerics are real with the functional executor, (3) sweep a whole
+//! engine x sparsity grid in parallel with `Sweep` and read the structured
+//! report.
+//!
+//! Run with: `cargo run --release --example quickstart`
+//! (`VEGETA_QUICK=1` shrinks the layers for a fast smoke run.)
 
 use vegeta::num::gemm_bf16_ref;
 use vegeta::prelude::*;
 use vegeta::sparse::prune;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = rand_seed(2023);
+    // Always run on a scaled layer (this is a quickstart); scale further
+    // down when VEGETA_QUICK is set.
+    let quick = if quick_factor() > 1 { 8 } else { 4 };
 
-    // 1. A dense 16x64 weight tile, magnitude-pruned to 2:4 sparsity.
-    let dense = prune::random_dense(16, 64, &mut rng);
-    let weights = prune::magnitude_prune_nm(&dense, NmRatio::S2_4);
-    println!(
-        "pruned weight tile: {}x{}, sparsity degree {:.2}",
-        weights.rows(),
-        weights.cols(),
-        vegeta::sparse::sparsity_degree(&weights)
-    );
-
-    // 2. Compress: 512 non-zero values (1 KB treg) + 128 B metadata (mreg).
-    let tile = CompressedTile::compress(&weights, NmRatio::S2_4)?;
-    println!(
-        "compressed: {} stored values, {} B metadata, effective tile {}x{}",
-        tile.values().len(),
-        tile.metadata_packed().len(),
-        tile.rows(),
-        tile.effective_cols()
-    );
-    assert_eq!(tile.decompress(), weights, "compression is lossless");
-
-    // 3. Stage operands in memory and run the Table II instruction sequence.
-    let inputs = prune::random_dense(64, 16, &mut rng); // B: 64x16
-    let bt = inputs.transposed();
-
-    let mut exec = Executor::new(Memory::new(1 << 16));
-    let a_addr = exec.mem_mut().alloc(1024)?;
-    let m_addr = exec.mem_mut().alloc(128)?;
-    let b_addr = exec.mem_mut().alloc(2048)?;
-    let c_addr = exec.mem_mut().alloc(1024)?;
-    exec.mem_mut().write_bf16_matrix(a_addr, tile.values())?;
-    exec.mem_mut()
-        .write_bytes(m_addr, &tile.metadata_packed())?;
-    exec.mem_mut().write_bf16_matrix(b_addr, &bt)?;
-
-    let program = [
-        Inst::TileLoadU {
-            dst: UReg::U3,
-            addr: b_addr,
-        },
-        Inst::TileLoadT {
-            dst: TReg::T4,
-            addr: a_addr,
-        },
-        Inst::TileLoadM {
-            dst: TReg::T4.paired_mreg(),
-            addr: m_addr,
-        },
-        Inst::TileZero { dst: TReg::T0 },
-        Inst::TileSpmmU {
-            acc: TReg::T0,
-            a: TReg::T4,
-            b: UReg::U3,
-        },
-        Inst::TileStoreT {
-            addr: c_addr,
-            src: TReg::T0,
-        },
-    ];
-    exec.run(&program)?;
-    let c = exec.mem().read_f32_matrix(c_addr, 16, 16)?;
-
-    // 4. Verify against the dense mixed-precision reference.
-    let mut expected = Matrix::zeros(16, 16);
-    gemm_bf16_ref(&weights, &inputs, &mut expected);
-    assert_eq!(c, expected, "TILE_SPMM_U must match the dense reference");
-    println!("TILE_SPMM_U output verified against the dense reference GEMM");
-    println!(
-        "executor stats: {} instructions, {} effectual MACs",
-        exec.stats().instructions,
-        exec.stats().effectual_macs
-    );
-
-    // 5. What does the hardware gain? One engine-level data point.
-    let dm = EngineConfig::rasa_dm();
-    let s16 = EngineConfig::vegeta_s(16)
+    // 1. One question: how fast does VEGETA-S-16-2+OF run BERT-L2 with
+    //    2:4-sparse weights, against the dense state of the art?
+    let layer = table4()[7]; // BERT-L2
+    let vegeta_engine = EngineConfig::vegeta_s(16)
         .expect("valid alpha")
         .with_output_forwarding(true);
+    let ours = Session::new(vegeta_engine).run_layer_scaled(&layer, NmRatio::S2_4, quick);
+    let base = Session::new(EngineConfig::rasa_dm()).run_layer_scaled(&layer, NmRatio::S2_4, quick);
     println!(
-        "\nengine latencies: {} = {} cycles/instr, {} = {} cycles/instr",
-        dm.name(),
-        dm.instruction_latency(),
-        s16.name(),
-        s16.instruction_latency()
+        "{} at {} sparsity (shape {}x{}x{}, 1/{quick} scale):",
+        ours.workload, ours.sparsity, ours.shape.m, ours.shape.n, ours.shape.k
     );
-    println!("(a 2:4 layer needs half the tile instructions — see the fig13 bench)");
+    println!(
+        "  {:<36} {:>10} cycles  kernel {}",
+        base.engine, base.cycles, base.kernel
+    );
+    println!(
+        "  {:<36} {:>10} cycles  kernel {}  ({:.2}x)",
+        ours.engine,
+        ours.cycles,
+        ours.kernel,
+        base.cycles as f64 / ours.cycles as f64
+    );
+    // Reports are structured and serializable — no scraping stdout.
+    let round_trip = RunReport::from_json(&ours.to_json())?;
+    assert_eq!(round_trip, ours);
+    println!("  as JSON: {}\n", ours.to_json());
+
+    // 2. The cycle counts above replay *real* kernels: the same builders
+    //    produce functional programs whose outputs are bit-exact.
+    let mut rng = rand_seed(2023);
+    let weights = prune::magnitude_prune_nm(&prune::random_dense(32, 64, &mut rng), NmRatio::S2_4);
+    let inputs = prune::random_dense(64, 16, &mut rng);
+    let program = vegeta::kernels::build_program(
+        &weights,
+        &inputs,
+        SparseMode::Nm2of4,
+        KernelOptions::default(),
+    )?;
+    let got = program.run_functional()?;
+    let mut expected = Matrix::zeros(32, 16);
+    gemm_bf16_ref(&weights, &inputs, &mut expected);
+    assert_eq!(got, expected, "TILE_SPMM_U must match the dense reference");
+    println!("functional check: TILE_SPMM_U kernel is bit-exact vs the dense reference\n");
+
+    // 3. The same question as a grid: every sparsity x a few engines, run
+    //    on the parallel sweep runner with one shared trace cache.
+    let grid = Sweep::new()
+        .with_engines([
+            EngineConfig::rasa_dm(),
+            EngineConfig::stc_like(),
+            EngineConfig::vegeta_s(16)
+                .expect("valid alpha")
+                .with_output_forwarding(true),
+        ])
+        .with_layer(layer)
+        .with_sparsities(figure13_sparsities())
+        .with_scale(quick)
+        .run();
+    println!(
+        "sweep: {} cells on {} threads, {} traces built ({} cache hits)",
+        grid.cells.len(),
+        grid.threads,
+        grid.traces_built,
+        grid.trace_cache_hits
+    );
+    for cell in &grid.cells {
+        println!(
+            "  {:<8} {:<36} {:>10} cycles  {:>5.1}% engine-busy",
+            cell.sparsity,
+            cell.engine,
+            cell.cycles,
+            cell.utilization() * 100.0
+        );
+    }
+    let of_engine = EngineConfig::vegeta_s(16)
+        .expect("valid alpha")
+        .with_output_forwarding(true);
+    let speedup = grid
+        .geomean_speedup(EngineConfig::rasa_dm().name(), of_engine.name(), "1:4")
+        .expect("complete grid");
+    println!("\n{} over RASA-DM at 1:4: {speedup:.2}x", of_engine.name());
     Ok(())
 }

@@ -1,11 +1,12 @@
 //! Sparse ResNet50 layer inference end to end: im2col lowering, 2:4 weight
 //! pruning, kernel construction, bit-exact functional verification on a
-//! scaled copy, and full-size timing on the out-of-order core model.
+//! scaled copy, and full-size timing through the `Session` API.
 //!
 //! Run with: `cargo run --release --example sparse_resnet_inference`
 
-use vegeta::experiments::{execution_mode, run_trace};
-use vegeta::kernels::{build_program, build_trace, KernelOptions};
+use std::sync::Arc;
+
+use vegeta::kernels::{build_program, KernelOptions};
 use vegeta::num::gemm_bf16_ref;
 use vegeta::prelude::*;
 use vegeta::sparse::prune;
@@ -52,7 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(got, expected, "sparse kernel must be bit-exact");
     println!("scaled-down kernel verified bit-exact against the dense reference");
 
-    // --- Full-size timing: dense baseline vs VEGETA. ---
+    // --- Full-size timing: dense baseline vs VEGETA, via Sessions sharing
+    //     one trace cache. ---
     let mut rng = rand_seed(8);
     let w = generate_weights(&layer, WeightSparsity::Structured(NmRatio::S2_4), &mut rng);
     println!(
@@ -69,25 +71,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .expect("valid alpha")
             .with_output_forwarding(true),
     ];
-    let sim = SimConfig::default();
+    let cache = Arc::new(TraceCache::new());
     let mut baseline = None;
-    for engine in &engines {
-        let mode = execution_mode(engine, NmRatio::S2_4);
-        let trace = build_trace(gemm, mode, KernelOptions::default());
-        let res = run_trace(&trace, engine, sim.clone());
-        let seconds = res.seconds(&sim);
-        let tflops = 2.0 * layer.macs() as f64 / seconds / 1e12;
+    for engine in engines {
+        let session = Session::new(engine).with_cache(Arc::clone(&cache));
+        let report = session.run_layer(&layer, NmRatio::S2_4);
         let speedup = baseline
-            .map(|b: u64| b as f64 / res.core_cycles as f64)
+            .map(|b: u64| b as f64 / report.cycles as f64)
             .unwrap_or(1.0);
-        baseline.get_or_insert(res.core_cycles);
+        baseline.get_or_insert(report.cycles);
         println!(
-            "  {:<36} mode {:?}: {:>12} cycles  {:>7.3} ms  {:>6.2} effective TFLOPS  {:>5.2}x",
-            engine.name(),
-            mode,
-            res.core_cycles,
-            seconds * 1e3,
-            tflops,
+            "  {:<36} kernel {}: {:>12} cycles  {:>7.3} ms  {:>6.2} effective TFLOPS  {:>5.2}x",
+            report.engine,
+            report.kernel,
+            report.cycles,
+            report.seconds() * 1e3,
+            report.effective_tflops(),
             speedup
         );
     }

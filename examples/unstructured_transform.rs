@@ -56,7 +56,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(got, expected, "row-wise SPMM must be bit-exact");
     println!("TILE_SPMM_R kernel verified bit-exact against the dense reference");
 
-    // 4. What each granularity of hardware support would skip (Fig. 15).
+    // 4. Time the packed TILE_SPMM_R kernel on the core model, against the
+    //    dense kernel for the same GEMM, through the Session API.
+    let shape = GemmShape::new(a.rows(), b.cols(), a.cols());
+    let session = Session::new(
+        EngineConfig::vegeta_s(16)
+            .expect("valid alpha")
+            .with_output_forwarding(true),
+    );
+    let rowwise = session.run_spec(
+        "unstructured-95",
+        shape,
+        &KernelSpec::RowWise {
+            row_ratios: covers.clone(),
+        },
+    );
+    let dense = session.run_spec(
+        "unstructured-95",
+        shape,
+        &KernelSpec::tiled(SparseMode::Dense),
+    );
+    println!(
+        "timing on {}: row-wise {} cycles vs dense {} cycles ({:.2}x)",
+        rowwise.engine,
+        rowwise.cycles,
+        dense.cycles,
+        dense.cycles as f64 / rowwise.cycles as f64
+    );
+
+    // 5. What each granularity of hardware support would skip (Fig. 15).
     println!(
         "\nspeedup by sparsity-granularity support at {:.0}% degree:",
         degree * 100.0

@@ -135,6 +135,23 @@ fn rowwise_kernel_handles_extreme_sparsity_mixes() {
 }
 
 #[test]
+fn kernel_spec_timing_traces_match_functional_programs() {
+    // The polymorphic KernelSpec path (synthetic addresses, what Sweep
+    // simulates) must issue exactly the instruction mix of the functional
+    // program (real data, what run_functional executes) for the same shape.
+    let mut rng = rand_seed(10);
+    for mode in [SparseMode::Dense, SparseMode::Nm2of4, SparseMode::Nm1of4] {
+        let k = 2 * mode.tk();
+        let a = prune::magnitude_prune_nm(&prune::random_dense(48, k, &mut rng), mode.ratio());
+        let b = prune::random_dense(k, 32, &mut rng);
+        let program = build_program(&a, &b, mode, KernelOptions::default()).expect("valid");
+        let spec = KernelSpec::tiled(mode);
+        let timing = spec.build(GemmShape::new(48, 32, k));
+        assert_eq!(timing.mix(), program.trace.mix(), "{mode:?}");
+    }
+}
+
+#[test]
 fn all_zero_weights_yield_zero_output() {
     let a = Matrix::<Bf16>::zeros(16, 64);
     let mut rng = rand_seed(9);

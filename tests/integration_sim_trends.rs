@@ -2,19 +2,17 @@
 //! who wins, who cannot exploit what, and how output forwarding and the
 //! unstructured transform change the picture.
 
-use vegeta::experiments::{execution_mode, run_trace, scaled_shape};
-use vegeta::kernels::{build_trace, KernelOptions};
 use vegeta::prelude::*;
 use vegeta::workloads::table4;
 
 fn cycles(engine: &EngineConfig, shape: GemmShape, weights: NmRatio) -> u64 {
-    let mode = execution_mode(engine, weights);
-    let trace = build_trace(shape, mode, KernelOptions::default());
-    run_trace(&trace, engine, SimConfig::default()).core_cycles
+    Session::new(engine.clone())
+        .run_shape("trend", shape, weights)
+        .cycles
 }
 
 fn bert_shape() -> GemmShape {
-    scaled_shape(&table4()[7], 4) // BERT-L2 / 4
+    table4()[7].scaled_shape(4) // BERT-L2 / 4
 }
 
 #[test]
@@ -129,19 +127,20 @@ fn output_forwarding_helps_dependent_kernels() {
     // With a single accumulator the k-loop serializes on C; OF recovers
     // most of the loss (§VI-C attributes ~32-37% to OF).
     let shape = bert_shape();
-    let dep_opts = KernelOptions {
-        unroll: 1,
-        loop_overhead: true,
+    let dep_spec = KernelSpec::Tiled {
+        mode: SparseMode::Nm2of4,
+        opts: KernelOptions {
+            unroll: 1,
+            loop_overhead: true,
+        },
     };
-    let trace = build_trace(shape, SparseMode::Nm2of4, dep_opts);
     let base = EngineConfig::vegeta_s(16).unwrap();
-    let no_of = run_trace(&trace, &base, SimConfig::default()).core_cycles;
-    let with_of = run_trace(
-        &trace,
-        &base.with_output_forwarding(true),
-        SimConfig::default(),
-    )
-    .core_cycles;
+    let no_of = Session::new(base.clone())
+        .run_spec("bert-dep", shape, &dep_spec)
+        .cycles;
+    let with_of = Session::new(base.with_output_forwarding(true))
+        .run_spec("bert-dep", shape, &dep_spec)
+        .cycles;
     let reduction = 1.0 - with_of as f64 / no_of as f64;
     assert!(
         (0.20..=0.60).contains(&reduction),
@@ -153,7 +152,7 @@ fn output_forwarding_helps_dependent_kernels() {
 fn engine_ordering_is_stable_across_layers() {
     // Spot-check three very different layers: conv, BERT, GPT.
     for idx in [1usize, 7, 10] {
-        let shape = scaled_shape(&table4()[idx], 4);
+        let shape = table4()[idx].scaled_shape(4);
         let dm = cycles(&EngineConfig::rasa_dm(), shape, NmRatio::S2_4);
         let stc = cycles(&EngineConfig::stc_like(), shape, NmRatio::S2_4);
         let s16 = cycles(
