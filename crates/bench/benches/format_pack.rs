@@ -1,0 +1,87 @@
+//! Criterion microbenchmarks for the `TileFormat` storage API: compress,
+//! zero-copy register-image packing, and `TileView` reads per format.
+//!
+//! `pack_into` and the view reads are the executor/kernel hot path the
+//! `TileFormat` redesign de-allocated; these benches watch their throughput
+//! per storage format.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use vegeta::num::{Bf16, Matrix};
+use vegeta::sparse::{prune, FormatSpec, MregImage, NmRatio, TileView, TregImage};
+
+/// A 16-row register-budget tile for each format: dense 16×32, N:M over
+/// their effective widths, row-wise/CSR over 16×64 unstructured data.
+fn operand_for(spec: FormatSpec, rng: &mut SmallRng) -> Matrix<Bf16> {
+    match spec {
+        FormatSpec::Dense => prune::random_dense(16, 32, rng),
+        FormatSpec::Nm(ratio) => {
+            let cols = 32 * ratio.m() as usize / ratio.n() as usize;
+            prune::magnitude_prune_nm(&prune::random_dense(16, cols, rng), ratio)
+        }
+        // 8 rows at 1:4, 4 at 2:4, 4 dense: exactly the 512-value budget.
+        FormatSpec::RowWise { .. } => {
+            let d = prune::random_dense(16, 64, rng);
+            let p14 = prune::magnitude_prune_nm(&d, NmRatio::S1_4);
+            let p24 = prune::magnitude_prune_nm(&d, NmRatio::S2_4);
+            Matrix::from_fn(16, 64, |r, c| match r % 4 {
+                0 | 1 => p14[(r, c)],
+                2 => p24[(r, c)],
+                _ => d[(r, c)],
+            })
+        }
+        // Sparse enough that the packed column indices fit the 128 B mreg.
+        FormatSpec::Csr => prune::random_unstructured(16, 64, 0.9, rng),
+    }
+}
+
+fn slug(spec: FormatSpec) -> String {
+    spec.to_string().replace(':', "of")
+}
+
+fn bench_format_pack(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(42);
+    for spec in FormatSpec::all_m4() {
+        let dense = operand_for(spec, &mut rng);
+
+        c.bench_function(&format!("format_compress_{}", slug(spec)), |b| {
+            b.iter(|| spec.compress(&dense).unwrap())
+        });
+
+        let tile = spec.compress(&dense).unwrap();
+        c.bench_function(&format!("format_pack_{}", slug(spec)), |b| {
+            let (mut treg, mut mreg) = (TregImage::new(), MregImage::new());
+            b.iter(|| tile.pack_into(&mut treg, &mut mreg).unwrap())
+        });
+
+        let (mut treg, mut mreg) = (TregImage::new(), MregImage::new());
+        tile.pack_into(&mut treg, &mut mreg).unwrap();
+        c.bench_function(&format!("format_view_decompress_{}", slug(spec)), |b| {
+            b.iter(|| {
+                let view =
+                    TileView::of_images(spec, tile.rows(), tile.effective_cols(), &treg, &mreg)
+                        .unwrap();
+                view.decompress()
+            })
+        });
+
+        // Raw in-place reads: sum every stored value through the view, the
+        // access pattern of the executor's SPMM loops.
+        c.bench_function(&format!("format_view_scan_{}", slug(spec)), |b| {
+            let view = TileView::of_images(spec, tile.rows(), tile.effective_cols(), &treg, &mreg)
+                .unwrap();
+            let stored = view.stored_len();
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for i in 0..stored {
+                    acc += view.value(i).to_f32() * (view.position(i) as f32 + 1.0);
+                }
+                acc
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_format_pack);
+criterion_main!(benches);

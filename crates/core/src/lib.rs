@@ -90,6 +90,9 @@ pub mod prelude {
     pub use vegeta_model::{GranularityHw, GranularityModel};
     pub use vegeta_num::{Bf16, Matrix};
     pub use vegeta_sim::{CoreSim, SimConfig, SimResult};
-    pub use vegeta_sparse::{CompressedTile, NmRatio, RowWiseTile};
+    pub use vegeta_sparse::{
+        CompressedTile, CsrTile, DenseTile, FormatSpec, MregImage, NmRatio, RowWiseTile,
+        TileFormat, TileView, TregImage,
+    };
     pub use vegeta_workloads::{table4, Layer, WeightSparsity};
 }

@@ -70,6 +70,18 @@ pub struct RunReport {
     /// Kernel that was executed (self-describing, from
     /// [`vegeta_kernels::Kernel::name`]).
     pub kernel: String,
+    /// Storage-format label of the executed kernel's `A` operand
+    /// (`"dense"`, `"2:4"`, `"rowwise:4"`, `"csr"`; `"-"` for prebuilt
+    /// traces whose operands are unknown).
+    pub format: String,
+    /// Stored `A`-operand value bytes in that format
+    /// ([`vegeta_kernels::KernelSpec::a_values_bytes`]; 0 for prebuilt
+    /// traces).
+    pub a_values_bytes: u64,
+    /// `A`-operand metadata bits in that format
+    /// ([`vegeta_kernels::KernelSpec::a_metadata_bits`]; 0 for prebuilt
+    /// traces).
+    pub a_metadata_bits: u64,
     /// The GEMM that was simulated.
     pub shape: GemmShape,
     /// Runtime in core cycles.
@@ -125,6 +137,9 @@ impl RunReport {
             ("engine".into(), self.engine.as_str().into()),
             ("sparsity".into(), self.sparsity.as_str().into()),
             ("kernel".into(), self.kernel.as_str().into()),
+            ("format".into(), self.format.as_str().into()),
+            ("a_values_bytes".into(), self.a_values_bytes.into()),
+            ("a_metadata_bits".into(), self.a_metadata_bits.into()),
             ("m".into(), self.shape.m.into()),
             ("n".into(), self.shape.n.into()),
             ("k".into(), self.shape.k.into()),
@@ -178,6 +193,9 @@ impl RunReport {
             engine: s("engine")?,
             sparsity: s("sparsity")?,
             kernel: s("kernel")?,
+            format: s("format")?,
+            a_values_bytes: u("a_values_bytes")?,
+            a_metadata_bits: u("a_metadata_bits")?,
             shape: GemmShape::new(u("m")? as usize, u("n")? as usize, u("k")? as usize),
             cycles: u("cycles")?,
             instructions: u("instructions")?,
@@ -193,18 +211,22 @@ impl RunReport {
 
     /// The CSV header matching [`RunReport::csv_row`].
     pub fn csv_header() -> &'static str {
-        "workload,sparsity,engine,kernel,m,n,k,cycles,instructions,utilization,effective_tflops"
+        "workload,sparsity,engine,kernel,format,a_values_bytes,a_metadata_bits,\
+         m,n,k,cycles,instructions,utilization,effective_tflops"
     }
 
     /// One CSV row (fields quoted where needed — engine names contain
     /// commas-free parentheses only, but quote defensively).
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{:.4},{:.4}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.4}",
             csv_field(&self.workload),
             csv_field(&self.sparsity),
             csv_field(&self.engine),
             csv_field(&self.kernel),
+            csv_field(&self.format),
+            self.a_values_bytes,
+            self.a_metadata_bits,
             self.shape.m,
             self.shape.n,
             self.shape.k,
@@ -415,6 +437,9 @@ mod tests {
             engine: engine.into(),
             sparsity: sparsity.into(),
             kernel: "tiled-dense-u3".into(),
+            format: "dense".into(),
+            a_values_bytes: 64 * 256 * 2,
+            a_metadata_bits: 0,
             shape: GemmShape::new(64, 64, 256),
             cycles,
             instructions: 4 * cycles,

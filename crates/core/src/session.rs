@@ -35,15 +35,23 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use vegeta_engine::EngineConfig;
 use vegeta_isa::trace::Trace;
 use vegeta_kernels::{EngineKernelExt, Kernel, KernelOptions, KernelSpec, SparseMode, TraceCache};
 use vegeta_sim::{CoreSim, SimConfig};
-use vegeta_sparse::NmRatio;
+use vegeta_sparse::{prune, transform, FormatSpec, NmRatio};
 use vegeta_workloads::Layer;
 
 use crate::kernels::GemmShape;
 use crate::report::{NetworkReport, RunReport, SweepReport};
+
+/// Sparsity degree used to synthesize the unstructured weights behind
+/// row-wise/CSR storage-format cells (§VI-E evaluates "random and
+/// unstructured sparsity of varying degrees"; 0.8 sits in its sweep range).
+/// Override per session/sweep with `with_unstructured_degree`.
+pub const DEFAULT_UNSTRUCTURED_DEGREE: f64 = 0.8;
 
 /// The engine line-up of Fig. 13, in plot order: three dense baselines, the
 /// STC-like engine, the five VEGETA-S designs, and VEGETA-S-16-2 with
@@ -83,7 +91,8 @@ pub fn quick_factor() -> usize {
     }
 }
 
-/// Simulates one `(engine, shape, spec)` cell and wraps it in a report.
+/// Simulates one `(engine, shape, spec)` cell and wraps it in a report,
+/// including the executed kernel's storage-format accounting.
 fn run_cell(
     engine: &EngineConfig,
     sim: &SimConfig,
@@ -94,9 +103,21 @@ fn run_cell(
     spec: &KernelSpec,
 ) -> RunReport {
     let trace = cache.get_or_build(shape, spec);
-    report_from_trace(engine, sim, workload, sparsity, shape, spec.name(), &trace)
+    report_from_trace(
+        engine,
+        sim,
+        workload,
+        sparsity,
+        shape,
+        spec.name(),
+        spec.format().to_string(),
+        spec.a_values_bytes(shape),
+        spec.a_metadata_bits(shape),
+        &trace,
+    )
 }
 
+#[allow(clippy::too_many_arguments)] // internal plumbing behind run_cell/run_trace
 fn report_from_trace(
     engine: &EngineConfig,
     sim: &SimConfig,
@@ -104,6 +125,9 @@ fn report_from_trace(
     sparsity: String,
     shape: GemmShape,
     kernel: String,
+    format: String,
+    a_values_bytes: u64,
+    a_metadata_bits: u64,
     trace: &Trace,
 ) -> RunReport {
     let res = CoreSim::new(sim.clone(), engine.clone()).run(trace);
@@ -112,6 +136,9 @@ fn report_from_trace(
         engine: engine.name().to_string(),
         sparsity,
         kernel,
+        format,
+        a_values_bytes,
+        a_metadata_bits,
         shape,
         cycles: res.core_cycles,
         instructions: res.instructions,
@@ -119,6 +146,63 @@ fn report_from_trace(
         engine_busy_cycles: res.engine_busy_cycles,
         macs: shape.macs(),
         core_ghz: sim.core_ghz,
+    }
+}
+
+/// Synthesizes the sorted §V-E row covers a row-wise format cell executes:
+/// per-row `N:4` covers of a seeded unstructured matrix at `degree`
+/// (deterministic in the shape, so repeated cells agree).
+fn row_wise_covers(shape: GemmShape, degree: f64) -> Vec<NmRatio> {
+    let seed = (shape.m as u64)
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(shape.k as u64);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let a = prune::random_unstructured(shape.m, shape.k, degree, &mut rng);
+    let mut covers = transform::row_covers(&a, 4).expect("M = 4 is always supported");
+    covers.sort();
+    covers
+}
+
+/// The kernel an engine executes for an `A` operand *stored* in `format`
+/// (the storage-side twin of [`EngineKernelExt::kernel_spec`]):
+///
+/// * dense and `N:M` operands run the tiled kernel the engine supports for
+///   that pattern (a dense engine executes any format densely);
+/// * row-wise `N:4` operands run `TILE_SPMM_R` with covers from
+///   [`row_wise_covers`] (pass a memoized slice via `covers` to share the
+///   synthesis across cells) — but only on engines with flexible per-row
+///   `N:M` support (the VEGETA-S designs); dense and fixed-pattern engines,
+///   and any `m != 4` (which the register images cannot encode), must
+///   decompress and execute densely;
+/// * CSR operands cannot enter the tile engine without a §III-D cover
+///   transform, so they execute on the vector baseline — which is exactly
+///   the structured-vs-unstructured comparison a format sweep plots.
+fn kernel_for_format(
+    engine: &EngineConfig,
+    shape: GemmShape,
+    format: FormatSpec,
+    opts: KernelOptions,
+    degree: f64,
+    covers: Option<&[NmRatio]>,
+) -> KernelSpec {
+    match format {
+        FormatSpec::Dense => engine.kernel_spec(NmRatio::D4_4, opts),
+        FormatSpec::Nm(ratio) => engine.kernel_spec(ratio, opts),
+        FormatSpec::RowWise { m } => {
+            // TILE_SPMM_R needs per-row pattern flexibility (the engine must
+            // execute 1:4 natively, not via a denser fallback) and the
+            // M = 4 encoding the mreg row-pattern sidecar supports; every
+            // other case decompresses and runs densely.
+            if m != 4 || engine.execution_mode(NmRatio::S1_4) != SparseMode::Nm1of4 {
+                return engine.kernel_spec(NmRatio::D4_4, opts);
+            }
+            let row_ratios = match covers {
+                Some(c) => c.to_vec(),
+                None => row_wise_covers(shape, degree),
+            };
+            KernelSpec::RowWise { row_ratios }
+        }
+        FormatSpec::Csr => KernelSpec::Vector,
     }
 }
 
@@ -133,6 +217,7 @@ pub struct Session {
     engine: EngineConfig,
     sim: SimConfig,
     opts: KernelOptions,
+    unstructured_degree: f64,
     cache: Arc<TraceCache>,
 }
 
@@ -144,8 +229,16 @@ impl Session {
             engine,
             sim: SimConfig::default(),
             opts: KernelOptions::default(),
+            unstructured_degree: DEFAULT_UNSTRUCTURED_DEGREE,
             cache: Arc::new(TraceCache::new()),
         }
+    }
+
+    /// Replaces the sparsity degree of the synthesized unstructured weights
+    /// behind [`Session::run_format`] row-wise/CSR cells.
+    pub fn with_unstructured_degree(mut self, degree: f64) -> Self {
+        self.unstructured_degree = degree;
+        self
     }
 
     /// Replaces the simulator configuration.
@@ -207,6 +300,31 @@ impl Session {
         self.run_shape(layer.name, layer.scaled_shape(factor), weights)
     }
 
+    /// Runs an ad-hoc GEMM shape with the `A` operand *stored* in the given
+    /// format, picking the kernel the engine executes for that storage
+    /// (structured formats run their tile kernels, CSR falls back to the
+    /// vector engine — see the module docs). The report's sparsity label is
+    /// the format label.
+    pub fn run_format(&self, workload: &str, shape: GemmShape, format: FormatSpec) -> RunReport {
+        let spec = kernel_for_format(
+            &self.engine,
+            shape,
+            format,
+            self.opts,
+            self.unstructured_degree,
+            None,
+        );
+        run_cell(
+            &self.engine,
+            &self.sim,
+            &self.cache,
+            workload,
+            format.to_string(),
+            shape,
+            &spec,
+        )
+    }
+
     /// Runs an explicit kernel spec on a shape (for ablations and
     /// non-tiled kernels). The sparsity label is derived from the spec's
     /// mode, `"-"` for kernels without one.
@@ -227,6 +345,8 @@ impl Session {
     }
 
     /// Runs a prebuilt trace (bypassing kernel selection and the cache).
+    /// Operand storage is unknown for a raw trace, so the format label is
+    /// `"-"` and the operand accounting is zero.
     pub fn run_trace(&self, workload: &str, shape: GemmShape, trace: &Trace) -> RunReport {
         report_from_trace(
             &self.engine,
@@ -235,6 +355,9 @@ impl Session {
             "-".to_string(),
             shape,
             "prebuilt-trace".to_string(),
+            "-".to_string(),
+            0,
+            0,
             trace,
         )
     }
@@ -264,17 +387,35 @@ impl Session {
     }
 }
 
-/// A grid runner over engine × workload × sparsity combinations.
+/// One entry of a sweep's middle axis: either a weight-sparsity pattern
+/// (the engine picks its storage) or an explicit storage format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GridAxis {
+    Pattern(NmRatio),
+    Format(FormatSpec),
+}
+
+/// A grid runner over engine × workload × {sparsity pattern | storage
+/// format} combinations.
+///
+/// The middle axis mixes two kinds of entries: weight-sparsity patterns
+/// ([`Sweep::with_sparsities`], the Fig. 13 axis — the engine chooses how
+/// to store/execute them) and explicit storage formats
+/// ([`Sweep::with_formats`], the Fig. 12-style axis — dense vs structured
+/// vs row-wise vs CSR for the *same* engine). Patterns come first in the
+/// report, then formats, each in insertion order.
 ///
 /// Cells execute across a scoped `std::thread` worker pool (all distinct
 /// traces memoized in one shared [`TraceCache`]), and the report's cell
-/// order is deterministic — workload-major, then sparsity, then engine —
+/// order is deterministic — workload-major, then axis, then engine —
 /// regardless of thread count.
 #[derive(Debug, Clone)]
 pub struct Sweep {
     engines: Vec<EngineConfig>,
     layers: Vec<Layer>,
     sparsities: Vec<NmRatio>,
+    formats: Vec<FormatSpec>,
+    unstructured_degree: f64,
     scale: usize,
     sim: SimConfig,
     opts: KernelOptions,
@@ -288,6 +429,8 @@ impl Default for Sweep {
             engines: Vec::new(),
             layers: Vec::new(),
             sparsities: Vec::new(),
+            formats: Vec::new(),
+            unstructured_degree: DEFAULT_UNSTRUCTURED_DEGREE,
             scale: 1,
             sim: SimConfig::default(),
             opts: KernelOptions::default(),
@@ -348,6 +491,29 @@ impl Sweep {
         self
     }
 
+    /// Adds one storage format to the grid (see [`Sweep::with_formats`]).
+    pub fn with_format(mut self, format: FormatSpec) -> Self {
+        self.formats.push(format);
+        self
+    }
+
+    /// Adds storage formats to the grid: each cell runs the kernel the
+    /// engine executes for an `A` operand stored in that format (dense and
+    /// `N:M` on the tile kernels, row-wise on `TILE_SPMM_R` with synthesized
+    /// §V-E covers, CSR on the vector baseline). This is the Fig. 12-style
+    /// structured-vs-unstructured axis.
+    pub fn with_formats(mut self, formats: impl IntoIterator<Item = FormatSpec>) -> Self {
+        self.formats.extend(formats);
+        self
+    }
+
+    /// Replaces the sparsity degree of the synthesized unstructured weights
+    /// behind row-wise/CSR format cells.
+    pub fn with_unstructured_degree(mut self, degree: f64) -> Self {
+        self.unstructured_degree = degree;
+        self
+    }
+
     /// Scales every layer down by `factor` (1 = full size); the
     /// `VEGETA_QUICK` proxy shapes use 4.
     pub fn with_scale(mut self, factor: usize) -> Self {
@@ -382,7 +548,7 @@ impl Sweep {
 
     /// Grid cells this sweep will run.
     pub fn cell_count(&self) -> usize {
-        self.engines.len() * self.layers.len() * self.sparsities.len()
+        self.engines.len() * self.layers.len() * (self.sparsities.len() + self.formats.len())
     }
 
     fn resolved_threads(&self) -> usize {
@@ -397,17 +563,22 @@ impl Sweep {
     }
 
     /// Runs the grid and returns the report; cells appear workload-major,
-    /// then sparsity, then engine, whatever the thread count.
+    /// then axis entry (sparsities before formats), then engine, whatever
+    /// the thread count.
     pub fn run(&self) -> SweepReport {
         // Enumerate cells in their deterministic report order.
-        let cells: Vec<(&Layer, NmRatio, &EngineConfig)> = self
+        let axes: Vec<GridAxis> = self
+            .sparsities
+            .iter()
+            .map(|&r| GridAxis::Pattern(r))
+            .chain(self.formats.iter().map(|&f| GridAxis::Format(f)))
+            .collect();
+        let cells: Vec<(&Layer, GridAxis, &EngineConfig)> = self
             .layers
             .iter()
             .flat_map(|layer| {
-                self.sparsities.iter().flat_map(move |&ratio| {
-                    self.engines
-                        .iter()
-                        .map(move |engine| (layer, ratio, engine))
+                axes.iter().flat_map(move |&axis| {
+                    self.engines.iter().map(move |engine| (layer, axis, engine))
                 })
             })
             .collect();
@@ -415,15 +586,48 @@ impl Sweep {
         let hits_before = self.cache.hits();
         let misses_before = self.cache.misses();
 
-        let run_one = |(layer, ratio, engine): &(&Layer, NmRatio, &EngineConfig)| -> RunReport {
-            let spec = engine.kernel_spec(*ratio, self.opts);
+        // Row-wise format cells share their synthesized covers: compute
+        // each distinct shape once, not once per engine cell.
+        let mut rw_covers: std::collections::HashMap<GemmShape, Vec<NmRatio>> =
+            std::collections::HashMap::new();
+        if self
+            .formats
+            .iter()
+            .any(|f| matches!(f, FormatSpec::RowWise { m: 4 }))
+        {
+            for layer in &self.layers {
+                let shape = layer.scaled_shape(self.scale);
+                rw_covers
+                    .entry(shape)
+                    .or_insert_with(|| row_wise_covers(shape, self.unstructured_degree));
+            }
+        }
+
+        let run_one = |(layer, axis, engine): &(&Layer, GridAxis, &EngineConfig)| -> RunReport {
+            let shape = layer.scaled_shape(self.scale);
+            let (spec, label) = match *axis {
+                GridAxis::Pattern(ratio) => {
+                    (engine.kernel_spec(ratio, self.opts), ratio.to_string())
+                }
+                GridAxis::Format(format) => (
+                    kernel_for_format(
+                        engine,
+                        shape,
+                        format,
+                        self.opts,
+                        self.unstructured_degree,
+                        rw_covers.get(&shape).map(Vec::as_slice),
+                    ),
+                    format.to_string(),
+                ),
+            };
             run_cell(
                 engine,
                 &self.sim,
                 &self.cache,
                 layer.name,
-                ratio.to_string(),
-                layer.scaled_shape(self.scale),
+                label,
+                shape,
                 &spec,
             )
         };
@@ -579,6 +783,122 @@ mod tests {
             network.total_cycles(),
             reports.iter().map(|r| r.cycles).sum::<u64>()
         );
+    }
+
+    #[test]
+    fn format_runs_pick_storage_appropriate_kernels() {
+        let layer = &table4()[7];
+        let shape = layer.scaled_shape(8);
+        let session = Session::new(EngineConfig::vegeta_s(16).unwrap());
+        let dense = session.run_format("f", shape, FormatSpec::Dense);
+        assert_eq!(dense.kernel, "tiled-dense-u3");
+        assert_eq!(dense.format, "dense");
+        assert_eq!(dense.a_values_bytes, (shape.m * shape.k * 2) as u64);
+        assert_eq!(dense.a_metadata_bits, 0);
+        let s24 = session.run_format("f", shape, FormatSpec::Nm(NmRatio::S2_4));
+        assert_eq!(s24.kernel, "tiled-2of4-u3");
+        assert_eq!(s24.sparsity, "2:4");
+        assert_eq!(s24.a_values_bytes, (shape.m * shape.k) as u64);
+        let rw = session.run_format("f", shape, FormatSpec::RowWise { m: 4 });
+        assert!(rw.kernel.starts_with("rowwise-"));
+        assert_eq!(rw.format, "rowwise:4");
+        assert!(
+            rw.a_values_bytes < dense.a_values_bytes,
+            "80%-sparse row-wise storage must be smaller than dense"
+        );
+        assert!(rw.a_metadata_bits > 0);
+        let csr = session.run_format("f", shape, FormatSpec::Csr);
+        assert_eq!(
+            csr.kernel, "vector-gemm",
+            "CSR executes on the vector engine"
+        );
+        // The structured tile path beats the CSR-on-vector fallback.
+        assert!(s24.cycles < csr.cycles);
+    }
+
+    #[test]
+    fn row_wise_format_needs_flexible_nm_support() {
+        let layer = &table4()[7];
+        let shape = layer.scaled_shape(8);
+        for engine in [EngineConfig::rasa_dm(), EngineConfig::stc_like()] {
+            let report = Session::new(engine).run_format("f", shape, FormatSpec::RowWise { m: 4 });
+            assert_eq!(
+                report.kernel, "tiled-dense-u3",
+                "engines without per-row N:M support decompress and run densely"
+            );
+            assert_eq!(report.format, "dense");
+        }
+        // Block sizes the register images cannot encode fall back to dense
+        // even on flexible engines, instead of simulating a datapath the
+        // storage layer refuses to pack.
+        let report = Session::new(EngineConfig::vegeta_s(16).unwrap()).run_format(
+            "f",
+            shape,
+            FormatSpec::RowWise { m: 8 },
+        );
+        assert_eq!(report.kernel, "tiled-dense-u3");
+        assert_eq!(report.format, "dense");
+    }
+
+    #[test]
+    fn format_runs_are_deterministic() {
+        let layer = &table4()[7];
+        let shape = layer.scaled_shape(8);
+        let session = Session::new(EngineConfig::vegeta_s(16).unwrap());
+        let a = session.run_format("f", shape, FormatSpec::RowWise { m: 4 });
+        let b = session.run_format("f", shape, FormatSpec::RowWise { m: 4 });
+        assert_eq!(a, b, "synthesized covers are seeded by shape");
+    }
+
+    #[test]
+    fn sweep_grids_over_storage_formats() {
+        let sweep = Sweep::new()
+            .with_engines([EngineConfig::rasa_dm(), EngineConfig::vegeta_s(16).unwrap()])
+            .with_layer(table4()[7])
+            .with_formats([
+                FormatSpec::Dense,
+                FormatSpec::Nm(NmRatio::S2_4),
+                FormatSpec::RowWise { m: 4 },
+                FormatSpec::Csr,
+            ])
+            .with_scale(8)
+            .with_threads(2);
+        assert_eq!(sweep.cell_count(), 8);
+        let report = sweep.run();
+        assert_eq!(report.cells.len(), 8);
+        // Axis entries keep insertion order; formats label the sparsity
+        // column so existing tooling groups by them.
+        assert_eq!(
+            report.sparsities(),
+            vec!["dense", "2:4", "rowwise:4", "csr"]
+        );
+        // On the dense engine every structured format degrades to the dense
+        // kernel, so the cache collapses those traces (dense + 2:4 formats
+        // for RASA-DM share one dense trace with the VEGETA dense cell).
+        assert!(report.traces_built < 8);
+        // The sparse engine exploits 2:4 storage; the dense engine cannot.
+        let dense_2of4 = report
+            .get("BERT-L2", "RASA-DM (VEGETA-D-1-2)", "2:4")
+            .unwrap();
+        let sparse_2of4 = report.get("BERT-L2", "VEGETA-S-16-2", "2:4").unwrap();
+        assert!(sparse_2of4.cycles < dense_2of4.cycles);
+        assert_eq!(dense_2of4.format, "dense", "dense engines store densely");
+        assert_eq!(sparse_2of4.format, "2:4");
+    }
+
+    #[test]
+    fn sweeps_mix_pattern_and_format_axes() {
+        let report = Sweep::new()
+            .with_engine(EngineConfig::vegeta_s(4).unwrap())
+            .with_layer(table4()[7])
+            .with_sparsity(NmRatio::S2_4)
+            .with_format(FormatSpec::Csr)
+            .with_scale(8)
+            .with_threads(1)
+            .run();
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.cells[0].sparsity, "2:4");
+        assert_eq!(report.cells[1].sparsity, "csr");
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! * maximum frequency falls monotonically with `α` (broadcast wire length),
 //!   with every design meeting 0.5 GHz.
 
+use vegeta_sparse::{FormatSpec, NmRatio};
+
 use crate::config::{EngineConfig, EngineKind, TOTAL_MACS};
 
 /// Per-structure cost coefficients (arbitrary area/power units, ns delays).
@@ -117,8 +119,13 @@ impl CostModel {
         } else {
             0.0
         };
+        // Each MAC buffers the metadata its operand format carries per
+        // stored value: the storage layer's N:M accounting for the engine's
+        // block size, in units of the calibrated 2-bit (M = 4) entry.
         let meta_scale = if sparse {
-            (cfg.m() as f64).log2() / 2.0
+            let ratio = NmRatio::new(1, cfg.m() as u8)
+                .expect("EngineConfig validates M as a supported block size");
+            f64::from(FormatSpec::Nm(ratio).metadata_bits_per_value()) / 2.0
         } else {
             0.0
         };

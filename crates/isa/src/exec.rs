@@ -4,13 +4,19 @@
 //! (§VI-A): it implements the architectural semantics of every Table II
 //! instruction on a [`RegFile`] + [`Memory`] pair, and is the golden model
 //! the cycle-accurate engine dataflow is checked against.
+//!
+//! The per-instruction path is **allocation-free**: operand reads go through
+//! borrowed [`TileView`]s over the raw register bytes, accumulators live in
+//! fixed stack arrays, and loads/stores copy bytes between [`Memory`] and
+//! the register file directly (`crates/isa/tests/no_alloc_hot_path.rs` pins
+//! this with a counting allocator).
 
 use vegeta_num::mac_bf16;
-use vegeta_sparse::unpack_metadata;
+use vegeta_sparse::{decode_row_ns, FormatSpec, MregImage, NmRatio, TileView, ROW_PATTERN_ROWS};
 
 use crate::inst::{Inst, MACS_PER_TILE_INST};
 use crate::mem::Memory;
-use crate::regs::{RegFile, TReg, UReg, VReg, MREG_BYTES, MREG_ROW_PATTERN_BYTES};
+use crate::regs::{RegFile, TReg, UReg, VReg, MREG_BYTES, MREG_ROW_PATTERN_BYTES, TREG_ROWS};
 use crate::IsaError;
 
 /// Dynamic execution statistics, mirroring what the paper's Pintool records
@@ -45,41 +51,43 @@ pub struct Executor {
 ///
 /// `00` marks the end of the tile; `01`/`10`/`11` select 1:4 / 2:4 / 4:4 for
 /// the row, in line with "N:4 sparsity for each row ... stored as extra
-/// metadata" (§IV-B).
+/// metadata" (§IV-B). Delegates to [`vegeta_sparse::decode_row_ns`], the
+/// canonical sidecar codec.
 pub(crate) fn decode_row_patterns(rp: &[u8]) -> Vec<u8> {
-    let mut rows = Vec::new();
-    for r in 0..MREG_ROW_PATTERN_BYTES * 4 {
-        let code = (rp[r / 4] >> ((r % 4) * 2)) & 0b11;
-        if code == 0 {
-            break;
-        }
-        rows.push(match code {
-            1 => 1,
-            2 => 2,
-            _ => 4,
-        });
-    }
-    rows
+    let mut ns = [0u8; ROW_PATTERN_ROWS];
+    let rows = decode_row_ns(rp, &mut ns);
+    ns[..rows].to_vec()
 }
 
-/// Encodes per-row `N` values (1, 2 or 4) into the 8 B row-pattern field.
+/// Encodes per-row `N` values (1, 2 or 4) into the 8 B row-pattern field
+/// (the sidecar bytes of an [`MregImage`]).
 ///
 /// # Panics
 ///
 /// Panics if more than 32 rows are given or any `N` is not 1, 2 or 4.
 pub fn encode_row_patterns(ns: &[u8]) -> [u8; MREG_ROW_PATTERN_BYTES] {
-    assert!(ns.len() <= 32, "at most 32 rows fit the row-pattern field");
+    let mut img = MregImage::new();
+    img.set_row_ns(ns);
     let mut out = [0u8; MREG_ROW_PATTERN_BYTES];
-    for (r, &n) in ns.iter().enumerate() {
-        let code = match n {
-            1 => 1u8,
-            2 => 2,
-            4 => 3,
-            other => panic!("unsupported row N {other}; must be 1, 2 or 4"),
-        };
-        out[r / 4] |= code << ((r % 4) * 2);
-    }
+    out.copy_from_slice(img.row_patterns());
     out
+}
+
+/// Reads a packed little-endian FP32 register slice into a stack buffer.
+#[inline]
+fn read_f32s(bytes: &[u8], out: &mut [f32]) {
+    for (i, o) in out.iter_mut().enumerate() {
+        let off = i * 4;
+        *o = f32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]]);
+    }
+}
+
+/// Writes a stack FP32 buffer back into register bytes.
+#[inline]
+fn write_f32s(bytes: &mut [u8], vals: &[f32]) {
+    for (i, v) in vals.iter().enumerate() {
+        bytes[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+    }
 }
 
 impl Executor {
@@ -137,34 +145,33 @@ impl Executor {
     pub fn execute(&mut self, inst: Inst) -> Result<(), IsaError> {
         match inst {
             Inst::TileLoadT { dst, addr } => {
-                let bytes = self.mem.read_bytes(addr, crate::regs::TREG_BYTES)?.to_vec();
-                self.regs.treg_mut(dst).copy_from_slice(&bytes);
-                self.stats.bytes_loaded += bytes.len() as u64;
+                let bytes = self.mem.read_bytes(addr, crate::regs::TREG_BYTES)?;
+                self.regs.treg_mut(dst).copy_from_slice(bytes);
+                self.stats.bytes_loaded += crate::regs::TREG_BYTES as u64;
             }
             Inst::TileLoadU { dst, addr } => {
-                let bytes = self.mem.read_bytes(addr, crate::regs::UREG_BYTES)?.to_vec();
-                self.regs.ureg_mut(dst).copy_from_slice(&bytes);
-                self.stats.bytes_loaded += bytes.len() as u64;
+                let bytes = self.mem.read_bytes(addr, crate::regs::UREG_BYTES)?;
+                self.regs.ureg_mut(dst).copy_from_slice(bytes);
+                self.stats.bytes_loaded += crate::regs::UREG_BYTES as u64;
             }
             Inst::TileLoadV { dst, addr } => {
-                let bytes = self.mem.read_bytes(addr, crate::regs::VREG_BYTES)?.to_vec();
-                self.regs.vreg_mut(dst).copy_from_slice(&bytes);
-                self.stats.bytes_loaded += bytes.len() as u64;
+                let bytes = self.mem.read_bytes(addr, crate::regs::VREG_BYTES)?;
+                self.regs.vreg_mut(dst).copy_from_slice(bytes);
+                self.stats.bytes_loaded += crate::regs::VREG_BYTES as u64;
             }
             Inst::TileLoadM { dst, addr } => {
-                let bytes = self.mem.read_bytes(addr, MREG_BYTES)?.to_vec();
-                self.regs.mreg_mut(dst).copy_from_slice(&bytes);
-                self.stats.bytes_loaded += bytes.len() as u64;
+                let bytes = self.mem.read_bytes(addr, MREG_BYTES)?;
+                self.regs.mreg_mut(dst).copy_from_slice(bytes);
+                self.stats.bytes_loaded += MREG_BYTES as u64;
             }
             Inst::TileLoadRp { dst, addr } => {
-                let bytes = self.mem.read_bytes(addr, MREG_ROW_PATTERN_BYTES)?.to_vec();
-                self.regs.row_patterns_mut(dst).copy_from_slice(&bytes);
-                self.stats.bytes_loaded += bytes.len() as u64;
+                let bytes = self.mem.read_bytes(addr, MREG_ROW_PATTERN_BYTES)?;
+                self.regs.row_patterns_mut(dst).copy_from_slice(bytes);
+                self.stats.bytes_loaded += MREG_ROW_PATTERN_BYTES as u64;
             }
             Inst::TileStoreT { addr, src } => {
-                let bytes = self.regs.treg(src).to_vec();
-                self.mem.write_bytes(addr, &bytes)?;
-                self.stats.bytes_stored += bytes.len() as u64;
+                self.mem.write_bytes(addr, self.regs.treg(src))?;
+                self.stats.bytes_stored += crate::regs::TREG_BYTES as u64;
             }
             Inst::TileZero { dst } => {
                 self.regs.treg_mut(dst).fill(0);
@@ -183,80 +190,97 @@ impl Executor {
 
     /// `C (16×16) += A (16×32) × B (32×16)`, `B` held transposed.
     fn exec_gemm(&mut self, acc: TReg, a: TReg, b: TReg) {
-        let av = self.regs.treg_as_bf16(a);
-        let bt = self.regs.treg_as_bf16(b);
-        let mut c = self.regs.treg_as_f32(acc);
-        for i in 0..16 {
-            for j in 0..16 {
-                let mut s = c[(i, j)];
-                for k in 0..32 {
-                    s = mac_bf16(s, av[(i, k)], bt[(j, k)]);
+        let mut c = [0.0f32; 256];
+        read_f32s(self.regs.treg(acc), &mut c);
+        {
+            let av = TileView::dense(self.regs.treg(a), TREG_ROWS, 32);
+            let bt = TileView::dense(self.regs.treg(b), TREG_ROWS, 32);
+            for i in 0..16 {
+                for j in 0..16 {
+                    let mut s = c[i * 16 + j];
+                    for k in 0..32 {
+                        s = mac_bf16(s, av.at(i, k), bt.at(j, k));
+                    }
+                    c[i * 16 + j] = s;
                 }
-                c[(i, j)] = s;
             }
         }
-        self.regs.set_treg_f32(acc, &c);
+        write_f32s(self.regs.treg_mut(acc), &c);
         self.stats.effectual_macs += MACS_PER_TILE_INST as u64;
     }
 
     /// `C (16×16) += A (16×64 effective, 2:4) × B (64×16)`.
     fn exec_spmm_u(&mut self, acc: TReg, a: TReg, b: UReg) {
-        let av = self.regs.treg_as_bf16(a);
-        let meta = unpack_metadata(self.regs.mreg(a.paired_mreg()), 16, 32, 2);
-        let bt = self.regs.ureg_as_bf16(b);
-        let mut c = self.regs.treg_as_f32(acc);
-        for i in 0..16 {
-            for j in 0..16 {
-                let mut s = c[(i, j)];
-                // 16 blocks of 4, 2 stored values per block.
-                for blk in 0..16 {
-                    for slot in 0..2 {
-                        let k = blk * 2 + slot;
-                        let pos = meta[i * 32 + k] as usize;
-                        s = mac_bf16(s, av[(i, k)], bt[(j, blk * 4 + pos)]);
+        let mut c = [0.0f32; 256];
+        read_f32s(self.regs.treg(acc), &mut c);
+        {
+            let av = TileView::new(
+                FormatSpec::Nm(NmRatio::S2_4),
+                TREG_ROWS,
+                64,
+                self.regs.treg(a),
+                self.regs.mreg(a.paired_mreg()),
+                &[],
+            )
+            .expect("architectural treg/mreg always fit the 2:4 view");
+            let bt = TileView::dense(self.regs.ureg(b), TREG_ROWS, 64);
+            for i in 0..16 {
+                for j in 0..16 {
+                    let mut s = c[i * 16 + j];
+                    // 16 blocks of 4, 2 stored values per block.
+                    for blk in 0..16 {
+                        for slot in 0..2 {
+                            let k = i * 32 + blk * 2 + slot;
+                            let pos = av.position(k);
+                            s = mac_bf16(s, av.value(k), bt.at(j, blk * 4 + pos));
+                        }
                     }
+                    c[i * 16 + j] = s;
                 }
-                c[(i, j)] = s;
             }
         }
-        self.regs.set_treg_f32(acc, &c);
+        write_f32s(self.regs.treg_mut(acc), &c);
         self.stats.effectual_macs += MACS_PER_TILE_INST as u64;
     }
 
     /// `C (16×16) += A (16×128 effective, 1:4) × B (128×16)`.
     fn exec_spmm_v(&mut self, acc: TReg, a: TReg, b: VReg) {
-        let av = self.regs.treg_as_bf16(a);
-        let meta = unpack_metadata(self.regs.mreg(a.paired_mreg()), 16, 32, 2);
-        let bt = self.regs.vreg_as_bf16(b);
-        let mut c = self.regs.treg_as_f32(acc);
-        for i in 0..16 {
-            for j in 0..16 {
-                let mut s = c[(i, j)];
-                // 32 blocks of 4, 1 stored value per block.
-                for blk in 0..32 {
-                    let pos = meta[i * 32 + blk] as usize;
-                    s = mac_bf16(s, av[(i, blk)], bt[(j, blk * 4 + pos)]);
+        let mut c = [0.0f32; 256];
+        read_f32s(self.regs.treg(acc), &mut c);
+        {
+            let av = TileView::new(
+                FormatSpec::Nm(NmRatio::S1_4),
+                TREG_ROWS,
+                128,
+                self.regs.treg(a),
+                self.regs.mreg(a.paired_mreg()),
+                &[],
+            )
+            .expect("architectural treg/mreg always fit the 1:4 view");
+            let bt = TileView::dense(self.regs.vreg(b), TREG_ROWS, 128);
+            for i in 0..16 {
+                for j in 0..16 {
+                    let mut s = c[i * 16 + j];
+                    // 32 blocks of 4, 1 stored value per block.
+                    for blk in 0..32 {
+                        let k = i * 32 + blk;
+                        let pos = av.position(k);
+                        s = mac_bf16(s, av.value(k), bt.at(j, blk * 4 + pos));
+                    }
+                    c[i * 16 + j] = s;
                 }
-                c[(i, j)] = s;
             }
         }
-        self.regs.set_treg_f32(acc, &c);
+        write_f32s(self.regs.treg_mut(acc), &c);
         self.stats.effectual_macs += MACS_PER_TILE_INST as u64;
     }
 
     /// `C (R×16) += A (R×64 effective, row-wise N:4) × B (64×16)`.
     fn exec_spmm_r(&mut self, acc: UReg, a: TReg, b: UReg) -> Result<(), IsaError> {
         let mreg = a.paired_mreg();
-        let row_ns = decode_row_patterns(self.regs.row_patterns(mreg));
-        if row_ns.len() > 32 {
-            return Err(IsaError::InvalidOperands {
-                reason: format!(
-                    "row-pattern metadata describes {} rows (max 32)",
-                    row_ns.len()
-                ),
-            });
-        }
-        let total_values: usize = row_ns.iter().map(|&n| n as usize * 16).sum();
+        let mut ns = [0u8; ROW_PATTERN_ROWS];
+        let rows = decode_row_ns(self.regs.row_patterns(mreg), &mut ns);
+        let total_values: usize = ns[..rows].iter().map(|&n| n as usize * 16).sum();
         if total_values > 512 {
             return Err(IsaError::InvalidOperands {
                 reason: format!(
@@ -264,28 +288,37 @@ impl Executor {
                 ),
             });
         }
-        let av = self.regs.treg_as_bf16(a);
-        let flat = av.as_slice();
-        let meta = unpack_metadata(self.regs.mreg(mreg), 16, 32, 2);
-        let bt = self.regs.ureg_as_bf16(b);
-        let mut c = self.regs.ureg_as_f32(acc);
-        let mut cursor = 0usize;
-        for (r, &n) in row_ns.iter().enumerate() {
-            let n = n as usize;
-            for j in 0..16 {
-                let mut s = c[(r, j)];
-                for blk in 0..16 {
-                    for slot in 0..n {
-                        let k = cursor + blk * n + slot;
-                        let pos = meta[k] as usize;
-                        s = mac_bf16(s, flat[k], bt[(j, blk * 4 + pos)]);
+        let mut c = [0.0f32; 512];
+        read_f32s(self.regs.ureg(acc), &mut c);
+        {
+            let av = TileView::new(
+                FormatSpec::RowWise { m: 4 },
+                rows,
+                64,
+                self.regs.treg(a),
+                self.regs.mreg(mreg),
+                self.regs.row_patterns(mreg),
+            )
+            .expect("in-budget row-wise registers always view");
+            let bt = TileView::dense(self.regs.ureg(b), TREG_ROWS, 64);
+            let mut cursor = 0usize;
+            for r in 0..rows {
+                let n = av.row_n(r);
+                for j in 0..16 {
+                    let mut s = c[r * 16 + j];
+                    for blk in 0..16 {
+                        for slot in 0..n {
+                            let k = cursor + blk * n + slot;
+                            let pos = av.position(k);
+                            s = mac_bf16(s, av.value(k), bt.at(j, blk * 4 + pos));
+                        }
                     }
+                    c[r * 16 + j] = s;
                 }
-                c[(r, j)] = s;
+                cursor += 16 * n;
             }
-            cursor += 16 * n;
         }
-        self.regs.set_ureg_f32(acc, &c);
+        write_f32s(self.regs.ureg_mut(acc), &c);
         self.stats.effectual_macs += (total_values * 16) as u64;
         Ok(())
     }
@@ -301,7 +334,7 @@ pub fn row_patterns_of(field: &[u8]) -> Vec<u8> {
 mod tests {
     use super::*;
     use vegeta_num::{gemm_bf16_ref, Bf16, Matrix};
-    use vegeta_sparse::{CompressedTile, NmRatio, RowWiseTile};
+    use vegeta_sparse::{CompressedTile, RowWiseTile, TileFormat, TregImage};
 
     fn int_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<Bf16> {
         // Small integers are exact in BF16 and their dot products are exact
@@ -364,15 +397,10 @@ mod tests {
     }
 
     fn load_compressed(exec: &mut Executor, a: TReg, tile: &CompressedTile) {
-        let mut vals = Matrix::zeros(16, 32);
-        for r in 0..tile.rows() {
-            for (c, &v) in tile.row_values(r).iter().enumerate() {
-                vals[(r, c)] = v;
-            }
-        }
-        exec.regs_mut().set_treg_bf16(a, &vals);
-        let packed = tile.metadata_packed();
-        exec.regs_mut().mreg_mut(a.paired_mreg())[..packed.len()].copy_from_slice(&packed);
+        let (mut treg, mut mreg) = (TregImage::new(), MregImage::new());
+        tile.pack_into(&mut treg, &mut mreg).unwrap();
+        exec.regs_mut().set_treg_image(a, &treg);
+        exec.regs_mut().set_mreg_image(a.paired_mreg(), &mreg);
     }
 
     #[test]
@@ -419,35 +447,10 @@ mod tests {
     }
 
     fn load_row_wise(exec: &mut Executor, a: TReg, tile: &RowWiseTile) {
-        let mut vals = Matrix::zeros(16, 32);
-        let mut idxs = Vec::new();
-        let mut cursor = 0usize;
-        for r in 0..tile.rows() {
-            for (i, &v) in tile.row_values(r).iter().enumerate() {
-                vals[((cursor + i) / 32, (cursor + i) % 32)] = v;
-            }
-            idxs.extend_from_slice(tile.row_indices(r));
-            cursor += tile.row_values(r).len();
-        }
-        idxs.resize(512, 0);
-        exec.regs_mut().set_treg_bf16(a, &vals);
-        let packed = vegeta_sparse::CompressedTile::compress(&Matrix::zeros(1, 4), NmRatio::S1_4)
-            .map(|_| ())
-            .ok();
-        let _ = packed;
-        // Pack 2-bit indices directly.
-        let mut meta = [0u8; 128];
-        for (i, &idx) in idxs.iter().enumerate() {
-            meta[i / 4] |= idx << ((i % 4) * 2);
-        }
-        exec.regs_mut()
-            .mreg_mut(a.paired_mreg())
-            .copy_from_slice(&meta);
-        let ns: Vec<u8> = tile.row_ratios().iter().map(|r| r.n()).collect();
-        let rp = encode_row_patterns(&ns);
-        exec.regs_mut()
-            .row_patterns_mut(a.paired_mreg())
-            .copy_from_slice(&rp);
+        let (mut treg, mut mreg) = (TregImage::new(), MregImage::new());
+        tile.pack_into(&mut treg, &mut mreg).unwrap();
+        exec.regs_mut().set_treg_image(a, &treg);
+        exec.regs_mut().set_mreg_image(a.paired_mreg(), &mreg);
     }
 
     #[test]

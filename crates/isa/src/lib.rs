@@ -19,18 +19,32 @@
 //! # Data layout conventions
 //!
 //! The paper stores the dense `B` operand "in a transposed manner in the tile
-//! registers" (Listing 1). We therefore define register views as row-major
-//! matrices over the register bytes with these shapes:
+//! registers" (Listing 1). Register contents are defined by the storage
+//! layer's packed images — a [`TregImage`] is exactly a treg's bytes, an
+//! [`MregImage`] an mreg's metadata plus its row-pattern sidecar — and the
+//! executor reads them through borrowed, zero-copy [`TileView`]s with these
+//! shapes:
 //!
-//! | Operand | Register | View |
+//! | Operand | Register | Image / view |
 //! |---|---|---|
-//! | `A` dense | `treg` | 16×32 BF16 |
-//! | `A` 2:4 / 1:4 compressed | `treg` (+`mreg`) | 16×32 BF16 values |
-//! | `Bᵀ` for `TILE_GEMM` | `treg` | 16×32 BF16 (`B` is 32×16) |
-//! | `Bᵀ` for `TILE_SPMM_U`/`_R` | `ureg` | 16×64 BF16 (`B` is 64×16) |
-//! | `Bᵀ` for `TILE_SPMM_V` | `vreg` | 16×128 BF16 (`B` is 128×16) |
-//! | `C` accumulator | `treg` | 16×16 FP32 |
+//! | `A` dense | `treg` | [`TregImage`]; dense `TileView`, 16×32 BF16 |
+//! | `A` 2:4 / 1:4 compressed | `treg` + `mreg` | [`TregImage`] + [`MregImage`]; `Nm` `TileView` (16×64 / 16×128 effective) |
+//! | `A` row-wise `N:4` | `treg` + `mreg` (+RP) | [`TregImage`] + [`MregImage`]; `RowWise` `TileView` (≤32×64 effective) |
+//! | `A` CSR (vector path) | memory only | [`MregImage`] capacity gates what fits a register image |
+//! | `Bᵀ` for `TILE_GEMM` | `treg` | dense `TileView`, 16×32 BF16 (`B` is 32×16) |
+//! | `Bᵀ` for `TILE_SPMM_U`/`_R` | `ureg` | dense `TileView`, 16×64 BF16 (`B` is 64×16) |
+//! | `Bᵀ` for `TILE_SPMM_V` | `vreg` | dense `TileView`, 16×128 BF16 (`B` is 128×16) |
+//! | `C` accumulator | `treg` | 16×16 FP32 (stack buffer in the executor) |
 //! | `C` for `TILE_SPMM_R` | `ureg` | up-to-32×16 FP32 |
+//!
+//! Formats lower into images with [`TileFormat::pack_into`]
+//! ([`vegeta_sparse::TileFormat`]); [`Memory::write_treg_image`] /
+//! [`Memory::write_mreg_image`] place the payloads a `TILE_LOAD_T` /
+//! `TILE_LOAD_M` / `TILE_LOAD_RP` then moves verbatim, and
+//! [`RegFile::set_treg_image`] / [`RegFile::set_mreg_image`] short-circuit
+//! that path for tests. The per-instruction execute path allocates nothing:
+//! operands are read in place through [`TileView`]s over
+//! [`RegFile::treg`]-style borrows.
 //!
 //! The metadata register used by a tile SPMM instruction is implicitly the
 //! `mreg` with the same index as the `A` operand's `treg`, matching the
@@ -73,3 +87,6 @@ pub use exec::{encode_row_patterns, row_patterns_of, ExecStats, Executor};
 pub use inst::{Inst, Opcode, RegRef, MACS_PER_TILE_INST};
 pub use mem::{Memory, CACHE_LINE_BYTES};
 pub use regs::{MReg, RegFile, TReg, UReg, VReg};
+// The storage layer's register images and views are part of this crate's
+// operand vocabulary; re-export them so ISA users need one import.
+pub use vegeta_sparse::{FormatSpec, MregImage, TileFormat, TileView, TregImage};

@@ -5,6 +5,7 @@
 //! functional memory just moves the bytes.
 
 use vegeta_num::{Bf16, Matrix};
+use vegeta_sparse::{MregImage, TregImage};
 
 use crate::IsaError;
 
@@ -99,6 +100,48 @@ impl Memory {
         Ok(())
     }
 
+    /// Writes a packed tile image at `addr` — the payload a later
+    /// `TILE_LOAD_T` from the same address moves into a treg.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::MemoryOutOfBounds`] if the image does not fit.
+    pub fn write_treg_image(&mut self, addr: u64, img: &TregImage) -> Result<(), IsaError> {
+        self.write_bytes(addr, img.as_bytes())
+    }
+
+    /// Reads a tile image back from `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::MemoryOutOfBounds`] on an out-of-range access.
+    pub fn read_treg_image(&self, addr: u64) -> Result<TregImage, IsaError> {
+        let bytes = self.read_bytes(addr, crate::regs::TREG_BYTES)?;
+        let mut img = TregImage::new();
+        img.as_bytes_mut().copy_from_slice(bytes);
+        Ok(img)
+    }
+
+    /// Writes the 128 B packed-metadata area of an image at `meta_addr` (a
+    /// `TILE_LOAD_M` payload) and, when `rp_addr` is given, the 8 B
+    /// row-pattern sidecar at `rp_addr` (a `TILE_LOAD_RP` payload).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::MemoryOutOfBounds`] if either area does not fit.
+    pub fn write_mreg_image(
+        &mut self,
+        meta_addr: u64,
+        rp_addr: Option<u64>,
+        img: &MregImage,
+    ) -> Result<(), IsaError> {
+        self.write_bytes(meta_addr, img.meta())?;
+        if let Some(rp) = rp_addr {
+            self.write_bytes(rp, img.row_patterns())?;
+        }
+        Ok(())
+    }
+
     /// Writes a BF16 matrix row-major and contiguous at `addr`.
     ///
     /// # Errors
@@ -190,6 +233,23 @@ mod tests {
         assert!(mem.read_bytes(u64::MAX, 1).is_err());
         let mut mem = mem;
         assert!(mem.write_bytes(64, &[0]).is_err());
+    }
+
+    #[test]
+    fn image_roundtrip_through_memory() {
+        let mut mem = Memory::new(8192);
+        let mut treg = TregImage::new();
+        treg.set_bf16(7, Bf16::from_f32(9.0));
+        let mut mreg = MregImage::new();
+        mreg.set_position2(3, 2);
+        mreg.set_row_ns(&[1, 2, 4]);
+        mem.write_treg_image(0x400, &treg).unwrap();
+        mem.write_mreg_image(0x800, Some(0x880), &mreg).unwrap();
+        assert_eq!(mem.read_treg_image(0x400).unwrap(), treg);
+        assert_eq!(mem.read_bytes(0x800, 128).unwrap(), mreg.meta());
+        assert_eq!(mem.read_bytes(0x880, 8).unwrap(), mreg.row_patterns());
+        // Out-of-range image writes are rejected.
+        assert!(mem.write_treg_image(8192 - 16, &treg).is_err());
     }
 
     #[test]

@@ -17,11 +17,13 @@
 use std::fmt;
 
 use vegeta_num::{Bf16, Matrix};
+use vegeta_sparse::{MregImage, TregImage};
 
 use crate::IsaError;
 
-/// Bytes in one tile register.
-pub const TREG_BYTES: usize = 1024;
+/// Bytes in one tile register (the size of a packed
+/// [`TregImage`]).
+pub const TREG_BYTES: usize = vegeta_sparse::TREG_IMAGE_BYTES;
 /// Rows in one tile register.
 pub const TREG_ROWS: usize = 16;
 /// Bytes per tile register row (one cache line).
@@ -30,10 +32,11 @@ pub const TREG_ROW_BYTES: usize = 64;
 pub const UREG_BYTES: usize = 2 * TREG_BYTES;
 /// Bytes in one `vreg` (four aliased tregs).
 pub const VREG_BYTES: usize = 4 * TREG_BYTES;
-/// Bytes in one metadata register.
-pub const MREG_BYTES: usize = 128;
+/// Bytes in one metadata register (the packed-metadata area of an
+/// [`MregImage`]).
+pub const MREG_BYTES: usize = vegeta_sparse::MREG_IMAGE_BYTES;
 /// Bytes in the row-pattern field of a metadata register.
-pub const MREG_ROW_PATTERN_BYTES: usize = 8;
+pub const MREG_ROW_PATTERN_BYTES: usize = vegeta_sparse::ROW_PATTERN_BYTES;
 /// Number of tile registers.
 pub const NUM_TREGS: usize = 8;
 /// Number of `ureg` aliases.
@@ -224,6 +227,37 @@ impl RegFile {
             [r.index() * MREG_ROW_PATTERN_BYTES..(r.index() + 1) * MREG_ROW_PATTERN_BYTES]
     }
 
+    /// Loads a packed tile image into a treg — the register-side half of a
+    /// [`vegeta_sparse::TileFormat::pack_into`] round trip (the memory-side
+    /// half is a `TILE_LOAD_T`).
+    pub fn set_treg_image(&mut self, r: TReg, img: &TregImage) {
+        self.treg_mut(r).copy_from_slice(img.as_bytes());
+    }
+
+    /// Copies a treg's bytes out as an owned image (for stores and
+    /// inspection; reads on the executor's hot path use
+    /// [`vegeta_sparse::TileView`] over [`RegFile::treg`] instead).
+    pub fn treg_image(&self, r: TReg) -> TregImage {
+        let mut img = TregImage::new();
+        img.as_bytes_mut().copy_from_slice(self.treg(r));
+        img
+    }
+
+    /// Loads a metadata image — packed metadata plus the row-pattern
+    /// sidecar — into an mreg.
+    pub fn set_mreg_image(&mut self, r: MReg, img: &MregImage) {
+        self.mreg_mut(r).copy_from_slice(img.meta());
+        self.row_patterns_mut(r).copy_from_slice(img.row_patterns());
+    }
+
+    /// Copies an mreg (metadata + row patterns) out as an owned image.
+    pub fn mreg_image(&self, r: MReg) -> MregImage {
+        let mut img = MregImage::new();
+        img.meta_mut().copy_from_slice(self.mreg(r));
+        img.row_patterns_mut().copy_from_slice(self.row_patterns(r));
+        img
+    }
+
     /// Reads a treg as the canonical 16×32 BF16 view.
     pub fn treg_as_bf16(&self, r: TReg) -> Matrix<Bf16> {
         bytes_to_bf16(self.treg(r), TREG_ROWS, 32)
@@ -396,6 +430,26 @@ mod tests {
         let mut rf = RegFile::new();
         rf.treg_mut(TReg::T6)[0] = 0xAB;
         assert_eq!(rf.vreg(VReg::V1)[2 * TREG_BYTES], 0xAB);
+    }
+
+    #[test]
+    fn image_roundtrip_through_registers() {
+        let mut rf = RegFile::new();
+        let mut treg = TregImage::new();
+        for i in 0..512 {
+            treg.set_bf16(i, Bf16::from_f32(i as f32 - 256.0));
+        }
+        let mut mreg = MregImage::new();
+        for i in 0..512 {
+            mreg.set_position2(i, (i % 4) as u8);
+        }
+        mreg.set_row_ns(&[2u8; 16]);
+        rf.set_treg_image(TReg::T2, &treg);
+        rf.set_mreg_image(MReg::M2, &mreg);
+        assert_eq!(rf.treg_image(TReg::T2), treg);
+        assert_eq!(rf.mreg_image(MReg::M2), mreg);
+        assert_eq!(rf.treg(TReg::T2), treg.as_bytes());
+        assert_eq!(rf.row_patterns(MReg::M2), mreg.row_patterns());
     }
 
     #[test]

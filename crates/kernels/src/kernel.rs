@@ -24,7 +24,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use vegeta_engine::EngineConfig;
 use vegeta_isa::trace::Trace;
-use vegeta_sparse::NmRatio;
+use vegeta_sparse::{FormatSpec, NmRatio};
 
 use crate::rowwise::build_rowwise_trace;
 use crate::tiled::{build_listing1_trace, build_trace, KernelOptions, SparseMode};
@@ -103,6 +103,48 @@ impl KernelSpec {
             KernelSpec::RowWise { .. } | KernelSpec::Vector => None,
         }
     }
+
+    /// The storage format of the `A` operand this kernel consumes: the
+    /// tiled/Listing-1 kernels read their mode's format, the row-wise kernel
+    /// reads row-wise `N:4` tiles, and the vector baseline streams dense
+    /// values.
+    pub fn format(&self) -> FormatSpec {
+        match self {
+            KernelSpec::Tiled { mode, .. } | KernelSpec::Listing1 { mode } => mode.format(),
+            KernelSpec::RowWise { .. } => FormatSpec::RowWise { m: 4 },
+            KernelSpec::Vector => FormatSpec::Dense,
+        }
+    }
+
+    /// Bytes of stored `A`-operand values for `shape` in this kernel's
+    /// format. Exact for row-wise specs (which carry their covers);
+    /// spec-level capacity bounds otherwise (see
+    /// [`FormatSpec::values_bytes`]).
+    pub fn a_values_bytes(&self, shape: GemmShape) -> u64 {
+        match self {
+            KernelSpec::RowWise { row_ratios } => row_ratios
+                .iter()
+                .map(|r| (shape.k.div_ceil(r.m() as usize) * r.n() as usize * 2) as u64)
+                .sum(),
+            _ => self.format().values_bytes(shape.m, shape.k) as u64,
+        }
+    }
+
+    /// Bits of `A`-operand metadata for `shape` in this kernel's format
+    /// (positions plus the row-wise per-row selectors); exact for row-wise
+    /// specs, capacity bounds otherwise.
+    pub fn a_metadata_bits(&self, shape: GemmShape) -> u64 {
+        match self {
+            KernelSpec::RowWise { row_ratios } => {
+                let stored: u64 = row_ratios
+                    .iter()
+                    .map(|r| (shape.k.div_ceil(r.m() as usize) * r.n() as usize) as u64)
+                    .sum();
+                stored * 2 + row_ratios.len() as u64 * 2
+            }
+            _ => self.format().metadata_bits(shape.m, shape.k) as u64,
+        }
+    }
 }
 
 impl Kernel for KernelSpec {
@@ -163,7 +205,13 @@ impl EngineKernelExt for EngineConfig {
     }
 }
 
-/// A memoizing, thread-safe trace cache keyed on `(GemmShape, KernelSpec)`.
+/// A memoizing, thread-safe trace cache keyed on
+/// `(GemmShape, FormatSpec, KernelSpec)`.
+///
+/// The operand storage format is part of the key (derived via
+/// [`KernelSpec::format`]), so sweeps that grid over storage formats — and
+/// future kernels that execute the same instruction mix over different
+/// operand encodings — never alias cache entries.
 ///
 /// Each key's trace is built exactly once, even under concurrent lookups
 /// from sweep worker threads (per-key [`OnceLock`] cells serialize the
@@ -184,7 +232,7 @@ impl EngineKernelExt for EngineConfig {
 /// ```
 #[derive(Debug, Default)]
 pub struct TraceCache {
-    cells: Mutex<HashMap<(GemmShape, KernelSpec), TraceCell>>,
+    cells: Mutex<HashMap<(GemmShape, FormatSpec, KernelSpec), TraceCell>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -201,9 +249,10 @@ impl TraceCache {
     /// Returns the memoized trace for `(shape, spec)`, building it on first
     /// use. Concurrent callers for the same key block on the single build.
     pub fn get_or_build(&self, shape: GemmShape, spec: &KernelSpec) -> Arc<Trace> {
+        let format = spec.format();
         let cell = {
             let mut map = self.cells.lock().expect("trace cache poisoned");
-            match map.get(&(shape, spec.clone())) {
+            match map.get(&(shape, format, spec.clone())) {
                 Some(cell) => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     Arc::clone(cell)
@@ -211,7 +260,7 @@ impl TraceCache {
                 None => {
                     self.misses.fetch_add(1, Ordering::Relaxed);
                     let cell = Arc::new(OnceLock::new());
-                    map.insert((shape, spec.clone()), Arc::clone(&cell));
+                    map.insert((shape, format, spec.clone()), Arc::clone(&cell));
                     cell
                 }
             }
@@ -326,6 +375,46 @@ mod tests {
             s16.kernel_spec(NmRatio::S2_4, KernelOptions::default()),
             KernelSpec::tiled(SparseMode::Nm2of4)
         );
+    }
+
+    #[test]
+    fn specs_expose_their_operand_format() {
+        assert_eq!(
+            KernelSpec::tiled(SparseMode::Nm2of4).format(),
+            FormatSpec::Nm(NmRatio::S2_4)
+        );
+        assert_eq!(
+            KernelSpec::Listing1 {
+                mode: SparseMode::Dense
+            }
+            .format(),
+            FormatSpec::Dense
+        );
+        assert_eq!(
+            KernelSpec::RowWise { row_ratios: vec![] }.format(),
+            FormatSpec::RowWise { m: 4 }
+        );
+        assert_eq!(KernelSpec::Vector.format(), FormatSpec::Dense);
+    }
+
+    #[test]
+    fn operand_accounting_matches_formats() {
+        let shape = GemmShape::new(32, 16, 64);
+        // Dense A: 32x64 BF16, no metadata.
+        assert_eq!(KernelSpec::Vector.a_values_bytes(shape), 32 * 64 * 2);
+        assert_eq!(KernelSpec::Vector.a_metadata_bits(shape), 0);
+        // 2:4 halves the stored values and carries 2 bits each.
+        let s24 = KernelSpec::tiled(SparseMode::Nm2of4);
+        assert_eq!(s24.a_values_bytes(shape), 32 * 32 * 2);
+        assert_eq!(s24.a_metadata_bits(shape), 32 * 32 * 2);
+        // Row-wise accounting is exact per cover: 16 rows at 1:4 + 16 at
+        // 2:4 over k = 64.
+        let mut ratios = vec![NmRatio::S1_4; 16];
+        ratios.extend(vec![NmRatio::S2_4; 16]);
+        let rw = KernelSpec::RowWise { row_ratios: ratios };
+        let stored = 16 * 16 + 16 * 32;
+        assert_eq!(rw.a_values_bytes(shape), (stored * 2) as u64);
+        assert_eq!(rw.a_metadata_bits(shape), (stored * 2 + 32 * 2) as u64);
     }
 
     #[test]

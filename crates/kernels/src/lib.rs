@@ -17,7 +17,13 @@
 //!   convolutional layers.
 //! * [`kernel`] — the polymorphic [`Kernel`] trait, the hashable
 //!   [`KernelSpec`] enum unifying every builder, the memoizing
-//!   [`TraceCache`], and [`EngineKernelExt`] (kernel selection per engine).
+//!   [`TraceCache`] (keyed on shape × storage format × kernel), and
+//!   [`EngineKernelExt`] (kernel selection per engine).
+//!
+//! Every kernel declares the storage format its `A` operand uses via
+//! [`KernelSpec::format`] (a `vegeta_sparse::FormatSpec`), and the program
+//! builders lower operands into register images with the storage layer's
+//! `TileFormat::pack_into` — the same bytes the ISA's tile loads then move.
 //!
 //! [`Trace`]: vegeta_isa::trace::Trace
 //!

@@ -17,9 +17,9 @@
 
 use vegeta_engine::rowwise::{pack_rows, TileAssignment};
 use vegeta_isa::trace::{Trace, TraceOp};
-use vegeta_isa::{encode_row_patterns, Executor, Inst, MReg, Memory, TReg, UReg};
+use vegeta_isa::{Executor, Inst, MReg, Memory, TReg, UReg};
 use vegeta_num::{Bf16, Matrix};
-use vegeta_sparse::{transform, NmRatio};
+use vegeta_sparse::{transform, MregImage, NmRatio, RowWiseTile, TileFormat, TregImage};
 
 use crate::{GemmShape, KernelError};
 
@@ -83,60 +83,33 @@ impl RowWiseProgram {
     }
 }
 
-/// Packs one row group's `A` data for one 64-wide `k` chunk into the
-/// treg/mreg/row-pattern byte images.
+/// Packs one row group's `A` data for one 64-wide `k` chunk into register
+/// images, via the storage layer's row-wise format: gather the chunk,
+/// compress it with the rows' (already chosen, possibly denser-than-needed)
+/// covers, and lower with `pack_into`.
 fn pack_tile(
     a: &Matrix<Bf16>,
     order: &[usize],
     covers: &[NmRatio],
     assignment: &TileAssignment,
     kt: usize,
-) -> ([u8; 1024], [u8; 128], [u8; 8]) {
-    let mut values = [0u8; 1024];
-    let mut meta = [0u8; 128];
-    let mut cursor = 0usize; // stored-value index
-    let mut ns = Vec::with_capacity(assignment.rows.len());
-    for &packed_row in &assignment.rows {
-        let orig = order[packed_row];
-        let n = covers[packed_row].n() as usize;
-        ns.push(n as u8);
-        for blk in 0..16 {
-            // Collect the block's non-zeros, then pad to n slots.
-            let mut slots: Vec<usize> = Vec::with_capacity(n);
-            for pos in 0..4 {
-                let col = kt * 64 + blk * 4 + pos;
-                let v = if orig < a.rows() && col < a.cols() {
-                    a[(orig, col)]
-                } else {
-                    Bf16::ZERO
-                };
-                if !v.is_zero() {
-                    slots.push(pos);
-                }
-            }
-            let mut pos_iter = 0;
-            while slots.len() < n {
-                if !slots.contains(&pos_iter) {
-                    slots.push(pos_iter);
-                }
-                pos_iter += 1;
-            }
-            slots.sort_unstable();
-            for &pos in &slots {
-                let col = kt * 64 + blk * 4 + pos;
-                let v = if orig < a.rows() && col < a.cols() {
-                    a[(orig, col)]
-                } else {
-                    Bf16::ZERO
-                };
-                values[cursor * 2..cursor * 2 + 2].copy_from_slice(&v.to_le_bytes());
-                meta[cursor / 4] |= (pos as u8) << ((cursor % 4) * 2);
-                cursor += 1;
-            }
+) -> (TregImage, MregImage) {
+    let chunk = Matrix::from_fn(assignment.rows.len(), 64, |p, c| {
+        let orig = order[assignment.rows[p]];
+        let col = kt * 64 + c;
+        if orig < a.rows() && col < a.cols() {
+            a[(orig, col)]
+        } else {
+            Bf16::ZERO
         }
-    }
-    let rp = encode_row_patterns(&ns);
-    (values, meta, rp)
+    });
+    let ratios: Vec<NmRatio> = assignment.rows.iter().map(|&p| covers[p]).collect();
+    let tile = RowWiseTile::compress_with(&chunk, 4, &ratios)
+        .expect("whole-row covers always cover their k chunks");
+    let (mut treg, mut mreg) = (TregImage::new(), MregImage::new());
+    tile.pack_into(&mut treg, &mut mreg)
+        .expect("pack_rows keeps every group within the register budget");
+    (treg, mreg)
 }
 
 /// Builds a complete row-wise SPMM program for unstructured `A`.
@@ -196,10 +169,9 @@ pub fn build_rowwise_program(
     for (ai, assignment) in assignments.iter().enumerate() {
         for kt in 0..tiles_k {
             let (va, ma, ra) = a_addrs[ai * tiles_k + kt];
-            let (values, meta, rp) = pack_tile(a, &order, &covers, assignment, kt);
-            mem.write_bytes(va, &values)?;
-            mem.write_bytes(ma, &meta)?;
-            mem.write_bytes(ra, &rp)?;
+            let (treg, mreg) = pack_tile(a, &order, &covers, assignment, kt);
+            mem.write_treg_image(va, &treg)?;
+            mem.write_mreg_image(ma, Some(ra), &mreg)?;
         }
     }
     for jt in 0..tiles_n {

@@ -33,7 +33,7 @@
 use vegeta_isa::trace::{Trace, TraceOp};
 use vegeta_isa::{Executor, Inst, MReg, Memory, TReg, UReg, VReg};
 use vegeta_num::{Bf16, Matrix};
-use vegeta_sparse::{CompressedTile, NmRatio};
+use vegeta_sparse::{FormatSpec, MregImage, NmRatio, TregImage};
 
 use crate::{GemmShape, KernelError};
 
@@ -68,6 +68,26 @@ impl SparseMode {
             SparseMode::Dense => NmRatio::D4_4,
             SparseMode::Nm2of4 => NmRatio::S2_4,
             SparseMode::Nm1of4 => NmRatio::S1_4,
+        }
+    }
+
+    /// The storage format the `A` operand uses in this mode.
+    pub fn format(self) -> FormatSpec {
+        match self {
+            SparseMode::Dense => FormatSpec::Dense,
+            SparseMode::Nm2of4 => FormatSpec::Nm(NmRatio::S2_4),
+            SparseMode::Nm1of4 => FormatSpec::Nm(NmRatio::S1_4),
+        }
+    }
+
+    /// The mode that executes operands stored in `format`, when the tiled
+    /// kernels support one (row-wise and CSR operands have their own
+    /// kernels).
+    pub fn for_format(format: FormatSpec) -> Option<SparseMode> {
+        match format {
+            FormatSpec::Dense => Some(SparseMode::Dense),
+            FormatSpec::Nm(ratio) => SparseMode::for_ratio(ratio),
+            FormatSpec::RowWise { .. } | FormatSpec::Csr => None,
         }
     }
 
@@ -421,14 +441,19 @@ pub fn build_program(
     let plan = Plan::new(shape, mode);
     let mut mem = Memory::new(plan.total_bytes.next_multiple_of(64) as usize);
     let tk = mode.tk();
-    let ratio = mode.ratio();
+    let format = mode.format();
+    let (mut treg, mut mreg) = (TregImage::new(), MregImage::new());
     for it in 0..shape.tiles_m() {
         for kt in 0..shape.tiles_k(tk) {
             let block = a.block_padded(it * 16, kt * tk, 16, tk, Bf16::ZERO);
-            let tile = CompressedTile::compress(&block, ratio)?;
-            mem.write_bf16_matrix(plan.a_value_addr(it, kt), tile.values())?;
+            // Compress into the mode's storage format and lower it straight
+            // into register images — the exact bytes the TILE_LOAD_T /
+            // TILE_LOAD_M pair will move, with no intermediate matrices.
+            let tile = format.compress(&block)?;
+            tile.pack_into(&mut treg, &mut mreg)?;
+            mem.write_treg_image(plan.a_value_addr(it, kt), &treg)?;
             if mode != SparseMode::Dense {
-                mem.write_bytes(plan.a_meta_addr(it, kt), &tile.metadata_packed())?;
+                mem.write_mreg_image(plan.a_meta_addr(it, kt), None, &mreg)?;
             }
         }
     }

@@ -2,6 +2,8 @@
 
 use vegeta_num::{Bf16, Matrix};
 
+use crate::format::{check_treg_budget, FormatSpec, TileFormat};
+use crate::image::{write_bits, MregImage, TregImage};
 use crate::{NmRatio, SparsityError};
 
 /// A tile compressed with uniform `N:M` structured sparsity.
@@ -230,6 +232,63 @@ impl CompressedTile {
     }
 }
 
+impl TileFormat for CompressedTile {
+    fn spec(&self) -> FormatSpec {
+        FormatSpec::Nm(self.ratio)
+    }
+
+    fn rows(&self) -> usize {
+        self.values.rows()
+    }
+
+    fn effective_cols(&self) -> usize {
+        self.effective_cols
+    }
+
+    fn stored_len(&self) -> usize {
+        self.values.len()
+    }
+
+    fn metadata_bits(&self) -> usize {
+        self.values.len() * self.ratio.index_bits() as usize
+    }
+
+    fn decompress(&self) -> Matrix<Bf16> {
+        CompressedTile::decompress(self)
+    }
+
+    fn pack_into(&self, treg: &mut TregImage, mreg: &mut MregImage) -> Result<(), SparsityError> {
+        check_treg_budget(self.values.len())?;
+        let row_bytes = self.metadata_row_bytes();
+        if self.values.rows() * row_bytes > mreg.meta().len() {
+            return Err(SparsityError::InvalidMetadata {
+                reason: format!(
+                    "{} rows of {row_bytes} B metadata exceed the {} B mreg",
+                    self.values.rows(),
+                    mreg.meta().len()
+                ),
+            });
+        }
+        treg.clear();
+        *mreg = MregImage::new();
+        for (i, v) in self.values.iter().enumerate() {
+            treg.set_bf16(i, *v);
+        }
+        let bits = self.ratio.index_bits();
+        let per_row = self.values.cols();
+        for (i, &idx) in self.indices.iter().enumerate() {
+            let (r, k) = (i / per_row, i % per_row);
+            write_bits(
+                mreg.meta_mut(),
+                r * row_bytes * 8 + k * bits as usize,
+                bits,
+                idx,
+            );
+        }
+        Ok(())
+    }
+}
+
 /// Packs `indices` (one entry per stored value, `per_row` values per row) at
 /// `bits` bits each, LSB-first, each row padded to a whole byte boundary.
 pub(crate) fn pack_indices(indices: &[u8], per_row: usize, bits: u32) -> Vec<u8> {
@@ -253,7 +312,9 @@ pub(crate) fn pack_indices(indices: &[u8], per_row: usize, bits: u32) -> Vec<u8>
     out
 }
 
-/// Unpacks metadata produced by [`pack_indices`].
+/// Unpacks metadata produced by [`pack_indices`] (test-only inverse; runtime
+/// reads go through [`crate::TileView`] / [`crate::MregImage`] in place).
+#[cfg(test)]
 pub(crate) fn unpack_indices(packed: &[u8], rows: usize, per_row: usize, bits: u32) -> Vec<u8> {
     let row_bytes = (per_row * bits as usize).div_ceil(8);
     let mask = (1u16 << bits) - 1;
@@ -273,14 +334,6 @@ pub(crate) fn unpack_indices(packed: &[u8], rows: usize, per_row: usize, bits: u
         }
     }
     out
-}
-
-/// Unpacks `mreg`-format metadata back into one position byte per value.
-///
-/// Inverse of [`CompressedTile::metadata_packed`]; exposed for the ISA layer,
-/// which stores only the packed form architecturally.
-pub fn unpack_metadata(packed: &[u8], rows: usize, per_row: usize, bits: u32) -> Vec<u8> {
-    unpack_indices(packed, rows, per_row, bits)
 }
 
 #[cfg(test)]
@@ -367,8 +420,29 @@ mod tests {
         let dense = mat(3, 16, |r, c| if (c + r) % 4 == 0 { 1.0 } else { 0.0 });
         let t = CompressedTile::compress(&dense, NmRatio::S1_4).unwrap();
         let packed = t.metadata_packed();
-        let unpacked = unpack_metadata(&packed, 3, t.values().cols(), 2);
+        let unpacked = unpack_indices(&packed, 3, t.values().cols(), 2);
         assert_eq!(unpacked, t.indices());
+    }
+
+    #[test]
+    fn pack_into_matches_metadata_packed_layout() {
+        // The image layout must be byte-identical to the offline
+        // `metadata_packed` form the mreg architecturally stores.
+        let dense = mat(
+            16,
+            64,
+            |r, c| if (r + c) % 4 < 2 { (c + 1) as f32 } else { 0.0 },
+        );
+        let pruned = crate::prune::magnitude_prune_nm(&dense, NmRatio::S2_4);
+        let t = CompressedTile::compress(&pruned, NmRatio::S2_4).unwrap();
+        let (mut treg, mut mreg) = (TregImage::new(), MregImage::new());
+        t.pack_into(&mut treg, &mut mreg).unwrap();
+        assert_eq!(mreg.meta(), t.metadata_packed().as_slice());
+        for (i, v) in t.values().iter().enumerate() {
+            assert_eq!(treg.bf16(i), *v);
+        }
+        let view = crate::TileView::of_images(TileFormat::spec(&t), 16, 64, &treg, &mreg).unwrap();
+        assert_eq!(view.decompress(), pruned);
     }
 
     #[test]

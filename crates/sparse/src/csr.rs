@@ -1,0 +1,254 @@
+//! Unstructured compressed-sparse-row tiles.
+//!
+//! CSR is the lingua franca of sparse linear algebra and the operand format
+//! of SpGEMM accelerators in related work (e.g. *SparseZipper*'s
+//! vector-extension SpGEMM). VEGETA's tile engine cannot consume CSR
+//! directly — the paper's §III-D transform first covers the non-zeros with a
+//! structured `N:M` pattern — but modelling the format lets experiments
+//! compare structured tile execution against CSR-on-vector baselines and
+//! account for the storage each side moves.
+
+use vegeta_num::{Bf16, Matrix};
+
+use crate::format::{
+    check_treg_budget, csr_col_bits, FormatSpec, TileFormat, CSR_HEADER_BYTES, CSR_MAX_COLS,
+};
+use crate::image::{write_bits, MregImage, TregImage};
+use crate::SparsityError;
+
+/// An unstructured tile in compressed-sparse-row form: row extents over a
+/// shared non-zero value/column-index stream.
+///
+/// Compression is always lossless and never fails; the register-image
+/// restrictions (≤ 16 rows, metadata within the 128 B mreg) are enforced by
+/// [`TileFormat::pack_into`], because they are properties of the register
+/// file, not of the format.
+///
+/// # Examples
+///
+/// ```
+/// use vegeta_num::{Bf16, Matrix};
+/// use vegeta_sparse::{CsrTile, TileFormat};
+///
+/// let dense = Matrix::from_fn(2, 4, |r, c| {
+///     if (r + c) % 3 == 0 { Bf16::from_f32((c + 1) as f32) } else { Bf16::ZERO }
+/// });
+/// let t = CsrTile::compress(&dense);
+/// assert_eq!(t.nnz(), 3);
+/// assert_eq!(t.row_cols(0), &[0, 3]);
+/// assert_eq!(t.decompress(), dense);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrTile {
+    rows: usize,
+    cols: usize,
+    /// Start of each row's slice in `values`/`col_idx`; length `rows + 1`.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u16>,
+    values: Vec<Bf16>,
+}
+
+impl CsrTile {
+    /// Compresses a dense-shaped tile (lossless, infallible).
+    pub fn compress(dense: &Matrix<Bf16>) -> Self {
+        let mut row_ptr = Vec::with_capacity(dense.rows() + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..dense.rows() {
+            for (c, &v) in dense.row(r).iter().enumerate() {
+                if !v.is_zero() {
+                    col_idx.push(c as u16);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(values.len());
+        }
+        CsrTile {
+            rows: dense.rows(),
+            cols: dense.cols(),
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Total stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Non-zero values of row `r`.
+    pub fn row_values(&self, r: usize) -> &[Bf16] {
+        &self.values[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Column indices of row `r`'s non-zeros.
+    pub fn row_cols(&self, r: usize) -> &[u16] {
+        &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Fraction of non-zero elements (0 for an empty tile).
+    pub fn density(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / total as f64
+    }
+}
+
+impl TileFormat for CsrTile {
+    fn spec(&self) -> FormatSpec {
+        FormatSpec::Csr
+    }
+
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn effective_cols(&self) -> usize {
+        self.cols
+    }
+
+    fn stored_len(&self) -> usize {
+        self.nnz()
+    }
+
+    fn metadata_bits(&self) -> usize {
+        CSR_HEADER_BYTES * 8 + self.nnz() * csr_col_bits(self.cols) as usize
+    }
+
+    fn decompress(&self) -> Matrix<Bf16> {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (&c, &v) in self.row_cols(r).iter().zip(self.row_values(r)) {
+                out[(r, c as usize)] = v;
+            }
+        }
+        out
+    }
+
+    fn pack_into(&self, treg: &mut TregImage, mreg: &mut MregImage) -> Result<(), SparsityError> {
+        check_treg_budget(self.nnz())?;
+        if self.rows > CSR_HEADER_BYTES {
+            return Err(SparsityError::ShapeMismatch {
+                reason: format!(
+                    "CSR register images hold at most {CSR_HEADER_BYTES} rows, got {}",
+                    self.rows
+                ),
+            });
+        }
+        if self.cols > CSR_MAX_COLS {
+            return Err(SparsityError::ShapeMismatch {
+                reason: format!(
+                    "CSR column indices are at most 8 bits in a register image, got {} cols",
+                    self.cols
+                ),
+            });
+        }
+        let bits = csr_col_bits(self.cols);
+        let meta_bits = CSR_HEADER_BYTES * 8 + self.nnz() * bits as usize;
+        if meta_bits > mreg.meta().len() * 8 {
+            return Err(SparsityError::InvalidMetadata {
+                reason: format!(
+                    "CSR tile needs {meta_bits} metadata bits, more than the mreg's {}; \
+                     cover it with a structured format instead (§III-D)",
+                    mreg.meta().len() * 8
+                ),
+            });
+        }
+        treg.clear();
+        *mreg = MregImage::new();
+        for r in 0..self.rows {
+            mreg.meta_mut()[r] = (self.row_ptr[r + 1] - self.row_ptr[r]) as u8;
+        }
+        for (i, (&v, &c)) in self.values.iter().zip(&self.col_idx).enumerate() {
+            treg.set_bf16(i, v);
+            write_bits(
+                mreg.meta_mut(),
+                CSR_HEADER_BYTES * 8 + i * bits as usize,
+                bits,
+                c as u8,
+            );
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TileView;
+
+    fn mat(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f32) -> Matrix<Bf16> {
+        Matrix::from_fn(rows, cols, |r, c| Bf16::from_f32(f(r, c)))
+    }
+
+    #[test]
+    fn compress_decompress_is_lossless() {
+        let dense = mat(8, 24, |r, c| {
+            if (r * 5 + c * 3) % 7 == 0 {
+                (r + c) as f32 + 0.5
+            } else {
+                0.0
+            }
+        });
+        let t = CsrTile::compress(&dense);
+        assert_eq!(t.decompress(), dense);
+        assert!(t.density() < 0.25);
+    }
+
+    #[test]
+    fn packs_through_register_images() {
+        let dense = mat(16, 32, |r, c| {
+            if (r * 31 + c * 7) % 11 == 0 {
+                (c as f32) - 16.0
+            } else {
+                0.0
+            }
+        });
+        let t = CsrTile::compress(&dense);
+        let (mut treg, mut mreg) = (TregImage::new(), MregImage::new());
+        t.pack_into(&mut treg, &mut mreg).unwrap();
+        let view = TileView::of_images(FormatSpec::Csr, 16, 32, &treg, &mreg).unwrap();
+        assert_eq!(view.stored_len(), t.nnz());
+        assert_eq!(view.decompress(), dense);
+    }
+
+    #[test]
+    fn over_dense_tile_overflows_mreg() {
+        // 16×32 fully dense: 512 values × 5-bit columns = 320 B ≫ 128 B.
+        let t = CsrTile::compress(&mat(16, 32, |_, _| 1.0));
+        let (mut treg, mut mreg) = (TregImage::new(), MregImage::new());
+        let err = t.pack_into(&mut treg, &mut mreg).unwrap_err();
+        assert!(matches!(err, SparsityError::InvalidMetadata { .. }));
+        assert!(err.to_string().contains("structured"));
+    }
+
+    #[test]
+    fn shape_limits_are_enforced() {
+        let (mut treg, mut mreg) = (TregImage::new(), MregImage::new());
+        let too_tall = CsrTile::compress(&mat(17, 4, |_, _| 0.0));
+        assert!(too_tall.pack_into(&mut treg, &mut mreg).is_err());
+        let too_wide = CsrTile::compress(&mat(1, 512, |_, _| 0.0));
+        assert!(too_wide.pack_into(&mut treg, &mut mreg).is_err());
+        let too_many = CsrTile::compress(&mat(16, 64, |_, _| 1.0));
+        assert!(matches!(
+            too_many.pack_into(&mut treg, &mut mreg),
+            Err(SparsityError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_tile_is_fine() {
+        let t = CsrTile::compress(&mat(4, 8, |_, _| 0.0));
+        assert_eq!(t.nnz(), 0);
+        assert_eq!(t.density(), 0.0);
+        let (mut treg, mut mreg) = (TregImage::new(), MregImage::new());
+        t.pack_into(&mut treg, &mut mreg).unwrap();
+        let view = TileView::of_images(FormatSpec::Csr, 4, 8, &treg, &mreg).unwrap();
+        assert_eq!(view.decompress(), t.decompress());
+    }
+}

@@ -1,0 +1,742 @@
+//! The polymorphic storage API: [`FormatSpec`], [`TileFormat`] and
+//! [`TileView`].
+//!
+//! VEGETA's storage hierarchy (PAPER §III–§V, Fig. 2/6) is a family of tile
+//! encodings that all flow through the same pair of registers: values in a
+//! 1 KB `treg`, metadata in a 128 B `mreg`. This module makes that family a
+//! first-class, sweepable axis:
+//!
+//! * [`FormatSpec`] — the closed, hashable enumeration of storage formats
+//!   (the storage-side mirror of `vegeta_kernels::KernelSpec`);
+//! * [`TileFormat`] — the object-safe trait every concrete format
+//!   ([`DenseTile`], [`crate::CompressedTile`], [`crate::RowWiseTile`],
+//!   [`crate::CsrTile`]) implements: compress/decompress, **zero-copy
+//!   packing** into [`TregImage`]/[`MregImage`], and size/metadata
+//!   accounting for cost models and reports;
+//! * [`TileView`] — a borrowed, allocation-free read view over raw register
+//!   or image bytes, used by the ISA executor so tile instructions never
+//!   materialize an intermediate `Matrix<Bf16>`.
+//!
+//! # Register-image layouts
+//!
+//! Each format owns its packed layout inside the two images:
+//!
+//! | format | `TregImage` values | `MregImage` metadata | row patterns |
+//! |---|---|---|---|
+//! | dense | `rows×cols` BF16 row-major | — | — |
+//! | `N:M` | `rows×(cols/M·N)` row-major | `log2(M)`-bit positions, rows byte-padded | — |
+//! | row-wise `N:4` | rows packed back to back | 2-bit positions, continuous | 2-bit per-row `N` codes |
+//! | CSR | rows packed back to back | 16 B row-nnz header + packed column indices | — |
+
+use vegeta_num::{Bf16, Matrix};
+
+use crate::csr::CsrTile;
+use crate::image::{
+    decode_row_ns, read_bits, MregImage, TregImage, ROW_PATTERN_ROWS, TREG_IMAGE_VALUES,
+};
+use crate::{CompressedTile, NmRatio, RowWiseTile, SparsityError};
+
+/// Bytes of the CSR row-length header inside an [`MregImage`].
+pub(crate) const CSR_HEADER_BYTES: usize = 16;
+
+/// Widest tile a packed CSR image can index (8-bit column indices).
+pub(crate) const CSR_MAX_COLS: usize = 256;
+
+/// Bits needed to store a column index for a tile `cols` wide.
+pub(crate) fn csr_col_bits(cols: usize) -> u32 {
+    if cols <= 2 {
+        1
+    } else {
+        usize::BITS - (cols - 1).leading_zeros()
+    }
+}
+
+/// A self-describing specification of one storage format.
+///
+/// `FormatSpec` is `Eq + Hash`, making the storage format a cache key and a
+/// sweepable grid axis, exactly like `KernelSpec` made kernels one.
+///
+/// # Example
+///
+/// ```
+/// use vegeta_num::{Bf16, Matrix};
+/// use vegeta_sparse::{FormatSpec, MregImage, NmRatio, TileView, TregImage};
+///
+/// let dense = Matrix::from_fn(4, 8, |_, c| {
+///     if c % 4 == 1 { Bf16::from_f32(3.0) } else { Bf16::ZERO }
+/// });
+/// let tile = FormatSpec::Nm(NmRatio::S1_4).compress(&dense)?;
+/// let (mut treg, mut mreg) = (TregImage::new(), MregImage::new());
+/// tile.pack_into(&mut treg, &mut mreg)?;
+/// let view = TileView::of_images(tile.spec(), tile.rows(), tile.effective_cols(), &treg, &mreg)?;
+/// assert_eq!(view.decompress(), dense);
+/// # Ok::<(), vegeta_sparse::SparsityError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FormatSpec {
+    /// Uncompressed BF16 values, no metadata (`TILE_GEMM` operands).
+    Dense,
+    /// Uniform `N:M` compression (Fig. 2; `TILE_SPMM_U`/`_V` operands).
+    Nm(NmRatio),
+    /// Row-wise `N:M` with a per-row `N` selector (§V-E; `TILE_SPMM_R`
+    /// operands).
+    RowWise {
+        /// Block size `M`.
+        m: u8,
+    },
+    /// Unstructured compressed-sparse-row, the SpGEMM operand format of
+    /// CSR-based related work; executes on the vector engine unless first
+    /// covered into a structured format (§III-D).
+    Csr,
+}
+
+impl FormatSpec {
+    /// Every format the evaluation sweeps over for `M = 4` hardware, densest
+    /// first: dense, 2:4, 1:4, row-wise, CSR.
+    pub fn all_m4() -> Vec<FormatSpec> {
+        vec![
+            FormatSpec::Dense,
+            FormatSpec::Nm(NmRatio::S2_4),
+            FormatSpec::Nm(NmRatio::S1_4),
+            FormatSpec::RowWise { m: 4 },
+            FormatSpec::Csr,
+        ]
+    }
+
+    /// Compresses a dense-shaped matrix into this format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the concrete format's compression errors (shape mismatch,
+    /// over-dense blocks for [`FormatSpec::Nm`], unsupported `M`).
+    pub fn compress(&self, dense: &Matrix<Bf16>) -> Result<Box<dyn TileFormat>, SparsityError> {
+        Ok(match *self {
+            FormatSpec::Dense => Box::new(DenseTile::compress(dense)),
+            FormatSpec::Nm(ratio) => Box::new(CompressedTile::compress(dense, ratio)?),
+            FormatSpec::RowWise { m } => Box::new(RowWiseTile::compress(dense, m)?),
+            FormatSpec::Csr => Box::new(CsrTile::compress(dense)),
+        })
+    }
+
+    /// Metadata bits carried per stored value in a register image: 0 for
+    /// dense, `log2(M)` block-position bits for the structured formats, and
+    /// the 8-bit worst-case column index for CSR (whose actual width is
+    /// data-dependent; see [`TileFormat::metadata_bits`] for exact
+    /// per-tile accounting).
+    pub fn metadata_bits_per_value(&self) -> u32 {
+        match *self {
+            FormatSpec::Dense => 0,
+            FormatSpec::Nm(ratio) => ratio.index_bits(),
+            FormatSpec::RowWise { m } => m.trailing_zeros(),
+            FormatSpec::Csr => 8,
+        }
+    }
+
+    /// Stored-value bytes an operand of `rows × cols` occupies in this
+    /// format. For the data-dependent formats (row-wise, CSR) this is the
+    /// capacity bound a storage allocator must reserve — the dense worst
+    /// case; exact per-tile numbers come from [`TileFormat::values_bytes`].
+    pub fn values_bytes(&self, rows: usize, cols: usize) -> usize {
+        match *self {
+            FormatSpec::Nm(ratio) => {
+                rows * cols.div_ceil(ratio.m() as usize) * ratio.n() as usize * 2
+            }
+            FormatSpec::Dense | FormatSpec::RowWise { .. } | FormatSpec::Csr => rows * cols * 2,
+        }
+    }
+
+    /// Metadata bits an operand of `rows × cols` occupies in this format
+    /// (capacity bound for the data-dependent formats, like
+    /// [`FormatSpec::values_bytes`]).
+    pub fn metadata_bits(&self, rows: usize, cols: usize) -> usize {
+        let per_value = self.metadata_bits_per_value() as usize;
+        match *self {
+            FormatSpec::Dense => 0,
+            FormatSpec::Nm(ratio) => {
+                rows * cols.div_ceil(ratio.m() as usize) * ratio.n() as usize * per_value
+            }
+            // Worst-case stored values plus the per-row N selectors.
+            FormatSpec::RowWise { .. } => rows * cols * per_value + rows * 2,
+            // The fixed 16 B row-length header (a packed image always
+            // reserves it, whatever the row count) plus worst-case packed
+            // column indices.
+            FormatSpec::Csr => CSR_HEADER_BYTES * 8 + rows * cols * csr_col_bits(cols) as usize,
+        }
+    }
+}
+
+impl std::fmt::Display for FormatSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FormatSpec::Dense => write!(f, "dense"),
+            FormatSpec::Nm(ratio) => write!(f, "{ratio}"),
+            FormatSpec::RowWise { m } => write!(f, "rowwise:{m}"),
+            FormatSpec::Csr => write!(f, "csr"),
+        }
+    }
+}
+
+/// A tile in some storage format: the object-safe interface every concrete
+/// format implements.
+///
+/// A `TileFormat` owns compressed data at rest; [`TileFormat::pack_into`]
+/// lowers it into the fixed-size register images the ISA moves around, and
+/// [`TileView`] reads those images back without copying.
+pub trait TileFormat {
+    /// The format's specification (the hashable identity used by caches and
+    /// sweeps).
+    fn spec(&self) -> FormatSpec;
+
+    /// Rows of the effective (dense-shaped) tile.
+    fn rows(&self) -> usize;
+
+    /// Columns of the effective (dense-shaped) tile.
+    fn effective_cols(&self) -> usize;
+
+    /// Stored values (the entries that occupy treg slots).
+    fn stored_len(&self) -> usize;
+
+    /// Bytes of stored values (`stored_len × 2` for BF16).
+    fn values_bytes(&self) -> usize {
+        self.stored_len() * 2
+    }
+
+    /// Exact metadata footprint of this tile in bits (positions, selectors,
+    /// indices — everything outside the value bytes).
+    fn metadata_bits(&self) -> usize;
+
+    /// Expands back to the dense-shaped effective tile.
+    fn decompress(&self) -> Matrix<Bf16>;
+
+    /// Packs values into `treg` and metadata into `mreg`, zeroing unused
+    /// space — the offline step that prepares a `TILE_LOAD_T`/`TILE_LOAD_M`
+    /// payload. Never heap-allocates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparsityError::ShapeMismatch`] when the tile exceeds the
+    /// 512-value treg budget (or a format-specific row/column limit), and
+    /// [`SparsityError::InvalidMetadata`] when metadata overflows the 128 B
+    /// mreg.
+    fn pack_into(&self, treg: &mut TregImage, mreg: &mut MregImage) -> Result<(), SparsityError>;
+}
+
+/// Checks the shared treg-capacity constraint for `pack_into`.
+pub(crate) fn check_treg_budget(stored: usize) -> Result<(), SparsityError> {
+    if stored > TREG_IMAGE_VALUES {
+        return Err(SparsityError::ShapeMismatch {
+            reason: format!("tile stores {stored} values, more than a treg's {TREG_IMAGE_VALUES}"),
+        });
+    }
+    Ok(())
+}
+
+/// An uncompressed tile: the identity member of the storage family.
+///
+/// Dense tiles carry no metadata; packing lays the BF16 values out row-major
+/// in the treg image, exactly the operand layout of `TILE_GEMM`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseTile {
+    values: Matrix<Bf16>,
+}
+
+impl DenseTile {
+    /// Wraps a dense matrix (compression is the identity).
+    pub fn compress(dense: &Matrix<Bf16>) -> Self {
+        DenseTile {
+            values: dense.clone(),
+        }
+    }
+
+    /// The wrapped values.
+    pub fn values(&self) -> &Matrix<Bf16> {
+        &self.values
+    }
+}
+
+impl TileFormat for DenseTile {
+    fn spec(&self) -> FormatSpec {
+        FormatSpec::Dense
+    }
+
+    fn rows(&self) -> usize {
+        self.values.rows()
+    }
+
+    fn effective_cols(&self) -> usize {
+        self.values.cols()
+    }
+
+    fn stored_len(&self) -> usize {
+        self.values.len()
+    }
+
+    fn metadata_bits(&self) -> usize {
+        0
+    }
+
+    fn decompress(&self) -> Matrix<Bf16> {
+        self.values.clone()
+    }
+
+    fn pack_into(&self, treg: &mut TregImage, mreg: &mut MregImage) -> Result<(), SparsityError> {
+        check_treg_budget(self.values.len())?;
+        treg.clear();
+        *mreg = MregImage::new();
+        for (i, v) in self.values.iter().enumerate() {
+            treg.set_bf16(i, *v);
+        }
+        Ok(())
+    }
+}
+
+/// A borrowed, allocation-free read view over packed tile bytes.
+///
+/// The view interprets raw register (or image) bytes according to a
+/// [`FormatSpec`]; all accessors are in-place bit/byte reads, so the ISA
+/// executor can run `TILE_GEMM`/`TILE_SPMM_*` without materializing any
+/// intermediate matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct TileView<'a> {
+    spec: FormatSpec,
+    rows: usize,
+    effective_cols: usize,
+    values: &'a [u8],
+    meta: &'a [u8],
+    /// Decoded per-row `N` for row-wise views; zero elsewhere.
+    row_ns: [u8; ROW_PATTERN_ROWS],
+}
+
+impl<'a> TileView<'a> {
+    /// Builds a view over packed bytes.
+    ///
+    /// `values` are little-endian BF16 stored values, `meta` the packed
+    /// metadata bytes (ignored for dense) and `row_patterns` the 2-bit
+    /// per-row `N` sidecar (row-wise only; pass `&[]` otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparsityError::ShapeMismatch`] when a buffer is too small
+    /// for the described tile, and [`SparsityError::InvalidMetadata`] when a
+    /// row-wise sidecar describes a different row count than `rows`.
+    pub fn new(
+        spec: FormatSpec,
+        rows: usize,
+        effective_cols: usize,
+        values: &'a [u8],
+        meta: &'a [u8],
+        row_patterns: &'a [u8],
+    ) -> Result<Self, SparsityError> {
+        let mut view = TileView {
+            spec,
+            rows,
+            effective_cols,
+            values,
+            meta,
+            row_ns: [0; ROW_PATTERN_ROWS],
+        };
+        let need_values;
+        let need_meta_bits;
+        match spec {
+            FormatSpec::Dense => {
+                need_values = rows * effective_cols * 2;
+                need_meta_bits = 0;
+            }
+            FormatSpec::Nm(ratio) => {
+                let m = ratio.m() as usize;
+                if effective_cols == 0 || !effective_cols.is_multiple_of(m) {
+                    return Err(SparsityError::ShapeMismatch {
+                        reason: format!(
+                            "effective cols {effective_cols} not a positive multiple of {m}"
+                        ),
+                    });
+                }
+                let per_row = effective_cols / m * ratio.n() as usize;
+                need_values = rows * per_row * 2;
+                need_meta_bits = rows * (per_row * ratio.index_bits() as usize).div_ceil(8) * 8;
+            }
+            FormatSpec::RowWise { m } => {
+                if m != 4 {
+                    return Err(SparsityError::ShapeMismatch {
+                        reason: format!("register images support row-wise M = 4, got {m}"),
+                    });
+                }
+                if effective_cols == 0 || !effective_cols.is_multiple_of(4) {
+                    return Err(SparsityError::ShapeMismatch {
+                        reason: format!("effective cols {effective_cols} not a multiple of 4"),
+                    });
+                }
+                if row_patterns.len() < crate::image::ROW_PATTERN_BYTES {
+                    return Err(SparsityError::InvalidMetadata {
+                        reason: format!(
+                            "row-pattern sidecar must be 8 B, got {}",
+                            row_patterns.len()
+                        ),
+                    });
+                }
+                let decoded = decode_row_ns(row_patterns, &mut view.row_ns);
+                if decoded != rows {
+                    return Err(SparsityError::InvalidMetadata {
+                        reason: format!("row patterns describe {decoded} rows, expected {rows}"),
+                    });
+                }
+                let stored: usize = view.row_ns[..rows]
+                    .iter()
+                    .map(|&n| n as usize * effective_cols / 4)
+                    .sum();
+                need_values = stored * 2;
+                need_meta_bits = stored * 2;
+            }
+            FormatSpec::Csr => {
+                if rows > CSR_HEADER_BYTES {
+                    return Err(SparsityError::ShapeMismatch {
+                        reason: format!(
+                            "CSR register images hold at most {CSR_HEADER_BYTES} rows, got {rows}"
+                        ),
+                    });
+                }
+                // Mirror the pack-side limit: beyond 8-bit column indices,
+                // position() could not represent the stored columns.
+                if effective_cols > CSR_MAX_COLS {
+                    return Err(SparsityError::ShapeMismatch {
+                        reason: format!(
+                            "CSR register images index at most {CSR_MAX_COLS} columns, \
+                             got {effective_cols}"
+                        ),
+                    });
+                }
+                if meta.len() < CSR_HEADER_BYTES {
+                    return Err(SparsityError::InvalidMetadata {
+                        reason: "CSR metadata lacks the 16 B row-length header".into(),
+                    });
+                }
+                let nnz: usize = meta[..rows].iter().map(|&c| c as usize).sum();
+                need_values = nnz * 2;
+                need_meta_bits = CSR_HEADER_BYTES * 8 + nnz * csr_col_bits(effective_cols) as usize;
+            }
+        }
+        if values.len() < need_values {
+            return Err(SparsityError::ShapeMismatch {
+                reason: format!(
+                    "value buffer holds {} bytes, tile needs {need_values}",
+                    values.len()
+                ),
+            });
+        }
+        if meta.len() * 8 < need_meta_bits {
+            return Err(SparsityError::InvalidMetadata {
+                reason: format!(
+                    "metadata buffer holds {} bits, tile needs {need_meta_bits}",
+                    meta.len() * 8
+                ),
+            });
+        }
+        Ok(view)
+    }
+
+    /// A dense view over raw BF16 bytes (infallible; the architectural
+    /// register shapes always fit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than `rows * cols * 2`.
+    pub fn dense(bytes: &'a [u8], rows: usize, cols: usize) -> Self {
+        assert!(bytes.len() >= rows * cols * 2, "dense view out of bytes");
+        TileView {
+            spec: FormatSpec::Dense,
+            rows,
+            effective_cols: cols,
+            values: bytes,
+            meta: &[],
+            row_ns: [0; ROW_PATTERN_ROWS],
+        }
+    }
+
+    /// A view over a packed image pair.
+    ///
+    /// # Errors
+    ///
+    /// As [`TileView::new`].
+    pub fn of_images(
+        spec: FormatSpec,
+        rows: usize,
+        effective_cols: usize,
+        treg: &'a TregImage,
+        mreg: &'a MregImage,
+    ) -> Result<Self, SparsityError> {
+        TileView::new(
+            spec,
+            rows,
+            effective_cols,
+            treg.as_bytes(),
+            mreg.meta(),
+            mreg.row_patterns(),
+        )
+    }
+
+    /// The view's format.
+    #[inline]
+    pub fn spec(&self) -> FormatSpec {
+        self.spec
+    }
+
+    /// Rows of the effective tile.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns of the effective tile.
+    #[inline]
+    pub fn effective_cols(&self) -> usize {
+        self.effective_cols
+    }
+
+    /// Stored values reachable through this view.
+    pub fn stored_len(&self) -> usize {
+        match self.spec {
+            FormatSpec::Dense => self.rows * self.effective_cols,
+            FormatSpec::Nm(ratio) => {
+                self.rows * self.effective_cols / ratio.m() as usize * ratio.n() as usize
+            }
+            FormatSpec::RowWise { .. } => self.row_ns[..self.rows]
+                .iter()
+                .map(|&n| n as usize * self.effective_cols / 4)
+                .sum(),
+            FormatSpec::Csr => self.meta[..self.rows].iter().map(|&c| c as usize).sum(),
+        }
+    }
+
+    /// Reads stored value `flat` (values are packed in row order for every
+    /// format).
+    #[inline]
+    pub fn value(&self, flat: usize) -> Bf16 {
+        Bf16::from_le_bytes([self.values[flat * 2], self.values[flat * 2 + 1]])
+    }
+
+    /// Reads the dense element at `(r, c)` (dense layout only; for other
+    /// formats this indexes stored values, not effective positions).
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> Bf16 {
+        self.value(r * self.effective_cols + c)
+    }
+
+    /// The metadata position of stored value `flat`: the within-block
+    /// position for the `N:M` and row-wise formats, the absolute column for
+    /// CSR, and the trailing column (`flat % cols`) for dense.
+    #[inline]
+    pub fn position(&self, flat: usize) -> usize {
+        match self.spec {
+            FormatSpec::Dense => flat % self.effective_cols,
+            FormatSpec::Nm(ratio) => {
+                let per_row = self.effective_cols / ratio.m() as usize * ratio.n() as usize;
+                let bits = ratio.index_bits();
+                let row_bits = (per_row * bits as usize).div_ceil(8) * 8;
+                read_bits(
+                    self.meta,
+                    (flat / per_row) * row_bits + (flat % per_row) * bits as usize,
+                    bits,
+                ) as usize
+            }
+            FormatSpec::RowWise { .. } => read_bits(self.meta, flat * 2, 2) as usize,
+            FormatSpec::Csr => {
+                let bits = csr_col_bits(self.effective_cols);
+                read_bits(self.meta, CSR_HEADER_BYTES * 8 + flat * bits as usize, bits) as usize
+            }
+        }
+    }
+
+    /// The per-row `N` selector of a row-wise view (0 for other formats).
+    #[inline]
+    pub fn row_n(&self, r: usize) -> usize {
+        self.row_ns[r] as usize
+    }
+
+    /// Stored values in row `r` (CSR row-length header for CSR views).
+    pub fn row_stored(&self, r: usize) -> usize {
+        match self.spec {
+            FormatSpec::Dense => self.effective_cols,
+            FormatSpec::Nm(ratio) => self.effective_cols / ratio.m() as usize * ratio.n() as usize,
+            FormatSpec::RowWise { .. } => self.row_n(r) * self.effective_cols / 4,
+            FormatSpec::Csr => self.meta[r] as usize,
+        }
+    }
+
+    /// Expands the viewed bytes back to the dense-shaped effective tile
+    /// (verification path; allocates the output matrix only).
+    pub fn decompress(&self) -> Matrix<Bf16> {
+        let mut out = Matrix::zeros(self.rows, self.effective_cols);
+        match self.spec {
+            FormatSpec::Dense => {
+                for r in 0..self.rows {
+                    for c in 0..self.effective_cols {
+                        out[(r, c)] = self.at(r, c);
+                    }
+                }
+            }
+            FormatSpec::Nm(ratio) => {
+                let m = ratio.m() as usize;
+                let n = ratio.n() as usize;
+                let blocks = self.effective_cols / m;
+                for r in 0..self.rows {
+                    for b in 0..blocks {
+                        for k in 0..n {
+                            let flat = r * blocks * n + b * n + k;
+                            let v = self.value(flat);
+                            if !v.is_zero() {
+                                out[(r, b * m + self.position(flat))] = v;
+                            }
+                        }
+                    }
+                }
+            }
+            FormatSpec::RowWise { .. } => {
+                let blocks = self.effective_cols / 4;
+                let mut cursor = 0usize;
+                for r in 0..self.rows {
+                    let n = self.row_n(r);
+                    for b in 0..blocks {
+                        for k in 0..n {
+                            let flat = cursor + b * n + k;
+                            let v = self.value(flat);
+                            if !v.is_zero() {
+                                out[(r, b * 4 + self.position(flat))] = v;
+                            }
+                        }
+                    }
+                    cursor += blocks * n;
+                }
+            }
+            FormatSpec::Csr => {
+                let mut cursor = 0usize;
+                for r in 0..self.rows {
+                    for _ in 0..self.row_stored(r) {
+                        out[(r, self.position(cursor))] = self.value(cursor);
+                        cursor += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f32) -> Matrix<Bf16> {
+        Matrix::from_fn(rows, cols, |r, c| Bf16::from_f32(f(r, c)))
+    }
+
+    #[test]
+    fn spec_labels_are_stable() {
+        assert_eq!(FormatSpec::Dense.to_string(), "dense");
+        assert_eq!(FormatSpec::Nm(NmRatio::S2_4).to_string(), "2:4");
+        assert_eq!(FormatSpec::RowWise { m: 4 }.to_string(), "rowwise:4");
+        assert_eq!(FormatSpec::Csr.to_string(), "csr");
+        assert_eq!(FormatSpec::all_m4().len(), 5);
+    }
+
+    #[test]
+    fn spec_accounting_matches_register_budget() {
+        // A 16×64 effective tile at 2:4: 1 KB of values, 1 Kib of metadata
+        // (§IV-A's register budget).
+        let spec = FormatSpec::Nm(NmRatio::S2_4);
+        assert_eq!(spec.values_bytes(16, 64), 1024);
+        assert_eq!(spec.metadata_bits(16, 64), 1024);
+        assert_eq!(FormatSpec::Dense.values_bytes(16, 32), 1024);
+        assert_eq!(FormatSpec::Dense.metadata_bits(16, 32), 0);
+        // Row-wise bound: dense values + 2 bits/value + 2 bits/row.
+        assert_eq!(
+            FormatSpec::RowWise { m: 4 }.metadata_bits(16, 64),
+            16 * 64 * 2 + 32
+        );
+        // CSR bound: the fixed 16 B header + 6-bit columns for a 64-wide
+        // tile.
+        assert_eq!(FormatSpec::Csr.metadata_bits(16, 64), 16 * 8 + 16 * 64 * 6);
+        assert_eq!(FormatSpec::Csr.metadata_bits_per_value(), 8);
+        // The spec-level bound dominates the exact per-tile accounting even
+        // for sub-16-row tiles (the header is fixed-size).
+        let dense8 = Matrix::from_fn(8, 64, |_, _| Bf16::from_f32(1.0));
+        let tile = FormatSpec::Csr.compress(&dense8).unwrap();
+        assert!(FormatSpec::Csr.metadata_bits(8, 64) >= tile.metadata_bits());
+    }
+
+    #[test]
+    fn dense_tile_packs_and_views() {
+        let dense = mat(16, 32, |r, c| (r * 32 + c) as f32 - 256.0);
+        let tile = DenseTile::compress(&dense);
+        assert_eq!(tile.spec(), FormatSpec::Dense);
+        assert_eq!(tile.stored_len(), 512);
+        assert_eq!(tile.values_bytes(), 1024);
+        assert_eq!(tile.metadata_bits(), 0);
+        let (mut treg, mut mreg) = (TregImage::new(), MregImage::new());
+        tile.pack_into(&mut treg, &mut mreg).unwrap();
+        let view = TileView::of_images(FormatSpec::Dense, 16, 32, &treg, &mreg).unwrap();
+        assert_eq!(view.decompress(), dense);
+        assert_eq!(view.at(1, 3), dense[(1, 3)]);
+    }
+
+    #[test]
+    fn dense_tile_rejects_oversize_pack() {
+        let tile = DenseTile::compress(&mat(17, 32, |_, _| 1.0));
+        let (mut treg, mut mreg) = (TregImage::new(), MregImage::new());
+        assert!(matches!(
+            tile.pack_into(&mut treg, &mut mreg),
+            Err(SparsityError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn view_validates_buffers() {
+        let bytes = [0u8; 64];
+        assert!(TileView::new(FormatSpec::Dense, 16, 32, &bytes, &[], &[]).is_err());
+        assert!(TileView::new(FormatSpec::Nm(NmRatio::S2_4), 1, 6, &bytes, &bytes, &[]).is_err());
+        assert!(TileView::new(
+            FormatSpec::RowWise { m: 8 },
+            1,
+            8,
+            &bytes,
+            &bytes,
+            &[0u8; 8]
+        )
+        .is_err());
+        // Row-pattern count mismatch.
+        let mut rp = [0u8; 8];
+        rp[0] = 0b01; // one row
+        assert!(matches!(
+            TileView::new(FormatSpec::RowWise { m: 4 }, 2, 8, &bytes, &bytes, &rp),
+            Err(SparsityError::InvalidMetadata { .. })
+        ));
+        // CSR views refuse widths the 8-bit packed column indices cannot
+        // address, exactly like the pack side.
+        let meta = [0u8; 128];
+        assert!(matches!(
+            TileView::new(FormatSpec::Csr, 1, 512, &bytes, &meta, &[]),
+            Err(SparsityError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn boxed_formats_dispatch_through_spec() {
+        // One non-zero per block of 4 satisfies every spec, 1:4 included.
+        let dense = mat(4, 8, |r, c| if c % 4 == r % 4 { 1.0 } else { 0.0 });
+        for spec in FormatSpec::all_m4() {
+            let tile = spec.compress(&dense).unwrap();
+            assert_eq!(tile.spec(), spec);
+            assert_eq!(tile.decompress(), dense, "{spec} must be lossless here");
+            assert_eq!(tile.values_bytes(), tile.stored_len() * 2);
+        }
+    }
+
+    #[test]
+    fn csr_col_bits_covers_widths() {
+        assert_eq!(csr_col_bits(1), 1);
+        assert_eq!(csr_col_bits(2), 1);
+        assert_eq!(csr_col_bits(3), 2);
+        assert_eq!(csr_col_bits(32), 5);
+        assert_eq!(csr_col_bits(33), 6);
+        assert_eq!(csr_col_bits(256), 8);
+    }
+}

@@ -1,0 +1,350 @@
+//! Owned register images: the byte payloads a `treg`/`mreg` pair holds.
+//!
+//! Every storage format packs into the same two fixed-size images
+//! (see [`crate::TileFormat::pack_into`]):
+//!
+//! * [`TregImage`] — 1 KB of tile data (512 BF16 stored values), the payload
+//!   of a `TILE_LOAD_T`;
+//! * [`MregImage`] — 128 B of packed per-value metadata plus the 8 B
+//!   row-pattern sidecar loaded by `TILE_LOAD_RP` (§IV-B).
+//!
+//! The images are plain stack values — packing a tile never heap-allocates —
+//! and the ISA layer moves their bytes verbatim between memory and the
+//! architectural register file. Reads over packed bytes go through the
+//! borrowed [`crate::TileView`], which never copies.
+
+use vegeta_num::Bf16;
+
+/// Bytes in a tile-register image (1 KB, Fig. 6).
+pub const TREG_IMAGE_BYTES: usize = 1024;
+/// BF16 stored values a tile-register image holds.
+pub const TREG_IMAGE_VALUES: usize = TREG_IMAGE_BYTES / 2;
+/// Bytes of packed metadata in a metadata-register image (128 B, Fig. 6).
+pub const MREG_IMAGE_BYTES: usize = 128;
+/// Bytes of the per-row `N:4` row-pattern sidecar (§IV-B: "32×2 bits, or
+/// 8 B, at most").
+pub const ROW_PATTERN_BYTES: usize = 8;
+/// Maximum rows the row-pattern sidecar can describe.
+pub const ROW_PATTERN_ROWS: usize = ROW_PATTERN_BYTES * 4;
+
+/// An owned 1 KB tile-register value image.
+///
+/// # Example
+///
+/// ```
+/// use vegeta_num::Bf16;
+/// use vegeta_sparse::TregImage;
+///
+/// let mut img = TregImage::new();
+/// img.set_bf16(3, Bf16::from_f32(2.5));
+/// assert_eq!(img.bf16(3).to_f32(), 2.5);
+/// assert_eq!(img.as_bytes().len(), 1024);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct TregImage {
+    bytes: [u8; TREG_IMAGE_BYTES],
+}
+
+impl Default for TregImage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TregImage {
+    /// A zeroed image.
+    pub fn new() -> Self {
+        TregImage {
+            bytes: [0; TREG_IMAGE_BYTES],
+        }
+    }
+
+    /// The raw little-endian bytes.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutable raw bytes.
+    #[inline]
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Reads stored BF16 value `idx` (`idx < 512`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= TREG_IMAGE_VALUES`.
+    #[inline]
+    pub fn bf16(&self, idx: usize) -> Bf16 {
+        Bf16::from_le_bytes([self.bytes[idx * 2], self.bytes[idx * 2 + 1]])
+    }
+
+    /// Writes stored BF16 value `idx` (`idx < 512`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= TREG_IMAGE_VALUES`.
+    #[inline]
+    pub fn set_bf16(&mut self, idx: usize, v: Bf16) {
+        self.bytes[idx * 2..idx * 2 + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Zeroes the image.
+    pub fn clear(&mut self) {
+        self.bytes.fill(0);
+    }
+}
+
+impl std::fmt::Debug for TregImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TregImage({TREG_IMAGE_BYTES} B)")
+    }
+}
+
+/// An owned metadata-register image: 128 B of packed per-value metadata plus
+/// the 8 B row-pattern sidecar.
+///
+/// The packed-bit layout of the metadata area is owned by each
+/// [`crate::FormatSpec`] (block positions for `N:M`, column indices for CSR);
+/// this type only provides the byte storage plus the architectural 2-bit
+/// position accessors shared by the `M = 4` formats.
+#[derive(Clone, PartialEq, Eq)]
+pub struct MregImage {
+    meta: [u8; MREG_IMAGE_BYTES],
+    row_patterns: [u8; ROW_PATTERN_BYTES],
+}
+
+impl Default for MregImage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MregImage {
+    /// A zeroed image.
+    pub fn new() -> Self {
+        MregImage {
+            meta: [0; MREG_IMAGE_BYTES],
+            row_patterns: [0; ROW_PATTERN_BYTES],
+        }
+    }
+
+    /// The 128 B packed-metadata bytes.
+    #[inline]
+    pub fn meta(&self) -> &[u8] {
+        &self.meta
+    }
+
+    /// Mutable packed-metadata bytes.
+    #[inline]
+    pub fn meta_mut(&mut self) -> &mut [u8] {
+        &mut self.meta
+    }
+
+    /// The 8 B row-pattern sidecar bytes.
+    #[inline]
+    pub fn row_patterns(&self) -> &[u8] {
+        &self.row_patterns
+    }
+
+    /// Mutable row-pattern sidecar bytes.
+    #[inline]
+    pub fn row_patterns_mut(&mut self) -> &mut [u8] {
+        &mut self.row_patterns
+    }
+
+    /// Reads the architectural 2-bit block position of stored value `idx`
+    /// (the `M = 4` layout of Fig. 2, packed LSB-first as one continuous
+    /// stream — the layout of full 512-value registers and of the row-wise
+    /// format; partially-filled `N:M` tiles pad each row to a byte, so read
+    /// those through a [`crate::TileView`]).
+    ///
+    /// This absorbs the old `unpack_metadata` free function: instead of
+    /// unpacking a whole register into a fresh `Vec<u8>`, callers read
+    /// positions in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 512`.
+    #[inline]
+    pub fn position2(&self, idx: usize) -> u8 {
+        (self.meta[idx / 4] >> ((idx % 4) * 2)) & 0b11
+    }
+
+    /// Writes the architectural 2-bit block position of stored value `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 512` or `pos >= 4`.
+    #[inline]
+    pub fn set_position2(&mut self, idx: usize, pos: u8) {
+        assert!(pos < 4, "2-bit positions must be < 4");
+        let shift = (idx % 4) * 2;
+        self.meta[idx / 4] &= !(0b11 << shift);
+        self.meta[idx / 4] |= pos << shift;
+    }
+
+    /// Unpacks the first `count` 2-bit positions into one byte per value.
+    ///
+    /// Convenience for tests and offline tools; hot paths should use
+    /// [`MregImage::position2`] (or a [`crate::TileView`]) and avoid the
+    /// allocation.
+    pub fn positions2(&self, count: usize) -> Vec<u8> {
+        (0..count).map(|i| self.position2(i)).collect()
+    }
+
+    /// Encodes per-row `N` selectors (1, 2 or 4) into the row-pattern
+    /// sidecar: 2 bits per row, `00` terminating the tile (§IV-B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 32 rows are given or any `N` is not 1, 2 or 4.
+    pub fn set_row_ns(&mut self, ns: &[u8]) {
+        assert!(
+            ns.len() <= ROW_PATTERN_ROWS,
+            "at most {ROW_PATTERN_ROWS} rows fit the row-pattern field"
+        );
+        self.row_patterns.fill(0);
+        for (r, &n) in ns.iter().enumerate() {
+            let code = match n {
+                1 => 1u8,
+                2 => 2,
+                4 => 3,
+                other => panic!("unsupported row N {other}; must be 1, 2 or 4"),
+            };
+            self.row_patterns[r / 4] |= code << ((r % 4) * 2);
+        }
+    }
+
+    /// Decodes the row-pattern sidecar back into per-row `N` values.
+    pub fn row_ns(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut ns = [0u8; ROW_PATTERN_ROWS];
+        let rows = decode_row_ns(&self.row_patterns, &mut ns);
+        out.extend_from_slice(&ns[..rows]);
+        out
+    }
+}
+
+impl std::fmt::Debug for MregImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MregImage({MREG_IMAGE_BYTES} B meta + {ROW_PATTERN_BYTES} B row patterns)"
+        )
+    }
+}
+
+/// Decodes 2-bit row-pattern codes from raw sidecar bytes into `out`,
+/// returning the row count; allocation-free (the executor's hot path).
+///
+/// Codes: `00` ends the tile, `01`/`10`/`11` select `N` = 1 / 2 / 4.
+pub fn decode_row_ns(rp: &[u8], out: &mut [u8; ROW_PATTERN_ROWS]) -> usize {
+    let mut rows = 0;
+    for r in 0..(rp.len() * 4).min(ROW_PATTERN_ROWS) {
+        let code = (rp[r / 4] >> ((r % 4) * 2)) & 0b11;
+        if code == 0 {
+            break;
+        }
+        out[r] = match code {
+            1 => 1,
+            2 => 2,
+            _ => 4,
+        };
+        rows += 1;
+    }
+    rows
+}
+
+/// Reads `bits` (≤ 8) starting at absolute bit offset `bit` from packed
+/// little-endian bytes.
+#[inline]
+pub(crate) fn read_bits(bytes: &[u8], bit: usize, bits: u32) -> u8 {
+    let byte = bit / 8;
+    let shift = bit % 8;
+    let lo = bytes[byte] as u16;
+    let hi = if shift + bits as usize > 8 {
+        bytes[byte + 1] as u16
+    } else {
+        0
+    };
+    let mask = (1u16 << bits) - 1;
+    (((lo | (hi << 8)) >> shift) & mask) as u8
+}
+
+/// Writes `bits` (≤ 8) of `val` at absolute bit offset `bit` into packed
+/// little-endian bytes (positions must start zeroed).
+#[inline]
+pub(crate) fn write_bits(bytes: &mut [u8], bit: usize, bits: u32, val: u8) {
+    debug_assert!(bits <= 8 && (val as u16) < (1u16 << bits));
+    let byte = bit / 8;
+    let shift = bit % 8;
+    let window = (val as u16) << shift;
+    bytes[byte] |= window as u8;
+    if shift + bits as usize > 8 {
+        bytes[byte + 1] |= (window >> 8) as u8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn treg_image_bf16_roundtrip() {
+        let mut img = TregImage::new();
+        for i in 0..TREG_IMAGE_VALUES {
+            img.set_bf16(i, Bf16::from_f32((i % 100) as f32 - 50.0));
+        }
+        for i in 0..TREG_IMAGE_VALUES {
+            assert_eq!(img.bf16(i).to_f32(), (i % 100) as f32 - 50.0);
+        }
+        img.clear();
+        assert!(img.as_bytes().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn mreg_positions_roundtrip() {
+        let mut img = MregImage::new();
+        for i in 0..512 {
+            img.set_position2(i, (i % 4) as u8);
+        }
+        for i in 0..512 {
+            assert_eq!(img.position2(i), (i % 4) as u8);
+        }
+        assert_eq!(img.positions2(6), vec![0, 1, 2, 3, 0, 1]);
+        // Overwriting clears the old bits.
+        img.set_position2(5, 2);
+        assert_eq!(img.position2(5), 2);
+    }
+
+    #[test]
+    fn row_pattern_roundtrip() {
+        let mut img = MregImage::new();
+        let ns = vec![4u8, 4, 2, 2, 1, 1, 1, 1, 2, 4];
+        img.set_row_ns(&ns);
+        assert_eq!(img.row_ns(), ns);
+        img.set_row_ns(&[1u8; 32]);
+        assert_eq!(img.row_ns().len(), 32);
+    }
+
+    #[test]
+    fn bit_packing_handles_straddles() {
+        let mut bytes = [0u8; 8];
+        let vals = [0u8, 7, 3, 5, 1, 6, 2, 4, 7, 0];
+        for (i, &v) in vals.iter().enumerate() {
+            write_bits(&mut bytes, i * 3, 3, v);
+        }
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(read_bits(&bytes, i * 3, 3), v);
+        }
+    }
+
+    #[test]
+    fn images_are_self_describing_in_debug() {
+        assert_eq!(format!("{:?}", TregImage::new()), "TregImage(1024 B)");
+        assert!(format!("{:?}", MregImage::new()).contains("128 B"));
+    }
+}

@@ -1,47 +1,75 @@
-//! N:M structured sparsity formats and transforms for VEGETA.
+//! The VEGETA storage layer: one polymorphic tile-format API.
 //!
-//! This crate implements the data-representation layer of the paper:
+//! This crate implements the paper's data-representation hierarchy
+//! (PAPER §III–§V, Fig. 2/6) as a single storage family behind the
+//! [`TileFormat`] trait, with the hashable [`FormatSpec`] as its
+//! sweepable identity:
 //!
-//! * [`NmRatio`] — a validated `N:M` fine-grained structured sparsity ratio
-//!   (at most `N` non-zeros in every block of `M` consecutive elements).
-//! * [`CompressedTile`] — the compressed tile format of Fig. 2: non-zero
-//!   values plus per-value block offsets (2 bits each for `M = 4`), exactly
-//!   what a `treg`/`mreg` pair stores.
-//! * [`RowWiseTile`] — row-wise `N:M` sparsity (§V-E): each row of the
-//!   effective tile carries its own `N`, enabling lossless coverage of
-//!   unstructured sparsity.
-//! * [`transform`] — the unstructured → row-wise/tile-wise/layer-wise cover
-//!   transforms of §III-D, plus the pseudo row-wise grouping of §V-E.
-//! * [`prune`] — magnitude pruning to `N:M` and seeded random sparsity
-//!   generators used by the evaluation workloads.
+//! | [`FormatSpec`] | concrete type | paper role |
+//! |---|---|---|
+//! | `Dense` | [`DenseTile`] | `TILE_GEMM` operands |
+//! | `Nm(N:M)` | [`CompressedTile`] | Fig. 2 compressed tiles (`TILE_SPMM_U`/`_V`) |
+//! | `RowWise {m}` | [`RowWiseTile`] | §V-E per-row `N:M` (`TILE_SPMM_R`) |
+//! | `Csr` | [`CsrTile`] | unstructured SpGEMM operands (related work) |
 //!
-//! # Example: compress a 2:4 sparse tile
+//! Every format supports three things:
+//!
+//! 1. **compress / decompress** between dense matrices and the format;
+//! 2. **zero-copy register packing** — [`TileFormat::pack_into`] lowers a
+//!    tile into an owned [`TregImage`]/[`MregImage`] pair (the 1 KB + 128 B
+//!    payloads a `treg`/`mreg` holds) without heap allocation, and the
+//!    borrowed [`TileView`] reads packed bytes back in place, so the ISA
+//!    executor and the kernels never materialize an intermediate
+//!    `Matrix<Bf16>` on the per-instruction path;
+//! 3. **size/metadata accounting** ([`TileFormat::values_bytes`],
+//!    [`TileFormat::metadata_bits`], and the capacity-bound versions on
+//!    [`FormatSpec`]) consumed by the engine cost model and the experiment
+//!    reports.
+//!
+//! Supporting modules: [`NmRatio`] (validated `N:M` ratios), [`transform`]
+//! (the §III-D unstructured → structured cover transforms), [`prune`]
+//! (magnitude pruning and seeded sparsity generators).
+//!
+//! # Example: compress, pack, view
 //!
 //! ```
 //! use vegeta_num::{Bf16, Matrix};
-//! use vegeta_sparse::{CompressedTile, NmRatio};
+//! use vegeta_sparse::{FormatSpec, MregImage, NmRatio, TileView, TregImage};
 //!
-//! // A 4x8 tile where each block of 4 has at most 2 non-zeros.
-//! let dense = Matrix::from_fn(4, 8, |r, c| {
-//!     if c % 4 < 2 { Bf16::from_f32((r * 8 + c) as f32 + 1.0) } else { Bf16::ZERO }
+//! // A 16x64 effective tile at 2:4 fills a treg/mreg pair exactly (§IV-A).
+//! let dense = Matrix::from_fn(16, 64, |r, c| {
+//!     if c % 4 < 2 { Bf16::from_f32((r + c) as f32 + 1.0) } else { Bf16::ZERO }
 //! });
-//! let tile = CompressedTile::compress(&dense, NmRatio::S2_4)?;
-//! assert_eq!(tile.values().cols(), 4); // 8 cols / 4 per block * 2 kept
-//! assert_eq!(tile.decompress(), dense);
+//! let tile = FormatSpec::Nm(NmRatio::S2_4).compress(&dense)?;
+//! assert_eq!((tile.values_bytes(), tile.metadata_bits()), (1024, 1024));
+//!
+//! let (mut treg, mut mreg) = (TregImage::new(), MregImage::new());
+//! tile.pack_into(&mut treg, &mut mreg)?;
+//! let view = TileView::of_images(tile.spec(), 16, 64, &treg, &mreg)?;
+//! assert_eq!(view.decompress(), dense);
 //! # Ok::<(), vegeta_sparse::SparsityError>(())
 //! ```
 
 #![warn(missing_docs)]
 
 mod compress;
+mod csr;
 mod error;
+mod format;
+mod image;
 pub mod prune;
 mod ratio;
 mod rowwise;
 pub mod transform;
 
-pub use compress::{unpack_metadata, CompressedTile};
+pub use compress::CompressedTile;
+pub use csr::CsrTile;
 pub use error::SparsityError;
+pub use format::{DenseTile, FormatSpec, TileFormat, TileView};
+pub use image::{
+    decode_row_ns, MregImage, TregImage, MREG_IMAGE_BYTES, ROW_PATTERN_BYTES, ROW_PATTERN_ROWS,
+    TREG_IMAGE_BYTES, TREG_IMAGE_VALUES,
+};
 pub use ratio::NmRatio;
 pub use rowwise::RowWiseTile;
 
@@ -58,8 +86,16 @@ pub fn sparsity_degree(m: &Matrix<Bf16>) -> f64 {
     zeros as f64 / m.len() as f64
 }
 
-/// Fraction of non-zero elements in a matrix (`1 - sparsity_degree`).
+/// Fraction of non-zero elements in a matrix (`1 - sparsity_degree` for
+/// non-empty matrices).
+///
+/// An empty matrix has no elements of either kind, so — like
+/// [`sparsity_degree`] — its density is defined as `0.0` rather than the
+/// `1.0` a naive complement would produce.
 pub fn density(m: &Matrix<Bf16>) -> f64 {
+    if m.is_empty() {
+        return 0.0;
+    }
     1.0 - sparsity_degree(m)
 }
 
@@ -92,9 +128,15 @@ mod tests {
     }
 
     #[test]
-    fn empty_matrix_has_zero_degree() {
-        let m = Matrix::<Bf16>::zeros(0, 0);
-        assert_eq!(sparsity_degree(&m), 0.0);
+    fn empty_matrix_has_zero_degree_and_density() {
+        for m in [
+            Matrix::<Bf16>::zeros(0, 0),
+            Matrix::<Bf16>::zeros(0, 5),
+            Matrix::<Bf16>::zeros(5, 0),
+        ] {
+            assert_eq!(sparsity_degree(&m), 0.0);
+            assert_eq!(density(&m), 0.0);
+        }
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use vegeta_num::{Bf16, Matrix};
 
+use crate::format::{check_treg_budget, FormatSpec, TileFormat};
+use crate::image::{MregImage, TregImage, ROW_PATTERN_ROWS};
 use crate::{NmRatio, SparsityError};
 
 /// A tile compressed with *row-wise* `N:M` sparsity: every row of the
@@ -60,6 +62,43 @@ impl RowWiseTile {
     pub fn compress(dense: &Matrix<Bf16>, m: u8) -> Result<Self, SparsityError> {
         let patterns = NmRatio::supported_patterns(m)?;
         let mb = m as usize;
+        let row_ratios: Vec<NmRatio> = (0..dense.rows())
+            .map(|r| {
+                let max_nnz = dense
+                    .row(r)
+                    .chunks(mb)
+                    .map(|b| b.iter().filter(|v| !v.is_zero()).count())
+                    .max()
+                    .unwrap_or(0);
+                *patterns
+                    .iter()
+                    .find(|p| p.n() as usize >= max_nnz)
+                    .expect("the densest pattern m:m always covers")
+            })
+            .collect();
+        Self::compress_with(dense, m, &row_ratios)
+    }
+
+    /// Compresses a dense-shaped tile with *given* per-row ratios — the path
+    /// the kernels use when covers were chosen over a whole operand row and
+    /// must stay uniform across `k` tiles.
+    ///
+    /// # Errors
+    ///
+    /// * [`SparsityError::InvalidRatio`] if `m` is not a supported block size
+    ///   or a ratio's block size differs from `m`.
+    /// * [`SparsityError::ShapeMismatch`] if the column count is not a
+    ///   positive multiple of `m` or the ratio count differs from the row
+    ///   count.
+    /// * [`SparsityError::BlockTooDense`] if a block holds more non-zeros
+    ///   than its row's ratio allows.
+    pub fn compress_with(
+        dense: &Matrix<Bf16>,
+        m: u8,
+        row_ratios: &[NmRatio],
+    ) -> Result<Self, SparsityError> {
+        NmRatio::supported_patterns(m)?;
+        let mb = m as usize;
         if dense.cols() == 0 || !dense.cols().is_multiple_of(mb) {
             return Err(SparsityError::ShapeMismatch {
                 reason: format!(
@@ -68,27 +107,40 @@ impl RowWiseTile {
                 ),
             });
         }
+        if row_ratios.len() != dense.rows() {
+            return Err(SparsityError::ShapeMismatch {
+                reason: format!(
+                    "{} row ratios given for {} rows",
+                    row_ratios.len(),
+                    dense.rows()
+                ),
+            });
+        }
+        if let Some(bad) = row_ratios.iter().find(|r| r.m() != m) {
+            return Err(SparsityError::InvalidRatio {
+                n: bad.n(),
+                m: bad.m(),
+            });
+        }
         let blocks = dense.cols() / mb;
-        let mut row_ratios = Vec::with_capacity(dense.rows());
         let mut row_offsets = Vec::with_capacity(dense.rows() + 1);
         let mut values = Vec::new();
         let mut indices = Vec::new();
         row_offsets.push(0);
-        for r in 0..dense.rows() {
+        for (r, ratio) in row_ratios.iter().enumerate() {
             let row = dense.row(r);
-            let max_nnz = row
-                .chunks(mb)
-                .map(|b| b.iter().filter(|v| !v.is_zero()).count())
-                .max()
-                .unwrap_or(0);
-            let ratio = *patterns
-                .iter()
-                .find(|p| p.n() as usize >= max_nnz)
-                .expect("the densest pattern m:m always covers");
             let n = ratio.n() as usize;
             for b in 0..blocks {
                 let block = &row[b * mb..(b + 1) * mb];
                 let nonzeros: Vec<usize> = (0..mb).filter(|&i| !block[i].is_zero()).collect();
+                if nonzeros.len() > n {
+                    return Err(SparsityError::BlockTooDense {
+                        row: r,
+                        block: b,
+                        found: nonzeros.len(),
+                        allowed: n,
+                    });
+                }
                 let mut slots = nonzeros.clone();
                 for i in 0..mb {
                     if slots.len() == n {
@@ -104,13 +156,12 @@ impl RowWiseTile {
                     indices.push(pos as u8);
                 }
             }
-            row_ratios.push(ratio);
             row_offsets.push(values.len());
         }
         Ok(RowWiseTile {
             m,
             effective_cols: dense.cols(),
-            row_ratios,
+            row_ratios: row_ratios.to_vec(),
             row_offsets,
             values,
             indices,
@@ -205,9 +256,64 @@ impl RowWiseTile {
     }
 }
 
+impl TileFormat for RowWiseTile {
+    fn spec(&self) -> FormatSpec {
+        FormatSpec::RowWise { m: self.m }
+    }
+
+    fn rows(&self) -> usize {
+        self.row_ratios.len()
+    }
+
+    fn effective_cols(&self) -> usize {
+        self.effective_cols
+    }
+
+    fn stored_len(&self) -> usize {
+        self.values.len()
+    }
+
+    fn metadata_bits(&self) -> usize {
+        self.values.len() * (self.m.trailing_zeros() as usize) + self.rows() * 2
+    }
+
+    fn decompress(&self) -> Matrix<Bf16> {
+        RowWiseTile::decompress(self)
+    }
+
+    fn pack_into(&self, treg: &mut TregImage, mreg: &mut MregImage) -> Result<(), SparsityError> {
+        if self.m != 4 {
+            return Err(SparsityError::ShapeMismatch {
+                reason: format!("register images support row-wise M = 4, got {}", self.m),
+            });
+        }
+        if self.rows() > ROW_PATTERN_ROWS {
+            return Err(SparsityError::ShapeMismatch {
+                reason: format!(
+                    "row-pattern sidecar holds at most {ROW_PATTERN_ROWS} rows, got {}",
+                    self.rows()
+                ),
+            });
+        }
+        check_treg_budget(self.values.len())?;
+        treg.clear();
+        *mreg = MregImage::new();
+        for (i, &v) in self.values.iter().enumerate() {
+            treg.set_bf16(i, v);
+        }
+        for (i, &pos) in self.indices.iter().enumerate() {
+            mreg.set_position2(i, pos);
+        }
+        let ns: Vec<u8> = self.row_ratios.iter().map(|r| r.n()).collect();
+        mreg.set_row_ns(&ns);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::TileView;
 
     fn mat(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f32) -> Matrix<Bf16> {
         Matrix::from_fn(rows, cols, |r, c| Bf16::from_f32(f(r, c)))
@@ -297,5 +403,55 @@ mod tests {
         assert!(RowWiseTile::compress(&dense, 4).is_err());
         let dense = mat(1, 8, |_, _| 0.0);
         assert!(RowWiseTile::compress(&dense, 3).is_err());
+    }
+
+    #[test]
+    fn compress_with_pins_the_given_ratios() {
+        // A sparse row forced to a denser-than-needed cover keeps it.
+        let dense = mat(2, 8, |_, c| if c % 4 == 0 { 1.0 } else { 0.0 });
+        let ratios = [NmRatio::S2_4, NmRatio::S1_4];
+        let t = RowWiseTile::compress_with(&dense, 4, &ratios).unwrap();
+        assert_eq!(t.row_ratio(0), NmRatio::S2_4);
+        assert_eq!(t.decompress(), dense);
+        // A cover that is too sparse for the data is rejected.
+        let too_sparse = [NmRatio::S1_4, NmRatio::S1_4];
+        let dense2 = mat(2, 8, |_, c| if c % 4 < 2 { 1.0 } else { 0.0 });
+        assert!(matches!(
+            RowWiseTile::compress_with(&dense2, 4, &too_sparse),
+            Err(SparsityError::BlockTooDense { .. })
+        ));
+        // Ratio count and block size must agree.
+        assert!(RowWiseTile::compress_with(&dense, 4, &ratios[..1]).is_err());
+        assert!(RowWiseTile::compress_with(&dense, 8, &[NmRatio::S1_4, NmRatio::S1_4]).is_err());
+    }
+
+    #[test]
+    fn packs_through_register_images() {
+        let dense = mat(16, 64, |r, c| {
+            if (r * 13 + c * 7) % 5 == 0 {
+                (r + 1) as f32
+            } else {
+                0.0
+            }
+        });
+        let t = RowWiseTile::compress(&dense, 4).unwrap();
+        let (mut treg, mut mreg) = (TregImage::new(), MregImage::new());
+        t.pack_into(&mut treg, &mut mreg).unwrap();
+        let ns: Vec<u8> = t.row_ratios().iter().map(|r| r.n()).collect();
+        assert_eq!(mreg.row_ns(), ns);
+        let view = TileView::of_images(FormatSpec::RowWise { m: 4 }, 16, 64, &treg, &mreg).unwrap();
+        assert_eq!(view.stored_len(), t.stored_len());
+        assert_eq!(view.decompress(), dense);
+    }
+
+    #[test]
+    fn non_m4_tiles_do_not_pack() {
+        let dense = mat(2, 16, |_, c| if c % 8 == 0 { 1.0 } else { 0.0 });
+        let t = RowWiseTile::compress(&dense, 8).unwrap();
+        let (mut treg, mut mreg) = (TregImage::new(), MregImage::new());
+        assert!(matches!(
+            t.pack_into(&mut treg, &mut mreg),
+            Err(SparsityError::ShapeMismatch { .. })
+        ));
     }
 }

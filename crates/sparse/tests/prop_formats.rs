@@ -5,7 +5,8 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use vegeta_num::{Bf16, Matrix};
 use vegeta_sparse::{
-    prune, satisfies_nm, sparsity_degree, transform, CompressedTile, NmRatio, RowWiseTile,
+    prune, satisfies_nm, sparsity_degree, transform, CompressedTile, FormatSpec, MregImage,
+    NmRatio, RowWiseTile, SparsityError, TileView, TregImage,
 };
 
 /// Strategy: a random matrix with the given shape and a random sparsity
@@ -101,7 +102,8 @@ proptest! {
         prop_assert!(reordered.covered_work <= pseudo.covered_work + 1e-9);
     }
 
-    /// Metadata packing round-trips through the mreg byte format.
+    /// Metadata packing round-trips through the mreg byte format, read back
+    /// in place through the format-aware TileView.
     #[test]
     fn metadata_roundtrip(seed in any::<u64>(), rows in 1usize..8, blocks in 1usize..8) {
         let dense = {
@@ -109,8 +111,62 @@ proptest! {
             prune::random_nm(rows, blocks * 4, NmRatio::S2_4, &mut rng)
         };
         let tile = CompressedTile::compress(&dense, NmRatio::S2_4).unwrap();
-        let packed = tile.metadata_packed();
-        let unpacked = vegeta_sparse::unpack_metadata(&packed, rows, tile.values().cols(), 2);
+        let (mut treg, mut mreg) = (TregImage::new(), MregImage::new());
+        vegeta_sparse::TileFormat::pack_into(&tile, &mut treg, &mut mreg).unwrap();
+        let view = TileView::of_images(
+            FormatSpec::Nm(NmRatio::S2_4), rows, blocks * 4, &treg, &mreg,
+        ).unwrap();
+        let unpacked: Vec<u8> = (0..tile.indices().len())
+            .map(|i| view.position(i) as u8)
+            .collect();
         prop_assert_eq!(unpacked.as_slice(), tile.indices());
+    }
+
+    /// For random tiles and every storage format:
+    /// `compress → pack_into → TileView → decompress` equals the
+    /// magnitude-pruned input (the identity for the lossless formats —
+    /// including per-row `N` for row-wise and column indices for CSR).
+    #[test]
+    fn format_roundtrip_through_register_images(
+        seed in any::<u64>(),
+        spec_idx in 0usize..5,
+        degree in 0.3f64..1.0,
+        rows in 1usize..=16,
+        blocks in 1usize..=8,
+    ) {
+        let spec = FormatSpec::all_m4()[spec_idx];
+        let cols = blocks * 4;
+        // Keep the dense fallback rows within the 512-value treg budget.
+        let rows = if rows * cols > 512 { 512 / cols } else { rows };
+        let dense = seeded_matrix(rows, cols, degree, seed);
+        // Structured specs see their magnitude-pruned cover; the lossless
+        // formats must reproduce the input exactly.
+        let expected = match spec {
+            FormatSpec::Nm(ratio) => prune::magnitude_prune_nm(&dense, ratio),
+            _ => dense.clone(),
+        };
+        let tile = spec.compress(&expected).unwrap();
+        prop_assert_eq!(tile.spec(), spec);
+        let (mut treg, mut mreg) = (TregImage::new(), MregImage::new());
+        match tile.pack_into(&mut treg, &mut mreg) {
+            Ok(()) => {
+                let view = TileView::of_images(
+                    spec, tile.rows(), tile.effective_cols(), &treg, &mreg,
+                ).unwrap();
+                prop_assert_eq!(view.stored_len(), tile.stored_len());
+                prop_assert_eq!(view.decompress(), expected);
+            }
+            // CSR may legitimately overflow the 128 B mreg when the tile is
+            // too dense — the error must say so, and only CSR may hit it
+            // on these in-budget shapes.
+            Err(SparsityError::InvalidMetadata { .. }) => {
+                prop_assert_eq!(spec, FormatSpec::Csr);
+                prop_assert!(
+                    tile.metadata_bits() > 128 * 8,
+                    "CSR overflow reported but metadata would fit"
+                );
+            }
+            Err(other) => prop_assert!(false, "unexpected pack error: {other}"),
+        }
     }
 }

@@ -9,7 +9,7 @@
 use vegeta::engine::{dataflow, EngineConfig};
 use vegeta::num::{Bf16, Matrix};
 use vegeta::prelude::*;
-use vegeta::sparse::{prune, unpack_metadata};
+use vegeta::sparse::prune;
 
 fn int_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<Bf16> {
     Matrix::from_fn(rows, cols, |r, c| {
@@ -101,7 +101,9 @@ fn check_instruction(ratio: NmRatio, seed: u64) {
     let c_in = Matrix::from_fn(16, 16, |r, c| ((r * 16 + c) % 23) as f32 - 11.0);
 
     let expected = executor_result(ratio, &tile, &bt, &c_in);
-    let meta = unpack_metadata(&tile.metadata_packed(), 16, tile.values().cols(), 2);
+    // The tile's per-value positions, exactly what packed mreg metadata
+    // decodes back to (pinned by the sparse crate's round-trip proptests).
+    let meta = tile.indices().to_vec();
 
     for cfg in EngineConfig::table3() {
         if !cfg.supports(ratio) {
@@ -172,7 +174,7 @@ fn float_data_agrees_within_tolerance() {
     let bt = prune::random_dense(16, 64, &mut rng);
     let c_in = Matrix::zeros(16, 16);
     let expected = executor_result(ratio, &tile, &bt, &c_in);
-    let meta = unpack_metadata(&tile.metadata_packed(), 16, 32, 2);
+    let meta = tile.indices().to_vec();
     let op = dataflow::TileWiseOp {
         a_values: tile.values(),
         a_meta: Some(&meta),

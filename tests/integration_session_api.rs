@@ -153,6 +153,85 @@ fn execution_modes_follow_section6c_through_the_api() {
     }
 }
 
+/// End to end: a sweep gridding over storage formats (the Fig. 12-style
+/// axis) produces one cell per engine × format with format-appropriate
+/// kernels, storage accounting, and JSON/CSV round trips.
+#[test]
+fn sweep_grids_over_storage_formats_end_to_end() {
+    let layer = table4()[7];
+    let shape = layer.scaled_shape(8);
+    let formats = [
+        FormatSpec::Dense,
+        FormatSpec::Nm(NmRatio::S2_4),
+        FormatSpec::Nm(NmRatio::S1_4),
+        FormatSpec::RowWise { m: 4 },
+        FormatSpec::Csr,
+    ];
+    let report = Sweep::new()
+        .with_engines([EngineConfig::rasa_dm(), EngineConfig::vegeta_s(16).unwrap()])
+        .with_layer(layer)
+        .with_formats(formats)
+        .with_scale(8)
+        .run();
+    assert_eq!(report.cells.len(), 2 * formats.len());
+    assert_eq!(
+        report.sparsities(),
+        vec!["dense", "2:4", "1:4", "rowwise:4", "csr"]
+    );
+
+    let sparse = |f: &str| report.get(layer.name, "VEGETA-S-16-2", f).unwrap();
+    // Sparser structured storage is both smaller and faster on VEGETA-S.
+    let (dense, s24, s14) = (sparse("dense"), sparse("2:4"), sparse("1:4"));
+    assert!(s14.a_values_bytes < s24.a_values_bytes);
+    assert!(s24.a_values_bytes < dense.a_values_bytes);
+    assert!(s14.cycles < s24.cycles && s24.cycles < dense.cycles);
+    assert_eq!(s24.a_values_bytes, (shape.m * shape.k) as u64);
+    assert_eq!(
+        s24.a_metadata_bits,
+        (shape.m * shape.k / 2 * 2) as u64,
+        "2 position bits per stored value"
+    );
+    // Row-wise runs the tile engine; CSR falls back to the vector unit and
+    // loses — the §III-D transform argument, as data.
+    let (rw, csr) = (sparse("rowwise:4"), sparse("csr"));
+    assert!(rw.kernel.starts_with("rowwise-"));
+    assert_eq!(csr.kernel, "vector-gemm");
+    assert!(rw.cycles < csr.cycles);
+    // The dense engine executes every tile format densely.
+    for f in ["dense", "2:4", "1:4", "rowwise:4"] {
+        let cell = report.get(layer.name, "RASA-DM (VEGETA-D-1-2)", f).unwrap();
+        assert_eq!(cell.kernel, "tiled-dense-u3", "format {f}");
+        assert_eq!(cell.format, "dense");
+    }
+
+    // Reports round-trip with the format fields intact.
+    let back = RunReport::from_json(&rw.to_json()).unwrap();
+    assert_eq!(&back, rw);
+    let csv = report.to_csv();
+    assert!(csv.lines().next().unwrap().contains("format"));
+    assert!(csv.contains("rowwise:4"));
+}
+
+/// The trace cache keys on the storage format: identical instruction mixes
+/// over different operand formats never alias.
+#[test]
+fn trace_cache_distinguishes_formats() {
+    let shape = GemmShape::new(32, 32, 128);
+    let cache = TraceCache::new();
+    let dense = KernelSpec::tiled(SparseMode::Dense);
+    let vector = KernelSpec::Vector;
+    // Both "dense" formats, but different kernels — still distinct keys.
+    let a = cache.get_or_build(shape, &dense);
+    let b = cache.get_or_build(shape, &vector);
+    assert!(!Arc::ptr_eq(&a, &b));
+    assert_eq!(cache.misses(), 2);
+    assert_eq!(dense.format(), FormatSpec::Dense);
+    assert_eq!(vector.format(), FormatSpec::Dense);
+    // Same spec again: hit.
+    cache.get_or_build(shape, &dense);
+    assert_eq!(cache.hits(), 1);
+}
+
 /// Wall-clock check: a parallel Fig. 13 sweep must beat the serial path by
 /// at least 1.5x on a multi-core host. Timing-sensitive, so ignored by
 /// default; run with `cargo test --release -- --ignored parallel_speedup`.

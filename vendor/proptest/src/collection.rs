@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::{Range, RangeInclusive};
 
-/// Length specification for [`vec`]: an exact size or a size range.
+/// Length specification for [`vec()`]: an exact size or a size range.
 #[derive(Clone, Debug)]
 pub struct SizeRange {
     min: usize,
