@@ -1,0 +1,161 @@
+//! The CI performance gate.
+//!
+//! Default mode (the PR `perf-gate` job):
+//!
+//! 1. regenerates the Fig. 13 quick-mode sweep and diffs its per-engine
+//!    geomean speedups against the committed `BENCH_fig13.json` within
+//!    ±2%, exiting non-zero on any drift (performance changes must update
+//!    the baseline in the same PR);
+//! 2. replays the pinned layer set at **both** fidelities (quick/4 and
+//!    full) through the streaming pipeline and writes the timed
+//!    `BENCH_perf.json` artifact (simulated insts/sec, wall-clock, cycles,
+//!    peak resident bytes).
+//!
+//! `--full-scale` (the scheduled job): skips the baseline diff and replays
+//! one full-fidelity Table IV layer per engine class — including the
+//! largest GPT-3 layer — exercising the streaming path at network scale.
+//!
+//! Flags: `--baseline <path>` overrides the committed baseline,
+//! `--tolerance <fraction>` the ±2% default.
+
+use vegeta::json::JsonValue;
+use vegeta::prelude::*;
+use vegeta_bench::perf_gate::{
+    compare_geomeans, perf_report, pinned_layers, run_perf_cells, write_perf_json,
+    GEOMEAN_TOLERANCE,
+};
+
+fn workspace_baseline() -> std::path::PathBuf {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    if std::path::Path::new(root).is_dir() {
+        std::path::Path::new(root).join("BENCH_fig13.json")
+    } else {
+        std::path::PathBuf::from("BENCH_fig13.json")
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut full_scale = false;
+    let mut baseline_path = workspace_baseline();
+    let mut tolerance = GEOMEAN_TOLERANCE;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--full-scale" => full_scale = true,
+            "--baseline" => {
+                baseline_path = iter.next().expect("--baseline needs a path").into();
+            }
+            "--tolerance" => {
+                tolerance = iter
+                    .next()
+                    .expect("--tolerance needs a fraction")
+                    .parse()
+                    .expect("tolerance must be a number, e.g. 0.02");
+            }
+            // A gate that silently ignores a mistyped flag would run with
+            // criteria the author did not intend; refuse instead.
+            unknown => {
+                eprintln!(
+                    "perf_gate: unknown argument '{unknown}' \
+                     (expected --full-scale, --baseline <path>, --tolerance <fraction>)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if full_scale {
+        // One full-fidelity layer per engine class, including the largest
+        // GPT-3 layer: the network-scale streaming exercise.
+        let layers: Vec<Layer> = table4()
+            .into_iter()
+            .filter(|l| matches!(l.name, "ResNet50-L6" | "BERT-L2" | "GPT-L3"))
+            .collect();
+        println!("## perf_gate --full-scale: full-fidelity streamed replays");
+        let cells = run_perf_cells(&layers, &[Fidelity::Full]);
+        print_cells(&cells);
+        write_perf_json(&perf_report("full-scale", &cells));
+        return;
+    }
+
+    // --- 1. Regression gate against the committed quick-mode baseline. ---
+    println!(
+        "## perf_gate: Fig. 13 geomean gate (tolerance ±{:.1}%)",
+        tolerance * 100.0
+    );
+    let baseline_text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+        std::process::exit(1);
+    });
+    let baseline = JsonValue::parse(&baseline_text).unwrap_or_else(|e| {
+        eprintln!(
+            "baseline {} is not valid JSON: {e}",
+            baseline_path.display()
+        );
+        std::process::exit(1);
+    });
+    // The committed baseline is the quick/4 artifact; regenerate at the
+    // same fidelity regardless of the environment.
+    let report = Sweep::figure13().with_scale(4).run();
+    let tmp = std::env::temp_dir().join(format!("vegeta_perf_gate_{}", std::process::id()));
+    let fresh_path =
+        vegeta_bench::write_fig13_json_to(&report, 4, &tmp).expect("fresh geomeans written");
+    let fresh = JsonValue::parse(&std::fs::read_to_string(&fresh_path).expect("readable"))
+        .expect("fresh geomeans are valid JSON");
+    std::fs::remove_dir_all(&tmp).ok();
+    // When an artifact directory is configured, publish the sweep this
+    // gate just computed (CSV + geomean JSON) instead of making CI rerun
+    // the whole grid through fig13_runtime a second time. Without
+    // VEGETA_CSV_DIR nothing is written — the committed workspace
+    // baseline must stay untouched.
+    if std::env::var("VEGETA_CSV_DIR").is_ok_and(|d| !d.is_empty()) {
+        report.save_csv("fig13_runtime");
+        vegeta_bench::write_fig13_json(&report, 4);
+    }
+    match compare_geomeans(&baseline, &fresh, tolerance) {
+        Ok(compared) => {
+            println!(
+                "geomean gate PASSED: {compared} geomeans within ±{:.1}%",
+                tolerance * 100.0
+            )
+        }
+        Err(failures) => {
+            eprintln!("geomean gate FAILED ({} drifts):", failures.len());
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            eprintln!(
+                "if this change is intentional, regenerate the baseline with \
+                 `VEGETA_QUICK=1 cargo run --release -p vegeta-bench --bin fig13_runtime` \
+                 and commit BENCH_fig13.json"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    // --- 2. Pinned perf set at both fidelities, timed. ---
+    println!("\n## perf_gate: pinned layer set at quick/4 and full fidelity");
+    let cells = run_perf_cells(&pinned_layers(), &[Fidelity::Quick(4), Fidelity::Full]);
+    print_cells(&cells);
+    write_perf_json(&perf_report("gate", &cells));
+}
+
+fn print_cells(cells: &[vegeta_bench::perf_gate::PerfCell]) {
+    println!(
+        "{:<14} {:<22} {:>8} {:>12} {:>12} {:>14} {:>12}",
+        "layer", "engine", "fidelity", "cycles", "insts", "sim insts/s", "peak bytes"
+    );
+    for cell in cells {
+        println!(
+            "{:<14} {:<22} {:>8} {:>12} {:>12} {:>14.0} {:>12}",
+            cell.report.workload,
+            cell.report.engine,
+            cell.report.fidelity,
+            cell.report.cycles,
+            cell.report.instructions,
+            cell.sim_insts_per_sec(),
+            cell.report.peak_resident_bytes
+        );
+    }
+}

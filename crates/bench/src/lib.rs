@@ -15,6 +15,8 @@
 
 #![warn(missing_docs)]
 
+pub mod perf_gate;
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use vegeta::engine::{dataflow, rowwise, schedule_sequence, CostModel, EngineConfig, TileOp};
@@ -402,8 +404,14 @@ pub fn print_fig13() {
     }
     println!();
     println!(
-        "(sweep ran on {} threads; {} traces built, {} cache hits)",
-        report.threads, report.traces_built, report.trace_cache_hits
+        "(sweep ran on {} threads; {} traces built, {} cache hits; cache: \
+         {} entries, {} resident, {} evictions)",
+        report.threads,
+        report.traces_built,
+        report.trace_cache_hits,
+        report.cache.entries,
+        report.cache.resident,
+        report.cache.evictions
     );
     // Summary speedups vs RASA-DM (the paper's headline comparison).
     let dm = EngineConfig::rasa_dm().name().to_string();

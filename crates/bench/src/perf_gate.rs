@@ -1,0 +1,309 @@
+//! The performance gate behind the `perf_gate` binary and the CI
+//! `perf-gate` job.
+//!
+//! Two halves:
+//!
+//! * **Regression gate** — [`compare_geomeans`] diffs a freshly computed
+//!   Fig. 13 geomean-speedup document against the committed
+//!   `BENCH_fig13.json` baseline within a relative tolerance
+//!   ([`GEOMEAN_TOLERANCE`], ±2%); CI fails on any drift, so performance
+//!   changes must update the baseline in the same PR that causes them.
+//! * **Throughput report** — [`run_perf_cells`] replays the pinned layer
+//!   set ([`pinned_layers`], one layer per source network) on one engine
+//!   per §VI engine class ([`perf_gate_engines`]) at the requested
+//!   fidelities through the streaming pipeline, and [`perf_report`] wraps
+//!   the cells (cycles, wall-clock, simulated insts/sec, peak resident
+//!   bytes) into the machine-readable `BENCH_perf.json` artifact.
+//!
+//! The simulated cycle counts are deterministic; only the wall-clock
+//! columns vary by host, which is why `BENCH_perf.json` is a workflow
+//! artifact rather than a committed baseline.
+
+use std::time::Instant;
+
+use vegeta::json::JsonValue;
+use vegeta::prelude::*;
+
+/// Maximum relative geomean drift the gate accepts (±2%).
+pub const GEOMEAN_TOLERANCE: f64 = 0.02;
+
+/// One timed streamed replay of the perf set.
+#[derive(Debug, Clone)]
+pub struct PerfCell {
+    /// The underlying simulation report.
+    pub report: RunReport,
+    /// Host wall-clock seconds the replay took (trace generation +
+    /// simulation; nondeterministic).
+    pub wall_seconds: f64,
+}
+
+impl PerfCell {
+    /// Simulated instructions per wall-clock second — the streaming
+    /// pipeline's replay throughput.
+    pub fn sim_insts_per_sec(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.report.instructions as f64 / self.wall_seconds
+    }
+
+    /// The cell as a JSON object.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("workload".into(), self.report.workload.as_str().into()),
+            ("engine".into(), self.report.engine.as_str().into()),
+            ("sparsity".into(), self.report.sparsity.as_str().into()),
+            ("fidelity".into(), self.report.fidelity.as_str().into()),
+            ("m".into(), self.report.shape.m.into()),
+            ("n".into(), self.report.shape.n.into()),
+            ("k".into(), self.report.shape.k.into()),
+            ("cycles".into(), self.report.cycles.into()),
+            ("instructions".into(), self.report.instructions.into()),
+            ("insts_streamed".into(), self.report.insts_streamed.into()),
+            (
+                "peak_resident_bytes".into(),
+                self.report.peak_resident_bytes.into(),
+            ),
+            ("wall_seconds".into(), self.wall_seconds.into()),
+            ("sim_insts_per_sec".into(), self.sim_insts_per_sec().into()),
+        ])
+    }
+}
+
+/// The pinned perf-gate layer set: one Table IV layer per source network,
+/// chosen small enough that full-fidelity replays stay CI-friendly.
+pub fn pinned_layers() -> Vec<Layer> {
+    table4()
+        .into_iter()
+        .filter(|l| matches!(l.name, "ResNet50-L6" | "BERT-L2" | "GPT-L1"))
+        .collect()
+}
+
+/// One engine per §VI engine class: the dense SOTA baseline, the
+/// fixed-pattern sparse engine, and the flexible VEGETA-S design.
+pub fn perf_gate_engines() -> Vec<EngineConfig> {
+    vec![
+        EngineConfig::rasa_dm(),
+        EngineConfig::stc_like(),
+        EngineConfig::vegeta_s(16)
+            .expect("valid alpha")
+            .with_output_forwarding(true),
+    ]
+}
+
+/// Replays `layers` × [`perf_gate_engines`] at 2:4 weights for every
+/// requested fidelity, timing each streamed replay. One shared trace cache
+/// memoizes the generator summaries across engines.
+pub fn run_perf_cells(layers: &[Layer], fidelities: &[Fidelity]) -> Vec<PerfCell> {
+    let cache = std::sync::Arc::new(TraceCache::new());
+    let mut cells = Vec::new();
+    for layer in layers {
+        for &fidelity in fidelities {
+            for engine in perf_gate_engines() {
+                let session = Session::new(engine).with_cache(std::sync::Arc::clone(&cache));
+                let start = Instant::now();
+                let report = session.run_layer_at(layer, NmRatio::S2_4, fidelity);
+                cells.push(PerfCell {
+                    report,
+                    wall_seconds: start.elapsed().as_secs_f64(),
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Wraps perf cells into the `BENCH_perf.json` document.
+pub fn perf_report(mode: &str, cells: &[PerfCell]) -> JsonValue {
+    JsonValue::Object(vec![
+        ("report".into(), "perf_gate".into()),
+        ("mode".into(), mode.into()),
+        ("tolerance".into(), GEOMEAN_TOLERANCE.into()),
+        ("cells".into(), cells.len().into()),
+        (
+            "results".into(),
+            JsonValue::Array(cells.iter().map(PerfCell::to_json_value).collect()),
+        ),
+    ])
+}
+
+/// Writes `BENCH_perf.json` into `$VEGETA_CSV_DIR` (when set) or the
+/// workspace root; returns the path on success.
+pub fn write_perf_json(doc: &JsonValue) -> Option<std::path::PathBuf> {
+    let dir = std::env::var("VEGETA_CSV_DIR")
+        .ok()
+        .filter(|d| !d.is_empty())
+        .unwrap_or_else(|| {
+            let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+            if std::path::Path::new(root).is_dir() {
+                root.to_string()
+            } else {
+                ".".to_string()
+            }
+        });
+    let path = std::path::Path::new(&dir).join("BENCH_perf.json");
+    match std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, doc.to_string())) {
+        Ok(()) => {
+            eprintln!("wrote {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("could not write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Diffs every `geomean_speedup_vs_baseline` entry of `baseline` against
+/// `fresh` within relative `tolerance`.
+///
+/// Returns the number of geomeans compared; a baseline entry that is
+/// missing from `fresh`, mistyped, or drifted beyond tolerance is a
+/// failure.
+///
+/// # Errors
+///
+/// One human-readable line per failed comparison.
+pub fn compare_geomeans(
+    baseline: &JsonValue,
+    fresh: &JsonValue,
+    tolerance: f64,
+) -> Result<usize, Vec<String>> {
+    let section = "geomean_speedup_vs_baseline";
+    let mut failures = Vec::new();
+    let Some(JsonValue::Object(sparsities)) = baseline.get(section) else {
+        return Err(vec![format!("baseline has no '{section}' object")]);
+    };
+    let mut compared = 0usize;
+    for (sparsity, engines) in sparsities {
+        let JsonValue::Object(engines) = engines else {
+            failures.push(format!("baseline '{sparsity}' entry is not an object"));
+            continue;
+        };
+        for (engine, value) in engines {
+            let Some(base) = value.as_f64() else {
+                failures.push(format!("baseline {sparsity}/{engine} is not a number"));
+                continue;
+            };
+            let got = fresh
+                .get(section)
+                .and_then(|s| s.get(sparsity))
+                .and_then(|e| e.get(engine))
+                .and_then(JsonValue::as_f64);
+            match got {
+                None => failures.push(format!(
+                    "{sparsity}/{engine}: missing from the fresh sweep (baseline {base:.4})"
+                )),
+                Some(fresh_v) => {
+                    let drift = (fresh_v - base) / base;
+                    if drift.abs() > tolerance {
+                        failures.push(format!(
+                            "{sparsity}/{engine}: geomean {fresh_v:.4} vs baseline {base:.4} \
+                             ({:+.2}% > ±{:.0}%)",
+                            drift * 100.0,
+                            tolerance * 100.0
+                        ));
+                    } else {
+                        compared += 1;
+                    }
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(compared)
+    } else {
+        Err(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(geomeans: &[(&str, &[(&str, f64)])]) -> JsonValue {
+        JsonValue::Object(vec![(
+            "geomean_speedup_vs_baseline".into(),
+            JsonValue::Object(
+                geomeans
+                    .iter()
+                    .map(|(sparsity, engines)| {
+                        (
+                            sparsity.to_string(),
+                            JsonValue::Object(
+                                engines
+                                    .iter()
+                                    .map(|(e, v)| (e.to_string(), JsonValue::from(*v)))
+                                    .collect(),
+                            ),
+                        )
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+
+    #[test]
+    fn identical_geomeans_pass() {
+        let base = doc(&[("2:4", &[("VEGETA-S-16-2", 2.2), ("STC", 1.9)])]);
+        assert_eq!(compare_geomeans(&base, &base.clone(), 0.02), Ok(2));
+    }
+
+    #[test]
+    fn drift_within_tolerance_passes() {
+        let base = doc(&[("1:4", &[("VEGETA-S-16-2", 3.74)])]);
+        let fresh = doc(&[("1:4", &[("VEGETA-S-16-2", 3.74 * 1.015)])]);
+        assert_eq!(compare_geomeans(&base, &fresh, 0.02), Ok(1));
+    }
+
+    #[test]
+    fn perturbed_geomean_beyond_tolerance_fails() {
+        let base = doc(&[("1:4", &[("VEGETA-S-16-2", 3.74), ("STC", 2.0)])]);
+        let fresh = doc(&[("1:4", &[("VEGETA-S-16-2", 3.74 * 1.05), ("STC", 2.0)])]);
+        let failures = compare_geomeans(&base, &fresh, 0.02).unwrap_err();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("VEGETA-S-16-2"), "{failures:?}");
+        // Regressions (slowdowns) are caught symmetrically.
+        let slower = doc(&[("1:4", &[("VEGETA-S-16-2", 3.74 * 0.9), ("STC", 2.0)])]);
+        assert!(compare_geomeans(&base, &slower, 0.02).is_err());
+    }
+
+    #[test]
+    fn missing_engine_or_section_fails() {
+        let base = doc(&[("2:4", &[("VEGETA-S-16-2", 2.2)])]);
+        let empty = doc(&[("2:4", &[])]);
+        let failures = compare_geomeans(&base, &empty, 0.02).unwrap_err();
+        assert!(failures[0].contains("missing"));
+        assert!(compare_geomeans(&JsonValue::Object(vec![]), &base, 0.02).is_err());
+    }
+
+    #[test]
+    fn pinned_set_covers_every_network_and_engine_class() {
+        let layers = pinned_layers();
+        assert_eq!(layers.len(), 3);
+        let networks: std::collections::HashSet<_> = layers.iter().map(|l| l.network).collect();
+        assert_eq!(networks.len(), 3, "one layer per source network");
+        assert_eq!(perf_gate_engines().len(), 3);
+    }
+
+    #[test]
+    fn perf_cells_stream_and_serialize() {
+        let layers = pinned_layers();
+        let cells = run_perf_cells(&layers[..1], &[Fidelity::Quick(8)]);
+        assert_eq!(cells.len(), 3);
+        for cell in &cells {
+            assert_eq!(cell.report.fidelity, "quick/8");
+            assert_eq!(cell.report.insts_streamed, cell.report.instructions);
+            assert!(cell.report.peak_resident_bytes > 0);
+        }
+        let doc = perf_report("test", &cells);
+        let parsed = JsonValue::parse(&doc.to_string()).expect("valid JSON");
+        assert_eq!(
+            parsed
+                .get("results")
+                .and_then(JsonValue::as_array)
+                .map(<[_]>::len),
+            Some(3)
+        );
+    }
+}

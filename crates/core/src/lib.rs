@@ -81,7 +81,9 @@ pub fn rand_seed(seed: u64) -> impl rand::Rng {
 pub mod prelude {
     pub use crate::rand_seed;
     pub use crate::report::{geomean, NetworkReport, RunReport, SweepReport};
-    pub use crate::session::{figure13_engines, figure13_sparsities, quick_factor, Session, Sweep};
+    pub use crate::session::{
+        figure13_engines, figure13_sparsities, quick_factor, Fidelity, ProgressFn, Session, Sweep,
+    };
     pub use vegeta_engine::{CostModel, EngineConfig, EngineTimer};
     pub use vegeta_isa::{Executor, Inst, Memory, TReg, UReg, VReg};
     pub use vegeta_kernels::{

@@ -67,6 +67,10 @@ pub struct RunReport {
     pub engine: String,
     /// Weight-sparsity label (for example `"2:4"`).
     pub sparsity: String,
+    /// Fidelity label of the run: `"full"` for unscaled shapes,
+    /// `"quick/4"`-style for proxy shapes (see
+    /// [`crate::session::Fidelity`]).
+    pub fidelity: String,
     /// Kernel that was executed (self-describing, from
     /// [`vegeta_kernels::Kernel::name`]).
     pub kernel: String,
@@ -92,6 +96,12 @@ pub struct RunReport {
     pub tile_compute: u64,
     /// Core cycles during which the matrix engine had work in flight.
     pub engine_busy_cycles: u64,
+    /// Dynamic instructions delivered through the streaming pipeline (0
+    /// when a prebuilt materialized trace was replayed instead).
+    pub insts_streamed: u64,
+    /// Peak bytes of trace data resident during the replay: one streaming
+    /// chunk for streamed runs, the whole trace for materialized ones.
+    pub peak_resident_bytes: u64,
     /// Dense-equivalent MACs of the workload (the engine skips a fraction
     /// given by the sparsity).
     pub macs: u64,
@@ -136,6 +146,7 @@ impl RunReport {
             ("workload".into(), self.workload.as_str().into()),
             ("engine".into(), self.engine.as_str().into()),
             ("sparsity".into(), self.sparsity.as_str().into()),
+            ("fidelity".into(), self.fidelity.as_str().into()),
             ("kernel".into(), self.kernel.as_str().into()),
             ("format".into(), self.format.as_str().into()),
             ("a_values_bytes".into(), self.a_values_bytes.into()),
@@ -147,6 +158,11 @@ impl RunReport {
             ("instructions".into(), self.instructions.into()),
             ("tile_compute".into(), self.tile_compute.into()),
             ("engine_busy_cycles".into(), self.engine_busy_cycles.into()),
+            ("insts_streamed".into(), self.insts_streamed.into()),
+            (
+                "peak_resident_bytes".into(),
+                self.peak_resident_bytes.into(),
+            ),
             ("macs".into(), self.macs.into()),
             ("core_ghz".into(), self.core_ghz.into()),
             ("utilization".into(), self.utilization().into()),
@@ -192,6 +208,7 @@ impl RunReport {
             workload: s("workload")?,
             engine: s("engine")?,
             sparsity: s("sparsity")?,
+            fidelity: s("fidelity")?,
             kernel: s("kernel")?,
             format: s("format")?,
             a_values_bytes: u("a_values_bytes")?,
@@ -201,6 +218,8 @@ impl RunReport {
             instructions: u("instructions")?,
             tile_compute: u("tile_compute")?,
             engine_busy_cycles: u("engine_busy_cycles")?,
+            insts_streamed: u("insts_streamed")?,
+            peak_resident_bytes: u("peak_resident_bytes")?,
             macs: u("macs")?,
             core_ghz: v
                 .get("core_ghz")
@@ -211,17 +230,19 @@ impl RunReport {
 
     /// The CSV header matching [`RunReport::csv_row`].
     pub fn csv_header() -> &'static str {
-        "workload,sparsity,engine,kernel,format,a_values_bytes,a_metadata_bits,\
-         m,n,k,cycles,instructions,utilization,effective_tflops"
+        "workload,sparsity,fidelity,engine,kernel,format,a_values_bytes,a_metadata_bits,\
+         m,n,k,cycles,instructions,insts_streamed,peak_resident_bytes,\
+         utilization,effective_tflops"
     }
 
     /// One CSV row (fields quoted where needed — engine names contain
     /// commas-free parentheses only, but quote defensively).
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.4}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.4}",
             csv_field(&self.workload),
             csv_field(&self.sparsity),
+            csv_field(&self.fidelity),
             csv_field(&self.engine),
             csv_field(&self.kernel),
             csv_field(&self.format),
@@ -232,6 +253,8 @@ impl RunReport {
             self.shape.k,
             self.cycles,
             self.instructions,
+            self.insts_streamed,
+            self.peak_resident_bytes,
             self.utilization(),
             self.effective_tflops()
         )
@@ -310,6 +333,11 @@ pub struct SweepReport {
     pub traces_built: u64,
     /// Trace-cache hits during the sweep.
     pub trace_cache_hits: u64,
+    /// Snapshot of the shared [`vegeta_kernels::TraceCache`]'s counters at
+    /// sweep completion (hits/misses are lifetime totals for the shared
+    /// cache; `traces_built`/`trace_cache_hits` above are this sweep's
+    /// deltas).
+    pub cache: vegeta_kernels::TraceCacheStats,
     /// Worker threads the sweep ran on.
     pub threads: usize,
 }
@@ -393,6 +421,9 @@ impl SweepReport {
         JsonValue::Object(vec![
             ("traces_built".into(), self.traces_built.into()),
             ("trace_cache_hits".into(), self.trace_cache_hits.into()),
+            ("cache_entries".into(), self.cache.entries.into()),
+            ("cache_resident".into(), self.cache.resident.into()),
+            ("cache_evictions".into(), self.cache.evictions.into()),
             ("threads".into(), self.threads.into()),
             (
                 "cells".into(),
@@ -436,6 +467,7 @@ mod tests {
             workload: workload.into(),
             engine: engine.into(),
             sparsity: sparsity.into(),
+            fidelity: "full".into(),
             kernel: "tiled-dense-u3".into(),
             format: "dense".into(),
             a_values_bytes: 64 * 256 * 2,
@@ -445,6 +477,8 @@ mod tests {
             instructions: 4 * cycles,
             tile_compute: 128,
             engine_busy_cycles: cycles / 2,
+            insts_streamed: 4 * cycles,
+            peak_resident_bytes: 4096,
             macs: 1_048_576,
             core_ghz: 2.0,
         }
@@ -500,6 +534,7 @@ mod tests {
             ],
             traces_built: 2,
             trace_cache_hits: 2,
+            cache: vegeta_kernels::TraceCacheStats::default(),
             threads: 1,
         };
         assert_eq!(report.workloads(), vec!["L1", "L2"]);

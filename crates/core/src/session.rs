@@ -83,7 +83,8 @@ pub fn figure13_sparsities() -> Vec<NmRatio> {
 /// variable: 4 when quick mode is on (any non-empty value other than
 /// `"0"`), 1 otherwise. The single source of truth for quick-mode
 /// detection across benches, binaries and examples; pass the result to
-/// [`Sweep::with_scale`] or [`Session::run_layer_scaled`].
+/// [`Sweep::with_scale`] or [`Session::run_layer_scaled`], or use
+/// [`Fidelity::from_env`] for the fidelity-axis form.
 pub fn quick_factor() -> usize {
     match std::env::var("VEGETA_QUICK") {
         Ok(v) if v != "0" && !v.is_empty() => 4,
@@ -91,59 +92,107 @@ pub fn quick_factor() -> usize {
     }
 }
 
-/// Simulates one `(engine, shape, spec)` cell and wraps it in a report,
-/// including the executed kernel's storage-format accounting.
+/// The shape fidelity a layer runs at: the paper's full Table IV
+/// dimensions, or a proxy scaled down by a factor.
+///
+/// Fidelity is a first-class, sweepable axis ([`Sweep::with_fidelities`]):
+/// quick cells keep CI fast while full cells replay the real network-scale
+/// layers through the streaming pipeline in bounded memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fidelity {
+    /// Every layer dimension divided by the factor (flooring at one output
+    /// tile), as `VEGETA_QUICK` runs do; `Quick(1)` is equivalent to
+    /// [`Fidelity::Full`].
+    Quick(usize),
+    /// Unscaled Table IV dimensions.
+    Full,
+}
+
+impl Fidelity {
+    /// The fidelity `VEGETA_QUICK` requests: `Quick(4)` when quick mode is
+    /// on, [`Fidelity::Full`] otherwise.
+    pub fn from_env() -> Self {
+        Fidelity::from_factor(quick_factor())
+    }
+
+    /// `Full` for factors ≤ 1, `Quick(factor)` otherwise.
+    pub fn from_factor(factor: usize) -> Self {
+        if factor <= 1 {
+            Fidelity::Full
+        } else {
+            Fidelity::Quick(factor)
+        }
+    }
+
+    /// The layer scale divisor (1 for full fidelity).
+    pub fn factor(self) -> usize {
+        match self {
+            Fidelity::Quick(f) => f.max(1),
+            Fidelity::Full => 1,
+        }
+    }
+
+    /// The shape `layer` executes at this fidelity.
+    pub fn shape_of(self, layer: &Layer) -> GemmShape {
+        layer.scaled_shape(self.factor())
+    }
+}
+
+impl std::fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fidelity::Quick(n) if *n > 1 => write!(f, "quick/{n}"),
+            _ => write!(f, "full"),
+        }
+    }
+}
+
+/// Callback observing a streamed replay's progress:
+/// `(workload label, instructions simulated, exact total)`. Invoked every
+/// [`vegeta_sim::PROGRESS_STRIDE`] instructions and at completion.
+pub type ProgressFn = Arc<dyn Fn(&str, u64, u64) + Send + Sync>;
+
+/// Simulates one `(engine, shape, spec)` cell through the streaming
+/// pipeline — the trace is generated lazily and never materialized — and
+/// wraps it in a report including the executed kernel's storage-format
+/// accounting.
+#[allow(clippy::too_many_arguments)] // internal plumbing behind every run_* entry point
 fn run_cell(
     engine: &EngineConfig,
     sim: &SimConfig,
     cache: &TraceCache,
     workload: &str,
     sparsity: String,
+    fidelity: Fidelity,
     shape: GemmShape,
     spec: &KernelSpec,
+    progress: Option<&ProgressFn>,
 ) -> RunReport {
-    let trace = cache.get_or_build(shape, spec);
-    report_from_trace(
-        engine,
-        sim,
-        workload,
-        sparsity,
-        shape,
-        spec.name(),
-        spec.format().to_string(),
-        spec.a_values_bytes(shape),
-        spec.a_metadata_bits(shape),
-        &trace,
-    )
-}
-
-#[allow(clippy::too_many_arguments)] // internal plumbing behind run_cell/run_trace
-fn report_from_trace(
-    engine: &EngineConfig,
-    sim: &SimConfig,
-    workload: &str,
-    sparsity: String,
-    shape: GemmShape,
-    kernel: String,
-    format: String,
-    a_values_bytes: u64,
-    a_metadata_bits: u64,
-    trace: &Trace,
-) -> RunReport {
-    let res = CoreSim::new(sim.clone(), engine.clone()).run(trace);
+    let mut stream = cache.stream(shape, spec);
+    let mut core = CoreSim::new(sim.clone(), engine.clone());
+    let res = match progress {
+        Some(p) => {
+            let mut cb = |done: u64, total: u64| p(workload, done, total);
+            core.run_stream_with(&mut stream, Some(&mut cb))
+        }
+        None => core.run_stream(&mut stream),
+    };
     RunReport {
         workload: workload.to_string(),
         engine: engine.name().to_string(),
         sparsity,
-        kernel,
-        format,
-        a_values_bytes,
-        a_metadata_bits,
+        fidelity: fidelity.to_string(),
+        kernel: spec.name(),
+        format: spec.format().to_string(),
+        a_values_bytes: spec.a_values_bytes(shape),
+        a_metadata_bits: spec.a_metadata_bits(shape),
         shape,
         cycles: res.core_cycles,
         instructions: res.instructions,
         tile_compute: res.tile_compute,
         engine_busy_cycles: res.engine_busy_cycles,
+        insts_streamed: res.instructions,
+        peak_resident_bytes: res.peak_resident_bytes,
         macs: shape.macs(),
         core_ghz: sim.core_ghz,
     }
@@ -212,13 +261,27 @@ fn kernel_for_format(
 /// Sessions are cheap to clone-per-engine while sharing one cache: pass the
 /// same [`Arc<TraceCache>`] via [`Session::with_cache`] and identical
 /// kernels are built once across all of them.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Session {
     engine: EngineConfig,
     sim: SimConfig,
     opts: KernelOptions,
     unstructured_degree: f64,
     cache: Arc<TraceCache>,
+    progress: Option<ProgressFn>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("engine", &self.engine)
+            .field("sim", &self.sim)
+            .field("opts", &self.opts)
+            .field("unstructured_degree", &self.unstructured_degree)
+            .field("cache", &self.cache)
+            .field("progress", &self.progress.as_ref().map(|_| "Fn"))
+            .finish()
+    }
 }
 
 impl Session {
@@ -231,7 +294,16 @@ impl Session {
             opts: KernelOptions::default(),
             unstructured_degree: DEFAULT_UNSTRUCTURED_DEGREE,
             cache: Arc::new(TraceCache::new()),
+            progress: None,
         }
+    }
+
+    /// Installs a progress observer for streamed replays (useful for long
+    /// full-fidelity runs): called with
+    /// `(workload, instructions simulated, exact total)`.
+    pub fn with_progress(mut self, progress: ProgressFn) -> Self {
+        self.progress = Some(progress);
+        self
     }
 
     /// Replaces the sparsity degree of the synthesized unstructured weights
@@ -276,7 +348,8 @@ impl Session {
     }
 
     /// Runs an ad-hoc GEMM shape at the given weight sparsity, picking the
-    /// kernel the engine would execute (§VI-C).
+    /// kernel the engine would execute (§VI-C). Ad-hoc shapes are their own
+    /// ground truth, so the report's fidelity is `"full"`.
     pub fn run_shape(&self, workload: &str, shape: GemmShape, weights: NmRatio) -> RunReport {
         let spec = self.engine.kernel_spec(weights, self.opts);
         run_cell(
@@ -285,19 +358,39 @@ impl Session {
             &self.cache,
             workload,
             weights.to_string(),
+            Fidelity::Full,
             shape,
             &spec,
+            self.progress.as_ref(),
         )
     }
 
-    /// Runs one Table IV layer at full size.
+    /// Runs one Table IV layer at the given fidelity: the streaming
+    /// pipeline makes [`Fidelity::Full`] replays feasible in bounded
+    /// memory even for the largest layers.
+    pub fn run_layer_at(&self, layer: &Layer, weights: NmRatio, fidelity: Fidelity) -> RunReport {
+        let spec = self.engine.kernel_spec(weights, self.opts);
+        run_cell(
+            &self.engine,
+            &self.sim,
+            &self.cache,
+            layer.name,
+            weights.to_string(),
+            fidelity,
+            fidelity.shape_of(layer),
+            &spec,
+            self.progress.as_ref(),
+        )
+    }
+
+    /// Runs one Table IV layer at full size ([`Fidelity::Full`]).
     pub fn run_layer(&self, layer: &Layer, weights: NmRatio) -> RunReport {
-        self.run_shape(layer.name, layer.gemm_shape(), weights)
+        self.run_layer_at(layer, weights, Fidelity::Full)
     }
 
     /// Runs one layer scaled down by `factor` (see [`Layer::scaled_shape`]).
     pub fn run_layer_scaled(&self, layer: &Layer, weights: NmRatio, factor: usize) -> RunReport {
-        self.run_shape(layer.name, layer.scaled_shape(factor), weights)
+        self.run_layer_at(layer, weights, Fidelity::from_factor(factor))
     }
 
     /// Runs an ad-hoc GEMM shape with the `A` operand *stored* in the given
@@ -320,8 +413,10 @@ impl Session {
             &self.cache,
             workload,
             format.to_string(),
+            Fidelity::Full,
             shape,
             &spec,
+            self.progress.as_ref(),
         )
     }
 
@@ -339,27 +434,39 @@ impl Session {
             &self.cache,
             workload,
             sparsity,
+            Fidelity::Full,
             shape,
             spec,
+            self.progress.as_ref(),
         )
     }
 
-    /// Runs a prebuilt trace (bypassing kernel selection and the cache).
-    /// Operand storage is unknown for a raw trace, so the format label is
-    /// `"-"` and the operand accounting is zero.
+    /// Runs a prebuilt materialized trace (bypassing kernel selection and
+    /// the cache). Operand storage is unknown for a raw trace, so the
+    /// format label is `"-"` and the operand accounting is zero;
+    /// `insts_streamed` is 0 (nothing streamed — the trace was already
+    /// resident) and the peak residency is the whole trace.
     pub fn run_trace(&self, workload: &str, shape: GemmShape, trace: &Trace) -> RunReport {
-        report_from_trace(
-            &self.engine,
-            &self.sim,
-            workload,
-            "-".to_string(),
+        let res = CoreSim::new(self.sim.clone(), self.engine.clone()).run(trace);
+        RunReport {
+            workload: workload.to_string(),
+            engine: self.engine.name().to_string(),
+            sparsity: "-".to_string(),
+            fidelity: Fidelity::Full.to_string(),
+            kernel: "prebuilt-trace".to_string(),
+            format: "-".to_string(),
+            a_values_bytes: 0,
+            a_metadata_bits: 0,
             shape,
-            "prebuilt-trace".to_string(),
-            "-".to_string(),
-            0,
-            0,
-            trace,
-        )
+            cycles: res.core_cycles,
+            instructions: res.instructions,
+            tile_compute: res.tile_compute,
+            engine_busy_cycles: res.engine_busy_cycles,
+            insts_streamed: 0,
+            peak_resident_bytes: res.peak_resident_bytes,
+            macs: shape.macs(),
+            core_ghz: self.sim.core_ghz,
+        }
     }
 
     /// Runs a layer suite back to back, as a network inference would (each
@@ -376,12 +483,23 @@ impl Session {
         weights: NmRatio,
         factor: usize,
     ) -> NetworkReport {
+        self.run_network_at(layers, weights, Fidelity::from_factor(factor))
+    }
+
+    /// Runs a layer suite at the given fidelity — the end-to-end network
+    /// replay of §VI, streaming every layer's trace in bounded memory.
+    pub fn run_network_at(
+        &self,
+        layers: &[Layer],
+        weights: NmRatio,
+        fidelity: Fidelity,
+    ) -> NetworkReport {
         NetworkReport {
             engine: self.engine.name().to_string(),
             sparsity: weights.to_string(),
             layers: layers
                 .iter()
-                .map(|l| self.run_layer_scaled(l, weights, factor))
+                .map(|l| self.run_layer_at(l, weights, fidelity))
                 .collect(),
         }
     }
@@ -415,6 +533,7 @@ pub struct Sweep {
     layers: Vec<Layer>,
     sparsities: Vec<NmRatio>,
     formats: Vec<FormatSpec>,
+    fidelities: Vec<Fidelity>,
     unstructured_degree: f64,
     scale: usize,
     sim: SimConfig,
@@ -430,6 +549,7 @@ impl Default for Sweep {
             layers: Vec::new(),
             sparsities: Vec::new(),
             formats: Vec::new(),
+            fidelities: Vec::new(),
             unstructured_degree: DEFAULT_UNSTRUCTURED_DEGREE,
             scale: 1,
             sim: SimConfig::default(),
@@ -514,11 +634,39 @@ impl Sweep {
         self
     }
 
+    /// Adds one fidelity to the grid (see [`Sweep::with_fidelities`]).
+    pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelities.push(fidelity);
+        self
+    }
+
+    /// Adds fidelities to the grid, making shape fidelity a sweepable axis:
+    /// each `(layer, fidelity)` pair runs every sparsity/format × engine
+    /// cell, so a single sweep can pin quick-mode proxies against
+    /// full-scale replays. When no fidelity is given, the grid runs at the
+    /// single fidelity implied by [`Sweep::with_scale`] (full size by
+    /// default).
+    pub fn with_fidelities(mut self, fidelities: impl IntoIterator<Item = Fidelity>) -> Self {
+        self.fidelities.extend(fidelities);
+        self
+    }
+
     /// Scales every layer down by `factor` (1 = full size); the
-    /// `VEGETA_QUICK` proxy shapes use 4.
+    /// `VEGETA_QUICK` proxy shapes use 4. Shorthand for a single-entry
+    /// fidelity axis; explicit [`Sweep::with_fidelities`] entries take
+    /// precedence.
     pub fn with_scale(mut self, factor: usize) -> Self {
         self.scale = factor;
         self
+    }
+
+    /// The grid's fidelity axis: explicit entries, else the scale factor.
+    fn effective_fidelities(&self) -> Vec<Fidelity> {
+        if self.fidelities.is_empty() {
+            vec![Fidelity::from_factor(self.scale)]
+        } else {
+            self.fidelities.clone()
+        }
     }
 
     /// Replaces the simulator configuration.
@@ -548,7 +696,10 @@ impl Sweep {
 
     /// Grid cells this sweep will run.
     pub fn cell_count(&self) -> usize {
-        self.engines.len() * self.layers.len() * (self.sparsities.len() + self.formats.len())
+        self.engines.len()
+            * self.layers.len()
+            * self.effective_fidelities().len()
+            * (self.sparsities.len() + self.formats.len())
     }
 
     fn resolved_threads(&self) -> usize {
@@ -563,8 +714,8 @@ impl Sweep {
     }
 
     /// Runs the grid and returns the report; cells appear workload-major,
-    /// then axis entry (sparsities before formats), then engine, whatever
-    /// the thread count.
+    /// then fidelity, then axis entry (sparsities before formats), then
+    /// engine, whatever the thread count.
     pub fn run(&self) -> SweepReport {
         // Enumerate cells in their deterministic report order.
         let axes: Vec<GridAxis> = self
@@ -573,15 +724,18 @@ impl Sweep {
             .map(|&r| GridAxis::Pattern(r))
             .chain(self.formats.iter().map(|&f| GridAxis::Format(f)))
             .collect();
-        let cells: Vec<(&Layer, GridAxis, &EngineConfig)> = self
-            .layers
-            .iter()
-            .flat_map(|layer| {
-                axes.iter().flat_map(move |&axis| {
-                    self.engines.iter().map(move |engine| (layer, axis, engine))
-                })
-            })
-            .collect();
+        let fidelities = self.effective_fidelities();
+        let mut cells: Vec<(&Layer, Fidelity, GridAxis, &EngineConfig)> =
+            Vec::with_capacity(self.cell_count());
+        for layer in &self.layers {
+            for &fidelity in &fidelities {
+                for &axis in &axes {
+                    for engine in &self.engines {
+                        cells.push((layer, fidelity, axis, engine));
+                    }
+                }
+            }
+        }
         let threads = self.resolved_threads();
         let hits_before = self.cache.hits();
         let misses_before = self.cache.misses();
@@ -596,15 +750,23 @@ impl Sweep {
             .any(|f| matches!(f, FormatSpec::RowWise { m: 4 }))
         {
             for layer in &self.layers {
-                let shape = layer.scaled_shape(self.scale);
-                rw_covers
-                    .entry(shape)
-                    .or_insert_with(|| row_wise_covers(shape, self.unstructured_degree));
+                for fidelity in &fidelities {
+                    let shape = fidelity.shape_of(layer);
+                    rw_covers
+                        .entry(shape)
+                        .or_insert_with(|| row_wise_covers(shape, self.unstructured_degree));
+                }
             }
         }
 
-        let run_one = |(layer, axis, engine): &(&Layer, GridAxis, &EngineConfig)| -> RunReport {
-            let shape = layer.scaled_shape(self.scale);
+        let run_one = |(layer, fidelity, axis, engine): &(
+            &Layer,
+            Fidelity,
+            GridAxis,
+            &EngineConfig,
+        )|
+         -> RunReport {
+            let shape = fidelity.shape_of(layer);
             let (spec, label) = match *axis {
                 GridAxis::Pattern(ratio) => {
                     (engine.kernel_spec(ratio, self.opts), ratio.to_string())
@@ -627,8 +789,10 @@ impl Sweep {
                 &self.cache,
                 layer.name,
                 label,
+                *fidelity,
                 shape,
                 &spec,
+                None,
             )
         };
 
@@ -666,6 +830,7 @@ impl Sweep {
             cells: reports,
             traces_built: self.cache.misses() - misses_before,
             trace_cache_hits: self.cache.hits() - hits_before,
+            cache: self.cache.stats(),
             threads,
         }
     }
@@ -899,6 +1064,103 @@ mod tests {
         assert_eq!(report.cells.len(), 2);
         assert_eq!(report.cells[0].sparsity, "2:4");
         assert_eq!(report.cells[1].sparsity, "csr");
+    }
+
+    #[test]
+    fn fidelity_labels_and_factors() {
+        assert_eq!(Fidelity::Full.to_string(), "full");
+        assert_eq!(Fidelity::Quick(4).to_string(), "quick/4");
+        assert_eq!(Fidelity::Quick(1).to_string(), "full");
+        assert_eq!(Fidelity::from_factor(1), Fidelity::Full);
+        assert_eq!(Fidelity::from_factor(8), Fidelity::Quick(8));
+        assert_eq!(Fidelity::Full.factor(), 1);
+        assert_eq!(Fidelity::Quick(8).factor(), 8);
+        let layer = &table4()[7];
+        assert_eq!(Fidelity::Full.shape_of(layer), layer.gemm_shape());
+        assert_eq!(Fidelity::Quick(8).shape_of(layer), layer.scaled_shape(8));
+    }
+
+    #[test]
+    fn reports_carry_streaming_accounting() {
+        let layer = &table4()[7];
+        let session = Session::new(EngineConfig::vegeta_s(16).unwrap());
+        let report = session.run_layer_at(layer, NmRatio::S2_4, Fidelity::Quick(8));
+        assert_eq!(report.fidelity, "quick/8");
+        assert_eq!(
+            report.insts_streamed, report.instructions,
+            "every session run streams"
+        );
+        assert!(report.peak_resident_bytes > 0);
+        // One streaming chunk is far smaller than the materialized trace.
+        let trace_bytes = report.instructions * vegeta_isa::TRACE_OP_BYTES as u64;
+        assert!(
+            report.peak_resident_bytes < trace_bytes / 4,
+            "chunked residency {} vs full trace {}",
+            report.peak_resident_bytes,
+            trace_bytes
+        );
+    }
+
+    #[test]
+    fn prebuilt_trace_runs_report_materialized_residency() {
+        let shape = GemmShape::new(32, 32, 64);
+        let trace = vegeta_kernels::build_trace(shape, SparseMode::Dense, KernelOptions::default());
+        let report = Session::new(EngineConfig::rasa_dm()).run_trace("prebuilt", shape, &trace);
+        assert_eq!(report.insts_streamed, 0, "nothing streamed");
+        assert_eq!(
+            report.peak_resident_bytes,
+            trace.len() as u64 * vegeta_isa::TRACE_OP_BYTES as u64,
+            "the whole trace was resident"
+        );
+    }
+
+    #[test]
+    fn session_progress_observer_sees_completion() {
+        use std::sync::Mutex;
+        let seen: Arc<Mutex<Vec<(String, u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let session = Session::new(EngineConfig::rasa_dm()).with_progress(Arc::new(
+            move |workload: &str, done, total| {
+                sink.lock()
+                    .unwrap()
+                    .push((workload.to_string(), done, total));
+            },
+        ));
+        let layer = &table4()[7];
+        let report = session.run_layer_at(layer, NmRatio::D4_4, Fidelity::Quick(8));
+        let events = seen.lock().unwrap();
+        let last = events.last().expect("at least the completion event");
+        assert_eq!(last.0, "BERT-L2");
+        assert_eq!(last.1, report.instructions);
+        assert_eq!(last.2, report.instructions, "exact-length totals");
+    }
+
+    #[test]
+    fn sweep_fidelity_axis_pins_quick_against_full() {
+        // A small ad-hoc layer keeps the full-fidelity half fast.
+        let layer = table4()[7];
+        let report = Sweep::new()
+            .with_engine(EngineConfig::vegeta_s(16).unwrap())
+            .with_layer(layer)
+            .with_sparsity(NmRatio::S2_4)
+            .with_fidelities([Fidelity::Quick(8), Fidelity::Quick(4)])
+            .with_threads(1)
+            .run();
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.cells[0].fidelity, "quick/8");
+        assert_eq!(report.cells[1].fidelity, "quick/4");
+        assert_eq!(report.cells[0].shape, layer.scaled_shape(8));
+        assert_eq!(report.cells[1].shape, layer.scaled_shape(4));
+        assert!(
+            report.cells[1].cycles > report.cells[0].cycles,
+            "higher fidelity simulates more work"
+        );
+        assert_eq!(report.traces_built, 2);
+        assert_eq!(report.cache.entries, 2);
+        assert_eq!(
+            report.cache.resident, 0,
+            "sweeps stream; nothing materializes"
+        );
     }
 
     #[test]

@@ -135,6 +135,30 @@ impl Executor {
         insts.iter().try_for_each(|&i| self.execute(i))
     }
 
+    /// Executes the tile instructions of a streamed trace chunk-wise,
+    /// skipping the scalar/vector bookkeeping ops (which have no
+    /// architectural tile semantics). The stream is never materialized, so
+    /// full-scale kernels replay functionally in bounded memory.
+    ///
+    /// Returns the number of tile instructions executed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`IsaError`] raised by [`Executor::execute`].
+    pub fn run_stream<S: crate::stream::InstStream>(
+        &mut self,
+        mut stream: S,
+    ) -> Result<u64, IsaError> {
+        let mut executed = 0u64;
+        while let Some(op) = stream.next_op() {
+            if let crate::trace::TraceOp::Tile(inst) = op {
+                self.execute(inst)?;
+                executed += 1;
+            }
+        }
+        Ok(executed)
+    }
+
     /// Executes one instruction.
     ///
     /// # Errors

@@ -15,6 +15,9 @@
 //!   Pin-based instrumentation tool; see DESIGN.md for the substitution).
 //! * [`trace`] — dynamic instruction traces consumed by the cycle-level CPU
 //!   simulator, mixing tile instructions with scalar/vector bookkeeping ops.
+//! * [`stream`] — the streaming delivery pipeline ([`InstStream`],
+//!   [`ChunkedStream`]) that replays network-scale traces chunk-wise in
+//!   bounded memory instead of materializing them.
 //!
 //! # Data layout conventions
 //!
@@ -79,6 +82,7 @@ mod exec;
 mod inst;
 mod mem;
 pub mod regs;
+pub mod stream;
 pub mod trace;
 
 pub use encode::{assemble, decode, disassemble, encode};
@@ -87,6 +91,7 @@ pub use exec::{encode_row_patterns, row_patterns_of, ExecStats, Executor};
 pub use inst::{Inst, Opcode, RegRef, MACS_PER_TILE_INST};
 pub use mem::{Memory, CACHE_LINE_BYTES};
 pub use regs::{MReg, RegFile, TReg, UReg, VReg};
+pub use stream::{BlockEmitter, ChunkedStream, InstStream, TraceStream, TRACE_OP_BYTES};
 // The storage layer's register images and views are part of this crate's
 // operand vocabulary; re-export them so ISA users need one import.
 pub use vegeta_sparse::{FormatSpec, MregImage, TileFormat, TileView, TregImage};

@@ -147,6 +147,22 @@ pub struct TraceMix {
 }
 
 impl TraceMix {
+    /// Counts one op into the mix.
+    pub fn count(&mut self, op: &TraceOp) {
+        match op {
+            TraceOp::Tile(inst) if inst.is_compute() => self.tile_compute += 1,
+            TraceOp::Tile(Inst::TileStoreT { .. }) => self.tile_stores += 1,
+            TraceOp::Tile(Inst::TileZero { .. }) => self.tile_zeros += 1,
+            TraceOp::Tile(_) => self.tile_loads += 1,
+            TraceOp::VecLoad { .. } => self.vec_loads += 1,
+            TraceOp::VecStore { .. } => self.vec_stores += 1,
+            TraceOp::VecFma { .. } => self.vec_fmas += 1,
+            TraceOp::VecOp { .. } => self.vec_ops += 1,
+            TraceOp::Scalar { .. } => self.scalars += 1,
+            TraceOp::Branch { .. } => self.branches += 1,
+        }
+    }
+
     /// Total dynamic instruction count.
     pub fn total(&self) -> u64 {
         self.tile_loads
@@ -172,6 +188,18 @@ impl Trace {
     /// Creates an empty trace.
     pub fn new() -> Self {
         Trace::default()
+    }
+
+    /// Creates an empty trace with room for `capacity` ops.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            ops: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Streams the materialized ops (see [`crate::stream::TraceStream`]).
+    pub fn stream(&self) -> crate::stream::TraceStream<'_> {
+        crate::stream::TraceStream::new(&self.ops)
     }
 
     /// Appends an op.
@@ -213,18 +241,7 @@ impl Trace {
     pub fn mix(&self) -> TraceMix {
         let mut mix = TraceMix::default();
         for op in &self.ops {
-            match op {
-                TraceOp::Tile(inst) if inst.is_compute() => mix.tile_compute += 1,
-                TraceOp::Tile(Inst::TileStoreT { .. }) => mix.tile_stores += 1,
-                TraceOp::Tile(Inst::TileZero { .. }) => mix.tile_zeros += 1,
-                TraceOp::Tile(_) => mix.tile_loads += 1,
-                TraceOp::VecLoad { .. } => mix.vec_loads += 1,
-                TraceOp::VecStore { .. } => mix.vec_stores += 1,
-                TraceOp::VecFma { .. } => mix.vec_fmas += 1,
-                TraceOp::VecOp { .. } => mix.vec_ops += 1,
-                TraceOp::Scalar { .. } => mix.scalars += 1,
-                TraceOp::Branch { .. } => mix.branches += 1,
-            }
+            mix.count(op);
         }
         mix
     }

@@ -9,24 +9,33 @@
 //! * [`KernelSpec`] is the closed, hashable enumeration of this crate's
 //!   builders; it is the value the experiment drivers pass around, and the
 //!   cache key the sweep infrastructure memoizes on.
-//! * [`TraceCache`] memoizes built traces keyed on `(GemmShape,
-//!   KernelSpec)`, so a sweep over many engines builds each distinct trace
-//!   once instead of once per engine. It is `Sync` and cheap to share
-//!   across worker threads.
+//! * [`TraceCache`] memoizes compact trace *generators* keyed on
+//!   `(GemmShape, FormatSpec, KernelSpec)`: per-key [`TraceSummary`] stats
+//!   plus fresh lazy [`KernelStream`]s via [`TraceCache::stream`], so a
+//!   sweep over many engines derives each distinct trace's accounting once
+//!   and never holds a full instruction vector. The legacy materializing
+//!   path ([`TraceCache::get_or_build`]) keeps a bounded, evicting set of
+//!   resident traces. It is `Sync` and cheap to share across worker
+//!   threads.
+//!
+//! [`KernelStream`]: crate::stream::KernelStream
 //! * [`EngineKernelExt`] puts `execution_mode` on [`EngineConfig`]: the
 //!   kernel an engine runs for weights of a given `N:M` pattern.
 //!
 //! [`Trace`]: vegeta_isa::trace::Trace
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use vegeta_engine::EngineConfig;
+use vegeta_isa::stream::InstStream;
 use vegeta_isa::trace::Trace;
+use vegeta_isa::TRACE_OP_BYTES;
 use vegeta_sparse::{FormatSpec, NmRatio};
 
 use crate::rowwise::build_rowwise_trace;
+use crate::stream::{KernelEmitter, KernelStream};
 use crate::tiled::{build_listing1_trace, build_trace, KernelOptions, SparseMode};
 use crate::vector::build_vector_gemm_trace;
 use crate::GemmShape;
@@ -147,6 +156,15 @@ impl KernelSpec {
     }
 }
 
+impl KernelSpec {
+    /// Streams this kernel's trace lazily (see [`crate::stream`]): the
+    /// compact generator form of [`Kernel::build`], identical op for op,
+    /// with peak residency bounded by one tile-loop cell.
+    pub fn stream(&self, shape: GemmShape) -> KernelStream {
+        KernelEmitter::for_spec(self, shape).stream()
+    }
+}
+
 impl Kernel for KernelSpec {
     fn name(&self) -> String {
         match self {
@@ -205,6 +223,52 @@ impl EngineKernelExt for EngineConfig {
     }
 }
 
+/// Memoized summary statistics of one kernel trace — the compact stand-in
+/// the cache keeps now that traces stream instead of materializing.
+///
+/// Both fields derive from the kernel's block decomposition in O(blocks)
+/// time; no trace is built to compute them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Exact dynamic op count of the trace.
+    pub ops: u64,
+    /// Bytes of the largest streaming chunk (one tile-loop cell) — the
+    /// buffer bound a streamed replay of this trace needs.
+    pub chunk_bytes: u64,
+}
+
+impl TraceSummary {
+    /// Derives the summary from an undrained stream (O(blocks), no ops
+    /// emitted) — the single definition every cache path shares.
+    fn of(stream: &KernelStream) -> Self {
+        TraceSummary {
+            ops: stream.remaining(),
+            chunk_bytes: stream.max_block_ops() * TRACE_OP_BYTES as u64,
+        }
+    }
+}
+
+/// A point-in-time snapshot of a [`TraceCache`]'s counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCacheStats {
+    /// Lookups that found a memoized entry.
+    pub hits: u64,
+    /// Lookups that had to build a generator summary or a trace.
+    pub misses: u64,
+    /// Distinct `(shape, format, spec)` keys with a memoized summary.
+    pub entries: usize,
+    /// Materialized traces currently resident (bounded by the eviction
+    /// capacity).
+    pub resident: usize,
+    /// Materialized traces evicted to keep residency bounded.
+    pub evictions: u64,
+}
+
+/// Materialized traces a cache may keep resident by default; older entries
+/// are evicted beyond this (streaming replays never materialize, so the
+/// bound only governs the legacy [`TraceCache::get_or_build`] path).
+pub const DEFAULT_RESIDENT_TRACES: usize = 32;
+
 /// A memoizing, thread-safe trace cache keyed on
 /// `(GemmShape, FormatSpec, KernelSpec)`.
 ///
@@ -213,54 +277,160 @@ impl EngineKernelExt for EngineConfig {
 /// future kernels that execute the same instruction mix over different
 /// operand encodings — never alias cache entries.
 ///
-/// Each key's trace is built exactly once, even under concurrent lookups
-/// from sweep worker threads (per-key [`OnceLock`] cells serialize the
-/// first build; later callers share the `Arc`).
+/// Since the streaming redesign the cache memoizes **compact trace
+/// generators**, not instruction vectors: a key's entry is its
+/// [`TraceSummary`] (exact length + chunk bound, derived from the kernel's
+/// block decomposition), and [`TraceCache::stream`] hands out a fresh
+/// lazy [`KernelStream`] per call. The legacy [`TraceCache::get_or_build`]
+/// still materializes (each key's trace built exactly once, even under
+/// concurrent lookups — per-key [`OnceLock`] cells serialize the first
+/// build), but resident traces are bounded: beyond the eviction capacity
+/// the least-recently-used materialized entry is dropped.
 ///
 /// # Example
 ///
 /// ```
+/// use vegeta_isa::stream::InstStream;
 /// use vegeta_kernels::{GemmShape, KernelSpec, SparseMode, TraceCache};
 ///
 /// let cache = TraceCache::new();
 /// let shape = GemmShape::new(64, 64, 128);
 /// let spec = KernelSpec::tiled(SparseMode::Dense);
-/// let a = cache.get_or_build(shape, &spec);
-/// let b = cache.get_or_build(shape, &spec);
-/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// let first = cache.stream(shape, &spec);
+/// let again = cache.stream(shape, &spec);
+/// assert_eq!(first.remaining(), again.remaining());
 /// assert_eq!((cache.misses(), cache.hits()), (1, 1));
+/// let a = cache.get_or_build(shape, &spec);
+/// assert_eq!(a.len() as u64, first.remaining());
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TraceCache {
-    cells: Mutex<HashMap<(GemmShape, FormatSpec, KernelSpec), TraceCell>>,
+    summaries: Mutex<HashMap<CacheKey, TraceSummary>>,
+    resident: Mutex<ResidentTraces>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    max_resident: usize,
 }
+
+impl Default for TraceCache {
+    fn default() -> Self {
+        TraceCache::new()
+    }
+}
+
+type CacheKey = (GemmShape, FormatSpec, KernelSpec);
 
 /// A lazily-initialized, shareable cache slot for one built trace.
 type TraceCell = Arc<OnceLock<Arc<Trace>>>;
 
+/// The bounded materialized-trace side of the cache: cells plus a
+/// recency queue (front = coldest).
+#[derive(Debug, Default)]
+struct ResidentTraces {
+    cells: HashMap<CacheKey, TraceCell>,
+    order: VecDeque<CacheKey>,
+}
+
 impl TraceCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default materialized-residency bound.
     pub fn new() -> Self {
-        TraceCache::default()
+        TraceCache::with_max_resident(DEFAULT_RESIDENT_TRACES)
     }
 
-    /// Returns the memoized trace for `(shape, spec)`, building it on first
-    /// use. Concurrent callers for the same key block on the single build.
+    /// Creates an empty cache evicting materialized traces beyond
+    /// `max_resident` entries (minimum 1; summaries are never evicted —
+    /// they are a few dozen bytes each).
+    pub fn with_max_resident(max_resident: usize) -> Self {
+        TraceCache {
+            summaries: Mutex::new(HashMap::new()),
+            resident: Mutex::new(ResidentTraces::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            max_resident: max_resident.max(1),
+        }
+    }
+
+    /// Records a summary lookup for `key`, deriving it from `stream` on the
+    /// first miss.
+    fn memoize_summary(&self, key: CacheKey, stream: &KernelStream) {
+        let mut map = self.summaries.lock().expect("trace cache poisoned");
+        match map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                e.insert(TraceSummary::of(stream));
+            }
+        }
+    }
+
+    /// A fresh lazy stream of the `(shape, spec)` trace, memoizing the
+    /// key's [`TraceSummary`] on first use. Nothing is materialized; a
+    /// "hit" means the generator's summary was already known.
+    pub fn stream(&self, shape: GemmShape, spec: &KernelSpec) -> KernelStream {
+        let stream = spec.stream(shape);
+        self.memoize_summary((shape, spec.format(), spec.clone()), &stream);
+        stream
+    }
+
+    /// The memoized summary for `(shape, spec)`, derived (without building
+    /// the trace) on first use.
+    pub fn summary(&self, shape: GemmShape, spec: &KernelSpec) -> TraceSummary {
+        let key = (shape, spec.format(), spec.clone());
+        if let Some(&s) = self
+            .summaries
+            .lock()
+            .expect("trace cache poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return s;
+        }
+        let stream = spec.stream(shape);
+        self.memoize_summary(key, &stream);
+        TraceSummary::of(&stream)
+    }
+
+    /// Returns the memoized materialized trace for `(shape, spec)`,
+    /// building it on first use. Concurrent callers for the same key block
+    /// on the single build; materialized residency is bounded (older
+    /// entries are evicted, though outstanding `Arc`s keep them alive for
+    /// their holders).
     pub fn get_or_build(&self, shape: GemmShape, spec: &KernelSpec) -> Arc<Trace> {
-        let format = spec.format();
+        let key = (shape, spec.format(), spec.clone());
         let cell = {
-            let mut map = self.cells.lock().expect("trace cache poisoned");
-            match map.get(&(shape, format, spec.clone())) {
+            let mut resident = self.resident.lock().expect("trace cache poisoned");
+            match resident.cells.get(&key) {
                 Some(cell) => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    Arc::clone(cell)
+                    let cell = Arc::clone(cell);
+                    // Refresh recency: move the key to the back.
+                    if let Some(i) = resident.order.iter().position(|k| k == &key) {
+                        resident.order.remove(i);
+                        resident.order.push_back(key);
+                    }
+                    cell
                 }
                 None => {
                     self.misses.fetch_add(1, Ordering::Relaxed);
+                    // Register the summary too, so `entries` covers keys
+                    // that only ever materialized.
+                    let mut summaries = self.summaries.lock().expect("trace cache poisoned");
+                    summaries
+                        .entry(key.clone())
+                        .or_insert_with(|| TraceSummary::of(&spec.stream(shape)));
+                    drop(summaries);
                     let cell = Arc::new(OnceLock::new());
-                    map.insert((shape, format, spec.clone()), Arc::clone(&cell));
+                    resident.cells.insert(key.clone(), Arc::clone(&cell));
+                    resident.order.push_back(key);
+                    while resident.order.len() > self.max_resident {
+                        let coldest = resident.order.pop_front().expect("non-empty queue");
+                        resident.cells.remove(&coldest);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
                     cell
                 }
             }
@@ -274,14 +444,28 @@ impl TraceCache {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Cache lookups that had to build the trace.
+    /// Cache lookups that had to build a summary or trace.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Distinct `(shape, spec)` keys currently cached.
+    /// Materialized traces evicted to keep residency bounded.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Distinct keys with a memoized summary.
     pub fn len(&self) -> usize {
-        self.cells.lock().expect("trace cache poisoned").len()
+        self.summaries.lock().expect("trace cache poisoned").len()
+    }
+
+    /// Materialized traces currently resident.
+    pub fn resident_len(&self) -> usize {
+        self.resident
+            .lock()
+            .expect("trace cache poisoned")
+            .cells
+            .len()
     }
 
     /// `true` if nothing has been cached yet.
@@ -289,11 +473,26 @@ impl TraceCache {
         self.len() == 0
     }
 
-    /// Drops every cached trace and resets the hit/miss counters.
+    /// A snapshot of every counter, for reports.
+    pub fn stats(&self) -> TraceCacheStats {
+        TraceCacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            entries: self.len(),
+            resident: self.resident_len(),
+            evictions: self.evictions(),
+        }
+    }
+
+    /// Drops every cached entry and resets the counters.
     pub fn clear(&self) {
-        self.cells.lock().expect("trace cache poisoned").clear();
+        self.summaries.lock().expect("trace cache poisoned").clear();
+        let mut resident = self.resident.lock().expect("trace cache poisoned");
+        resident.cells.clear();
+        resident.order.clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -360,6 +559,61 @@ mod tests {
         }
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.hits() + cache.misses(), 8);
+    }
+
+    #[test]
+    fn cache_streams_are_memoized_by_summary_and_replay_builds() {
+        let cache = TraceCache::new();
+        let shape = GemmShape::new(48, 32, 256);
+        let spec = KernelSpec::tiled(SparseMode::Nm2of4);
+        let mut s = cache.stream(shape, &spec);
+        let summary = cache.summary(shape, &spec);
+        assert_eq!(summary.ops, s.remaining());
+        assert!(summary.chunk_bytes > 0);
+        assert_eq!(s.collect_trace(), spec.build(shape));
+        assert_eq!(cache.misses(), 1, "one summary derivation");
+        assert_eq!(cache.hits(), 1, "summary() hit the memoized entry");
+        assert_eq!(cache.resident_len(), 0, "streaming materializes nothing");
+    }
+
+    #[test]
+    fn materialized_residency_is_bounded_by_eviction() {
+        let cache = TraceCache::with_max_resident(2);
+        let specs: Vec<KernelSpec> = [SparseMode::Dense, SparseMode::Nm2of4, SparseMode::Nm1of4]
+            .into_iter()
+            .map(KernelSpec::tiled)
+            .collect();
+        let shape = GemmShape::new(32, 32, 128);
+        for spec in &specs {
+            cache.get_or_build(shape, spec);
+        }
+        assert_eq!(cache.resident_len(), 2, "third build evicts the coldest");
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 3, "summaries survive eviction");
+        // The evicted (dense) key rebuilds: a fresh miss, not a hit.
+        let misses = cache.misses();
+        cache.get_or_build(shape, &specs[0]);
+        assert_eq!(cache.misses(), misses + 1);
+        let stats = cache.stats();
+        assert_eq!(stats.resident, 2);
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.entries, 3);
+    }
+
+    #[test]
+    fn get_or_build_refreshes_recency() {
+        let cache = TraceCache::with_max_resident(2);
+        let shape = GemmShape::new(32, 32, 128);
+        let dense = KernelSpec::tiled(SparseMode::Dense);
+        let s24 = KernelSpec::tiled(SparseMode::Nm2of4);
+        let s14 = KernelSpec::tiled(SparseMode::Nm1of4);
+        cache.get_or_build(shape, &dense);
+        cache.get_or_build(shape, &s24);
+        cache.get_or_build(shape, &dense); // dense is now the hottest
+        cache.get_or_build(shape, &s14); // evicts 2:4, not dense
+        let hits = cache.hits();
+        cache.get_or_build(shape, &dense);
+        assert_eq!(cache.hits(), hits + 1, "dense stayed resident");
     }
 
     #[test]

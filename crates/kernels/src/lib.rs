@@ -47,14 +47,19 @@ mod error;
 pub mod kernel;
 pub mod rowwise;
 pub mod shapes;
+pub mod stream;
 pub mod tiled;
 pub mod vector;
 
 pub use error::KernelError;
-pub use kernel::{EngineKernelExt, Kernel, KernelSpec, TraceCache};
-pub use rowwise::{build_rowwise_program, build_rowwise_trace, RowWiseProgram};
-pub use shapes::{direct_conv, im2col, ConvShape, GemmShape};
-pub use tiled::{
-    build_listing1_trace, build_program, build_trace, KernelOptions, KernelProgram, SparseMode,
+pub use kernel::{EngineKernelExt, Kernel, KernelSpec, TraceCache, TraceCacheStats, TraceSummary};
+pub use rowwise::{
+    build_rowwise_program, build_rowwise_trace, stream_rowwise_trace, RowWiseProgram,
 };
-pub use vector::{build_vector_gemm_trace, MACS_PER_VEC_FMA};
+pub use shapes::{direct_conv, im2col, ConvShape, GemmShape};
+pub use stream::{KernelEmitter, KernelStream};
+pub use tiled::{
+    build_listing1_trace, build_program, build_trace, stream_listing1_trace, stream_trace,
+    KernelOptions, KernelProgram, SparseMode,
+};
+pub use vector::{build_vector_gemm_trace, stream_vector_gemm_trace, MACS_PER_VEC_FMA};

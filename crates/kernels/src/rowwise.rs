@@ -16,11 +16,13 @@
 //! `u1` (`t2`,`t3`), packed `A` values in `t4` with metadata in `m4`.
 
 use vegeta_engine::rowwise::{pack_rows, TileAssignment};
+use vegeta_isa::stream::InstStream;
 use vegeta_isa::trace::{Trace, TraceOp};
 use vegeta_isa::{Executor, Inst, MReg, Memory, TReg, UReg};
 use vegeta_num::{Bf16, Matrix};
 use vegeta_sparse::{transform, MregImage, NmRatio, RowWiseTile, TileFormat, TregImage};
 
+use crate::stream::KernelStream;
 use crate::{GemmShape, KernelError};
 
 /// A row-wise SPMM program: trace, memory, and the output scatter map.
@@ -237,66 +239,82 @@ pub fn build_rowwise_program(
     })
 }
 
-/// Builds just the timing trace for a row-wise SPMM whose per-row covers are
-/// already known (synthetic addresses; used by the benches).
-pub fn build_rowwise_trace(shape: GemmShape, row_ratios: &[NmRatio]) -> Trace {
-    let assignments = pack_rows(row_ratios);
-    let tiles_n = shape.tiles_n();
-    let tiles_k = shape.k.div_ceil(64);
-    let mut trace = Trace::new();
-    let mut addr = 64u64;
-    let mut next = |bytes: u64| {
-        let a = addr;
-        addr += bytes.next_multiple_of(64);
-        a
-    };
-    let b_base = next(tiles_n as u64 * tiles_k as u64 * 2048);
-    for ai in 0..assignments.len() {
-        for jt in 0..tiles_n {
-            trace.push_inst(Inst::TileZero { dst: TReg::T2 });
-            trace.push_inst(Inst::TileZero { dst: TReg::T3 });
-            for kt in 0..tiles_k {
-                let b_addr = b_base + ((jt * tiles_k + kt) as u64) * 2048;
-                trace.push_inst(Inst::TileLoadU {
-                    dst: UReg::U0,
-                    addr: b_addr,
-                });
-                let va = next(1024);
-                let ma = next(128);
-                let ra = next(64);
-                trace.push_inst(Inst::TileLoadT {
-                    dst: TReg::T4,
-                    addr: va,
-                });
-                trace.push_inst(Inst::TileLoadM {
-                    dst: MReg::M4,
-                    addr: ma,
-                });
-                trace.push_inst(Inst::TileLoadRp {
-                    dst: MReg::M4,
-                    addr: ra,
-                });
-                trace.push_inst(Inst::TileSpmmR {
-                    acc: UReg::U1,
-                    a: TReg::T4,
-                    b: UReg::U0,
-                });
-                trace.push(TraceOp::Scalar { dst: 0, src: 0 });
-                trace.push(TraceOp::Branch { cond: 0 });
-            }
-            let c = next(2048);
-            trace.push_inst(Inst::TileStoreT {
-                addr: c,
-                src: TReg::T2,
-            });
-            trace.push_inst(Inst::TileStoreT {
-                addr: c + 1024,
-                src: TReg::T3,
-            });
-        }
-        let _ = ai;
+/// Per-`k`-chunk `A` bytes of the synthetic row-wise layout: values (1024)
+/// + metadata (128, line-rounded) + row patterns (64).
+const RW_A_CHUNK_BYTES: u64 = 1024 + 128 + 64;
+
+/// Exact op count of one row-wise block (one packed row group × one output
+/// column tile): two zeros, seven ops per `k` chunk, two stores.
+pub(crate) fn rowwise_block_ops(tiles_k: usize) -> u64 {
+    2 + 7 * tiles_k as u64 + 2
+}
+
+/// Emits one row-wise block. Addresses reproduce the sequential bump
+/// allocation of the materialized builder: `Bᵀ` tiles first, then one
+/// `(values, metadata, row-pattern, ..., C)` run per `(group, jt)` block —
+/// affine in the block index, so streaming needs no address tables.
+pub(crate) fn emit_rowwise_block(
+    tiles_n: usize,
+    tiles_k: usize,
+    block: usize,
+    out: &mut Vec<TraceOp>,
+) {
+    let jt = block % tiles_n;
+    let b_base = 64u64;
+    let a_base = b_base + tiles_n as u64 * tiles_k as u64 * 2048;
+    let block_bytes = tiles_k as u64 * RW_A_CHUNK_BYTES + 2048;
+    let start = a_base + block as u64 * block_bytes;
+    out.push(TraceOp::Tile(Inst::TileZero { dst: TReg::T2 }));
+    out.push(TraceOp::Tile(Inst::TileZero { dst: TReg::T3 }));
+    for kt in 0..tiles_k {
+        let b_addr = b_base + ((jt * tiles_k + kt) as u64) * 2048;
+        out.push(TraceOp::Tile(Inst::TileLoadU {
+            dst: UReg::U0,
+            addr: b_addr,
+        }));
+        let va = start + kt as u64 * RW_A_CHUNK_BYTES;
+        out.push(TraceOp::Tile(Inst::TileLoadT {
+            dst: TReg::T4,
+            addr: va,
+        }));
+        out.push(TraceOp::Tile(Inst::TileLoadM {
+            dst: MReg::M4,
+            addr: va + 1024,
+        }));
+        out.push(TraceOp::Tile(Inst::TileLoadRp {
+            dst: MReg::M4,
+            addr: va + 1024 + 128,
+        }));
+        out.push(TraceOp::Tile(Inst::TileSpmmR {
+            acc: UReg::U1,
+            a: TReg::T4,
+            b: UReg::U0,
+        }));
+        out.push(TraceOp::Scalar { dst: 0, src: 0 });
+        out.push(TraceOp::Branch { cond: 0 });
     }
-    trace
+    let c = start + tiles_k as u64 * RW_A_CHUNK_BYTES;
+    out.push(TraceOp::Tile(Inst::TileStoreT {
+        addr: c,
+        src: TReg::T2,
+    }));
+    out.push(TraceOp::Tile(Inst::TileStoreT {
+        addr: c + 1024,
+        src: TReg::T3,
+    }));
+}
+
+/// Builds just the timing trace for a row-wise SPMM whose per-row covers are
+/// already known (synthetic addresses; used by the benches). Materializes
+/// [`stream_rowwise_trace`]'s output; prefer the stream on hot paths.
+pub fn build_rowwise_trace(shape: GemmShape, row_ratios: &[NmRatio]) -> Trace {
+    stream_rowwise_trace(shape, row_ratios).collect_trace()
+}
+
+/// Streams the row-wise SPMM trace lazily, one packed row group × output
+/// column tile at a time.
+pub fn stream_rowwise_trace(shape: GemmShape, row_ratios: &[NmRatio]) -> KernelStream {
+    crate::stream::KernelEmitter::rowwise(shape, pack_rows(row_ratios).len()).stream()
 }
 
 #[cfg(test)]

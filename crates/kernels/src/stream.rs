@@ -1,0 +1,271 @@
+//! Lazy per-tile-loop-nest trace generation for every kernel family.
+//!
+//! [`KernelEmitter`] is the compact generator behind the streaming
+//! pipeline: it carries only the kernel's address plan and loop structure
+//! (O(1) or O(groups) state — never per-instruction data) and re-emits the
+//! trace one *block* at a time, where a block is one cell of the kernel's
+//! tile-loop nest. Wrapped in a [`ChunkedStream`] it becomes a
+//! [`KernelStream`]: an exact-length [`InstStream`] whose peak residency is
+//! the largest block, not the whole trace — the property that lets
+//! full-scale Table IV layers replay in bounded memory.
+//!
+//! The materialized builders (`build_trace`, `build_rowwise_trace`, ...)
+//! are thin `collect` wrappers over these emitters, so streamed and
+//! materialized replays are identical by construction.
+//!
+//! [`InstStream`]: vegeta_isa::stream::InstStream
+
+use vegeta_isa::stream::{BlockEmitter, ChunkedStream};
+use vegeta_isa::trace::TraceOp;
+use vegeta_sparse::NmRatio;
+
+use crate::tiled::{
+    emit_listing1_cell, emit_tiled_cell, listing1_cell_ops, tiled_cell_ops, unroll_groups,
+    KernelOptions, Plan, SparseMode,
+};
+use crate::GemmShape;
+
+/// A streaming kernel trace: a [`ChunkedStream`] over a [`KernelEmitter`].
+pub type KernelStream = ChunkedStream<KernelEmitter>;
+
+/// The compact trace generator for one kernel invocation: shape + format +
+/// loop plan, no per-instruction state.
+#[derive(Debug, Clone)]
+pub struct KernelEmitter {
+    inner: Inner,
+}
+
+#[derive(Debug, Clone)]
+enum Inner {
+    /// The optimized tiled kernel; blocks are accumulator-group × output
+    /// column-tile cells.
+    Tiled {
+        plan: Plan,
+        opts: KernelOptions,
+        /// `(first row-tile, width)` per accumulator group.
+        groups: Vec<(usize, usize)>,
+        tiles_n: usize,
+    },
+    /// The naive Listing-1 kernel; blocks are `(it, jt)` output tiles.
+    Listing1 {
+        plan: Plan,
+        tiles_m: usize,
+        tiles_n: usize,
+    },
+    /// The row-wise `TILE_SPMM_R` kernel; blocks are packed row group ×
+    /// output column-tile cells.
+    RowWise {
+        tiles_n: usize,
+        tiles_k: usize,
+        groups: usize,
+    },
+    /// The vector GEMM baseline; blocks are microkernel invocations.
+    Vector { shape: GemmShape },
+}
+
+impl KernelEmitter {
+    /// Generator for the optimized tiled kernel.
+    pub fn tiled(shape: GemmShape, mode: SparseMode, opts: KernelOptions) -> Self {
+        KernelEmitter {
+            inner: Inner::Tiled {
+                plan: Plan::new(shape, mode),
+                opts,
+                groups: unroll_groups(shape.tiles_m(), opts.unroll),
+                tiles_n: shape.tiles_n(),
+            },
+        }
+    }
+
+    /// Generator for the naive Listing-1 kernel.
+    pub fn listing1(shape: GemmShape, mode: SparseMode) -> Self {
+        KernelEmitter {
+            inner: Inner::Listing1 {
+                plan: Plan::new(shape, mode),
+                tiles_m: shape.tiles_m(),
+                tiles_n: shape.tiles_n(),
+            },
+        }
+    }
+
+    /// Generator for the row-wise kernel with `groups` packed row groups
+    /// (the length of `pack_rows`' assignment list).
+    pub fn rowwise(shape: GemmShape, groups: usize) -> Self {
+        KernelEmitter {
+            inner: Inner::RowWise {
+                tiles_n: shape.tiles_n(),
+                tiles_k: shape.k.div_ceil(64),
+                groups,
+            },
+        }
+    }
+
+    /// Generator for the vector GEMM baseline.
+    pub fn vector(shape: GemmShape) -> Self {
+        KernelEmitter {
+            inner: Inner::Vector { shape },
+        }
+    }
+
+    /// Generator for the trace a [`crate::KernelSpec`] builds.
+    pub fn for_spec(spec: &crate::KernelSpec, shape: GemmShape) -> Self {
+        match spec {
+            crate::KernelSpec::Tiled { mode, opts } => KernelEmitter::tiled(shape, *mode, *opts),
+            crate::KernelSpec::Listing1 { mode } => KernelEmitter::listing1(shape, *mode),
+            crate::KernelSpec::RowWise { row_ratios } => {
+                KernelEmitter::rowwise(shape, rowwise_groups(row_ratios))
+            }
+            crate::KernelSpec::Vector => KernelEmitter::vector(shape),
+        }
+    }
+
+    /// Wraps the generator in an exact-length chunked stream.
+    pub fn stream(self) -> KernelStream {
+        ChunkedStream::new(self)
+    }
+}
+
+/// Number of `TILE_SPMM_R` row groups the packer produces for these covers.
+fn rowwise_groups(row_ratios: &[NmRatio]) -> usize {
+    vegeta_engine::rowwise::pack_rows(row_ratios).len()
+}
+
+impl BlockEmitter for KernelEmitter {
+    fn blocks(&self) -> usize {
+        match &self.inner {
+            Inner::Tiled {
+                groups, tiles_n, ..
+            } => groups.len() * tiles_n,
+            Inner::Listing1 {
+                tiles_m, tiles_n, ..
+            } => tiles_m * tiles_n,
+            Inner::RowWise {
+                tiles_n, groups, ..
+            } => groups * tiles_n,
+            Inner::Vector { shape } => crate::vector::vector_blocks(*shape),
+        }
+    }
+
+    fn block_ops(&self, block: usize) -> u64 {
+        match &self.inner {
+            Inner::Tiled {
+                plan,
+                opts,
+                groups,
+                tiles_n,
+            } => {
+                let (_, u) = groups[block / tiles_n];
+                tiled_cell_ops(plan, *opts, u)
+            }
+            Inner::Listing1 { plan, .. } => listing1_cell_ops(plan),
+            Inner::RowWise { tiles_k, .. } => crate::rowwise::rowwise_block_ops(*tiles_k),
+            Inner::Vector { shape } => crate::vector::vector_block_ops(*shape),
+        }
+    }
+
+    fn emit_block(&self, block: usize, out: &mut Vec<TraceOp>) {
+        match &self.inner {
+            Inner::Tiled {
+                plan,
+                opts,
+                groups,
+                tiles_n,
+            } => {
+                let (it, u) = groups[block / tiles_n];
+                emit_tiled_cell(plan, *opts, it, u, block % tiles_n, out);
+            }
+            Inner::Listing1 { plan, tiles_n, .. } => {
+                emit_listing1_cell(plan, block / tiles_n, block % tiles_n, out);
+            }
+            Inner::RowWise {
+                tiles_n, tiles_k, ..
+            } => crate::rowwise::emit_rowwise_block(*tiles_n, *tiles_k, block, out),
+            Inner::Vector { shape } => crate::vector::emit_vector_block(*shape, block, out),
+        }
+    }
+
+    fn state_bytes(&self) -> usize {
+        let heap = match &self.inner {
+            Inner::Tiled { groups, .. } => {
+                groups.capacity() * std::mem::size_of::<(usize, usize)>()
+            }
+            _ => 0,
+        };
+        std::mem::size_of::<Self>() + heap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vegeta_isa::stream::InstStream;
+
+    #[test]
+    fn declared_block_lengths_match_emission_for_every_kernel() {
+        let shape = GemmShape::new(48, 40, 260);
+        let emitters = [
+            KernelEmitter::tiled(shape, SparseMode::Dense, KernelOptions::default()),
+            KernelEmitter::tiled(shape, SparseMode::Nm2of4, KernelOptions::default()),
+            KernelEmitter::tiled(
+                shape,
+                SparseMode::Nm1of4,
+                KernelOptions {
+                    unroll: 1,
+                    loop_overhead: false,
+                },
+            ),
+            KernelEmitter::listing1(shape, SparseMode::Nm2of4),
+            KernelEmitter::rowwise(shape, 5),
+            KernelEmitter::vector(shape),
+        ];
+        for emitter in emitters {
+            let mut buf = Vec::new();
+            for b in 0..emitter.blocks() {
+                buf.clear();
+                emitter.emit_block(b, &mut buf);
+                assert_eq!(
+                    buf.len() as u64,
+                    emitter.block_ops(b),
+                    "block {b} of {emitter:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_trailing_group_of_four_splits_two_two() {
+        // tiles_m = 64/16 = 4 with unroll 3: the 2+2 split rule.
+        assert_eq!(unroll_groups(4, 3), vec![(0, 2), (2, 2)]);
+        assert_eq!(unroll_groups(7, 3), vec![(0, 3), (3, 2), (5, 2)]);
+        assert_eq!(unroll_groups(5, 3), vec![(0, 3), (3, 2)]);
+        assert_eq!(unroll_groups(4, 2), vec![(0, 2), (2, 2)]);
+        assert_eq!(unroll_groups(3, 1), vec![(0, 1), (1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn stream_length_matches_materialized_build() {
+        let shape = GemmShape::new(64, 64, 512);
+        for mode in [SparseMode::Dense, SparseMode::Nm2of4, SparseMode::Nm1of4] {
+            let stream = crate::tiled::stream_trace(shape, mode, KernelOptions::default());
+            let trace = crate::tiled::build_trace(shape, mode, KernelOptions::default());
+            assert_eq!(stream.remaining(), trace.len() as u64);
+        }
+        let vec_stream = crate::vector::stream_vector_gemm_trace(shape);
+        assert_eq!(
+            vec_stream.remaining(),
+            crate::vector::build_vector_gemm_trace(shape).len() as u64
+        );
+    }
+
+    #[test]
+    fn emitter_state_is_compact_even_for_huge_shapes() {
+        // A full-size GPT-3 layer: the generator must stay O(groups), far
+        // from the tens-of-MB materialized trace.
+        let shape = GemmShape::new(256, 256, 12_288);
+        let emitter = KernelEmitter::tiled(shape, SparseMode::Dense, KernelOptions::default());
+        assert!(
+            emitter.state_bytes() < 4096,
+            "generator state is {} bytes",
+            emitter.state_bytes()
+        );
+    }
+}

@@ -30,11 +30,13 @@
 //! reloads independent, exactly as it would for the paper's compiled
 //! kernels.
 
+use vegeta_isa::stream::InstStream;
 use vegeta_isa::trace::{Trace, TraceOp};
 use vegeta_isa::{Executor, Inst, MReg, Memory, TReg, UReg, VReg};
 use vegeta_num::{Bf16, Matrix};
 use vegeta_sparse::{FormatSpec, MregImage, NmRatio, TregImage};
 
+use crate::stream::KernelStream;
 use crate::{GemmShape, KernelError};
 
 /// How the `A` operand is encoded and which tile instruction multiplies it.
@@ -127,69 +129,112 @@ impl Default for KernelOptions {
 }
 
 /// Virtual address layout for all tiles of a GEMM.
-#[derive(Debug, Clone)]
-struct Plan {
+///
+/// The layout is a deterministic bump allocation (`A` values, `A`
+/// metadata, `Bᵀ` tiles, `C` tiles, in that order, each region 64 B
+/// aligned), so every address is affine in its tile index and the plan is
+/// O(1) memory — the compact state a streaming trace generator carries,
+/// whatever the problem size.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Plan {
     mode: SparseMode,
     shape: GemmShape,
-    a_values: Vec<u64>,
-    a_meta: Vec<u64>,
-    b_tiles: Vec<u64>,
-    c_tiles: Vec<u64>,
+    a_meta_base: u64,
+    b_base: u64,
+    b_bytes: u64,
+    c_base: u64,
     total_bytes: u64,
 }
 
 impl Plan {
-    fn new(shape: GemmShape, mode: SparseMode) -> Self {
+    pub(crate) fn new(shape: GemmShape, mode: SparseMode) -> Self {
         let (tm, tn, tk) = (shape.tiles_m(), shape.tiles_n(), shape.tiles_k(mode.tk()));
-        let mut cursor = 64u64; // leave address 0 unused
-        let mut bump = |bytes: usize| {
-            let addr = cursor;
-            cursor += (bytes as u64).next_multiple_of(64);
-            addr
-        };
-        let a_values: Vec<u64> = (0..tm * tk).map(|_| bump(1024)).collect();
-        let a_meta: Vec<u64> = (0..tm * tk).map(|_| bump(128)).collect();
-        let b_tiles: Vec<u64> = (0..tn * tk).map(|_| bump(mode.b_tile_bytes())).collect();
-        let c_tiles: Vec<u64> = (0..tm * tn).map(|_| bump(1024)).collect();
+        // Leave address 0 unused; every region size is already a multiple
+        // of the 64 B line.
+        let a_meta_base = 64 + (tm * tk) as u64 * 1024;
+        let b_base = a_meta_base + (tm * tk) as u64 * 128;
+        let b_bytes = (mode.b_tile_bytes() as u64).next_multiple_of(64);
+        let c_base = b_base + (tn * tk) as u64 * b_bytes;
         Plan {
             mode,
             shape,
-            a_values,
-            a_meta,
-            b_tiles,
-            c_tiles,
-            total_bytes: cursor,
+            a_meta_base,
+            b_base,
+            b_bytes,
+            c_base,
+            total_bytes: c_base + (tm * tn) as u64 * 1024,
         }
     }
 
+    pub(crate) fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
     fn a_value_addr(&self, it: usize, kt: usize) -> u64 {
-        self.a_values[it * self.shape.tiles_k(self.mode.tk()) + kt]
+        64 + (it * self.shape.tiles_k(self.mode.tk()) + kt) as u64 * 1024
     }
 
     fn a_meta_addr(&self, it: usize, kt: usize) -> u64 {
-        self.a_meta[it * self.shape.tiles_k(self.mode.tk()) + kt]
+        self.a_meta_base + (it * self.shape.tiles_k(self.mode.tk()) + kt) as u64 * 128
     }
 
     fn b_addr(&self, jt: usize, kt: usize) -> u64 {
-        self.b_tiles[jt * self.shape.tiles_k(self.mode.tk()) + kt]
+        self.b_base + (jt * self.shape.tiles_k(self.mode.tk()) + kt) as u64 * self.b_bytes
     }
 
     fn c_addr(&self, it: usize, jt: usize) -> u64 {
-        self.c_tiles[it * self.shape.tiles_n() + jt]
+        self.c_base + (it * self.shape.tiles_n() + jt) as u64 * 1024
     }
 }
 
-fn emit_loop_overhead(trace: &mut Trace) {
-    trace.push(TraceOp::Scalar { dst: 0, src: 0 });
-    trace.push(TraceOp::Scalar { dst: 1, src: 0 });
-    trace.push(TraceOp::Branch { cond: 0 });
+fn emit_loop_overhead(out: &mut Vec<TraceOp>) {
+    out.push(TraceOp::Scalar { dst: 0, src: 0 });
+    out.push(TraceOp::Scalar { dst: 1, src: 0 });
+    out.push(TraceOp::Branch { cond: 0 });
 }
 
+/// The optimized kernel's accumulator groups: `(first row-tile, width)` per
+/// outer-loop iteration. Splitting a trailing group of 4 into 2+2 avoids a
+/// single-accumulator tail whose `C`-writeback chain would serialize the
+/// engine.
+pub(crate) fn unroll_groups(tiles_m: usize, unroll: usize) -> Vec<(usize, usize)> {
+    let unroll = unroll.clamp(1, 3);
+    let mut groups = Vec::new();
+    let mut it = 0;
+    while it < tiles_m {
+        let remaining = tiles_m - it;
+        let u = if unroll >= 3 && remaining == 4 {
+            2
+        } else {
+            unroll.min(remaining)
+        };
+        groups.push((it, u));
+        it += u;
+    }
+    groups
+}
+
+/// Exact op count of one optimized-kernel cell (one accumulator group ×
+/// one output column tile).
+pub(crate) fn tiled_cell_ops(plan: &Plan, opts: KernelOptions, u: usize) -> u64 {
+    let tk_tiles = plan.shape.tiles_k(plan.mode.tk()) as u64;
+    let a_ops = if plan.mode == SparseMode::Dense { 2 } else { 3 };
+    let overhead = if opts.loop_overhead { 3 } else { 0 };
+    u as u64 + tk_tiles * (1 + u as u64 * a_ops + overhead) + u as u64
+}
+
+/// Emits one optimized-kernel cell: zero the accumulators, run the `k`
+/// loop sharing each `B` tile across the unrolled `A` row-tiles, store.
 #[allow(clippy::needless_range_loop)] // uu indexes accs and plan rows in lockstep
-fn emit_optimized(plan: &Plan, opts: KernelOptions, trace: &mut Trace) {
+pub(crate) fn emit_tiled_cell(
+    plan: &Plan,
+    opts: KernelOptions,
+    it: usize,
+    u: usize,
+    jt: usize,
+    out: &mut Vec<TraceOp>,
+) {
     let mode = plan.mode;
-    let shape = plan.shape;
-    let unroll = opts.unroll.clamp(1, 3);
     let accs = [TReg::T0, TReg::T1, TReg::T2];
     // One architectural A register per mode; the core renames each reload.
     let (a_reg, a_mreg) = match mode {
@@ -197,164 +242,164 @@ fn emit_optimized(plan: &Plan, opts: KernelOptions, trace: &mut Trace) {
         SparseMode::Nm2of4 => (TReg::T4, MReg::M4),
         SparseMode::Nm1of4 => (TReg::T3, MReg::M3),
     };
-    let tk_tiles = shape.tiles_k(mode.tk());
-    let mut it = 0;
-    while it < shape.tiles_m() {
-        let remaining = shape.tiles_m() - it;
-        // Splitting a trailing group of 4 into 2+2 avoids a single-
-        // accumulator tail whose C-writeback chain would serialize the
-        // engine.
-        let u = if unroll >= 3 && remaining == 4 {
-            2
-        } else {
-            unroll.min(remaining)
-        };
-        for jt in 0..shape.tiles_n() {
-            for acc in &accs[..u] {
-                trace.push_inst(Inst::TileZero { dst: *acc });
+    let tk_tiles = plan.shape.tiles_k(mode.tk());
+    for acc in &accs[..u] {
+        out.push(TraceOp::Tile(Inst::TileZero { dst: *acc }));
+    }
+    for kt in 0..tk_tiles {
+        match mode {
+            SparseMode::Dense => {
+                out.push(TraceOp::Tile(Inst::TileLoadT {
+                    dst: TReg::T3,
+                    addr: plan.b_addr(jt, kt),
+                }));
             }
-            for kt in 0..tk_tiles {
-                match mode {
-                    SparseMode::Dense => {
-                        trace.push_inst(Inst::TileLoadT {
-                            dst: TReg::T3,
-                            addr: plan.b_addr(jt, kt),
-                        });
-                    }
-                    SparseMode::Nm2of4 => {
-                        trace.push_inst(Inst::TileLoadU {
-                            dst: UReg::U3,
-                            addr: plan.b_addr(jt, kt),
-                        });
-                    }
-                    SparseMode::Nm1of4 => {
-                        trace.push_inst(Inst::TileLoadV {
-                            dst: VReg::V1,
-                            addr: plan.b_addr(jt, kt),
-                        });
-                    }
-                }
-                for uu in 0..u {
-                    trace.push_inst(Inst::TileLoadT {
-                        dst: a_reg,
-                        addr: plan.a_value_addr(it + uu, kt),
-                    });
-                    if mode != SparseMode::Dense {
-                        trace.push_inst(Inst::TileLoadM {
-                            dst: a_mreg,
-                            addr: plan.a_meta_addr(it + uu, kt),
-                        });
-                    }
-                    let inst = match mode {
-                        SparseMode::Dense => Inst::TileGemm {
-                            acc: accs[uu],
-                            a: a_reg,
-                            b: TReg::T3,
-                        },
-                        SparseMode::Nm2of4 => Inst::TileSpmmU {
-                            acc: accs[uu],
-                            a: a_reg,
-                            b: UReg::U3,
-                        },
-                        SparseMode::Nm1of4 => Inst::TileSpmmV {
-                            acc: accs[uu],
-                            a: a_reg,
-                            b: VReg::V1,
-                        },
-                    };
-                    trace.push_inst(inst);
-                }
-                if opts.loop_overhead {
-                    emit_loop_overhead(trace);
-                }
+            SparseMode::Nm2of4 => {
+                out.push(TraceOp::Tile(Inst::TileLoadU {
+                    dst: UReg::U3,
+                    addr: plan.b_addr(jt, kt),
+                }));
             }
-            for (uu, acc) in accs[..u].iter().enumerate() {
-                trace.push_inst(Inst::TileStoreT {
-                    addr: plan.c_addr(it + uu, jt),
-                    src: *acc,
-                });
+            SparseMode::Nm1of4 => {
+                out.push(TraceOp::Tile(Inst::TileLoadV {
+                    dst: VReg::V1,
+                    addr: plan.b_addr(jt, kt),
+                }));
             }
         }
-        it += u;
+        for uu in 0..u {
+            out.push(TraceOp::Tile(Inst::TileLoadT {
+                dst: a_reg,
+                addr: plan.a_value_addr(it + uu, kt),
+            }));
+            if mode != SparseMode::Dense {
+                out.push(TraceOp::Tile(Inst::TileLoadM {
+                    dst: a_mreg,
+                    addr: plan.a_meta_addr(it + uu, kt),
+                }));
+            }
+            let inst = match mode {
+                SparseMode::Dense => Inst::TileGemm {
+                    acc: accs[uu],
+                    a: a_reg,
+                    b: TReg::T3,
+                },
+                SparseMode::Nm2of4 => Inst::TileSpmmU {
+                    acc: accs[uu],
+                    a: a_reg,
+                    b: UReg::U3,
+                },
+                SparseMode::Nm1of4 => Inst::TileSpmmV {
+                    acc: accs[uu],
+                    a: a_reg,
+                    b: VReg::V1,
+                },
+            };
+            out.push(TraceOp::Tile(inst));
+        }
+        if opts.loop_overhead {
+            emit_loop_overhead(out);
+        }
+    }
+    for (uu, acc) in accs[..u].iter().enumerate() {
+        out.push(TraceOp::Tile(Inst::TileStoreT {
+            addr: plan.c_addr(it + uu, jt),
+            src: *acc,
+        }));
+    }
+}
+
+/// Exact op count of one Listing-1 cell (one `(it, jt)` output tile).
+pub(crate) fn listing1_cell_ops(plan: &Plan) -> u64 {
+    let tk_tiles = plan.shape.tiles_k(plan.mode.tk()) as u64;
+    let per_kt = if plan.mode == SparseMode::Dense { 8 } else { 9 };
+    tk_tiles * per_kt
+}
+
+/// Emits one Listing-1 cell: `C` is reloaded and stored on every `k`
+/// iteration, and a single accumulator serializes the engine.
+pub(crate) fn emit_listing1_cell(plan: &Plan, it: usize, jt: usize, out: &mut Vec<TraceOp>) {
+    let mode = plan.mode;
+    let tk_tiles = plan.shape.tiles_k(mode.tk());
+    for kt in 0..tk_tiles {
+        match mode {
+            SparseMode::Dense => out.push(TraceOp::Tile(Inst::TileLoadT {
+                dst: TReg::T0,
+                addr: plan.b_addr(jt, kt),
+            })),
+            SparseMode::Nm2of4 => out.push(TraceOp::Tile(Inst::TileLoadU {
+                dst: UReg::U0,
+                addr: plan.b_addr(jt, kt),
+            })),
+            SparseMode::Nm1of4 => out.push(TraceOp::Tile(Inst::TileLoadV {
+                dst: VReg::V0,
+                addr: plan.b_addr(jt, kt),
+            })),
+        }
+        let (c, a, m) = match mode {
+            SparseMode::Nm1of4 => (TReg::T4, TReg::T5, MReg::M5),
+            _ => (TReg::T2, TReg::T3, MReg::M3),
+        };
+        out.push(TraceOp::Tile(Inst::TileLoadT {
+            dst: c,
+            addr: plan.c_addr(it, jt),
+        }));
+        out.push(TraceOp::Tile(Inst::TileLoadT {
+            dst: a,
+            addr: plan.a_value_addr(it, kt),
+        }));
+        if mode != SparseMode::Dense {
+            out.push(TraceOp::Tile(Inst::TileLoadM {
+                dst: m,
+                addr: plan.a_meta_addr(it, kt),
+            }));
+        }
+        out.push(TraceOp::Tile(match mode {
+            SparseMode::Dense => Inst::TileGemm {
+                acc: c,
+                a,
+                b: TReg::T0,
+            },
+            SparseMode::Nm2of4 => Inst::TileSpmmU {
+                acc: c,
+                a,
+                b: UReg::U0,
+            },
+            SparseMode::Nm1of4 => Inst::TileSpmmV {
+                acc: c,
+                a,
+                b: VReg::V0,
+            },
+        }));
+        out.push(TraceOp::Tile(Inst::TileStoreT {
+            addr: plan.c_addr(it, jt),
+            src: c,
+        }));
+        emit_loop_overhead(out);
     }
 }
 
 /// Builds the timing trace of the optimized kernel (synthetic addresses, no
 /// data): what the CPU simulator consumes for the Fig. 13 sweeps.
+/// Materializes [`stream_trace`]'s output; prefer the stream on hot paths.
 pub fn build_trace(shape: GemmShape, mode: SparseMode, opts: KernelOptions) -> Trace {
-    let plan = Plan::new(shape, mode);
-    let mut trace = Trace::new();
-    emit_optimized(&plan, opts, &mut trace);
-    trace
+    stream_trace(shape, mode, opts).collect_trace()
 }
 
-/// Builds the naive Listing-1 kernel trace: `C` is loaded and stored on
-/// every `k` iteration, and a single accumulator serializes the engine.
+/// Streams the optimized kernel's trace lazily, one accumulator-group ×
+/// column-tile cell at a time (see [`vegeta_isa::stream`]).
+pub fn stream_trace(shape: GemmShape, mode: SparseMode, opts: KernelOptions) -> KernelStream {
+    crate::stream::KernelEmitter::tiled(shape, mode, opts).stream()
+}
+
+/// Builds the naive Listing-1 kernel trace (see [`stream_listing1_trace`]).
 pub fn build_listing1_trace(shape: GemmShape, mode: SparseMode) -> Trace {
-    let plan = Plan::new(shape, mode);
-    let mut trace = Trace::new();
-    let tk_tiles = shape.tiles_k(mode.tk());
-    for it in 0..shape.tiles_m() {
-        for jt in 0..shape.tiles_n() {
-            for kt in 0..tk_tiles {
-                match mode {
-                    SparseMode::Dense => trace.push_inst(Inst::TileLoadT {
-                        dst: TReg::T0,
-                        addr: plan.b_addr(jt, kt),
-                    }),
-                    SparseMode::Nm2of4 => trace.push_inst(Inst::TileLoadU {
-                        dst: UReg::U0,
-                        addr: plan.b_addr(jt, kt),
-                    }),
-                    SparseMode::Nm1of4 => trace.push_inst(Inst::TileLoadV {
-                        dst: VReg::V0,
-                        addr: plan.b_addr(jt, kt),
-                    }),
-                }
-                let (c, a, m) = match mode {
-                    SparseMode::Nm1of4 => (TReg::T4, TReg::T5, MReg::M5),
-                    _ => (TReg::T2, TReg::T3, MReg::M3),
-                };
-                trace.push_inst(Inst::TileLoadT {
-                    dst: c,
-                    addr: plan.c_addr(it, jt),
-                });
-                trace.push_inst(Inst::TileLoadT {
-                    dst: a,
-                    addr: plan.a_value_addr(it, kt),
-                });
-                if mode != SparseMode::Dense {
-                    trace.push_inst(Inst::TileLoadM {
-                        dst: m,
-                        addr: plan.a_meta_addr(it, kt),
-                    });
-                }
-                trace.push_inst(match mode {
-                    SparseMode::Dense => Inst::TileGemm {
-                        acc: c,
-                        a,
-                        b: TReg::T0,
-                    },
-                    SparseMode::Nm2of4 => Inst::TileSpmmU {
-                        acc: c,
-                        a,
-                        b: UReg::U0,
-                    },
-                    SparseMode::Nm1of4 => Inst::TileSpmmV {
-                        acc: c,
-                        a,
-                        b: VReg::V0,
-                    },
-                });
-                trace.push_inst(Inst::TileStoreT {
-                    addr: plan.c_addr(it, jt),
-                    src: c,
-                });
-                emit_loop_overhead(&mut trace);
-            }
-        }
-    }
-    trace
+    stream_listing1_trace(shape, mode).collect_trace()
+}
+
+/// Streams the Listing-1 kernel's trace lazily, one output tile at a time.
+pub fn stream_listing1_trace(shape: GemmShape, mode: SparseMode) -> KernelStream {
+    crate::stream::KernelEmitter::listing1(shape, mode).stream()
 }
 
 /// A kernel trace bundled with initialized memory, ready for functional
@@ -367,7 +412,7 @@ pub struct KernelProgram {
     pub mem: Memory,
     shape: GemmShape,
     mode: SparseMode,
-    c_tiles: Vec<u64>,
+    plan: Plan,
 }
 
 impl KernelProgram {
@@ -393,11 +438,9 @@ impl KernelProgram {
         let mut out = Matrix::zeros(self.shape.m, self.shape.n);
         for it in 0..self.shape.tiles_m() {
             for jt in 0..self.shape.tiles_n() {
-                let tile = exec.mem().read_f32_matrix(
-                    self.c_tiles[it * self.shape.tiles_n() + jt],
-                    16,
-                    16,
-                )?;
+                let tile = exec
+                    .mem()
+                    .read_f32_matrix(self.plan.c_addr(it, jt), 16, 16)?;
                 for r in 0..16 {
                     for c in 0..16 {
                         let (gr, gc) = (it * 16 + r, jt * 16 + c);
@@ -439,7 +482,7 @@ pub fn build_program(
     }
     let shape = GemmShape::new(a.rows(), b.cols(), a.cols());
     let plan = Plan::new(shape, mode);
-    let mut mem = Memory::new(plan.total_bytes.next_multiple_of(64) as usize);
+    let mut mem = Memory::new(plan.total_bytes().next_multiple_of(64) as usize);
     let tk = mode.tk();
     let format = mode.format();
     let (mut treg, mut mreg) = (TregImage::new(), MregImage::new());
@@ -465,14 +508,13 @@ pub fn build_program(
             mem.write_bf16_matrix(plan.b_addr(jt, kt), &bt)?;
         }
     }
-    let mut trace = Trace::new();
-    emit_optimized(&plan, opts, &mut trace);
+    let trace = stream_trace(shape, mode, opts).collect_trace();
     Ok(KernelProgram {
         trace,
         mem,
         shape,
         mode,
-        c_tiles: plan.c_tiles,
+        plan,
     })
 }
 

@@ -10,8 +10,10 @@
 //! The trace includes the scalar loop control that makes the *executed
 //! instruction count* gap of Fig. 4 so much larger than the FLOP gap.
 
+use vegeta_isa::stream::InstStream;
 use vegeta_isa::trace::{Trace, TraceOp};
 
+use crate::stream::KernelStream;
 use crate::GemmShape;
 
 /// Rows of `A` processed per microkernel invocation.
@@ -19,68 +21,87 @@ const I_BLOCK: usize = 4;
 /// `C` columns per microkernel invocation (one 16-lane FP32 register).
 const J_BLOCK: usize = 16;
 
-/// Builds the dynamic trace of a register-blocked vector GEMM.
-///
-/// Synthetic but coherent addresses: `A`, `B` and `C` live in disjoint
-/// regions so the cache model sees realistic reuse.
-pub fn build_vector_gemm_trace(shape: GemmShape) -> Trace {
-    let mut trace = Trace::new();
+/// Exact op count of one vector-GEMM block (one `(ib, jb)` microkernel
+/// invocation): `C` loads/stores, one `B` load + four broadcast/FMA pairs
+/// + loop control per `k`, and an `A`-line refill every 16 elements.
+pub(crate) fn vector_block_ops(shape: GemmShape) -> u64 {
+    let k = shape.k as u64;
+    2 * I_BLOCK as u64 + k * (1 + 2 * I_BLOCK as u64 + 2) + k.div_ceil(16) * I_BLOCK as u64
+}
+
+/// Number of `(ib, jb)` microkernel blocks of the vector GEMM.
+pub(crate) fn vector_blocks(shape: GemmShape) -> usize {
+    shape.m.div_ceil(I_BLOCK) * shape.n.div_ceil(J_BLOCK)
+}
+
+/// Emits one vector-GEMM microkernel block.
+pub(crate) fn emit_vector_block(shape: GemmShape, block: usize, out: &mut Vec<TraceOp>) {
     let a_base = 0x0100_0000u64;
     let b_base = 0x0200_0000u64;
     let c_base = 0x0300_0000u64;
     // Register map: acc 0-3, B chunk 8, A broadcasts 12-15, A lines 20-23.
-    let ib_count = shape.m.div_ceil(I_BLOCK);
     let jb_count = shape.n.div_ceil(J_BLOCK);
-    for ib in 0..ib_count {
-        for jb in 0..jb_count {
+    let (ib, jb) = (block / jb_count, block % jb_count);
+    for i in 0..I_BLOCK {
+        let row = ib * I_BLOCK + i;
+        out.push(TraceOp::VecLoad {
+            dst: i as u8,
+            addr: c_base + (row * shape.n + jb * J_BLOCK) as u64 * 4,
+        });
+    }
+    for k in 0..shape.k {
+        // B[k][jb..jb+16], 64 B.
+        out.push(TraceOp::VecLoad {
+            dst: 8,
+            addr: b_base + (k * shape.n + jb * J_BLOCK) as u64 * 4,
+        });
+        // Refill A lines every 16 elements (64 B of FP32).
+        if k % 16 == 0 {
             for i in 0..I_BLOCK {
                 let row = ib * I_BLOCK + i;
-                trace.push(TraceOp::VecLoad {
-                    dst: i as u8,
-                    addr: c_base + (row * shape.n + jb * J_BLOCK) as u64 * 4,
-                });
-            }
-            for k in 0..shape.k {
-                // B[k][jb..jb+16], 64 B.
-                trace.push(TraceOp::VecLoad {
-                    dst: 8,
-                    addr: b_base + (k * shape.n + jb * J_BLOCK) as u64 * 4,
-                });
-                // Refill A lines every 16 elements (64 B of FP32).
-                if k % 16 == 0 {
-                    for i in 0..I_BLOCK {
-                        let row = ib * I_BLOCK + i;
-                        trace.push(TraceOp::VecLoad {
-                            dst: 20 + i as u8,
-                            addr: a_base + (row * shape.k + k) as u64 * 4,
-                        });
-                    }
-                }
-                for i in 0..I_BLOCK {
-                    // Broadcast A[row][k] from the line register.
-                    trace.push(TraceOp::VecOp {
-                        dst: 12 + i as u8,
-                        src: 20 + i as u8,
-                    });
-                    trace.push(TraceOp::VecFma {
-                        acc: i as u8,
-                        a: 12 + i as u8,
-                        b: 8,
-                    });
-                }
-                trace.push(TraceOp::Scalar { dst: 0, src: 0 });
-                trace.push(TraceOp::Branch { cond: 0 });
-            }
-            for i in 0..I_BLOCK {
-                let row = ib * I_BLOCK + i;
-                trace.push(TraceOp::VecStore {
-                    src: i as u8,
-                    addr: c_base + (row * shape.n + jb * J_BLOCK) as u64 * 4,
+                out.push(TraceOp::VecLoad {
+                    dst: 20 + i as u8,
+                    addr: a_base + (row * shape.k + k) as u64 * 4,
                 });
             }
         }
+        for i in 0..I_BLOCK {
+            // Broadcast A[row][k] from the line register.
+            out.push(TraceOp::VecOp {
+                dst: 12 + i as u8,
+                src: 20 + i as u8,
+            });
+            out.push(TraceOp::VecFma {
+                acc: i as u8,
+                a: 12 + i as u8,
+                b: 8,
+            });
+        }
+        out.push(TraceOp::Scalar { dst: 0, src: 0 });
+        out.push(TraceOp::Branch { cond: 0 });
     }
-    trace
+    for i in 0..I_BLOCK {
+        let row = ib * I_BLOCK + i;
+        out.push(TraceOp::VecStore {
+            src: i as u8,
+            addr: c_base + (row * shape.n + jb * J_BLOCK) as u64 * 4,
+        });
+    }
+}
+
+/// Builds the dynamic trace of a register-blocked vector GEMM.
+///
+/// Synthetic but coherent addresses: `A`, `B` and `C` live in disjoint
+/// regions so the cache model sees realistic reuse. Materializes
+/// [`stream_vector_gemm_trace`]'s output; prefer the stream on hot paths.
+pub fn build_vector_gemm_trace(shape: GemmShape) -> Trace {
+    stream_vector_gemm_trace(shape).collect_trace()
+}
+
+/// Streams the vector-GEMM trace lazily, one microkernel invocation at a
+/// time.
+pub fn stream_vector_gemm_trace(shape: GemmShape) -> KernelStream {
+    crate::stream::KernelEmitter::vector(shape).stream()
 }
 
 /// MACs performed per vector FMA (16 FP32 lanes).

@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 
 use vegeta_engine::{EngineConfig, EngineTimer};
+use vegeta_isa::stream::InstStream;
 use vegeta_isa::trace::{ArchReg, Trace, TraceOp};
 use vegeta_isa::Inst;
 
@@ -95,6 +96,10 @@ pub struct SimResult {
     pub tile_compute: u64,
     /// Core cycles during which the matrix engine had work in flight.
     pub engine_busy_cycles: u64,
+    /// Peak bytes of trace data resident in the instruction source during
+    /// the run: the whole trace for a materialized replay, one streaming
+    /// chunk (plus generator state) for a streamed one.
+    pub peak_resident_bytes: u64,
     /// Cache behaviour.
     pub cache: CacheStats,
 }
@@ -111,6 +116,48 @@ impl SimResult {
             return 0.0;
         }
         self.instructions as f64 / self.core_cycles as f64
+    }
+}
+
+/// A fixed-capacity ring of the most recent retire timestamps: the
+/// occupancy window the ROB / load-buffer checks need, in O(entries)
+/// memory however long the trace is (the piece that used to grow one
+/// element per instruction).
+#[derive(Debug, Clone)]
+struct RetireRing {
+    buf: Vec<u64>,
+    head: usize,
+    len: usize,
+}
+
+impl RetireRing {
+    fn new(capacity: usize) -> Self {
+        RetireRing {
+            buf: vec![0; capacity.max(1)],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        self.len == self.buf.len()
+    }
+
+    /// The oldest retained timestamp (only meaningful when full: the
+    /// instruction that must retire before the next one can dispatch).
+    fn oldest(&self) -> u64 {
+        self.buf[self.head]
+    }
+
+    fn push(&mut self, v: u64) {
+        if self.len < self.buf.len() {
+            let tail = (self.head + self.len) % self.buf.len();
+            self.buf[tail] = v;
+            self.len += 1;
+        } else {
+            self.buf[self.head] = v;
+            self.head = (self.head + 1) % self.buf.len();
+        }
     }
 }
 
@@ -201,8 +248,33 @@ impl CoreSim {
         &self.cfg
     }
 
-    /// Simulates a trace to completion and returns the timing result.
+    /// Simulates a materialized trace to completion.
+    ///
+    /// Replays through the streaming path ([`CoreSim::run_stream`]) — the
+    /// two are cycle-identical by construction; only the reported peak
+    /// trace residency differs (a materialized trace is wholly resident).
     pub fn run(&mut self, trace: &Trace) -> SimResult {
+        self.run_stream(trace.stream())
+    }
+
+    /// Simulates a streamed trace to completion, consuming it chunk-wise
+    /// without ever holding the full instruction sequence: every occupancy
+    /// window (ROB, load buffer) is a fixed ring, so memory is bounded by
+    /// the stream's chunk size however many instructions flow through.
+    pub fn run_stream<S: InstStream>(&mut self, mut stream: S) -> SimResult {
+        self.run_stream_with(&mut stream, None)
+    }
+
+    /// [`CoreSim::run_stream`] with a progress callback, invoked every
+    /// [`PROGRESS_STRIDE`] instructions (and once at completion) with
+    /// `(instructions simulated, total)` — the accounting hook long
+    /// full-fidelity replays surface to their drivers.
+    pub fn run_stream_with<S: InstStream>(
+        &mut self,
+        stream: &mut S,
+        mut progress: Option<&mut dyn FnMut(u64, u64)>,
+    ) -> SimResult {
+        let total = stream.remaining();
         let ratio = self.cfg.clock_ratio();
         let mut cache =
             CacheModel::new(self.cfg.l1_lines, self.cfg.l1_latency, self.cfg.l2_latency);
@@ -219,23 +291,23 @@ impl CoreSim {
         let mut load_ports = PortPool::new(self.cfg.load_ports);
         let mut store_ports = PortPool::new(1);
 
-        let mut retire_times: Vec<u64> = Vec::with_capacity(trace.len());
-        let mut mem_retire_times: Vec<u64> = Vec::new();
+        let mut rob_window = RetireRing::new(self.cfg.rob_entries);
+        let mut mem_window = RetireRing::new(self.cfg.load_buffer_entries);
+        let mut instructions = 0u64;
         let mut last_retire = 0u64;
         let mut tile_compute = 0u64;
         let mut engine_first_start: Option<u64> = None;
         let mut engine_last_completion = 0u64;
 
-        for (i, op) in trace.iter().enumerate() {
+        while let Some(op) = stream.next_op() {
             // --- Dispatch: front-end bandwidth, ROB and LSQ occupancy. ---
             let mut earliest = self.cfg.frontend_stages;
-            if i >= self.cfg.rob_entries {
-                earliest = earliest.max(retire_times[i - self.cfg.rob_entries]);
+            if rob_window.is_full() {
+                earliest = earliest.max(rob_window.oldest());
             }
             let is_mem = op.mem_access().is_some();
-            if is_mem && mem_retire_times.len() >= self.cfg.load_buffer_entries {
-                earliest = earliest
-                    .max(mem_retire_times[mem_retire_times.len() - self.cfg.load_buffer_entries]);
+            if is_mem && mem_window.is_full() {
+                earliest = earliest.max(mem_window.oldest());
             }
             let dispatch = dispatch_bw.take(earliest);
 
@@ -327,22 +399,41 @@ impl CoreSim {
             // --- Retire: in order, bounded width. ---
             let retire = retire_bw.take(complete.max(last_retire));
             last_retire = retire;
-            retire_times.push(retire);
+            rob_window.push(retire);
             if is_mem {
-                mem_retire_times.push(retire);
+                mem_window.push(retire);
+            }
+
+            instructions += 1;
+            if instructions.is_multiple_of(PROGRESS_STRIDE) {
+                if let Some(cb) = progress.as_deref_mut() {
+                    cb(instructions, total);
+                }
+            }
+        }
+        // Completion report — unless the stride loop already delivered it
+        // (a trace length that is an exact stride multiple).
+        if instructions == 0 || !instructions.is_multiple_of(PROGRESS_STRIDE) {
+            if let Some(cb) = progress {
+                cb(instructions, total);
             }
         }
 
         SimResult {
             core_cycles: last_retire,
-            instructions: trace.len() as u64,
+            instructions,
             tile_compute,
             engine_busy_cycles: engine_last_completion
                 .saturating_sub(engine_first_start.unwrap_or(0)),
+            peak_resident_bytes: stream.peak_resident_bytes() as u64,
             cache: cache.stats(),
         }
     }
 }
+
+/// Instructions between progress-callback invocations of
+/// [`CoreSim::run_stream_with`].
+pub const PROGRESS_STRIDE: u64 = 1 << 16;
 
 /// Convenience: simulate `trace` on a fresh default core with `engine`.
 pub fn simulate(trace: &Trace, engine: EngineConfig) -> SimResult {
@@ -518,6 +609,98 @@ mod tests {
     }
 
     #[test]
+    fn streamed_replay_is_cycle_identical_to_materialized() {
+        use vegeta_isa::stream::{BlockEmitter, ChunkedStream};
+
+        // A mixed workload emitted block-wise: loads, engine ops, scalars.
+        struct Blocks;
+        impl BlockEmitter for Blocks {
+            fn blocks(&self) -> usize {
+                200
+            }
+            fn block_ops(&self, _block: usize) -> u64 {
+                4
+            }
+            fn emit_block(&self, block: usize, out: &mut Vec<TraceOp>) {
+                out.push(TraceOp::VecLoad {
+                    dst: (block % 16) as u8,
+                    addr: block as u64 * 64,
+                });
+                out.push(TraceOp::Tile(Inst::TileSpmmU {
+                    acc: TReg::new((block % 3) as u8).unwrap(),
+                    a: TReg::T6,
+                    b: UReg::U2,
+                }));
+                out.push(TraceOp::Scalar { dst: 0, src: 0 });
+                out.push(TraceOp::Branch { cond: 0 });
+            }
+        }
+
+        let mut stream = ChunkedStream::new(Blocks);
+        let materialized = {
+            use vegeta_isa::stream::InstStream;
+            ChunkedStream::new(Blocks).collect_trace()
+        };
+        let engine = EngineConfig::vegeta_s(16).unwrap();
+        let from_trace = CoreSim::with_engine(engine.clone()).run(&materialized);
+        let from_stream = CoreSim::with_engine(engine).run_stream(&mut stream);
+        assert_eq!(from_stream.core_cycles, from_trace.core_cycles);
+        assert_eq!(from_stream.instructions, from_trace.instructions);
+        assert_eq!(from_stream.tile_compute, from_trace.tile_compute);
+        assert_eq!(
+            from_stream.engine_busy_cycles,
+            from_trace.engine_busy_cycles
+        );
+        assert_eq!(from_stream.cache, from_trace.cache);
+        // Only residency differs: the stream never held the whole trace.
+        assert!(
+            from_stream.peak_resident_bytes < from_trace.peak_resident_bytes / 8,
+            "stream {} vs materialized {}",
+            from_stream.peak_resident_bytes,
+            from_trace.peak_resident_bytes
+        );
+    }
+
+    #[test]
+    fn progress_callback_reports_monotonic_counts() {
+        let mut t = Trace::new();
+        for i in 0..500u32 {
+            t.push(TraceOp::Scalar {
+                dst: (i % 8) as u8,
+                src: 0,
+            });
+        }
+        let mut seen: Vec<(u64, u64)> = Vec::new();
+        let mut stream = t.stream();
+        let res = CoreSim::with_engine(EngineConfig::rasa_dm()).run_stream_with(
+            &mut stream,
+            Some(&mut |done: u64, total| seen.push((done, total))),
+        );
+        assert_eq!(res.instructions, 500);
+        assert_eq!(seen.last(), Some(&(500, 500)), "final completion report");
+    }
+
+    #[test]
+    fn progress_completion_fires_once_at_exact_stride_multiples() {
+        let mut t = Trace::new();
+        for i in 0..PROGRESS_STRIDE {
+            t.push(TraceOp::Scalar {
+                dst: (i % 8) as u8,
+                src: 0,
+            });
+        }
+        let mut seen: Vec<u64> = Vec::new();
+        let mut stream = t.stream();
+        CoreSim::with_engine(EngineConfig::rasa_dm())
+            .run_stream_with(&mut stream, Some(&mut |done: u64, _| seen.push(done)));
+        assert_eq!(
+            seen,
+            vec![PROGRESS_STRIDE],
+            "one completion event, not a duplicate"
+        );
+    }
+
+    #[test]
     fn result_seconds_uses_core_clock() {
         let cfg = SimConfig::default();
         let res = SimResult {
@@ -525,6 +708,7 @@ mod tests {
             instructions: 1,
             tile_compute: 0,
             engine_busy_cycles: 0,
+            peak_resident_bytes: 0,
             cache: CacheStats::default(),
         };
         assert!((res.seconds(&cfg) - 1.0).abs() < 1e-12);

@@ -31,5 +31,5 @@
 pub mod cache;
 mod core;
 
-pub use crate::core::{simulate, simulate_insts, CoreSim, SimConfig, SimResult};
+pub use crate::core::{simulate, simulate_insts, CoreSim, SimConfig, SimResult, PROGRESS_STRIDE};
 pub use cache::{CacheModel, CacheStats, LINE_BYTES};

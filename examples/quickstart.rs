@@ -1,9 +1,11 @@
 //! Quickstart: the `Session`/`Sweep` experiment API.
 //!
-//! Three steps: (1) ask one engine one question with a `Session`, (2) check
+//! Four steps: (1) ask one engine one question with a `Session`, (2) check
 //! the numerics are real with the functional executor, (3) sweep a whole
 //! engine x sparsity grid in parallel with `Sweep` and read the structured
-//! report.
+//! report, (4) replay a **full-fidelity** (unscaled) Table IV layer
+//! through the streaming pipeline — the trace is generated lazily and the
+//! peak resident footprint stays bounded by one chunk.
 //!
 //! Run with: `cargo run --release --example quickstart`
 //! (`VEGETA_QUICK=1` shrinks the layers for a fast smoke run.)
@@ -99,5 +101,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .geomean_speedup(EngineConfig::rasa_dm().name(), of_engine.name(), "1:4")
         .expect("complete grid");
     println!("\n{} over RASA-DM at 1:4: {speedup:.2}x", of_engine.name());
+
+    // 4. Full fidelity: the real, unscaled layer streamed end to end.
+    //    `Fidelity::Full` replays the exact Table IV dimensions; the trace
+    //    is never materialized, so peak residency is one streaming chunk
+    //    rather than megabytes of instruction vector.
+    let full_layer = table4()
+        .into_iter()
+        .find(|l| l.name == "ResNet50-L6")
+        .expect("Table IV layer");
+    let session = Session::new(EngineConfig::vegeta_s(16).expect("valid alpha"));
+    let full = session.run_layer_at(&full_layer, NmRatio::S2_4, Fidelity::Full);
+    println!(
+        "\nfull fidelity: {} ({}x{}x{}) on {}: {} cycles, {} insts streamed, \
+         peak trace residency {} B (materialized would be {} B)",
+        full.workload,
+        full.shape.m,
+        full.shape.n,
+        full.shape.k,
+        full.engine,
+        full.cycles,
+        full.insts_streamed,
+        full.peak_resident_bytes,
+        full.instructions * vegeta::isa::TRACE_OP_BYTES as u64
+    );
+    assert_eq!(full.fidelity, "full");
     Ok(())
 }
