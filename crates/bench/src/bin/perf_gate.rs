@@ -16,13 +16,15 @@
 //! largest GPT-3 layer — exercising the streaming path at network scale.
 //!
 //! Flags: `--baseline <path>` overrides the committed baseline,
-//! `--tolerance <fraction>` the ±2% default.
+//! `--tolerance <fraction>` the ±2% default (the `VEGETA_PERF_TOL`
+//! environment variable also overrides the default; the flag wins over
+//! both).
 
 use vegeta::json::JsonValue;
 use vegeta::prelude::*;
 use vegeta_bench::perf_gate::{
-    compare_geomeans, perf_report, pinned_layers, run_perf_cells, write_perf_json,
-    GEOMEAN_TOLERANCE,
+    compare_geomeans, perf_report, pinned_layers, resolve_tolerance, run_perf_cells,
+    write_perf_json, TOLERANCE_ENV,
 };
 
 fn workspace_baseline() -> std::path::PathBuf {
@@ -38,7 +40,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut full_scale = false;
     let mut baseline_path = workspace_baseline();
-    let mut tolerance = GEOMEAN_TOLERANCE;
+    let mut tolerance_flag: Option<f64> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -47,11 +49,11 @@ fn main() {
                 baseline_path = iter.next().expect("--baseline needs a path").into();
             }
             "--tolerance" => {
-                tolerance = iter
-                    .next()
-                    .expect("--tolerance needs a fraction")
-                    .parse()
-                    .expect("tolerance must be a number, e.g. 0.02");
+                let raw = iter.next().expect("--tolerance needs a fraction");
+                tolerance_flag = Some(raw.parse().unwrap_or_else(|_| {
+                    eprintln!("perf_gate: --tolerance '{raw}' is not a number (e.g. 0.02)");
+                    std::process::exit(2);
+                }));
             }
             // A gate that silently ignores a mistyped flag would run with
             // criteria the author did not intend; refuse instead.
@@ -64,6 +66,13 @@ fn main() {
             }
         }
     }
+    // Flag > VEGETA_PERF_TOL > the ±2% default.
+    let env_tolerance = std::env::var(TOLERANCE_ENV).ok();
+    let tolerance =
+        resolve_tolerance(tolerance_flag, env_tolerance.as_deref()).unwrap_or_else(|e| {
+            eprintln!("perf_gate: {e}");
+            std::process::exit(2);
+        });
 
     if full_scale {
         // One full-fidelity layer per engine class, including the largest

@@ -16,6 +16,39 @@
 #![warn(missing_docs)]
 
 pub mod perf_gate;
+pub mod scaling;
+
+/// Writes a JSON artifact named `file_name` into `$VEGETA_CSV_DIR` (when
+/// set) or the workspace root; returns the path on success. Shared by the
+/// perf-gate and scaling reports — artifact dumps log failures to stderr
+/// rather than aborting an experiment.
+pub(crate) fn write_artifact_json(
+    file_name: &str,
+    doc: &vegeta::json::JsonValue,
+) -> Option<std::path::PathBuf> {
+    let dir = std::env::var("VEGETA_CSV_DIR")
+        .ok()
+        .filter(|d| !d.is_empty())
+        .unwrap_or_else(|| {
+            let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+            if std::path::Path::new(root).is_dir() {
+                root.to_string()
+            } else {
+                ".".to_string()
+            }
+        });
+    let path = std::path::Path::new(&dir).join(file_name);
+    match std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, doc.to_string())) {
+        Ok(()) => {
+            eprintln!("wrote {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("could not write {}: {e}", path.display());
+            None
+        }
+    }
+}
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

@@ -24,8 +24,44 @@ use std::time::Instant;
 use vegeta::json::JsonValue;
 use vegeta::prelude::*;
 
-/// Maximum relative geomean drift the gate accepts (±2%).
+/// Maximum relative geomean drift the gate accepts by default (±2%).
 pub const GEOMEAN_TOLERANCE: f64 = 0.02;
+
+/// The environment variable that overrides the default gate tolerance
+/// (a fraction, e.g. `0.05` for ±5%); an explicit `--tolerance` flag wins
+/// over it.
+pub const TOLERANCE_ENV: &str = "VEGETA_PERF_TOL";
+
+/// Resolves the gate tolerance from its three sources, strongest first:
+/// the `--tolerance` flag, the [`TOLERANCE_ENV`] environment variable,
+/// then the [`GEOMEAN_TOLERANCE`] default.
+///
+/// # Errors
+///
+/// A human-readable message when the chosen value (flag or environment)
+/// is not a positive finite fraction — a NaN tolerance would silently
+/// pass every drift and a non-positive one fail every cell, i.e. a gate
+/// checking criteria nobody chose.
+pub fn resolve_tolerance(flag: Option<f64>, env: Option<&str>) -> Result<f64, String> {
+    if let Some(t) = flag {
+        return if t.is_finite() && t > 0.0 {
+            Ok(t)
+        } else {
+            Err(format!(
+                "--tolerance {t} is not a positive fraction (e.g. 0.02 for ±2%)"
+            ))
+        };
+    }
+    match env {
+        None => Ok(GEOMEAN_TOLERANCE),
+        Some(raw) => match raw.trim().parse::<f64>() {
+            Ok(t) if t.is_finite() && t > 0.0 => Ok(t),
+            _ => Err(format!(
+                "{TOLERANCE_ENV}='{raw}' is not a positive fraction (e.g. 0.02 for ±2%)"
+            )),
+        },
+    }
+}
 
 /// One timed streamed replay of the perf set.
 #[derive(Debug, Clone)]
@@ -130,28 +166,7 @@ pub fn perf_report(mode: &str, cells: &[PerfCell]) -> JsonValue {
 /// Writes `BENCH_perf.json` into `$VEGETA_CSV_DIR` (when set) or the
 /// workspace root; returns the path on success.
 pub fn write_perf_json(doc: &JsonValue) -> Option<std::path::PathBuf> {
-    let dir = std::env::var("VEGETA_CSV_DIR")
-        .ok()
-        .filter(|d| !d.is_empty())
-        .unwrap_or_else(|| {
-            let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-            if std::path::Path::new(root).is_dir() {
-                root.to_string()
-            } else {
-                ".".to_string()
-            }
-        });
-    let path = std::path::Path::new(&dir).join("BENCH_perf.json");
-    match std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, doc.to_string())) {
-        Ok(()) => {
-            eprintln!("wrote {}", path.display());
-            Some(path)
-        }
-        Err(e) => {
-            eprintln!("could not write {}: {e}", path.display());
-            None
-        }
-    }
+    crate::write_artifact_json("BENCH_perf.json", doc)
 }
 
 /// Diffs every `geomean_speedup_vs_baseline` entry of `baseline` against
@@ -275,6 +290,28 @@ mod tests {
         let failures = compare_geomeans(&base, &empty, 0.02).unwrap_err();
         assert!(failures[0].contains("missing"));
         assert!(compare_geomeans(&JsonValue::Object(vec![]), &base, 0.02).is_err());
+    }
+
+    #[test]
+    fn tolerance_resolution_orders_flag_env_default() {
+        // Default when neither source is set.
+        assert_eq!(resolve_tolerance(None, None), Ok(GEOMEAN_TOLERANCE));
+        // The environment variable overrides the default.
+        assert_eq!(resolve_tolerance(None, Some("0.05")), Ok(0.05));
+        assert_eq!(resolve_tolerance(None, Some(" 0.1 ")), Ok(0.1));
+        // An explicit flag wins over the environment.
+        assert_eq!(resolve_tolerance(Some(0.01), Some("0.5")), Ok(0.01));
+        // Garbage and non-positive env values are refused, not ignored.
+        for bad in ["2%", "", "-0.02", "0", "NaN", "inf"] {
+            let err = resolve_tolerance(None, Some(bad)).unwrap_err();
+            assert!(err.contains(TOLERANCE_ENV), "{err}");
+        }
+        // The flag is held to the same standard: a NaN tolerance would
+        // pass everything, a non-positive one fail everything.
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -0.02] {
+            let err = resolve_tolerance(Some(bad), None).unwrap_err();
+            assert!(err.contains("--tolerance"), "{err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Multi-core scaling benchmark behind the `fig_scaling` binary.
+//!
+//! VEGETA's evaluation is single-core; this module answers the scale-out
+//! question its deployment story implies — "how does each engine class
+//! scale when one Table IV layer is sharded across 2/4/8 matrix-engine
+//! cores?" — the way SparseZipper evaluates its matrix extensions. It
+//! drives the `Sweep::with_cores` axis over the pinned perf-gate layer set
+//! and one engine per §VI engine class, derives per-engine geometric-mean
+//! speedups vs the 1-core cells, and emits the machine-readable
+//! `BENCH_scaling.json` artifact the CI drivers job uploads (cycle counts
+//! are simulated, so quick-mode output is deterministic).
+
+use vegeta::json::JsonValue;
+use vegeta::prelude::*;
+
+use crate::perf_gate::{perf_gate_engines, pinned_layers};
+
+/// The strong-scaling core counts the benchmark sweeps (1 is the
+/// baseline the speedups are normalized to).
+pub fn scaling_core_counts() -> Vec<usize> {
+    vec![1, 2, 4, 8]
+}
+
+/// Runs the scaling grid: pinned layers × one engine per §VI engine class
+/// × 2:4 weights × [`scaling_core_counts`], at the given fidelity, through
+/// the sharded [`MultiCoreSim`] pipeline.
+pub fn run_scaling_sweep(fidelity: Fidelity) -> SweepReport {
+    Sweep::new()
+        .with_engines(perf_gate_engines())
+        .with_layers(pinned_layers())
+        .with_sparsity(NmRatio::S2_4)
+        .with_fidelity(fidelity)
+        .with_cores(scaling_core_counts())
+        .run()
+}
+
+/// Wraps a cores-axis sweep into the `BENCH_scaling.json` document:
+/// per-engine geomean speedups vs 1 core (the numbers a perf gate can
+/// watch), mean parallel efficiency and shared-L2 reuse per core count,
+/// plus every raw cell.
+pub fn scaling_report(mode: &str, report: &SweepReport) -> JsonValue {
+    let sparsity = "2:4";
+    let mut per_engine = Vec::new();
+    for engine in report.engines() {
+        let mut per_cores = Vec::new();
+        for &cores in &report.cores_values() {
+            if let Some(g) = report.geomean_core_scaling(engine, sparsity, cores) {
+                per_cores.push((cores.to_string(), JsonValue::from(g)));
+            }
+        }
+        per_engine.push((engine.to_string(), JsonValue::Object(per_cores)));
+    }
+    JsonValue::Object(vec![
+        ("report".into(), "fig_scaling".into()),
+        ("mode".into(), mode.into()),
+        ("sparsity".into(), sparsity.into()),
+        (
+            "cores".into(),
+            JsonValue::Array(
+                report
+                    .cores_values()
+                    .iter()
+                    .map(|&c| JsonValue::from(c))
+                    .collect(),
+            ),
+        ),
+        (
+            "geomean_speedup_vs_1core".into(),
+            JsonValue::Object(per_engine),
+        ),
+        (
+            "cells".into(),
+            JsonValue::Array(report.cells.iter().map(RunReport::to_json_value).collect()),
+        ),
+    ])
+}
+
+/// Writes `BENCH_scaling.json` into `$VEGETA_CSV_DIR` (when set) or the
+/// workspace root; returns the path on success. The file is a CI artifact
+/// (gitignored), not a committed baseline — scaling numbers move whenever
+/// the core model does, and the perf gate already pins absolute cycles.
+pub fn write_scaling_json(doc: &JsonValue) -> Option<std::path::PathBuf> {
+    crate::write_artifact_json("BENCH_scaling.json", doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_sweep_is_monotone_and_serializes() {
+        // One small layer at deep quick scale keeps the unit test fast; the
+        // drivers job runs the full pinned set.
+        let report = Sweep::new()
+            .with_engine(EngineConfig::vegeta_s(16).unwrap())
+            .with_layer(table4()[7])
+            .with_sparsity(NmRatio::S2_4)
+            .with_fidelity(Fidelity::Quick(4))
+            .with_cores([1, 2, 4])
+            .run();
+        assert_eq!(report.cells.len(), 3);
+        let mut last = u64::MAX;
+        for cell in &report.cells {
+            assert!(cell.cycles <= last, "monotone non-increasing cycles");
+            last = cell.cycles;
+        }
+        let doc = scaling_report("test", &report);
+        let parsed = JsonValue::parse(&doc.to_string()).expect("valid JSON");
+        let speedups = parsed
+            .get("geomean_speedup_vs_1core")
+            .and_then(|e| e.get("VEGETA-S-16-2"))
+            .expect("engine entry");
+        let at4 = speedups
+            .get("4")
+            .and_then(JsonValue::as_f64)
+            .expect("4-core");
+        assert!(at4 > 1.0, "4 cores must beat 1: {at4}");
+        assert!(
+            speedups.get("1").and_then(JsonValue::as_f64).unwrap() > 0.999,
+            "the baseline's speedup over itself is 1"
+        );
+    }
+
+    #[test]
+    fn scaling_core_counts_start_at_the_baseline() {
+        let counts = scaling_core_counts();
+        assert_eq!(counts[0], 1, "speedups are normalized to 1 core");
+        assert!(counts.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -91,7 +91,10 @@ pub mod prelude {
     };
     pub use vegeta_model::{GranularityHw, GranularityModel};
     pub use vegeta_num::{Bf16, Matrix};
-    pub use vegeta_sim::{CoreSim, SimConfig, SimResult};
+    pub use vegeta_sim::{
+        CoreSim, MultiCoreConfig, MultiCoreResult, MultiCoreSim, SharedL2Stats, SimConfig,
+        SimResult,
+    };
     pub use vegeta_sparse::{
         CompressedTile, CsrTile, DenseTile, FormatSpec, MregImage, NmRatio, RowWiseTile,
         TileFormat, TileView, TregImage,

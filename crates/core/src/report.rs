@@ -11,6 +11,7 @@
 use std::path::PathBuf;
 
 use vegeta_kernels::GemmShape;
+use vegeta_sim::SharedL2Stats;
 
 use crate::json::{JsonError, JsonValue};
 
@@ -107,15 +108,32 @@ pub struct RunReport {
     pub macs: u64,
     /// Core clock the run was simulated at, in GHz.
     pub core_ghz: f64,
+    /// Cores the GEMM was sharded across (1 for the classic single-core
+    /// path; `cycles` is then the multi-core makespan including the
+    /// end-of-shard barrier).
+    pub cores: usize,
+    /// Per-core cycle counts of a multi-core run, in core order (empty for
+    /// single-core runs).
+    pub per_core_cycles: Vec<u64>,
+    /// Shared-L2 hit/miss/sharing statistics of a multi-core run (all
+    /// zeros for single-core runs, which model a flat private L2).
+    pub shared_l2: SharedL2Stats,
+    /// Parallel efficiency of the run: the mean fraction of the makespan
+    /// each core spent busy (`Σ per-core cycles / (cores × makespan)`,
+    /// see [`vegeta_sim::MultiCoreResult::scaling_efficiency`]); 1.0 for
+    /// single-core runs, 0.0 for zero-cycle runs.
+    pub scaling_efficiency: f64,
 }
 
 impl RunReport {
-    /// Fraction of the runtime the matrix engine had work in flight.
+    /// Fraction of the runtime the matrix engine had work in flight —
+    /// for multi-core runs the *mean per-core* fraction of the makespan
+    /// (`engine_busy_cycles` is the across-core sum).
     pub fn utilization(&self) -> f64 {
         if self.cycles == 0 {
             return 0.0;
         }
-        self.engine_busy_cycles as f64 / self.cycles as f64
+        self.engine_busy_cycles as f64 / (self.cores.max(1) as f64 * self.cycles as f64)
     }
 
     /// Instructions per core cycle.
@@ -165,6 +183,26 @@ impl RunReport {
             ),
             ("macs".into(), self.macs.into()),
             ("core_ghz".into(), self.core_ghz.into()),
+            ("cores".into(), self.cores.into()),
+            (
+                "per_core_cycles".into(),
+                JsonValue::Array(
+                    self.per_core_cycles
+                        .iter()
+                        .map(|&c| JsonValue::from(c))
+                        .collect(),
+                ),
+            ),
+            (
+                "shared_l2".into(),
+                JsonValue::Object(vec![
+                    ("accesses".into(), self.shared_l2.accesses.into()),
+                    ("hits".into(), self.shared_l2.hits.into()),
+                    ("misses".into(), self.shared_l2.misses.into()),
+                    ("shared_hits".into(), self.shared_l2.shared_hits.into()),
+                ]),
+            ),
+            ("scaling_efficiency".into(), self.scaling_efficiency.into()),
             ("utilization".into(), self.utilization().into()),
             ("effective_tflops".into(), self.effective_tflops().into()),
         ])
@@ -225,21 +263,64 @@ impl RunReport {
                 .get("core_ghz")
                 .and_then(JsonValue::as_f64)
                 .ok_or(ReportError::Field("core_ghz"))?,
+            // The multi-core fields default to single-core values when
+            // absent, so reports written before the scale-out refactor
+            // still parse; when present they must be well-formed.
+            cores: match v.get("cores") {
+                None => 1,
+                Some(c) => c.as_u64().ok_or(ReportError::Field("cores"))? as usize,
+            },
+            per_core_cycles: match v.get("per_core_cycles") {
+                None => Vec::new(),
+                Some(a) => a
+                    .as_array()
+                    .ok_or(ReportError::Field("per_core_cycles"))?
+                    .iter()
+                    .map(|c| c.as_u64().ok_or(ReportError::Field("per_core_cycles")))
+                    .collect::<Result<Vec<u64>, ReportError>>()?,
+            },
+            shared_l2: match v.get("shared_l2") {
+                None => SharedL2Stats::default(),
+                Some(l2) => {
+                    let lu = |name: &'static str| -> Result<u64, ReportError> {
+                        l2.get(name)
+                            .and_then(JsonValue::as_u64)
+                            .ok_or(ReportError::Field("shared_l2"))
+                    };
+                    SharedL2Stats {
+                        accesses: lu("accesses")?,
+                        hits: lu("hits")?,
+                        misses: lu("misses")?,
+                        shared_hits: lu("shared_hits")?,
+                    }
+                }
+            },
+            scaling_efficiency: match v.get("scaling_efficiency") {
+                None => 1.0,
+                Some(s) => s.as_f64().ok_or(ReportError::Field("scaling_efficiency"))?,
+            },
         })
     }
 
     /// The CSV header matching [`RunReport::csv_row`].
     pub fn csv_header() -> &'static str {
         "workload,sparsity,fidelity,engine,kernel,format,a_values_bytes,a_metadata_bits,\
-         m,n,k,cycles,instructions,insts_streamed,peak_resident_bytes,\
-         utilization,effective_tflops"
+         m,n,k,cores,cycles,per_core_cycles,scaling_efficiency,shared_l2_shared_hits,\
+         instructions,insts_streamed,peak_resident_bytes,utilization,effective_tflops"
     }
 
     /// One CSV row (fields quoted where needed — engine names contain
     /// commas-free parentheses only, but quote defensively).
+    /// `per_core_cycles` is `;`-joined (empty for single-core runs).
     pub fn csv_row(&self) -> String {
+        let per_core = self
+            .per_core_cycles
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(";");
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.4}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{},{:.4},{:.4}",
             csv_field(&self.workload),
             csv_field(&self.sparsity),
             csv_field(&self.fidelity),
@@ -251,7 +332,11 @@ impl RunReport {
             self.shape.m,
             self.shape.n,
             self.shape.k,
+            self.cores,
             self.cycles,
+            per_core,
+            self.scaling_efficiency,
+            self.shared_l2.shared_hits,
             self.instructions,
             self.insts_streamed,
             self.peak_resident_bytes,
@@ -389,6 +474,55 @@ impl SweepReport {
         self.cells.iter().map(|c| c.cycles).max()
     }
 
+    /// Unique core counts, in first-appearance (grid) order (`[1]` for
+    /// sweeps without a cores axis).
+    pub fn cores_values(&self) -> Vec<usize> {
+        let mut values: Vec<usize> = Vec::new();
+        for c in &self.cells {
+            if !values.contains(&c.cores) {
+                values.push(c.cores);
+            }
+        }
+        values
+    }
+
+    /// The cell for a workload/engine/sparsity combination at a specific
+    /// core count.
+    pub fn get_cores(
+        &self,
+        workload: &str,
+        engine: &str,
+        sparsity: &str,
+        cores: usize,
+    ) -> Option<&RunReport> {
+        self.cells.iter().find(|c| {
+            c.workload == workload
+                && c.engine == engine
+                && c.sparsity == sparsity
+                && c.cores == cores
+        })
+    }
+
+    /// Geometric-mean speedup of `engine` at `cores` cores over its own
+    /// 1-core cells, across every workload at the given sparsity — the
+    /// strong-scaling curve of a cores sweep. `None` if any cell is
+    /// missing.
+    pub fn geomean_core_scaling(&self, engine: &str, sparsity: &str, cores: usize) -> Option<f64> {
+        let ratios: Option<Vec<f64>> = self
+            .workloads()
+            .iter()
+            .map(|w| {
+                let one = self.get_cores(w, engine, sparsity, 1)?;
+                let many = self.get_cores(w, engine, sparsity, cores)?;
+                if many.cycles == 0 {
+                    return None;
+                }
+                Some(one.cycles as f64 / many.cycles as f64)
+            })
+            .collect();
+        geomean(&ratios?)
+    }
+
     /// Geometric-mean speedup of `engine` over `baseline` across every
     /// workload at the given sparsity; `None` if any cell is missing or the
     /// grid is empty.
@@ -481,6 +615,10 @@ mod tests {
             peak_resident_bytes: 4096,
             macs: 1_048_576,
             core_ghz: 2.0,
+            cores: 1,
+            per_core_cycles: Vec::new(),
+            shared_l2: SharedL2Stats::default(),
+            scaling_efficiency: 1.0,
         }
     }
 
@@ -498,6 +636,89 @@ mod tests {
         let r = sample("BERT-L2", "RASA-DM (VEGETA-D-1-2)", "2:4", 123_456);
         let back = RunReport::from_json(&r.to_json()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn multi_core_fields_round_trip_through_json_and_csv() {
+        let mut r = sample("GPT-L1", "VEGETA-S-16-2", "2:4", 50_000);
+        r.cores = 4;
+        r.per_core_cycles = vec![49_000, 48_500, 49_900, 47_000];
+        r.shared_l2 = SharedL2Stats {
+            accesses: 1000,
+            hits: 990,
+            misses: 10,
+            shared_hits: 600,
+        };
+        r.scaling_efficiency = 0.97;
+        // engine_busy_cycles is the across-core sum: utilization must stay
+        // a per-core mean fraction, never exceed 1 because of the summing.
+        r.engine_busy_cycles = 4 * r.cycles;
+        assert!((r.utilization() - 1.0).abs() < 1e-12);
+        r.engine_busy_cycles = r.cycles;
+        assert!((r.utilization() - 0.25).abs() < 1e-12);
+        let back = RunReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        let row = r.csv_row();
+        assert!(row.contains(",4,50000,49000;48500;49900;47000,0.9700,600,"));
+        assert_eq!(
+            row.split(',').count(),
+            RunReport::csv_header().split(',').count(),
+            "row and header column counts agree"
+        );
+    }
+
+    #[test]
+    fn pre_scale_out_json_parses_with_single_core_defaults() {
+        // A report serialized before the multi-core fields existed: strip
+        // them and the parse must fall back to single-core values.
+        let r = sample("L", "E", "2:4", 1000);
+        let v = JsonValue::parse(&r.to_json()).unwrap();
+        let JsonValue::Object(fields) = v else {
+            unreachable!()
+        };
+        let stripped = JsonValue::Object(
+            fields
+                .into_iter()
+                .filter(|(k, _)| {
+                    !matches!(
+                        k.as_str(),
+                        "cores" | "per_core_cycles" | "shared_l2" | "scaling_efficiency"
+                    )
+                })
+                .collect(),
+        );
+        let back = RunReport::from_json_value(&stripped).unwrap();
+        assert_eq!(back, r, "defaults reconstruct the single-core report");
+        // Present-but-mistyped fields are still refused.
+        let mut broken = stripped;
+        if let JsonValue::Object(fields) = &mut broken {
+            fields.push(("cores".into(), JsonValue::String("four".into())));
+        }
+        assert!(matches!(
+            RunReport::from_json_value(&broken),
+            Err(ReportError::Field("cores"))
+        ));
+    }
+
+    #[test]
+    fn sweep_report_core_scaling_helpers() {
+        let mut one = sample("L1", "E", "2:4", 4000);
+        let mut four = sample("L1", "E", "2:4", 1000);
+        one.cores = 1;
+        four.cores = 4;
+        four.per_core_cycles = vec![990, 980, 1000, 960];
+        let report = SweepReport {
+            cells: vec![one, four],
+            traces_built: 1,
+            trace_cache_hits: 1,
+            cache: vegeta_kernels::TraceCacheStats::default(),
+            threads: 1,
+        };
+        assert_eq!(report.cores_values(), vec![1, 4]);
+        assert_eq!(report.get_cores("L1", "E", "2:4", 4).unwrap().cycles, 1000);
+        let scaling = report.geomean_core_scaling("E", "2:4", 4).unwrap();
+        assert!((scaling - 4.0).abs() < 1e-12);
+        assert_eq!(report.geomean_core_scaling("E", "2:4", 8), None);
     }
 
     #[test]

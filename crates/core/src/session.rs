@@ -40,7 +40,7 @@ use rand::SeedableRng;
 use vegeta_engine::EngineConfig;
 use vegeta_isa::trace::Trace;
 use vegeta_kernels::{EngineKernelExt, Kernel, KernelOptions, KernelSpec, SparseMode, TraceCache};
-use vegeta_sim::{CoreSim, SimConfig};
+use vegeta_sim::{CoreSim, MultiCoreConfig, MultiCoreSim, SimConfig};
 use vegeta_sparse::{prune, transform, FormatSpec, NmRatio};
 use vegeta_workloads::Layer;
 
@@ -152,6 +152,93 @@ impl std::fmt::Display for Fidelity {
 /// [`vegeta_sim::PROGRESS_STRIDE`] instructions and at completion.
 pub type ProgressFn = Arc<dyn Fn(&str, u64, u64) + Send + Sync>;
 
+/// The execution-side numbers of one simulated cell, whichever simulator
+/// produced them — the single place a cell's `RunReport` is assembled
+/// from (see [`CellOutcome::report`]).
+struct CellOutcome {
+    cycles: u64,
+    instructions: u64,
+    tile_compute: u64,
+    engine_busy_cycles: u64,
+    peak_resident_bytes: u64,
+    cores: usize,
+    per_core_cycles: Vec<u64>,
+    shared_l2: vegeta_sim::SharedL2Stats,
+    scaling_efficiency: f64,
+}
+
+impl From<vegeta_sim::SimResult> for CellOutcome {
+    fn from(res: vegeta_sim::SimResult) -> Self {
+        CellOutcome {
+            cycles: res.core_cycles,
+            instructions: res.instructions,
+            tile_compute: res.tile_compute,
+            engine_busy_cycles: res.engine_busy_cycles,
+            peak_resident_bytes: res.peak_resident_bytes,
+            cores: 1,
+            per_core_cycles: Vec::new(),
+            shared_l2: Default::default(),
+            scaling_efficiency: if res.core_cycles == 0 { 0.0 } else { 1.0 },
+        }
+    }
+}
+
+impl From<vegeta_sim::MultiCoreResult> for CellOutcome {
+    fn from(res: vegeta_sim::MultiCoreResult) -> Self {
+        CellOutcome {
+            cycles: res.core_cycles,
+            instructions: res.instructions(),
+            tile_compute: res.tile_compute(),
+            engine_busy_cycles: res.engine_busy_cycles(),
+            peak_resident_bytes: res.peak_resident_bytes(),
+            scaling_efficiency: res.scaling_efficiency(),
+            per_core_cycles: res.per_core_cycles(),
+            cores: res.cores,
+            shared_l2: res.shared_l2,
+        }
+    }
+}
+
+impl CellOutcome {
+    /// Labels the outcome into the full cell report (every session run
+    /// streams, so `insts_streamed == instructions`).
+    #[allow(clippy::too_many_arguments)] // internal plumbing behind every run_* entry point
+    fn report(
+        self,
+        engine: &EngineConfig,
+        sim: &SimConfig,
+        workload: &str,
+        sparsity: String,
+        fidelity: Fidelity,
+        shape: GemmShape,
+        spec: &KernelSpec,
+    ) -> RunReport {
+        RunReport {
+            workload: workload.to_string(),
+            engine: engine.name().to_string(),
+            sparsity,
+            fidelity: fidelity.to_string(),
+            kernel: spec.name(),
+            format: spec.format().to_string(),
+            a_values_bytes: spec.a_values_bytes(shape),
+            a_metadata_bits: spec.a_metadata_bits(shape),
+            shape,
+            cycles: self.cycles,
+            instructions: self.instructions,
+            tile_compute: self.tile_compute,
+            engine_busy_cycles: self.engine_busy_cycles,
+            insts_streamed: self.instructions,
+            peak_resident_bytes: self.peak_resident_bytes,
+            macs: shape.macs(),
+            core_ghz: sim.core_ghz,
+            cores: self.cores,
+            per_core_cycles: self.per_core_cycles,
+            shared_l2: self.shared_l2,
+            scaling_efficiency: self.scaling_efficiency,
+        }
+    }
+}
+
 /// Simulates one `(engine, shape, spec)` cell through the streaming
 /// pipeline — the trace is generated lazily and never materialized — and
 /// wraps it in a report including the executed kernel's storage-format
@@ -177,25 +264,45 @@ fn run_cell(
         }
         None => core.run_stream(&mut stream),
     };
-    RunReport {
-        workload: workload.to_string(),
-        engine: engine.name().to_string(),
-        sparsity,
-        fidelity: fidelity.to_string(),
-        kernel: spec.name(),
-        format: spec.format().to_string(),
-        a_values_bytes: spec.a_values_bytes(shape),
-        a_metadata_bits: spec.a_metadata_bits(shape),
-        shape,
-        cycles: res.core_cycles,
-        instructions: res.instructions,
-        tile_compute: res.tile_compute,
-        engine_busy_cycles: res.engine_busy_cycles,
-        insts_streamed: res.instructions,
-        peak_resident_bytes: res.peak_resident_bytes,
-        macs: shape.macs(),
-        core_ghz: sim.core_ghz,
-    }
+    CellOutcome::from(res).report(engine, sim, workload, sparsity, fidelity, shape, spec)
+}
+
+/// Simulates one `(engine, shape, spec)` cell sharded across `cores` cores
+/// of a [`MultiCoreSim`]: the kernel's tile-loop nest is partitioned by
+/// M-tile rows ([`KernelSpec::shard_streams`]), each shard streams through
+/// its own core (private L1 + engine), and the cores share one
+/// coherence-free L2. The report's `cycles` is the makespan including the
+/// end-of-shard barrier; per-core cycles, shared-L2 stats and the run's
+/// parallel efficiency ride along.
+#[allow(clippy::too_many_arguments)] // internal plumbing behind every run_* entry point
+fn run_cell_cores(
+    engine: &EngineConfig,
+    sim: &SimConfig,
+    cache: &TraceCache,
+    workload: &str,
+    sparsity: String,
+    fidelity: Fidelity,
+    shape: GemmShape,
+    spec: &KernelSpec,
+    cores: usize,
+    progress: Option<&ProgressFn>,
+) -> RunReport {
+    // Memoize the unsharded generator summary so sweeps account trace
+    // construction identically whichever axis ran first.
+    cache.summary(shape, spec);
+    let shards = spec.shard_streams(shape, cores);
+    let mut sim_mc = MultiCoreSim::new(
+        MultiCoreConfig::with_core(sim.clone(), cores),
+        engine.clone(),
+    );
+    let res = match progress {
+        Some(p) => {
+            let mut cb = |done: u64, total: u64| p(workload, done, total);
+            sim_mc.run_streams_with(shards, Some(&mut cb))
+        }
+        None => sim_mc.run_streams(shards),
+    };
+    CellOutcome::from(res).report(engine, sim, workload, sparsity, fidelity, shape, spec)
 }
 
 /// Synthesizes the sorted §V-E row covers a row-wise format cell executes:
@@ -388,6 +495,66 @@ impl Session {
         self.run_layer_at(layer, weights, Fidelity::Full)
     }
 
+    /// Runs one Table IV layer sharded across `cores` matrix-engine cores
+    /// at full fidelity (see [`Session::run_layer_cores_at`]).
+    pub fn run_layer_cores(&self, layer: &Layer, weights: NmRatio, cores: usize) -> RunReport {
+        self.run_layer_cores_at(layer, weights, Fidelity::Full, cores)
+    }
+
+    /// Runs one Table IV layer sharded across `cores` cores of a
+    /// [`vegeta_sim::MultiCoreSim`] at the given fidelity: the kernel is
+    /// split by M-tile rows into one stream per core, private L1s share a
+    /// coherence-free L2, and the report carries the makespan (barrier
+    /// included), per-core cycles, shared-L2 stats and parallel
+    /// efficiency. `cores == 1` runs the same harness with a single shard
+    /// (cycle-identical to [`Session::run_layer_at`] — the barrier is free
+    /// for one core).
+    pub fn run_layer_cores_at(
+        &self,
+        layer: &Layer,
+        weights: NmRatio,
+        fidelity: Fidelity,
+        cores: usize,
+    ) -> RunReport {
+        let spec = self.engine.kernel_spec(weights, self.opts);
+        run_cell_cores(
+            &self.engine,
+            &self.sim,
+            &self.cache,
+            layer.name,
+            weights.to_string(),
+            fidelity,
+            fidelity.shape_of(layer),
+            &spec,
+            cores,
+            self.progress.as_ref(),
+        )
+    }
+
+    /// Runs an ad-hoc GEMM shape sharded across `cores` cores (the
+    /// ad-hoc-shape twin of [`Session::run_layer_cores_at`]).
+    pub fn run_shape_cores(
+        &self,
+        workload: &str,
+        shape: GemmShape,
+        weights: NmRatio,
+        cores: usize,
+    ) -> RunReport {
+        let spec = self.engine.kernel_spec(weights, self.opts);
+        run_cell_cores(
+            &self.engine,
+            &self.sim,
+            &self.cache,
+            workload,
+            weights.to_string(),
+            Fidelity::Full,
+            shape,
+            &spec,
+            cores,
+            self.progress.as_ref(),
+        )
+    }
+
     /// Runs one layer scaled down by `factor` (see [`Layer::scaled_shape`]).
     pub fn run_layer_scaled(&self, layer: &Layer, weights: NmRatio, factor: usize) -> RunReport {
         self.run_layer_at(layer, weights, Fidelity::from_factor(factor))
@@ -466,6 +633,10 @@ impl Session {
             peak_resident_bytes: res.peak_resident_bytes,
             macs: shape.macs(),
             core_ghz: self.sim.core_ghz,
+            cores: 1,
+            per_core_cycles: Vec::new(),
+            shared_l2: Default::default(),
+            scaling_efficiency: if res.core_cycles == 0 { 0.0 } else { 1.0 },
         }
     }
 
@@ -514,7 +685,7 @@ enum GridAxis {
 }
 
 /// A grid runner over engine × workload × {sparsity pattern | storage
-/// format} combinations.
+/// format} × core-count combinations.
 ///
 /// The middle axis mixes two kinds of entries: weight-sparsity patterns
 /// ([`Sweep::with_sparsities`], the Fig. 13 axis — the engine chooses how
@@ -534,6 +705,7 @@ pub struct Sweep {
     sparsities: Vec<NmRatio>,
     formats: Vec<FormatSpec>,
     fidelities: Vec<Fidelity>,
+    cores: Vec<usize>,
     unstructured_degree: f64,
     scale: usize,
     sim: SimConfig,
@@ -550,6 +722,7 @@ impl Default for Sweep {
             sparsities: Vec::new(),
             formats: Vec::new(),
             fidelities: Vec::new(),
+            cores: Vec::new(),
             unstructured_degree: DEFAULT_UNSTRUCTURED_DEGREE,
             scale: 1,
             sim: SimConfig::default(),
@@ -660,6 +833,32 @@ impl Sweep {
         self
     }
 
+    /// Adds one core count to the grid (see [`Sweep::with_cores`]).
+    pub fn with_core_count(mut self, cores: usize) -> Self {
+        self.cores.push(cores.max(1));
+        self
+    }
+
+    /// Adds core counts to the grid, making multi-core scale-out a
+    /// first-class experiment axis: every cell runs sharded across each
+    /// requested core count through [`vegeta_sim::MultiCoreSim`]
+    /// (`with_cores([1, 2, 4, 8, 16])` is the classic strong-scaling
+    /// sweep). With no cores axis the grid runs the classic single-core
+    /// [`CoreSim`] path, byte-identical to pre-scale-out sweeps.
+    pub fn with_cores(mut self, cores: impl IntoIterator<Item = usize>) -> Self {
+        self.cores.extend(cores.into_iter().map(|c| c.max(1)));
+        self
+    }
+
+    /// The grid's cores axis: `None` marks the classic single-core path.
+    fn effective_cores(&self) -> Vec<Option<usize>> {
+        if self.cores.is_empty() {
+            vec![None]
+        } else {
+            self.cores.iter().map(|&c| Some(c)).collect()
+        }
+    }
+
     /// The grid's fidelity axis: explicit entries, else the scale factor.
     fn effective_fidelities(&self) -> Vec<Fidelity> {
         if self.fidelities.is_empty() {
@@ -699,6 +898,7 @@ impl Sweep {
         self.engines.len()
             * self.layers.len()
             * self.effective_fidelities().len()
+            * self.effective_cores().len()
             * (self.sparsities.len() + self.formats.len())
     }
 
@@ -715,7 +915,7 @@ impl Sweep {
 
     /// Runs the grid and returns the report; cells appear workload-major,
     /// then fidelity, then axis entry (sparsities before formats), then
-    /// engine, whatever the thread count.
+    /// core count, then engine, whatever the thread count.
     pub fn run(&self) -> SweepReport {
         // Enumerate cells in their deterministic report order.
         let axes: Vec<GridAxis> = self
@@ -725,13 +925,16 @@ impl Sweep {
             .chain(self.formats.iter().map(|&f| GridAxis::Format(f)))
             .collect();
         let fidelities = self.effective_fidelities();
-        let mut cells: Vec<(&Layer, Fidelity, GridAxis, &EngineConfig)> =
+        let cores_axis = self.effective_cores();
+        let mut cells: Vec<(&Layer, Fidelity, GridAxis, Option<usize>, &EngineConfig)> =
             Vec::with_capacity(self.cell_count());
         for layer in &self.layers {
             for &fidelity in &fidelities {
                 for &axis in &axes {
-                    for engine in &self.engines {
-                        cells.push((layer, fidelity, axis, engine));
+                    for &cores in &cores_axis {
+                        for engine in &self.engines {
+                            cells.push((layer, fidelity, axis, cores, engine));
+                        }
                     }
                 }
             }
@@ -759,10 +962,11 @@ impl Sweep {
             }
         }
 
-        let run_one = |(layer, fidelity, axis, engine): &(
+        let run_one = |(layer, fidelity, axis, cores, engine): &(
             &Layer,
             Fidelity,
             GridAxis,
+            Option<usize>,
             &EngineConfig,
         )|
          -> RunReport {
@@ -783,17 +987,32 @@ impl Sweep {
                     format.to_string(),
                 ),
             };
-            run_cell(
-                engine,
-                &self.sim,
-                &self.cache,
-                layer.name,
-                label,
-                *fidelity,
-                shape,
-                &spec,
-                None,
-            )
+            match *cores {
+                // The classic single-core path (no cores axis requested).
+                None => run_cell(
+                    engine,
+                    &self.sim,
+                    &self.cache,
+                    layer.name,
+                    label,
+                    *fidelity,
+                    shape,
+                    &spec,
+                    None,
+                ),
+                Some(n) => run_cell_cores(
+                    engine,
+                    &self.sim,
+                    &self.cache,
+                    layer.name,
+                    label,
+                    *fidelity,
+                    shape,
+                    &spec,
+                    n,
+                    None,
+                ),
+            }
         };
 
         let reports: Vec<RunReport> = if threads <= 1 {
@@ -1161,6 +1380,104 @@ mod tests {
             report.cache.resident, 0,
             "sweeps stream; nothing materializes"
         );
+    }
+
+    #[test]
+    fn single_core_sharded_run_matches_the_classic_path() {
+        // cores = 1 through the multi-core harness: one shard, no barrier,
+        // no shared traffic — cycle-identical to the classic session run.
+        let layer = &table4()[7];
+        let session = Session::new(EngineConfig::vegeta_s(16).unwrap());
+        let classic = session.run_layer_at(layer, NmRatio::S2_4, Fidelity::Quick(8));
+        let sharded = session.run_layer_cores_at(layer, NmRatio::S2_4, Fidelity::Quick(8), 1);
+        assert_eq!(sharded.cycles, classic.cycles);
+        assert_eq!(sharded.instructions, classic.instructions);
+        assert_eq!(sharded.tile_compute, classic.tile_compute);
+        assert_eq!(sharded.cores, 1);
+        assert_eq!(sharded.per_core_cycles, vec![classic.cycles]);
+        assert_eq!(sharded.shared_l2.shared_hits, 0, "one core cannot share");
+        assert!((sharded.scaling_efficiency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharded_layers_scale_down_cycles() {
+        let layer = &table4()[7];
+        let session = Session::new(EngineConfig::vegeta_s(16).unwrap());
+        let mut last = u64::MAX;
+        for cores in [1usize, 2, 4] {
+            let report =
+                session.run_layer_cores_at(layer, NmRatio::S2_4, Fidelity::Quick(4), cores);
+            assert_eq!(report.cores, cores);
+            assert_eq!(report.per_core_cycles.len(), cores);
+            assert!(
+                report.cycles <= last,
+                "{cores} cores must not be slower: {} vs {last}",
+                report.cycles
+            );
+            assert!(report.scaling_efficiency > 0.0 && report.scaling_efficiency <= 1.0);
+            if cores > 1 {
+                assert!(
+                    report.shared_l2.shared_hits > 0,
+                    "shards share B tiles through the L2"
+                );
+            }
+            last = report.cycles;
+        }
+    }
+
+    #[test]
+    fn multi_core_runs_report_progress_too() {
+        use std::sync::Mutex;
+        let seen: Arc<Mutex<Vec<(String, u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let session = Session::new(EngineConfig::rasa_dm()).with_progress(Arc::new(
+            move |workload: &str, done, total| {
+                sink.lock()
+                    .unwrap()
+                    .push((workload.to_string(), done, total));
+            },
+        ));
+        let layer = &table4()[7];
+        let report = session.run_layer_cores_at(layer, NmRatio::D4_4, Fidelity::Quick(8), 4);
+        let events = seen.lock().unwrap();
+        let last = events.last().expect("at least the completion event");
+        assert_eq!(last.0, "BERT-L2");
+        assert_eq!(last.1, report.instructions);
+        assert_eq!(last.2, report.instructions, "summed shard totals are exact");
+    }
+
+    #[test]
+    fn sweep_cores_axis_grids_and_orders_deterministically() {
+        let layer = table4()[7];
+        let sweep = Sweep::new()
+            .with_engines([EngineConfig::rasa_dm(), EngineConfig::vegeta_s(16).unwrap()])
+            .with_layer(layer)
+            .with_sparsity(NmRatio::S2_4)
+            .with_cores([1, 4])
+            .with_scale(8)
+            .with_threads(2);
+        assert_eq!(sweep.cell_count(), 4);
+        let report = sweep.run();
+        assert_eq!(report.cells.len(), 4);
+        // Order: cores-major over engines within one axis entry.
+        assert_eq!(report.cells[0].cores, 1);
+        assert_eq!(report.cells[0].engine, "RASA-DM (VEGETA-D-1-2)");
+        assert_eq!(report.cells[1].cores, 1);
+        assert_eq!(report.cells[2].cores, 4);
+        assert_eq!(report.cores_values(), vec![1, 4]);
+        let scaling = report
+            .geomean_core_scaling("VEGETA-S-16-2", "2:4", 4)
+            .expect("both core counts present");
+        assert!(scaling > 1.0, "4 cores must beat 1: {scaling}");
+        // A sweep without a cores axis stays on the classic path.
+        let classic = Sweep::new()
+            .with_engine(EngineConfig::rasa_dm())
+            .with_layer(layer)
+            .with_sparsity(NmRatio::S2_4)
+            .with_scale(8)
+            .run();
+        assert_eq!(classic.cells[0].cores, 1);
+        assert!(classic.cells[0].per_core_cycles.is_empty());
     }
 
     #[test]

@@ -171,6 +171,92 @@ pub trait BlockEmitter {
     }
 }
 
+/// A contiguous block-range view of another emitter: the stream-splitting
+/// primitive behind multi-core sharding.
+///
+/// A `BlockSlice` re-exposes blocks `[first, first + count)` of the inner
+/// emitter as blocks `[0, count)`, so wrapping it in a [`ChunkedStream`]
+/// yields an exact-length, byte-accounted stream of just that range.
+/// Slices taken over a partition of the inner emitter's block range (see
+/// [`even_ranges`]) concatenate back to the whole trace in order.
+#[derive(Debug, Clone)]
+pub struct BlockSlice<E> {
+    inner: E,
+    first: usize,
+    count: usize,
+}
+
+impl<E: BlockEmitter> BlockSlice<E> {
+    /// A view of blocks `[first, first + count)` of `inner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the inner emitter's block count.
+    pub fn new(inner: E, first: usize, count: usize) -> Self {
+        assert!(
+            first + count <= inner.blocks(),
+            "slice [{first}, {}) exceeds {} blocks",
+            first + count,
+            inner.blocks()
+        );
+        BlockSlice {
+            inner,
+            first,
+            count,
+        }
+    }
+
+    /// The wrapped emitter.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// The first inner block this slice exposes.
+    pub fn first_block(&self) -> usize {
+        self.first
+    }
+}
+
+impl<E: BlockEmitter> BlockEmitter for BlockSlice<E> {
+    fn blocks(&self) -> usize {
+        self.count
+    }
+
+    fn block_ops(&self, block: usize) -> u64 {
+        debug_assert!(block < self.count);
+        self.inner.block_ops(self.first + block)
+    }
+
+    fn emit_block(&self, block: usize, out: &mut Vec<TraceOp>) {
+        debug_assert!(block < self.count);
+        self.inner.emit_block(self.first + block, out);
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.inner.state_bytes()
+    }
+}
+
+/// Partitions `0..units` into `parts` contiguous, near-even ranges (sizes
+/// differ by at most one; some ranges are empty when `parts > units`).
+/// The canonical split multi-core sharding uses to assign outer loop
+/// units to cores.
+///
+/// # Example
+///
+/// ```
+/// use vegeta_isa::stream::even_ranges;
+///
+/// assert_eq!(even_ranges(7, 3), vec![0..2, 2..4, 4..7]);
+/// assert_eq!(even_ranges(2, 4), vec![0..0, 0..1, 1..1, 1..2]);
+/// ```
+pub fn even_ranges(units: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1);
+    (0..parts)
+        .map(|i| (i * units / parts)..((i + 1) * units / parts))
+        .collect()
+}
+
 /// Streams a [`BlockEmitter`] one block at a time through a reusable buffer.
 ///
 /// Peak residency is `max_block_ops × TRACE_OP_BYTES` plus the emitter's
@@ -338,6 +424,52 @@ mod tests {
         let mut s = ChunkedStream::new(Ramp { n: 0 });
         assert_eq!(s.remaining(), 0);
         assert_eq!(s.next_op(), None);
+    }
+
+    #[test]
+    fn block_slices_partition_a_stream_losslessly() {
+        let whole = ChunkedStream::new(Ramp { n: 9 }).collect_trace();
+        for parts in [1usize, 2, 3, 4, 9, 12] {
+            let mut rejoined = Trace::new();
+            let mut total = 0u64;
+            for range in even_ranges(9, parts) {
+                let mut shard =
+                    ChunkedStream::new(BlockSlice::new(Ramp { n: 9 }, range.start, range.len()));
+                total += shard.remaining();
+                for op in shard.collect_trace().ops() {
+                    rejoined.push(*op);
+                }
+            }
+            assert_eq!(total, whole.len() as u64, "{parts} parts");
+            assert_eq!(rejoined, whole, "{parts} parts");
+        }
+    }
+
+    #[test]
+    fn even_ranges_cover_contiguously_with_near_even_sizes() {
+        for units in [0usize, 1, 5, 7, 16, 33] {
+            for parts in [1usize, 2, 3, 8, 40] {
+                let ranges = even_ranges(units, parts);
+                assert_eq!(ranges.len(), parts);
+                assert_eq!(ranges.first().unwrap().start, 0);
+                assert_eq!(ranges.last().unwrap().end, units);
+                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "contiguous");
+                }
+                let (min, max) = (
+                    sizes.iter().min().copied().unwrap(),
+                    sizes.iter().max().copied().unwrap(),
+                );
+                assert!(max - min <= 1, "near-even: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn block_slice_rejects_out_of_range() {
+        let _ = BlockSlice::new(Ramp { n: 3 }, 2, 2);
     }
 
     #[test]

@@ -163,6 +163,29 @@ impl KernelSpec {
     pub fn stream(&self, shape: GemmShape) -> KernelStream {
         KernelEmitter::for_spec(self, shape).stream()
     }
+
+    /// Shards this kernel's trace into `n` independent streams by M-tile
+    /// rows (see [`KernelEmitter::shard`]): each shard is an exact-length,
+    /// byte-accounted stream over a contiguous range of the tile-loop
+    /// nest, and the shards concatenated in order replay exactly
+    /// [`KernelSpec::stream`]. The unit of work each core of a multi-core
+    /// simulation consumes.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vegeta_isa::stream::InstStream;
+    /// use vegeta_kernels::{GemmShape, KernelSpec, SparseMode};
+    ///
+    /// let spec = KernelSpec::tiled(SparseMode::Nm2of4);
+    /// let shape = GemmShape::new(128, 64, 256);
+    /// let shards = spec.shard_streams(shape, 4);
+    /// let total: u64 = shards.iter().map(|s| s.remaining()).sum();
+    /// assert_eq!(total, spec.stream(shape).remaining());
+    /// ```
+    pub fn shard_streams(&self, shape: GemmShape, n: usize) -> Vec<crate::stream::ShardStream> {
+        KernelEmitter::for_spec(self, shape).shard(n)
+    }
 }
 
 impl Kernel for KernelSpec {

@@ -15,7 +15,7 @@
 //!
 //! [`InstStream`]: vegeta_isa::stream::InstStream
 
-use vegeta_isa::stream::{BlockEmitter, ChunkedStream};
+use vegeta_isa::stream::{even_ranges, BlockEmitter, BlockSlice, ChunkedStream};
 use vegeta_isa::trace::TraceOp;
 use vegeta_sparse::NmRatio;
 
@@ -27,6 +27,11 @@ use crate::GemmShape;
 
 /// A streaming kernel trace: a [`ChunkedStream`] over a [`KernelEmitter`].
 pub type KernelStream = ChunkedStream<KernelEmitter>;
+
+/// One shard of a kernel trace: a [`ChunkedStream`] over a contiguous
+/// [`BlockSlice`] of the kernel's tile-loop nest (see
+/// [`KernelEmitter::shard`]).
+pub type ShardStream = ChunkedStream<BlockSlice<KernelEmitter>>;
 
 /// The compact trace generator for one kernel invocation: shape + format +
 /// loop plan, no per-instruction state.
@@ -121,6 +126,49 @@ impl KernelEmitter {
     /// Wraps the generator in an exact-length chunked stream.
     pub fn stream(self) -> KernelStream {
         ChunkedStream::new(self)
+    }
+
+    /// The emitter's `(outer M-row units, blocks per unit)` decomposition:
+    /// every kernel family orders its blocks outer-unit-major, where an
+    /// outer unit covers a contiguous range of `A`/`C` row tiles
+    /// (accumulator groups for the tiled kernel, output row tiles for
+    /// Listing 1, packed row groups for the row-wise kernel, `A` row
+    /// blocks for the vector baseline). Sharding partitions this outer
+    /// axis, so shard boundaries always fall on M-row boundaries.
+    pub fn shard_layout(&self) -> (usize, usize) {
+        match &self.inner {
+            Inner::Tiled {
+                groups, tiles_n, ..
+            } => (groups.len(), *tiles_n),
+            Inner::Listing1 {
+                tiles_m, tiles_n, ..
+            } => (*tiles_m, *tiles_n),
+            Inner::RowWise {
+                tiles_n, groups, ..
+            } => (*groups, *tiles_n),
+            Inner::Vector { shape } => crate::vector::vector_shard_layout(*shape),
+        }
+    }
+
+    /// Splits the kernel's trace into `n` independent, exact-length shard
+    /// streams by partitioning the outer M-row units of
+    /// [`KernelEmitter::shard_layout`] into near-even contiguous ranges —
+    /// a range split over the affine address plan, with no trace
+    /// materialization. Shards replayed in order concatenate to exactly
+    /// the unsharded stream; when `n` exceeds the outer unit count some
+    /// shards are empty.
+    pub fn shard(self, n: usize) -> Vec<ShardStream> {
+        let (outer, inner) = self.shard_layout();
+        even_ranges(outer, n)
+            .into_iter()
+            .map(|r| {
+                ChunkedStream::new(BlockSlice::new(
+                    self.clone(),
+                    r.start * inner,
+                    r.len() * inner,
+                ))
+            })
+            .collect()
     }
 }
 
@@ -254,6 +302,39 @@ mod tests {
             vec_stream.remaining(),
             crate::vector::build_vector_gemm_trace(shape).len() as u64
         );
+    }
+
+    #[test]
+    fn shard_layout_factors_the_block_count_for_every_family() {
+        let shape = GemmShape::new(80, 40, 260);
+        let emitters = [
+            KernelEmitter::tiled(shape, SparseMode::Dense, KernelOptions::default()),
+            KernelEmitter::listing1(shape, SparseMode::Nm1of4),
+            KernelEmitter::rowwise(shape, 7),
+            KernelEmitter::vector(shape),
+        ];
+        for emitter in emitters {
+            let (outer, inner) = emitter.shard_layout();
+            assert_eq!(
+                outer * inner,
+                emitter.blocks(),
+                "outer × inner must tile the block range of {emitter:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharding_splits_on_outer_row_boundaries() {
+        let shape = GemmShape::new(96, 48, 512);
+        let emitter = KernelEmitter::tiled(shape, SparseMode::Nm2of4, KernelOptions::default());
+        let (_, inner) = emitter.shard_layout();
+        for shard in emitter.shard(3) {
+            assert_eq!(
+                shard.emitter().first_block() % inner,
+                0,
+                "every shard starts at an M-row boundary"
+            );
+        }
     }
 
     #[test]

@@ -34,6 +34,12 @@ pub(crate) fn vector_blocks(shape: GemmShape) -> usize {
     shape.m.div_ceil(I_BLOCK) * shape.n.div_ceil(J_BLOCK)
 }
 
+/// `(A row-blocks, C column-blocks)` of the vector GEMM's row-major block
+/// order — the outer/inner split M-row sharding partitions on.
+pub(crate) fn vector_shard_layout(shape: GemmShape) -> (usize, usize) {
+    (shape.m.div_ceil(I_BLOCK), shape.n.div_ceil(J_BLOCK))
+}
+
 /// Emits one vector-GEMM microkernel block.
 pub(crate) fn emit_vector_block(shape: GemmShape, block: usize, out: &mut Vec<TraceOp>) {
     let a_base = 0x0100_0000u64;

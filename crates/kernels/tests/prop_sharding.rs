@@ -1,0 +1,147 @@
+//! Shard-invariance properties of `KernelSpec::shard_streams`.
+//!
+//! Sharding partitions a kernel's tile-loop nest by M-tile rows for
+//! multi-core replay. Two invariants make the sharded run trustworthy:
+//!
+//! 1. **Functional invariance** — the shards, replayed in order, emit
+//!    exactly the same ops as the unsharded stream (so `n` cores execute
+//!    precisely the single-core kernel, redistributed);
+//! 2. **Exact-length accounting** — the sum of every shard's `remaining()`
+//!    equals the unsharded exact length (the progress/accounting contract
+//!    each core relies on), and each shard's declared length matches what
+//!    it actually emits.
+//!
+//! Both are checked for every kernel family × the execution modes the §VI
+//! engine classes select (dense baselines run dense, the STC-like engine
+//! runs 2:4, the VEGETA-S designs run every pattern), across arbitrary
+//! shapes and shard counts.
+
+use proptest::prelude::*;
+use vegeta_isa::stream::InstStream;
+use vegeta_isa::trace::Trace;
+use vegeta_kernels::{GemmShape, Kernel, KernelOptions, KernelSpec, SparseMode};
+use vegeta_sparse::NmRatio;
+
+/// Every kernel family, in the modes the §VI engine classes execute:
+/// dense / 2:4 / 1:4 tiled kernels (the VEGETA-D, STC-like and VEGETA-S
+/// execution modes), the Listing-1 baseline, the row-wise unstructured
+/// kernel, and the vector-engine fallback.
+fn all_family_specs() -> Vec<KernelSpec> {
+    let mut specs = Vec::new();
+    for mode in [SparseMode::Dense, SparseMode::Nm2of4, SparseMode::Nm1of4] {
+        specs.push(KernelSpec::tiled(mode));
+        specs.push(KernelSpec::Listing1 { mode });
+    }
+    specs.push(KernelSpec::Tiled {
+        mode: SparseMode::Nm2of4,
+        opts: KernelOptions {
+            unroll: 1,
+            loop_overhead: false,
+        },
+    });
+    let mut ratios = vec![NmRatio::S1_4; 11];
+    ratios.extend(vec![NmRatio::S2_4; 9]);
+    ratios.extend(vec![NmRatio::D4_4; 4]);
+    specs.push(KernelSpec::RowWise { row_ratios: ratios });
+    specs.push(KernelSpec::Vector);
+    specs
+}
+
+fn concat_shards(spec: &KernelSpec, shape: GemmShape, n: usize) -> (Trace, u64) {
+    let mut rejoined = Trace::new();
+    let mut declared = 0u64;
+    for mut shard in spec.shard_streams(shape, n) {
+        declared += shard.remaining();
+        let part = shard.collect_trace();
+        for op in part.ops() {
+            rejoined.push(*op);
+        }
+        assert_eq!(shard.remaining(), 0, "drained shard stays drained");
+    }
+    (rejoined, declared)
+}
+
+proptest! {
+    /// Concatenated shards replay functionally identical to the unsharded
+    /// stream, and the summed exact lengths agree, for every kernel family
+    /// and shard count — including shard counts exceeding the row count.
+    #[test]
+    fn shards_concatenate_to_the_unsharded_stream(
+        mt in 1usize..7,
+        nt in 1usize..4,
+        k in 1usize..280,
+        cores in 1usize..10,
+    ) {
+        let shape = GemmShape::new(mt * 16, nt * 16, k);
+        for spec in all_family_specs() {
+            let whole = spec.build(shape);
+            let (rejoined, declared) = concat_shards(&spec, shape, cores);
+            prop_assert_eq!(declared, whole.len() as u64, "exact length, {:?}", &spec);
+            prop_assert_eq!(rejoined, whole, "op-for-op identity, {:?}", &spec);
+        }
+    }
+
+    /// Ragged (non-tile-aligned) shapes shard just as losslessly.
+    #[test]
+    fn ragged_shapes_shard_losslessly(
+        m in 1usize..80,
+        n in 1usize..50,
+        k in 1usize..200,
+        cores in 1usize..6,
+    ) {
+        let shape = GemmShape::new(m, n, k);
+        for spec in [KernelSpec::tiled(SparseMode::Nm2of4), KernelSpec::Vector] {
+            let whole = spec.build(shape);
+            let (rejoined, declared) = concat_shards(&spec, shape, cores);
+            prop_assert_eq!(declared, whole.len() as u64);
+            prop_assert_eq!(rejoined, whole);
+        }
+    }
+}
+
+#[test]
+fn shard_count_one_is_the_identity() {
+    let shape = GemmShape::new(96, 48, 256);
+    for spec in all_family_specs() {
+        let shards = spec.shard_streams(shape, 1);
+        assert_eq!(shards.len(), 1);
+        let (rejoined, _) = concat_shards(&spec, shape, 1);
+        assert_eq!(rejoined, spec.build(shape));
+    }
+}
+
+#[test]
+fn shards_bound_residency_like_the_unsharded_stream() {
+    // Each shard's peak residency stays at one tile-loop cell — sharding
+    // must not reintroduce materialization anywhere.
+    let shape = GemmShape::new(256, 64, 512);
+    let spec = KernelSpec::tiled(SparseMode::Dense);
+    let whole_chunk = spec.stream(shape).max_block_ops();
+    for mut shard in spec.shard_streams(shape, 4) {
+        let bytes = shard.remaining() as usize * vegeta_isa::TRACE_OP_BYTES;
+        assert!(bytes > 0, "a 16-row-tile kernel fills all four shards");
+        while shard.next_op().is_some() {}
+        assert!(shard.max_block_ops() <= whole_chunk);
+        assert!(
+            shard.peak_resident_bytes() < bytes / 2,
+            "peak {} vs materialized {}",
+            shard.peak_resident_bytes(),
+            bytes
+        );
+    }
+}
+
+#[test]
+fn excess_cores_get_empty_shards_not_errors() {
+    // A 2-row-tile kernel sharded 8 ways: trailing shards are empty but
+    // well-formed (exact length 0, immediate drain).
+    let shape = GemmShape::new(32, 32, 128);
+    let spec = KernelSpec::tiled(SparseMode::Dense);
+    let shards = spec.shard_streams(shape, 8);
+    assert_eq!(shards.len(), 8);
+    let non_empty = shards.iter().filter(|s| s.remaining() > 0).count();
+    assert!(non_empty <= 2, "at most one shard per accumulator group");
+    let (rejoined, declared) = concat_shards(&spec, shape, 8);
+    assert_eq!(declared, spec.build(shape).len() as u64);
+    assert_eq!(rejoined, spec.build(shape));
+}

@@ -1,21 +1,37 @@
-//! A compact cache model for the evaluation's memory assumption.
+//! A compact two-level cache model for the evaluation's memory assumption.
 //!
 //! §VI-B fixes the memory system for the Fig. 13 experiments: "we assume
 //! that the data is prefetched to the L2 cache", so every miss in the L1 is
-//! an L2 hit. The model therefore only needs to decide L1-hit vs L2-hit and
-//! to count traffic; it tracks cache lines with an LRU replacement policy.
+//! served by the L2. The model therefore splits into
+//!
+//! * [`CacheModel`] — the **private L1** one core owns: LRU line tracking,
+//!   L1-hit vs beyond-L1 classification, traffic counting. On a miss it
+//!   either charges the flat backing-store latency (the single-core setup,
+//!   exactly the paper's assumption) or consults a shared next level.
+//! * [`SharedL2`] — the **shared L2** of a multi-core simulation: one
+//!   residency-tracked, coherence-free level every core's L1 misses flow
+//!   into. A line any core brought in hits for every other core (a *shared
+//!   hit* — no invalidations, the workloads are read-shared weights), and
+//!   under the §VI-B prefetch assumption even cold lines are already
+//!   resident. [`SharedL2Stats`] reports the hit/miss/sharing split.
+//!
+//! Per-core [`CacheStats`] merge across cores ([`CacheStats::merge`] /
+//! `+=`) so a multi-core run can report aggregate traffic.
 
 use std::collections::HashMap;
 
 /// Cache line size in bytes.
 pub const LINE_BYTES: u64 = 64;
 
-/// Access statistics of the cache model.
+/// Access statistics of one private L1 cache model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Line accesses that hit in L1.
     pub l1_hits: u64,
-    /// Line accesses that missed L1 (and hit L2, per the evaluation setup).
+    /// Line accesses that missed L1 and were served by the next level
+    /// (the always-hitting L2 of the single-core evaluation setup, or the
+    /// shared L2 of a multi-core run — its own hit/miss split lives in
+    /// [`SharedL2Stats`]).
     pub l2_hits: u64,
     /// Bytes transferred from the memory system into the core.
     pub bytes_read: u64,
@@ -23,7 +39,148 @@ pub struct CacheStats {
     pub bytes_written: u64,
 }
 
-/// An LRU-tracked L1 backed by an always-hitting L2.
+impl CacheStats {
+    /// Accumulates `other` into `self` — the aggregation a shared L2 (and
+    /// any per-core sweep rollup) needs.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+    }
+}
+
+impl std::ops::AddAssign<&CacheStats> for CacheStats {
+    fn add_assign(&mut self, other: &CacheStats) {
+        self.merge(other);
+    }
+}
+
+impl std::ops::AddAssign for CacheStats {
+    fn add_assign(&mut self, other: CacheStats) {
+        self.merge(&other);
+    }
+}
+
+/// Statistics of a [`SharedL2`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedL2Stats {
+    /// Line lookups arriving from any core's L1 miss.
+    pub accesses: u64,
+    /// Lookups that found the line resident (or covered by the prefetch
+    /// assumption).
+    pub hits: u64,
+    /// Lookups that had to fetch the line from memory (only possible with
+    /// the prefetch assumption disabled).
+    pub misses: u64,
+    /// Hits on a line first brought in by a *different* core — the
+    /// cross-core reuse a shared cache buys (shared `B` tiles, mostly).
+    pub shared_hits: u64,
+}
+
+impl SharedL2Stats {
+    /// Fraction of L2 lookups that reused a line another core fetched;
+    /// 0.0 when the L2 saw no traffic.
+    pub fn shared_fraction(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.shared_hits as f64 / self.accesses as f64
+    }
+}
+
+/// A coherence-free shared L2: the common next level of every core's
+/// private L1 in a [`crate::MultiCoreSim`].
+///
+/// *Coherence-free* because the simulated kernels share only read-only
+/// operands (`B` tiles) and write disjoint `C` ranges per shard, so no
+/// invalidation traffic is modelled: a line is resident for every core once
+/// any core has touched it. With `prefetched` set (the §VI-B default) every
+/// lookup is a hit at `hit_latency`, exactly as the single-core model
+/// assumes; without it, cold lines cost `miss_latency` and capacity is
+/// enforced with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct SharedL2 {
+    capacity_lines: usize,
+    hit_latency: u64,
+    miss_latency: u64,
+    prefetched: bool,
+    /// line address -> (last-use stamp, first core to touch it).
+    lines: HashMap<u64, (u64, usize)>,
+    stamp: u64,
+    stats: SharedL2Stats,
+}
+
+impl SharedL2 {
+    /// A shared L2 with `capacity_lines` lines, hitting in `hit_latency`
+    /// core cycles and missing to memory in `miss_latency`, with the
+    /// prefetch assumption *off*.
+    pub fn new(capacity_lines: usize, hit_latency: u64, miss_latency: u64) -> Self {
+        SharedL2 {
+            capacity_lines: capacity_lines.max(1),
+            hit_latency,
+            miss_latency,
+            prefetched: false,
+            lines: HashMap::new(),
+            stamp: 0,
+            stats: SharedL2Stats::default(),
+        }
+    }
+
+    /// Enables (or disables) the §VI-B prefetch assumption: every lookup
+    /// hits at the hit latency, and residency tracking only attributes
+    /// sharing.
+    pub fn with_prefetched(mut self, prefetched: bool) -> Self {
+        self.prefetched = prefetched;
+        self
+    }
+
+    /// Whether the prefetch assumption is on.
+    pub fn is_prefetched(&self) -> bool {
+        self.prefetched
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> SharedL2Stats {
+        self.stats
+    }
+
+    /// Looks up one line on behalf of `core`, updating residency and
+    /// sharing attribution; returns the load-to-use latency.
+    pub fn access_line(&mut self, core: usize, line_addr: u64) -> u64 {
+        self.stamp += 1;
+        self.stats.accesses += 1;
+        if let Some((stamp, owner)) = self.lines.get_mut(&line_addr) {
+            *stamp = self.stamp;
+            let owner = *owner;
+            self.stats.hits += 1;
+            if owner != core {
+                self.stats.shared_hits += 1;
+            }
+            return self.hit_latency;
+        }
+        // Capacity only matters when misses cost something: under the
+        // prefetch assumption residency is sharing attribution, and the
+        // O(lines) LRU victim scan would dominate full-scale replays.
+        if !self.prefetched && self.lines.len() >= self.capacity_lines {
+            if let Some((&victim, _)) = self.lines.iter().min_by_key(|(_, &(s, _))| s) {
+                self.lines.remove(&victim);
+            }
+        }
+        self.lines.insert(line_addr, (self.stamp, core));
+        if self.prefetched {
+            // The data was preloaded (§VI-B): the first touch is a hit too.
+            self.stats.hits += 1;
+            self.hit_latency
+        } else {
+            self.stats.misses += 1;
+            self.miss_latency
+        }
+    }
+}
+
+/// An LRU-tracked private L1 backed by a flat next level (the single-core
+/// always-hitting L2) or, in multi-core runs, a [`SharedL2`].
 #[derive(Debug, Clone)]
 pub struct CacheModel {
     capacity_lines: usize,
@@ -55,8 +212,20 @@ impl CacheModel {
     }
 
     /// Looks up one line, updating LRU state, and returns its load-to-use
-    /// latency.
+    /// latency; misses are served by the flat always-hitting L2.
     pub fn access_line(&mut self, line_addr: u64, is_store: bool) -> u64 {
+        self.access_line_via(line_addr, is_store, None)
+    }
+
+    /// [`CacheModel::access_line`] with an explicit next level: when
+    /// `next` is `Some((core, l2))`, an L1 miss consults the shared L2 on
+    /// behalf of `core` instead of charging the flat L2 latency.
+    pub fn access_line_via(
+        &mut self,
+        line_addr: u64,
+        is_store: bool,
+        next: Option<(usize, &mut SharedL2)>,
+    ) -> u64 {
         self.stamp += 1;
         if is_store {
             self.stats.bytes_written += LINE_BYTES;
@@ -76,7 +245,10 @@ impl CacheModel {
             }
         }
         self.lines.insert(line_addr, self.stamp);
-        self.l2_latency
+        match next {
+            Some((core, l2)) => l2.access_line(core, line_addr),
+            None => self.l2_latency,
+        }
     }
 
     /// Accesses a byte range, touching every covered line; returns the
@@ -85,11 +257,29 @@ impl CacheModel {
     /// Tile loads are converted into one request per 64 B line (§V-F); the
     /// pipelined transfer cost is handled by the port model in the core.
     pub fn access_range(&mut self, addr: u64, bytes: usize, is_store: bool) -> (u64, u64) {
+        self.access_range_via(addr, bytes, is_store, None)
+    }
+
+    /// [`CacheModel::access_range`] with an explicit shared next level (see
+    /// [`CacheModel::access_line_via`]).
+    pub fn access_range_via(
+        &mut self,
+        addr: u64,
+        bytes: usize,
+        is_store: bool,
+        mut next: Option<(usize, &mut SharedL2)>,
+    ) -> (u64, u64) {
         let first = addr / LINE_BYTES;
         let last = (addr + bytes.max(1) as u64 - 1) / LINE_BYTES;
         let mut worst = 0;
         for line in first..=last {
-            worst = worst.max(self.access_line(line * LINE_BYTES, is_store));
+            let hop = match next.as_mut() {
+                Some((core, l2)) => {
+                    self.access_line_via(line * LINE_BYTES, is_store, Some((*core, l2)))
+                }
+                None => self.access_line(line * LINE_BYTES, is_store),
+            };
+            worst = worst.max(hop);
         }
         (worst, last - first + 1)
     }
@@ -143,5 +333,96 @@ mod tests {
         c.access_range(0, 128, true);
         assert_eq!(c.stats().bytes_written, 128);
         assert_eq!(c.stats().bytes_read, 0);
+    }
+
+    #[test]
+    fn stats_merge_and_add_assign_accumulate_every_field() {
+        let a = CacheStats {
+            l1_hits: 1,
+            l2_hits: 2,
+            bytes_read: 64,
+            bytes_written: 128,
+        };
+        let b = CacheStats {
+            l1_hits: 10,
+            l2_hits: 20,
+            bytes_read: 640,
+            bytes_written: 1280,
+        };
+        let expected = CacheStats {
+            l1_hits: 11,
+            l2_hits: 22,
+            bytes_read: 704,
+            bytes_written: 1408,
+        };
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged, expected);
+        let mut by_ref = a;
+        by_ref += &b;
+        assert_eq!(by_ref, expected);
+        let mut by_value = a;
+        by_value += b;
+        assert_eq!(by_value, expected);
+        // Merging the default is the identity.
+        let mut id = a;
+        id += CacheStats::default();
+        assert_eq!(id, a);
+    }
+
+    #[test]
+    fn shared_l2_attributes_cross_core_hits() {
+        let mut l2 = SharedL2::new(64, 14, 100);
+        assert_eq!(l2.access_line(0, 0), 100, "cold miss goes to memory");
+        assert_eq!(l2.access_line(0, 0), 14, "same-core reuse is a plain hit");
+        assert_eq!(
+            l2.access_line(1, 0),
+            14,
+            "another core hits the shared line"
+        );
+        let stats = l2.stats();
+        assert_eq!(stats.accesses, 3);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.shared_hits, 1, "only the cross-core hit is shared");
+        assert!((stats.shared_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(SharedL2Stats::default().shared_fraction(), 0.0);
+    }
+
+    #[test]
+    fn prefetched_shared_l2_always_hits_at_l2_latency() {
+        let mut l2 = SharedL2::new(4, 14, 100).with_prefetched(true);
+        assert!(l2.is_prefetched());
+        for line in 0..8u64 {
+            assert_eq!(l2.access_line(0, line * 64), 14, "prefetched: never a miss");
+        }
+        let stats = l2.stats();
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.hits, 8);
+    }
+
+    #[test]
+    fn shared_l2_capacity_evicts_lru() {
+        let mut l2 = SharedL2::new(2, 14, 100);
+        l2.access_line(0, 0);
+        l2.access_line(0, 64);
+        l2.access_line(0, 0); // refresh line 0
+        l2.access_line(0, 128); // evicts 64
+        assert_eq!(l2.access_line(0, 0), 14, "line 0 stayed resident");
+        assert_eq!(l2.access_line(0, 64), 100, "line 64 was evicted");
+    }
+
+    #[test]
+    fn l1_miss_consults_the_shared_next_level() {
+        let mut l2 = SharedL2::new(64, 14, 100).with_prefetched(true);
+        let mut c0 = CacheModel::new(4, 5, 14);
+        let mut c1 = CacheModel::new(4, 5, 14);
+        let (lat, lines) = c0.access_range_via(0, 128, false, Some((0, &mut l2)));
+        assert_eq!((lat, lines), (14, 2));
+        // Core 1 misses its own private L1 but shares the L2 lines.
+        let (lat1, _) = c1.access_range_via(0, 128, false, Some((1, &mut l2)));
+        assert_eq!(lat1, 14);
+        assert_eq!(c1.stats().l2_hits, 2, "private L1 still classifies misses");
+        assert_eq!(l2.stats().shared_hits, 2);
     }
 }

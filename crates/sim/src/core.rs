@@ -13,6 +13,12 @@
 //! * functional-unit ports (scalar/vector/load/store contention);
 //! * the matrix engine's WL/FF/FS/DR pipelining and output-forwarding rules,
 //!   via [`vegeta_engine::EngineTimer`], scaled by the clock-domain ratio.
+//!
+//! Since the multi-core refactor the pipeline state lives in [`Core`] — one
+//! composable core unit behind the [`CoreModel`] trait, stepped one
+//! instruction at a time. [`CoreSim`] is the single-core driver (a thin
+//! wrapper over one [`Core`]), and [`crate::MultiCoreSim`] interleaves many
+//! cores over a shared L2.
 
 use std::collections::HashMap;
 
@@ -21,7 +27,7 @@ use vegeta_isa::stream::InstStream;
 use vegeta_isa::trace::{ArchReg, Trace, TraceOp};
 use vegeta_isa::Inst;
 
-use crate::cache::{CacheModel, CacheStats};
+use crate::cache::{CacheModel, CacheStats, SharedL2};
 
 /// Core configuration (§VI-B values by default).
 #[derive(Debug, Clone, PartialEq)]
@@ -110,7 +116,7 @@ impl SimResult {
         self.core_cycles as f64 / (cfg.core_ghz * 1e9)
     }
 
-    /// Instructions per core cycle.
+    /// Instructions per core cycle; 0.0 for a zero-cycle (empty) run.
     pub fn ipc(&self) -> f64 {
         if self.core_cycles == 0 {
             return 0.0;
@@ -222,7 +228,256 @@ impl Bandwidth {
     }
 }
 
-/// The trace-driven core simulator.
+/// A pluggable per-core timing model: anything that can consume one dynamic
+/// instruction at a time and report its local clock.
+///
+/// [`Core`] is the reference implementation (the §VI-B out-of-order core);
+/// [`crate::MultiCoreSim`] is generic over this trait so alternative core
+/// models (in-order, perfect, ...) can plug into the same scale-out
+/// harness.
+pub trait CoreModel {
+    /// Advances the core by one instruction. `shared_l2` is the common next
+    /// memory level of a multi-core run; `None` models the single-core
+    /// setup's flat always-hitting L2.
+    fn step(&mut self, op: TraceOp, shared_l2: Option<&mut SharedL2>);
+
+    /// The core's local time so far: the retire timestamp of the last
+    /// instruction (0 before any instruction retires).
+    fn cycles(&self) -> u64;
+
+    /// Dynamic instructions consumed so far.
+    fn instructions(&self) -> u64;
+
+    /// Snapshot of the run so far. `peak_resident_bytes` is supplied by the
+    /// caller, who owns the instruction stream and its byte accounting.
+    fn result(&self, peak_resident_bytes: u64) -> SimResult;
+}
+
+/// One out-of-order core's complete pipeline state: the reusable unit a
+/// [`CoreSim`] wraps once and a [`crate::MultiCoreSim`] instantiates per
+/// core.
+///
+/// The state is exactly what the monolithic simulator used to keep in
+/// locals — renaming table, engine-ownership map, bandwidth limiters, port
+/// pools, ROB/load-buffer occupancy rings, private L1 and engine timer —
+/// so stepping a single core through a stream is cycle-identical to the
+/// pre-refactor loop.
+#[derive(Debug, Clone)]
+pub struct Core {
+    id: usize,
+    cfg: SimConfig,
+    ratio: u64,
+    engine: EngineTimer,
+    l1: CacheModel,
+    reg_ready: HashMap<ArchReg, u64>,
+    /// Which accumulator tregs were last written by the engine (so the
+    /// engine's internal forwarding rule, not the architectural
+    /// completion, governs same-acc chains).
+    engine_owns: HashMap<u8, bool>,
+    dispatch_bw: Bandwidth,
+    retire_bw: Bandwidth,
+    scalar_ports: PortPool,
+    vector_ports: PortPool,
+    load_ports: PortPool,
+    store_ports: PortPool,
+    rob_window: RetireRing,
+    mem_window: RetireRing,
+    instructions: u64,
+    last_retire: u64,
+    tile_compute: u64,
+    engine_first_start: Option<u64>,
+    engine_last_completion: u64,
+}
+
+impl Core {
+    /// A fresh core with the given id (its shared-L2 identity), simulator
+    /// configuration and matrix-engine design point.
+    pub fn new(id: usize, cfg: SimConfig, engine: EngineConfig) -> Self {
+        Self::with_timer(id, cfg, EngineTimer::new(engine))
+    }
+
+    /// [`Core::new`] adopting an existing engine timer (so a driver that
+    /// owns the timer across runs can lend it to the core).
+    pub fn with_timer(id: usize, cfg: SimConfig, engine: EngineTimer) -> Self {
+        let ratio = cfg.clock_ratio();
+        let l1 = CacheModel::new(cfg.l1_lines, cfg.l1_latency, cfg.l2_latency);
+        Core {
+            id,
+            ratio,
+            engine,
+            l1,
+            reg_ready: HashMap::new(),
+            engine_owns: HashMap::new(),
+            dispatch_bw: Bandwidth::new(cfg.fetch_width),
+            retire_bw: Bandwidth::new(cfg.retire_width),
+            scalar_ports: PortPool::new(cfg.scalar_ports),
+            vector_ports: PortPool::new(cfg.vector_ports),
+            load_ports: PortPool::new(cfg.load_ports),
+            store_ports: PortPool::new(1),
+            rob_window: RetireRing::new(cfg.rob_entries),
+            mem_window: RetireRing::new(cfg.load_buffer_entries),
+            instructions: 0,
+            last_retire: 0,
+            tile_compute: 0,
+            engine_first_start: None,
+            engine_last_completion: 0,
+            cfg,
+        }
+    }
+
+    /// This core's identity within a multi-core simulation.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Consumes the core, returning its engine timer (with whatever state
+    /// the run left in it).
+    pub fn into_timer(self) -> EngineTimer {
+        self.engine
+    }
+}
+
+impl CoreModel for Core {
+    fn step(&mut self, op: TraceOp, mut shared_l2: Option<&mut SharedL2>) {
+        // --- Dispatch: front-end bandwidth, ROB and LSQ occupancy. ---
+        let mut earliest = self.cfg.frontend_stages;
+        if self.rob_window.is_full() {
+            earliest = earliest.max(self.rob_window.oldest());
+        }
+        let is_mem = op.mem_access().is_some();
+        if is_mem && self.mem_window.is_full() {
+            earliest = earliest.max(self.mem_window.oldest());
+        }
+        let dispatch = self.dispatch_bw.take(earliest);
+
+        // --- Source readiness through renaming. ---
+        let is_engine_op = op.is_tile_compute();
+        let acc_regs: Vec<u8> = if is_engine_op {
+            match op {
+                TraceOp::Tile(inst) => inst
+                    .writes()
+                    .iter()
+                    .filter_map(|r| match r {
+                        vegeta_isa::RegRef::Tile(t) => Some(t.index() as u8),
+                        _ => None,
+                    })
+                    .collect(),
+                _ => Vec::new(),
+            }
+        } else {
+            Vec::new()
+        };
+        let mut ready = dispatch + 1;
+        for r in op.reads() {
+            // For engine ops, same-acc dependences on an engine-produced
+            // value are resolved inside the engine (output forwarding);
+            // skip them here and let EngineTimer apply its rule.
+            if is_engine_op {
+                if let ArchReg::Tile(t) = r {
+                    if acc_regs.contains(&t) && self.engine_owns.get(&t).copied().unwrap_or(false) {
+                        continue;
+                    }
+                }
+            }
+            ready = ready.max(self.reg_ready.get(&r).copied().unwrap_or(0));
+        }
+
+        // --- Execute. ---
+        let complete = match op {
+            TraceOp::Tile(inst) if inst.is_compute() => {
+                self.tile_compute += 1;
+                let acc = acc_regs.first().copied().unwrap_or(0);
+                let ready_engine = ready.div_ceil(self.ratio);
+                let timing = self.engine.issue(acc, ready_engine);
+                let start_core = timing.start * self.ratio;
+                let completion_core = timing.completion * self.ratio;
+                self.engine_first_start = Some(
+                    self.engine_first_start
+                        .unwrap_or(start_core)
+                        .min(start_core),
+                );
+                self.engine_last_completion = self.engine_last_completion.max(completion_core);
+                completion_core
+            }
+            // Register-only tile ops (TILE_ZERO) complete in one cycle.
+            TraceOp::Tile(_) if op.mem_access().is_none() => ready + 1,
+            TraceOp::Tile(_) | TraceOp::VecLoad { .. } | TraceOp::VecStore { .. } => {
+                let (addr, bytes, is_store) = op
+                    .mem_access()
+                    .expect("remaining tile ops and vec mem ops access memory");
+                let next = shared_l2.as_mut().map(|l2| (self.id, &mut **l2));
+                let (latency, lines) = self.l1.access_range_via(addr, bytes, is_store, next);
+                if is_store {
+                    let start = self.store_ports.reserve(ready, lines);
+                    start + lines // drains into the store buffer
+                } else {
+                    // One line per port-cycle, pipelined behind the
+                    // first-line latency.
+                    let start = self.load_ports.reserve(ready, lines);
+                    start + latency + lines - 1
+                }
+            }
+            TraceOp::VecFma { .. } => {
+                let start = self.vector_ports.reserve(ready, 1);
+                start + self.cfg.vec_fma_latency
+            }
+            TraceOp::VecOp { .. } => {
+                let start = self.vector_ports.reserve(ready, 1);
+                start + 1
+            }
+            TraceOp::Scalar { .. } | TraceOp::Branch { .. } => {
+                let start = self.scalar_ports.reserve(ready, 1);
+                start + 1
+            }
+        };
+
+        // --- Writeback: update renaming table. ---
+        for w in op.writes() {
+            self.reg_ready.insert(w, complete);
+            if let ArchReg::Tile(t) = w {
+                self.engine_owns.insert(t, is_engine_op);
+            }
+        }
+
+        // --- Retire: in order, bounded width. ---
+        let retire = self.retire_bw.take(complete.max(self.last_retire));
+        self.last_retire = retire;
+        self.rob_window.push(retire);
+        if is_mem {
+            self.mem_window.push(retire);
+        }
+
+        self.instructions += 1;
+    }
+
+    fn cycles(&self) -> u64 {
+        self.last_retire
+    }
+
+    fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    fn result(&self, peak_resident_bytes: u64) -> SimResult {
+        SimResult {
+            core_cycles: self.last_retire,
+            instructions: self.instructions,
+            tile_compute: self.tile_compute,
+            engine_busy_cycles: self
+                .engine_last_completion
+                .saturating_sub(self.engine_first_start.unwrap_or(0)),
+            peak_resident_bytes,
+            cache: self.l1.stats(),
+        }
+    }
+}
+
+/// The trace-driven single-core simulator: a thin driver over one [`Core`].
 #[derive(Debug, Clone)]
 pub struct CoreSim {
     cfg: SimConfig,
@@ -275,159 +530,29 @@ impl CoreSim {
         mut progress: Option<&mut dyn FnMut(u64, u64)>,
     ) -> SimResult {
         let total = stream.remaining();
-        let ratio = self.cfg.clock_ratio();
-        let mut cache =
-            CacheModel::new(self.cfg.l1_lines, self.cfg.l1_latency, self.cfg.l2_latency);
-        let mut reg_ready: HashMap<ArchReg, u64> = HashMap::new();
-        // Which accumulator tregs were last written by the engine (so the
-        // engine's internal forwarding rule, not the architectural
-        // completion, governs same-acc chains).
-        let mut engine_owns: HashMap<u8, bool> = HashMap::new();
-
-        let mut dispatch_bw = Bandwidth::new(self.cfg.fetch_width);
-        let mut retire_bw = Bandwidth::new(self.cfg.retire_width);
-        let mut scalar_ports = PortPool::new(self.cfg.scalar_ports);
-        let mut vector_ports = PortPool::new(self.cfg.vector_ports);
-        let mut load_ports = PortPool::new(self.cfg.load_ports);
-        let mut store_ports = PortPool::new(1);
-
-        let mut rob_window = RetireRing::new(self.cfg.rob_entries);
-        let mut mem_window = RetireRing::new(self.cfg.load_buffer_entries);
-        let mut instructions = 0u64;
-        let mut last_retire = 0u64;
-        let mut tile_compute = 0u64;
-        let mut engine_first_start: Option<u64> = None;
-        let mut engine_last_completion = 0u64;
-
+        let mut core = Core::with_timer(0, self.cfg.clone(), self.engine.clone());
         while let Some(op) = stream.next_op() {
-            // --- Dispatch: front-end bandwidth, ROB and LSQ occupancy. ---
-            let mut earliest = self.cfg.frontend_stages;
-            if rob_window.is_full() {
-                earliest = earliest.max(rob_window.oldest());
-            }
-            let is_mem = op.mem_access().is_some();
-            if is_mem && mem_window.is_full() {
-                earliest = earliest.max(mem_window.oldest());
-            }
-            let dispatch = dispatch_bw.take(earliest);
-
-            // --- Source readiness through renaming. ---
-            let is_engine_op = op.is_tile_compute();
-            let acc_regs: Vec<u8> = if is_engine_op {
-                match op {
-                    TraceOp::Tile(inst) => inst
-                        .writes()
-                        .iter()
-                        .filter_map(|r| match r {
-                            vegeta_isa::RegRef::Tile(t) => Some(t.index() as u8),
-                            _ => None,
-                        })
-                        .collect(),
-                    _ => Vec::new(),
-                }
-            } else {
-                Vec::new()
-            };
-            let mut ready = dispatch + 1;
-            for r in op.reads() {
-                // For engine ops, same-acc dependences on an engine-produced
-                // value are resolved inside the engine (output forwarding);
-                // skip them here and let EngineTimer apply its rule.
-                if is_engine_op {
-                    if let ArchReg::Tile(t) = r {
-                        if acc_regs.contains(&t) && engine_owns.get(&t).copied().unwrap_or(false) {
-                            continue;
-                        }
-                    }
-                }
-                ready = ready.max(reg_ready.get(&r).copied().unwrap_or(0));
-            }
-
-            // --- Execute. ---
-            let complete = match op {
-                TraceOp::Tile(inst) if inst.is_compute() => {
-                    tile_compute += 1;
-                    let acc = acc_regs.first().copied().unwrap_or(0);
-                    let ready_engine = ready.div_ceil(ratio);
-                    let timing = self.engine.issue(acc, ready_engine);
-                    let start_core = timing.start * ratio;
-                    let completion_core = timing.completion * ratio;
-                    engine_first_start =
-                        Some(engine_first_start.unwrap_or(start_core).min(start_core));
-                    engine_last_completion = engine_last_completion.max(completion_core);
-                    completion_core
-                }
-                // Register-only tile ops (TILE_ZERO) complete in one cycle.
-                TraceOp::Tile(_) if op.mem_access().is_none() => ready + 1,
-                TraceOp::Tile(_) | TraceOp::VecLoad { .. } | TraceOp::VecStore { .. } => {
-                    let (addr, bytes, is_store) = op
-                        .mem_access()
-                        .expect("remaining tile ops and vec mem ops access memory");
-                    let (latency, lines) = cache.access_range(addr, bytes, is_store);
-                    if is_store {
-                        let start = store_ports.reserve(ready, lines);
-                        start + lines // drains into the store buffer
-                    } else {
-                        // One line per port-cycle, pipelined behind the
-                        // first-line latency.
-                        let start = load_ports.reserve(ready, lines);
-                        start + latency + lines - 1
-                    }
-                }
-                TraceOp::VecFma { .. } => {
-                    let start = vector_ports.reserve(ready, 1);
-                    start + self.cfg.vec_fma_latency
-                }
-                TraceOp::VecOp { .. } => {
-                    let start = vector_ports.reserve(ready, 1);
-                    start + 1
-                }
-                TraceOp::Scalar { .. } | TraceOp::Branch { .. } => {
-                    let start = scalar_ports.reserve(ready, 1);
-                    start + 1
-                }
-            };
-
-            // --- Writeback: update renaming table. ---
-            for w in op.writes() {
-                reg_ready.insert(w, complete);
-                if let ArchReg::Tile(t) = w {
-                    engine_owns.insert(t, is_engine_op);
-                }
-            }
-
-            // --- Retire: in order, bounded width. ---
-            let retire = retire_bw.take(complete.max(last_retire));
-            last_retire = retire;
-            rob_window.push(retire);
-            if is_mem {
-                mem_window.push(retire);
-            }
-
-            instructions += 1;
-            if instructions.is_multiple_of(PROGRESS_STRIDE) {
+            core.step(op, None);
+            if core.instructions().is_multiple_of(PROGRESS_STRIDE) {
                 if let Some(cb) = progress.as_deref_mut() {
-                    cb(instructions, total);
+                    cb(core.instructions(), total);
                 }
             }
         }
         // Completion report — unless the stride loop already delivered it
         // (a trace length that is an exact stride multiple).
+        let instructions = core.instructions();
         if instructions == 0 || !instructions.is_multiple_of(PROGRESS_STRIDE) {
             if let Some(cb) = progress {
                 cb(instructions, total);
             }
         }
 
-        SimResult {
-            core_cycles: last_retire,
-            instructions,
-            tile_compute,
-            engine_busy_cycles: engine_last_completion
-                .saturating_sub(engine_first_start.unwrap_or(0)),
-            peak_resident_bytes: stream.peak_resident_bytes() as u64,
-            cache: cache.stats(),
-        }
+        let result = core.result(stream.peak_resident_bytes() as u64);
+        // The timer belongs to the simulator across runs (its hazard state
+        // deliberately persists for back-to-back replays on one CoreSim).
+        self.engine = core.into_timer();
+        result
     }
 }
 
@@ -476,6 +601,12 @@ mod tests {
         let res = simulate(&Trace::new(), EngineConfig::rasa_dm());
         assert_eq!(res.core_cycles, 0);
         assert_eq!(res.instructions, 0);
+    }
+
+    #[test]
+    fn zero_cycle_result_guards_derived_metrics() {
+        let res = simulate(&Trace::new(), EngineConfig::rasa_dm());
+        assert_eq!(res.ipc(), 0.0, "no division by zero cycles");
     }
 
     #[test]
@@ -659,6 +790,23 @@ mod tests {
             from_stream.peak_resident_bytes,
             from_trace.peak_resident_bytes
         );
+    }
+
+    #[test]
+    fn stepping_a_core_directly_matches_the_coresim_driver() {
+        // The extraction contract: manually stepping one `Core` over the ops
+        // replays exactly what `CoreSim` reports.
+        let trace = spmm_chain(48, false);
+        let engine = EngineConfig::vegeta_s(4).unwrap();
+        let expected = CoreSim::with_engine(engine.clone()).run(&trace);
+        let mut core = Core::new(0, SimConfig::default(), engine);
+        for &op in trace.ops() {
+            core.step(op, None);
+        }
+        assert_eq!(core.cycles(), expected.core_cycles);
+        assert_eq!(core.instructions(), expected.instructions);
+        let got = core.result(expected.peak_resident_bytes);
+        assert_eq!(got, expected);
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //! the matrix engine running in its own 0.5 GHz domain with the WL/FF/FS/DR
 //! pipelining and output-forwarding rules of §V-C.
 //!
+//! The timing layer is composable: [`Core`] is one core's complete pipeline
+//! state behind the [`CoreModel`] trait, [`CoreSim`] drives a single core
+//! (the paper's setup), and [`MultiCoreSim`] interleaves many cores —
+//! private L1s, one coherence-free [`SharedL2`] — to answer how a sharded
+//! GEMM scales to 2/4/8/16 matrix-engine-equipped cores.
+//!
 //! # Example
 //!
 //! ```
@@ -30,6 +36,10 @@
 
 pub mod cache;
 mod core;
+pub mod multicore;
 
-pub use crate::core::{simulate, simulate_insts, CoreSim, SimConfig, SimResult, PROGRESS_STRIDE};
-pub use cache::{CacheModel, CacheStats, LINE_BYTES};
+pub use crate::core::{
+    simulate, simulate_insts, Core, CoreModel, CoreSim, SimConfig, SimResult, PROGRESS_STRIDE,
+};
+pub use cache::{CacheModel, CacheStats, SharedL2, SharedL2Stats, LINE_BYTES};
+pub use multicore::{MultiCoreConfig, MultiCoreResult, MultiCoreSim};

@@ -1,0 +1,470 @@
+//! Sharded multi-core simulation over a shared L2.
+//!
+//! VEGETA's evaluation is single-core, but its deployment story — and this
+//! repository's north star — is many matrix-engine-equipped cores sharding
+//! one GEMM (the scale-out setting SparseZipper and Occamy evaluate).
+//! [`MultiCoreSim`] composes `n` independent [`Core`]s (private L1s, private
+//! engine timers) over one coherence-free [`SharedL2`]:
+//!
+//! * every core consumes its own instruction stream (one GEMM shard,
+//!   typically produced by `KernelSpec::shard_streams` in `vegeta-kernels`);
+//! * the simulator interleaves the streams **in core-local time order** —
+//!   at each step the core whose pipeline clock is furthest behind consumes
+//!   its next instruction — so shared-L2 residency evolves in (approximate)
+//!   global cycle order and the interleave is deterministic whatever the
+//!   host;
+//! * the run ends with a sync/barrier: the makespan is the slowest core's
+//!   retire time plus a tree-barrier cost
+//!   ([`MultiCoreConfig::barrier_latency`] per `⌈log₂ cores⌉` level;
+//!   zero for a single core, which keeps `MultiCoreSim` with one core
+//!   cycle-identical to [`crate::CoreSim`]).
+//!
+//! The result carries per-core [`SimResult`]s, the merged cache traffic
+//! ([`CacheStats::merge`]) and the shared L2's hit/miss/sharing split.
+
+use vegeta_engine::EngineConfig;
+use vegeta_isa::stream::InstStream;
+
+use crate::cache::{CacheStats, SharedL2, SharedL2Stats};
+use crate::core::{Core, CoreModel, SimConfig, SimResult, PROGRESS_STRIDE};
+
+/// Default shared-L2 capacity in 64 B lines (2 MB, the class of LLC slice
+/// the §VI-B MacSim configuration assumes the data is prefetched into).
+pub const DEFAULT_L2_LINES: usize = 32_768;
+
+/// Default memory latency in core cycles for a shared-L2 miss when the
+/// prefetch assumption is disabled.
+pub const DEFAULT_MEM_LATENCY: u64 = 100;
+
+/// Default per-level tree-barrier cost in core cycles (about two shared-L2
+/// round trips: one line flush, one flag observation).
+pub const DEFAULT_BARRIER_LATENCY: u64 = 32;
+
+/// Configuration of a multi-core run: per-core parameters plus the shared
+/// memory level and sync costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiCoreConfig {
+    /// Per-core configuration (front end, ROB, ports, private L1, clocks).
+    pub core: SimConfig,
+    /// Number of cores (≥ 1), each with a private L1 and engine.
+    pub cores: usize,
+    /// Shared-L2 capacity in 64 B lines.
+    pub l2_lines: usize,
+    /// §VI-B assumption: all data is prefetched into the shared L2, so it
+    /// never misses. Disable to charge [`MultiCoreConfig::mem_latency`] on
+    /// cold lines.
+    pub prefetched: bool,
+    /// Core cycles a shared-L2 miss costs when `prefetched` is off.
+    pub mem_latency: u64,
+    /// Core cycles per tree-barrier level of the end-of-shard sync
+    /// (`⌈log₂ cores⌉` levels; a single core pays nothing).
+    pub barrier_latency: u64,
+}
+
+impl MultiCoreConfig {
+    /// A multi-core configuration with `cores` copies of the default §VI-B
+    /// core and default shared-L2/barrier parameters.
+    pub fn new(cores: usize) -> Self {
+        Self::with_core(SimConfig::default(), cores)
+    }
+
+    /// A multi-core configuration around an explicit per-core config.
+    pub fn with_core(core: SimConfig, cores: usize) -> Self {
+        MultiCoreConfig {
+            core,
+            cores: cores.max(1),
+            l2_lines: DEFAULT_L2_LINES,
+            prefetched: true,
+            mem_latency: DEFAULT_MEM_LATENCY,
+            barrier_latency: DEFAULT_BARRIER_LATENCY,
+        }
+    }
+
+    /// Core cycles the end-of-shard barrier costs at this core count.
+    pub fn barrier_cycles(&self) -> u64 {
+        if self.cores <= 1 {
+            return 0;
+        }
+        let levels = usize::BITS - (self.cores - 1).leading_zeros(); // ⌈log₂ cores⌉
+        self.barrier_latency * levels as u64
+    }
+}
+
+/// The result of one sharded multi-core run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiCoreResult {
+    /// Cores that participated (== number of shards).
+    pub cores: usize,
+    /// Makespan in core cycles: the slowest core's retire time plus the
+    /// end-of-shard barrier.
+    pub core_cycles: u64,
+    /// Core cycles of the final sync/barrier included in `core_cycles`.
+    pub barrier_cycles: u64,
+    /// Per-core results, in core order.
+    pub per_core: Vec<SimResult>,
+    /// The shared L2's hit/miss/sharing statistics.
+    pub shared_l2: SharedL2Stats,
+}
+
+impl MultiCoreResult {
+    /// Total dynamic instructions across all cores.
+    pub fn instructions(&self) -> u64 {
+        self.per_core.iter().map(|r| r.instructions).sum()
+    }
+
+    /// Total tile compute instructions across all cores.
+    pub fn tile_compute(&self) -> u64 {
+        self.per_core.iter().map(|r| r.tile_compute).sum()
+    }
+
+    /// Summed engine-busy cycles across all cores (aggregate engine work,
+    /// not wall-clock).
+    pub fn engine_busy_cycles(&self) -> u64 {
+        self.per_core.iter().map(|r| r.engine_busy_cycles).sum()
+    }
+
+    /// Summed peak trace residency across all cores (every shard's stream
+    /// is live concurrently).
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.per_core.iter().map(|r| r.peak_resident_bytes).sum()
+    }
+
+    /// Per-core cycle counts, in core order.
+    pub fn per_core_cycles(&self) -> Vec<u64> {
+        self.per_core.iter().map(|r| r.core_cycles).collect()
+    }
+
+    /// Aggregate cache traffic of every private L1
+    /// ([`CacheStats::merge`]d).
+    pub fn merged_cache(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for r in &self.per_core {
+            total += &r.cache;
+        }
+        total
+    }
+
+    /// Parallel efficiency of this run: the mean fraction of the makespan
+    /// each core spent busy, `Σ per-core cycles / (cores × makespan)`.
+    /// 1.0 means perfect balance with no barrier overhead; 0.0 for a
+    /// zero-cycle (empty) run.
+    pub fn scaling_efficiency(&self) -> f64 {
+        if self.core_cycles == 0 || self.cores == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.per_core.iter().map(|r| r.core_cycles).sum();
+        busy as f64 / (self.cores as f64 * self.core_cycles as f64)
+    }
+}
+
+/// A sharded multi-core simulator: `cores` pluggable per-core models (the
+/// default is the §VI-B [`Core`]) over one [`SharedL2`].
+///
+/// # Example
+///
+/// ```
+/// use vegeta_engine::EngineConfig;
+/// use vegeta_isa::trace::{Trace, TraceOp};
+/// use vegeta_sim::{MultiCoreConfig, MultiCoreSim};
+///
+/// // Two cores each replaying half of a scalar stream.
+/// let mut shard = Trace::new();
+/// for i in 0..64u32 {
+///     shard.push(TraceOp::Scalar { dst: (i % 8) as u8, src: 0 });
+/// }
+/// let mut sim = MultiCoreSim::new(MultiCoreConfig::new(2), EngineConfig::rasa_dm());
+/// let res = sim.run_streams(vec![shard.stream(), shard.stream()]);
+/// assert_eq!(res.cores, 2);
+/// assert_eq!(res.instructions(), 128);
+/// assert!(res.scaling_efficiency() > 0.5);
+/// ```
+#[derive(Debug)]
+pub struct MultiCoreSim<C: CoreModel = Core> {
+    cfg: MultiCoreConfig,
+    cores: Vec<C>,
+    shared_l2: SharedL2,
+}
+
+impl MultiCoreSim<Core> {
+    /// A multi-core simulator whose cores all run the same matrix-engine
+    /// design point (each core gets its own engine instance).
+    pub fn new(cfg: MultiCoreConfig, engine: EngineConfig) -> Self {
+        let cores = (0..cfg.cores)
+            .map(|id| Core::new(id, cfg.core.clone(), engine.clone()))
+            .collect();
+        Self::with_cores(cfg, cores)
+    }
+}
+
+impl<C: CoreModel> MultiCoreSim<C> {
+    /// A multi-core simulator over explicit core models (the pluggable
+    /// form; `cores.len()` overrides `cfg.cores`).
+    pub fn with_cores(mut cfg: MultiCoreConfig, cores: Vec<C>) -> Self {
+        cfg.cores = cores.len().max(1);
+        let shared_l2 = SharedL2::new(cfg.l2_lines, cfg.core.l2_latency, cfg.mem_latency)
+            .with_prefetched(cfg.prefetched);
+        MultiCoreSim {
+            cfg,
+            cores,
+            shared_l2,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MultiCoreConfig {
+        &self.cfg
+    }
+
+    /// Runs one instruction stream per core to completion (missing streams
+    /// leave their cores idle).
+    ///
+    /// Streams are interleaved in core-local time order: each step advances
+    /// the live core whose clock is furthest behind (ties broken by core
+    /// index), so the shared L2 observes accesses in approximate global
+    /// cycle order and the result is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more streams than cores are supplied — silently
+    /// dropping shards would report a quietly wrong (partial) result.
+    pub fn run_streams<S: InstStream>(&mut self, streams: Vec<S>) -> MultiCoreResult {
+        self.run_streams_with(streams, None)
+    }
+
+    /// [`MultiCoreSim::run_streams`] with a progress callback, invoked
+    /// every [`PROGRESS_STRIDE`] instructions (summed across cores) and
+    /// once at completion with `(instructions simulated, exact total)` —
+    /// the same contract long single-core replays honour.
+    pub fn run_streams_with<S: InstStream>(
+        &mut self,
+        streams: Vec<S>,
+        mut progress: Option<&mut dyn FnMut(u64, u64)>,
+    ) -> MultiCoreResult {
+        let n = self.cores.len();
+        assert!(
+            streams.len() <= n,
+            "{} shard streams for {n} cores: excess shards would be silently dropped",
+            streams.len()
+        );
+        let mut streams = streams;
+        let total: u64 = streams.iter().map(InstStream::remaining).sum();
+        let mut stepped = 0u64;
+        let mut live: Vec<bool> = (0..n).map(|i| i < streams.len()).collect();
+        // The live core furthest behind in local time steps next.
+        while let Some(i) = (0..n)
+            .filter(|&i| live[i])
+            .min_by_key(|&i| (self.cores[i].cycles(), i))
+        {
+            match streams[i].next_op() {
+                Some(op) => {
+                    self.cores[i].step(op, Some(&mut self.shared_l2));
+                    stepped += 1;
+                    if stepped.is_multiple_of(PROGRESS_STRIDE) {
+                        if let Some(cb) = progress.as_deref_mut() {
+                            cb(stepped, total);
+                        }
+                    }
+                }
+                None => live[i] = false,
+            }
+        }
+        // Completion report — unless the stride loop already delivered it.
+        if stepped == 0 || !stepped.is_multiple_of(PROGRESS_STRIDE) {
+            if let Some(cb) = progress {
+                cb(stepped, total);
+            }
+        }
+
+        let per_core: Vec<SimResult> = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, core)| {
+                let peak = streams
+                    .get(i)
+                    .map(|s| s.peak_resident_bytes() as u64)
+                    .unwrap_or(0);
+                core.result(peak)
+            })
+            .collect();
+        let barrier_cycles = self.cfg.barrier_cycles();
+        let slowest = per_core.iter().map(|r| r.core_cycles).max().unwrap_or(0);
+        MultiCoreResult {
+            cores: n,
+            core_cycles: slowest + barrier_cycles,
+            barrier_cycles,
+            per_core,
+            shared_l2: self.shared_l2.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::CoreSim;
+    use vegeta_isa::trace::{Trace, TraceOp};
+    use vegeta_isa::{Inst, TReg, UReg};
+
+    fn mixed_trace(n: usize, stride: u64) -> Trace {
+        let mut t = Trace::new();
+        for i in 0..n {
+            t.push(TraceOp::VecLoad {
+                dst: (i % 16) as u8,
+                addr: i as u64 * stride,
+            });
+            t.push_inst(Inst::TileSpmmU {
+                acc: TReg::new((i % 3) as u8).unwrap(),
+                a: TReg::T6,
+                b: UReg::U2,
+            });
+            t.push(TraceOp::Scalar { dst: 0, src: 0 });
+        }
+        t
+    }
+
+    #[test]
+    fn single_core_multicore_matches_coresim_exactly() {
+        // With one core there is no barrier and no sharing: the multi-core
+        // harness must collapse to the single-core simulator, cycle for
+        // cycle and stat for stat.
+        let trace = mixed_trace(200, 64);
+        let engine = EngineConfig::vegeta_s(16).unwrap();
+        let expected = CoreSim::with_engine(engine.clone()).run(&trace);
+        let mut sim = MultiCoreSim::new(MultiCoreConfig::new(1), engine);
+        let got = sim.run_streams(vec![trace.stream()]);
+        assert_eq!(got.barrier_cycles, 0);
+        assert_eq!(got.core_cycles, expected.core_cycles);
+        assert_eq!(got.per_core.len(), 1);
+        assert_eq!(got.per_core[0], expected);
+        assert_eq!(got.instructions(), expected.instructions);
+        assert!((got.scaling_efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_cores_halve_an_even_split() {
+        let whole = mixed_trace(400, 64);
+        let half_a = mixed_trace(200, 64);
+        // Second half touches different addresses but has identical timing
+        // structure.
+        let mut half_b = Trace::new();
+        for op in half_a.ops() {
+            let shifted = match *op {
+                TraceOp::VecLoad { dst, addr } => TraceOp::VecLoad {
+                    dst,
+                    addr: addr + (1 << 20),
+                },
+                other => other,
+            };
+            half_b.push(shifted);
+        }
+        let engine = EngineConfig::vegeta_s(16).unwrap();
+        let one = MultiCoreSim::new(MultiCoreConfig::new(1), engine.clone())
+            .run_streams(vec![whole.stream()]);
+        let two = MultiCoreSim::new(MultiCoreConfig::new(2), engine)
+            .run_streams(vec![half_a.stream(), half_b.stream()]);
+        assert_eq!(two.instructions(), one.instructions());
+        assert!(
+            two.core_cycles < one.core_cycles * 3 / 4,
+            "2 cores {} vs 1 core {}",
+            two.core_cycles,
+            one.core_cycles
+        );
+        assert_eq!(two.per_core_cycles().len(), 2);
+        assert!(two.scaling_efficiency() > 0.8, "balanced halves");
+    }
+
+    #[test]
+    fn shared_lines_are_attributed_across_cores() {
+        // Both cores stream the same addresses: every L2 touch after the
+        // first core's is a shared hit.
+        let t = mixed_trace(64, 64);
+        let mut sim = MultiCoreSim::new(MultiCoreConfig::new(2), EngineConfig::rasa_dm());
+        let res = sim.run_streams(vec![t.stream(), t.stream()]);
+        assert!(res.shared_l2.shared_hits > 0, "cross-core reuse observed");
+        assert_eq!(res.shared_l2.misses, 0, "prefetched L2 never misses");
+        let merged = res.merged_cache();
+        assert_eq!(
+            merged.l1_hits + merged.l2_hits,
+            res.per_core
+                .iter()
+                .map(|r| r.cache.l1_hits + r.cache.l2_hits)
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn barrier_grows_logarithmically_and_is_free_for_one_core() {
+        assert_eq!(MultiCoreConfig::new(1).barrier_cycles(), 0);
+        let b = DEFAULT_BARRIER_LATENCY;
+        assert_eq!(MultiCoreConfig::new(2).barrier_cycles(), b);
+        assert_eq!(MultiCoreConfig::new(4).barrier_cycles(), 2 * b);
+        assert_eq!(MultiCoreConfig::new(8).barrier_cycles(), 3 * b);
+        assert_eq!(MultiCoreConfig::new(16).barrier_cycles(), 4 * b);
+        assert_eq!(MultiCoreConfig::new(5).barrier_cycles(), 3 * b);
+    }
+
+    #[test]
+    fn empty_run_guards_scaling_efficiency() {
+        let mut sim = MultiCoreSim::new(MultiCoreConfig::new(2), EngineConfig::rasa_dm());
+        let res = sim.run_streams(vec![Trace::new().stream(), Trace::new().stream()]);
+        // Two idle cores: the barrier still costs, but no division blows up.
+        assert_eq!(res.instructions(), 0);
+        assert_eq!(res.scaling_efficiency(), 0.0);
+        let zero = MultiCoreResult {
+            cores: 0,
+            core_cycles: 0,
+            barrier_cycles: 0,
+            per_core: Vec::new(),
+            shared_l2: SharedL2Stats::default(),
+        };
+        assert_eq!(zero.scaling_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn idle_cores_are_tolerated() {
+        let t = mixed_trace(32, 64);
+        // 4 cores, 2 streams: cores 2/3 idle.
+        let mut sim = MultiCoreSim::new(MultiCoreConfig::new(4), EngineConfig::rasa_dm());
+        let res = sim.run_streams(vec![t.stream(), t.stream()]);
+        assert_eq!(res.cores, 4);
+        assert_eq!(res.per_core[2].instructions, 0);
+        assert_eq!(res.per_core[3].core_cycles, 0);
+        assert!(res.instructions() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "excess shards")]
+    fn excess_streams_are_refused_not_dropped() {
+        let t = mixed_trace(8, 64);
+        let mut sim = MultiCoreSim::new(MultiCoreConfig::new(2), EngineConfig::rasa_dm());
+        sim.run_streams(vec![t.stream(), t.stream(), t.stream()]);
+    }
+
+    #[test]
+    fn unprefetched_l2_charges_memory_latency() {
+        // A load-dominated stream (an engine-bound one would hide the
+        // memory time behind tile latency).
+        let mut t = Trace::new();
+        for i in 0..512u64 {
+            t.push(TraceOp::VecLoad {
+                dst: (i % 16) as u8,
+                addr: i * 64,
+            });
+        }
+        let mut cold_cfg = MultiCoreConfig::new(1);
+        cold_cfg.prefetched = false;
+        cold_cfg.mem_latency = 200;
+        let cold =
+            MultiCoreSim::new(cold_cfg, EngineConfig::rasa_dm()).run_streams(vec![t.stream()]);
+        let warm = MultiCoreSim::new(MultiCoreConfig::new(1), EngineConfig::rasa_dm())
+            .run_streams(vec![t.stream()]);
+        assert!(cold.shared_l2.misses > 0);
+        assert!(
+            cold.core_cycles > warm.core_cycles,
+            "cold misses must cost cycles: {} vs {}",
+            cold.core_cycles,
+            warm.core_cycles
+        );
+    }
+}

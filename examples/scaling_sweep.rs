@@ -1,0 +1,104 @@
+//! Multi-core scaling quickstart: shard one GEMM across matrix-engine
+//! cores.
+//!
+//! Three steps: (1) run one Table IV layer sharded across 1/2/4/8 cores
+//! with `Session::run_layer_cores` and read the makespan, per-core cycles,
+//! parallel efficiency and shared-L2 reuse off the report; (2) make core
+//! count a sweep axis with `Sweep::with_cores` and pull the strong-scaling
+//! geomeans; (3) drop to `vegeta_sim::MultiCoreSim` directly with
+//! `KernelSpec::shard_streams` for full control over the shared-L2 and
+//! barrier parameters.
+//!
+//! Run with: `cargo run --release --example scaling_sweep`
+//! (`VEGETA_QUICK=1` shrinks the layers for a fast smoke run.)
+
+use vegeta::isa::stream::InstStream;
+use vegeta::prelude::*;
+
+fn main() {
+    let quick = if quick_factor() > 1 { 4 } else { 2 };
+    let layer = table4()[7]; // BERT-L2: tall enough to shard 8 ways.
+
+    // 1. One layer, one engine, more and more cores.
+    let session = Session::new(
+        EngineConfig::vegeta_s(16)
+            .expect("valid alpha")
+            .with_output_forwarding(true),
+    );
+    println!(
+        "{} at 2:4 on {} (1/{quick} scale), sharded by M-tile rows:",
+        layer.name,
+        session.engine().name()
+    );
+    println!(
+        "{:>6} {:>12} {:>9} {:>11} {:>14} {:>12}",
+        "cores", "cycles", "speedup", "efficiency", "L2 shared-hit", "per-core"
+    );
+    let base = session.run_layer_cores_at(&layer, NmRatio::S2_4, Fidelity::Quick(quick), 1);
+    for cores in [1usize, 2, 4, 8] {
+        let r = session.run_layer_cores_at(&layer, NmRatio::S2_4, Fidelity::Quick(quick), cores);
+        let per_core: Vec<String> = r.per_core_cycles.iter().map(u64::to_string).collect();
+        println!(
+            "{:>6} {:>12} {:>8.2}x {:>11.3} {:>14} {:>12}",
+            r.cores,
+            r.cycles,
+            base.cycles as f64 / r.cycles as f64,
+            r.scaling_efficiency,
+            r.shared_l2.shared_hits,
+            per_core.join("/")
+        );
+    }
+
+    // 2. Core count as a grid axis: engines x cores in one sweep.
+    let grid = Sweep::new()
+        .with_engines([
+            EngineConfig::rasa_dm(),
+            EngineConfig::vegeta_s(16)
+                .expect("valid alpha")
+                .with_output_forwarding(true),
+        ])
+        .with_layer(layer)
+        .with_sparsity(NmRatio::S2_4)
+        .with_fidelity(Fidelity::Quick(quick))
+        .with_cores([1, 4, 8])
+        .run();
+    println!(
+        "\nsweep: {} cells on {} threads; strong-scaling geomeans vs 1 core:",
+        grid.cells.len(),
+        grid.threads
+    );
+    for engine in grid.engines() {
+        for &cores in &grid.cores_values()[1..] {
+            let g = grid
+                .geomean_core_scaling(engine, "2:4", cores)
+                .expect("complete grid");
+            println!("  {engine:<36} {cores} cores: {g:.2}x");
+        }
+    }
+
+    // 3. The raw harness: shard a kernel yourself and run it on an
+    //    explicitly configured MultiCoreSim (cold shared L2, pricier
+    //    barrier) — the knobs the Session defaults hide.
+    let spec = KernelSpec::tiled(SparseMode::Nm2of4);
+    let shape = layer.scaled_shape(quick);
+    let shards = spec.shard_streams(shape, 4);
+    println!(
+        "\nraw harness: {} shards of {} ops total",
+        shards.len(),
+        shards.iter().map(|s| s.remaining()).sum::<u64>()
+    );
+    let mut cfg = MultiCoreConfig::new(4);
+    cfg.prefetched = false; // charge memory latency on cold L2 lines
+    cfg.barrier_latency = 128;
+    let mut sim = MultiCoreSim::new(cfg, EngineConfig::vegeta_s(16).expect("valid alpha"));
+    let res = sim.run_streams(shards);
+    println!(
+        "cold-L2 makespan {} cycles (barrier {}), shared L2: {} hits / {} misses / {} shared",
+        res.core_cycles,
+        res.barrier_cycles,
+        res.shared_l2.hits,
+        res.shared_l2.misses,
+        res.shared_l2.shared_hits
+    );
+    assert_eq!(res.cores, 4);
+}
