@@ -2,16 +2,19 @@
 //! VEGETA's single-core evaluation implies).
 //!
 //! Default mode: shards the pinned perf-gate layer set (one Table IV layer
-//! per source network) at 2:4 weights across 1/2/4/8 matrix-engine cores —
+//! per source network) at 2:4 weights across 1–32 matrix-engine cores —
 //! one engine per §VI engine class — through the `MultiCoreSim` pipeline,
-//! prints the strong-scaling table, and writes `BENCH_scaling.json`
-//! (per-engine geomean speedups vs 1 core) for the CI artifact upload.
-//! Honours `VEGETA_QUICK` like every other figure binary.
+//! prints the strong-scaling table, runs a static-vs-LPT scheduler duel on
+//! the pinned BERT-L2 layer at 16 cores (dense and 2:4), and writes
+//! `BENCH_scaling.json` (per-engine geomean speedups vs 1 core plus the
+//! duel cells) for the CI artifact upload. Honours `VEGETA_QUICK` like
+//! every other figure binary.
 //!
 //! `--full-scale` (the scheduled full-scale workflow): replays one
 //! full-fidelity Table IV layer sharded across 8 cores per engine class —
 //! the network-scale exercise of the sharded streaming path.
 
+use vegeta::json::JsonValue;
 use vegeta::prelude::*;
 use vegeta_bench::perf_gate::{perf_gate_engines, pinned_layers};
 use vegeta_bench::scaling::{
@@ -69,8 +72,48 @@ fn gate_mode() {
             }
         }
     }
+    // Scheduler duel: the pinned BERT-L2 layer at 16 cores, dense and 2:4,
+    // legacy static 1D sharding vs LPT-packed 2D/K-split plans — the
+    // stranded-core story in one table.
+    const DUEL_CORES: usize = 16;
+    let bert = pinned_layers()
+        .into_iter()
+        .find(|l| l.name == "BERT-L2")
+        .expect("pinned set includes BERT-L2");
+    println!("\n## Scheduler duel: {} at {DUEL_CORES} cores", bert.name);
+    let duel = Sweep::new()
+        .with_engines(perf_gate_engines())
+        .with_layer(bert)
+        .with_sparsities([NmRatio::D4_4, NmRatio::S2_4])
+        .with_fidelity(fidelity)
+        .with_core_count(DUEL_CORES)
+        .with_schedulers([SchedulerPolicy::Static, SchedulerPolicy::Lpt])
+        .run();
+    println!(
+        "{:<22} {:>8} {:>9} {:>12} {:>11} {:>9}",
+        "engine", "sparsity", "scheduler", "cycles", "efficiency", "stranded"
+    );
+    for cell in &duel.cells {
+        println!(
+            "{:<22} {:>8} {:>9} {:>12} {:>11.3} {:>9}",
+            cell.engine,
+            cell.sparsity,
+            cell.scheduler,
+            cell.cycles,
+            cell.scaling_efficiency,
+            cell.stranded_cores()
+        );
+    }
+
     report.save_csv("fig_scaling");
-    write_scaling_json(&scaling_report("gate", &report));
+    let mut doc = scaling_report("gate", &report);
+    if let JsonValue::Object(fields) = &mut doc {
+        fields.push((
+            "scheduler_duel".into(),
+            JsonValue::Array(duel.cells.iter().map(RunReport::to_json_value).collect()),
+        ));
+    }
+    write_scaling_json(&doc);
 }
 
 fn full_scale() {

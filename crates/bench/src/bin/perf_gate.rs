@@ -6,7 +6,12 @@
 //!    geomean speedups against the committed `BENCH_fig13.json` within
 //!    ±2%, exiting non-zero on any drift (performance changes must update
 //!    the baseline in the same PR);
-//! 2. replays the pinned layer set at **both** fidelities (quick/4 and
+//! 2. checks the strong-scaling floor: the pinned layers sharded across
+//!    8 cores (2D/K-split shard plans, LPT scheduling) must sustain an
+//!    across-engine geomean speedup of at least the floor (default 3.5×)
+//!    with no stranded cores — catching any regression back toward the
+//!    ~2.2× plateau the 1D/static path hit;
+//! 3. replays the pinned layer set at **both** fidelities (quick/4 and
 //!    full) through the streaming pipeline and writes the timed
 //!    `BENCH_perf.json` artifact (simulated insts/sec, wall-clock, cycles,
 //!    peak resident bytes).
@@ -18,13 +23,16 @@
 //! Flags: `--baseline <path>` overrides the committed baseline,
 //! `--tolerance <fraction>` the ±2% default (the `VEGETA_PERF_TOL`
 //! environment variable also overrides the default; the flag wins over
-//! both).
+//! both), `--scaling-floor <speedup>` the 3.5× scaling floor.
 
 use vegeta::json::JsonValue;
 use vegeta::prelude::*;
 use vegeta_bench::perf_gate::{
     compare_geomeans, perf_report, pinned_layers, resolve_tolerance, run_perf_cells,
     write_perf_json, TOLERANCE_ENV,
+};
+use vegeta_bench::scaling::{
+    check_scaling_floor, run_scaling_floor_sweep, DEFAULT_SCALING_FLOOR, SCALING_FLOOR_CORES,
 };
 
 fn workspace_baseline() -> std::path::PathBuf {
@@ -41,6 +49,7 @@ fn main() {
     let mut full_scale = false;
     let mut baseline_path = workspace_baseline();
     let mut tolerance_flag: Option<f64> = None;
+    let mut scaling_floor = DEFAULT_SCALING_FLOOR;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -55,12 +64,19 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--scaling-floor" => {
+                let raw = iter.next().expect("--scaling-floor needs a speedup");
+                scaling_floor = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("perf_gate: --scaling-floor '{raw}' is not a number (e.g. 3.5)");
+                    std::process::exit(2);
+                });
+            }
             // A gate that silently ignores a mistyped flag would run with
             // criteria the author did not intend; refuse instead.
             unknown => {
                 eprintln!(
-                    "perf_gate: unknown argument '{unknown}' \
-                     (expected --full-scale, --baseline <path>, --tolerance <fraction>)"
+                    "perf_gate: unknown argument '{unknown}' (expected --full-scale, \
+                     --baseline <path>, --tolerance <fraction>, --scaling-floor <speedup>)"
                 );
                 std::process::exit(2);
             }
@@ -143,7 +159,23 @@ fn main() {
         }
     }
 
-    // --- 2. Pinned perf set at both fidelities, timed. ---
+    // --- 2. Strong-scaling floor at the pinned core count. ---
+    println!(
+        "\n## perf_gate: {SCALING_FLOOR_CORES}-core scaling floor (>= {scaling_floor:.2}x geomean)"
+    );
+    let scaling = run_scaling_floor_sweep(Fidelity::from_env());
+    match check_scaling_floor(&scaling, SCALING_FLOOR_CORES, scaling_floor) {
+        Ok(achieved) => println!(
+            "scaling floor PASSED: {achieved:.2}x geomean speedup at \
+             {SCALING_FLOOR_CORES} cores, no stranded cores"
+        ),
+        Err(why) => {
+            eprintln!("scaling floor FAILED: {why}");
+            std::process::exit(1);
+        }
+    }
+
+    // --- 3. Pinned perf set at both fidelities, timed. ---
     println!("\n## perf_gate: pinned layer set at quick/4 and full fidelity");
     let cells = run_perf_cells(&pinned_layers(), &[Fidelity::Quick(4), Fidelity::Full]);
     print_cells(&cells);

@@ -2,13 +2,19 @@
 //!
 //! VEGETA's evaluation is single-core; this module answers the scale-out
 //! question its deployment story implies — "how does each engine class
-//! scale when one Table IV layer is sharded across 2/4/8 matrix-engine
+//! scale when one Table IV layer is sharded across 2–32 matrix-engine
 //! cores?" — the way SparseZipper evaluates its matrix extensions. It
 //! drives the `Sweep::with_cores` axis over the pinned perf-gate layer set
 //! and one engine per §VI engine class, derives per-engine geometric-mean
 //! speedups vs the 1-core cells, and emits the machine-readable
 //! `BENCH_scaling.json` artifact the CI drivers job uploads (cycle counts
 //! are simulated, so quick-mode output is deterministic).
+//!
+//! [`check_scaling_floor`] is the perf gate's guard against scaling
+//! regressions: with 2D/K-split shard plans and LPT packing the pinned
+//! set sustains well over [`DEFAULT_SCALING_FLOOR`]× geomean speedup at
+//! [`SCALING_FLOOR_CORES`] cores (the old 1D/static path plateaued around
+//! 2.2× with half the cores stranded).
 
 use vegeta::json::JsonValue;
 use vegeta::prelude::*;
@@ -18,7 +24,66 @@ use crate::perf_gate::{perf_gate_engines, pinned_layers};
 /// The strong-scaling core counts the benchmark sweeps (1 is the
 /// baseline the speedups are normalized to).
 pub fn scaling_core_counts() -> Vec<usize> {
-    vec![1, 2, 4, 8]
+    vec![1, 2, 4, 8, 16, 32]
+}
+
+/// Core count the perf gate's scaling floor is pinned at.
+pub const SCALING_FLOOR_CORES: usize = 8;
+
+/// Minimum across-engine geomean speedup at [`SCALING_FLOOR_CORES`] cores
+/// the perf gate accepts (override per run with `--scaling-floor`). The
+/// LPT-scheduled 2D shard plans deliver well above this; the floor exists
+/// to catch a regression back toward the ~2.2× 1D/static plateau.
+pub const DEFAULT_SCALING_FLOOR: f64 = 3.5;
+
+/// Runs the small sweep behind the perf gate's scaling floor: pinned
+/// layers × engine classes × 2:4 × {1, [`SCALING_FLOOR_CORES`]} cores.
+pub fn run_scaling_floor_sweep(fidelity: Fidelity) -> SweepReport {
+    Sweep::new()
+        .with_engines(perf_gate_engines())
+        .with_layers(pinned_layers())
+        .with_sparsity(NmRatio::S2_4)
+        .with_fidelity(fidelity)
+        .with_cores([1, SCALING_FLOOR_CORES])
+        .run()
+}
+
+/// Checks the strong-scaling floor on a cores-axis sweep: every engine's
+/// geomean speedup at `cores` cores is folded into one across-engine
+/// geomean, which must reach `floor`; any `cores`-core cell with stranded
+/// (zero-cycle) cores fails outright. Returns the achieved geomean.
+///
+/// # Errors
+///
+/// A human-readable description of the shortfall: a missing baseline or
+/// `cores`-core cell, a stranded core, or a geomean below the floor.
+pub fn check_scaling_floor(report: &SweepReport, cores: usize, floor: f64) -> Result<f64, String> {
+    for cell in report.cells.iter().filter(|c| c.cores == cores) {
+        if cell.stranded_cores() > 0 {
+            return Err(format!(
+                "{} on {} strands {} of {} cores",
+                cell.workload,
+                cell.engine,
+                cell.stranded_cores(),
+                cell.cores
+            ));
+        }
+    }
+    let mut per_engine = Vec::new();
+    for engine in report.engines() {
+        let g = report
+            .geomean_core_scaling(engine, "2:4", cores)
+            .ok_or_else(|| format!("{engine} is missing 1- or {cores}-core cells"))?;
+        per_engine.push(g);
+    }
+    let achieved =
+        geomean(&per_engine).ok_or_else(|| "no engines in the scaling sweep".to_string())?;
+    if achieved < floor {
+        return Err(format!(
+            "strong-scaling geomean at {cores} cores is {achieved:.2}x, below the {floor:.2}x floor"
+        ));
+    }
+    Ok(achieved)
 }
 
 /// Runs the scaling grid: pinned layers × one engine per §VI engine class
@@ -126,5 +191,32 @@ mod tests {
         let counts = scaling_core_counts();
         assert_eq!(counts[0], 1, "speedups are normalized to 1 core");
         assert!(counts.windows(2).all(|w| w[0] < w[1]));
+        assert!(
+            counts.contains(&SCALING_FLOOR_CORES),
+            "the floor's core count is part of the published curve"
+        );
+    }
+
+    #[test]
+    fn scaling_floor_passes_and_fails_sensibly() {
+        let report = Sweep::new()
+            .with_engine(EngineConfig::vegeta_s(16).unwrap())
+            .with_layer(table4()[7])
+            .with_sparsity(NmRatio::S2_4)
+            .with_fidelity(Fidelity::Quick(4))
+            .with_cores([1, 8])
+            .run();
+        let achieved = check_scaling_floor(&report, 8, 2.0).expect("8 cores beat 2x");
+        assert!(achieved > 2.0);
+        let err = check_scaling_floor(&report, 8, 1000.0).unwrap_err();
+        assert!(
+            err.contains("below the"),
+            "floor failure names itself: {err}"
+        );
+        let err = check_scaling_floor(&report, 16, 2.0).unwrap_err();
+        assert!(
+            err.contains("missing"),
+            "absent core count is refused: {err}"
+        );
     }
 }

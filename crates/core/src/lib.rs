@@ -87,13 +87,14 @@ pub mod prelude {
     pub use vegeta_engine::{CostModel, EngineConfig, EngineTimer};
     pub use vegeta_isa::{Executor, Inst, Memory, TReg, UReg, VReg};
     pub use vegeta_kernels::{
-        EngineKernelExt, GemmShape, Kernel, KernelOptions, KernelSpec, SparseMode, TraceCache,
+        EngineKernelExt, GemmShape, Kernel, KernelOptions, KernelSpec, ShardPlan, ShardSet,
+        SparseMode, TraceCache,
     };
     pub use vegeta_model::{GranularityHw, GranularityModel};
     pub use vegeta_num::{Bf16, Matrix};
     pub use vegeta_sim::{
-        CoreSim, MultiCoreConfig, MultiCoreResult, MultiCoreSim, SharedL2Stats, SimConfig,
-        SimResult,
+        CoreSim, MultiCoreConfig, MultiCoreResult, MultiCoreSim, SchedulerPolicy, SharedL2Stats,
+        SimConfig, SimResult,
     };
     pub use vegeta_sparse::{
         CompressedTile, CsrTile, DenseTile, FormatSpec, MregImage, NmRatio, RowWiseTile,

@@ -112,6 +112,10 @@ pub struct RunReport {
     /// path; `cycles` is then the multi-core makespan including the
     /// end-of-shard barrier).
     pub cores: usize,
+    /// Scheduler that assigned shards to cores: `"-"` for the classic
+    /// single-core path, else a [`vegeta_sim::SchedulerPolicy`] label
+    /// (`"static"` / `"lpt"`).
+    pub scheduler: String,
     /// Per-core cycle counts of a multi-core run, in core order (empty for
     /// single-core runs).
     pub per_core_cycles: Vec<u64>,
@@ -134,6 +138,13 @@ impl RunReport {
             return 0.0;
         }
         self.engine_busy_cycles as f64 / (self.cores.max(1) as f64 * self.cycles as f64)
+    }
+
+    /// Cores that retired nothing (zero per-core cycles) — provisioned
+    /// silicon the shard plan and scheduler failed to feed. Always 0 for
+    /// single-core runs and for healthy scaled-out ones.
+    pub fn stranded_cores(&self) -> usize {
+        self.per_core_cycles.iter().filter(|&&c| c == 0).count()
     }
 
     /// Instructions per core cycle.
@@ -184,6 +195,7 @@ impl RunReport {
             ("macs".into(), self.macs.into()),
             ("core_ghz".into(), self.core_ghz.into()),
             ("cores".into(), self.cores.into()),
+            ("scheduler".into(), self.scheduler.as_str().into()),
             (
                 "per_core_cycles".into(),
                 JsonValue::Array(
@@ -203,6 +215,10 @@ impl RunReport {
                 ]),
             ),
             ("scaling_efficiency".into(), self.scaling_efficiency.into()),
+            (
+                "stranded_cores".into(),
+                (self.stranded_cores() as u64).into(),
+            ),
             ("utilization".into(), self.utilization().into()),
             ("effective_tflops".into(), self.effective_tflops().into()),
         ])
@@ -270,6 +286,13 @@ impl RunReport {
                 None => 1,
                 Some(c) => c.as_u64().ok_or(ReportError::Field("cores"))? as usize,
             },
+            scheduler: match v.get("scheduler") {
+                None => "-".to_string(),
+                Some(p) => p
+                    .as_str()
+                    .map(str::to_string)
+                    .ok_or(ReportError::Field("scheduler"))?,
+            },
             per_core_cycles: match v.get("per_core_cycles") {
                 None => Vec::new(),
                 Some(a) => a
@@ -305,8 +328,9 @@ impl RunReport {
     /// The CSV header matching [`RunReport::csv_row`].
     pub fn csv_header() -> &'static str {
         "workload,sparsity,fidelity,engine,kernel,format,a_values_bytes,a_metadata_bits,\
-         m,n,k,cores,cycles,per_core_cycles,scaling_efficiency,shared_l2_shared_hits,\
-         instructions,insts_streamed,peak_resident_bytes,utilization,effective_tflops"
+         m,n,k,cores,scheduler,cycles,per_core_cycles,scaling_efficiency,stranded_cores,\
+         shared_l2_shared_hits,instructions,insts_streamed,peak_resident_bytes,\
+         utilization,effective_tflops"
     }
 
     /// One CSV row (fields quoted where needed — engine names contain
@@ -320,7 +344,7 @@ impl RunReport {
             .collect::<Vec<_>>()
             .join(";");
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{},{:.4},{:.4}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{},{},{},{},{},{:.4},{:.4}",
             csv_field(&self.workload),
             csv_field(&self.sparsity),
             csv_field(&self.fidelity),
@@ -333,9 +357,11 @@ impl RunReport {
             self.shape.n,
             self.shape.k,
             self.cores,
+            csv_field(&self.scheduler),
             self.cycles,
             per_core,
             self.scaling_efficiency,
+            self.stranded_cores(),
             self.shared_l2.shared_hits,
             self.instructions,
             self.insts_streamed,
@@ -616,6 +642,7 @@ mod tests {
             macs: 1_048_576,
             core_ghz: 2.0,
             cores: 1,
+            scheduler: "-".into(),
             per_core_cycles: Vec::new(),
             shared_l2: SharedL2Stats::default(),
             scaling_efficiency: 1.0,
@@ -642,6 +669,7 @@ mod tests {
     fn multi_core_fields_round_trip_through_json_and_csv() {
         let mut r = sample("GPT-L1", "VEGETA-S-16-2", "2:4", 50_000);
         r.cores = 4;
+        r.scheduler = "lpt".into();
         r.per_core_cycles = vec![49_000, 48_500, 49_900, 47_000];
         r.shared_l2 = SharedL2Stats {
             accesses: 1000,
@@ -658,13 +686,28 @@ mod tests {
         assert!((r.utilization() - 0.25).abs() < 1e-12);
         let back = RunReport::from_json(&r.to_json()).unwrap();
         assert_eq!(back, r);
+        assert_eq!(r.stranded_cores(), 0);
         let row = r.csv_row();
-        assert!(row.contains(",4,50000,49000;48500;49900;47000,0.9700,600,"));
+        assert!(row.contains(",4,lpt,50000,49000;48500;49900;47000,0.9700,0,600,"));
         assert_eq!(
             row.split(',').count(),
             RunReport::csv_header().split(',').count(),
             "row and header column counts agree"
         );
+    }
+
+    #[test]
+    fn stranded_cores_surface_in_json_and_csv() {
+        let mut r = sample("L", "E", "2:4", 1000);
+        r.cores = 4;
+        r.scheduler = "static".into();
+        r.per_core_cycles = vec![0, 900, 0, 950];
+        assert_eq!(r.stranded_cores(), 2);
+        assert!(r.to_json().contains("\"stranded_cores\":2"));
+        assert!(r.csv_row().contains(",4,static,1000,0;900;0;950,"));
+        // Derived, like utilization: stripping it from the JSON is fine.
+        let back = RunReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.stranded_cores(), 2);
     }
 
     #[test]
@@ -682,7 +725,11 @@ mod tests {
                 .filter(|(k, _)| {
                     !matches!(
                         k.as_str(),
-                        "cores" | "per_core_cycles" | "shared_l2" | "scaling_efficiency"
+                        "cores"
+                            | "scheduler"
+                            | "per_core_cycles"
+                            | "shared_l2"
+                            | "scaling_efficiency"
                     )
                 })
                 .collect(),

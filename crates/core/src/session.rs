@@ -40,7 +40,7 @@ use rand::SeedableRng;
 use vegeta_engine::EngineConfig;
 use vegeta_isa::trace::Trace;
 use vegeta_kernels::{EngineKernelExt, Kernel, KernelOptions, KernelSpec, SparseMode, TraceCache};
-use vegeta_sim::{CoreSim, MultiCoreConfig, MultiCoreSim, SimConfig};
+use vegeta_sim::{CoreSim, MultiCoreConfig, MultiCoreSim, SchedulerPolicy, SimConfig};
 use vegeta_sparse::{prune, transform, FormatSpec, NmRatio};
 use vegeta_workloads::Layer;
 
@@ -162,6 +162,7 @@ struct CellOutcome {
     engine_busy_cycles: u64,
     peak_resident_bytes: u64,
     cores: usize,
+    scheduler: String,
     per_core_cycles: Vec<u64>,
     shared_l2: vegeta_sim::SharedL2Stats,
     scaling_efficiency: f64,
@@ -176,6 +177,7 @@ impl From<vegeta_sim::SimResult> for CellOutcome {
             engine_busy_cycles: res.engine_busy_cycles,
             peak_resident_bytes: res.peak_resident_bytes,
             cores: 1,
+            scheduler: "-".to_string(),
             per_core_cycles: Vec::new(),
             shared_l2: Default::default(),
             scaling_efficiency: if res.core_cycles == 0 { 0.0 } else { 1.0 },
@@ -194,6 +196,7 @@ impl From<vegeta_sim::MultiCoreResult> for CellOutcome {
             scaling_efficiency: res.scaling_efficiency(),
             per_core_cycles: res.per_core_cycles(),
             cores: res.cores,
+            scheduler: SchedulerPolicy::default().label().to_string(),
             shared_l2: res.shared_l2,
         }
     }
@@ -232,6 +235,7 @@ impl CellOutcome {
             macs: shape.macs(),
             core_ghz: sim.core_ghz,
             cores: self.cores,
+            scheduler: self.scheduler,
             per_core_cycles: self.per_core_cycles,
             shared_l2: self.shared_l2,
             scaling_efficiency: self.scaling_efficiency,
@@ -268,12 +272,15 @@ fn run_cell(
 }
 
 /// Simulates one `(engine, shape, spec)` cell sharded across `cores` cores
-/// of a [`MultiCoreSim`]: the kernel's tile-loop nest is partitioned by
-/// M-tile rows ([`KernelSpec::shard_streams`]), each shard streams through
-/// its own core (private L1 + engine), and the cores share one
-/// coherence-free L2. The report's `cycles` is the makespan including the
-/// end-of-shard barrier; per-core cycles, shared-L2 stats and the run's
-/// parallel efficiency ride along.
+/// of a [`MultiCoreSim`]. Under [`SchedulerPolicy::Static`] the kernel is
+/// split 1D by M-tile rows ([`KernelSpec::shard_streams`]), one stream per
+/// core; under [`SchedulerPolicy::Lpt`] it is decomposed into a 2D/K-split
+/// shard set ([`KernelSpec::shard_set`]) and LPT-packed onto the cores,
+/// with any K-split reduction replayed after the barrier. Each shard
+/// streams through its core (private L1 + engine) over one coherence-free
+/// shared L2. The report's `cycles` is the makespan including the
+/// end-of-shard barrier (and reduction); per-core cycles, shared-L2 stats
+/// and the run's parallel efficiency ride along.
 #[allow(clippy::too_many_arguments)] // internal plumbing behind every run_* entry point
 fn run_cell_cores(
     engine: &EngineConfig,
@@ -285,12 +292,19 @@ fn run_cell_cores(
     shape: GemmShape,
     spec: &KernelSpec,
     cores: usize,
+    policy: SchedulerPolicy,
     progress: Option<&ProgressFn>,
 ) -> RunReport {
     // Memoize the unsharded generator summary so sweeps account trace
     // construction identically whichever axis ran first.
     cache.summary(shape, spec);
-    let shards = spec.shard_streams(shape, cores);
+    let (shards, reduction) = match policy {
+        SchedulerPolicy::Static => (spec.shard_streams(shape, cores), None),
+        SchedulerPolicy::Lpt => {
+            let set = spec.shard_set(shape, cores);
+            (set.shards, set.reduction)
+        }
+    };
     let mut sim_mc = MultiCoreSim::new(
         MultiCoreConfig::with_core(sim.clone(), cores),
         engine.clone(),
@@ -298,11 +312,13 @@ fn run_cell_cores(
     let res = match progress {
         Some(p) => {
             let mut cb = |done: u64, total: u64| p(workload, done, total);
-            sim_mc.run_streams_with(shards, Some(&mut cb))
+            sim_mc.run_sharded_with(shards, reduction, policy, Some(&mut cb))
         }
-        None => sim_mc.run_streams(shards),
+        None => sim_mc.run_sharded(shards, reduction, policy),
     };
-    CellOutcome::from(res).report(engine, sim, workload, sparsity, fidelity, shape, spec)
+    let mut outcome = CellOutcome::from(res);
+    outcome.scheduler = policy.label().to_string();
+    outcome.report(engine, sim, workload, sparsity, fidelity, shape, spec)
 }
 
 /// Synthesizes the sorted §V-E row covers a row-wise format cell executes:
@@ -374,6 +390,7 @@ pub struct Session {
     sim: SimConfig,
     opts: KernelOptions,
     unstructured_degree: f64,
+    scheduler: SchedulerPolicy,
     cache: Arc<TraceCache>,
     progress: Option<ProgressFn>,
 }
@@ -385,6 +402,7 @@ impl std::fmt::Debug for Session {
             .field("sim", &self.sim)
             .field("opts", &self.opts)
             .field("unstructured_degree", &self.unstructured_degree)
+            .field("scheduler", &self.scheduler)
             .field("cache", &self.cache)
             .field("progress", &self.progress.as_ref().map(|_| "Fn"))
             .finish()
@@ -400,9 +418,19 @@ impl Session {
             sim: SimConfig::default(),
             opts: KernelOptions::default(),
             unstructured_degree: DEFAULT_UNSTRUCTURED_DEGREE,
+            scheduler: SchedulerPolicy::default(),
             cache: Arc::new(TraceCache::new()),
             progress: None,
         }
+    }
+
+    /// Replaces the scheduler policy multi-core runs use to assign shards
+    /// to cores (the default is [`SchedulerPolicy::Lpt`], which also
+    /// unlocks 2D/K-split shard plans; [`SchedulerPolicy::Static`] is the
+    /// legacy one-M-row-shard-per-core path).
+    pub fn with_scheduler(mut self, scheduler: SchedulerPolicy) -> Self {
+        self.scheduler = scheduler;
+        self
     }
 
     /// Installs a progress observer for streamed replays (useful for long
@@ -503,12 +531,14 @@ impl Session {
 
     /// Runs one Table IV layer sharded across `cores` cores of a
     /// [`vegeta_sim::MultiCoreSim`] at the given fidelity: the kernel is
-    /// split by M-tile rows into one stream per core, private L1s share a
-    /// coherence-free L2, and the report carries the makespan (barrier
-    /// included), per-core cycles, shared-L2 stats and parallel
-    /// efficiency. `cores == 1` runs the same harness with a single shard
-    /// (cycle-identical to [`Session::run_layer_at`] — the barrier is free
-    /// for one core).
+    /// decomposed per the session's [`SchedulerPolicy`] (the default LPT
+    /// path over-decomposes into a 2D/K-split shard set and load-balances
+    /// it; the static path splits 1D by M-tile rows, one stream per core),
+    /// private L1s share a coherence-free L2, and the report carries the
+    /// makespan (barrier and any K-split reduction included), per-core
+    /// cycles, shared-L2 stats and parallel efficiency. `cores == 1` runs
+    /// the same harness with a single unsplit shard (cycle-identical to
+    /// [`Session::run_layer_at`] — the barrier is free for one core).
     pub fn run_layer_cores_at(
         &self,
         layer: &Layer,
@@ -527,6 +557,7 @@ impl Session {
             fidelity.shape_of(layer),
             &spec,
             cores,
+            self.scheduler,
             self.progress.as_ref(),
         )
     }
@@ -551,6 +582,7 @@ impl Session {
             shape,
             &spec,
             cores,
+            self.scheduler,
             self.progress.as_ref(),
         )
     }
@@ -634,6 +666,7 @@ impl Session {
             macs: shape.macs(),
             core_ghz: self.sim.core_ghz,
             cores: 1,
+            scheduler: "-".to_string(),
             per_core_cycles: Vec::new(),
             shared_l2: Default::default(),
             scaling_efficiency: if res.core_cycles == 0 { 0.0 } else { 1.0 },
@@ -685,7 +718,7 @@ enum GridAxis {
 }
 
 /// A grid runner over engine × workload × {sparsity pattern | storage
-/// format} × core-count combinations.
+/// format} × core-count × scheduler-policy combinations.
 ///
 /// The middle axis mixes two kinds of entries: weight-sparsity patterns
 /// ([`Sweep::with_sparsities`], the Fig. 13 axis — the engine chooses how
@@ -706,6 +739,7 @@ pub struct Sweep {
     formats: Vec<FormatSpec>,
     fidelities: Vec<Fidelity>,
     cores: Vec<usize>,
+    schedulers: Vec<SchedulerPolicy>,
     unstructured_degree: f64,
     scale: usize,
     sim: SimConfig,
@@ -723,6 +757,7 @@ impl Default for Sweep {
             formats: Vec::new(),
             fidelities: Vec::new(),
             cores: Vec::new(),
+            schedulers: Vec::new(),
             unstructured_degree: DEFAULT_UNSTRUCTURED_DEGREE,
             scale: 1,
             sim: SimConfig::default(),
@@ -850,12 +885,43 @@ impl Sweep {
         self
     }
 
+    /// Adds one scheduler policy to the grid (see
+    /// [`Sweep::with_schedulers`]).
+    pub fn with_scheduler(mut self, scheduler: SchedulerPolicy) -> Self {
+        self.schedulers.push(scheduler);
+        self
+    }
+
+    /// Adds scheduler policies to the grid, making shard scheduling a
+    /// sweepable axis: every multi-core cell runs once per policy
+    /// (`with_schedulers([Static, Lpt])` pins the legacy 1D split against
+    /// load-aware 2D/K-split packing). Only meaningful combined with a
+    /// cores axis — the classic single-core path ignores the policy. When
+    /// no policy is given, multi-core cells run the default
+    /// ([`SchedulerPolicy::Lpt`]).
+    pub fn with_schedulers(
+        mut self,
+        schedulers: impl IntoIterator<Item = SchedulerPolicy>,
+    ) -> Self {
+        self.schedulers.extend(schedulers);
+        self
+    }
+
     /// The grid's cores axis: `None` marks the classic single-core path.
     fn effective_cores(&self) -> Vec<Option<usize>> {
         if self.cores.is_empty() {
             vec![None]
         } else {
             self.cores.iter().map(|&c| Some(c)).collect()
+        }
+    }
+
+    /// The grid's scheduler axis: the default policy when none was given.
+    fn effective_schedulers(&self) -> Vec<SchedulerPolicy> {
+        if self.schedulers.is_empty() {
+            vec![SchedulerPolicy::default()]
+        } else {
+            self.schedulers.clone()
         }
     }
 
@@ -899,6 +965,7 @@ impl Sweep {
             * self.layers.len()
             * self.effective_fidelities().len()
             * self.effective_cores().len()
+            * self.effective_schedulers().len()
             * (self.sparsities.len() + self.formats.len())
     }
 
@@ -915,7 +982,8 @@ impl Sweep {
 
     /// Runs the grid and returns the report; cells appear workload-major,
     /// then fidelity, then axis entry (sparsities before formats), then
-    /// core count, then engine, whatever the thread count.
+    /// core count, then scheduler policy, then engine, whatever the thread
+    /// count.
     pub fn run(&self) -> SweepReport {
         // Enumerate cells in their deterministic report order.
         let axes: Vec<GridAxis> = self
@@ -926,14 +994,24 @@ impl Sweep {
             .collect();
         let fidelities = self.effective_fidelities();
         let cores_axis = self.effective_cores();
-        let mut cells: Vec<(&Layer, Fidelity, GridAxis, Option<usize>, &EngineConfig)> =
-            Vec::with_capacity(self.cell_count());
+        let scheduler_axis = self.effective_schedulers();
+        #[allow(clippy::type_complexity)] // one-shot cell enumeration tuple
+        let mut cells: Vec<(
+            &Layer,
+            Fidelity,
+            GridAxis,
+            Option<usize>,
+            SchedulerPolicy,
+            &EngineConfig,
+        )> = Vec::with_capacity(self.cell_count());
         for layer in &self.layers {
             for &fidelity in &fidelities {
                 for &axis in &axes {
                     for &cores in &cores_axis {
-                        for engine in &self.engines {
-                            cells.push((layer, fidelity, axis, cores, engine));
+                        for &scheduler in &scheduler_axis {
+                            for engine in &self.engines {
+                                cells.push((layer, fidelity, axis, cores, scheduler, engine));
+                            }
                         }
                     }
                 }
@@ -962,11 +1040,12 @@ impl Sweep {
             }
         }
 
-        let run_one = |(layer, fidelity, axis, cores, engine): &(
+        let run_one = |(layer, fidelity, axis, cores, scheduler, engine): &(
             &Layer,
             Fidelity,
             GridAxis,
             Option<usize>,
+            SchedulerPolicy,
             &EngineConfig,
         )|
          -> RunReport {
@@ -1010,6 +1089,7 @@ impl Sweep {
                     shape,
                     &spec,
                     n,
+                    *scheduler,
                     None,
                 ),
             }

@@ -91,7 +91,7 @@ pub use exec::{encode_row_patterns, row_patterns_of, ExecStats, Executor};
 pub use inst::{Inst, Opcode, RegRef, MACS_PER_TILE_INST};
 pub use mem::{Memory, CACHE_LINE_BYTES};
 pub use regs::{MReg, RegFile, TReg, UReg, VReg};
-pub use stream::{BlockEmitter, ChunkedStream, InstStream, TraceStream, TRACE_OP_BYTES};
+pub use stream::{BlockEmitter, ChunkedStream, GridSlice, InstStream, TraceStream, TRACE_OP_BYTES};
 // The storage layer's register images and views are part of this crate's
 // operand vocabulary; re-export them so ISA users need one import.
 pub use vegeta_sparse::{FormatSpec, MregImage, TileFormat, TileView, TregImage};

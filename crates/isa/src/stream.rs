@@ -237,6 +237,136 @@ impl<E: BlockEmitter> BlockEmitter for BlockSlice<E> {
     }
 }
 
+/// A 2D block-range view of an emitter whose blocks form a row-major
+/// `rows_total × cols_total` grid.
+///
+/// Kernel emitters lay their blocks out outer-major: block
+/// `r * cols_total + c` is outer unit `r`, inner unit `c` (M-tile group ×
+/// N-tile column for the tiled families). A `GridSlice` re-exposes the
+/// sub-rectangle `rows × cols` of that grid as a dense row-major block
+/// range `[0, rows.len() * cols.len())`, so a 2D shard is just a
+/// [`ChunkedStream`] over a `GridSlice` — exact-length and byte-accounted
+/// like every other block view. Unlike [`BlockSlice`], the selected inner
+/// blocks are *strided*: consecutive slice blocks jump `cols_total`
+/// inner blocks at each row boundary.
+///
+/// # Example
+///
+/// Slicing the middle column of a 3×3 grid selects inner blocks 1, 4, 7:
+///
+/// ```
+/// use vegeta_isa::stream::{BlockEmitter, GridSlice};
+/// use vegeta_isa::trace::TraceOp;
+///
+/// struct Nine;
+/// impl BlockEmitter for Nine {
+///     fn blocks(&self) -> usize {
+///         9
+///     }
+///     fn block_ops(&self, _block: usize) -> u64 {
+///         1
+///     }
+///     fn emit_block(&self, block: usize, out: &mut Vec<TraceOp>) {
+///         out.push(TraceOp::Scalar {
+///             dst: block as u8,
+///             src: 0,
+///         });
+///     }
+/// }
+///
+/// let slice = GridSlice::new(Nine, 3, 0..3, 1..2);
+/// let picked: Vec<usize> = (0..slice.blocks()).map(|b| slice.inner_block(b)).collect();
+/// assert_eq!(picked, vec![1, 4, 7]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridSlice<E> {
+    inner: E,
+    cols_total: usize,
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+}
+
+impl<E: BlockEmitter> GridSlice<E> {
+    /// A view of grid rows `rows` × grid columns `cols` of `inner`, whose
+    /// blocks are laid out row-major with `cols_total` columns per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner block count is not a multiple of `cols_total`,
+    /// or if either range exceeds the grid (`cols.end > cols_total`, or
+    /// `rows.end` past the inner row count).
+    pub fn new(
+        inner: E,
+        cols_total: usize,
+        rows: std::ops::Range<usize>,
+        cols: std::ops::Range<usize>,
+    ) -> Self {
+        assert!(cols_total > 0, "a block grid needs at least one column");
+        assert_eq!(
+            inner.blocks() % cols_total,
+            0,
+            "{} blocks do not tile into rows of {cols_total}",
+            inner.blocks()
+        );
+        let rows_total = inner.blocks() / cols_total;
+        assert!(
+            rows.end <= rows_total && cols.end <= cols_total,
+            "grid slice {rows:?}x{cols:?} exceeds {rows_total}x{cols_total} grid"
+        );
+        GridSlice {
+            inner,
+            cols_total,
+            rows,
+            cols,
+        }
+    }
+
+    /// The wrapped emitter.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// The inner block index slice block `block` maps to.
+    pub fn inner_block(&self, block: usize) -> usize {
+        debug_assert!(block < self.blocks());
+        let width = self.cols.len();
+        (self.rows.start + block / width) * self.cols_total + self.cols.start + block % width
+    }
+
+    /// The grid-row (outer-unit) range this slice covers.
+    pub fn rows(&self) -> std::ops::Range<usize> {
+        self.rows.clone()
+    }
+
+    /// The grid-column (inner-unit) range this slice covers.
+    pub fn cols(&self) -> std::ops::Range<usize> {
+        self.cols.clone()
+    }
+
+    /// The first inner block this slice exposes (row-major).
+    pub fn first_block(&self) -> usize {
+        self.rows.start * self.cols_total + self.cols.start
+    }
+}
+
+impl<E: BlockEmitter> BlockEmitter for GridSlice<E> {
+    fn blocks(&self) -> usize {
+        self.rows.len() * self.cols.len()
+    }
+
+    fn block_ops(&self, block: usize) -> u64 {
+        self.inner.block_ops(self.inner_block(block))
+    }
+
+    fn emit_block(&self, block: usize, out: &mut Vec<TraceOp>) {
+        self.inner.emit_block(self.inner_block(block), out);
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.inner.state_bytes()
+    }
+}
+
 /// Partitions `0..units` into `parts` contiguous, near-even ranges (sizes
 /// differ by at most one; some ranges are empty when `parts > units`).
 /// The canonical split multi-core sharding uses to assign outer loop
@@ -470,6 +600,52 @@ mod tests {
     #[should_panic(expected = "exceeds")]
     fn block_slice_rejects_out_of_range() {
         let _ = BlockSlice::new(Ramp { n: 3 }, 2, 2);
+    }
+
+    #[test]
+    fn grid_slices_tile_a_stream_losslessly() {
+        // A 4x3 grid (12 ramp blocks) cut into 2x2 rectangles must cover
+        // every inner block exactly once, whatever the cut.
+        let whole = ChunkedStream::new(Ramp { n: 12 }).collect_trace();
+        for (row_parts, col_parts) in [(1usize, 1usize), (2, 3), (4, 1), (2, 2), (4, 3)] {
+            let mut ops: Vec<TraceOp> = Vec::new();
+            let mut total = 0u64;
+            for rows in even_ranges(4, row_parts) {
+                for cols in even_ranges(3, col_parts) {
+                    let mut shard =
+                        ChunkedStream::new(GridSlice::new(Ramp { n: 12 }, 3, rows.clone(), cols));
+                    total += shard.remaining();
+                    ops.extend(shard.collect_trace().ops());
+                }
+            }
+            assert_eq!(total, whole.len() as u64, "{row_parts}x{col_parts}");
+            // 2D shards permute block order, so compare as multisets.
+            let mut got: Vec<String> = ops.iter().map(|op| format!("{op:?}")).collect();
+            let mut want: Vec<String> = whole.ops().iter().map(|op| format!("{op:?}")).collect();
+            got.sort();
+            want.sort();
+            assert_eq!(got, want, "{row_parts}x{col_parts}");
+        }
+    }
+
+    #[test]
+    fn full_width_grid_slice_matches_block_slice() {
+        // Rows x all-columns is a contiguous range: identical op order to
+        // the equivalent BlockSlice, which is what keeps 1D sharding (and
+        // the 1-core path) bit-identical through the grid view.
+        let grid = ChunkedStream::new(GridSlice::new(Ramp { n: 12 }, 3, 1..3, 0..3));
+        let flat = ChunkedStream::new(BlockSlice::new(Ramp { n: 12 }, 3, 6));
+        assert_eq!(grid.emitter().first_block(), 3);
+        let mut grid = grid;
+        let mut flat = flat;
+        assert_eq!(grid.remaining(), flat.remaining());
+        assert_eq!(grid.collect_trace(), flat.collect_trace());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn grid_slice_rejects_out_of_range() {
+        let _ = GridSlice::new(Ramp { n: 12 }, 3, 0..5, 0..3);
     }
 
     #[test]

@@ -186,6 +186,37 @@ impl KernelSpec {
     pub fn shard_streams(&self, shape: GemmShape, n: usize) -> Vec<crate::stream::ShardStream> {
         KernelEmitter::for_spec(self, shape).shard(n)
     }
+
+    /// Picks the 2D/K-split [`crate::ShardPlan`] for `cores` (see
+    /// [`KernelEmitter::plan_for_cores`]): M first, then N with ~2×
+    /// over-decomposition for LPT slack, then K as the last resort.
+    pub fn shard_plan(&self, shape: GemmShape, cores: usize) -> crate::ShardPlan {
+        KernelEmitter::for_spec(self, shape).plan_for_cores(cores)
+    }
+
+    /// Cuts this kernel into the shard set [`KernelSpec::shard_plan`]
+    /// picks for `cores`: rectangular M×N (and, when needed, K-split)
+    /// shards plus the post-barrier reduction stream when K is split —
+    /// the work units the load-aware scheduler packs onto cores.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vegeta_isa::stream::InstStream;
+    /// use vegeta_kernels::{GemmShape, KernelSpec, SparseMode};
+    ///
+    /// let spec = KernelSpec::tiled(SparseMode::Nm2of4);
+    /// let shape = GemmShape::new(128, 64, 256);
+    /// let set = spec.shard_set(shape, 8);
+    /// assert!(set.shards.len() >= 8, "every core gets work");
+    /// let total: u64 = set.shards.iter().map(|s| s.remaining()).sum();
+    /// assert_eq!(total, spec.stream(shape).remaining());
+    /// ```
+    pub fn shard_set(&self, shape: GemmShape, cores: usize) -> crate::ShardSet {
+        let emitter = KernelEmitter::for_spec(self, shape);
+        let plan = emitter.plan_for_cores(cores);
+        emitter.shard_with(plan)
+    }
 }
 
 impl Kernel for KernelSpec {

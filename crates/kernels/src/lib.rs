@@ -57,7 +57,7 @@ pub use rowwise::{
     build_rowwise_program, build_rowwise_trace, stream_rowwise_trace, RowWiseProgram,
 };
 pub use shapes::{direct_conv, im2col, ConvShape, GemmShape};
-pub use stream::{KernelEmitter, KernelStream, ShardStream};
+pub use stream::{KernelEmitter, KernelStream, ShardEmitter, ShardPlan, ShardSet, ShardStream};
 pub use tiled::{
     build_listing1_trace, build_program, build_trace, stream_listing1_trace, stream_trace,
     KernelOptions, KernelProgram, SparseMode,

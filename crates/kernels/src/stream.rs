@@ -1,4 +1,5 @@
-//! Lazy per-tile-loop-nest trace generation for every kernel family.
+//! Lazy per-tile-loop-nest trace generation for every kernel family, and
+//! the sharding contract multi-core replay is built on.
 //!
 //! [`KernelEmitter`] is the compact generator behind the streaming
 //! pipeline: it carries only the kernel's address plan and loop structure
@@ -13,25 +14,128 @@
 //! are thin `collect` wrappers over these emitters, so streamed and
 //! materialized replays are identical by construction.
 //!
+//! # Sharding
+//!
+//! Every family lays its blocks out as an outer-major **M × N grid**
+//! ([`KernelEmitter::shard_layout`]): outer units are contiguous `A`/`C`
+//! row-tile ranges (accumulator groups, packed row groups, ...), inner
+//! units are output column tiles. A [`ShardPlan`] names how many near-even
+//! partitions to cut along each of the three GEMM loop axes:
+//!
+//! * **M** — outer units; shard boundaries fall on row boundaries, so
+//!   shards never share an accumulator.
+//! * **N** — inner units; an M×N shard is a rectangle of the block grid
+//!   (a strided [`GridSlice`] of the emitter), which is what keeps every
+//!   core busy when M-rows < cores.
+//! * **K** — the tiled family's `k`-tile loop. Each K-split shard runs its
+//!   `kt` subrange and stores *partial* `C` tiles to a shard-private
+//!   region past the plan's address space; a deterministic post-barrier
+//!   **reduction stream** ([`ShardSet::reduction`]) then sums the partials
+//!   into the canonical `C` addresses with vector ops. Families without a
+//!   splittable depth loop clamp `k_splits` to 1.
+//!
+//! Each shard is itself an exact-length, byte-accounted [`ShardStream`],
+//! so a load-aware scheduler can pack shards onto cores by their *exact*
+//! op counts — no cost model, no estimation (`vegeta_sim`'s LPT policy
+//! does exactly this). Plans, shard enumeration order (row-major, K-part
+//! innermost) and the reduction pass are all deterministic.
+//!
+//! ```
+//! use vegeta_isa::stream::InstStream;
+//! use vegeta_kernels::{KernelEmitter, KernelOptions, GemmShape, ShardPlan, SparseMode};
+//!
+//! let shape = GemmShape::new(96, 64, 256);
+//! let emitter = KernelEmitter::tiled(shape, SparseMode::Nm2of4, KernelOptions::default());
+//! let total = emitter.clone().stream().remaining();
+//!
+//! // 2 M-units x 4 N-units = 8 rectangular shards, no K split: the shard
+//! // lengths are exact and sum to the unsharded stream.
+//! let set = emitter.clone().shard_with(ShardPlan::new(2, 4, 1));
+//! assert_eq!(set.shards.len(), 8);
+//! assert!(set.reduction.is_none());
+//! assert_eq!(set.shards.iter().map(|s| s.remaining()).sum::<u64>(), total);
+//!
+//! // A K split adds a deterministic post-barrier reduction stream.
+//! let set = emitter.shard_with(ShardPlan::new(1, 1, 2));
+//! assert_eq!(set.shards.len(), 2);
+//! assert!(set.reduction.expect("K-split merges partials").remaining() > 0);
+//! ```
+//!
 //! [`InstStream`]: vegeta_isa::stream::InstStream
 
-use vegeta_isa::stream::{even_ranges, BlockEmitter, BlockSlice, ChunkedStream};
+use vegeta_isa::stream::{even_ranges, BlockEmitter, ChunkedStream, GridSlice};
 use vegeta_isa::trace::TraceOp;
 use vegeta_sparse::NmRatio;
 
 use crate::tiled::{
-    emit_listing1_cell, emit_tiled_cell, listing1_cell_ops, tiled_cell_ops, unroll_groups,
-    KernelOptions, Plan, SparseMode,
+    emit_listing1_cell, emit_reduction_tile, emit_tiled_cell, emit_tiled_cell_slice,
+    listing1_cell_ops, reduction_tile_ops, tiled_cell_ops, tiled_cell_slice_ops, unroll_groups,
+    CellStore, KernelOptions, Plan, SparseMode,
 };
 use crate::GemmShape;
 
 /// A streaming kernel trace: a [`ChunkedStream`] over a [`KernelEmitter`].
 pub type KernelStream = ChunkedStream<KernelEmitter>;
 
-/// One shard of a kernel trace: a [`ChunkedStream`] over a contiguous
-/// [`BlockSlice`] of the kernel's tile-loop nest (see
-/// [`KernelEmitter::shard`]).
-pub type ShardStream = ChunkedStream<BlockSlice<KernelEmitter>>;
+/// One shard of a kernel trace: a [`ChunkedStream`] over a [`ShardEmitter`]
+/// — a rectangle of the kernel's block grid, a K-slice of one, or the
+/// K-split reduction pass (see [`KernelEmitter::shard_with`]).
+pub type ShardStream = ChunkedStream<ShardEmitter>;
+
+/// How a kernel's tile-loop nest is partitioned across cores: the number
+/// of near-even cuts along each GEMM loop axis.
+///
+/// `m_splits` partitions the outer (M-row) units, `n_splits` the inner
+/// (output-column) units, and `k_splits` the tiled family's `k`-tile loop;
+/// [`KernelEmitter::shard_with`] clamps each count to the axis' actual
+/// unit count, so a plan never produces empty shards. The product is the
+/// shard count handed to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardPlan {
+    /// Partitions of the outer M-row units.
+    pub m_splits: usize,
+    /// Partitions of the inner output-column units.
+    pub n_splits: usize,
+    /// Partitions of the `k`-tile loop (tiled family only; K-split shards
+    /// store partials merged by a post-barrier reduction stream).
+    pub k_splits: usize,
+}
+
+impl ShardPlan {
+    /// A plan with the given split counts (each clamped to at least 1).
+    pub fn new(m_splits: usize, n_splits: usize, k_splits: usize) -> Self {
+        ShardPlan {
+            m_splits: m_splits.max(1),
+            n_splits: n_splits.max(1),
+            k_splits: k_splits.max(1),
+        }
+    }
+
+    /// The identity plan: one shard, the unsharded stream.
+    pub fn single() -> Self {
+        ShardPlan::new(1, 1, 1)
+    }
+
+    /// Total shard count the plan produces (before clamping to the
+    /// emitter's unit counts).
+    pub fn pieces(&self) -> usize {
+        self.m_splits * self.n_splits * self.k_splits
+    }
+}
+
+/// The shard streams a [`ShardPlan`] cuts a kernel into, plus the
+/// post-barrier reduction stream when the plan K-splits.
+#[derive(Debug)]
+pub struct ShardSet {
+    /// Independent, exact-length shard streams (row-major over the M×N
+    /// grid, K-part innermost).
+    pub shards: Vec<ShardStream>,
+    /// `Some` iff the plan has `k_splits > 1`: the deterministic vector
+    /// pass that sums the shards' partial `C` images into the canonical
+    /// `C` addresses. Must run after every shard has drained (i.e. after
+    /// the barrier).
+    pub reduction: Option<ShardStream>,
+}
 
 /// The compact trace generator for one kernel invocation: shape + format +
 /// loop plan, no per-instruction state.
@@ -157,18 +261,199 @@ impl KernelEmitter {
     /// materialization. Shards replayed in order concatenate to exactly
     /// the unsharded stream; when `n` exceeds the outer unit count some
     /// shards are empty.
+    ///
+    /// This is the legacy 1D split the static (round-robin) scheduler
+    /// runs; [`KernelEmitter::shard_with`] is the 2D/K-split generalization.
     pub fn shard(self, n: usize) -> Vec<ShardStream> {
         let (outer, inner) = self.shard_layout();
         even_ranges(outer, n)
             .into_iter()
             .map(|r| {
-                ChunkedStream::new(BlockSlice::new(
-                    self.clone(),
-                    r.start * inner,
-                    r.len() * inner,
-                ))
+                ChunkedStream::new(ShardEmitter {
+                    repr: Repr::Grid(GridSlice::new(self.clone(), inner, r, 0..inner)),
+                })
             })
             .collect()
+    }
+
+    /// The number of units the `k_splits` axis of a [`ShardPlan`] can
+    /// partition: the `k`-tile count for the tiled family, 1 for families
+    /// without a splittable depth loop.
+    pub fn k_units(&self) -> usize {
+        match &self.inner {
+            Inner::Tiled { plan, .. } => plan.k_tiles(),
+            _ => 1,
+        }
+    }
+
+    /// Picks a [`ShardPlan`] for `cores`: fill the M axis first, then N
+    /// (over-decomposing to about 2× `cores` shards so LPT packing has
+    /// slack to balance uneven accumulator groups), and split K only when
+    /// the M×N grid cannot occupy every core — K-splits buy parallelism at
+    /// the price of a reduction pass, so they are the last resort.
+    ///
+    /// `cores <= 1` returns [`ShardPlan::single`], which keeps the 1-core
+    /// path bit-identical to the unsharded stream.
+    pub fn plan_for_cores(&self, cores: usize) -> ShardPlan {
+        if cores <= 1 {
+            return ShardPlan::single();
+        }
+        let (m_units, n_units) = self.shard_layout();
+        let m = m_units.clamp(1, cores);
+        let n = n_units.clamp(1, (2 * cores).div_ceil(m));
+        let k = if m * n < cores {
+            self.k_units().clamp(1, cores.div_ceil(m * n))
+        } else {
+            1
+        };
+        ShardPlan::new(m, n, k)
+    }
+
+    /// Cuts the kernel into `plan`'s shard streams: a row-major sweep of
+    /// near-even M×N rectangles of the block grid, each further cut into
+    /// `k_splits` depth slices (K-part innermost). Split counts are
+    /// clamped to the emitter's unit counts, so every shard is non-empty;
+    /// with `k_splits > 1` the set carries the post-barrier reduction
+    /// stream that merges the partial `C` images.
+    pub fn shard_with(self, plan: ShardPlan) -> ShardSet {
+        let (m_units, n_units) = self.shard_layout();
+        let m = plan.m_splits.clamp(1, m_units.max(1));
+        let n = plan.n_splits.clamp(1, n_units.max(1));
+        let k = plan.k_splits.clamp(1, self.k_units());
+        let kranges = even_ranges(self.k_units(), k);
+        let mut shards = Vec::with_capacity(m * n * k);
+        for rows in even_ranges(m_units, m) {
+            for cols in even_ranges(n_units, n) {
+                for (part, kts) in kranges.iter().enumerate() {
+                    let grid = GridSlice::new(self.clone(), n_units, rows.clone(), cols.clone());
+                    let repr = if k == 1 {
+                        Repr::Grid(grid)
+                    } else {
+                        Repr::KSlice {
+                            grid,
+                            kts: kts.clone(),
+                            part,
+                        }
+                    };
+                    shards.push(ChunkedStream::new(ShardEmitter { repr }));
+                }
+            }
+        }
+        let reduction = (k > 1).then(|| match &self.inner {
+            Inner::Tiled { plan, .. } => ChunkedStream::new(ShardEmitter {
+                repr: Repr::Reduction {
+                    plan: *plan,
+                    parts: k,
+                },
+            }),
+            _ => unreachable!("k_splits is clamped to 1 for non-tiled families"),
+        });
+        ShardSet { shards, reduction }
+    }
+}
+
+/// One shard's trace generator: a rectangle of a kernel's M×N block grid,
+/// a K-slice of one (accumulating into a shard-private partial `C`
+/// image), or the post-barrier reduction pass that merges those partials.
+///
+/// Produced by [`KernelEmitter::shard`] / [`KernelEmitter::shard_with`];
+/// consumed as a [`ShardStream`].
+#[derive(Debug, Clone)]
+pub struct ShardEmitter {
+    repr: Repr,
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    /// A full-depth M×N rectangle: emission delegates block-for-block.
+    Grid(GridSlice<KernelEmitter>),
+    /// A tiled-family rectangle restricted to the `kts` range of the
+    /// `k`-tile loop, storing partial `C` tiles for K-split shard `part`.
+    KSlice {
+        grid: GridSlice<KernelEmitter>,
+        kts: std::ops::Range<usize>,
+        part: usize,
+    },
+    /// The K-split merge: one block per `(it, jt)` output tile, summing
+    /// `parts` partial images into the canonical `C` addresses.
+    Reduction { plan: Plan, parts: usize },
+}
+
+impl ShardEmitter {
+    /// The first block of the wrapped kernel emitter this shard exposes
+    /// (row-major over the block grid; 0 for the reduction pass).
+    pub fn first_block(&self) -> usize {
+        match &self.repr {
+            Repr::Grid(grid) | Repr::KSlice { grid, .. } => grid.first_block(),
+            Repr::Reduction { .. } => 0,
+        }
+    }
+}
+
+impl BlockEmitter for ShardEmitter {
+    fn blocks(&self) -> usize {
+        match &self.repr {
+            Repr::Grid(grid) | Repr::KSlice { grid, .. } => grid.blocks(),
+            Repr::Reduction { plan, .. } => plan.tiles_m() * plan.tiles_n(),
+        }
+    }
+
+    fn block_ops(&self, block: usize) -> u64 {
+        match &self.repr {
+            Repr::Grid(grid) => grid.block_ops(block),
+            Repr::KSlice { grid, kts, .. } => match &grid.inner().inner {
+                Inner::Tiled {
+                    plan,
+                    opts,
+                    groups,
+                    tiles_n,
+                } => {
+                    let (_, u) = groups[grid.inner_block(block) / tiles_n];
+                    tiled_cell_slice_ops(plan, *opts, u, kts.len())
+                }
+                _ => unreachable!("K-split shards exist only for the tiled family"),
+            },
+            Repr::Reduction { parts, .. } => reduction_tile_ops(*parts),
+        }
+    }
+
+    fn emit_block(&self, block: usize, out: &mut Vec<TraceOp>) {
+        match &self.repr {
+            Repr::Grid(grid) => grid.emit_block(block, out),
+            Repr::KSlice { grid, kts, part } => match &grid.inner().inner {
+                Inner::Tiled {
+                    plan,
+                    opts,
+                    groups,
+                    tiles_n,
+                } => {
+                    let inner_block = grid.inner_block(block);
+                    let (it, u) = groups[inner_block / tiles_n];
+                    emit_tiled_cell_slice(
+                        plan,
+                        *opts,
+                        it,
+                        u,
+                        inner_block % tiles_n,
+                        kts.clone(),
+                        CellStore::Partial(*part),
+                        out,
+                    );
+                }
+                _ => unreachable!("K-split shards exist only for the tiled family"),
+            },
+            Repr::Reduction { plan, parts } => {
+                let tiles_n = plan.tiles_n();
+                emit_reduction_tile(plan, block / tiles_n, block % tiles_n, *parts, out);
+            }
+        }
+    }
+
+    fn state_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Grid(grid) | Repr::KSlice { grid, .. } => grid.state_bytes(),
+            Repr::Reduction { .. } => std::mem::size_of::<Self>(),
+        }
     }
 }
 
@@ -333,6 +618,63 @@ mod tests {
                 shard.emitter().first_block() % inner,
                 0,
                 "every shard starts at an M-row boundary"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_for_cores_fills_m_then_n_then_k() {
+        // 128x128x192 at 2:4: 3 accumulator groups x 8 column tiles, 3
+        // k-tiles (the pinned BERT-L2 quick-scale shape).
+        let shape = GemmShape::new(128, 128, 192);
+        let e = KernelEmitter::tiled(shape, SparseMode::Nm2of4, KernelOptions::default());
+        assert_eq!(e.shard_layout(), (3, 8));
+        assert_eq!(e.k_units(), 3);
+        assert_eq!(e.plan_for_cores(1), ShardPlan::single());
+        let p8 = e.plan_for_cores(8);
+        assert_eq!((p8.m_splits, p8.k_splits), (3, 1), "M x N covers 8 cores");
+        assert!(p8.pieces() >= 8, "at least one shard per core: {p8:?}");
+        // More cores than the whole M x N grid: the K axis opens up.
+        let p32 = e.plan_for_cores(32);
+        assert!(p32.k_splits > 1, "{p32:?}");
+        assert!(p32.pieces() >= 32, "{p32:?}");
+    }
+
+    #[test]
+    fn k_split_shards_account_exactly_and_carry_a_reduction() {
+        let shape = GemmShape::new(64, 48, 512);
+        let e = KernelEmitter::tiled(shape, SparseMode::Dense, KernelOptions::default());
+        let set = e.shard_with(ShardPlan::new(2, 3, 2));
+        assert_eq!(set.shards.len(), 12, "2 x 3 x 2 plan");
+        for mut shard in set.shards {
+            let declared = shard.remaining();
+            assert!(declared > 0, "clamped plans have no empty shards");
+            assert_eq!(shard.collect_trace().len() as u64, declared);
+        }
+        let mut reduction = set.reduction.expect("K-split merges partials");
+        let declared = reduction.remaining();
+        // 4 x 3 output tiles, 2 partials each: 16 lines x (2 loads + 1
+        // accumulate + 1 store) per tile.
+        assert_eq!(declared, 12 * reduction_tile_ops(2));
+        assert_eq!(reduction.collect_trace().len() as u64, declared);
+    }
+
+    #[test]
+    fn single_plan_is_the_unsharded_stream() {
+        let shape = GemmShape::new(80, 48, 260);
+        for e in [
+            KernelEmitter::tiled(shape, SparseMode::Nm1of4, KernelOptions::default()),
+            KernelEmitter::vector(shape),
+        ] {
+            let whole = e.clone().stream().collect_trace();
+            let set = e.shard_with(ShardPlan::single());
+            assert!(set.reduction.is_none());
+            let mut shards = set.shards;
+            assert_eq!(shards.len(), 1);
+            assert_eq!(
+                shards[0].collect_trace(),
+                whole,
+                "bit-identical 1-core path"
             );
         }
     }

@@ -170,6 +170,19 @@ impl Plan {
         self.total_bytes
     }
 
+    pub(crate) fn tiles_m(&self) -> usize {
+        self.shape.tiles_m()
+    }
+
+    pub(crate) fn tiles_n(&self) -> usize {
+        self.shape.tiles_n()
+    }
+
+    /// `K`-tile count — the unit count a K-split shard partitions.
+    pub(crate) fn k_tiles(&self) -> usize {
+        self.shape.tiles_k(self.mode.tk())
+    }
+
     fn a_value_addr(&self, it: usize, kt: usize) -> u64 {
         64 + (it * self.shape.tiles_k(self.mode.tk()) + kt) as u64 * 1024
     }
@@ -182,8 +195,19 @@ impl Plan {
         self.b_base + (jt * self.shape.tiles_k(self.mode.tk()) + kt) as u64 * self.b_bytes
     }
 
-    fn c_addr(&self, it: usize, jt: usize) -> u64 {
+    pub(crate) fn c_addr(&self, it: usize, jt: usize) -> u64 {
         self.c_base + (it * self.shape.tiles_n() + jt) as u64 * 1024
+    }
+
+    /// Address of K-split shard `part`'s partial `C` tile for `(it, jt)`.
+    ///
+    /// Partials live in a bump region past [`Plan::total_bytes`], one full
+    /// `C`-sized image per K-split shard, so the layout stays affine and
+    /// shards never alias each other's accumulators (or the final `C`).
+    pub(crate) fn partial_c_addr(&self, it: usize, jt: usize, part: usize) -> u64 {
+        let tiles = (self.shape.tiles_m() * self.shape.tiles_n()) as u64;
+        self.total_bytes.next_multiple_of(64)
+            + (part as u64 * tiles + (it * self.shape.tiles_n() + jt) as u64) * 1024
     }
 }
 
@@ -214,24 +238,75 @@ pub(crate) fn unroll_groups(tiles_m: usize, unroll: usize) -> Vec<(usize, usize)
     groups
 }
 
+/// Where a tiled cell's accumulators land when the `k` loop finishes:
+/// the canonical `C` tile, or a K-split shard's private partial image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CellStore {
+    /// The unsplit case: store to [`Plan::c_addr`].
+    Final,
+    /// K-split shard `part`: store to [`Plan::partial_c_addr`], to be
+    /// merged by the post-barrier reduction pass.
+    Partial(usize),
+}
+
 /// Exact op count of one optimized-kernel cell (one accumulator group ×
 /// one output column tile).
 pub(crate) fn tiled_cell_ops(plan: &Plan, opts: KernelOptions, u: usize) -> u64 {
-    let tk_tiles = plan.shape.tiles_k(plan.mode.tk()) as u64;
+    tiled_cell_slice_ops(plan, opts, u, plan.k_tiles())
+}
+
+/// Exact op count of a tiled cell restricted to `kt_len` of the `K` tiles
+/// (a K-split shard's share). Zeroing and storing the `u` accumulators
+/// happens per shard, so only the `k` loop scales with `kt_len`.
+pub(crate) fn tiled_cell_slice_ops(
+    plan: &Plan,
+    opts: KernelOptions,
+    u: usize,
+    kt_len: usize,
+) -> u64 {
     let a_ops = if plan.mode == SparseMode::Dense { 2 } else { 3 };
     let overhead = if opts.loop_overhead { 3 } else { 0 };
-    u as u64 + tk_tiles * (1 + u as u64 * a_ops + overhead) + u as u64
+    u as u64 + kt_len as u64 * (1 + u as u64 * a_ops + overhead) + u as u64
 }
 
 /// Emits one optimized-kernel cell: zero the accumulators, run the `k`
 /// loop sharing each `B` tile across the unrolled `A` row-tiles, store.
-#[allow(clippy::needless_range_loop)] // uu indexes accs and plan rows in lockstep
 pub(crate) fn emit_tiled_cell(
     plan: &Plan,
     opts: KernelOptions,
     it: usize,
     u: usize,
     jt: usize,
+    out: &mut Vec<TraceOp>,
+) {
+    emit_tiled_cell_slice(
+        plan,
+        opts,
+        it,
+        u,
+        jt,
+        0..plan.k_tiles(),
+        CellStore::Final,
+        out,
+    );
+}
+
+/// Emits a tiled cell over the `kts` subrange of the `k` loop, storing the
+/// accumulators to the canonical or a K-split-partial `C` address.
+///
+/// With the full `kt` range and [`CellStore::Final`] this is exactly
+/// [`emit_tiled_cell`] — the unsplit (and 1-core) path goes through the
+/// same code, which is what keeps it bit-identical.
+#[allow(clippy::needless_range_loop)] // uu indexes accs and plan rows in lockstep
+#[allow(clippy::too_many_arguments)] // one loop nest's coordinates, not config
+pub(crate) fn emit_tiled_cell_slice(
+    plan: &Plan,
+    opts: KernelOptions,
+    it: usize,
+    u: usize,
+    jt: usize,
+    kts: std::ops::Range<usize>,
+    store: CellStore,
     out: &mut Vec<TraceOp>,
 ) {
     let mode = plan.mode;
@@ -242,11 +317,10 @@ pub(crate) fn emit_tiled_cell(
         SparseMode::Nm2of4 => (TReg::T4, MReg::M4),
         SparseMode::Nm1of4 => (TReg::T3, MReg::M3),
     };
-    let tk_tiles = plan.shape.tiles_k(mode.tk());
     for acc in &accs[..u] {
         out.push(TraceOp::Tile(Inst::TileZero { dst: *acc }));
     }
-    for kt in 0..tk_tiles {
+    for kt in kts {
         match mode {
             SparseMode::Dense => {
                 out.push(TraceOp::Tile(Inst::TileLoadT {
@@ -302,10 +376,51 @@ pub(crate) fn emit_tiled_cell(
         }
     }
     for (uu, acc) in accs[..u].iter().enumerate() {
-        out.push(TraceOp::Tile(Inst::TileStoreT {
-            addr: plan.c_addr(it + uu, jt),
-            src: *acc,
-        }));
+        let addr = match store {
+            CellStore::Final => plan.c_addr(it + uu, jt),
+            CellStore::Partial(part) => plan.partial_c_addr(it + uu, jt, part),
+        };
+        out.push(TraceOp::Tile(Inst::TileStoreT { addr, src: *acc }));
+    }
+}
+
+/// Op count of the K-split reduction pass for one `(it, jt)` output tile:
+/// 16 cache lines per `C` tile, each merged as one running-sum load,
+/// `parts - 1` (load, accumulate) pairs, and one final store.
+pub(crate) fn reduction_tile_ops(parts: usize) -> u64 {
+    16 * 2 * parts as u64
+}
+
+/// Emits the vector-engine reduction for one `C` tile: sums the K-split
+/// shards' partial images line by line into the canonical [`Plan::c_addr`]
+/// location. Runs post-barrier, after every partial has been stored.
+pub(crate) fn emit_reduction_tile(
+    plan: &Plan,
+    it: usize,
+    jt: usize,
+    parts: usize,
+    out: &mut Vec<TraceOp>,
+) {
+    // A C tile is 16x16 f32 = 1024 B = 16 vector lines.
+    for line in 0..16u64 {
+        let off = line * 64;
+        out.push(TraceOp::VecLoad {
+            dst: 0,
+            addr: plan.partial_c_addr(it, jt, 0) + off,
+        });
+        for part in 1..parts {
+            out.push(TraceOp::VecLoad {
+                dst: 1,
+                addr: plan.partial_c_addr(it, jt, part) + off,
+            });
+            // Accumulate the partial into the running sum (b is an
+            // all-ones constant register, never written).
+            out.push(TraceOp::VecFma { acc: 0, a: 1, b: 2 });
+        }
+        out.push(TraceOp::VecStore {
+            src: 0,
+            addr: plan.c_addr(it, jt) + off,
+        });
     }
 }
 

@@ -1,25 +1,34 @@
-//! Shard-invariance properties of `KernelSpec::shard_streams`.
+//! Shard-invariance properties of `KernelSpec::shard_streams` and
+//! `KernelSpec::shard_set`.
 //!
-//! Sharding partitions a kernel's tile-loop nest by M-tile rows for
-//! multi-core replay. Two invariants make the sharded run trustworthy:
+//! Sharding partitions a kernel's tile-loop nest for multi-core replay:
+//! the legacy 1D split cuts M-tile rows, and `ShardPlan` generalizes to
+//! M×N rectangles of the block grid plus K-depth slices. The invariants
+//! that make a sharded run trustworthy:
 //!
-//! 1. **Functional invariance** — the shards, replayed in order, emit
-//!    exactly the same ops as the unsharded stream (so `n` cores execute
-//!    precisely the single-core kernel, redistributed);
-//! 2. **Exact-length accounting** — the sum of every shard's `remaining()`
-//!    equals the unsharded exact length (the progress/accounting contract
-//!    each core relies on), and each shard's declared length matches what
-//!    it actually emits.
+//! 1. **Functional invariance** — 1D shards, replayed in order,
+//!    concatenate op-for-op to the unsharded stream; 2D (M×N) shards are
+//!    a pure *permutation* of it (every op exactly once, order free);
+//!    K-split shards preserve the tile-compute ops and every `A`/`B`
+//!    memory read exactly once, with the extra partial-`C` traffic
+//!    write-side only and the post-barrier reduction merging partials
+//!    with vector ops (no tile compute of its own);
+//! 2. **Exact-length accounting** — each stream's declared `remaining()`
+//!    matches what it actually emits (the progress/accounting contract
+//!    each core and the LPT scheduler rely on), and no clamped plan
+//!    produces an empty shard.
 //!
-//! Both are checked for every kernel family × the execution modes the §VI
+//! All are checked for every kernel family × the execution modes the §VI
 //! engine classes select (dense baselines run dense, the STC-like engine
 //! runs 2:4, the VEGETA-S designs run every pattern), across arbitrary
-//! shapes and shard counts.
+//! shapes — ragged ones included — shard counts, and plan axes.
 
 use proptest::prelude::*;
 use vegeta_isa::stream::InstStream;
 use vegeta_isa::trace::Trace;
-use vegeta_kernels::{GemmShape, Kernel, KernelOptions, KernelSpec, SparseMode};
+use vegeta_kernels::{
+    GemmShape, Kernel, KernelEmitter, KernelOptions, KernelSpec, ShardPlan, ShardSet, SparseMode,
+};
 use vegeta_sparse::NmRatio;
 
 /// Every kernel family, in the modes the §VI engine classes execute:
@@ -61,6 +70,90 @@ fn concat_shards(spec: &KernelSpec, shape: GemmShape, n: usize) -> (Trace, u64) 
     (rejoined, declared)
 }
 
+/// Sorts the ops of a trace into a canonical multiset representation (2D
+/// rectangles sweep the block grid in a different order than the
+/// unsharded row-major stream, so comparisons are order-free).
+fn sorted_ops(trace: &Trace) -> Vec<String> {
+    let mut ops: Vec<String> = trace.ops().iter().map(|op| format!("{op:?}")).collect();
+    ops.sort_unstable();
+    ops
+}
+
+/// The multiset of memory reads `(addr, bytes)` a trace performs —
+/// accumulator zeroing is register-only (`TileZero`), so for K-split
+/// shards this is exactly the `A`/`B`/metadata load traffic.
+fn sorted_reads(trace: &Trace) -> Vec<(u64, usize)> {
+    let mut reads: Vec<(u64, usize)> = trace
+        .ops()
+        .iter()
+        .filter_map(|op| op.mem_access())
+        .filter(|&(_, _, is_write)| !is_write)
+        .map(|(addr, bytes, _)| (addr, bytes))
+        .collect();
+    reads.sort_unstable();
+    reads
+}
+
+/// Drains a shard set, asserting each stream's declared length against
+/// what it actually emits; returns the concatenated shard ops and the
+/// drained reduction stream (when the plan split K).
+fn drain_shard_set(set: ShardSet) -> (Trace, Option<Trace>) {
+    let mut joined = Trace::new();
+    for mut shard in set.shards {
+        let declared = shard.remaining();
+        let part = shard.collect_trace();
+        assert_eq!(part.len() as u64, declared, "shard length is exact");
+        joined.extend(&part);
+    }
+    let reduction = set.reduction.map(|mut red| {
+        let declared = red.remaining();
+        let trace = red.collect_trace();
+        assert_eq!(trace.len() as u64, declared, "reduction length is exact");
+        trace
+    });
+    (joined, reduction)
+}
+
+/// Checks every `ShardSet` invariant against the unsharded stream: no
+/// empty shards, exact per-stream lengths, and either op-multiset
+/// identity (pure 2D plans) or compute/read preservation plus a
+/// vector-only reduction (K-split plans).
+fn check_set_against(whole: &Trace, set: ShardSet, ctx: &KernelSpec) {
+    assert!(
+        set.shards.iter().all(|s| s.remaining() > 0),
+        "clamped plans leave no empty shards, {ctx:?}"
+    );
+    let (joined, reduction) = drain_shard_set(set);
+    match reduction {
+        None => {
+            assert_eq!(joined.len(), whole.len(), "total length, {ctx:?}");
+            assert_eq!(
+                sorted_ops(&joined),
+                sorted_ops(whole),
+                "2D shards permute the unsharded ops, {ctx:?}"
+            );
+        }
+        Some(red) => {
+            assert!(!red.is_empty(), "K-split carries a reduction, {ctx:?}");
+            assert_eq!(
+                red.mix().tile_compute,
+                0,
+                "the reduction merges partials with vector ops, {ctx:?}"
+            );
+            assert_eq!(
+                joined.mix().tile_compute,
+                whole.mix().tile_compute,
+                "K-split preserves the tile-compute ops, {ctx:?}"
+            );
+            assert_eq!(
+                sorted_reads(&joined),
+                sorted_reads(whole),
+                "each A/B load happens exactly once across K shards, {ctx:?}"
+            );
+        }
+    }
+}
+
 proptest! {
     /// Concatenated shards replay functionally identical to the unsharded
     /// stream, and the summed exact lengths agree, for every kernel family
@@ -95,6 +188,98 @@ proptest! {
             let (rejoined, declared) = concat_shards(&spec, shape, cores);
             prop_assert_eq!(declared, whole.len() as u64);
             prop_assert_eq!(rejoined, whole);
+        }
+    }
+
+    /// 2D (M×N, no K split) plans are pure permutations of the unsharded
+    /// stream for every kernel family — every op appears exactly once
+    /// across the rectangles, whatever the split counts (over-splitting
+    /// clamps to the grid).
+    #[test]
+    fn two_dimensional_plans_permute_the_unsharded_stream(
+        mt in 1usize..6,
+        nt in 1usize..5,
+        k in 1usize..220,
+        m_splits in 1usize..6,
+        n_splits in 1usize..6,
+    ) {
+        let shape = GemmShape::new(mt * 16, nt * 16, k);
+        let plan = ShardPlan::new(m_splits, n_splits, 1);
+        for spec in all_family_specs() {
+            let whole = spec.build(shape);
+            let set = KernelEmitter::for_spec(&spec, shape).shard_with(plan);
+            prop_assert!(set.reduction.is_none(), "k_splits == 1 needs no reduction");
+            check_set_against(&whole, set, &spec);
+        }
+    }
+
+    /// K-split plans preserve the kernel's compute exactly: the same
+    /// tile-compute ops, each `A`/`B` load exactly once, exact stream
+    /// lengths, and a vector-only post-barrier reduction — for every
+    /// tiled execution mode and combined M×N×K plan.
+    #[test]
+    fn k_split_plans_preserve_compute_and_reads(
+        mt in 1usize..4,
+        nt in 1usize..4,
+        k in 1usize..300,
+        m_splits in 1usize..3,
+        n_splits in 1usize..3,
+        k_splits in 2usize..5,
+    ) {
+        let shape = GemmShape::new(mt * 16, nt * 16, k);
+        let plan = ShardPlan::new(m_splits, n_splits, k_splits);
+        for mode in [SparseMode::Dense, SparseMode::Nm2of4, SparseMode::Nm1of4] {
+            let spec = KernelSpec::tiled(mode);
+            let whole = spec.build(shape);
+            let emitter = KernelEmitter::for_spec(&spec, shape);
+            let k_units = emitter.k_units();
+            let set = emitter.shard_with(plan);
+            prop_assert_eq!(
+                set.reduction.is_some(),
+                k_units > 1,
+                "a reduction exists exactly when K actually splits"
+            );
+            check_set_against(&whole, set, &spec);
+        }
+    }
+
+    /// `KernelSpec::shard_set` — the path the LPT scheduler runs — holds
+    /// the same invariants at every core count for every family: the
+    /// chosen plan's shards are exact-length, non-empty, and either
+    /// permute the unsharded ops (no K split) or preserve compute and
+    /// reads under a K split.
+    #[test]
+    fn shard_set_is_invariant_at_every_core_count(
+        mt in 1usize..5,
+        nt in 1usize..4,
+        k in 1usize..260,
+        cores in 1usize..33,
+    ) {
+        let shape = GemmShape::new(mt * 16, nt * 16, k);
+        for spec in all_family_specs() {
+            let whole = spec.build(shape);
+            let set = spec.shard_set(shape, cores);
+            prop_assert!(!set.shards.is_empty());
+            check_set_against(&whole, set, &spec);
+        }
+    }
+
+    /// Ragged shapes survive 2D and K-split plans just as losslessly.
+    #[test]
+    fn ragged_shapes_survive_2d_and_k_split_plans(
+        m in 1usize..80,
+        n in 1usize..50,
+        k in 1usize..200,
+        m_splits in 1usize..4,
+        n_splits in 1usize..4,
+        k_splits in 1usize..4,
+    ) {
+        let shape = GemmShape::new(m, n, k);
+        let plan = ShardPlan::new(m_splits, n_splits, k_splits);
+        for spec in [KernelSpec::tiled(SparseMode::Nm2of4), KernelSpec::Vector] {
+            let whole = spec.build(shape);
+            let set = KernelEmitter::for_spec(&spec, shape).shard_with(plan);
+            check_set_against(&whole, set, &spec);
         }
     }
 }

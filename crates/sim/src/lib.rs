@@ -42,4 +42,4 @@ pub use crate::core::{
     simulate, simulate_insts, Core, CoreModel, CoreSim, SimConfig, SimResult, PROGRESS_STRIDE,
 };
 pub use cache::{CacheModel, CacheStats, SharedL2, SharedL2Stats, LINE_BYTES};
-pub use multicore::{MultiCoreConfig, MultiCoreResult, MultiCoreSim};
+pub use multicore::{MultiCoreConfig, MultiCoreResult, MultiCoreSim, SchedulerPolicy};

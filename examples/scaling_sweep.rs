@@ -1,13 +1,15 @@
 //! Multi-core scaling quickstart: shard one GEMM across matrix-engine
 //! cores.
 //!
-//! Three steps: (1) run one Table IV layer sharded across 1/2/4/8 cores
-//! with `Session::run_layer_cores` and read the makespan, per-core cycles,
-//! parallel efficiency and shared-L2 reuse off the report; (2) make core
-//! count a sweep axis with `Sweep::with_cores` and pull the strong-scaling
-//! geomeans; (3) drop to `vegeta_sim::MultiCoreSim` directly with
-//! `KernelSpec::shard_streams` for full control over the shared-L2 and
-//! barrier parameters.
+//! Four steps: (1) run one Table IV layer sharded across 1–16 cores with
+//! `Session::run_layer_cores` and read the makespan, per-core cycles,
+//! parallel efficiency and shared-L2 reuse off the report (2D shard
+//! plans with LPT packing by default — no stranded cores); (2) duel the
+//! scheduler policies: the legacy static 1D path vs LPT at 16 cores;
+//! (3) make core count a sweep axis with `Sweep::with_cores` and pull
+//! the strong-scaling geomeans; (4) drop to `vegeta_sim::MultiCoreSim`
+//! directly with `KernelSpec::shard_set` for full control over the
+//! plan, scheduler, shared-L2 and barrier parameters.
 //!
 //! Run with: `cargo run --release --example scaling_sweep`
 //! (`VEGETA_QUICK=1` shrinks the layers for a fast smoke run.)
@@ -17,39 +19,62 @@ use vegeta::prelude::*;
 
 fn main() {
     let quick = if quick_factor() > 1 { 4 } else { 2 };
-    let layer = table4()[7]; // BERT-L2: tall enough to shard 8 ways.
+    let layer = table4()[7]; // BERT-L2: tall enough to shard 16 ways.
 
-    // 1. One layer, one engine, more and more cores.
+    // 1. One layer, one engine, more and more cores. The Session defaults
+    //    to SchedulerPolicy::Lpt: 2D/K-split shard plans, packed onto
+    //    cores by exact stream length.
     let session = Session::new(
         EngineConfig::vegeta_s(16)
             .expect("valid alpha")
             .with_output_forwarding(true),
     );
     println!(
-        "{} at 2:4 on {} (1/{quick} scale), sharded by M-tile rows:",
+        "{} at 2:4 on {} (1/{quick} scale), 2D-sharded + LPT-packed:",
         layer.name,
         session.engine().name()
     );
     println!(
-        "{:>6} {:>12} {:>9} {:>11} {:>14} {:>12}",
-        "cores", "cycles", "speedup", "efficiency", "L2 shared-hit", "per-core"
+        "{:>6} {:>12} {:>9} {:>11} {:>14} {:>9}",
+        "cores", "cycles", "speedup", "efficiency", "L2 shared-hit", "stranded"
     );
     let base = session.run_layer_cores_at(&layer, NmRatio::S2_4, Fidelity::Quick(quick), 1);
-    for cores in [1usize, 2, 4, 8] {
+    for cores in [1usize, 2, 4, 8, 16] {
         let r = session.run_layer_cores_at(&layer, NmRatio::S2_4, Fidelity::Quick(quick), cores);
-        let per_core: Vec<String> = r.per_core_cycles.iter().map(u64::to_string).collect();
         println!(
-            "{:>6} {:>12} {:>8.2}x {:>11.3} {:>14} {:>12}",
+            "{:>6} {:>12} {:>8.2}x {:>11.3} {:>14} {:>9}",
             r.cores,
             r.cycles,
             base.cycles as f64 / r.cycles as f64,
             r.scaling_efficiency,
             r.shared_l2.shared_hits,
-            per_core.join("/")
+            r.stranded_cores()
         );
     }
 
-    // 2. Core count as a grid axis: engines x cores in one sweep.
+    // 2. The scheduler duel: the legacy static path (one M-row shard per
+    //    core, no N/K splits) against LPT at 16 cores. BERT-L2 has only
+    //    11 accumulator groups, so static strands 5+ cores outright.
+    println!("\nscheduler duel at 16 cores:");
+    for policy in [SchedulerPolicy::Static, SchedulerPolicy::Lpt] {
+        let session = Session::new(
+            EngineConfig::vegeta_s(16)
+                .expect("valid alpha")
+                .with_output_forwarding(true),
+        )
+        .with_scheduler(policy);
+        let r = session.run_layer_cores_at(&layer, NmRatio::S2_4, Fidelity::Quick(quick), 16);
+        println!(
+            "  {:<8} {:>12} cycles, efficiency {:>5.3}, {} of {} cores stranded",
+            r.scheduler,
+            r.cycles,
+            r.scaling_efficiency,
+            r.stranded_cores(),
+            r.cores
+        );
+    }
+
+    // 3. Core count as a grid axis: engines x cores in one sweep.
     let grid = Sweep::new()
         .with_engines([
             EngineConfig::rasa_dm(),
@@ -76,22 +101,27 @@ fn main() {
         }
     }
 
-    // 3. The raw harness: shard a kernel yourself and run it on an
+    // 4. The raw harness: plan the shard set yourself and run it on an
     //    explicitly configured MultiCoreSim (cold shared L2, pricier
-    //    barrier) — the knobs the Session defaults hide.
+    //    barrier, work stealing) — the knobs the Session defaults hide.
     let spec = KernelSpec::tiled(SparseMode::Nm2of4);
     let shape = layer.scaled_shape(quick);
-    let shards = spec.shard_streams(shape, 4);
+    let plan = spec.shard_plan(shape, 4);
+    let set = spec.shard_set(shape, 4);
     println!(
-        "\nraw harness: {} shards of {} ops total",
-        shards.len(),
-        shards.iter().map(|s| s.remaining()).sum::<u64>()
+        "\nraw harness: plan {}x{}x{} -> {} shards of {} ops total",
+        plan.m_splits,
+        plan.n_splits,
+        plan.k_splits,
+        set.shards.len(),
+        set.shards.iter().map(|s| s.remaining()).sum::<u64>()
     );
     let mut cfg = MultiCoreConfig::new(4);
     cfg.prefetched = false; // charge memory latency on cold L2 lines
     cfg.barrier_latency = 128;
+    cfg.work_stealing = true; // drain early? steal the largest unstarted shard
     let mut sim = MultiCoreSim::new(cfg, EngineConfig::vegeta_s(16).expect("valid alpha"));
-    let res = sim.run_streams(shards);
+    let res = sim.run_sharded(set.shards, set.reduction, SchedulerPolicy::Lpt);
     println!(
         "cold-L2 makespan {} cycles (barrier {}), shared L2: {} hits / {} misses / {} shared",
         res.core_cycles,
@@ -101,4 +131,5 @@ fn main() {
         res.shared_l2.shared_hits
     );
     assert_eq!(res.cores, 4);
+    assert_eq!(res.stranded_cores(), 0);
 }
