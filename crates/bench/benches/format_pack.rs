@@ -46,13 +46,13 @@ fn bench_format_pack(c: &mut Criterion) {
         let dense = operand_for(spec, &mut rng);
 
         c.bench_function(&format!("format_compress_{}", slug(spec)), |b| {
-            b.iter(|| spec.compress(&dense).unwrap())
+            b.iter(|| spec.compress(&dense).unwrap());
         });
 
         let tile = spec.compress(&dense).unwrap();
         c.bench_function(&format!("format_pack_{}", slug(spec)), |b| {
             let (mut treg, mut mreg) = (TregImage::new(), MregImage::new());
-            b.iter(|| tile.pack_into(&mut treg, &mut mreg).unwrap())
+            b.iter(|| tile.pack_into(&mut treg, &mut mreg).unwrap());
         });
 
         let (mut treg, mut mreg) = (TregImage::new(), MregImage::new());
@@ -63,7 +63,7 @@ fn bench_format_pack(c: &mut Criterion) {
                     TileView::of_images(spec, tile.rows(), tile.effective_cols(), &treg, &mreg)
                         .unwrap();
                 view.decompress()
-            })
+            });
         });
 
         // Raw in-place reads: sum every stored value through the view, the
@@ -78,7 +78,7 @@ fn bench_format_pack(c: &mut Criterion) {
                     acc += view.value(i).to_f32() * (view.position(i) as f32 + 1.0);
                 }
                 acc
-            })
+            });
         });
     }
 }

@@ -14,14 +14,14 @@ fn bench_compression(c: &mut Criterion) {
     let tile_2of4 = prune::random_nm(16, 64, NmRatio::S2_4, &mut rng);
     let unstructured = prune::random_unstructured(16, 64, 0.9, &mut rng);
     c.bench_function("compress_2of4_tile_16x64", |b| {
-        b.iter(|| CompressedTile::compress(&tile_2of4, NmRatio::S2_4).unwrap())
+        b.iter(|| CompressedTile::compress(&tile_2of4, NmRatio::S2_4).unwrap());
     });
     let compressed = CompressedTile::compress(&tile_2of4, NmRatio::S2_4).unwrap();
     c.bench_function("decompress_2of4_tile_16x64", |b| {
-        b.iter(|| compressed.decompress())
+        b.iter(|| compressed.decompress());
     });
     c.bench_function("rowwise_cover_16x64", |b| {
-        b.iter(|| RowWiseTile::compress(&unstructured, 4).unwrap())
+        b.iter(|| RowWiseTile::compress(&unstructured, 4).unwrap());
     });
 }
 
@@ -43,7 +43,7 @@ fn bench_dataflow(c: &mut Criterion) {
                 c_in: &c_in,
             };
             dataflow::simulate_tile(&cfg, &op).unwrap()
-        })
+        });
     });
 }
 
@@ -61,7 +61,7 @@ fn bench_engine_timer(c: &mut Criterion) {
                 timer.busy_until()
             },
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -71,12 +71,12 @@ fn bench_simulator(c: &mut Criterion) {
     let trace = spec.build(shape);
     let session = Session::new(EngineConfig::vegeta_s(16).unwrap());
     c.bench_function("core_sim_64x64x512_2of4", |b| {
-        b.iter(|| session.run_trace("microbench", shape, &trace))
+        b.iter(|| session.run_trace("microbench", shape, &trace));
     });
     c.bench_function("trace_cache_hit_64x64x512_2of4", |b| {
         let cache = TraceCache::new();
         cache.get_or_build(shape, &spec);
-        b.iter(|| cache.get_or_build(shape, &spec))
+        b.iter(|| cache.get_or_build(shape, &spec));
     });
 }
 

@@ -27,11 +27,13 @@ fn bench_trace_stream(c: &mut Criterion) {
                 ops += 1;
             }
             ops
-        })
+        });
     });
 
     // The materialized baseline: build the whole Vec.
-    c.bench_function("trace_stream_materialize", |b| b.iter(|| spec.build(shape)));
+    c.bench_function("trace_stream_materialize", |b| {
+        b.iter(|| spec.build(shape));
+    });
 
     // End-to-end streamed replay (generation + simulation, no Vec).
     let engine = EngineConfig::vegeta_s(16).expect("valid alpha");
@@ -40,13 +42,13 @@ fn bench_trace_stream(c: &mut Criterion) {
             CoreSim::with_engine(engine.clone())
                 .run_stream(spec.stream(shape))
                 .core_cycles
-        })
+        });
     });
 
     // The legacy path: replay a prebuilt materialized trace.
     let trace = spec.build(shape);
     c.bench_function("trace_stream_replay_materialized", |b| {
-        b.iter(|| CoreSim::with_engine(engine.clone()).run(&trace).core_cycles)
+        b.iter(|| CoreSim::with_engine(engine.clone()).run(&trace).core_cycles);
     });
 }
 

@@ -143,7 +143,7 @@ fn main() {
             println!(
                 "geomean gate PASSED: {compared} geomeans within ±{:.1}%",
                 tolerance * 100.0
-            )
+            );
         }
         Err(failures) => {
             eprintln!("geomean gate FAILED ({} drifts):", failures.len());

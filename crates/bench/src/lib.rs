@@ -14,9 +14,13 @@
 //! recorded against the paper in `EXPERIMENTS.md`.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
+pub mod lint_sweep;
 pub mod perf_gate;
 pub mod scaling;
+
+pub use lint_sweep::{print_lint_sweep, run_lint_sweep, run_self_test};
 
 /// Writes a JSON artifact named `file_name` into `$VEGETA_CSV_DIR` (when
 /// set) or the workspace root; returns the path on success. Shared by the
@@ -38,7 +42,7 @@ pub(crate) fn write_artifact_json(
             }
         });
     let path = std::path::Path::new(&dir).join(file_name);
-    match std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, doc.to_string())) {
+    match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, doc.to_string())) {
         Ok(()) => {
             eprintln!("wrote {}", path.display());
             Some(path)
@@ -97,7 +101,7 @@ pub fn print_tab03() {
         let patterns: Vec<String> = cfg
             .supported_patterns()
             .iter()
-            .map(|p| p.to_string())
+            .map(ToString::to_string)
             .collect();
         println!(
             "{:<16} {:>5} {:>5} {:>11} {:>10} {:>9} {:>6} {:>20}",
@@ -391,7 +395,7 @@ pub fn write_fig13_json_to(
         ),
     ]);
     let path = dir.join("BENCH_fig13.json");
-    match std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, doc.to_string())) {
+    match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, doc.to_string())) {
         Ok(()) => {
             eprintln!("wrote {}", path.display());
             Some(path)
@@ -420,7 +424,7 @@ pub fn print_fig13() {
     print!("{:<14} {:>4}", "layer", "spar");
     for e in &engines {
         let short = short_engine_name(e);
-        print!(" {:>9}", short);
+        print!(" {short:>9}");
     }
     println!();
     for layer in table4() {
@@ -505,12 +509,12 @@ pub fn print_fig15() {
     print!("{:>8}", "degree%");
     for hw in &hws {
         let name = hw.name().split(' ').next().expect("non-empty name");
-        print!(" {:>12}", name);
+        print!(" {name:>12}");
     }
     println!();
     for pct in [60u32, 65, 70, 75, 80, 85, 90, 95] {
         let degree = pct as f64 / 100.0;
-        print!("{:>8}", pct);
+        print!("{pct:>8}");
         for hw in &hws {
             let speedups: Vec<f64> = table4()
                 .iter()

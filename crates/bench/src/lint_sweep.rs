@@ -1,0 +1,188 @@
+//! The `vegeta_lint` binary's sweep: statically verify every kernel
+//! stream the Fig. 13 evaluation replays, plus the multi-core shard
+//! decompositions behind the scaling experiments — before (and without)
+//! simulating any of them.
+//!
+//! Two halves, mirroring the verifier's two obligations:
+//!
+//! * **Acceptance sweep** ([`run_lint_sweep`]) — collects every distinct
+//!   `(shape, kernel)` cell of the Fig. 13 grid (ten engines × twelve
+//!   Table IV layers × three sparsities, deduped through the same
+//!   [`EngineKernelExt::kernel_spec`] selection the sweep runner uses),
+//!   widens it with the kernel families Fig. 13 does not exercise
+//!   (row-wise §V-E, Listing 1, the vector fallback), and verifies each
+//!   cell unsharded plus across the strong-scaling core counts — both the
+//!   LPT 2D/K-split shard sets and the legacy 1D static split. Any
+//!   diagnostic is a failure.
+//! * **Rejection self-test** ([`run_self_test`]) — replays the mutation
+//!   corpus ([`vegeta::lint::run_corpus`]): one seeded defect per
+//!   operator, each of which must be rejected with its expected
+//!   diagnostic code. A verifier that accepts everything is worthless;
+//!   this half proves the sweep's green is meaningful.
+//!
+//! Honors `VEGETA_QUICK=1` like every other driver.
+
+use std::collections::HashSet;
+
+use vegeta::lint::{verify_shard_set, verify_shard_streams, verify_spec, Report};
+use vegeta::prelude::*;
+
+/// Core counts the shard-plan sweep verifies (the strong-scaling axis of
+/// the scaling experiments).
+pub const LINT_SWEEP_CORES: [usize; 4] = [2, 4, 8, 16];
+
+/// One verified cell of the sweep: its label, the number of streams and
+/// ops walked, and any diagnostics found.
+#[derive(Debug)]
+pub struct LintCell {
+    /// `workload/kernel@sparsity` label for the report table.
+    pub label: String,
+    /// Merged verification report across the cell's unsharded stream and
+    /// every sharded decomposition.
+    pub report: Report,
+}
+
+/// Synthesizes the deterministic per-row §V-E cover mix used for the
+/// row-wise family cell (the densest-to-sparsest spread the format sweep
+/// exercises; deterministic so repeated runs verify identical streams).
+fn rowwise_ratios(rows: usize) -> Vec<NmRatio> {
+    (0..rows)
+        .map(|r| match r % 4 {
+            0 | 3 => NmRatio::S1_4,
+            1 => NmRatio::S2_4,
+            _ => NmRatio::D4_4,
+        })
+        .collect()
+}
+
+/// Every distinct `(label, shape, spec)` cell the sweep verifies: the
+/// deduped Fig. 13 grid at the ambient fidelity, plus one cell per kernel
+/// family Fig. 13 does not select.
+pub fn lint_cells() -> Vec<(String, GemmShape, KernelSpec)> {
+    let fidelity = Fidelity::from_env();
+    let opts = KernelOptions::default();
+    let mut seen: HashSet<(GemmShape, KernelSpec)> = HashSet::new();
+    let mut cells = Vec::new();
+    let mut push = |label: String, shape: GemmShape, spec: KernelSpec| {
+        if seen.insert((shape, spec.clone())) {
+            cells.push((label, shape, spec));
+        }
+    };
+    for layer in table4() {
+        let shape = fidelity.shape_of(&layer);
+        for engine in figure13_engines() {
+            for ratio in figure13_sparsities() {
+                let spec = engine.kernel_spec(ratio, opts);
+                push(
+                    format!("{}/{}@{ratio}", layer.name, spec.name()),
+                    shape,
+                    spec,
+                );
+            }
+        }
+    }
+    // Families the Fig. 13 engine selection never picks, at a ragged
+    // mid-size shape so odd tile remainders are exercised too.
+    let extra_shape = GemmShape::new(93, 67, 197);
+    for spec in [
+        KernelSpec::RowWise {
+            row_ratios: rowwise_ratios(extra_shape.m.div_ceil(4)),
+        },
+        KernelSpec::Listing1 {
+            mode: SparseMode::Dense,
+        },
+        KernelSpec::Listing1 {
+            mode: SparseMode::Nm1of4,
+        },
+        KernelSpec::Vector,
+    ] {
+        push(format!("family/{}", spec.name()), extra_shape, spec);
+    }
+    cells
+}
+
+/// Verifies every cell of [`lint_cells`] — unsharded, then across
+/// [`LINT_SWEEP_CORES`] as both LPT 2D/K-split sets and static 1D splits.
+/// Returns all cells with their merged reports (clean or not).
+pub fn run_lint_sweep() -> Vec<LintCell> {
+    lint_cells()
+        .into_iter()
+        .map(|(label, shape, spec)| {
+            let mut report = verify_spec(&spec, shape);
+            for cores in LINT_SWEEP_CORES {
+                report.merge(verify_shard_set(&spec, shape, cores));
+                report.merge(verify_shard_streams(&spec, shape, cores));
+            }
+            LintCell { label, report }
+        })
+        .collect()
+}
+
+/// Prints the acceptance sweep as a table and returns `true` when every
+/// cell verified clean.
+pub fn print_lint_sweep() -> bool {
+    println!("## vegeta-lint: static verification of the evaluation's instruction streams");
+    println!(
+        "{:<44} {:>8} {:>12} {:>6}",
+        "cell", "streams", "ops", "diags"
+    );
+    let cells = run_lint_sweep();
+    let mut clean = true;
+    for cell in &cells {
+        println!(
+            "{:<44} {:>8} {:>12} {:>6}",
+            cell.label,
+            cell.report.streams_checked,
+            cell.report.ops_checked,
+            cell.report.diagnostics.len()
+        );
+        if !cell.report.is_clean() {
+            clean = false;
+            eprintln!("{}", cell.report);
+        }
+    }
+    let (streams, ops) = cells.iter().fold((0usize, 0u64), |(s, o), c| {
+        (s + c.report.streams_checked, o + c.report.ops_checked)
+    });
+    println!(
+        "verified {} cells / {streams} streams / {ops} ops: {}",
+        cells.len(),
+        if clean { "clean" } else { "DIAGNOSTICS FOUND" }
+    );
+    clean
+}
+
+/// Prints the mutation-corpus rejection self-test and returns `true` when
+/// every seeded defect was rejected with its expected diagnostic.
+pub fn run_self_test() -> bool {
+    println!("## vegeta-lint --self-test: mutation corpus must be rejected");
+    println!(
+        "{:<28} {:>8} {:>10} {:>8}",
+        "mutation", "expect", "rejected", "code-hit"
+    );
+    let mut ok = true;
+    for (mutation, report) in vegeta::lint::run_corpus() {
+        let rejected = !report.is_clean();
+        let code_hit = report.has(mutation.expect());
+        println!(
+            "{:<28} {:>8} {:>10} {:>8}",
+            mutation.name(),
+            mutation.expect().to_string(),
+            if rejected { "yes" } else { "NO" },
+            if code_hit { "yes" } else { "NO" }
+        );
+        if !(rejected && code_hit) {
+            ok = false;
+            eprintln!("{report}");
+        }
+    }
+    println!(
+        "self-test: {}",
+        if ok {
+            "all mutations rejected"
+        } else {
+            "MUTATIONS ACCEPTED"
+        }
+    );
+    ok
+}

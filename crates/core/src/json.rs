@@ -415,7 +415,9 @@ mod tests {
     fn parses_nested_structures() {
         let v = JsonValue::parse(r#"{"a": [1, {"b": "x"}], "c": false}"#).unwrap();
         assert_eq!(
-            v.get("a").and_then(JsonValue::as_array).map(|a| a.len()),
+            v.get("a")
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
             Some(2)
         );
         assert_eq!(

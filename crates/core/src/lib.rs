@@ -57,10 +57,12 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub use vegeta_engine as engine;
 pub use vegeta_isa as isa;
 pub use vegeta_kernels as kernels;
+pub use vegeta_lint as lint;
 pub use vegeta_model as model;
 pub use vegeta_num as num;
 pub use vegeta_sim as sim;

@@ -604,7 +604,7 @@ impl SweepReport {
             .filter(|d| !d.is_empty())?;
         let path = PathBuf::from(dir).join(format!("{name}.csv"));
         match std::fs::create_dir_all(path.parent().expect("joined path has a parent"))
-            .and_then(|_| std::fs::write(&path, self.to_csv()))
+            .and_then(|()| std::fs::write(&path, self.to_csv()))
         {
             Ok(()) => {
                 eprintln!("wrote {}", path.display());

@@ -32,8 +32,9 @@
 //!     "RASA-DM (VEGETA-D-1-2)", "VEGETA-S-16-2", "2:4").unwrap() > 1.0);
 //! ```
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -243,12 +244,69 @@ impl CellOutcome {
     }
 }
 
+/// The opt-out static-verification gate in front of every simulated cell.
+///
+/// Before a cell's stream replays, [`vegeta_lint`] proves it well-formed —
+/// register dataflow, footprint bounds, shard coverage, and declared-length
+/// accounting — and a diagnostic aborts the run with the full report:
+/// simulating a malformed stream would only launder the defect into
+/// silently wrong cycle counts. Verification is memoized per distinct
+/// `(shape, spec, cores, policy)` cell behind a shared [`Arc`], so a sweep
+/// pays each stream once however many engines replay it, and clones (one
+/// per [`Session`]) share the memo the way they share the trace cache.
+/// Disable with [`Session::with_preflight`] / [`Sweep::with_preflight`].
+/// One memoized preflight cell: `(shape, spec, cores, policy)`.
+type PreflightKey = (GemmShape, KernelSpec, usize, SchedulerPolicy);
+
+#[derive(Clone, Debug, Default)]
+struct Preflight {
+    disabled: bool,
+    verified: Arc<Mutex<HashSet<PreflightKey>>>,
+}
+
+impl Preflight {
+    /// Verifies one cell (`cores == 0` means the unsharded single-core
+    /// path), panicking with the lint report on any diagnostic.
+    fn check(&self, shape: GemmShape, spec: &KernelSpec, cores: usize, policy: SchedulerPolicy) {
+        if self.disabled {
+            return;
+        }
+        let key = (shape, spec.clone(), cores, policy);
+        if self
+            .verified
+            .lock()
+            .expect("preflight memo poisoned")
+            .contains(&key)
+        {
+            return;
+        }
+        let report = match (cores, policy) {
+            (0, _) => vegeta_lint::verify_spec(spec, shape),
+            (n, SchedulerPolicy::Static) => vegeta_lint::verify_shard_streams(spec, shape, n),
+            (n, SchedulerPolicy::Lpt) => vegeta_lint::verify_shard_set(spec, shape, n),
+        };
+        assert!(
+            report.is_clean(),
+            "preflight rejected {} at {}x{}x{} ({cores} cores, {policy:?}):\n{report}",
+            spec.name(),
+            shape.m,
+            shape.n,
+            shape.k,
+        );
+        self.verified
+            .lock()
+            .expect("preflight memo poisoned")
+            .insert(key);
+    }
+}
+
 /// Simulates one `(engine, shape, spec)` cell through the streaming
 /// pipeline — the trace is generated lazily and never materialized — and
 /// wraps it in a report including the executed kernel's storage-format
 /// accounting.
 #[allow(clippy::too_many_arguments)] // internal plumbing behind every run_* entry point
 fn run_cell(
+    preflight: &Preflight,
     engine: &EngineConfig,
     sim: &SimConfig,
     cache: &TraceCache,
@@ -259,6 +317,7 @@ fn run_cell(
     spec: &KernelSpec,
     progress: Option<&ProgressFn>,
 ) -> RunReport {
+    preflight.check(shape, spec, 0, SchedulerPolicy::Static);
     let mut stream = cache.stream(shape, spec);
     let mut core = CoreSim::new(sim.clone(), engine.clone());
     let res = match progress {
@@ -283,6 +342,7 @@ fn run_cell(
 /// and the run's parallel efficiency ride along.
 #[allow(clippy::too_many_arguments)] // internal plumbing behind every run_* entry point
 fn run_cell_cores(
+    preflight: &Preflight,
     engine: &EngineConfig,
     sim: &SimConfig,
     cache: &TraceCache,
@@ -295,6 +355,7 @@ fn run_cell_cores(
     policy: SchedulerPolicy,
     progress: Option<&ProgressFn>,
 ) -> RunReport {
+    preflight.check(shape, spec, cores, policy);
     // Memoize the unsharded generator summary so sweeps account trace
     // construction identically whichever axis ran first.
     cache.summary(shape, spec);
@@ -393,6 +454,7 @@ pub struct Session {
     scheduler: SchedulerPolicy,
     cache: Arc<TraceCache>,
     progress: Option<ProgressFn>,
+    preflight: Preflight,
 }
 
 impl std::fmt::Debug for Session {
@@ -405,6 +467,7 @@ impl std::fmt::Debug for Session {
             .field("scheduler", &self.scheduler)
             .field("cache", &self.cache)
             .field("progress", &self.progress.as_ref().map(|_| "Fn"))
+            .field("preflight", &self.preflight)
             .finish()
     }
 }
@@ -421,6 +484,7 @@ impl Session {
             scheduler: SchedulerPolicy::default(),
             cache: Arc::new(TraceCache::new()),
             progress: None,
+            preflight: Preflight::default(),
         }
     }
 
@@ -466,6 +530,16 @@ impl Session {
         self
     }
 
+    /// Enables or disables the static-verification preflight (on by
+    /// default): every distinct `(shape, kernel, sharding)` cell is proven
+    /// well-formed by `vegeta-lint` before it simulates, and a diagnostic
+    /// aborts the run with the lint report. Verification is memoized, so
+    /// repeated cells (and clones sharing this session's memo) pay once.
+    pub fn with_preflight(mut self, enabled: bool) -> Self {
+        self.preflight.disabled = !enabled;
+        self
+    }
+
     /// The engine this session simulates.
     pub fn engine(&self) -> &EngineConfig {
         &self.engine
@@ -488,6 +562,7 @@ impl Session {
     pub fn run_shape(&self, workload: &str, shape: GemmShape, weights: NmRatio) -> RunReport {
         let spec = self.engine.kernel_spec(weights, self.opts);
         run_cell(
+            &self.preflight,
             &self.engine,
             &self.sim,
             &self.cache,
@@ -506,6 +581,7 @@ impl Session {
     pub fn run_layer_at(&self, layer: &Layer, weights: NmRatio, fidelity: Fidelity) -> RunReport {
         let spec = self.engine.kernel_spec(weights, self.opts);
         run_cell(
+            &self.preflight,
             &self.engine,
             &self.sim,
             &self.cache,
@@ -548,6 +624,7 @@ impl Session {
     ) -> RunReport {
         let spec = self.engine.kernel_spec(weights, self.opts);
         run_cell_cores(
+            &self.preflight,
             &self.engine,
             &self.sim,
             &self.cache,
@@ -573,6 +650,7 @@ impl Session {
     ) -> RunReport {
         let spec = self.engine.kernel_spec(weights, self.opts);
         run_cell_cores(
+            &self.preflight,
             &self.engine,
             &self.sim,
             &self.cache,
@@ -607,6 +685,7 @@ impl Session {
             None,
         );
         run_cell(
+            &self.preflight,
             &self.engine,
             &self.sim,
             &self.cache,
@@ -625,9 +704,9 @@ impl Session {
     pub fn run_spec(&self, workload: &str, shape: GemmShape, spec: &KernelSpec) -> RunReport {
         let sparsity = spec
             .mode()
-            .map(|m| m.ratio().to_string())
-            .unwrap_or_else(|| "-".to_string());
+            .map_or_else(|| "-".to_string(), |m| m.ratio().to_string());
         run_cell(
+            &self.preflight,
             &self.engine,
             &self.sim,
             &self.cache,
@@ -746,6 +825,7 @@ pub struct Sweep {
     opts: KernelOptions,
     threads: usize,
     cache: Arc<TraceCache>,
+    preflight: Preflight,
 }
 
 impl Default for Sweep {
@@ -764,6 +844,7 @@ impl Default for Sweep {
             opts: KernelOptions::default(),
             threads: 0,
             cache: Arc::new(TraceCache::new()),
+            preflight: Preflight::default(),
         }
     }
 }
@@ -959,6 +1040,15 @@ impl Sweep {
         self
     }
 
+    /// Enables or disables the static-verification preflight (on by
+    /// default; see [`Session::with_preflight`]). Memoization means each
+    /// distinct `(shape, kernel, sharding)` cell is verified once per
+    /// sweep, not once per engine replaying it.
+    pub fn with_preflight(mut self, enabled: bool) -> Self {
+        self.preflight.disabled = !enabled;
+        self
+    }
+
     /// Grid cells this sweep will run.
     pub fn cell_count(&self) -> usize {
         self.engines.len()
@@ -971,9 +1061,7 @@ impl Sweep {
 
     fn resolved_threads(&self) -> usize {
         let wanted = if self.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         } else {
             self.threads
         };
@@ -1069,6 +1157,7 @@ impl Sweep {
             match *cores {
                 // The classic single-core path (no cores axis requested).
                 None => run_cell(
+                    &self.preflight,
                     engine,
                     &self.sim,
                     &self.cache,
@@ -1080,6 +1169,7 @@ impl Sweep {
                     None,
                 ),
                 Some(n) => run_cell_cores(
+                    &self.preflight,
                     engine,
                     &self.sim,
                     &self.cache,
@@ -1616,5 +1706,31 @@ mod tests {
         assert_eq!(serial.cells, parallel.cells);
         assert_eq!(serial.threads, 1);
         assert!(parallel.threads > 1);
+    }
+
+    #[test]
+    fn preflight_never_perturbs_reports() {
+        // The static-verification gate runs before the simulator and is
+        // memoized out of repeat cells: identical runs with the preflight
+        // on and off must produce byte-identical reports, single- and
+        // multi-core, static and LPT alike.
+        let layer = table4()[7];
+        for enabled in [true, false] {
+            for policy in [SchedulerPolicy::Static, SchedulerPolicy::Lpt] {
+                let session = Session::new(EngineConfig::vegeta_s(16).unwrap())
+                    .with_preflight(enabled)
+                    .with_scheduler(policy);
+                let single = session.run_layer_scaled(&layer, NmRatio::S2_4, 8);
+                let multi =
+                    session.run_layer_cores_at(&layer, NmRatio::S2_4, Fidelity::from_factor(8), 4);
+                let baseline =
+                    Session::new(EngineConfig::vegeta_s(16).unwrap()).with_scheduler(policy);
+                assert_eq!(single, baseline.run_layer_scaled(&layer, NmRatio::S2_4, 8));
+                assert_eq!(
+                    multi,
+                    baseline.run_layer_cores_at(&layer, NmRatio::S2_4, Fidelity::from_factor(8), 4)
+                );
+            }
+        }
     }
 }

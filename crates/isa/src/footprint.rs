@@ -1,0 +1,233 @@
+//! Declared memory footprints for generated instruction streams.
+//!
+//! A kernel's address plan is affine and fully known at generation time: the
+//! emitters in `vegeta-kernels` place every operand at a base address computed
+//! from the GEMM shape and sparsity format. A [`Footprint`] is the *declared*
+//! side of that contract — a set of named [`Region`]s with extents and
+//! writability — against which a static verifier (or any other tool) can
+//! check the addresses a stream actually touches without executing it.
+//!
+//! Regions within one footprint are usually disjoint, but the synthetic
+//! operand layouts of some kernel families (the CSR vector path places `A`,
+//! `B`, and `C` at fixed 16 MB-spaced bases) can legitimately overlap at very
+//! large shapes. [`Footprint::classify`] therefore asks *containment in at
+//! least one suitable region*, not unique ownership.
+
+use std::fmt;
+
+/// Broad classification of what a [`Region`] holds, used by verifiers to
+/// reason about roles (e.g. "reduction inputs live in `PartialC`").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionClass {
+    /// Compressed or dense `A` operand values.
+    AValues,
+    /// `A` operand sparsity metadata (and row-pattern sidecars).
+    AMeta,
+    /// The dense `B` operand.
+    B,
+    /// The final `C` output image.
+    C,
+    /// Per-K-split partial-`C` images awaiting reduction.
+    PartialC,
+    /// Anything else (scratch, spilled state).
+    Other,
+}
+
+impl fmt::Display for RegionClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RegionClass::AValues => "A-values",
+            RegionClass::AMeta => "A-metadata",
+            RegionClass::B => "B",
+            RegionClass::C => "C",
+            RegionClass::PartialC => "partial-C",
+            RegionClass::Other => "other",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One contiguous span of the address space declared by an address plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First byte address of the region.
+    pub start: u64,
+    /// Extent in bytes (a zero-byte region matches no access).
+    pub bytes: u64,
+    /// Whether the stream is allowed to store into this region.
+    pub writable: bool,
+    /// What the region holds.
+    pub class: RegionClass,
+}
+
+impl Region {
+    /// A read-only region.
+    pub fn ro(start: u64, bytes: u64, class: RegionClass) -> Self {
+        Region {
+            start,
+            bytes,
+            writable: false,
+            class,
+        }
+    }
+
+    /// A read-write region.
+    pub fn rw(start: u64, bytes: u64, class: RegionClass) -> Self {
+        Region {
+            start,
+            bytes,
+            writable: true,
+            class,
+        }
+    }
+
+    /// Whether `[addr, addr + bytes)` lies entirely inside this region.
+    pub fn contains(&self, addr: u64, bytes: u64) -> bool {
+        bytes > 0
+            && addr >= self.start
+            && addr.saturating_add(bytes) <= self.start.saturating_add(self.bytes)
+    }
+}
+
+/// The verdict of checking one memory access against a [`Footprint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessVerdict {
+    /// The access is fully contained in a region that permits it.
+    Ok(RegionClass),
+    /// A store fully contained in a read-only region (and in no writable one).
+    ReadOnly(RegionClass),
+    /// The access is not contained in any declared region.
+    Unmapped,
+}
+
+/// A set of declared [`Region`]s an instruction stream promises to stay in.
+///
+/// Lookup is `O(log n)` per access via binary search over region starts, with
+/// a bounded left-walk so that overlapping regions are still found.
+#[derive(Debug, Clone, Default)]
+pub struct Footprint {
+    /// Regions sorted by `(start, bytes)`; zero-byte regions are dropped.
+    regions: Vec<Region>,
+    /// Largest region extent, bounding the left-walk during lookup.
+    max_bytes: u64,
+}
+
+impl Footprint {
+    /// Build a footprint from `regions` (order irrelevant; empty regions are
+    /// discarded).
+    pub fn new(mut regions: Vec<Region>) -> Self {
+        regions.retain(|r| r.bytes > 0);
+        regions.sort_by_key(|r| (r.start, r.bytes));
+        let max_bytes = regions.iter().map(|r| r.bytes).max().unwrap_or(0);
+        Footprint { regions, max_bytes }
+    }
+
+    /// The declared regions, sorted by start address.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Smallest region of `class`, if any (by start address).
+    pub fn region_of_class(&self, class: RegionClass) -> Option<&Region> {
+        self.regions.iter().find(|r| r.class == class)
+    }
+
+    /// One-past-the-end of the highest region, i.e. the total declared extent.
+    pub fn end(&self) -> u64 {
+        self.regions
+            .iter()
+            .map(|r| r.start.saturating_add(r.bytes))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Check one access of `bytes` bytes at `addr`.
+    ///
+    /// Loads are satisfied by any containing region; stores prefer a writable
+    /// containing region and report [`AccessVerdict::ReadOnly`] when only a
+    /// read-only region contains them.
+    pub fn classify(&self, addr: u64, bytes: u64, is_store: bool) -> AccessVerdict {
+        let mut read_only_hit = None;
+        // First region that could possibly contain `addr`: its start must be
+        // at most `addr`, and it reaches `addr` only if it starts within
+        // `max_bytes` of it.
+        let lo_addr = addr.saturating_sub(self.max_bytes);
+        let lo = self.regions.partition_point(|r| r.start < lo_addr);
+        let hi = self.regions.partition_point(|r| r.start <= addr);
+        for r in &self.regions[lo..hi] {
+            if !r.contains(addr, bytes) {
+                continue;
+            }
+            if !is_store || r.writable {
+                return AccessVerdict::Ok(r.class);
+            }
+            read_only_hit.get_or_insert(r.class);
+        }
+        match read_only_hit {
+            Some(class) => AccessVerdict::ReadOnly(class),
+            None => AccessVerdict::Unmapped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_respects_writability_and_bounds() {
+        let fp = Footprint::new(vec![
+            Region::ro(64, 128, RegionClass::AValues),
+            Region::rw(192, 64, RegionClass::C),
+        ]);
+        assert_eq!(
+            fp.classify(64, 64, false),
+            AccessVerdict::Ok(RegionClass::AValues)
+        );
+        assert_eq!(
+            fp.classify(128, 64, false),
+            AccessVerdict::Ok(RegionClass::AValues)
+        );
+        assert_eq!(fp.classify(128, 65, false), AccessVerdict::Unmapped);
+        assert_eq!(
+            fp.classify(192, 64, true),
+            AccessVerdict::Ok(RegionClass::C)
+        );
+        assert_eq!(
+            fp.classify(64, 64, true),
+            AccessVerdict::ReadOnly(RegionClass::AValues)
+        );
+        assert_eq!(fp.classify(0, 64, false), AccessVerdict::Unmapped);
+        assert_eq!(fp.classify(256, 1, false), AccessVerdict::Unmapped);
+    }
+
+    #[test]
+    fn classify_handles_overlapping_regions() {
+        // Mimics the vector family's fixed bases at huge shapes: B's extent
+        // runs past C's base.
+        let fp = Footprint::new(vec![
+            Region::ro(0, 1024, RegionClass::B),
+            Region::rw(512, 1024, RegionClass::C),
+        ]);
+        // A store into the overlap is satisfied by the writable C region.
+        assert_eq!(
+            fp.classify(600, 64, true),
+            AccessVerdict::Ok(RegionClass::C)
+        );
+        // A load in the overlap hits either region; both are acceptable.
+        assert!(matches!(fp.classify(600, 64, false), AccessVerdict::Ok(_)));
+        // A store below C's base only finds read-only B.
+        assert_eq!(
+            fp.classify(0, 64, true),
+            AccessVerdict::ReadOnly(RegionClass::B)
+        );
+    }
+
+    #[test]
+    fn empty_regions_are_dropped() {
+        let fp = Footprint::new(vec![Region::ro(0, 0, RegionClass::Other)]);
+        assert!(fp.regions().is_empty());
+        assert_eq!(fp.classify(0, 1, false), AccessVerdict::Unmapped);
+        assert_eq!(fp.end(), 0);
+    }
+}

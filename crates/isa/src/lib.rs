@@ -75,10 +75,12 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod encode;
 mod error;
 mod exec;
+pub mod footprint;
 mod inst;
 mod mem;
 pub mod regs;
@@ -88,6 +90,7 @@ pub mod trace;
 pub use encode::{assemble, decode, disassemble, encode};
 pub use error::IsaError;
 pub use exec::{encode_row_patterns, row_patterns_of, ExecStats, Executor};
+pub use footprint::{AccessVerdict, Footprint, Region, RegionClass};
 pub use inst::{Inst, Opcode, RegRef, MACS_PER_TILE_INST};
 pub use mem::{Memory, CACHE_LINE_BYTES};
 pub use regs::{MReg, RegFile, TReg, UReg, VReg};

@@ -583,7 +583,7 @@ mod tests {
                 assert_eq!(ranges.len(), parts);
                 assert_eq!(ranges.first().unwrap().start, 0);
                 assert_eq!(ranges.last().unwrap().end, units);
-                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let sizes: Vec<usize> = ranges.iter().map(ExactSizeIterator::len).collect();
                 for w in ranges.windows(2) {
                     assert_eq!(w[0].end, w[1].start, "contiguous");
                 }

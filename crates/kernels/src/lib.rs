@@ -42,6 +42,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod error;
 pub mod kernel;
@@ -57,7 +58,9 @@ pub use rowwise::{
     build_rowwise_program, build_rowwise_trace, stream_rowwise_trace, RowWiseProgram,
 };
 pub use shapes::{direct_conv, im2col, ConvShape, GemmShape};
-pub use stream::{KernelEmitter, KernelStream, ShardEmitter, ShardPlan, ShardSet, ShardStream};
+pub use stream::{
+    KernelEmitter, KernelStream, ShardEmitter, ShardKind, ShardPlan, ShardSet, ShardStream,
+};
 pub use tiled::{
     build_listing1_trace, build_program, build_trace, stream_listing1_trace, stream_trace,
     KernelOptions, KernelProgram, SparseMode,

@@ -16,6 +16,7 @@
 //! `u1` (`t2`,`t3`), packed `A` values in `t4` with metadata in `m4`.
 
 use vegeta_engine::rowwise::{pack_rows, TileAssignment};
+use vegeta_isa::footprint::{Footprint, Region, RegionClass};
 use vegeta_isa::stream::InstStream;
 use vegeta_isa::trace::{Trace, TraceOp};
 use vegeta_isa::{Executor, Inst, MReg, Memory, TReg, UReg};
@@ -247,6 +248,29 @@ const RW_A_CHUNK_BYTES: u64 = 1024 + 128 + 64;
 /// column tile): two zeros, seven ops per `k` chunk, two stores.
 pub(crate) fn rowwise_block_ops(tiles_k: usize) -> u64 {
     2 + 7 * tiles_k as u64 + 2
+}
+
+/// The declared operand regions of the synthetic row-wise address plan:
+/// the shared `Bᵀ` image, then one read-only `A` run and one writable `C`
+/// image per `(group, jt)` block, mirroring [`emit_rowwise_block`]'s bump
+/// allocation.
+pub(crate) fn rowwise_footprint(tiles_n: usize, tiles_k: usize, groups: usize) -> Footprint {
+    let b_base = 64u64;
+    let a_base = b_base + tiles_n as u64 * tiles_k as u64 * 2048;
+    let block_bytes = tiles_k as u64 * RW_A_CHUNK_BYTES + 2048;
+    let mut regions = Vec::with_capacity(1 + 2 * groups * tiles_n);
+    regions.push(Region::ro(
+        b_base,
+        tiles_n as u64 * tiles_k as u64 * 2048,
+        RegionClass::B,
+    ));
+    for block in 0..groups * tiles_n {
+        let start = a_base + block as u64 * block_bytes;
+        let a_bytes = tiles_k as u64 * RW_A_CHUNK_BYTES;
+        regions.push(Region::ro(start, a_bytes, RegionClass::AValues));
+        regions.push(Region::rw(start + a_bytes, 2048, RegionClass::C));
+    }
+    Footprint::new(regions)
 }
 
 /// Emits one row-wise block. Addresses reproduce the sequential bump

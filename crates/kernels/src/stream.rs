@@ -63,6 +63,7 @@
 //!
 //! [`InstStream`]: vegeta_isa::stream::InstStream
 
+use vegeta_isa::footprint::Footprint;
 use vegeta_isa::stream::{even_ranges, BlockEmitter, ChunkedStream, GridSlice};
 use vegeta_isa::trace::TraceOp;
 use vegeta_sparse::NmRatio;
@@ -350,6 +351,59 @@ impl KernelEmitter {
         });
         ShardSet { shards, reduction }
     }
+
+    /// The declared memory footprint of this kernel's address plan: the
+    /// operand regions every emitted access must stay inside. Equivalent to
+    /// [`KernelEmitter::footprint_with_partials`] with no K-split partials.
+    pub fn footprint(&self) -> Footprint {
+        self.footprint_with_partials(0)
+    }
+
+    /// The declared footprint extended with `k_parts` K-split partial-`C`
+    /// images (tiled family only — other families never K-split, so
+    /// `k_parts` is ignored for them).
+    pub fn footprint_with_partials(&self, k_parts: usize) -> Footprint {
+        match &self.inner {
+            Inner::Tiled { plan, .. } | Inner::Listing1 { plan, .. } => plan.footprint(k_parts),
+            Inner::RowWise {
+                tiles_n,
+                tiles_k,
+                groups,
+            } => crate::rowwise::rowwise_footprint(*tiles_n, *tiles_k, *groups),
+            Inner::Vector { shape } => crate::vector::vector_footprint(*shape),
+        }
+    }
+}
+
+/// What one shard covers of the kernel's M×N×K unit space — the static
+/// description a coverage checker needs to prove a [`ShardSet`] tiles the
+/// grid exactly once (see `vegeta-lint`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardKind {
+    /// A full-depth rectangle of the M×N block grid.
+    Rect {
+        /// Outer M-row unit range.
+        rows: std::ops::Range<usize>,
+        /// Inner output-column unit range.
+        cols: std::ops::Range<usize>,
+    },
+    /// A tiled-family rectangle restricted to a `k`-tile subrange, storing
+    /// partial `C` tiles for K-split shard `part`.
+    KSlice {
+        /// Outer M-row unit range.
+        rows: std::ops::Range<usize>,
+        /// Inner output-column unit range.
+        cols: std::ops::Range<usize>,
+        /// The `k`-tile subrange this shard accumulates.
+        kts: std::ops::Range<usize>,
+        /// The K-split partial image this shard stores to.
+        part: usize,
+    },
+    /// The post-barrier reduction merging `parts` partial `C` images.
+    Reduction {
+        /// Number of partial images summed per output tile.
+        parts: usize,
+    },
 }
 
 /// One shard's trace generator: a rectangle of a kernel's M×N block grid,
@@ -386,6 +440,33 @@ impl ShardEmitter {
         match &self.repr {
             Repr::Grid(grid) | Repr::KSlice { grid, .. } => grid.first_block(),
             Repr::Reduction { .. } => 0,
+        }
+    }
+
+    /// The unit-space coverage this shard claims — what a static verifier
+    /// checks against the kernel's `(M, N, K)` unit dimensions.
+    pub fn kind(&self) -> ShardKind {
+        match &self.repr {
+            Repr::Grid(grid) => ShardKind::Rect {
+                rows: grid.rows(),
+                cols: grid.cols(),
+            },
+            Repr::KSlice { grid, kts, part } => ShardKind::KSlice {
+                rows: grid.rows(),
+                cols: grid.cols(),
+                kts: kts.clone(),
+                part: *part,
+            },
+            Repr::Reduction { parts, .. } => ShardKind::Reduction { parts: *parts },
+        }
+    }
+
+    /// The kernel emitter this shard is a slice of (`None` for the
+    /// reduction pass, which is not grid-shaped).
+    pub fn kernel(&self) -> Option<&KernelEmitter> {
+        match &self.repr {
+            Repr::Grid(grid) | Repr::KSlice { grid, .. } => Some(grid.inner()),
+            Repr::Reduction { .. } => None,
         }
     }
 }

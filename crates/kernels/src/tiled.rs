@@ -30,6 +30,7 @@
 //! reloads independent, exactly as it would for the paper's compiled
 //! kernels.
 
+use vegeta_isa::footprint::{Footprint, Region, RegionClass};
 use vegeta_isa::stream::InstStream;
 use vegeta_isa::trace::{Trace, TraceOp};
 use vegeta_isa::{Executor, Inst, MReg, Memory, TReg, UReg, VReg};
@@ -208,6 +209,26 @@ impl Plan {
         let tiles = (self.shape.tiles_m() * self.shape.tiles_n()) as u64;
         self.total_bytes.next_multiple_of(64)
             + (part as u64 * tiles + (it * self.shape.tiles_n() + jt) as u64) * 1024
+    }
+
+    /// The declared operand regions of this plan's address space, extended
+    /// with `k_parts` K-split partial-`C` images when `k_parts > 0`.
+    pub(crate) fn footprint(&self, k_parts: usize) -> Footprint {
+        let (tm, tn, tk) = (self.tiles_m(), self.tiles_n(), self.k_tiles());
+        let mut regions = vec![
+            Region::ro(64, (tm * tk) as u64 * 1024, RegionClass::AValues),
+            Region::ro(self.a_meta_base, (tm * tk) as u64 * 128, RegionClass::AMeta),
+            Region::ro(self.b_base, (tn * tk) as u64 * self.b_bytes, RegionClass::B),
+            Region::rw(self.c_base, (tm * tn) as u64 * 1024, RegionClass::C),
+        ];
+        if k_parts > 0 {
+            regions.push(Region::rw(
+                self.total_bytes.next_multiple_of(64),
+                (k_parts * tm * tn) as u64 * 1024,
+                RegionClass::PartialC,
+            ));
+        }
+        Footprint::new(regions)
     }
 }
 

@@ -10,6 +10,7 @@
 //! The trace includes the scalar loop control that makes the *executed
 //! instruction count* gap of Fig. 4 so much larger than the FLOP gap.
 
+use vegeta_isa::footprint::{Footprint, Region, RegionClass};
 use vegeta_isa::stream::InstStream;
 use vegeta_isa::trace::{Trace, TraceOp};
 
@@ -38,6 +39,43 @@ pub(crate) fn vector_blocks(shape: GemmShape) -> usize {
 /// order — the outer/inner split M-row sharding partitions on.
 pub(crate) fn vector_shard_layout(shape: GemmShape) -> (usize, usize) {
     (shape.m.div_ceil(I_BLOCK), shape.n.div_ceil(J_BLOCK))
+}
+
+/// The declared operand extents of the vector GEMM's synthetic layout.
+///
+/// The microkernel pads the row/column space to its 4×16 blocking and
+/// issues whole 64 B vector accesses, so ragged shapes legitimately read
+/// and write past `m × n` up to the padded extents declared here. The three
+/// fixed 16 MB-spaced bases can overlap at very large shapes; the
+/// [`Footprint`] containment contract tolerates that.
+pub(crate) fn vector_footprint(shape: GemmShape) -> Footprint {
+    let a_base = 0x0100_0000u64;
+    let b_base = 0x0200_0000u64;
+    let c_base = 0x0300_0000u64;
+    let rows_padded = shape.m.div_ceil(I_BLOCK) * I_BLOCK;
+    let jbs = shape.n.div_ceil(J_BLOCK);
+    let mut regions = Vec::with_capacity(3);
+    if shape.k > 0 && rows_padded > 0 && jbs > 0 {
+        let k_last = ((shape.k - 1) / 16) * 16;
+        regions.push(Region::ro(
+            a_base,
+            ((rows_padded - 1) * shape.k + k_last) as u64 * 4 + 64,
+            RegionClass::AValues,
+        ));
+        regions.push(Region::ro(
+            b_base,
+            ((shape.k - 1) * shape.n + (jbs - 1) * J_BLOCK) as u64 * 4 + 64,
+            RegionClass::B,
+        ));
+    }
+    if rows_padded > 0 && jbs > 0 {
+        regions.push(Region::rw(
+            c_base,
+            ((rows_padded - 1) * shape.n + (jbs - 1) * J_BLOCK) as u64 * 4 + 64,
+            RegionClass::C,
+        ));
+    }
+    Footprint::new(regions)
 }
 
 /// Emits one vector-GEMM microkernel block.

@@ -25,7 +25,7 @@
 
 use proptest::prelude::*;
 use vegeta_isa::stream::InstStream;
-use vegeta_isa::trace::Trace;
+use vegeta_isa::trace::{Trace, TraceOp};
 use vegeta_kernels::{
     GemmShape, Kernel, KernelEmitter, KernelOptions, KernelSpec, ShardPlan, ShardSet, SparseMode,
 };
@@ -86,7 +86,7 @@ fn sorted_reads(trace: &Trace) -> Vec<(u64, usize)> {
     let mut reads: Vec<(u64, usize)> = trace
         .ops()
         .iter()
-        .filter_map(|op| op.mem_access())
+        .filter_map(TraceOp::mem_access)
         .filter(|&(_, _, is_write)| !is_write)
         .map(|(addr, bytes, _)| (addr, bytes))
         .collect();

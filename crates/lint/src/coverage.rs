@@ -1,0 +1,110 @@
+//! Shard-plan coverage: prove a [`ShardSet`]'s rectangles and K-depth
+//! slices tile the kernel's M×N×K unit grid exactly once.
+//!
+//! Each shard claims an axis-aligned box of the unit space (a full-depth
+//! rectangle, or a rectangle × `k`-tile range for K-split shards — see
+//! [`vegeta_kernels::ShardKind`]). Exactly-once tiling is checked without
+//! materializing the grid: every box must lie within bounds, boxes must be
+//! pairwise disjoint, and their volumes must sum to the grid volume — which
+//! together imply an exact partition.
+//!
+//! [`ShardSet`]: vegeta_kernels::ShardSet
+
+use std::ops::Range;
+
+use vegeta_kernels::ShardKind;
+
+use crate::diag::{DiagCode, Diagnostic};
+
+/// The axis-aligned unit-space box one shard claims.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverBox {
+    /// Outer M-row unit range.
+    pub rows: Range<usize>,
+    /// Inner output-column unit range.
+    pub cols: Range<usize>,
+    /// `k`-tile range (the full `0..k_units` for full-depth rectangles).
+    pub kts: Range<usize>,
+}
+
+impl CoverBox {
+    /// The box a shard of the given kind claims; `None` for the reduction
+    /// pass, which covers no grid units.
+    pub fn from_kind(kind: &ShardKind, k_units: usize) -> Option<CoverBox> {
+        match kind {
+            ShardKind::Rect { rows, cols } => Some(CoverBox {
+                rows: rows.clone(),
+                cols: cols.clone(),
+                kts: 0..k_units,
+            }),
+            ShardKind::KSlice {
+                rows, cols, kts, ..
+            } => Some(CoverBox {
+                rows: rows.clone(),
+                cols: cols.clone(),
+                kts: kts.clone(),
+            }),
+            ShardKind::Reduction { .. } => None,
+        }
+    }
+
+    fn volume(&self) -> u64 {
+        self.rows.len() as u64 * self.cols.len() as u64 * self.kts.len() as u64
+    }
+
+    fn intersects(&self, other: &CoverBox) -> bool {
+        fn overlap(a: &Range<usize>, b: &Range<usize>) -> bool {
+            a.start.max(b.start) < a.end.min(b.end)
+        }
+        overlap(&self.rows, &other.rows)
+            && overlap(&self.cols, &other.cols)
+            && overlap(&self.kts, &other.kts)
+    }
+}
+
+/// Checks that `boxes` tile the `m_units × n_units × k_units` grid exactly
+/// once: in bounds, pairwise disjoint, and volume-complete.
+pub fn check_coverage(
+    m_units: usize,
+    n_units: usize,
+    k_units: usize,
+    boxes: &[CoverBox],
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (i, b) in boxes.iter().enumerate() {
+        if b.rows.end > m_units || b.cols.end > n_units || b.kts.end > k_units {
+            diags.push(
+                Diagnostic::new(
+                    DiagCode::DoubleCoverage,
+                    format!("shard box {b:?} exceeds the {m_units}x{n_units}x{k_units} unit grid"),
+                )
+                .in_shard(i),
+            );
+        }
+    }
+    for (i, a) in boxes.iter().enumerate() {
+        for (j, b) in boxes.iter().enumerate().skip(i + 1) {
+            if a.intersects(b) {
+                diags.push(
+                    Diagnostic::new(
+                        DiagCode::DoubleCoverage,
+                        format!("shards {i} and {j} both cover {a:?} ∩ {b:?}"),
+                    )
+                    .in_shard(j),
+                );
+            }
+        }
+    }
+    let total = m_units as u64 * n_units as u64 * k_units as u64;
+    let covered: u64 = boxes.iter().map(CoverBox::volume).sum();
+    if covered < total {
+        diags.push(Diagnostic::new(
+            DiagCode::CoverageHole,
+            format!(
+                "shard boxes cover {covered} of {total} units of the \
+                 {m_units}x{n_units}x{k_units} grid"
+            ),
+        ));
+    }
+    diags
+}

@@ -1,0 +1,181 @@
+//! Typed diagnostics: codes, locations, and the report they roll up into.
+
+use std::fmt;
+
+/// Every defect class the verifier can report, with a stable code.
+///
+/// The code namespaces are: `V-DF` register dataflow, `V-AB` address
+/// bounds/aliasing, `V-SP` shard-plan coverage, `V-LN` length accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagCode {
+    /// `V-DF01` — a tile register is read before any instruction defines it.
+    TileUseBeforeDef,
+    /// `V-DF02` — a metadata register sub-slot (N:M positions or row
+    /// patterns) is read before the matching `TILE_LOAD_M` / `TILE_LOAD_RP`.
+    MetaUseBeforeDef,
+    /// `V-DF03` — a vector register is read before being defined (and is
+    /// not a declared live-in such as the reduction's all-ones constant).
+    VecUseBeforeDef,
+    /// `V-DF04` — a register write is clobbered by a later write with no
+    /// intervening read (the first write is dead).
+    DeadWrite,
+    /// `V-DF05` — a register write is never read before the stream ends
+    /// (e.g. an accumulator that is never stored).
+    UnconsumedWrite,
+    /// `V-AB01` — a memory access falls outside every declared operand
+    /// region of the kernel's address plan.
+    OutOfBounds,
+    /// `V-AB02` — a store targets a read-only operand region.
+    StoreToReadOnly,
+    /// `V-AB03` — a tile-engine access is not 64 B line-aligned.
+    Misaligned,
+    /// `V-SP01` — the shard plan leaves part of the block grid uncovered.
+    CoverageHole,
+    /// `V-SP02` — the shard plan covers part of the block grid more than
+    /// once (or a shard exceeds the grid bounds).
+    DoubleCoverage,
+    /// `V-SP03` — K-split/reduction mismatch: a K-split without a matching
+    /// reduction, a reduction without K-splits, or a reduction whose
+    /// partial-image reads do not match the shards' partial writes.
+    ReductionMismatch,
+    /// `V-SP04` — two concurrent shards write the same cache line.
+    ShardWriteOverlap,
+    /// `V-LN01` — a block's emitted op count differs from its declared
+    /// `block_ops` (the lengths LPT scheduling trusts).
+    BlockLengthMismatch,
+    /// `V-LN02` — a stream's declared total length differs from the sum of
+    /// its blocks' emitted lengths.
+    StreamLengthMismatch,
+}
+
+impl DiagCode {
+    /// The stable diagnostic code, e.g. `V-DF01`.
+    pub fn code(self) -> &'static str {
+        match self {
+            DiagCode::TileUseBeforeDef => "V-DF01",
+            DiagCode::MetaUseBeforeDef => "V-DF02",
+            DiagCode::VecUseBeforeDef => "V-DF03",
+            DiagCode::DeadWrite => "V-DF04",
+            DiagCode::UnconsumedWrite => "V-DF05",
+            DiagCode::OutOfBounds => "V-AB01",
+            DiagCode::StoreToReadOnly => "V-AB02",
+            DiagCode::Misaligned => "V-AB03",
+            DiagCode::CoverageHole => "V-SP01",
+            DiagCode::DoubleCoverage => "V-SP02",
+            DiagCode::ReductionMismatch => "V-SP03",
+            DiagCode::ShardWriteOverlap => "V-SP04",
+            DiagCode::BlockLengthMismatch => "V-LN01",
+            DiagCode::StreamLengthMismatch => "V-LN02",
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One verifier finding: a typed code plus where in the stream it was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The defect class.
+    pub code: DiagCode,
+    /// Index of the shard the defect was found in (`None` for unsharded
+    /// streams or set-level findings).
+    pub shard: Option<usize>,
+    /// Index of the offending op within its stream, when applicable.
+    pub op_index: Option<u64>,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A diagnostic with no location (set-level findings).
+    pub fn new(code: DiagCode, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            shard: None,
+            op_index: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attaches a shard index.
+    pub fn in_shard(mut self, shard: usize) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// Attaches an op index.
+    pub fn at_op(mut self, op: u64) -> Self {
+        self.op_index = Some(op);
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code)?;
+        if let Some(shard) = self.shard {
+            write!(f, " [shard {shard}]")?;
+        }
+        if let Some(op) = self.op_index {
+            write!(f, " [op {op}]")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The outcome of verifying a stream, shard set, or whole kernel grid.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Every finding, in discovery order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Ops statically walked (over all streams checked).
+    pub ops_checked: u64,
+    /// Streams walked (shards + reduction count individually).
+    pub streams_checked: usize,
+}
+
+impl Report {
+    /// `true` when no diagnostics were found.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether any finding carries `code`.
+    pub fn has(&self, code: DiagCode) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Folds another report into this one.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+        self.ops_checked += other.ops_checked;
+        self.streams_checked += other.streams_checked;
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(
+                f,
+                "clean: {} ops across {} streams",
+                self.ops_checked, self.streams_checked
+            );
+        }
+        writeln!(
+            f,
+            "{} diagnostic(s) over {} ops across {} streams:",
+            self.diagnostics.len(),
+            self.ops_checked,
+            self.streams_checked
+        )?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}

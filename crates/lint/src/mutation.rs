@@ -1,0 +1,503 @@
+//! Mutation-testing harness: corrupt *valid* generated streams and shard
+//! plans in targeted ways and check the verifier rejects every one.
+//!
+//! Each [`Mutation`] operator seeds exactly one defect class into a real
+//! artifact (a tiled/row-wise stream, a K-split reduction, a shard set)
+//! and re-runs the public verification passes. A healthy verifier reports
+//! the operator's [`Mutation::expect`]ed diagnostic code; a silent pass is
+//! a verifier bug. The corpus doubles as executable documentation of what
+//! each diagnostic means.
+
+use vegeta_isa::footprint::{Footprint, RegionClass};
+use vegeta_isa::stream::{BlockEmitter, InstStream};
+use vegeta_isa::trace::TraceOp;
+use vegeta_isa::{Inst, TReg};
+use vegeta_kernels::{
+    GemmShape, KernelEmitter, KernelOptions, KernelSpec, ShardKind, ShardPlan, SparseMode,
+};
+use vegeta_sparse::NmRatio;
+
+use crate::bounds::AccessSummary;
+use crate::coverage::{check_coverage, CoverBox};
+use crate::diag::{DiagCode, Report};
+use crate::verify::{check_set, verify_blocks, verify_ops, LintConfig};
+
+/// A block emitter over materialized ops with independently declared
+/// lengths — the harness's stand-in for a corrupted generator whose
+/// `block_ops` bookkeeping disagrees with its emission.
+#[derive(Debug, Clone)]
+pub struct OpsEmitter {
+    /// The ops each block emits.
+    pub blocks: Vec<Vec<TraceOp>>,
+    /// The per-block lengths the emitter *declares* (what LPT would trust).
+    pub declared: Vec<u64>,
+}
+
+impl OpsEmitter {
+    /// An emitter whose declared lengths match its blocks exactly.
+    pub fn truthful(blocks: Vec<Vec<TraceOp>>) -> Self {
+        let declared = blocks.iter().map(|b| b.len() as u64).collect();
+        OpsEmitter { blocks, declared }
+    }
+}
+
+impl BlockEmitter for OpsEmitter {
+    fn blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn block_ops(&self, block: usize) -> u64 {
+        self.declared[block]
+    }
+
+    fn emit_block(&self, block: usize, out: &mut Vec<TraceOp>) {
+        out.extend(self.blocks[block].iter().copied());
+    }
+
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .blocks
+                .iter()
+                .map(|b| b.capacity() * std::mem::size_of::<TraceOp>())
+                .sum::<usize>()
+    }
+}
+
+/// One corruption operator of the mutation corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Retarget a compute op's accumulator to a never-defined treg.
+    SwapAccumulatorReg,
+    /// Drop the `TILE_ZERO` that defines an accumulator.
+    DropAccumulatorZero,
+    /// Drop a `TILE_LOAD_M`, leaving N:M positions undefined.
+    DropMetaLoad,
+    /// Drop a `TILE_LOAD_RP` in a row-wise stream, leaving row patterns
+    /// undefined for `TILE_SPMM_R`.
+    DropRowPatternLoad,
+    /// Retarget a compute op's `A` operand to a never-defined treg.
+    SwapOperandReg,
+    /// Duplicate a load so the first write is clobbered unread.
+    DuplicateLoad,
+    /// Drop the final store, leaving an accumulator unconsumed.
+    DropFinalStore,
+    /// Skew the `A` address-plan stride so loads walk out of bounds.
+    SkewPlanStride,
+    /// Retarget a `C` store into the read-only `B` operand region.
+    StoreIntoOperandB,
+    /// Knock a tile load off 64 B alignment.
+    MisalignTileLoad,
+    /// Make the reduction read an undeclared vector register.
+    UndeclaredVecRead,
+    /// Declare a block length different from what the block emits.
+    LieBlockLength,
+    /// Declare a stream total different from the sum of its blocks.
+    LieStreamLength,
+    /// Drop the reduction stream from a K-split shard set.
+    DropReduction,
+    /// Truncate the reduction so it reads only part of the partials.
+    TruncateReductionReads,
+    /// Remove one rectangle from a shard plan's coverage.
+    CoverageHole,
+    /// Duplicate one rectangle in a shard plan's coverage.
+    DoubleCover,
+    /// Make two shards write the same `C` lines.
+    CollideShardStores,
+}
+
+impl Mutation {
+    /// Every operator of the corpus.
+    pub fn all() -> Vec<Mutation> {
+        vec![
+            Mutation::SwapAccumulatorReg,
+            Mutation::DropAccumulatorZero,
+            Mutation::DropMetaLoad,
+            Mutation::DropRowPatternLoad,
+            Mutation::SwapOperandReg,
+            Mutation::DuplicateLoad,
+            Mutation::DropFinalStore,
+            Mutation::SkewPlanStride,
+            Mutation::StoreIntoOperandB,
+            Mutation::MisalignTileLoad,
+            Mutation::UndeclaredVecRead,
+            Mutation::LieBlockLength,
+            Mutation::LieStreamLength,
+            Mutation::DropReduction,
+            Mutation::TruncateReductionReads,
+            Mutation::CoverageHole,
+            Mutation::DoubleCover,
+            Mutation::CollideShardStores,
+        ]
+    }
+
+    /// Stable operator name (for reports and CI logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::SwapAccumulatorReg => "swap-accumulator-reg",
+            Mutation::DropAccumulatorZero => "drop-accumulator-zero",
+            Mutation::DropMetaLoad => "drop-meta-load",
+            Mutation::DropRowPatternLoad => "drop-row-pattern-load",
+            Mutation::SwapOperandReg => "swap-operand-reg",
+            Mutation::DuplicateLoad => "duplicate-load",
+            Mutation::DropFinalStore => "drop-final-store",
+            Mutation::SkewPlanStride => "skew-plan-stride",
+            Mutation::StoreIntoOperandB => "store-into-operand-b",
+            Mutation::MisalignTileLoad => "misalign-tile-load",
+            Mutation::UndeclaredVecRead => "undeclared-vec-read",
+            Mutation::LieBlockLength => "lie-block-length",
+            Mutation::LieStreamLength => "lie-stream-length",
+            Mutation::DropReduction => "drop-reduction",
+            Mutation::TruncateReductionReads => "truncate-reduction-reads",
+            Mutation::CoverageHole => "coverage-hole",
+            Mutation::DoubleCover => "double-cover",
+            Mutation::CollideShardStores => "collide-shard-stores",
+        }
+    }
+
+    /// The diagnostic code a healthy verifier must report for this operator.
+    pub fn expect(self) -> DiagCode {
+        match self {
+            Mutation::SwapAccumulatorReg
+            | Mutation::DropAccumulatorZero
+            | Mutation::SwapOperandReg => DiagCode::TileUseBeforeDef,
+            Mutation::DropMetaLoad | Mutation::DropRowPatternLoad => DiagCode::MetaUseBeforeDef,
+            Mutation::UndeclaredVecRead => DiagCode::VecUseBeforeDef,
+            Mutation::DuplicateLoad => DiagCode::DeadWrite,
+            Mutation::DropFinalStore => DiagCode::UnconsumedWrite,
+            Mutation::SkewPlanStride => DiagCode::OutOfBounds,
+            Mutation::StoreIntoOperandB => DiagCode::StoreToReadOnly,
+            Mutation::MisalignTileLoad => DiagCode::Misaligned,
+            Mutation::LieBlockLength => DiagCode::BlockLengthMismatch,
+            Mutation::LieStreamLength => DiagCode::StreamLengthMismatch,
+            Mutation::DropReduction | Mutation::TruncateReductionReads => {
+                DiagCode::ReductionMismatch
+            }
+            Mutation::CoverageHole => DiagCode::CoverageHole,
+            Mutation::DoubleCover => DiagCode::DoubleCoverage,
+            Mutation::CollideShardStores => DiagCode::ShardWriteOverlap,
+        }
+    }
+
+    /// Applies the operator to a freshly generated valid artifact and
+    /// returns the verifier's report on the corrupted result.
+    pub fn run(self) -> Report {
+        let cfg = LintConfig::default();
+        match self {
+            Mutation::SwapAccumulatorReg => {
+                let (mut ops, fp) = tiled_base();
+                mutate_first(&mut ops, |op| match op {
+                    TraceOp::Tile(Inst::TileSpmmU { acc, .. }) => {
+                        // T5 is unused by the 2:4 register map.
+                        *acc = TReg::T5;
+                        true
+                    }
+                    _ => false,
+                });
+                ops_report(&ops, &fp, &cfg)
+            }
+            Mutation::DropAccumulatorZero => {
+                let (mut ops, fp) = tiled_base();
+                remove_first(&mut ops, |op| {
+                    matches!(op, TraceOp::Tile(Inst::TileZero { .. }))
+                });
+                ops_report(&ops, &fp, &cfg)
+            }
+            Mutation::DropMetaLoad => {
+                let (mut ops, fp) = tiled_base();
+                remove_first(&mut ops, |op| {
+                    matches!(op, TraceOp::Tile(Inst::TileLoadM { .. }))
+                });
+                ops_report(&ops, &fp, &cfg)
+            }
+            Mutation::DropRowPatternLoad => {
+                let (mut ops, fp) = rowwise_base();
+                remove_first(&mut ops, |op| {
+                    matches!(op, TraceOp::Tile(Inst::TileLoadRp { .. }))
+                });
+                ops_report(&ops, &fp, &cfg)
+            }
+            Mutation::SwapOperandReg => {
+                let (mut ops, fp) = tiled_base();
+                mutate_first(&mut ops, |op| match op {
+                    TraceOp::Tile(Inst::TileSpmmU { a, .. }) => {
+                        // T3 is unused by the 2:4 register map.
+                        *a = TReg::T3;
+                        true
+                    }
+                    _ => false,
+                });
+                ops_report(&ops, &fp, &cfg)
+            }
+            Mutation::DuplicateLoad => {
+                let (mut ops, fp) = tiled_base();
+                if let Some(i) = ops
+                    .iter()
+                    .position(|op| matches!(op, TraceOp::Tile(Inst::TileLoadT { .. })))
+                {
+                    let dup = ops[i];
+                    ops.insert(i, dup);
+                }
+                ops_report(&ops, &fp, &cfg)
+            }
+            Mutation::DropFinalStore => {
+                let (mut ops, fp) = tiled_base();
+                if let Some(i) = ops
+                    .iter()
+                    .rposition(|op| matches!(op, TraceOp::Tile(Inst::TileStoreT { .. })))
+                {
+                    ops.remove(i);
+                }
+                ops_report(&ops, &fp, &cfg)
+            }
+            Mutation::SkewPlanStride => {
+                let (mut ops, fp) = tiled_base();
+                let a = fp
+                    .region_of_class(RegionClass::AValues)
+                    .expect("tiled plans declare an A region")
+                    .to_owned();
+                for op in &mut ops {
+                    if let TraceOp::Tile(Inst::TileLoadT { addr, .. }) = op {
+                        if a.contains(*addr, 1) {
+                            // 16x the declared stride: early iterations stay
+                            // in bounds, later ones walk past the plan.
+                            *addr = a.start + (*addr - a.start) * 16;
+                        }
+                    }
+                }
+                ops_report(&ops, &fp, &cfg)
+            }
+            Mutation::StoreIntoOperandB => {
+                let (mut ops, fp) = tiled_base();
+                let b_start = fp
+                    .region_of_class(RegionClass::B)
+                    .expect("tiled plans declare a B region")
+                    .start;
+                mutate_first(&mut ops, |op| match op {
+                    TraceOp::Tile(Inst::TileStoreT { addr, .. }) => {
+                        *addr = b_start;
+                        true
+                    }
+                    _ => false,
+                });
+                ops_report(&ops, &fp, &cfg)
+            }
+            Mutation::MisalignTileLoad => {
+                let (mut ops, fp) = tiled_base();
+                mutate_first(&mut ops, |op| match op {
+                    TraceOp::Tile(Inst::TileLoadT { addr, .. }) => {
+                        *addr += 4;
+                        true
+                    }
+                    _ => false,
+                });
+                ops_report(&ops, &fp, &cfg)
+            }
+            Mutation::UndeclaredVecRead => {
+                let (mut ops, fp) = reduction_base();
+                mutate_first(&mut ops, |op| match op {
+                    TraceOp::VecFma { b, .. } => {
+                        // vreg3 is neither written nor declared live-in.
+                        *b = 3;
+                        true
+                    }
+                    _ => false,
+                });
+                ops_report(&ops, &fp, &cfg)
+            }
+            Mutation::LieBlockLength => {
+                let (emitter, fp) = tiled_emitter();
+                let mut lying = OpsEmitter::truthful(materialize_blocks(&emitter));
+                lying.declared[0] += 2;
+                let declared_total = lying.declared.iter().sum();
+                let (diags, _, ops) = verify_blocks(&lying, declared_total, &fp, &cfg);
+                report_of(diags, ops)
+            }
+            Mutation::LieStreamLength => {
+                let (emitter, fp) = tiled_emitter();
+                let truthful = OpsEmitter::truthful(materialize_blocks(&emitter));
+                let declared_total: u64 = truthful.declared.iter().sum::<u64>() + 7;
+                let (diags, _, ops) = verify_blocks(&truthful, declared_total, &fp, &cfg);
+                report_of(diags, ops)
+            }
+            Mutation::DropReduction => {
+                let (dims, shards, _) = ksplit_set();
+                report_of(check_set(dims, &shards, None), 0)
+            }
+            Mutation::TruncateReductionReads => {
+                let (dims, shards, reduction) = ksplit_set();
+                let (parts, mut ops, fp) = reduction;
+                // Keep only part 0's loads and the stores: the dataflow
+                // stays clean, but half the partial image is never merged.
+                ops.retain(|op| {
+                    !matches!(op, TraceOp::VecFma { .. } | TraceOp::VecLoad { dst: 1, .. })
+                });
+                let (diags, summary) = verify_ops(&ops, &fp, &cfg);
+                let mut report = report_of(diags, ops.len() as u64);
+                report
+                    .diagnostics
+                    .extend(check_set(dims, &shards, Some((parts, &summary))));
+                report
+            }
+            Mutation::CoverageHole => {
+                let (dims, mut boxes) = plan_boxes();
+                boxes.pop();
+                report_of(check_coverage(dims.0, dims.1, dims.2, &boxes), 0)
+            }
+            Mutation::DoubleCover => {
+                let (dims, mut boxes) = plan_boxes();
+                boxes.push(boxes[0].clone());
+                report_of(check_coverage(dims.0, dims.1, dims.2, &boxes), 0)
+            }
+            Mutation::CollideShardStores => {
+                let (dims, mut shards, _) = ksplit_set();
+                // Aim shard 1 at shard 0's write set; coverage stays exact,
+                // only the write-set disjointness is violated.
+                let first = shards[0].1.clone();
+                shards[1].1 = first;
+                report_of(check_set(dims, &shards, None), 0)
+            }
+        }
+    }
+}
+
+/// Runs the whole corpus; each entry pairs the operator with its report.
+pub fn run_corpus() -> Vec<(Mutation, Report)> {
+    Mutation::all().into_iter().map(|m| (m, m.run())).collect()
+}
+
+/// The canonical shape/mode the corpus corrupts: large enough for several
+/// accumulator groups, column tiles, and `k`-tiles (so K-splits exist).
+fn base_shape() -> GemmShape {
+    GemmShape::new(96, 64, 256)
+}
+
+fn tiled_spec() -> KernelSpec {
+    KernelSpec::Tiled {
+        mode: SparseMode::Nm2of4,
+        opts: KernelOptions::default(),
+    }
+}
+
+fn tiled_emitter() -> (KernelEmitter, Footprint) {
+    let emitter = KernelEmitter::for_spec(&tiled_spec(), base_shape());
+    let fp = emitter.footprint();
+    (emitter, fp)
+}
+
+fn tiled_base() -> (Vec<TraceOp>, Footprint) {
+    let (emitter, fp) = tiled_emitter();
+    (materialize(&emitter), fp)
+}
+
+fn rowwise_base() -> (Vec<TraceOp>, Footprint) {
+    let mut ratios = vec![NmRatio::S1_4; 40];
+    ratios.extend(vec![NmRatio::S2_4; 32]);
+    ratios.extend(vec![NmRatio::D4_4; 24]);
+    let spec = KernelSpec::RowWise { row_ratios: ratios };
+    let emitter = KernelEmitter::for_spec(&spec, base_shape());
+    let fp = emitter.footprint();
+    (materialize(&emitter), fp)
+}
+
+/// Materialized reduction stream of a 2-way K-split, with the partial-C
+/// footprint it must stay inside.
+fn reduction_base() -> (Vec<TraceOp>, Footprint) {
+    let (emitter, _) = tiled_emitter();
+    let fp = emitter.footprint_with_partials(2);
+    let set = emitter.shard_with(ShardPlan::new(1, 1, 2));
+    let reduction = set.reduction.expect("k_splits=2 has a reduction");
+    (materialize(reduction.emitter()), fp)
+}
+
+/// A verified 2-way K-split set: grid dims, per-shard (kind, summary)
+/// pairs, and the reduction's (parts, ops, footprint).
+#[allow(clippy::type_complexity)]
+fn ksplit_set() -> (
+    (usize, usize, usize),
+    Vec<(ShardKind, AccessSummary)>,
+    (usize, Vec<TraceOp>, Footprint),
+) {
+    let cfg = LintConfig::default();
+    let (emitter, _) = tiled_emitter();
+    let (m_units, n_units) = emitter.shard_layout();
+    let k_units = emitter.k_units();
+    let fp = emitter.footprint_with_partials(2);
+    let set = emitter.shard_with(ShardPlan::new(2, 1, 2));
+    let shards = set
+        .shards
+        .iter()
+        .map(|s| {
+            let (_, summary, _) = verify_blocks(s.emitter(), s.remaining(), &fp, &cfg);
+            (s.emitter().kind(), summary)
+        })
+        .collect();
+    let reduction = set.reduction.expect("k_splits=2 has a reduction");
+    let ShardKind::Reduction { parts } = reduction.emitter().kind() else {
+        unreachable!("reduction stream has Reduction kind")
+    };
+    (
+        (m_units, n_units, k_units),
+        shards,
+        (parts, materialize(reduction.emitter()), fp),
+    )
+}
+
+/// Grid dims + coverage boxes of a valid 2×2 plan over the tiled base.
+fn plan_boxes() -> ((usize, usize, usize), Vec<CoverBox>) {
+    let (emitter, _) = tiled_emitter();
+    let (m_units, n_units) = emitter.shard_layout();
+    let k_units = emitter.k_units();
+    let set = emitter.shard_with(ShardPlan::new(2, 2, 1));
+    let boxes = set
+        .shards
+        .iter()
+        .filter_map(|s| CoverBox::from_kind(&s.emitter().kind(), k_units))
+        .collect();
+    ((m_units, n_units, k_units), boxes)
+}
+
+fn materialize<E: BlockEmitter>(emitter: &E) -> Vec<TraceOp> {
+    let mut ops = Vec::new();
+    for b in 0..emitter.blocks() {
+        emitter.emit_block(b, &mut ops);
+    }
+    ops
+}
+
+fn materialize_blocks<E: BlockEmitter>(emitter: &E) -> Vec<Vec<TraceOp>> {
+    (0..emitter.blocks())
+        .map(|b| {
+            let mut buf = Vec::new();
+            emitter.emit_block(b, &mut buf);
+            buf
+        })
+        .collect()
+}
+
+fn mutate_first(ops: &mut [TraceOp], mut f: impl FnMut(&mut TraceOp) -> bool) {
+    for op in ops {
+        if f(op) {
+            return;
+        }
+    }
+}
+
+fn remove_first(ops: &mut Vec<TraceOp>, f: impl Fn(&TraceOp) -> bool) {
+    if let Some(i) = ops.iter().position(f) {
+        ops.remove(i);
+    }
+}
+
+fn ops_report(ops: &[TraceOp], fp: &Footprint, cfg: &LintConfig) -> Report {
+    let (diags, _) = verify_ops(ops, fp, cfg);
+    report_of(diags, ops.len() as u64)
+}
+
+fn report_of(diags: Vec<crate::diag::Diagnostic>, ops: u64) -> Report {
+    Report {
+        diagnostics: diags,
+        ops_checked: ops,
+        streams_checked: 1,
+    }
+}

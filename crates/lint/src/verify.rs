@@ -1,0 +1,282 @@
+//! The verification driver: walks emitters block-by-block, runs every
+//! pass, and rolls findings into a [`Report`].
+
+use std::collections::HashMap;
+
+use vegeta_isa::footprint::Footprint;
+use vegeta_isa::stream::{BlockEmitter, InstStream};
+use vegeta_isa::trace::TraceOp;
+use vegeta_kernels::{GemmShape, KernelEmitter, KernelSpec, ShardKind, ShardPlan, ShardStream};
+
+use crate::bounds::{check_bounds, AccessSummary, BoundsPass};
+use crate::coverage::{check_coverage, CoverBox};
+use crate::dataflow::{DataflowConfig, DataflowPass};
+use crate::diag::{DiagCode, Diagnostic, Report};
+
+/// Per-stream diagnostic cap: a single seeded defect can fire on every
+/// iteration of a loop nest, so stop walking a stream once it is clearly
+/// broken rather than materializing millions of findings.
+pub const MAX_DIAGS_PER_STREAM: usize = 64;
+
+/// Verifier configuration (currently the dataflow live-in assumptions).
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// Live-in assumptions for the dataflow pass.
+    pub dataflow: DataflowConfig,
+}
+
+/// Statically verifies one block emitter against its declared footprint
+/// and declared total length, running the dataflow, bounds, and length
+/// passes in a single walk.
+///
+/// Returns the findings, the memory-traffic summary the set-level checks
+/// consume, and the number of ops walked.
+pub fn verify_blocks<E: BlockEmitter>(
+    emitter: &E,
+    declared_total: u64,
+    fp: &Footprint,
+    cfg: &LintConfig,
+) -> (Vec<Diagnostic>, AccessSummary, u64) {
+    let mut dataflow = DataflowPass::new(&cfg.dataflow);
+    let mut bounds = BoundsPass::new(fp);
+    let mut diags = Vec::new();
+    let mut emitted_total = 0u64;
+    let mut buf: Vec<TraceOp> = Vec::new();
+    let mut truncated = false;
+    for block in 0..emitter.blocks() {
+        buf.clear();
+        emitter.emit_block(block, &mut buf);
+        let declared = emitter.block_ops(block);
+        if buf.len() as u64 != declared {
+            diags.push(Diagnostic::new(
+                DiagCode::BlockLengthMismatch,
+                format!(
+                    "block {block} declares {declared} ops but emits {}",
+                    buf.len()
+                ),
+            ));
+        }
+        emitted_total += buf.len() as u64;
+        for op in &buf {
+            dataflow.op(op);
+            bounds.op(op);
+        }
+        if dataflow.diagnostics().len() + bounds.diagnostics().len() + diags.len()
+            > MAX_DIAGS_PER_STREAM
+        {
+            truncated = true;
+            break;
+        }
+    }
+    if !truncated && emitted_total != declared_total {
+        diags.push(Diagnostic::new(
+            DiagCode::StreamLengthMismatch,
+            format!("stream declares {declared_total} ops but emits {emitted_total}"),
+        ));
+    }
+    if truncated {
+        diags.extend(dataflow.finish().into_iter().filter(|d| {
+            // Mid-stream truncation leaves live accumulators; only the
+            // use/clobber findings are meaningful.
+            d.code != DiagCode::UnconsumedWrite
+        }));
+    } else {
+        diags.extend(dataflow.finish());
+    }
+    let (bounds_diags, summary) = bounds.finish();
+    diags.extend(bounds_diags);
+    (diags, summary, emitted_total)
+}
+
+/// Verifies a complete op sequence (no block structure) against `fp`:
+/// the dataflow and bounds passes only. Returns the findings and the
+/// traffic summary.
+pub fn verify_ops(
+    ops: &[TraceOp],
+    fp: &Footprint,
+    cfg: &LintConfig,
+) -> (Vec<Diagnostic>, AccessSummary) {
+    let mut diags = crate::dataflow::check_dataflow(ops, &cfg.dataflow);
+    let (bounds_diags, summary) = check_bounds(ops, fp);
+    diags.extend(bounds_diags);
+    (diags, summary)
+}
+
+/// Set-level checks over already-verified per-stream results: coverage of
+/// the `(m_units, n_units, k_units)` grid, pairwise disjointness of the
+/// shards' tile-store write sets, and K-split/reduction matching.
+///
+/// `shards` pairs each shard's [`ShardKind`] with its traffic summary;
+/// `reduction` carries the reduction's declared part count and summary
+/// when present.
+pub fn check_set(
+    dims: (usize, usize, usize),
+    shards: &[(ShardKind, AccessSummary)],
+    reduction: Option<(usize, &AccessSummary)>,
+) -> Vec<Diagnostic> {
+    let (m_units, n_units, k_units) = dims;
+    let boxes: Vec<CoverBox> = shards
+        .iter()
+        .filter_map(|(kind, _)| CoverBox::from_kind(kind, k_units))
+        .collect();
+    let mut diags = check_coverage(m_units, n_units, k_units, &boxes);
+
+    // Concurrent shards must never write the same cache line.
+    let mut writers: HashMap<u64, usize> = HashMap::new();
+    'shards: for (i, (_, summary)) in shards.iter().enumerate() {
+        for &(line, _) in &summary.store_lines {
+            if let Some(&prev) = writers.get(&line) {
+                if prev != i {
+                    diags.push(
+                        Diagnostic::new(
+                            DiagCode::ShardWriteOverlap,
+                            format!(
+                                "shards {prev} and {i} both write line {:#x}",
+                                line * vegeta_isa::CACHE_LINE_BYTES as u64
+                            ),
+                        )
+                        .in_shard(i),
+                    );
+                    // One witness per set is enough; a systematic overlap
+                    // would otherwise flood the report.
+                    break 'shards;
+                }
+            } else {
+                writers.insert(line, i);
+            }
+        }
+    }
+
+    // Every K-split needs a matching reduction, and vice versa.
+    let k_parts: Vec<usize> = shards
+        .iter()
+        .filter_map(|(kind, _)| match kind {
+            ShardKind::KSlice { part, .. } => Some(*part),
+            _ => None,
+        })
+        .collect();
+    let split_parts = k_parts.iter().max().map_or(0, |m| m + 1);
+    match (reduction, split_parts) {
+        (None, 0) => {}
+        (None, _) => diags.push(Diagnostic::new(
+            DiagCode::ReductionMismatch,
+            format!("{split_parts} K-split parts but no reduction stream"),
+        )),
+        (Some((parts, _)), 0) => diags.push(Diagnostic::new(
+            DiagCode::ReductionMismatch,
+            format!("reduction stream for {parts} parts but no K-split shards"),
+        )),
+        (Some((parts, summary)), _) => {
+            if parts != split_parts {
+                diags.push(Diagnostic::new(
+                    DiagCode::ReductionMismatch,
+                    format!("reduction merges {parts} parts but shards produce {split_parts}"),
+                ));
+            }
+            let written: std::collections::BTreeSet<u64> = shards
+                .iter()
+                .flat_map(|(_, s)| s.partial_store_lines())
+                .collect();
+            if summary.partial_read_lines != written {
+                diags.push(Diagnostic::new(
+                    DiagCode::ReductionMismatch,
+                    format!(
+                        "reduction reads {} partial-C lines but shards wrote {}",
+                        summary.partial_read_lines.len(),
+                        written.len()
+                    ),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+/// Verifies the unsharded stream of `spec` at `shape`: dataflow, bounds,
+/// and length accounting over every block.
+pub fn verify_spec(spec: &KernelSpec, shape: GemmShape) -> Report {
+    let cfg = LintConfig::default();
+    let emitter = KernelEmitter::for_spec(spec, shape);
+    let fp = emitter.footprint();
+    let declared = spec.stream(shape).remaining();
+    let (diags, _, ops) = verify_blocks(&emitter, declared, &fp, &cfg);
+    Report {
+        diagnostics: diags,
+        ops_checked: ops,
+        streams_checked: 1,
+    }
+}
+
+/// Verifies the legacy 1D M-row split of `spec` into `n` shard streams
+/// (the static scheduler's sharding), including coverage and write-set
+/// disjointness across the shards.
+pub fn verify_shard_streams(spec: &KernelSpec, shape: GemmShape, n: usize) -> Report {
+    let emitter = KernelEmitter::for_spec(spec, shape);
+    let shards = spec.shard_streams(shape, n);
+    verify_shards_of(&emitter, &shards, None)
+}
+
+/// Verifies the 2D/K-split [`ShardPlan`] `spec.shard_plan(shape, cores)`
+/// picks — the set LPT scheduling runs (see
+/// [`vegeta_kernels::KernelSpec::shard_set`]).
+pub fn verify_shard_set(spec: &KernelSpec, shape: GemmShape, cores: usize) -> Report {
+    verify_shard_set_with(spec, shape, spec.shard_plan(shape, cores))
+}
+
+/// Verifies the shard set `plan` cuts `spec` into at `shape`: every shard
+/// stream (dataflow/bounds/lengths), exact grid coverage, write-set
+/// disjointness, and the K-split/reduction contract.
+pub fn verify_shard_set_with(spec: &KernelSpec, shape: GemmShape, plan: ShardPlan) -> Report {
+    let emitter = KernelEmitter::for_spec(spec, shape);
+    let set = KernelEmitter::for_spec(spec, shape).shard_with(plan);
+    verify_shards_of(&emitter, &set.shards, set.reduction.as_ref())
+}
+
+/// Shared driver for both sharding flavors: verifies each stream, then the
+/// set-level contracts.
+fn verify_shards_of(
+    emitter: &KernelEmitter,
+    shards: &[ShardStream],
+    reduction: Option<&ShardStream>,
+) -> Report {
+    let cfg = LintConfig::default();
+    let (m_units, n_units) = emitter.shard_layout();
+    let k_units = emitter.k_units();
+    let split_parts = shards
+        .iter()
+        .filter_map(|s| match s.emitter().kind() {
+            ShardKind::KSlice { part, .. } => Some(part + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let fp = emitter.footprint_with_partials(split_parts);
+    let mut report = Report::default();
+    let mut results: Vec<(ShardKind, AccessSummary)> = Vec::with_capacity(shards.len());
+    for (i, shard) in shards.iter().enumerate() {
+        let (diags, summary, ops) = verify_blocks(shard.emitter(), shard.remaining(), &fp, &cfg);
+        report
+            .diagnostics
+            .extend(diags.into_iter().map(|d| d.in_shard(i)));
+        report.ops_checked += ops;
+        report.streams_checked += 1;
+        results.push((shard.emitter().kind(), summary));
+    }
+    let reduction_result = reduction.map(|r| {
+        let (diags, summary, ops) = verify_blocks(r.emitter(), r.remaining(), &fp, &cfg);
+        report.diagnostics.extend(diags);
+        report.ops_checked += ops;
+        report.streams_checked += 1;
+        let parts = match r.emitter().kind() {
+            ShardKind::Reduction { parts } => parts,
+            _ => 0,
+        };
+        (parts, summary)
+    });
+    report.diagnostics.extend(check_set(
+        (m_units, n_units, k_units),
+        &results,
+        reduction_result.as_ref().map(|(p, s)| (*p, s)),
+    ));
+    report
+}

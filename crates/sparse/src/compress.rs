@@ -291,6 +291,12 @@ impl TileFormat for CompressedTile {
 
 /// Packs `indices` (one entry per stored value, `per_row` values per row) at
 /// `bits` bits each, LSB-first, each row padded to a whole byte boundary.
+///
+/// # Panics
+///
+/// Panics on `per_row == 0`, which is a caller bug: every supported `N:M`
+/// ratio stores `N >= 1` values per block, so any tile that passed ratio
+/// validation has at least one stored value per row.
 pub(crate) fn pack_indices(indices: &[u8], per_row: usize, bits: u32) -> Vec<u8> {
     assert!(per_row > 0, "rows must store at least one value");
     let row_bytes = (per_row * bits as usize).div_ceil(8);

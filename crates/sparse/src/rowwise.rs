@@ -70,6 +70,9 @@ impl RowWiseTile {
                     .map(|b| b.iter().filter(|v| !v.is_zero()).count())
                     .max()
                     .unwrap_or(0);
+                // Infallible: `supported_patterns(m)` ends with the dense
+                // `m:m` pattern, and a block of `m` values holds at most
+                // `m` non-zeros, so a covering pattern always exists.
                 *patterns
                     .iter()
                     .find(|p| p.n() as usize >= max_nnz)

@@ -34,6 +34,8 @@ pub fn row_cover(row: &[Bf16], m: u8) -> Result<NmRatio, SparsityError> {
         .map(|b| b.iter().filter(|v| !v.is_zero()).count())
         .max()
         .unwrap_or(0);
+    // Infallible: the pattern list ends with dense `m:m`, and a block of
+    // `m` values holds at most `m` non-zeros.
     Ok(*patterns
         .iter()
         .find(|p| p.n() as usize >= max_nnz)
@@ -101,6 +103,7 @@ pub fn pseudo_row_wise_covers(dense: &Matrix<Bf16>, m: u8) -> Result<Vec<NmRatio
                 .iter()
                 .copied()
                 .max()
+                // `expansion_factor() >= 1`, so the slice is never empty.
                 .expect("non-empty group");
             if need <= n {
                 break;
@@ -134,6 +137,8 @@ pub fn reordered_row_wise_covers(
         let k = patterns
             .iter()
             .position(|p| p == c)
+            // `row_covers` selects from this exact `supported_patterns(m)`
+            // list, so every cover is present in it.
             .expect("cover from same pattern set");
         counts[k] += 1;
     }

@@ -21,6 +21,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use rand::Rng;
 use vegeta_kernels::{ConvShape, GemmShape};

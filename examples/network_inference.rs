@@ -11,14 +11,15 @@ use vegeta::prelude::*;
 use vegeta::workloads::{layers_of, Network};
 
 fn print_suite(result: &NetworkReport, baseline: Option<&NetworkReport>) {
-    let speedup = baseline
-        .map(|b| {
+    let speedup = baseline.map_or_else(
+        || "1.00x".to_string(),
+        |b| {
             format!(
                 "{:.2}x",
                 b.total_cycles() as f64 / result.total_cycles() as f64
             )
-        })
-        .unwrap_or_else(|| "1.00x".to_string());
+        },
+    );
     println!(
         "  {:<28} {:>14} cycles {:>8.2} eff. TFLOPS  {:>7}",
         result.engine,
@@ -51,7 +52,7 @@ fn main() {
 
     for (suite_name, network) in suites {
         let layers = layers_of(network);
-        let macs: u64 = layers.iter().map(|l| l.macs()).sum();
+        let macs: u64 = layers.iter().map(Layer::macs).sum();
         println!(
             "\n{suite_name}: {} layers, {} total MACs",
             layers.len(),

@@ -114,7 +114,7 @@ fn main() {
         plan.n_splits,
         plan.k_splits,
         set.shards.len(),
-        set.shards.iter().map(|s| s.remaining()).sum::<u64>()
+        set.shards.iter().map(InstStream::remaining).sum::<u64>()
     );
     let mut cfg = MultiCoreConfig::new(4);
     cfg.prefetched = false; // charge memory latency on cold L2 lines

@@ -76,9 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for engine in engines {
         let session = Session::new(engine).with_cache(Arc::clone(&cache));
         let report = session.run_layer(&layer, NmRatio::S2_4);
-        let speedup = baseline
-            .map(|b: u64| b as f64 / report.cycles as f64)
-            .unwrap_or(1.0);
+        let speedup = baseline.map_or(1.0, |b: u64| b as f64 / report.cycles as f64);
         baseline.get_or_insert(report.cycles);
         println!(
             "  {:<36} kernel {}: {:>12} cycles  {:>7.3} ms  {:>6.2} effective TFLOPS  {:>5.2}x",

@@ -238,9 +238,7 @@ fn trace_cache_distinguishes_formats() {
 #[test]
 #[ignore = "wall-clock benchmark; run explicitly on an idle multi-core host"]
 fn sweep_parallel_speedup_at_least_1_5x() {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     if cores < 4 {
         eprintln!("skipping: speedup check needs >= 4 cores, have {cores}");
         return;
