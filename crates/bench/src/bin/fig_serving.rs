@@ -1,0 +1,112 @@
+//! Batched inference serving over the simulated multi-core fleet (the
+//! deployment experiment VEGETA's kernel-level evaluation implies).
+//!
+//! Default mode: serves a Poisson workload mix (one layer per source
+//! network, perf-gate pinned) on fleets of 1–4 simulated workers per §VI
+//! engine class, sweeping offered load from 4x under to 4x over each
+//! engine's calibrated capacity, with request batching on and off. Prints
+//! the latency/throughput table and the QPS-vs-workers saturation curves,
+//! asserts the serving sanity floor (nothing shed at low load, achieved
+//! tracks offered, batching beats singleton dispatch), and writes
+//! `BENCH_serving.json` for the CI artifact upload. All times ride the
+//! virtual clock, so output is deterministic; honours `VEGETA_QUICK` like
+//! every other figure binary.
+//!
+//! `--full-scale` (the scheduled full-scale workflow): the same sweep at
+//! full Table IV fidelity on the single-worker fleet.
+
+use vegeta::prelude::*;
+use vegeta_bench::serving::{
+    check_serving_floor, run_serving_sweep, saturation_qps, serving_engines, serving_report,
+    serving_worker_counts, write_serving_json, ServingCell, LOAD_FACTORS,
+};
+
+/// Requests per sweep cell: enough arrivals that the fixed batching-window
+/// tail amortizes against the arrival span at every grid point (so achieved
+/// QPS tracks offered at low load) while each discrete-event replay stays
+/// trivial — distinct simulations are memoized across cells.
+const REQUESTS: usize = 512;
+
+/// The load generator seed the committed curves are pinned to.
+const SEED: u64 = 23;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--full-scale") => run("full-scale", Fidelity::Full, &[1], REQUESTS / 2),
+        None => run(
+            "gate",
+            Fidelity::from_env(),
+            &serving_worker_counts(true),
+            REQUESTS,
+        ),
+        Some(unknown) => {
+            eprintln!("fig_serving: unknown argument '{unknown}' (expected --full-scale)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(mode: &str, fidelity: Fidelity, worker_counts: &[usize], requests: usize) {
+    println!(
+        "## Serving sweep: engine classes x {} workers x {:?} load factors, \
+         {requests} requests/cell, {fidelity} fidelity",
+        worker_counts.len(),
+        LOAD_FACTORS
+    );
+    let mut runs: Vec<(String, Vec<ServingCell>)> = Vec::new();
+    for engine in serving_engines() {
+        let cells = run_serving_sweep(&engine, fidelity, worker_counts, requests, SEED);
+        print_cells(engine.name(), &cells);
+        for &workers in worker_counts {
+            println!(
+                "{} saturation at {workers} worker(s): batched {:.0} QPS, singleton {:.0} QPS",
+                engine.name(),
+                saturation_qps(&cells, workers, true),
+                saturation_qps(&cells, workers, false)
+            );
+        }
+        if let Err(why) = check_serving_floor(engine.name(), &cells) {
+            eprintln!("fig_serving: serving floor violated: {why}");
+            std::process::exit(1);
+        }
+        runs.push((engine.name().to_string(), cells));
+    }
+    println!("\nserving floor: ok (all engines)");
+    write_serving_json(&serving_report(mode, &runs));
+}
+
+fn print_cells(engine: &str, cells: &[ServingCell]) {
+    println!("\n### {engine}");
+    println!(
+        "{:<8} {:>7} {:>9} {:>10} {:>10} {:>8} {:>8} {:>8} {:>6} {:>8} {:>6}",
+        "workers",
+        "factor",
+        "batched",
+        "offered",
+        "achieved",
+        "p50us",
+        "p95us",
+        "p99us",
+        "shed",
+        "batches",
+        "util"
+    );
+    for cell in cells {
+        let r = &cell.report;
+        println!(
+            "{:<8} {:>7.2} {:>9} {:>10.0} {:>10.0} {:>8} {:>8} {:>8} {:>6} {:>8} {:>5.0}%",
+            r.workers,
+            cell.load_factor,
+            if cell.batched { "yes" } else { "no" },
+            r.offered_qps,
+            r.achieved_qps,
+            r.p50_latency_us,
+            r.p95_latency_us,
+            r.p99_latency_us,
+            r.shed,
+            r.batches,
+            r.mean_utilization() * 100.0
+        );
+    }
+}

@@ -19,6 +19,7 @@
 pub mod lint_sweep;
 pub mod perf_gate;
 pub mod scaling;
+pub mod serving;
 
 pub use lint_sweep::{print_lint_sweep, run_lint_sweep, run_self_test};
 

@@ -149,13 +149,21 @@ pub fn run_perf_cells(layers: &[Layer], fidelities: &[Fidelity]) -> Vec<PerfCell
     cells
 }
 
-/// Wraps perf cells into the `BENCH_perf.json` document.
+/// Wraps perf cells into the `BENCH_perf.json` document. The top-level
+/// `geomean_sim_insts_per_sec` field summarizes replay throughput across
+/// all cells in one number, so workflow artifacts can be skimmed (and
+/// trended) without re-aggregating the per-cell rows.
 pub fn perf_report(mode: &str, cells: &[PerfCell]) -> JsonValue {
+    let rates: Vec<f64> = cells.iter().map(PerfCell::sim_insts_per_sec).collect();
     JsonValue::Object(vec![
         ("report".into(), "perf_gate".into()),
         ("mode".into(), mode.into()),
         ("tolerance".into(), GEOMEAN_TOLERANCE.into()),
         ("cells".into(), cells.len().into()),
+        (
+            "geomean_sim_insts_per_sec".into(),
+            geomean(&rates).unwrap_or(0.0).into(),
+        ),
         (
             "results".into(),
             JsonValue::Array(cells.iter().map(PerfCell::to_json_value).collect()),
@@ -341,6 +349,25 @@ mod tests {
                 .and_then(JsonValue::as_array)
                 .map(<[_]>::len),
             Some(3)
+        );
+        // The top-level summary is the geomean of the per-cell rates.
+        let rates: Vec<f64> = cells.iter().map(PerfCell::sim_insts_per_sec).collect();
+        let expect = geomean(&rates).expect("three positive rates");
+        let got = parsed
+            .get("geomean_sim_insts_per_sec")
+            .and_then(JsonValue::as_f64)
+            .expect("summary field present");
+        assert!(((got - expect) / expect).abs() < 1e-9, "{got} vs {expect}");
+        assert!(got > 0.0);
+    }
+
+    #[test]
+    fn perf_report_summary_survives_empty_cells() {
+        let doc = perf_report("test", &[]);
+        assert_eq!(
+            doc.get("geomean_sim_insts_per_sec")
+                .and_then(JsonValue::as_f64),
+            Some(0.0)
         );
     }
 }

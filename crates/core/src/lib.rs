@@ -25,6 +25,11 @@
 //! | [`report`] | structured run/sweep reports with JSON + CSV output |
 //! | [`json`] | the dependency-free JSON value behind the reports |
 //!
+//! Two crates sit on top of this facade rather than inside it: the
+//! `vegeta-serve` crate serves batched inference requests over a fleet of
+//! simulated workers (admission control, request batching, virtual-clock
+//! latency accounting), and `vegeta-bench` holds the figure/table binaries.
+//!
 //! # Quickstart
 //!
 //! Experiments are driven through a [`session::Session`] (one engine) or a
@@ -84,7 +89,8 @@ pub mod prelude {
     pub use crate::rand_seed;
     pub use crate::report::{geomean, NetworkReport, RunReport, SweepReport};
     pub use crate::session::{
-        figure13_engines, figure13_sparsities, quick_factor, Fidelity, ProgressFn, Session, Sweep,
+        figure13_engines, figure13_sparsities, quick_factor, Fidelity, Preflight, ProgressFn,
+        Session, Sweep,
     };
     pub use vegeta_engine::{CostModel, EngineConfig, EngineTimer};
     pub use vegeta_isa::{Executor, Inst, Memory, TReg, UReg, VReg};

@@ -32,7 +32,7 @@
 //!     "RASA-DM (VEGETA-D-1-2)", "VEGETA-S-16-2", "2:4").unwrap() > 1.0);
 //! ```
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -258,45 +258,97 @@ impl CellOutcome {
 /// One memoized preflight cell: `(shape, spec, cores, policy)`.
 type PreflightKey = (GemmShape, KernelSpec, usize, SchedulerPolicy);
 
+/// A memoized static-verification gate over `(shape, spec, cores, policy)`
+/// cells (see the module-level discussion above): each distinct cell is
+/// lint-verified once, and clones share the memo through an [`Arc`].
+///
+/// [`Session`]/[`Sweep`] use it panicking (a malformed stream inside a
+/// trusted experiment grid is a bug, not an input); request-facing layers
+/// such as `vegeta-serve` use the non-panicking [`Preflight::verify`] to
+/// turn the same diagnostics into structured request errors. Both paths
+/// share one keying, so a spec verified at admission is never re-verified
+/// by the session that simulates it.
 #[derive(Clone, Debug, Default)]
-struct Preflight {
+pub struct Preflight {
     disabled: bool,
-    verified: Arc<Mutex<HashSet<PreflightKey>>>,
+    verified: Arc<Mutex<HashMap<PreflightKey, Result<(), String>>>>,
 }
 
 impl Preflight {
-    /// Verifies one cell (`cores == 0` means the unsharded single-core
-    /// path), panicking with the lint report on any diagnostic.
-    fn check(&self, shape: GemmShape, spec: &KernelSpec, cores: usize, policy: SchedulerPolicy) {
+    /// An enabled gate with an empty memo.
+    pub fn new() -> Self {
+        Preflight::default()
+    }
+
+    /// Enables or disables the gate (disabled gates verify nothing and
+    /// always succeed); the memo is kept either way.
+    pub fn with_enabled(mut self, enabled: bool) -> Self {
+        self.disabled = !enabled;
+        self
+    }
+
+    /// `true` when the gate actually verifies (the default).
+    pub fn is_enabled(&self) -> bool {
+        !self.disabled
+    }
+
+    /// Statically verifies one cell — `cores == 0` means the unsharded
+    /// single-core path, `cores >= 1` the sharded decomposition the given
+    /// scheduler policy would execute — memoizing the outcome (failures
+    /// included: lint is deterministic, so a rejected cell stays rejected).
+    ///
+    /// # Errors
+    ///
+    /// The formatted `vegeta-lint` report when any diagnostic fires.
+    pub fn verify(
+        &self,
+        shape: GemmShape,
+        spec: &KernelSpec,
+        cores: usize,
+        policy: SchedulerPolicy,
+    ) -> Result<(), String> {
         if self.disabled {
-            return;
+            return Ok(());
         }
         let key = (shape, spec.clone(), cores, policy);
-        if self
+        if let Some(outcome) = self
             .verified
             .lock()
             .expect("preflight memo poisoned")
-            .contains(&key)
+            .get(&key)
         {
-            return;
+            return outcome.clone();
         }
         let report = match (cores, policy) {
             (0, _) => vegeta_lint::verify_spec(spec, shape),
             (n, SchedulerPolicy::Static) => vegeta_lint::verify_shard_streams(spec, shape, n),
             (n, SchedulerPolicy::Lpt) => vegeta_lint::verify_shard_set(spec, shape, n),
         };
-        assert!(
-            report.is_clean(),
-            "preflight rejected {} at {}x{}x{} ({cores} cores, {policy:?}):\n{report}",
-            spec.name(),
-            shape.m,
-            shape.n,
-            shape.k,
-        );
+        let outcome = if report.is_clean() {
+            Ok(())
+        } else {
+            Err(format!(
+                "preflight rejected {} at {}x{}x{} ({cores} cores, {policy:?}):\n{report}",
+                spec.name(),
+                shape.m,
+                shape.n,
+                shape.k,
+            ))
+        };
         self.verified
             .lock()
             .expect("preflight memo poisoned")
-            .insert(key);
+            .insert(key, outcome.clone());
+        outcome
+    }
+
+    /// Verifies one cell, panicking with the lint report on any diagnostic
+    /// (the [`Session`]/[`Sweep`] contract: simulating a malformed stream
+    /// would launder the defect into silently wrong cycle counts).
+    fn check(&self, shape: GemmShape, spec: &KernelSpec, cores: usize, policy: SchedulerPolicy) {
+        if let Err(report) = self.verify(shape, spec, cores, policy) {
+            panic!("{report}");
+        }
     }
 }
 

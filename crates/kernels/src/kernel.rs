@@ -392,6 +392,24 @@ impl TraceCache {
         TraceCache::with_max_resident(DEFAULT_RESIDENT_TRACES)
     }
 
+    /// Creates an empty cache already wrapped for cross-worker sharing:
+    /// the `Arc` clones cheaply into every worker/session that should
+    /// resolve against the same memo (the per-key [`OnceLock`] build-once
+    /// guarantee holds across however many threads hold a clone).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vegeta_kernels::TraceCache;
+    ///
+    /// let cache = TraceCache::shared();
+    /// let clone = std::sync::Arc::clone(&cache); // hand to a worker
+    /// assert_eq!(clone.len(), cache.len());
+    /// ```
+    pub fn shared() -> Arc<Self> {
+        Arc::new(TraceCache::new())
+    }
+
     /// Creates an empty cache evicting materialized traces beyond
     /// `max_resident` entries (minimum 1; summaries are never evicted —
     /// they are a few dozen bytes each).
@@ -613,6 +631,46 @@ mod tests {
         }
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.hits() + cache.misses(), 8);
+    }
+
+    #[test]
+    fn shared_cache_contention_builds_each_key_exactly_once() {
+        // The cross-worker guarantee the serving layer leans on: M workers
+        // holding Arc clones of one cache and racing on the *same* key get
+        // one trace build (per-key OnceLock) and one generator-summary
+        // derivation — a barrier maximizes the contention window.
+        const WORKERS: usize = 8;
+        let cache = TraceCache::shared();
+        let shape = GemmShape::new(64, 64, 256);
+        let spec = KernelSpec::tiled(SparseMode::Nm1of4);
+        let barrier = std::sync::Barrier::new(WORKERS);
+        let traces: Vec<Arc<Trace>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..WORKERS)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let spec = spec.clone();
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        barrier.wait();
+                        // Streaming lookup and materializing lookup race.
+                        let stream = cache.stream(shape, &spec);
+                        let trace = cache.get_or_build(shape, &spec);
+                        assert_eq!(stream.remaining(), trace.len() as u64);
+                        trace
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for t in &traces[1..] {
+            assert!(Arc::ptr_eq(&traces[0], t), "every worker shares one build");
+        }
+        assert_eq!(cache.len(), 1, "one distinct key");
+        assert_eq!(cache.resident_len(), 1, "one materialized trace");
+        // 2 lookups per worker; exactly 2 misses total (the first stream
+        // summary + the first materialization), every other lookup hits.
+        assert_eq!(cache.misses(), 2, "first summary + first build only");
+        assert_eq!(cache.hits(), 2 * WORKERS as u64 - 2);
     }
 
     #[test]

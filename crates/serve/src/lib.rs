@@ -1,0 +1,48 @@
+//! # vegeta-serve: batched inference serving over the simulated fleet
+//!
+//! An asynchronous batched inference service running *on top of* the
+//! VEGETA simulator: clients submit GEMM/SPMM requests (a Table IV layer
+//! at some weight sparsity, or a raw `(shape, kernel spec)` pair), a
+//! [`Frontend`] admits them into a bounded queue, a [`Batcher`] coalesces
+//! same-key requests inside a time/size window, and a [`WorkerPool`] of
+//! simulated multi-core workers services each batch — one shared
+//! [`TraceCache`](vegeta::kernels::TraceCache) entry and one sharded
+//! simulation per *distinct* batch key, however many requests ride on it.
+//!
+//! Time is **virtual**: a batch's service time is its simulated cycle
+//! count converted through the core clock ([`VirtualClock`]), and the
+//! serving timeline (arrivals, queueing, dispatch, completion) is replayed
+//! on a single-threaded discrete-event loop. Host threads only parallelize
+//! the *simulations* of distinct keys; they never touch the timeline, so
+//! every latency percentile in a [`ServeReport`] is deterministic in
+//! `(config, seed)` and independent of the machine or `--threads` count.
+//!
+//! ```
+//! use vegeta_serve::{LoadGen, ServeConfig, Server};
+//! use vegeta::prelude::*;
+//!
+//! let cfg = ServeConfig::new(EngineConfig::vegeta_s(16).unwrap())
+//!     .with_workers(2)
+//!     .with_fidelity(Fidelity::Quick(8));
+//! let load = LoadGen::new(2_000.0, 24).with_seed(7);
+//! let report = Server::new(cfg).serve(&load);
+//! assert_eq!(report.completed + report.shed + report.rejected, 24);
+//! assert!(report.p99_latency_us >= report.p50_latency_us);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod batch;
+mod loadgen;
+mod report;
+mod request;
+mod server;
+mod worker;
+
+pub use batch::{Admit, Batch, Batcher, BatcherConfig};
+pub use loadgen::{default_mix, LoadGen, MixEntry};
+pub use report::{percentile_us, ServeReport};
+pub use request::{BatchKey, Outcome, Request, RequestError, Response, Work};
+pub use server::{Frontend, ServeConfig, Server, ServiceMemo};
+pub use worker::{SimOutcome, VirtualClock, WorkerPool};

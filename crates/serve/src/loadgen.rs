@@ -1,0 +1,193 @@
+//! The load generator: open-loop Poisson-like arrivals over a workload mix.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vegeta::prelude::*;
+
+use crate::request::{Request, Work};
+
+/// One entry of the workload mix: a layer, its weight sparsity, and its
+/// relative weight in the draw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixEntry {
+    /// The layer requests of this entry execute.
+    pub layer: Layer,
+    /// Weight sparsity.
+    pub weights: NmRatio,
+    /// Relative draw weight (any positive scale; normalized internally).
+    pub weight: f64,
+}
+
+/// The default serving mix: the perf-gate's three pinned layers — a CNN
+/// layer at 2:4, an encoder layer at 2:4, and a decoder layer at 1:4 —
+/// weighted toward the conv-heavy end as an inference fleet would be.
+pub fn default_mix() -> Vec<MixEntry> {
+    let find = |name: &str| {
+        *table4()
+            .iter()
+            .find(|l| l.name == name)
+            .unwrap_or_else(|| panic!("Table IV layer {name} missing"))
+    };
+    vec![
+        MixEntry {
+            layer: find("ResNet50-L6"),
+            weights: NmRatio::S2_4,
+            weight: 0.5,
+        },
+        MixEntry {
+            layer: find("BERT-L2"),
+            weights: NmRatio::S2_4,
+            weight: 0.3,
+        },
+        MixEntry {
+            layer: find("GPT-L1"),
+            weights: NmRatio::S1_4,
+            weight: 0.2,
+        },
+    ]
+}
+
+/// Open-loop arrival generator: exponential inter-arrival gaps at a target
+/// QPS (a Poisson process on the virtual clock), each request drawing its
+/// work from a weighted mix. Deterministic in `(seed, qps, requests, mix)`
+/// via the vendored [`SmallRng`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadGen {
+    /// RNG seed.
+    pub seed: u64,
+    /// Offered load in requests per second of virtual time.
+    pub qps: f64,
+    /// How many requests to generate.
+    pub requests: usize,
+    /// Deadline applied to every request, if any (relative µs).
+    pub deadline_us: Option<u64>,
+    /// The workload mix drawn from.
+    pub mix: Vec<MixEntry>,
+}
+
+impl LoadGen {
+    /// A generator at `qps` for `requests` requests over [`default_mix`].
+    ///
+    /// # Panics
+    /// If `qps` is not finite and positive.
+    pub fn new(qps: f64, requests: usize) -> Self {
+        assert!(qps.is_finite() && qps > 0.0, "offered QPS must be positive");
+        LoadGen {
+            seed: 0xEE7A,
+            qps,
+            requests,
+            deadline_us: None,
+            mix: default_mix(),
+        }
+    }
+
+    /// Replaces the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the workload mix.
+    ///
+    /// # Panics
+    /// If `mix` is empty or any weight is not finite and positive.
+    pub fn with_mix(mut self, mix: Vec<MixEntry>) -> Self {
+        assert!(!mix.is_empty(), "workload mix must not be empty");
+        assert!(
+            mix.iter().all(|e| e.weight.is_finite() && e.weight > 0.0),
+            "mix weights must be positive"
+        );
+        self.mix = mix;
+        self
+    }
+
+    /// Applies a per-request deadline (relative µs).
+    pub fn with_deadline(mut self, deadline_us: u64) -> Self {
+        self.deadline_us = Some(deadline_us);
+        self
+    }
+
+    /// Generates the arrival trace: requests in nondecreasing arrival
+    /// order, ids `0..requests`.
+    pub fn generate(&self) -> Vec<Request> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let total: f64 = self.mix.iter().map(|e| e.weight).sum();
+        let mut now = 0f64; // virtual µs, fractional until quantized
+        let mut out = Vec::with_capacity(self.requests);
+        for id in 0..self.requests as u64 {
+            // Exponential gap via inverse CDF; mean gap = 1e6 / qps µs.
+            let u: f64 = rng.gen_range(0.0..1.0);
+            now += -(1.0 - u).ln() / self.qps * 1e6;
+            let mut draw = rng.gen_range(0.0..total);
+            let mut pick = self.mix.len() - 1;
+            for (i, entry) in self.mix.iter().enumerate() {
+                if draw < entry.weight {
+                    pick = i;
+                    break;
+                }
+                draw -= entry.weight;
+            }
+            let entry = &self.mix[pick];
+            out.push(Request {
+                id,
+                work: Work::Layer {
+                    layer: entry.layer,
+                    weights: entry.weights,
+                },
+                arrival_us: now as u64,
+                deadline_us: self.deadline_us,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let gen = LoadGen::new(5_000.0, 64).with_seed(42);
+        assert_eq!(gen.generate(), gen.generate());
+        let other = LoadGen::new(5_000.0, 64).with_seed(43);
+        assert_ne!(gen.generate(), other.generate());
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_mean_gap_tracks_qps() {
+        let qps = 10_000.0;
+        let gen = LoadGen::new(qps, 400).with_seed(7);
+        let reqs = gen.generate();
+        assert!(reqs.windows(2).all(|w| w[0].arrival_us <= w[1].arrival_us));
+        let span_us = reqs.last().unwrap().arrival_us as f64;
+        let mean_gap = span_us / (reqs.len() - 1) as f64;
+        let expect = 1e6 / qps;
+        assert!(
+            (mean_gap - expect).abs() < expect * 0.25,
+            "mean gap {mean_gap:.1}us vs expected {expect:.1}us"
+        );
+    }
+
+    #[test]
+    fn mix_draws_cover_every_entry() {
+        let gen = LoadGen::new(1_000.0, 200).with_seed(11);
+        let reqs = gen.generate();
+        for entry in &gen.mix {
+            assert!(
+                reqs.iter().any(|r| matches!(
+                    &r.work,
+                    Work::Layer { layer, .. } if layer.name == entry.layer.name
+                )),
+                "mix entry {} never drawn",
+                entry.layer.name
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_is_applied_to_every_request() {
+        let reqs = LoadGen::new(1_000.0, 8).with_deadline(500).generate();
+        assert!(reqs.iter().all(|r| r.deadline_us == Some(500)));
+    }
+}

@@ -1,0 +1,55 @@
+//! Serving quickstart: stand up a simulated serving fleet, drive it with
+//! a Poisson load, and read the latency/throughput report.
+//!
+//! ```text
+//! cargo run --release --example serving_sweep
+//! ```
+//!
+//! 1. Configure the fleet: engine, workers, cores per worker, queue bound
+//!    and batching window.
+//! 2. Describe the offered load: QPS, request count, workload mix, seed.
+//! 3. `Server::serve` simulates each distinct batch key once, then replays
+//!    the serving timeline on the virtual clock.
+//! 4. The report carries p50/p95/p99 latency, achieved QPS, batch-size
+//!    histogram, shed count and per-worker utilization — deterministic in
+//!    `(config, seed)`.
+
+use vegeta::prelude::*;
+use vegeta_serve::{LoadGen, ServeConfig, Server};
+
+fn main() {
+    // Keep CI quick-mode runs small; drop the scaling for full size.
+    let scale = 8 * quick_factor();
+    let fidelity = Fidelity::Quick(scale);
+
+    let load = LoadGen::new(2_000.0, 48).with_seed(7);
+    println!("offered: {} requests at {} QPS", load.requests, load.qps);
+
+    for (label, cfg) in [
+        (
+            "1 worker, unbatched",
+            ServeConfig::new(EngineConfig::vegeta_s(16).expect("valid design"))
+                .with_workers(1)
+                .with_fidelity(fidelity)
+                .without_batching(),
+        ),
+        (
+            "4 workers, batched",
+            ServeConfig::new(EngineConfig::vegeta_s(16).expect("valid design"))
+                .with_workers(4)
+                .with_fidelity(fidelity),
+        ),
+    ] {
+        let report = Server::new(cfg).serve(&load);
+        println!(
+            "{label}: p50 {} us, p99 {} us, achieved {:.0} QPS, \
+             {} batches, shed {}, mean util {:.0}%",
+            report.p50_latency_us,
+            report.p99_latency_us,
+            report.achieved_qps,
+            report.batches,
+            report.shed,
+            report.mean_utilization() * 100.0
+        );
+    }
+}
