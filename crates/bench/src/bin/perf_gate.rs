@@ -23,13 +23,17 @@
 //! Flags: `--baseline <path>` overrides the committed baseline,
 //! `--tolerance <fraction>` the ±2% default (the `VEGETA_PERF_TOL`
 //! environment variable also overrides the default; the flag wins over
-//! both), `--scaling-floor <speedup>` the 3.5× scaling floor.
+//! both), `--scaling-floor <speedup>` the 3.5× scaling floor, and
+//! `--min-insts-per-sec <rate>` the opt-in replay-throughput floor on
+//! the cells' `geomean_sim_insts_per_sec` (the `VEGETA_PERF_MIN_IPS`
+//! environment variable also enables it; unset means off, because
+//! wall-clock floors are host-dependent).
 
 use vegeta::json::JsonValue;
 use vegeta::prelude::*;
 use vegeta_bench::perf_gate::{
-    compare_geomeans, perf_report, pinned_layers, resolve_tolerance, run_perf_cells,
-    write_perf_json, TOLERANCE_ENV,
+    check_throughput_floor, compare_geomeans, perf_report, pinned_layers, resolve_min_ips,
+    resolve_tolerance, run_perf_cells, write_perf_json, MIN_IPS_ENV, TOLERANCE_ENV,
 };
 use vegeta_bench::scaling::{
     check_scaling_floor, run_scaling_floor_sweep, DEFAULT_SCALING_FLOOR, SCALING_FLOOR_CORES,
@@ -49,6 +53,7 @@ fn main() {
     let mut full_scale = false;
     let mut baseline_path = workspace_baseline();
     let mut tolerance_flag: Option<f64> = None;
+    let mut min_ips_flag: Option<f64> = None;
     let mut scaling_floor = DEFAULT_SCALING_FLOOR;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -64,6 +69,15 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--min-insts-per-sec" => {
+                let raw = iter.next().expect("--min-insts-per-sec needs a rate");
+                min_ips_flag = Some(raw.parse().unwrap_or_else(|_| {
+                    eprintln!(
+                        "perf_gate: --min-insts-per-sec '{raw}' is not a number (e.g. 250000)"
+                    );
+                    std::process::exit(2);
+                }));
+            }
             "--scaling-floor" => {
                 let raw = iter.next().expect("--scaling-floor needs a speedup");
                 scaling_floor = raw.parse().unwrap_or_else(|_| {
@@ -76,7 +90,8 @@ fn main() {
             unknown => {
                 eprintln!(
                     "perf_gate: unknown argument '{unknown}' (expected --full-scale, \
-                     --baseline <path>, --tolerance <fraction>, --scaling-floor <speedup>)"
+                     --baseline <path>, --tolerance <fraction>, \
+                     --min-insts-per-sec <rate>, --scaling-floor <speedup>)"
                 );
                 std::process::exit(2);
             }
@@ -89,6 +104,12 @@ fn main() {
             eprintln!("perf_gate: {e}");
             std::process::exit(2);
         });
+    // Flag > VEGETA_PERF_MIN_IPS > off.
+    let env_min_ips = std::env::var(MIN_IPS_ENV).ok();
+    let min_ips = resolve_min_ips(min_ips_flag, env_min_ips.as_deref()).unwrap_or_else(|e| {
+        eprintln!("perf_gate: {e}");
+        std::process::exit(2);
+    });
 
     if full_scale {
         // One full-fidelity layer per engine class, including the largest
@@ -101,6 +122,7 @@ fn main() {
         let cells = run_perf_cells(&layers, &[Fidelity::Full]);
         print_cells(&cells);
         write_perf_json(&perf_report("full-scale", &cells));
+        gate_throughput(&cells, min_ips);
         return;
     }
 
@@ -180,6 +202,27 @@ fn main() {
     let cells = run_perf_cells(&pinned_layers(), &[Fidelity::Quick(4), Fidelity::Full]);
     print_cells(&cells);
     write_perf_json(&perf_report("gate", &cells));
+    gate_throughput(&cells, min_ips);
+}
+
+/// Applies the opt-in replay-throughput floor to the timed cells; a floor
+/// of `None` (neither flag nor environment set) reports and moves on.
+fn gate_throughput(cells: &[vegeta_bench::perf_gate::PerfCell], min_ips: Option<f64>) {
+    let Some(floor) = min_ips else {
+        println!("\nthroughput floor: off (set {MIN_IPS_ENV} or --min-insts-per-sec)");
+        return;
+    };
+    match check_throughput_floor(cells, floor) {
+        Ok(achieved) => {
+            println!(
+                "\nthroughput floor PASSED: geomean {achieved:.0} sim insts/sec >= {floor:.0}"
+            );
+        }
+        Err(why) => {
+            eprintln!("\nthroughput floor FAILED: {why}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn print_cells(cells: &[vegeta_bench::perf_gate::PerfCell]) {

@@ -21,7 +21,9 @@ pub mod perf_gate;
 pub mod scaling;
 pub mod serving;
 
-pub use lint_sweep::{print_lint_sweep, run_lint_sweep, run_self_test};
+pub use lint_sweep::{
+    print_lint_sweep, print_replay_check, run_lint_sweep, run_replay_check, run_self_test,
+};
 
 /// Writes a JSON artifact named `file_name` into `$VEGETA_CSV_DIR` (when
 /// set) or the workspace root; returns the path on success. Shared by the

@@ -152,6 +152,116 @@ pub fn print_lint_sweep() -> bool {
     clean
 }
 
+/// Core count the replay cross-check shards at: enough for a real LPT
+/// 2D/K-split plan and a multi-way event merge without making the sweep
+/// simulate every scaling point twice.
+pub const REPLAY_CHECK_CORES: usize = 4;
+
+/// One replayed cell of the cross-check: verifier op counts next to what
+/// the simulator actually consumed, unsharded and sharded.
+#[derive(Debug)]
+pub struct ReplayCell {
+    /// `workload/kernel@sparsity` label for the report table.
+    pub label: String,
+    /// Ops the verifier walked in the unsharded stream.
+    pub verified_ops: u64,
+    /// Instructions the single-core simulator consumed from that stream.
+    pub simulated_insts: u64,
+    /// Ops the verifier walked across the [`REPLAY_CHECK_CORES`]-core LPT
+    /// shard set (reduction included).
+    pub verified_shard_ops: u64,
+    /// Instructions the event-driven multi-core simulator consumed from
+    /// the same shard set (reduction included).
+    pub simulated_shard_insts: u64,
+}
+
+impl ReplayCell {
+    /// Whether the simulator consumed exactly what the verifier checked,
+    /// on both paths.
+    pub fn consistent(&self) -> bool {
+        self.verified_ops == self.simulated_insts
+            && self.verified_shard_ops == self.simulated_shard_insts
+    }
+}
+
+/// Replays every [`lint_cells`] cell through the production simulator and
+/// cross-checks op accounting end to end: the instruction count the
+/// simulator consumes must equal the op count the verifier walked — for
+/// the unsharded stream on a single core, and for the
+/// [`REPLAY_CHECK_CORES`]-core LPT shard set under the event-driven merge
+/// loop (reduction pass included). A gap in either direction means the
+/// verifier's green does not describe the streams the evaluation actually
+/// simulates.
+pub fn run_replay_check() -> Vec<ReplayCell> {
+    let engine = EngineConfig::vegeta_s(16)
+        .expect("valid alpha")
+        .with_output_forwarding(true);
+    lint_cells()
+        .into_iter()
+        .map(|(label, shape, spec)| {
+            let verified_ops = verify_spec(&spec, shape).ops_checked;
+            let mut core = CoreSim::new(SimConfig::default(), engine.clone());
+            let simulated_insts = core.run_stream(spec.stream(shape)).instructions;
+
+            let verified_shard_ops = verify_shard_set(&spec, shape, REPLAY_CHECK_CORES).ops_checked;
+            let set = spec.shard_set(shape, REPLAY_CHECK_CORES);
+            let mut mc = MultiCoreSim::new(
+                MultiCoreConfig::with_core(SimConfig::default(), REPLAY_CHECK_CORES),
+                engine.clone(),
+            );
+            let res = mc.run_sharded(set.shards, set.reduction, SchedulerPolicy::Lpt);
+            ReplayCell {
+                label,
+                verified_ops,
+                simulated_insts,
+                verified_shard_ops,
+                simulated_shard_insts: res.instructions(),
+            }
+        })
+        .collect()
+}
+
+/// Prints the replay cross-check as a table and returns `true` when every
+/// cell's simulator-consumed counts match the verifier's.
+pub fn print_replay_check() -> bool {
+    println!(
+        "## vegeta-lint --replay: simulator-consumed instruction counts vs verified op counts"
+    );
+    println!(
+        "{:<44} {:>12} {:>12} {:>12} {:>12}",
+        "cell", "verified", "simulated", "shard-ver", "shard-sim"
+    );
+    let cells = run_replay_check();
+    let mut ok = true;
+    for cell in &cells {
+        println!(
+            "{:<44} {:>12} {:>12} {:>12} {:>12}",
+            cell.label,
+            cell.verified_ops,
+            cell.simulated_insts,
+            cell.verified_shard_ops,
+            cell.simulated_shard_insts
+        );
+        if !cell.consistent() {
+            ok = false;
+            eprintln!(
+                "MISMATCH {}: verifier walked {}/{} ops but the simulator consumed {}/{}",
+                cell.label,
+                cell.verified_ops,
+                cell.verified_shard_ops,
+                cell.simulated_insts,
+                cell.simulated_shard_insts
+            );
+        }
+    }
+    println!(
+        "replayed {} cells at 1 and {REPLAY_CHECK_CORES} cores: {}",
+        cells.len(),
+        if ok { "counts match" } else { "COUNTS DIVERGE" }
+    );
+    ok
+}
+
 /// Prints the mutation-corpus rejection self-test and returns `true` when
 /// every seeded defect was rejected with its expected diagnostic.
 pub fn run_self_test() -> bool {

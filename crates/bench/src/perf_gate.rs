@@ -63,6 +63,67 @@ pub fn resolve_tolerance(flag: Option<f64>, env: Option<&str>) -> Result<f64, St
     }
 }
 
+/// The environment variable that sets the replay-throughput floor
+/// (simulated instructions per wall-clock second, e.g. `250000`); an
+/// explicit `--min-insts-per-sec` flag wins over it. Unset means the
+/// throughput gate is off — wall-clock floors are host-dependent, so CI
+/// opts in with a value calibrated to its runners.
+pub const MIN_IPS_ENV: &str = "VEGETA_PERF_MIN_IPS";
+
+/// Resolves the throughput floor from its three sources, strongest first:
+/// the `--min-insts-per-sec` flag, the [`MIN_IPS_ENV`] environment
+/// variable, then `None` (gate off).
+///
+/// # Errors
+///
+/// A human-readable message when the chosen value (flag or environment)
+/// is not a positive finite rate — a NaN floor would pass any throughput
+/// and a non-positive one is a gate that can never fail, i.e. criteria
+/// nobody chose.
+pub fn resolve_min_ips(flag: Option<f64>, env: Option<&str>) -> Result<Option<f64>, String> {
+    if let Some(rate) = flag {
+        return if rate.is_finite() && rate > 0.0 {
+            Ok(Some(rate))
+        } else {
+            Err(format!(
+                "--min-insts-per-sec {rate} is not a positive rate (e.g. 250000)"
+            ))
+        };
+    }
+    match env {
+        None => Ok(None),
+        Some(raw) => match raw.trim().parse::<f64>() {
+            Ok(rate) if rate.is_finite() && rate > 0.0 => Ok(Some(rate)),
+            _ => Err(format!(
+                "{MIN_IPS_ENV}='{raw}' is not a positive rate (e.g. 250000)"
+            )),
+        },
+    }
+}
+
+/// Gates the cells' `geomean_sim_insts_per_sec` against a throughput
+/// floor, returning the achieved geomean on success.
+///
+/// # Errors
+///
+/// A human-readable message when the geomean is below `min_ips` (or
+/// cannot be computed because there are no cells).
+pub fn check_throughput_floor(cells: &[PerfCell], min_ips: f64) -> Result<f64, String> {
+    let rates: Vec<f64> = cells.iter().map(PerfCell::sim_insts_per_sec).collect();
+    let Some(achieved) = geomean(&rates) else {
+        return Err("no perf cells to gate".into());
+    };
+    if achieved >= min_ips {
+        Ok(achieved)
+    } else {
+        Err(format!(
+            "geomean {achieved:.0} sim insts/sec is below the {min_ips:.0} floor \
+             ({:.1}% of it)",
+            achieved / min_ips * 100.0
+        ))
+    }
+}
+
 /// One timed streamed replay of the perf set.
 #[derive(Debug, Clone)]
 pub struct PerfCell {
@@ -320,6 +381,65 @@ mod tests {
             let err = resolve_tolerance(Some(bad), None).unwrap_err();
             assert!(err.contains("--tolerance"), "{err}");
         }
+    }
+
+    #[test]
+    fn min_ips_resolution_orders_flag_env_off() {
+        // The gate is off unless a source asks for it.
+        assert_eq!(resolve_min_ips(None, None), Ok(None));
+        // The environment variable turns it on.
+        assert_eq!(resolve_min_ips(None, Some("250000")), Ok(Some(250_000.0)));
+        assert_eq!(resolve_min_ips(None, Some(" 1e5 ")), Ok(Some(100_000.0)));
+        // An explicit flag wins over the environment.
+        assert_eq!(resolve_min_ips(Some(5e4), Some("250000")), Ok(Some(5e4)));
+        // Garbage and non-positive env values are refused, not ignored.
+        for bad in ["fast", "", "-1", "0", "NaN", "inf"] {
+            let err = resolve_min_ips(None, Some(bad)).unwrap_err();
+            assert!(err.contains(MIN_IPS_ENV), "{err}");
+        }
+        // The flag is held to the same standard.
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -250_000.0] {
+            let err = resolve_min_ips(Some(bad), None).unwrap_err();
+            assert!(err.contains("--min-insts-per-sec"), "{err}");
+        }
+    }
+
+    #[test]
+    fn throughput_floor_gates_the_geomean() {
+        let cell = |instructions: u64, wall_seconds: f64| PerfCell {
+            report: RunReport {
+                workload: "test".into(),
+                engine: "test".into(),
+                sparsity: "2:4".into(),
+                fidelity: "full".into(),
+                kernel: "test".into(),
+                format: "-".into(),
+                a_values_bytes: 0,
+                a_metadata_bits: 0,
+                shape: GemmShape::new(16, 16, 16),
+                cycles: 1,
+                instructions,
+                tile_compute: 0,
+                engine_busy_cycles: 0,
+                insts_streamed: instructions,
+                peak_resident_bytes: 1,
+                macs: 0,
+                core_ghz: 2.0,
+                cores: 1,
+                scheduler: "-".into(),
+                per_core_cycles: Vec::new(),
+                shared_l2: Default::default(),
+                scaling_efficiency: 1.0,
+            },
+            wall_seconds,
+        };
+        // Two cells at 1e6 and 1e4 insts/sec: geomean 1e5.
+        let cells = [cell(1_000_000, 1.0), cell(10_000, 1.0)];
+        let achieved = check_throughput_floor(&cells, 99_000.0).expect("above floor");
+        assert!((achieved - 1e5).abs() / 1e5 < 1e-9, "{achieved}");
+        let err = check_throughput_floor(&cells, 101_000.0).unwrap_err();
+        assert!(err.contains("below the 101000 floor"), "{err}");
+        assert!(check_throughput_floor(&[], 1.0).is_err(), "empty set");
     }
 
     #[test]

@@ -16,8 +16,6 @@
 //! may trail the producer by `Nrows + ⌈log₂β⌉` cycles, because `C` elements
 //! are read and written in the same order at one element per column per cycle.
 
-use std::collections::HashMap;
-
 use crate::config::{log2_ceil, EngineConfig};
 
 /// Identifier of the accumulator register a tile instruction accumulates
@@ -52,7 +50,10 @@ pub struct InstTiming {
 pub struct EngineTimer {
     cfg: EngineConfig,
     last_start: Option<u64>,
-    by_acc: HashMap<AccId, InstTiming>,
+    /// Last scheduled instruction per accumulator, indexed directly by the
+    /// [`AccId`] (a flat 256-slot table — the issue path runs once per tile
+    /// compute instruction, so it avoids hashing).
+    by_acc: Box<[Option<InstTiming>; 256]>,
     busy_until: u64,
     issued: u64,
 }
@@ -63,7 +64,7 @@ impl EngineTimer {
         EngineTimer {
             cfg,
             last_start: None,
-            by_acc: HashMap::new(),
+            by_acc: Box::new([None; 256]),
             busy_until: 0,
             issued: 0,
         }
@@ -93,7 +94,7 @@ impl EngineTimer {
             start = start.max(prev + self.cfg.issue_interval() as u64);
         }
         // Data: accumulation chain on the same C register.
-        if let Some(&producer) = self.by_acc.get(&acc) {
+        if let Some(producer) = self.by_acc[acc as usize] {
             let gap = if self.cfg.output_forwarding() {
                 // The consumer reads C at its FF start (start + WL); the
                 // producer writes the first C element at
@@ -119,7 +120,7 @@ impl EngineTimer {
         let completion = start + self.cfg.instruction_latency() as u64;
         let timing = InstTiming { start, completion };
         self.last_start = Some(start);
-        self.by_acc.insert(acc, timing);
+        self.by_acc[acc as usize] = Some(timing);
         self.busy_until = self.busy_until.max(completion);
         self.issued += 1;
         timing

@@ -11,7 +11,6 @@
 //! the register file directly (`crates/isa/tests/no_alloc_hot_path.rs` pins
 //! this with a counting allocator).
 
-use vegeta_num::mac_bf16;
 use vegeta_sparse::{decode_row_ns, FormatSpec, MregImage, NmRatio, TileView, ROW_PATTERN_ROWS};
 
 use crate::inst::{Inst, MACS_PER_TILE_INST};
@@ -88,6 +87,64 @@ fn write_f32s(bytes: &mut [u8], vals: &[f32]) {
     for (i, v) in vals.iter().enumerate() {
         bytes[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
     }
+}
+
+/// Decodes a transposed dense `B` operand (`16 × cols` BF16, row-major)
+/// into an FP32 table indexed `[col × 16 + j]`, so the j-innermost
+/// accumulation loops below read 16 contiguous lanes per stored `A` value.
+///
+/// BF16→FP32 conversion is exact, so hoisting it out of the MAC loops
+/// cannot change a single bit of the result.
+#[inline]
+fn decode_bt(bt: &TileView<'_>, cols: usize, out: &mut [f32]) {
+    for j in 0..16 {
+        for k in 0..cols {
+            out[k * 16 + j] = bt.at(j, k).to_f32();
+        }
+    }
+}
+
+/// `acc[j] += a * b[j]` across one 16-wide output row.
+///
+/// Every lane is an independent multiply followed by an add (exactly
+/// [`vegeta_num::mac_bf16`] on predecoded FP32 — never a fused `mul_add`,
+/// which would round differently), so any lane-parallel evaluation is bit-identical to
+/// the scalar loop. The `simd` feature selects an explicitly widened
+/// 8-lane-blocked form (the SP1-style opt-in backend); the default relies
+/// on the autovectorizer.
+#[inline]
+fn axpy_row16(acc: &mut [f32; 16], a: f32, b: &[f32; 16]) {
+    #[cfg(feature = "simd")]
+    {
+        let mut half = [0.0f32; 8];
+        for o in [0usize, 8] {
+            half.copy_from_slice(&b[o..o + 8]);
+            for lane in &mut half {
+                *lane *= a;
+            }
+            for (c, &h) in acc[o..o + 8].iter_mut().zip(half.iter()) {
+                *c += h;
+            }
+        }
+    }
+    #[cfg(not(feature = "simd"))]
+    for (c, &bv) in acc.iter_mut().zip(b.iter()) {
+        *c += a * bv;
+    }
+}
+
+/// Borrows output row `r` of a flat FP32 accumulator as a fixed 16-lane
+/// array.
+#[inline]
+fn c_row(c: &mut [f32], r: usize) -> &mut [f32; 16] {
+    (&mut c[r * 16..r * 16 + 16]).try_into().expect("16 lanes")
+}
+
+/// Borrows decoded-`B` column `col` (all 16 `j` lanes) of a
+/// [`decode_bt`] table.
+#[inline]
+fn b_col(b_kj: &[f32], col: usize) -> &[f32; 16] {
+    b_kj[col * 16..col * 16 + 16].try_into().expect("16 lanes")
 }
 
 impl Executor {
@@ -219,13 +276,21 @@ impl Executor {
         {
             let av = TileView::dense(self.regs.treg(a), TREG_ROWS, 32);
             let bt = TileView::dense(self.regs.treg(b), TREG_ROWS, 32);
+            // Batched row-blocked path: decode both operands to FP32 once
+            // (instead of once per use), then run k-outer / j-inner so each
+            // stored A value broadcasts across 16 contiguous output lanes.
+            // Per (i, j) element the k-accumulation order is unchanged, so
+            // the result is bit-identical to the naive triple loop.
+            let mut a_f = [0.0f32; 512];
+            for (k, slot) in a_f.iter_mut().enumerate() {
+                *slot = av.value(k).to_f32();
+            }
+            let mut b_kj = [0.0f32; 512];
+            decode_bt(&bt, 32, &mut b_kj);
             for i in 0..16 {
-                for j in 0..16 {
-                    let mut s = c[i * 16 + j];
-                    for k in 0..32 {
-                        s = mac_bf16(s, av.at(i, k), bt.at(j, k));
-                    }
-                    c[i * 16 + j] = s;
+                let row = c_row(&mut c, i);
+                for k in 0..32 {
+                    axpy_row16(row, a_f[i * 32 + k], b_col(&b_kj, k));
                 }
             }
         }
@@ -248,18 +313,24 @@ impl Executor {
             )
             .expect("architectural treg/mreg always fit the 2:4 view");
             let bt = TileView::dense(self.regs.ureg(b), TREG_ROWS, 64);
+            // Batched path: decode every stored value and its B column once
+            // (16 blocks of 4, 2 stored values per block, so stored index k
+            // maps to column (k%32 / 2) * 4 + position), then broadcast each
+            // A value across the 16 output lanes. Per-element accumulation
+            // order over k is unchanged — bit-identical to the naive loop.
+            let mut a_f = [0.0f32; 512];
+            let mut col = [0usize; 512];
+            for k in 0..512 {
+                a_f[k] = av.value(k).to_f32();
+                col[k] = (k % 32 / 2) * 4 + av.position(k);
+            }
+            let mut b_kj = [0.0f32; 1024];
+            decode_bt(&bt, 64, &mut b_kj);
             for i in 0..16 {
-                for j in 0..16 {
-                    let mut s = c[i * 16 + j];
-                    // 16 blocks of 4, 2 stored values per block.
-                    for blk in 0..16 {
-                        for slot in 0..2 {
-                            let k = i * 32 + blk * 2 + slot;
-                            let pos = av.position(k);
-                            s = mac_bf16(s, av.value(k), bt.at(j, blk * 4 + pos));
-                        }
-                    }
-                    c[i * 16 + j] = s;
+                let row = c_row(&mut c, i);
+                for local in 0..32 {
+                    let k = i * 32 + local;
+                    axpy_row16(row, a_f[k], b_col(&b_kj, col[k]));
                 }
             }
         }
@@ -282,16 +353,21 @@ impl Executor {
             )
             .expect("architectural treg/mreg always fit the 1:4 view");
             let bt = TileView::dense(self.regs.vreg(b), TREG_ROWS, 128);
+            // Batched path (32 blocks of 4, 1 stored value per block:
+            // column = (k%32) * 4 + position); see `exec_spmm_u`.
+            let mut a_f = [0.0f32; 512];
+            let mut col = [0usize; 512];
+            for k in 0..512 {
+                a_f[k] = av.value(k).to_f32();
+                col[k] = (k % 32) * 4 + av.position(k);
+            }
+            let mut b_kj = [0.0f32; 2048];
+            decode_bt(&bt, 128, &mut b_kj);
             for i in 0..16 {
-                for j in 0..16 {
-                    let mut s = c[i * 16 + j];
-                    // 32 blocks of 4, 1 stored value per block.
-                    for blk in 0..32 {
-                        let k = i * 32 + blk;
-                        let pos = av.position(k);
-                        s = mac_bf16(s, av.value(k), bt.at(j, blk * 4 + pos));
-                    }
-                    c[i * 16 + j] = s;
+                let row = c_row(&mut c, i);
+                for local in 0..32 {
+                    let k = i * 32 + local;
+                    axpy_row16(row, a_f[k], b_col(&b_kj, col[k]));
                 }
             }
         }
@@ -325,19 +401,21 @@ impl Executor {
             )
             .expect("in-budget row-wise registers always view");
             let bt = TileView::dense(self.regs.ureg(b), TREG_ROWS, 64);
+            // Batched path: each row has its own N (16 blocks of 4, N
+            // stored values per block, column = (offset/N) * 4 + position);
+            // within a row the stored-value order already ascends k, so
+            // broadcasting across the 16 output lanes preserves the
+            // per-element accumulation order exactly.
+            let mut b_kj = [0.0f32; 1024];
+            decode_bt(&bt, 64, &mut b_kj);
             let mut cursor = 0usize;
             for r in 0..rows {
                 let n = av.row_n(r);
-                for j in 0..16 {
-                    let mut s = c[r * 16 + j];
-                    for blk in 0..16 {
-                        for slot in 0..n {
-                            let k = cursor + blk * n + slot;
-                            let pos = av.position(k);
-                            s = mac_bf16(s, av.value(k), bt.at(j, blk * 4 + pos));
-                        }
-                    }
-                    c[r * 16 + j] = s;
+                let row = c_row(&mut c, r);
+                for off in 0..16 * n {
+                    let k = cursor + off;
+                    let col = (off / n) * 4 + av.position(k);
+                    axpy_row16(row, av.value(k).to_f32(), b_col(&b_kj, col));
                 }
                 cursor += 16 * n;
             }
@@ -521,6 +599,174 @@ mod tests {
             }
         }
         assert_eq!(exec.stats().effectual_macs, 8192);
+    }
+
+    fn messy_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<Bf16> {
+        // Values with busy mantissas so FP32 addition is NOT associative
+        // over them: any change to the accumulation order shows up in the
+        // bit patterns below.
+        Matrix::from_fn(rows, cols, |r, c| {
+            let h = (r as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(c as u64)
+                .wrapping_mul(seed | 1);
+            Bf16::from_f32(((h % 8191) as f32 / 2048.0) - 2.0)
+        })
+    }
+
+    fn assert_bits_eq(got: &Matrix<f32>, want: &[f32], rows: usize) {
+        for i in 0..rows {
+            for j in 0..16 {
+                assert_eq!(
+                    got[(i, j)].to_bits(),
+                    want[i * 16 + j].to_bits(),
+                    "bitwise mismatch at ({i},{j}): {} vs {}",
+                    got[(i, j)],
+                    want[i * 16 + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_batched_path_is_bit_identical_to_the_mac_loop() {
+        use vegeta_num::mac_bf16;
+        let a = messy_matrix(16, 32, 61);
+        let bt = messy_matrix(16, 32, 67);
+        let acc0 = Matrix::from_fn(16, 16, |r, c| ((r * 16 + c) as f32) * 0.321 - 40.0);
+        let mut exec = Executor::new(Memory::new(4096));
+        exec.regs_mut().set_treg_bf16(TReg::T0, &a);
+        exec.regs_mut().set_treg_bf16(TReg::T1, &bt);
+        exec.regs_mut().set_treg_f32(TReg::T2, &acc0);
+        // The pre-batching reference: per-(i,j) mac_bf16 chain, ascending k.
+        let mut want = [0.0f32; 256];
+        read_f32s(exec.regs().treg(TReg::T2), &mut want);
+        for i in 0..16 {
+            for j in 0..16 {
+                let mut s = want[i * 16 + j];
+                for k in 0..32 {
+                    s = mac_bf16(s, a[(i, k)], bt[(j, k)]);
+                }
+                want[i * 16 + j] = s;
+            }
+        }
+        exec.execute(Inst::TileGemm {
+            acc: TReg::T2,
+            a: TReg::T0,
+            b: TReg::T1,
+        })
+        .unwrap();
+        assert_bits_eq(&exec.regs().treg_as_f32(TReg::T2), &want, 16);
+    }
+
+    #[test]
+    fn spmm_batched_paths_are_bit_identical_to_the_mac_loops() {
+        use vegeta_num::mac_bf16;
+        // 2:4 via ureg B.
+        let a_eff =
+            vegeta_sparse::prune::magnitude_prune_nm(&messy_matrix(16, 64, 71), NmRatio::S2_4);
+        let tile = CompressedTile::compress(&a_eff, NmRatio::S2_4).unwrap();
+        let bt = messy_matrix(16, 64, 73);
+        let acc0 = Matrix::from_fn(16, 16, |r, c| ((r as f32) - (c as f32)) * 1.173);
+        let mut exec = Executor::new(Memory::new(4096));
+        load_compressed(&mut exec, TReg::T3, &tile);
+        exec.regs_mut().set_ureg_bf16(UReg::U0, &bt);
+        exec.regs_mut().set_treg_f32(TReg::T4, &acc0);
+        let mut want = [0.0f32; 256];
+        read_f32s(exec.regs().treg(TReg::T4), &mut want);
+        {
+            let av = TileView::new(
+                FormatSpec::Nm(NmRatio::S2_4),
+                TREG_ROWS,
+                64,
+                exec.regs().treg(TReg::T3),
+                exec.regs().mreg(TReg::T3.paired_mreg()),
+                &[],
+            )
+            .unwrap();
+            for i in 0..16 {
+                for j in 0..16 {
+                    let mut s = want[i * 16 + j];
+                    for blk in 0..16 {
+                        for slot in 0..2 {
+                            let k = i * 32 + blk * 2 + slot;
+                            let pos = av.position(k);
+                            s = mac_bf16(s, av.value(k), bt[(j, blk * 4 + pos)]);
+                        }
+                    }
+                    want[i * 16 + j] = s;
+                }
+            }
+        }
+        exec.execute(Inst::TileSpmmU {
+            acc: TReg::T4,
+            a: TReg::T3,
+            b: UReg::U0,
+        })
+        .unwrap();
+        assert_bits_eq(&exec.regs().treg_as_f32(TReg::T4), &want, 16);
+
+        // Row-wise mixed N via TILE_SPMM_R (zeroed accumulator).
+        let mut rows = Vec::new();
+        for r in 0..16usize {
+            let ratio = match r % 3 {
+                0 => NmRatio::S1_4,
+                1 => NmRatio::S2_4,
+                _ => NmRatio::S1_4,
+            };
+            rows.push(vegeta_sparse::prune::magnitude_prune_nm(
+                &messy_matrix(1, 64, 80 + r as u64),
+                ratio,
+            ));
+        }
+        let a_rw = Matrix::from_fn(16, 64, |r, c| rows[r][(0, c)]);
+        let rw = RowWiseTile::compress(&a_rw, 4).unwrap();
+        let mut exec = Executor::new(Memory::new(4096));
+        load_row_wise(&mut exec, TReg::T4, &rw);
+        exec.regs_mut().set_ureg_bf16(UReg::U0, &bt);
+        let mut want = [0.0f32; 512];
+        {
+            let mreg = TReg::T4.paired_mreg();
+            let mut ns = [0u8; ROW_PATTERN_ROWS];
+            let nrows = decode_row_ns(exec.regs().row_patterns(mreg), &mut ns);
+            let av = TileView::new(
+                FormatSpec::RowWise { m: 4 },
+                nrows,
+                64,
+                exec.regs().treg(TReg::T4),
+                exec.regs().mreg(mreg),
+                exec.regs().row_patterns(mreg),
+            )
+            .unwrap();
+            let mut cursor = 0usize;
+            for r in 0..nrows {
+                let n = av.row_n(r);
+                for j in 0..16 {
+                    let mut s = want[r * 16 + j];
+                    for blk in 0..16 {
+                        for slot in 0..n {
+                            let k = cursor + blk * n + slot;
+                            let pos = av.position(k);
+                            s = mac_bf16(s, av.value(k), bt[(j, blk * 4 + pos)]);
+                        }
+                    }
+                    want[r * 16 + j] = s;
+                }
+                cursor += 16 * n;
+            }
+        }
+        exec.execute(Inst::TileSpmmR {
+            acc: UReg::U1,
+            a: TReg::T4,
+            b: UReg::U0,
+        })
+        .unwrap();
+        let got = exec.regs().ureg_as_f32(UReg::U1);
+        for i in 0..16 {
+            for j in 0..16 {
+                assert_eq!(got[(i, j)].to_bits(), want[i * 16 + j].to_bits());
+            }
+        }
     }
 
     #[test]

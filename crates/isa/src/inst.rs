@@ -222,60 +222,91 @@ impl Inst {
 
     /// Architectural registers this instruction reads.
     pub fn reads(self) -> Vec<RegRef> {
+        let mut v = Vec::new();
+        self.visit_reads(|r| v.push(r));
+        v
+    }
+
+    /// Calls `f` on each register this instruction reads, in
+    /// [`Inst::reads`] order, without allocating — the form the
+    /// simulator's per-instruction hot path uses.
+    pub fn visit_reads(self, mut f: impl FnMut(RegRef)) {
         match self {
             Inst::TileLoadT { .. }
             | Inst::TileLoadU { .. }
             | Inst::TileLoadV { .. }
             | Inst::TileLoadM { .. }
             | Inst::TileLoadRp { .. }
-            | Inst::TileZero { .. } => vec![],
-            Inst::TileStoreT { src, .. } => vec![RegRef::Tile(src)],
+            | Inst::TileZero { .. } => {}
+            Inst::TileStoreT { src, .. } => f(RegRef::Tile(src)),
             Inst::TileGemm { acc, a, b } => {
-                vec![RegRef::Tile(acc), RegRef::Tile(a), RegRef::Tile(b)]
+                f(RegRef::Tile(acc));
+                f(RegRef::Tile(a));
+                f(RegRef::Tile(b));
             }
             Inst::TileSpmmU { acc, a, b } => {
-                let mut v = vec![
-                    RegRef::Tile(acc),
-                    RegRef::Tile(a),
-                    RegRef::Meta(a.paired_mreg()),
-                ];
-                v.extend(b.tregs().map(RegRef::Tile));
-                v
+                f(RegRef::Tile(acc));
+                f(RegRef::Tile(a));
+                f(RegRef::Meta(a.paired_mreg()));
+                for t in b.tregs() {
+                    f(RegRef::Tile(t));
+                }
             }
             Inst::TileSpmmV { acc, a, b } => {
-                let mut v = vec![
-                    RegRef::Tile(acc),
-                    RegRef::Tile(a),
-                    RegRef::Meta(a.paired_mreg()),
-                ];
-                v.extend(b.tregs().map(RegRef::Tile));
-                v
+                f(RegRef::Tile(acc));
+                f(RegRef::Tile(a));
+                f(RegRef::Meta(a.paired_mreg()));
+                for t in b.tregs() {
+                    f(RegRef::Tile(t));
+                }
             }
             Inst::TileSpmmR { acc, a, b } => {
-                let mut v: Vec<RegRef> = acc.tregs().map(RegRef::Tile).to_vec();
-                v.push(RegRef::Tile(a));
-                v.push(RegRef::Meta(a.paired_mreg()));
-                v.extend(b.tregs().map(RegRef::Tile));
-                v
+                for t in acc.tregs() {
+                    f(RegRef::Tile(t));
+                }
+                f(RegRef::Tile(a));
+                f(RegRef::Meta(a.paired_mreg()));
+                for t in b.tregs() {
+                    f(RegRef::Tile(t));
+                }
             }
         }
     }
 
     /// Architectural registers this instruction writes.
     pub fn writes(self) -> Vec<RegRef> {
+        let mut v = Vec::new();
+        self.visit_writes(|r| v.push(r));
+        v
+    }
+
+    /// Calls `f` on each register this instruction writes, in
+    /// [`Inst::writes`] order, without allocating (see
+    /// [`Inst::visit_reads`]).
+    pub fn visit_writes(self, mut f: impl FnMut(RegRef)) {
         match self {
-            Inst::TileLoadT { dst, .. } => vec![RegRef::Tile(dst)],
-            Inst::TileLoadU { dst, .. } => dst.tregs().map(RegRef::Tile).to_vec(),
-            Inst::TileLoadV { dst, .. } => dst.tregs().map(RegRef::Tile).to_vec(),
-            Inst::TileLoadM { dst, .. } | Inst::TileLoadRp { dst, .. } => {
-                vec![RegRef::Meta(dst)]
+            Inst::TileLoadT { dst, .. } => f(RegRef::Tile(dst)),
+            Inst::TileLoadU { dst, .. } => {
+                for t in dst.tregs() {
+                    f(RegRef::Tile(t));
+                }
             }
-            Inst::TileStoreT { .. } => vec![],
-            Inst::TileZero { dst } => vec![RegRef::Tile(dst)],
+            Inst::TileLoadV { dst, .. } => {
+                for t in dst.tregs() {
+                    f(RegRef::Tile(t));
+                }
+            }
+            Inst::TileLoadM { dst, .. } | Inst::TileLoadRp { dst, .. } => f(RegRef::Meta(dst)),
+            Inst::TileStoreT { .. } => {}
+            Inst::TileZero { dst } => f(RegRef::Tile(dst)),
             Inst::TileGemm { acc, .. }
             | Inst::TileSpmmU { acc, .. }
-            | Inst::TileSpmmV { acc, .. } => vec![RegRef::Tile(acc)],
-            Inst::TileSpmmR { acc, .. } => acc.tregs().map(RegRef::Tile).to_vec(),
+            | Inst::TileSpmmV { acc, .. } => f(RegRef::Tile(acc)),
+            Inst::TileSpmmR { acc, .. } => {
+                for t in acc.tregs() {
+                    f(RegRef::Tile(t));
+                }
+            }
         }
     }
 }

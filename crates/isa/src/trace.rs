@@ -77,29 +77,48 @@ pub enum TraceOp {
 impl TraceOp {
     /// Registers read by this op.
     pub fn reads(&self) -> Vec<ArchReg> {
+        let mut v = Vec::new();
+        self.visit_reads(|r| v.push(r));
+        v
+    }
+
+    /// Calls `f` on each register this op reads, in [`TraceOp::reads`]
+    /// order, without allocating — what the simulator's per-instruction
+    /// hot path uses instead of materializing a `Vec` per step.
+    pub fn visit_reads(&self, mut f: impl FnMut(ArchReg)) {
         match *self {
-            TraceOp::Tile(inst) => inst.reads().iter().map(|&r| reg_ref_to_arch(r)).collect(),
-            TraceOp::VecLoad { .. } => vec![],
-            TraceOp::VecStore { src, .. } => vec![ArchReg::Vec(src)],
+            TraceOp::Tile(inst) => inst.visit_reads(|r| f(reg_ref_to_arch(r))),
+            TraceOp::VecLoad { .. } => {}
+            TraceOp::VecStore { src, .. } => f(ArchReg::Vec(src)),
             TraceOp::VecFma { acc, a, b } => {
-                vec![ArchReg::Vec(acc), ArchReg::Vec(a), ArchReg::Vec(b)]
+                f(ArchReg::Vec(acc));
+                f(ArchReg::Vec(a));
+                f(ArchReg::Vec(b));
             }
-            TraceOp::VecOp { src, .. } => vec![ArchReg::Vec(src)],
-            TraceOp::Scalar { src, .. } => vec![ArchReg::Gpr(src)],
-            TraceOp::Branch { cond } => vec![ArchReg::Gpr(cond)],
+            TraceOp::VecOp { src, .. } => f(ArchReg::Vec(src)),
+            TraceOp::Scalar { src, .. } => f(ArchReg::Gpr(src)),
+            TraceOp::Branch { cond } => f(ArchReg::Gpr(cond)),
         }
     }
 
     /// Registers written by this op.
     pub fn writes(&self) -> Vec<ArchReg> {
+        let mut v = Vec::new();
+        self.visit_writes(|r| v.push(r));
+        v
+    }
+
+    /// Calls `f` on each register this op writes, in [`TraceOp::writes`]
+    /// order, without allocating (see [`TraceOp::visit_reads`]).
+    pub fn visit_writes(&self, mut f: impl FnMut(ArchReg)) {
         match *self {
-            TraceOp::Tile(inst) => inst.writes().iter().map(|&r| reg_ref_to_arch(r)).collect(),
-            TraceOp::VecLoad { dst, .. } => vec![ArchReg::Vec(dst)],
-            TraceOp::VecStore { .. } => vec![],
-            TraceOp::VecFma { acc, .. } => vec![ArchReg::Vec(acc)],
-            TraceOp::VecOp { dst, .. } => vec![ArchReg::Vec(dst)],
-            TraceOp::Scalar { dst, .. } => vec![ArchReg::Gpr(dst)],
-            TraceOp::Branch { .. } => vec![],
+            TraceOp::Tile(inst) => inst.visit_writes(|r| f(reg_ref_to_arch(r))),
+            TraceOp::VecLoad { dst, .. } => f(ArchReg::Vec(dst)),
+            TraceOp::VecStore { .. } => {}
+            TraceOp::VecFma { acc, .. } => f(ArchReg::Vec(acc)),
+            TraceOp::VecOp { dst, .. } => f(ArchReg::Vec(dst)),
+            TraceOp::Scalar { dst, .. } => f(ArchReg::Gpr(dst)),
+            TraceOp::Branch { .. } => {}
         }
     }
 

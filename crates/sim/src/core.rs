@@ -20,8 +20,6 @@
 //! wrapper over one [`Core`]), and [`crate::MultiCoreSim`] interleaves many
 //! cores over a shared L2.
 
-use std::collections::HashMap;
-
 use vegeta_engine::{EngineConfig, EngineTimer};
 use vegeta_isa::stream::InstStream;
 use vegeta_isa::trace::{ArchReg, Trace, TraceOp};
@@ -167,6 +165,52 @@ impl RetireRing {
     }
 }
 
+/// Flat renaming table: the ready timestamp of every architectural
+/// register, indexed directly by class and number (registers start ready at
+/// cycle 0, matching the old map's "absent means 0" rule). Replaces a
+/// `HashMap<ArchReg, u64>` that was hashed several times per instruction on
+/// the hot path.
+#[derive(Debug, Clone)]
+struct ReadyTable {
+    tile: [u64; 256],
+    meta: [u64; 256],
+    vec: [u64; 256],
+    gpr: [u64; 256],
+}
+
+impl ReadyTable {
+    fn new() -> Self {
+        ReadyTable {
+            tile: [0; 256],
+            meta: [0; 256],
+            vec: [0; 256],
+            gpr: [0; 256],
+        }
+    }
+
+    fn get(&self, r: ArchReg) -> u64 {
+        match r {
+            ArchReg::Tile(i) => self.tile[i as usize],
+            ArchReg::Meta(i) => self.meta[i as usize],
+            ArchReg::Vec(i) => self.vec[i as usize],
+            ArchReg::Gpr(i) => self.gpr[i as usize],
+        }
+    }
+
+    fn set(&mut self, r: ArchReg, t: u64) {
+        match r {
+            ArchReg::Tile(i) => self.tile[i as usize] = t,
+            ArchReg::Meta(i) => self.meta[i as usize] = t,
+            ArchReg::Vec(i) => self.vec[i as usize] = t,
+            ArchReg::Gpr(i) => self.gpr[i as usize] = t,
+        }
+    }
+}
+
+/// Upper bound on tile registers one instruction writes (`TILE_SPMM_R`
+/// writes a treg pair; everything else writes at most one tile register).
+const MAX_ACC_REGS: usize = 8;
+
 /// Round-robin earliest-free port pool.
 #[derive(Debug, Clone)]
 struct PortPool {
@@ -269,11 +313,11 @@ pub struct Core {
     ratio: u64,
     engine: EngineTimer,
     l1: CacheModel,
-    reg_ready: HashMap<ArchReg, u64>,
+    reg_ready: ReadyTable,
     /// Which accumulator tregs were last written by the engine (so the
     /// engine's internal forwarding rule, not the architectural
     /// completion, governs same-acc chains).
-    engine_owns: HashMap<u8, bool>,
+    engine_owns: [bool; 256],
     dispatch_bw: Bandwidth,
     retire_bw: Bandwidth,
     scalar_ports: PortPool,
@@ -306,8 +350,8 @@ impl Core {
             ratio,
             engine,
             l1,
-            reg_ready: HashMap::new(),
-            engine_owns: HashMap::new(),
+            reg_ready: ReadyTable::new(),
+            engine_owns: [false; 256],
             dispatch_bw: Bandwidth::new(cfg.fetch_width),
             retire_bw: Bandwidth::new(cfg.retire_width),
             scalar_ports: PortPool::new(cfg.scalar_ports),
@@ -357,35 +401,33 @@ impl CoreModel for Core {
 
         // --- Source readiness through renaming. ---
         let is_engine_op = op.is_tile_compute();
-        let acc_regs: Vec<u8> = if is_engine_op {
-            match op {
-                TraceOp::Tile(inst) => inst
-                    .writes()
-                    .iter()
-                    .filter_map(|r| match r {
-                        vegeta_isa::RegRef::Tile(t) => Some(t.index() as u8),
-                        _ => None,
-                    })
-                    .collect(),
-                _ => Vec::new(),
+        let mut acc_regs = [0u8; MAX_ACC_REGS];
+        let mut acc_len = 0usize;
+        if is_engine_op {
+            if let TraceOp::Tile(inst) = op {
+                inst.visit_writes(|r| {
+                    if let vegeta_isa::RegRef::Tile(t) = r {
+                        acc_regs[acc_len] = t.index() as u8;
+                        acc_len += 1;
+                    }
+                });
             }
-        } else {
-            Vec::new()
-        };
+        }
+        let acc_regs = &acc_regs[..acc_len];
         let mut ready = dispatch + 1;
-        for r in op.reads() {
+        op.visit_reads(|r| {
             // For engine ops, same-acc dependences on an engine-produced
             // value are resolved inside the engine (output forwarding);
             // skip them here and let EngineTimer apply its rule.
             if is_engine_op {
                 if let ArchReg::Tile(t) = r {
-                    if acc_regs.contains(&t) && self.engine_owns.get(&t).copied().unwrap_or(false) {
-                        continue;
+                    if acc_regs.contains(&t) && self.engine_owns[t as usize] {
+                        return;
                     }
                 }
             }
-            ready = ready.max(self.reg_ready.get(&r).copied().unwrap_or(0));
-        }
+            ready = ready.max(self.reg_ready.get(r));
+        });
 
         // --- Execute. ---
         let complete = match op {
@@ -437,12 +479,12 @@ impl CoreModel for Core {
         };
 
         // --- Writeback: update renaming table. ---
-        for w in op.writes() {
-            self.reg_ready.insert(w, complete);
+        op.visit_writes(|w| {
+            self.reg_ready.set(w, complete);
             if let ArchReg::Tile(t) = w {
-                self.engine_owns.insert(t, is_engine_op);
+                self.engine_owns[t as usize] = is_engine_op;
             }
-        }
+        });
 
         // --- Retire: in order, bounded width. ---
         let retire = self.retire_bw.take(complete.max(self.last_retire));

@@ -37,10 +37,12 @@
 
 pub mod cache;
 mod core;
+pub mod event;
 pub mod multicore;
 
 pub use crate::core::{
     simulate, simulate_insts, Core, CoreModel, CoreSim, SimConfig, SimResult, PROGRESS_STRIDE,
 };
 pub use cache::{CacheModel, CacheStats, SharedL2, SharedL2Stats, LINE_BYTES};
+pub use event::EventQueue;
 pub use multicore::{MultiCoreConfig, MultiCoreResult, MultiCoreSim, SchedulerPolicy};

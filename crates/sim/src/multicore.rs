@@ -15,7 +15,11 @@
 //!   at each step the core whose pipeline clock is furthest behind consumes
 //!   its next instruction — so shared-L2 residency evolves in (approximate)
 //!   global cycle order and the interleave is deterministic whatever the
-//!   host;
+//!   host. The production loop is a cross-core event merge over an
+//!   [`crate::EventQueue`] (one wake event per live core, ties by core
+//!   index); the original linear-scan loop is retained as
+//!   [`MultiCoreSim::run_sharded_stepped`] and differential tests pin the
+//!   two to identical results;
 //! * the run ends with a sync/barrier: the makespan is the slowest core's
 //!   retire time plus a tree-barrier cost
 //!   ([`MultiCoreConfig::barrier_latency`] per `⌈log₂ cores⌉` level;
@@ -78,6 +82,7 @@ use vegeta_isa::stream::InstStream;
 
 use crate::cache::{CacheStats, SharedL2, SharedL2Stats};
 use crate::core::{Core, CoreModel, SimConfig, SimResult, PROGRESS_STRIDE};
+use crate::event::EventQueue;
 
 /// Default shared-L2 capacity in 64 B lines (2 MB, the class of LLC slice
 /// the §VI-B MacSim configuration assumes the data is prefetched into).
@@ -392,30 +397,28 @@ impl<C: CoreModel> MultiCoreSim<C> {
         policy: SchedulerPolicy,
         progress: Option<&mut dyn FnMut(u64, u64)>,
     ) -> MultiCoreResult {
-        let n = self.cores.len();
-        let queues: Vec<VecDeque<usize>> = match policy {
-            SchedulerPolicy::Static => {
-                assert!(
-                    shards.len() <= n,
-                    "{} shard streams for {n} cores: excess shards would be silently dropped",
-                    shards.len()
-                );
-                (0..n)
-                    .map(|i| {
-                        if i < shards.len() {
-                            VecDeque::from([i])
-                        } else {
-                            VecDeque::new()
-                        }
-                    })
-                    .collect()
-            }
-            SchedulerPolicy::Lpt => {
-                let lengths: Vec<u64> = shards.iter().map(InstStream::remaining).collect();
-                lpt_queues(&lengths, n)
-            }
-        };
-        self.run_assigned(shards, queues, reduction, progress)
+        let queues = assign_queues(policy, &shards, self.cores.len());
+        self.run_assigned(shards, queues, reduction, progress, MergeLoop::EventDriven)
+    }
+
+    /// [`MultiCoreSim::run_sharded`] driven by the retained linear-scan
+    /// reference loop instead of the event merge.
+    ///
+    /// The scan re-derives "which live core is furthest behind" from
+    /// scratch every instruction — O(cores) per step — where the event
+    /// merge pops it from a [`EventQueue`]. Both must produce identical
+    /// [`MultiCoreResult`]s down to the last field; this method exists so
+    /// differential tests (and anyone auditing the event merge) can check
+    /// that claim against the simpler loop. Use [`MultiCoreSim::run_sharded`]
+    /// everywhere else.
+    pub fn run_sharded_stepped<S: InstStream>(
+        &mut self,
+        shards: Vec<S>,
+        reduction: Option<S>,
+        policy: SchedulerPolicy,
+    ) -> MultiCoreResult {
+        let queues = assign_queues(policy, &shards, self.cores.len());
+        self.run_assigned(shards, queues, reduction, None, MergeLoop::SteppedScan)
     }
 
     /// Drives pre-assigned per-core shard queues (plus an optional
@@ -426,11 +429,12 @@ impl<C: CoreModel> MultiCoreSim<C> {
         mut queues: Vec<VecDeque<usize>>,
         reduction: Option<S>,
         mut progress: Option<&mut dyn FnMut(u64, u64)>,
+        merge: MergeLoop,
     ) -> MultiCoreResult {
         let n = self.cores.len();
         let total: u64 = shards.iter().map(InstStream::remaining).sum::<u64>()
             + reduction.as_ref().map_or(0, InstStream::remaining);
-        let mut stepped = 0u64;
+        let mut done = 0u64;
         // Shards each core has fully executed (for residency attribution).
         let mut ran: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut current: Vec<Option<usize>> = queues.iter_mut().map(VecDeque::pop_front).collect();
@@ -439,31 +443,76 @@ impl<C: CoreModel> MultiCoreSim<C> {
                 *c = steal_largest(&shards, &mut queues);
             }
         }
-        // The live core furthest behind in local time steps next.
-        while let Some(i) = (0..n)
-            .filter(|&i| current[i].is_some())
-            .min_by_key(|&i| (self.cores[i].cycles(), i))
-        {
-            let s = current[i].expect("filtered on is_some");
-            match shards[s].next_op() {
-                Some(op) => {
-                    self.cores[i].step(op, Some(&mut self.shared_l2));
-                    stepped += 1;
-                    if stepped.is_multiple_of(PROGRESS_STRIDE) {
-                        if let Some(cb) = progress.as_deref_mut() {
-                            cb(stepped, total);
+        match merge {
+            MergeLoop::EventDriven => {
+                // One pending event per live core at its local clock; the
+                // heap's (time, index) order is exactly the scan's
+                // min_by_key — see `run_sharded_stepped`.
+                let mut wake: EventQueue<usize> = EventQueue::with_capacity(n);
+                for (i, c) in current.iter().enumerate() {
+                    if c.is_some() {
+                        wake.push(self.cores[i].cycles(), i);
+                    }
+                }
+                while let Some((_, i)) = wake.pop() {
+                    let s = current[i].expect("only live cores are queued");
+                    match shards[s].next_op() {
+                        Some(op) => {
+                            self.cores[i].step(op, Some(&mut self.shared_l2));
+                            done += 1;
+                            if done.is_multiple_of(PROGRESS_STRIDE) {
+                                if let Some(cb) = progress.as_deref_mut() {
+                                    cb(done, total);
+                                }
+                            }
+                            wake.push(self.cores[i].cycles(), i);
+                        }
+                        None => {
+                            ran[i].push(s);
+                            current[i] = queues[i].pop_front().or_else(|| {
+                                if self.cfg.work_stealing {
+                                    steal_largest(&shards, &mut queues)
+                                } else {
+                                    None
+                                }
+                            });
+                            if current[i].is_some() {
+                                // Same clock: the core continues its next
+                                // queued shard with no idle gap.
+                                wake.push(self.cores[i].cycles(), i);
+                            }
                         }
                     }
                 }
-                None => {
-                    ran[i].push(s);
-                    current[i] = queues[i].pop_front().or_else(|| {
-                        if self.cfg.work_stealing {
-                            steal_largest(&shards, &mut queues)
-                        } else {
-                            None
+            }
+            MergeLoop::SteppedScan => {
+                // The live core furthest behind in local time steps next.
+                while let Some(i) = (0..n)
+                    .filter(|&i| current[i].is_some())
+                    .min_by_key(|&i| (self.cores[i].cycles(), i))
+                {
+                    let s = current[i].expect("filtered on is_some");
+                    match shards[s].next_op() {
+                        Some(op) => {
+                            self.cores[i].step(op, Some(&mut self.shared_l2));
+                            done += 1;
+                            if done.is_multiple_of(PROGRESS_STRIDE) {
+                                if let Some(cb) = progress.as_deref_mut() {
+                                    cb(done, total);
+                                }
+                            }
                         }
-                    });
+                        None => {
+                            ran[i].push(s);
+                            current[i] = queues[i].pop_front().or_else(|| {
+                                if self.cfg.work_stealing {
+                                    steal_largest(&shards, &mut queues)
+                                } else {
+                                    None
+                                }
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -478,10 +527,10 @@ impl<C: CoreModel> MultiCoreSim<C> {
             let before = self.cores[0].cycles();
             while let Some(op) = red.next_op() {
                 self.cores[0].step(op, Some(&mut self.shared_l2));
-                stepped += 1;
-                if stepped.is_multiple_of(PROGRESS_STRIDE) {
+                done += 1;
+                if done.is_multiple_of(PROGRESS_STRIDE) {
                     if let Some(cb) = progress.as_deref_mut() {
-                        cb(stepped, total);
+                        cb(done, total);
                     }
                 }
             }
@@ -489,9 +538,9 @@ impl<C: CoreModel> MultiCoreSim<C> {
             reduction_peak = red.peak_resident_bytes() as u64;
         }
         // Completion report — unless the stride loop already delivered it.
-        if stepped == 0 || !stepped.is_multiple_of(PROGRESS_STRIDE) {
+        if done == 0 || !done.is_multiple_of(PROGRESS_STRIDE) {
             if let Some(cb) = progress {
-                cb(stepped, total);
+                cb(done, total);
             }
         }
 
@@ -518,6 +567,48 @@ impl<C: CoreModel> MultiCoreSim<C> {
             reduction_cycles,
             per_core,
             shared_l2: self.shared_l2.stats(),
+        }
+    }
+}
+
+/// Which loop drives the core-local-time interleave in
+/// [`MultiCoreSim::run_assigned`]: the production event merge, or the
+/// retained linear-scan reference it must match instruction for
+/// instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MergeLoop {
+    EventDriven,
+    SteppedScan,
+}
+
+/// Builds the per-core shard queues `policy` dictates (see
+/// [`SchedulerPolicy`]); panics under [`SchedulerPolicy::Static`] when
+/// shards outnumber cores.
+fn assign_queues<S: InstStream>(
+    policy: SchedulerPolicy,
+    shards: &[S],
+    n: usize,
+) -> Vec<VecDeque<usize>> {
+    match policy {
+        SchedulerPolicy::Static => {
+            assert!(
+                shards.len() <= n,
+                "{} shard streams for {n} cores: excess shards would be silently dropped",
+                shards.len()
+            );
+            (0..n)
+                .map(|i| {
+                    if i < shards.len() {
+                        VecDeque::from([i])
+                    } else {
+                        VecDeque::new()
+                    }
+                })
+                .collect()
+        }
+        SchedulerPolicy::Lpt => {
+            let lengths: Vec<u64> = shards.iter().map(InstStream::remaining).collect();
+            lpt_queues(&lengths, n)
         }
     }
 }
@@ -815,6 +906,39 @@ mod tests {
                 SchedulerPolicy::Lpt,
             );
         assert_eq!(res.core_cycles, no_red.core_cycles + res.reduction_cycles);
+    }
+
+    #[test]
+    fn event_merge_matches_the_stepped_scan_reference() {
+        // The event-driven merge and the retained linear scan must agree on
+        // every field of the result — policies, stealing, reduction and
+        // ragged shard mixes included.
+        let shards: Vec<Trace> = (1..=6).map(|i| mixed_trace(12 * i, 64)).collect();
+        let reduction = mixed_trace(20, 128);
+        let engine = EngineConfig::vegeta_s(16).unwrap();
+        for policy in [SchedulerPolicy::Static, SchedulerPolicy::Lpt] {
+            for stealing in [false, true] {
+                // Static refuses more shards than cores.
+                let take = if policy == SchedulerPolicy::Static {
+                    3
+                } else {
+                    6
+                };
+                let mut cfg = MultiCoreConfig::new(3);
+                cfg.work_stealing = stealing;
+                let event = MultiCoreSim::new(cfg.clone(), engine.clone()).run_sharded(
+                    shards[..take].iter().map(Trace::stream).collect(),
+                    Some(reduction.stream()),
+                    policy,
+                );
+                let stepped = MultiCoreSim::new(cfg, engine.clone()).run_sharded_stepped(
+                    shards[..take].iter().map(Trace::stream).collect(),
+                    Some(reduction.stream()),
+                    policy,
+                );
+                assert_eq!(event, stepped, "policy {policy}, stealing {stealing}");
+            }
+        }
     }
 
     #[test]
