@@ -4,11 +4,12 @@
 //! Default mode: shards the pinned perf-gate layer set (one Table IV layer
 //! per source network) at 2:4 weights across 1–32 matrix-engine cores —
 //! one engine per §VI engine class — through the `MultiCoreSim` pipeline,
-//! prints the strong-scaling table, runs a static-vs-LPT scheduler duel on
-//! the pinned BERT-L2 layer at 16 cores (dense and 2:4), and writes
-//! `BENCH_scaling.json` (per-engine geomean speedups vs 1 core plus the
-//! duel cells) for the CI artifact upload. Honours `VEGETA_QUICK` like
-//! every other figure binary.
+//! prints the strong-scaling table (with per-cell host wall-clock next to
+//! the simulated cycles), runs a static-vs-LPT scheduler duel on the
+//! pinned BERT-L2 layer at 16 cores (dense and 2:4), and writes
+//! `BENCH_scaling.json` (per-engine geomean speedups vs 1 core, per-cell
+//! `wall_seconds`/`sim_insts_per_sec`, plus the duel cells) for the CI
+//! artifact upload. Honours `VEGETA_QUICK` like every other figure binary.
 //!
 //! `--full-scale` (the scheduled full-scale workflow): replays one
 //! full-fidelity Table IV layer sharded across 8 cores per engine class —
@@ -18,7 +19,7 @@ use vegeta::json::JsonValue;
 use vegeta::prelude::*;
 use vegeta_bench::perf_gate::{perf_gate_engines, pinned_layers};
 use vegeta_bench::scaling::{
-    run_scaling_sweep, scaling_core_counts, scaling_report, write_scaling_json,
+    run_timed_scaling_sweep, scaling_core_counts, scaling_report, write_scaling_json,
 };
 
 fn main() {
@@ -36,11 +37,17 @@ fn main() {
 fn gate_mode() {
     let fidelity = Fidelity::from_env();
     println!("## Multi-core scaling: pinned layers x engine classes x {fidelity} fidelity");
-    let report = run_scaling_sweep(fidelity);
+    let (report, walls) = run_timed_scaling_sweep(fidelity);
+    let wall_of: std::collections::HashMap<(&str, &str, usize), f64> = report
+        .cells
+        .iter()
+        .zip(&walls)
+        .map(|(c, &w)| ((c.workload.as_str(), c.engine.as_str(), c.cores), w))
+        .collect();
 
     println!(
-        "{:<14} {:<22} {:>6} {:>12} {:>9} {:>11} {:>12}",
-        "layer", "engine", "cores", "cycles", "speedup", "efficiency", "L2 shared"
+        "{:<14} {:<22} {:>6} {:>12} {:>9} {:>11} {:>12} {:>8}",
+        "layer", "engine", "cores", "cycles", "speedup", "efficiency", "L2 shared", "host s"
     );
     for workload in report.workloads() {
         for engine in report.engines() {
@@ -52,14 +59,15 @@ fn gate_mode() {
                     .get_cores(workload, engine, "2:4", cores)
                     .expect("cell computed");
                 println!(
-                    "{:<14} {:<22} {:>6} {:>12} {:>8.2}x {:>11.3} {:>12}",
+                    "{:<14} {:<22} {:>6} {:>12} {:>8.2}x {:>11.3} {:>12} {:>8.3}",
                     cell.workload,
                     cell.engine,
                     cell.cores,
                     cell.cycles,
                     base.cycles as f64 / cell.cycles as f64,
                     cell.scaling_efficiency,
-                    cell.shared_l2.shared_hits
+                    cell.shared_l2.shared_hits,
+                    wall_of[&(workload, engine, cores)]
                 );
             }
         }
@@ -106,7 +114,7 @@ fn gate_mode() {
     }
 
     report.save_csv("fig_scaling");
-    let mut doc = scaling_report("gate", &report);
+    let mut doc = scaling_report("gate", &report, &walls);
     if let JsonValue::Object(fields) = &mut doc {
         fields.push((
             "scheduler_duel".into(),
@@ -159,5 +167,5 @@ fn full_scale() {
             );
         }
     }
-    write_scaling_json(&scaling_report("full-scale", &sweep));
+    write_scaling_json(&scaling_report("full-scale", &sweep, &[]));
 }

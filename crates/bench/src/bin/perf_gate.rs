@@ -12,9 +12,11 @@
 //!    with no stranded cores — catching any regression back toward the
 //!    ~2.2× plateau the 1D/static path hit;
 //! 3. replays the pinned layer set at **both** fidelities (quick/4 and
-//!    full) through the streaming pipeline and writes the timed
-//!    `BENCH_perf.json` artifact (simulated insts/sec, wall-clock, cycles,
-//!    peak resident bytes).
+//!    full) through the streaming pipeline, plus the same layers sharded
+//!    across 8 simulated cores through the host-parallel multi-core
+//!    replay, and writes the timed `BENCH_perf.json` artifact (simulated
+//!    insts/sec, wall-clock, cycles, peak resident bytes, and the
+//!    single-core / multi-core throughput geomeans).
 //!
 //! `--full-scale` (the scheduled job): skips the baseline diff and replays
 //! one full-fidelity Table IV layer per engine class — including the
@@ -23,17 +25,20 @@
 //! Flags: `--baseline <path>` overrides the committed baseline,
 //! `--tolerance <fraction>` the ±2% default (the `VEGETA_PERF_TOL`
 //! environment variable also overrides the default; the flag wins over
-//! both), `--scaling-floor <speedup>` the 3.5× scaling floor, and
+//! both), `--scaling-floor <speedup>` the 3.5× scaling floor,
 //! `--min-insts-per-sec <rate>` the opt-in replay-throughput floor on
 //! the cells' `geomean_sim_insts_per_sec` (the `VEGETA_PERF_MIN_IPS`
 //! environment variable also enables it; unset means off, because
-//! wall-clock floors are host-dependent).
+//! wall-clock floors are host-dependent), and `--min-multicore-ips
+//! <rate>` the analogous opt-in floor on
+//! `geomean_multicore_insts_per_sec` (`VEGETA_PERF_MIN_MC_IPS`).
 
 use vegeta::json::JsonValue;
 use vegeta::prelude::*;
 use vegeta_bench::perf_gate::{
     check_throughput_floor, compare_geomeans, perf_report, pinned_layers, resolve_min_ips,
-    resolve_tolerance, run_perf_cells, write_perf_json, MIN_IPS_ENV, TOLERANCE_ENV,
+    resolve_min_multicore_ips, resolve_tolerance, run_multicore_perf_cells, run_perf_cells,
+    write_perf_json, MC_PERF_CORES, MIN_IPS_ENV, MIN_MC_IPS_ENV, TOLERANCE_ENV,
 };
 use vegeta_bench::scaling::{
     check_scaling_floor, run_scaling_floor_sweep, DEFAULT_SCALING_FLOOR, SCALING_FLOOR_CORES,
@@ -54,6 +59,7 @@ fn main() {
     let mut baseline_path = workspace_baseline();
     let mut tolerance_flag: Option<f64> = None;
     let mut min_ips_flag: Option<f64> = None;
+    let mut min_mc_ips_flag: Option<f64> = None;
     let mut scaling_floor = DEFAULT_SCALING_FLOOR;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -78,6 +84,15 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--min-multicore-ips" => {
+                let raw = iter.next().expect("--min-multicore-ips needs a rate");
+                min_mc_ips_flag = Some(raw.parse().unwrap_or_else(|_| {
+                    eprintln!(
+                        "perf_gate: --min-multicore-ips '{raw}' is not a number (e.g. 250000)"
+                    );
+                    std::process::exit(2);
+                }));
+            }
             "--scaling-floor" => {
                 let raw = iter.next().expect("--scaling-floor needs a speedup");
                 scaling_floor = raw.parse().unwrap_or_else(|_| {
@@ -91,7 +106,8 @@ fn main() {
                 eprintln!(
                     "perf_gate: unknown argument '{unknown}' (expected --full-scale, \
                      --baseline <path>, --tolerance <fraction>, \
-                     --min-insts-per-sec <rate>, --scaling-floor <speedup>)"
+                     --min-insts-per-sec <rate>, --min-multicore-ips <rate>, \
+                     --scaling-floor <speedup>)"
                 );
                 std::process::exit(2);
             }
@@ -110,6 +126,13 @@ fn main() {
         eprintln!("perf_gate: {e}");
         std::process::exit(2);
     });
+    // Flag > VEGETA_PERF_MIN_MC_IPS > off.
+    let env_min_mc_ips = std::env::var(MIN_MC_IPS_ENV).ok();
+    let min_mc_ips = resolve_min_multicore_ips(min_mc_ips_flag, env_min_mc_ips.as_deref())
+        .unwrap_or_else(|e| {
+            eprintln!("perf_gate: {e}");
+            std::process::exit(2);
+        });
 
     if full_scale {
         // One full-fidelity layer per engine class, including the largest
@@ -121,8 +144,8 @@ fn main() {
         println!("## perf_gate --full-scale: full-fidelity streamed replays");
         let cells = run_perf_cells(&layers, &[Fidelity::Full]);
         print_cells(&cells);
-        write_perf_json(&perf_report("full-scale", &cells));
-        gate_throughput(&cells, min_ips);
+        write_perf_json(&perf_report("full-scale", &cells, &[]));
+        gate_throughput("throughput floor", &cells, min_ips, MIN_IPS_ENV);
         return;
     }
 
@@ -201,25 +224,41 @@ fn main() {
     println!("\n## perf_gate: pinned layer set at quick/4 and full fidelity");
     let cells = run_perf_cells(&pinned_layers(), &[Fidelity::Quick(4), Fidelity::Full]);
     print_cells(&cells);
-    write_perf_json(&perf_report("gate", &cells));
-    gate_throughput(&cells, min_ips);
+
+    // --- 4. The same layers sharded across 8 cores, host-parallel. ---
+    println!("\n## perf_gate: pinned layer set sharded across {MC_PERF_CORES} cores, timed");
+    let mc_cells = run_multicore_perf_cells(&pinned_layers(), Fidelity::Full);
+    print_cells(&mc_cells);
+
+    write_perf_json(&perf_report("gate", &cells, &mc_cells));
+    gate_throughput("throughput floor", &cells, min_ips, MIN_IPS_ENV);
+    gate_throughput(
+        "multicore throughput floor",
+        &mc_cells,
+        min_mc_ips,
+        MIN_MC_IPS_ENV,
+    );
 }
 
-/// Applies the opt-in replay-throughput floor to the timed cells; a floor
-/// of `None` (neither flag nor environment set) reports and moves on.
-fn gate_throughput(cells: &[vegeta_bench::perf_gate::PerfCell], min_ips: Option<f64>) {
+/// Applies one opt-in replay-throughput floor to a set of timed cells; a
+/// floor of `None` (neither flag nor environment set) reports and moves
+/// on.
+fn gate_throughput(
+    label: &str,
+    cells: &[vegeta_bench::perf_gate::PerfCell],
+    min_ips: Option<f64>,
+    env_name: &str,
+) {
     let Some(floor) = min_ips else {
-        println!("\nthroughput floor: off (set {MIN_IPS_ENV} or --min-insts-per-sec)");
+        println!("\n{label}: off (set {env_name} or the matching flag)");
         return;
     };
     match check_throughput_floor(cells, floor) {
         Ok(achieved) => {
-            println!(
-                "\nthroughput floor PASSED: geomean {achieved:.0} sim insts/sec >= {floor:.0}"
-            );
+            println!("\n{label} PASSED: geomean {achieved:.0} sim insts/sec >= {floor:.0}");
         }
         Err(why) => {
-            eprintln!("\nthroughput floor FAILED: {why}");
+            eprintln!("\n{label} FAILED: {why}");
             std::process::exit(1);
         }
     }

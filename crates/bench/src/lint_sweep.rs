@@ -173,14 +173,19 @@ pub struct ReplayCell {
     /// Instructions the event-driven multi-core simulator consumed from
     /// the same shard set (reduction included).
     pub simulated_shard_insts: u64,
+    /// Whether the host-parallel replay ([`ExecMode::ParallelHost`])
+    /// produced a [`MultiCoreResult`] identical to the sequential event
+    /// merge for this cell's shard set.
+    pub exec_modes_agree: bool,
 }
 
 impl ReplayCell {
     /// Whether the simulator consumed exactly what the verifier checked,
-    /// on both paths.
+    /// on both paths — and both execution modes agreed on the result.
     pub fn consistent(&self) -> bool {
         self.verified_ops == self.simulated_insts
             && self.verified_shard_ops == self.simulated_shard_insts
+            && self.exec_modes_agree
     }
 }
 
@@ -206,16 +211,29 @@ pub fn run_replay_check() -> Vec<ReplayCell> {
             let verified_shard_ops = verify_shard_set(&spec, shape, REPLAY_CHECK_CORES).ops_checked;
             let set = spec.shard_set(shape, REPLAY_CHECK_CORES);
             let mut mc = MultiCoreSim::new(
-                MultiCoreConfig::with_core(SimConfig::default(), REPLAY_CHECK_CORES),
+                MultiCoreConfig::with_core(SimConfig::default(), REPLAY_CHECK_CORES)
+                    .with_exec(ExecMode::Sequential),
                 engine.clone(),
             );
             let res = mc.run_sharded(set.shards, set.reduction, SchedulerPolicy::Lpt);
+
+            // The same shard set under the host-parallel shared-L2 replay
+            // must reproduce the sequential result exactly; a divergence
+            // here is a verification failure, not a perf detail.
+            let set = spec.shard_set(shape, REPLAY_CHECK_CORES);
+            let mut mc = MultiCoreSim::new(
+                MultiCoreConfig::with_core(SimConfig::default(), REPLAY_CHECK_CORES)
+                    .with_exec(ExecMode::ParallelHost(2)),
+                engine.clone(),
+            );
+            let parallel = mc.run_sharded(set.shards, set.reduction, SchedulerPolicy::Lpt);
             ReplayCell {
                 label,
                 verified_ops,
                 simulated_insts,
                 verified_shard_ops,
                 simulated_shard_insts: res.instructions(),
+                exec_modes_agree: parallel == res,
             }
         })
         .collect()
@@ -228,34 +246,41 @@ pub fn print_replay_check() -> bool {
         "## vegeta-lint --replay: simulator-consumed instruction counts vs verified op counts"
     );
     println!(
-        "{:<44} {:>12} {:>12} {:>12} {:>12}",
-        "cell", "verified", "simulated", "shard-ver", "shard-sim"
+        "{:<44} {:>12} {:>12} {:>12} {:>12} {:>7}",
+        "cell", "verified", "simulated", "shard-ver", "shard-sim", "par-ok"
     );
     let cells = run_replay_check();
     let mut ok = true;
     for cell in &cells {
         println!(
-            "{:<44} {:>12} {:>12} {:>12} {:>12}",
+            "{:<44} {:>12} {:>12} {:>12} {:>12} {:>7}",
             cell.label,
             cell.verified_ops,
             cell.simulated_insts,
             cell.verified_shard_ops,
-            cell.simulated_shard_insts
+            cell.simulated_shard_insts,
+            if cell.exec_modes_agree { "yes" } else { "NO" }
         );
         if !cell.consistent() {
             ok = false;
             eprintln!(
-                "MISMATCH {}: verifier walked {}/{} ops but the simulator consumed {}/{}",
+                "MISMATCH {}: verifier walked {}/{} ops, simulator consumed {}/{}, \
+                 parallel replay {}",
                 cell.label,
                 cell.verified_ops,
                 cell.verified_shard_ops,
                 cell.simulated_insts,
-                cell.simulated_shard_insts
+                cell.simulated_shard_insts,
+                if cell.exec_modes_agree {
+                    "agrees"
+                } else {
+                    "DIVERGES"
+                }
             );
         }
     }
     println!(
-        "replayed {} cells at 1 and {REPLAY_CHECK_CORES} cores: {}",
+        "replayed {} cells at 1 and {REPLAY_CHECK_CORES} cores (sequential + host-parallel): {}",
         cells.len(),
         if ok { "counts match" } else { "COUNTS DIVERGE" }
     );

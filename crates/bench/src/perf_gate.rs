@@ -32,6 +32,39 @@ pub const GEOMEAN_TOLERANCE: f64 = 0.02;
 /// over it.
 pub const TOLERANCE_ENV: &str = "VEGETA_PERF_TOL";
 
+/// Resolves one positive, finite gate parameter from its three sources,
+/// strongest first: an explicit flag, an environment variable, then
+/// `default` (which is `None` for opt-in gates).
+///
+/// Every gate parameter shares the same refusal rule: a NaN value would
+/// silently pass everything and a non-positive one fail everything — in
+/// both cases a gate checking criteria nobody chose — so bad values from
+/// either source are errors, never ignored. `kind` finishes the error
+/// message (e.g. `"fraction (e.g. 0.02 for ±2%)"`).
+fn resolve_gate_value(
+    flag: Option<f64>,
+    flag_name: &str,
+    env: Option<&str>,
+    env_name: &str,
+    kind: &str,
+    default: Option<f64>,
+) -> Result<Option<f64>, String> {
+    if let Some(v) = flag {
+        return if v.is_finite() && v > 0.0 {
+            Ok(Some(v))
+        } else {
+            Err(format!("{flag_name} {v} is not a positive {kind}"))
+        };
+    }
+    match env {
+        None => Ok(default),
+        Some(raw) => match raw.trim().parse::<f64>() {
+            Ok(v) if v.is_finite() && v > 0.0 => Ok(Some(v)),
+            _ => Err(format!("{env_name}='{raw}' is not a positive {kind}")),
+        },
+    }
+}
+
 /// Resolves the gate tolerance from its three sources, strongest first:
 /// the `--tolerance` flag, the [`TOLERANCE_ENV`] environment variable,
 /// then the [`GEOMEAN_TOLERANCE`] default.
@@ -39,28 +72,18 @@ pub const TOLERANCE_ENV: &str = "VEGETA_PERF_TOL";
 /// # Errors
 ///
 /// A human-readable message when the chosen value (flag or environment)
-/// is not a positive finite fraction — a NaN tolerance would silently
-/// pass every drift and a non-positive one fail every cell, i.e. a gate
-/// checking criteria nobody chose.
+/// is not a positive finite fraction (see `resolve_gate_value`'s
+/// refusal rule).
 pub fn resolve_tolerance(flag: Option<f64>, env: Option<&str>) -> Result<f64, String> {
-    if let Some(t) = flag {
-        return if t.is_finite() && t > 0.0 {
-            Ok(t)
-        } else {
-            Err(format!(
-                "--tolerance {t} is not a positive fraction (e.g. 0.02 for ±2%)"
-            ))
-        };
-    }
-    match env {
-        None => Ok(GEOMEAN_TOLERANCE),
-        Some(raw) => match raw.trim().parse::<f64>() {
-            Ok(t) if t.is_finite() && t > 0.0 => Ok(t),
-            _ => Err(format!(
-                "{TOLERANCE_ENV}='{raw}' is not a positive fraction (e.g. 0.02 for ±2%)"
-            )),
-        },
-    }
+    resolve_gate_value(
+        flag,
+        "--tolerance",
+        env,
+        TOLERANCE_ENV,
+        "fraction (e.g. 0.02 for ±2%)",
+        Some(GEOMEAN_TOLERANCE),
+    )
+    .map(|t| t.expect("tolerance has a default"))
 }
 
 /// The environment variable that sets the replay-throughput floor
@@ -77,28 +100,46 @@ pub const MIN_IPS_ENV: &str = "VEGETA_PERF_MIN_IPS";
 /// # Errors
 ///
 /// A human-readable message when the chosen value (flag or environment)
-/// is not a positive finite rate — a NaN floor would pass any throughput
-/// and a non-positive one is a gate that can never fail, i.e. criteria
-/// nobody chose.
+/// is not a positive finite rate (see `resolve_gate_value`'s refusal
+/// rule).
 pub fn resolve_min_ips(flag: Option<f64>, env: Option<&str>) -> Result<Option<f64>, String> {
-    if let Some(rate) = flag {
-        return if rate.is_finite() && rate > 0.0 {
-            Ok(Some(rate))
-        } else {
-            Err(format!(
-                "--min-insts-per-sec {rate} is not a positive rate (e.g. 250000)"
-            ))
-        };
-    }
-    match env {
-        None => Ok(None),
-        Some(raw) => match raw.trim().parse::<f64>() {
-            Ok(rate) if rate.is_finite() && rate > 0.0 => Ok(Some(rate)),
-            _ => Err(format!(
-                "{MIN_IPS_ENV}='{raw}' is not a positive rate (e.g. 250000)"
-            )),
-        },
-    }
+    resolve_gate_value(
+        flag,
+        "--min-insts-per-sec",
+        env,
+        MIN_IPS_ENV,
+        "rate (e.g. 250000)",
+        None,
+    )
+}
+
+/// The environment variable that sets the multi-core replay-throughput
+/// floor (simulated instructions per wall-clock second across the
+/// [`MC_PERF_CORES`]-core cells); an explicit `--min-multicore-ips` flag
+/// wins over it. Unset means the gate is off, like [`MIN_IPS_ENV`].
+pub const MIN_MC_IPS_ENV: &str = "VEGETA_PERF_MIN_MC_IPS";
+
+/// Resolves the multi-core throughput floor from its three sources,
+/// strongest first: the `--min-multicore-ips` flag, the
+/// [`MIN_MC_IPS_ENV`] environment variable, then `None` (gate off).
+///
+/// # Errors
+///
+/// A human-readable message when the chosen value (flag or environment)
+/// is not a positive finite rate (see `resolve_gate_value`'s refusal
+/// rule).
+pub fn resolve_min_multicore_ips(
+    flag: Option<f64>,
+    env: Option<&str>,
+) -> Result<Option<f64>, String> {
+    resolve_gate_value(
+        flag,
+        "--min-multicore-ips",
+        env,
+        MIN_MC_IPS_ENV,
+        "rate (e.g. 250000)",
+        None,
+    )
 }
 
 /// Gates the cells' `geomean_sim_insts_per_sec` against a throughput
@@ -154,6 +195,7 @@ impl PerfCell {
             ("m".into(), self.report.shape.m.into()),
             ("n".into(), self.report.shape.n.into()),
             ("k".into(), self.report.shape.k.into()),
+            ("cores".into(), self.report.cores.into()),
             ("cycles".into(), self.report.cycles.into()),
             ("instructions".into(), self.report.instructions.into()),
             ("insts_streamed".into(), self.report.insts_streamed.into()),
@@ -210,24 +252,62 @@ pub fn run_perf_cells(layers: &[Layer], fidelities: &[Fidelity]) -> Vec<PerfCell
     cells
 }
 
+/// Core count the multi-core perf cells shard at (matches the scaling
+/// floor's pinned point).
+pub const MC_PERF_CORES: usize = 8;
+
+/// Replays `layers` × [`perf_gate_engines`] at 2:4 weights sharded across
+/// [`MC_PERF_CORES`] simulated cores (LPT 2D/K-split plans, host-parallel
+/// replay under [`ExecMode::Auto`] — so `VEGETA_HOST_THREADS` and the
+/// host's available parallelism govern the fan-out), timing each run.
+/// These cells feed the `geomean_multicore_insts_per_sec` summary and the
+/// opt-in `--min-multicore-ips` floor.
+pub fn run_multicore_perf_cells(layers: &[Layer], fidelity: Fidelity) -> Vec<PerfCell> {
+    let cache = std::sync::Arc::new(TraceCache::new());
+    let mut cells = Vec::new();
+    for layer in layers {
+        for engine in perf_gate_engines() {
+            let session = Session::new(engine).with_cache(std::sync::Arc::clone(&cache));
+            let start = Instant::now();
+            let report = session.run_layer_cores_at(layer, NmRatio::S2_4, fidelity, MC_PERF_CORES);
+            cells.push(PerfCell {
+                report,
+                wall_seconds: start.elapsed().as_secs_f64(),
+            });
+        }
+    }
+    cells
+}
+
 /// Wraps perf cells into the `BENCH_perf.json` document. The top-level
-/// `geomean_sim_insts_per_sec` field summarizes replay throughput across
-/// all cells in one number, so workflow artifacts can be skimmed (and
-/// trended) without re-aggregating the per-cell rows.
-pub fn perf_report(mode: &str, cells: &[PerfCell]) -> JsonValue {
+/// `geomean_sim_insts_per_sec` and `geomean_multicore_insts_per_sec`
+/// fields summarize replay throughput (single-core streamed and
+/// [`MC_PERF_CORES`]-core host-parallel respectively) across their cells
+/// in one number each, so workflow artifacts can be skimmed (and trended)
+/// without re-aggregating the per-cell rows.
+pub fn perf_report(mode: &str, cells: &[PerfCell], mc_cells: &[PerfCell]) -> JsonValue {
     let rates: Vec<f64> = cells.iter().map(PerfCell::sim_insts_per_sec).collect();
+    let mc_rates: Vec<f64> = mc_cells.iter().map(PerfCell::sim_insts_per_sec).collect();
     JsonValue::Object(vec![
         ("report".into(), "perf_gate".into()),
         ("mode".into(), mode.into()),
         ("tolerance".into(), GEOMEAN_TOLERANCE.into()),
-        ("cells".into(), cells.len().into()),
+        ("cells".into(), (cells.len() + mc_cells.len()).into()),
         (
             "geomean_sim_insts_per_sec".into(),
             geomean(&rates).unwrap_or(0.0).into(),
         ),
         (
+            "geomean_multicore_insts_per_sec".into(),
+            geomean(&mc_rates).unwrap_or(0.0).into(),
+        ),
+        (
             "results".into(),
             JsonValue::Array(cells.iter().map(PerfCell::to_json_value).collect()),
+        ),
+        (
+            "multicore_results".into(),
+            JsonValue::Array(mc_cells.iter().map(PerfCell::to_json_value).collect()),
         ),
     ])
 }
@@ -461,7 +541,7 @@ mod tests {
             assert_eq!(cell.report.insts_streamed, cell.report.instructions);
             assert!(cell.report.peak_resident_bytes > 0);
         }
-        let doc = perf_report("test", &cells);
+        let doc = perf_report("test", &cells, &[]);
         let parsed = JsonValue::parse(&doc.to_string()).expect("valid JSON");
         assert_eq!(
             parsed
@@ -482,10 +562,71 @@ mod tests {
     }
 
     #[test]
+    fn multicore_cells_shard_and_summarize() {
+        let layers = pinned_layers();
+        let mc = run_multicore_perf_cells(&layers[..1], Fidelity::Quick(16));
+        assert_eq!(mc.len(), 3, "one cell per engine class");
+        for cell in &mc {
+            assert_eq!(cell.report.cores, MC_PERF_CORES);
+            assert!(cell.report.cycles > 0);
+        }
+        let doc = perf_report("test", &[], &mc);
+        let parsed = JsonValue::parse(&doc.to_string()).expect("valid JSON");
+        assert_eq!(
+            parsed
+                .get("multicore_results")
+                .and_then(JsonValue::as_array)
+                .map(<[_]>::len),
+            Some(3)
+        );
+        let rates: Vec<f64> = mc.iter().map(PerfCell::sim_insts_per_sec).collect();
+        let expect = geomean(&rates).expect("three positive rates");
+        let got = parsed
+            .get("geomean_multicore_insts_per_sec")
+            .and_then(JsonValue::as_f64)
+            .expect("summary field present");
+        assert!(((got - expect) / expect).abs() < 1e-9, "{got} vs {expect}");
+        // The per-cell rows carry the core count, so single-core and
+        // multi-core rows stay distinguishable in merged tooling.
+        assert_eq!(
+            parsed.get("multicore_results").unwrap().as_array().unwrap()[0]
+                .get("cores")
+                .and_then(JsonValue::as_u64),
+            Some(MC_PERF_CORES as u64)
+        );
+    }
+
+    #[test]
+    fn min_multicore_ips_resolution_orders_flag_env_off() {
+        assert_eq!(resolve_min_multicore_ips(None, None), Ok(None));
+        assert_eq!(
+            resolve_min_multicore_ips(None, Some("100000")),
+            Ok(Some(100_000.0))
+        );
+        assert_eq!(
+            resolve_min_multicore_ips(Some(5e4), Some("100000")),
+            Ok(Some(5e4))
+        );
+        for bad in ["fast", "", "-1", "0", "NaN", "inf"] {
+            let err = resolve_min_multicore_ips(None, Some(bad)).unwrap_err();
+            assert!(err.contains(MIN_MC_IPS_ENV), "{err}");
+        }
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -250_000.0] {
+            let err = resolve_min_multicore_ips(Some(bad), None).unwrap_err();
+            assert!(err.contains("--min-multicore-ips"), "{err}");
+        }
+    }
+
+    #[test]
     fn perf_report_summary_survives_empty_cells() {
-        let doc = perf_report("test", &[]);
+        let doc = perf_report("test", &[], &[]);
         assert_eq!(
             doc.get("geomean_sim_insts_per_sec")
+                .and_then(JsonValue::as_f64),
+            Some(0.0)
+        );
+        assert_eq!(
+            doc.get("geomean_multicore_insts_per_sec")
                 .and_then(JsonValue::as_f64),
             Some(0.0)
         );

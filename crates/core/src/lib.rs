@@ -101,8 +101,8 @@ pub mod prelude {
     pub use vegeta_model::{GranularityHw, GranularityModel};
     pub use vegeta_num::{Bf16, Matrix};
     pub use vegeta_sim::{
-        CoreSim, MultiCoreConfig, MultiCoreResult, MultiCoreSim, SchedulerPolicy, SharedL2Stats,
-        SimConfig, SimResult,
+        CoreSim, ExecMode, MultiCoreConfig, MultiCoreResult, MultiCoreSim, SchedulerPolicy,
+        SharedL2Stats, SimConfig, SimResult,
     };
     pub use vegeta_sparse::{
         CompressedTile, CsrTile, DenseTile, FormatSpec, MregImage, NmRatio, RowWiseTile,

@@ -41,7 +41,7 @@ use rand::SeedableRng;
 use vegeta_engine::EngineConfig;
 use vegeta_isa::trace::Trace;
 use vegeta_kernels::{EngineKernelExt, Kernel, KernelOptions, KernelSpec, SparseMode, TraceCache};
-use vegeta_sim::{CoreSim, MultiCoreConfig, MultiCoreSim, SchedulerPolicy, SimConfig};
+use vegeta_sim::{CoreSim, ExecMode, MultiCoreConfig, MultiCoreSim, SchedulerPolicy, SimConfig};
 use vegeta_sparse::{prune, transform, FormatSpec, NmRatio};
 use vegeta_workloads::Layer;
 
@@ -405,6 +405,7 @@ fn run_cell_cores(
     spec: &KernelSpec,
     cores: usize,
     policy: SchedulerPolicy,
+    exec: ExecMode,
     progress: Option<&ProgressFn>,
 ) -> RunReport {
     preflight.check(shape, spec, cores, policy);
@@ -419,7 +420,7 @@ fn run_cell_cores(
         }
     };
     let mut sim_mc = MultiCoreSim::new(
-        MultiCoreConfig::with_core(sim.clone(), cores),
+        MultiCoreConfig::with_core(sim.clone(), cores).with_exec(exec),
         engine.clone(),
     );
     let res = match progress {
@@ -687,6 +688,7 @@ impl Session {
             &spec,
             cores,
             self.scheduler,
+            ExecMode::Auto,
             self.progress.as_ref(),
         )
     }
@@ -713,6 +715,7 @@ impl Session {
             &spec,
             cores,
             self.scheduler,
+            ExecMode::Auto,
             self.progress.as_ref(),
         )
     }
@@ -1158,6 +1161,12 @@ impl Sweep {
             }
         }
         let threads = self.resolved_threads();
+        // Host-thread budget for each cell's multi-core replay: the grid's
+        // cell-level pool and the per-cell parallel simulation share one
+        // machine, so each cell gets `available / threads` host threads
+        // (at least one) and the grid never oversubscribes the host.
+        let avail = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let cell_exec = ExecMode::ParallelHost((avail / threads).max(1));
         let hits_before = self.cache.hits();
         let misses_before = self.cache.misses();
 
@@ -1232,6 +1241,7 @@ impl Sweep {
                     &spec,
                     n,
                     *scheduler,
+                    cell_exec,
                     None,
                 ),
             }

@@ -80,6 +80,12 @@ pub struct ServeReport {
     pub distinct_keys: usize,
     /// Simulated cycles summed over the distinct keys.
     pub sim_cycles: u64,
+    /// Host threads the phase-1 key simulation fanned out over.
+    ///
+    /// Host-side metadata only: it is deliberately **excluded** from
+    /// [`to_json_value`](ServeReport::to_json_value) so reports stay
+    /// byte-identical across host machines and thread counts.
+    pub host_threads: usize,
 }
 
 impl ServeReport {
@@ -216,6 +222,7 @@ mod tests {
             per_worker_busy_us: vec![500, 250],
             distinct_keys: 2,
             sim_cycles: 1_500_000,
+            host_threads: 2,
         }
     }
 

@@ -121,11 +121,23 @@ impl ServeConfig {
     }
 
     /// The host thread count actually used.
-    fn host_threads(&self) -> usize {
-        if self.threads == 0 {
+    ///
+    /// `0` means one per worker. When workers are multi-core, each
+    /// worker's key simulation can itself fan out over host threads
+    /// (the parallel shared-L2 replay), so the phase-1 fan-out is capped
+    /// at the host's available parallelism — oversubscribing both layers
+    /// at once only adds scheduling noise, never changes results.
+    pub(crate) fn host_threads(&self) -> usize {
+        let threads = if self.threads == 0 {
             self.workers
         } else {
             self.threads
+        };
+        if self.cores_per_worker > 1 {
+            let avail = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+            threads.min(avail).max(1)
+        } else {
+            threads
         }
     }
 
@@ -503,6 +515,7 @@ impl Server {
             per_worker_busy_us: busy_us,
             distinct_keys: outcomes.len(),
             sim_cycles: outcomes.values().map(|o| o.cycles).sum(),
+            host_threads: cfg.host_threads(),
         };
         let responses = responses
             .into_iter()
@@ -610,6 +623,25 @@ mod tests {
             "{:?}",
             responses[0]
         );
+    }
+
+    #[test]
+    fn report_surfaces_the_host_thread_count_outside_the_json() {
+        // Explicit thread counts pass through for single-core workers;
+        // multi-core workers cap the phase-1 fan-out at the host's
+        // available parallelism. Either way the field stays host-side
+        // metadata: it never appears in the serialized report.
+        let cfg = base_config().with_threads(3);
+        let (report, _) = Server::new(cfg).serve_requests(&[spec_request(0, 0, 16)], 0.0, 0);
+        assert_eq!(report.host_threads, 3);
+        assert!(!report.to_json().contains("host_threads"));
+
+        let avail = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let cfg = base_config()
+            .with_cores_per_worker(2)
+            .with_threads(avail + 7);
+        let (report, _) = Server::new(cfg).serve_requests(&[spec_request(0, 0, 16)], 0.0, 0);
+        assert_eq!(report.host_threads, avail);
     }
 
     #[test]

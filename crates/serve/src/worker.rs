@@ -128,8 +128,16 @@ impl WorkerPool {
                     (set.shards, set.reduction)
                 }
             };
+            // Each worker's share of the host: phase-1 fan-out already
+            // occupies `threads` host threads, so the per-key multi-core
+            // replay gets the leftover budget (at least one). Results are
+            // host-thread-independent either way — ParallelHost replays
+            // the shared-L2 log deterministically.
+            let avail = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+            let host_budget = (avail / self.threads).max(1);
             let mut mc = MultiCoreSim::new(
-                MultiCoreConfig::with_core(self.sim.clone(), self.cores),
+                MultiCoreConfig::with_core(self.sim.clone(), self.cores)
+                    .with_exec(ExecMode::ParallelHost(host_budget)),
                 self.engine.clone(),
             );
             let res = mc.run_sharded(shards, reduction, self.scheduler);

@@ -101,6 +101,20 @@ impl SharedL2Stats {
     }
 }
 
+/// One time-stamped shared-L2 lookup recorded by a log-sink L2
+/// ([`SharedL2::log_sink`]) during a host-parallel main phase, replayed
+/// later on the real L2 in exact global `(time, core)` order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct L2LogEntry {
+    /// The accessing core's pipeline clock when the instruction making
+    /// this access was woken (nondecreasing within one worker's log).
+    pub time: u64,
+    /// The accessing core's id (what [`SharedL2::access_line`] was handed).
+    pub core: u32,
+    /// The line address the L1 missed on.
+    pub line: u64,
+}
+
 /// Sentinel for "no slot" in the intrusive recency list.
 const NO_SLOT: u32 = u32::MAX;
 
@@ -233,6 +247,11 @@ pub struct SharedL2 {
     /// recency table's slots.
     owners: Vec<usize>,
     stats: SharedL2Stats,
+    /// Log-sink mode ([`SharedL2::log_sink`]): record accesses instead of
+    /// tracking residency, for deferred replay on the real L2.
+    logging: bool,
+    log: Vec<L2LogEntry>,
+    log_stamp: u64,
 }
 
 impl SharedL2 {
@@ -248,7 +267,46 @@ impl SharedL2 {
             lines: LruTable::new(),
             owners: Vec::new(),
             stats: SharedL2Stats::default(),
+            logging: false,
+            log: Vec::new(),
+            log_stamp: 0,
         }
+    }
+
+    /// A log-sink twin of a *prefetched* shared L2: every
+    /// [`SharedL2::access_line`] call appends an [`L2LogEntry`] stamped
+    /// with the last [`SharedL2::set_log_stamp`] time and returns
+    /// `hit_latency` — exactly what a prefetched L2 returns on every
+    /// lookup — without touching residency, ownership, or statistics.
+    ///
+    /// This is what makes the host-parallel multi-core mode sound: under
+    /// the §VI-B prefetch assumption the latency a core observes is a
+    /// constant, so cores can be simulated on separate host threads
+    /// against private log sinks, and the real L2's state evolution is
+    /// reconstructed afterwards by replaying the merged logs in global
+    /// `(time, core)` order (see `multicore.rs`).
+    pub(crate) fn log_sink(hit_latency: u64) -> Self {
+        let mut l2 = SharedL2::new(1, hit_latency, hit_latency).with_prefetched(true);
+        l2.logging = true;
+        l2
+    }
+
+    /// Sets the timestamp recorded on subsequently logged accesses (the
+    /// owning core's clock at the wake that issued them). Log-sink mode
+    /// only; a no-op otherwise.
+    pub(crate) fn set_log_stamp(&mut self, time: u64) {
+        self.log_stamp = time;
+    }
+
+    /// Logged entries not yet drained (log-sink mode only).
+    pub(crate) fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Drains the accumulated access log, leaving it empty — the chunked
+    /// hand-off that keeps a worker's log residency bounded.
+    pub(crate) fn take_log(&mut self) -> Vec<L2LogEntry> {
+        std::mem::take(&mut self.log)
     }
 
     /// Enables (or disables) the §VI-B prefetch assumption: every lookup
@@ -272,6 +330,14 @@ impl SharedL2 {
     /// Looks up one line on behalf of `core`, updating residency and
     /// sharing attribution; returns the load-to-use latency.
     pub fn access_line(&mut self, core: usize, line_addr: u64) -> u64 {
+        if self.logging {
+            self.log.push(L2LogEntry {
+                time: self.log_stamp,
+                core: u32::try_from(core).expect("fewer than 2^32 cores"),
+                line: line_addr,
+            });
+            return self.hit_latency;
+        }
         self.stats.accesses += 1;
         if let Some(slot) = self.lines.touch(line_addr) {
             self.stats.hits += 1;
@@ -630,6 +696,51 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn log_sink_records_instead_of_touching_state() {
+        let mut sink = SharedL2::log_sink(14);
+        sink.set_log_stamp(5);
+        assert_eq!(sink.access_line(1, 64), 14);
+        sink.set_log_stamp(9);
+        assert_eq!(
+            sink.access_line(2, 64),
+            14,
+            "same line again: still the flat prefetched hit latency"
+        );
+        assert_eq!(
+            sink.stats(),
+            SharedL2Stats::default(),
+            "stats stay untouched in log mode"
+        );
+        assert_eq!(sink.log_len(), 2);
+        let log = sink.take_log();
+        assert_eq!(
+            log,
+            vec![
+                L2LogEntry {
+                    time: 5,
+                    core: 1,
+                    line: 64
+                },
+                L2LogEntry {
+                    time: 9,
+                    core: 2,
+                    line: 64
+                },
+            ]
+        );
+        assert_eq!(sink.log_len(), 0, "take_log drains");
+        // Replaying the log on a real prefetched L2 reproduces the state
+        // evolution the sequential path would have seen.
+        let mut real = SharedL2::new(4, 14, 100).with_prefetched(true);
+        for e in &log {
+            real.access_line(e.core as usize, e.line);
+        }
+        let stats = real.stats();
+        assert_eq!(stats.accesses, 2);
+        assert_eq!(stats.shared_hits, 1, "core 2 reused core 1's line");
     }
 
     #[test]

@@ -45,4 +45,6 @@ pub use crate::core::{
 };
 pub use cache::{CacheModel, CacheStats, SharedL2, SharedL2Stats, LINE_BYTES};
 pub use event::EventQueue;
-pub use multicore::{MultiCoreConfig, MultiCoreResult, MultiCoreSim, SchedulerPolicy};
+pub use multicore::{
+    ExecMode, MultiCoreConfig, MultiCoreResult, MultiCoreSim, SchedulerPolicy, HOST_THREADS_ENV,
+};

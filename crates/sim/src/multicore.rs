@@ -76,11 +76,13 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 
 use vegeta_engine::EngineConfig;
 use vegeta_isa::stream::InstStream;
 
-use crate::cache::{CacheStats, SharedL2, SharedL2Stats};
+use crate::cache::{CacheStats, L2LogEntry, SharedL2, SharedL2Stats};
 use crate::core::{Core, CoreModel, SimConfig, SimResult, PROGRESS_STRIDE};
 use crate::event::EventQueue;
 
@@ -95,6 +97,45 @@ pub const DEFAULT_MEM_LATENCY: u64 = 100;
 /// Default per-level tree-barrier cost in core cycles (about two shared-L2
 /// round trips: one line flush, one flag observation).
 pub const DEFAULT_BARRIER_LATENCY: u64 = 32;
+
+/// Environment variable forcing the host-thread count of every multi-core
+/// run, overriding [`MultiCoreConfig::exec`] (`VEGETA_HOST_THREADS`). A
+/// value of `1` pins the sequential path — the CI leg that keeps the
+/// fallback honest; invalid values are ignored rather than guessed at.
+pub const HOST_THREADS_ENV: &str = "VEGETA_HOST_THREADS";
+
+/// Entries per log chunk a parallel worker hands the merger: at 24 B per
+/// [`L2LogEntry`] a chunk is ~192 KB, and with the bounded channel depth a
+/// worker never holds more than a few chunks in flight — the same bounded-
+/// residency discipline `vegeta-isa`'s chunked streams apply to traces.
+const L2_LOG_CHUNK: usize = 8192;
+
+/// Chunks a worker may have queued to the merger before its `send` blocks.
+const L2_LOG_CHANNEL_DEPTH: usize = 2;
+
+/// How a multi-core run uses *host* threads (simulated-core timing is
+/// never affected — the parallel path is proven bit-identical to the
+/// sequential event merge by `sim/tests/parallel_vs_event.rs`).
+///
+/// The parallel path requires the per-core timelines to be provably
+/// independent of the cross-core interleave: `prefetched` on (every
+/// shared-L2 lookup costs the same flat latency) and `work_stealing` off
+/// (assignment fixed before the run). Outside that envelope every mode
+/// falls back to the sequential event merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Use up to `std::thread::available_parallelism()` host threads when
+    /// the parallel path is eligible; sequential otherwise. The default.
+    #[default]
+    Auto,
+    /// Always the single-threaded event merge.
+    Sequential,
+    /// Use up to `n` host threads (clamped to the simulated core count;
+    /// `0` and `1` both mean sequential). Callers sharing a host-thread
+    /// budget across concurrent runs (sweep grids, serving pools) pass
+    /// their per-run slice here so the host is not oversubscribed.
+    ParallelHost(usize),
+}
 
 /// Configuration of a multi-core run: per-core parameters plus the shared
 /// memory level and sync costs.
@@ -120,6 +161,9 @@ pub struct MultiCoreConfig {
     /// of idling. Off by default (pure LPT packing is already balanced for
     /// over-decomposed shard sets and keeps queues statically auditable).
     pub work_stealing: bool,
+    /// Host-thread policy of the run (simulated results are identical in
+    /// every mode); see [`ExecMode`].
+    pub exec: ExecMode,
 }
 
 impl MultiCoreConfig {
@@ -139,7 +183,34 @@ impl MultiCoreConfig {
             mem_latency: DEFAULT_MEM_LATENCY,
             barrier_latency: DEFAULT_BARRIER_LATENCY,
             work_stealing: false,
+            exec: ExecMode::Auto,
         }
+    }
+
+    /// Sets the host-thread policy (builder form).
+    pub fn with_exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// The host-thread count this configuration resolves to, in `1..=cores`:
+    /// a valid positive [`HOST_THREADS_ENV`] overrides everything, else
+    /// [`MultiCoreConfig::exec`] decides ([`ExecMode::Auto`] caps at
+    /// `std::thread::available_parallelism()`). A result of 1 means the
+    /// sequential event merge.
+    pub fn resolved_host_threads(&self) -> usize {
+        let from_env = std::env::var(HOST_THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        let requested = from_env.unwrap_or_else(|| match self.exec {
+            ExecMode::Sequential => 1,
+            ExecMode::ParallelHost(n) => n.max(1),
+            ExecMode::Auto => {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            }
+        });
+        requested.min(self.cores.max(1)).max(1)
     }
 
     /// Core cycles the end-of-shard barrier costs at this core count.
@@ -345,7 +416,10 @@ impl<C: CoreModel> MultiCoreSim<C> {
     ///
     /// Panics when more streams than cores are supplied — silently
     /// dropping shards would report a quietly wrong (partial) result.
-    pub fn run_streams<S: InstStream>(&mut self, streams: Vec<S>) -> MultiCoreResult {
+    pub fn run_streams<S: InstStream + Send>(&mut self, streams: Vec<S>) -> MultiCoreResult
+    where
+        C: Send,
+    {
         self.run_sharded_with(streams, None, SchedulerPolicy::Static, None)
     }
 
@@ -353,11 +427,14 @@ impl<C: CoreModel> MultiCoreSim<C> {
     /// every [`PROGRESS_STRIDE`] instructions (summed across cores) and
     /// once at completion with `(instructions simulated, exact total)` —
     /// the same contract long single-core replays honour.
-    pub fn run_streams_with<S: InstStream>(
+    pub fn run_streams_with<S: InstStream + Send>(
         &mut self,
         streams: Vec<S>,
         progress: Option<&mut dyn FnMut(u64, u64)>,
-    ) -> MultiCoreResult {
+    ) -> MultiCoreResult
+    where
+        C: Send,
+    {
         self.run_sharded_with(streams, None, SchedulerPolicy::Static, progress)
     }
 
@@ -374,31 +451,57 @@ impl<C: CoreModel> MultiCoreSim<C> {
     ///
     /// The makespan is `slowest main-phase core + barrier + reduction`.
     ///
+    /// When [`MultiCoreConfig::exec`] (or [`HOST_THREADS_ENV`]) resolves
+    /// to more than one host thread *and* the run is interleave-
+    /// independent (`prefetched` on, `work_stealing` off, more than one
+    /// core), the main phase executes host-parallel with a deterministic
+    /// shared-L2 log replay; the result is bit-identical either way.
+    ///
     /// # Panics
     ///
     /// Under [`SchedulerPolicy::Static`], panics when more shards than
     /// cores are supplied (see [`MultiCoreSim::run_streams`]).
-    pub fn run_sharded<S: InstStream>(
+    pub fn run_sharded<S: InstStream + Send>(
         &mut self,
         shards: Vec<S>,
         reduction: Option<S>,
         policy: SchedulerPolicy,
-    ) -> MultiCoreResult {
+    ) -> MultiCoreResult
+    where
+        C: Send,
+    {
         self.run_sharded_with(shards, reduction, policy, None)
     }
 
     /// [`MultiCoreSim::run_sharded`] with a progress callback (the
     /// [`MultiCoreSim::run_streams_with`] contract; reduction ops count
-    /// toward the total).
-    pub fn run_sharded_with<S: InstStream>(
+    /// toward the total). The callback observes the same `(done, total)`
+    /// sequence in every [`ExecMode`].
+    pub fn run_sharded_with<S: InstStream + Send>(
         &mut self,
         shards: Vec<S>,
         reduction: Option<S>,
         policy: SchedulerPolicy,
         progress: Option<&mut dyn FnMut(u64, u64)>,
-    ) -> MultiCoreResult {
+    ) -> MultiCoreResult
+    where
+        C: Send,
+    {
         let queues = assign_queues(policy, &shards, self.cores.len());
-        self.run_assigned(shards, queues, reduction, progress, MergeLoop::EventDriven)
+        let host_threads = self.cfg.resolved_host_threads();
+        // Eligibility for the parallel path: the per-core timelines must
+        // be provably independent of the cross-core interleave. Prefetch
+        // makes every shared-L2 latency a constant; stealing off makes
+        // the shard assignment static. Otherwise: sequential fallback.
+        if host_threads > 1
+            && self.cfg.prefetched
+            && !self.cfg.work_stealing
+            && self.cores.len() > 1
+        {
+            self.run_parallel(shards, queues, reduction, progress, host_threads)
+        } else {
+            self.run_assigned(shards, queues, reduction, progress, MergeLoop::EventDriven)
+        }
     }
 
     /// [`MultiCoreSim::run_sharded`] driven by the retained linear-scan
@@ -568,6 +671,348 @@ impl<C: CoreModel> MultiCoreSim<C> {
             per_core,
             shared_l2: self.shared_l2.stats(),
         }
+    }
+
+    /// The host-parallel main phase: contiguous chunks of cores simulate
+    /// on scoped worker threads against private log-sink L2s
+    /// ([`SharedL2::log_sink`]), while this thread replays the streaming
+    /// k-way merge of their access logs on the real [`SharedL2`] in exact
+    /// global `(time, core)` order — reproducing the sequential event
+    /// merge's `SharedL2Stats`, and with them the whole
+    /// [`MultiCoreResult`], bit for bit.
+    ///
+    /// *Soundness.* Under the prefetch assumption every shared-L2 lookup
+    /// returns the same flat latency, so no core's timeline depends on any
+    /// other core's accesses; the interleave only decides first-toucher
+    /// attribution, which the ordered replay reconstructs. Each worker
+    /// runs the same `(time, index)` event merge as the sequential loop
+    /// restricted to its contiguous core chunk, so its log is sorted by
+    /// `(time, core)`; the sequential loop advances simultaneous cores in
+    /// ascending index order, so merging streams by `(head time, worker
+    /// index)` — workers own ascending index ranges — reproduces the exact
+    /// global access sequence.
+    ///
+    /// *Liveness.* Workers stream bounded chunks over bounded channels.
+    /// The merger only blocks receiving from a stream whose buffered
+    /// entries are exhausted, and that stream's worker either has channel
+    /// capacity to run ahead or chunks already queued — it always
+    /// eventually sends or closes, so no cycle of waits exists.
+    fn run_parallel<S: InstStream + Send>(
+        &mut self,
+        shards: Vec<S>,
+        mut queues: Vec<VecDeque<usize>>,
+        reduction: Option<S>,
+        mut progress: Option<&mut dyn FnMut(u64, u64)>,
+        host_threads: usize,
+    ) -> MultiCoreResult
+    where
+        C: Send,
+    {
+        let n = self.cores.len();
+        let total: u64 = shards.iter().map(InstStream::remaining).sum::<u64>()
+            + reduction.as_ref().map_or(0, InstStream::remaining);
+        let hit_latency = self.cfg.core.l2_latency;
+        let t = host_threads.min(n).max(1);
+        // Worker w owns the contiguous core range starts[w]..starts[w+1].
+        let (base, rem) = (n / t, n % t);
+        let mut starts = vec![0usize; t + 1];
+        for w in 0..t {
+            starts[w + 1] = starts[w] + base + usize::from(w < rem);
+        }
+
+        // Move each worker's assigned streams out of the shared vector
+        // (assignment is static — stealing is off), remapping its queues
+        // to worker-local stream indices.
+        let mut slots: Vec<Option<S>> = shards.into_iter().map(Some).collect();
+        let mut seeds: Vec<WorkerSeed<S>> = Vec::with_capacity(t);
+        let mut receivers: Vec<Receiver<Vec<L2LogEntry>>> = Vec::with_capacity(t);
+        let mut worker_globals: Vec<Vec<usize>> = Vec::with_capacity(t);
+        for w in 0..t {
+            let mut local_queues: Vec<VecDeque<usize>> = queues[starts[w]..starts[w + 1]]
+                .iter_mut()
+                .map(std::mem::take)
+                .collect();
+            let mut streams = Vec::new();
+            let mut globals = Vec::new();
+            for q in &mut local_queues {
+                for s in q.iter_mut() {
+                    globals.push(*s);
+                    streams.push(slots[*s].take().expect("each shard is queued exactly once"));
+                    *s = streams.len() - 1;
+                }
+            }
+            let (tx, rx) = sync_channel(L2_LOG_CHANNEL_DEPTH);
+            seeds.push(WorkerSeed {
+                queues: local_queues,
+                streams,
+                hit_latency,
+                tx,
+            });
+            receivers.push(rx);
+            worker_globals.push(globals);
+        }
+
+        let done_ctr = AtomicU64::new(0);
+        let mut reported = 0u64;
+        let cores = &mut self.cores;
+        let shared_l2 = &mut self.shared_l2;
+        let returned: Vec<(Vec<Vec<usize>>, Vec<S>)> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(t);
+            let mut rest: &mut [C] = cores.as_mut_slice();
+            for (w, seed) in seeds.into_iter().enumerate() {
+                let head = std::mem::take(&mut rest);
+                let (chunk, tail) = head.split_at_mut(starts[w + 1] - starts[w]);
+                rest = tail;
+                let done = &done_ctr;
+                handles.push(scope.spawn(move || run_core_chunk(chunk, seed, done)));
+            }
+            // Replay the merged access log on the real L2 while the
+            // workers run, surfacing progress at the sequential stride
+            // points (same `(done, total)` values, same order).
+            let mut merge = LogMerge::new(receivers);
+            while let Some(e) = merge.next_entry() {
+                shared_l2.access_line(e.core as usize, e.line);
+                let done_now = done_ctr.load(Ordering::Relaxed);
+                while reported + PROGRESS_STRIDE <= done_now {
+                    reported += PROGRESS_STRIDE;
+                    if let Some(cb) = progress.as_deref_mut() {
+                        cb(reported, total);
+                    }
+                }
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulation worker panicked"))
+                .collect()
+        });
+
+        // Re-home the consumed streams so residency attribution can read
+        // their high-water marks, translating worker-local shard ids back
+        // to global ones.
+        let mut ran: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (w, (local_ran, streams)) in returned.into_iter().enumerate() {
+            for (local_core, list) in local_ran.into_iter().enumerate() {
+                ran[starts[w] + local_core] =
+                    list.into_iter().map(|ls| worker_globals[w][ls]).collect();
+            }
+            for (ls, s) in streams.into_iter().enumerate() {
+                slots[worker_globals[w][ls]] = Some(s);
+            }
+        }
+
+        // Flush stride reports the merge loop had not caught up to (the
+        // counter keeps advancing behind the replay), then run the
+        // post-barrier tail exactly as the sequential path does.
+        let mut done = done_ctr.load(Ordering::Relaxed);
+        while reported + PROGRESS_STRIDE <= done {
+            reported += PROGRESS_STRIDE;
+            if let Some(cb) = progress.as_deref_mut() {
+                cb(reported, total);
+            }
+        }
+        let main_cycles: Vec<u64> = self.cores.iter().map(CoreModel::cycles).collect();
+        let slowest = main_cycles.iter().copied().max().unwrap_or(0);
+        let mut reduction_cycles = 0;
+        let mut reduction_peak = 0u64;
+        if let Some(mut red) = reduction {
+            let before = self.cores[0].cycles();
+            while let Some(op) = red.next_op() {
+                self.cores[0].step(op, Some(&mut self.shared_l2));
+                done += 1;
+                if done.is_multiple_of(PROGRESS_STRIDE) {
+                    if let Some(cb) = progress.as_deref_mut() {
+                        cb(done, total);
+                    }
+                }
+            }
+            reduction_cycles = self.cores[0].cycles() - before;
+            reduction_peak = red.peak_resident_bytes() as u64;
+        }
+        if done == 0 || !done.is_multiple_of(PROGRESS_STRIDE) {
+            if let Some(cb) = progress {
+                cb(done, total);
+            }
+        }
+
+        let per_core: Vec<SimResult> = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, core)| {
+                let mut peak: u64 = ran[i]
+                    .iter()
+                    .map(|&s| {
+                        slots[s]
+                            .as_ref()
+                            .expect("streams were re-homed after the join")
+                            .peak_resident_bytes() as u64
+                    })
+                    .sum();
+                if i == 0 {
+                    peak += reduction_peak;
+                }
+                core.result(peak)
+            })
+            .collect();
+        let barrier_cycles = self.cfg.barrier_cycles();
+        MultiCoreResult {
+            cores: n,
+            core_cycles: slowest + barrier_cycles + reduction_cycles,
+            barrier_cycles,
+            reduction_cycles,
+            per_core,
+            shared_l2: self.shared_l2.stats(),
+        }
+    }
+}
+
+/// Everything a parallel worker needs to simulate its contiguous core
+/// chunk: the chunk's shard queues (holding worker-local stream indices),
+/// the streams themselves, the flat L2 hit latency for the log sink, and
+/// the channel its log chunks flow back on.
+struct WorkerSeed<S> {
+    queues: Vec<VecDeque<usize>>,
+    streams: Vec<S>,
+    hit_latency: u64,
+    tx: SyncSender<Vec<L2LogEntry>>,
+}
+
+/// One worker's slice of the host-parallel main phase: the same
+/// local-time event merge as the sequential loop restricted to `cores`
+/// (a contiguous chunk, so `(time, local index)` order *is* `(time,
+/// global index)` order), stepping against a log-sink L2 and streaming
+/// bounded log chunks to the merger. Returns the per-core lists of
+/// finished worker-local shard ids plus the consumed streams (for
+/// residency attribution).
+fn run_core_chunk<C: CoreModel, S: InstStream>(
+    cores: &mut [C],
+    seed: WorkerSeed<S>,
+    done: &AtomicU64,
+) -> (Vec<Vec<usize>>, Vec<S>) {
+    let WorkerSeed {
+        mut queues,
+        mut streams,
+        hit_latency,
+        tx,
+    } = seed;
+    let n = cores.len();
+    let mut l2 = SharedL2::log_sink(hit_latency);
+    let mut ran: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut current: Vec<Option<usize>> = queues.iter_mut().map(VecDeque::pop_front).collect();
+    let mut wake: EventQueue<usize> = EventQueue::with_capacity(n);
+    for (i, c) in current.iter().enumerate() {
+        if c.is_some() {
+            wake.push(cores[i].cycles(), i);
+        }
+    }
+    while let Some((now, i)) = wake.pop() {
+        let s = current[i].expect("only live cores are queued");
+        match streams[s].next_op() {
+            Some(op) => {
+                // Accesses this step makes are stamped with the wake time
+                // (the core's clock before the step), exactly when the
+                // sequential merge would have delivered them.
+                l2.set_log_stamp(now);
+                cores[i].step(op, Some(&mut l2));
+                done.fetch_add(1, Ordering::Relaxed);
+                if l2.log_len() >= L2_LOG_CHUNK && tx.send(l2.take_log()).is_err() {
+                    // The merger is gone (main-thread unwind); stop early
+                    // rather than simulate into the void.
+                    return (ran, streams);
+                }
+                wake.push(cores[i].cycles(), i);
+            }
+            None => {
+                ran[i].push(s);
+                current[i] = queues[i].pop_front();
+                if current[i].is_some() {
+                    // Same clock: the core continues its next queued
+                    // shard with no idle gap.
+                    wake.push(cores[i].cycles(), i);
+                }
+            }
+        }
+    }
+    if l2.log_len() > 0 {
+        let _ = tx.send(l2.take_log());
+    }
+    (ran, streams)
+}
+
+/// A streaming k-way merge over per-worker shared-L2 log streams. Each
+/// stream arrives as bounded chunks over a channel and is sorted by
+/// `(time, core)`; streams own disjoint ascending core ranges, so taking
+/// the head with the minimum `(time, worker index)` key reproduces the
+/// exact global `(time, core)` access order (equal keys only occur within
+/// one stream and stay in stream order).
+struct LogMerge {
+    streams: Vec<LogStream>,
+}
+
+struct LogStream {
+    rx: Receiver<Vec<L2LogEntry>>,
+    chunk: Vec<L2LogEntry>,
+    pos: usize,
+    open: bool,
+}
+
+impl LogStream {
+    /// The stream's next entry, blocking for the next chunk when the
+    /// buffered one is exhausted; `None` once the worker has closed its
+    /// channel and every chunk is drained.
+    fn head(&mut self) -> Option<L2LogEntry> {
+        loop {
+            if let Some(e) = self.chunk.get(self.pos) {
+                return Some(*e);
+            }
+            if !self.open {
+                return None;
+            }
+            match self.rx.recv() {
+                Ok(chunk) => {
+                    self.chunk = chunk;
+                    self.pos = 0;
+                }
+                Err(_) => {
+                    self.open = false;
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+impl LogMerge {
+    fn new(receivers: Vec<Receiver<Vec<L2LogEntry>>>) -> Self {
+        LogMerge {
+            streams: receivers
+                .into_iter()
+                .map(|rx| LogStream {
+                    rx,
+                    chunk: Vec::new(),
+                    pos: 0,
+                    open: true,
+                })
+                .collect(),
+        }
+    }
+
+    /// Removes and returns the globally next entry in `(time, core)`
+    /// order, or `None` when every stream is closed and drained.
+    fn next_entry(&mut self) -> Option<L2LogEntry> {
+        let mut best: Option<(u64, usize)> = None;
+        for (w, stream) in self.streams.iter_mut().enumerate() {
+            if let Some(e) = stream.head() {
+                if best.is_none_or(|(bt, _)| e.time < bt) {
+                    best = Some((e.time, w));
+                }
+            }
+        }
+        let (_, w) = best?;
+        let s = &mut self.streams[w];
+        let e = s.chunk[s.pos];
+        s.pos += 1;
+        Some(e)
     }
 }
 
@@ -984,6 +1429,176 @@ mod tests {
         let t = mixed_trace(8, 64);
         let mut sim = MultiCoreSim::new(MultiCoreConfig::new(2), EngineConfig::rasa_dm());
         sim.run_streams(vec![t.stream(), t.stream(), t.stream()]);
+    }
+
+    /// The host-thread count [`HOST_THREADS_ENV`] forces in this process,
+    /// if any — tests must stay correct under the CI leg that pins it to 1.
+    fn forced_host_threads() -> Option<usize> {
+        std::env::var(HOST_THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    }
+
+    #[test]
+    fn exec_mode_resolution_clamps_to_the_core_count() {
+        let expect = |want: usize, cores: usize| forced_host_threads().unwrap_or(want).min(cores);
+        assert_eq!(MultiCoreConfig::new(4).exec, ExecMode::Auto);
+        let auto = MultiCoreConfig::new(4).resolved_host_threads();
+        assert!((1..=4).contains(&auto), "Auto stays within 1..=cores");
+        assert_eq!(
+            MultiCoreConfig::new(4)
+                .with_exec(ExecMode::Sequential)
+                .resolved_host_threads(),
+            expect(1, 4)
+        );
+        assert_eq!(
+            MultiCoreConfig::new(4)
+                .with_exec(ExecMode::ParallelHost(0))
+                .resolved_host_threads(),
+            expect(1, 4),
+            "0 means sequential, not a panic"
+        );
+        assert_eq!(
+            MultiCoreConfig::new(4)
+                .with_exec(ExecMode::ParallelHost(3))
+                .resolved_host_threads(),
+            expect(3, 4)
+        );
+        assert_eq!(
+            MultiCoreConfig::new(4)
+                .with_exec(ExecMode::ParallelHost(64))
+                .resolved_host_threads(),
+            expect(64, 4),
+            "clamped to the simulated core count"
+        );
+        assert_eq!(
+            MultiCoreConfig::new(1)
+                .with_exec(ExecMode::ParallelHost(8))
+                .resolved_host_threads(),
+            1,
+            "one simulated core never fans out"
+        );
+    }
+
+    #[test]
+    fn parallel_host_matches_sequential_bit_for_bit() {
+        // Ragged shards + a K-split reduction across simulated-core ×
+        // host-thread combinations, full MultiCoreResult equality. (Under
+        // the CI leg that forces host threads to 1 this degenerates to
+        // sequential-vs-sequential — exactly the fallback it pins.)
+        let shards: Vec<Trace> = (1..=6).map(|i| mixed_trace(14 * i, 64)).collect();
+        let reduction = mixed_trace(20, 128);
+        let engine = EngineConfig::vegeta_s(16).unwrap();
+        for cores in [2usize, 3, 4] {
+            let seq = MultiCoreSim::new(
+                MultiCoreConfig::new(cores).with_exec(ExecMode::Sequential),
+                engine.clone(),
+            )
+            .run_sharded(
+                shards.iter().map(Trace::stream).collect(),
+                Some(reduction.stream()),
+                SchedulerPolicy::Lpt,
+            );
+            for host in [2usize, 3, 8] {
+                let par = MultiCoreSim::new(
+                    MultiCoreConfig::new(cores).with_exec(ExecMode::ParallelHost(host)),
+                    engine.clone(),
+                )
+                .run_sharded(
+                    shards.iter().map(Trace::stream).collect(),
+                    Some(reduction.stream()),
+                    SchedulerPolicy::Lpt,
+                );
+                assert_eq!(par, seq, "{cores} cores, {host} host threads");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_host_reproduces_shared_attribution_and_idle_cores() {
+        // Identical streams: every touch after the first core's is a
+        // shared hit, and first-toucher attribution is exactly what the
+        // ordered log replay must reconstruct. Cores 3/4 stay idle.
+        let t = mixed_trace(64, 64);
+        let streams = || vec![t.stream(), t.stream(), t.stream()];
+        let seq = MultiCoreSim::new(
+            MultiCoreConfig::new(5).with_exec(ExecMode::Sequential),
+            EngineConfig::rasa_dm(),
+        )
+        .run_streams(streams());
+        let par = MultiCoreSim::new(
+            MultiCoreConfig::new(5).with_exec(ExecMode::ParallelHost(4)),
+            EngineConfig::rasa_dm(),
+        )
+        .run_streams(streams());
+        assert!(seq.shared_l2.shared_hits > 0, "cross-core reuse observed");
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn ineligible_configs_fall_back_to_the_sequential_path() {
+        // Work stealing or a cold L2 couples the cores, so ParallelHost
+        // must quietly run the sequential event merge and still match it.
+        let shards: Vec<Trace> = (1..=5).map(|i| mixed_trace(10 * i, 64)).collect();
+        let engine = EngineConfig::vegeta_s(16).unwrap();
+        for (stealing, prefetched) in [(true, true), (false, false), (true, false)] {
+            let mut base = MultiCoreConfig::new(3);
+            base.work_stealing = stealing;
+            base.prefetched = prefetched;
+            let seq =
+                MultiCoreSim::new(base.clone().with_exec(ExecMode::Sequential), engine.clone())
+                    .run_sharded(
+                        shards.iter().map(Trace::stream).collect(),
+                        None,
+                        SchedulerPolicy::Lpt,
+                    );
+            let par = MultiCoreSim::new(base.with_exec(ExecMode::ParallelHost(3)), engine.clone())
+                .run_sharded(
+                    shards.iter().map(Trace::stream).collect(),
+                    None,
+                    SchedulerPolicy::Lpt,
+                );
+            assert_eq!(par, seq, "stealing {stealing}, prefetched {prefetched}");
+        }
+    }
+
+    #[test]
+    fn progress_sequence_is_identical_across_exec_modes() {
+        // Two ~36k-op shards cross PROGRESS_STRIDE once; the callback must
+        // observe the same (done, total) pairs in the same order whether
+        // the main phase ran sequential or host-parallel.
+        let shard = mixed_trace(12_000, 64);
+        let engine = EngineConfig::rasa_dm();
+        let collect = |exec: ExecMode| {
+            let mut seen: Vec<(u64, u64)> = Vec::new();
+            let mut cb = |d: u64, t: u64| seen.push((d, t));
+            MultiCoreSim::new(MultiCoreConfig::new(2).with_exec(exec), engine.clone())
+                .run_sharded_with(
+                    vec![shard.stream(), shard.stream()],
+                    None,
+                    SchedulerPolicy::Lpt,
+                    Some(&mut cb),
+                );
+            seen
+        };
+        let seq = collect(ExecMode::Sequential);
+        assert!(
+            seq.iter().any(|&(d, _)| d == PROGRESS_STRIDE),
+            "the stride path fired"
+        );
+        assert_eq!(collect(ExecMode::ParallelHost(2)), seq);
+    }
+
+    #[test]
+    fn parallel_host_tolerates_empty_and_idle_work() {
+        let res = MultiCoreSim::new(
+            MultiCoreConfig::new(3).with_exec(ExecMode::ParallelHost(3)),
+            EngineConfig::rasa_dm(),
+        )
+        .run_streams(vec![Trace::new().stream()]);
+        assert_eq!(res.instructions(), 0);
+        assert_eq!(res.stranded_cores(), 3);
     }
 
     #[test]
